@@ -1,0 +1,186 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// geometric k-sweep granularity (Theorem 1's approximation knob), seed
+// coverage (§IV-F's false-positive control), random restarts, and the
+// distributed engine's prefetch batch (§V's network-I/O reduction).
+// Each prints a small table and reports the headline metric.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/simulate"
+	"repro/internal/sybilfence"
+)
+
+// ablationWorld builds one baseline world at bench scale.
+func ablationWorld(b *testing.B) (*attack.World, simulate.Config, *rng.Source) {
+	b.Helper()
+	cfg := benchConfig("Facebook")
+	src := rng.New(cfg.Seed)
+	base, err := cfg.BaseGraph(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := cfg.Baseline()
+	sc.Seed = src.Stream("scenario").Uint64()
+	w, err := sc.Build(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, cfg, src
+}
+
+func detectPrecision(b *testing.B, w *attack.World, cut core.CutOptions) float64 {
+	b.Helper()
+	det, err := core.Detect(w.Graph, core.DetectorOptions{Cut: cut, TargetCount: w.NumFakes()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prec, err := metrics.PrecisionAtK(det.Suspects, w.IsFake)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prec
+}
+
+// BenchmarkAblationKFactor sweeps the geometric step of the k-sweep: a
+// coarser grid needs fewer KL solves but risks missing k* (Theorem 1).
+func BenchmarkAblationKFactor(b *testing.B) {
+	w, _, src := ablationWorld(b)
+	seeds := w.SampleSeeds(src.Stream("seeds"), 100, 100)
+	for _, factor := range []float64{1.25, 1.5, 2.0, 4.0} {
+		b.Run(fmt.Sprintf("factor=%.2f", factor), func(b *testing.B) {
+			var prec float64
+			for i := 0; i < b.N; i++ {
+				prec = detectPrecision(b, w, core.CutOptions{
+					KFactor: factor, Seeds: seeds, RandSeed: 7,
+				})
+			}
+			b.ReportMetric(prec, "precision")
+		})
+	}
+}
+
+// BenchmarkAblationSeedCoverage sweeps the seed fraction: §IV-F argues
+// seeds rule out spurious low-ratio cuts inside the legitimate region, so
+// group quality should degrade as coverage thins.
+func BenchmarkAblationSeedCoverage(b *testing.B) {
+	w, _, src := ablationWorld(b)
+	for _, per := range []int{0, 10, 50, 200} {
+		b.Run(fmt.Sprintf("seeds=%d", per), func(b *testing.B) {
+			var seeds core.Seeds
+			if per > 0 {
+				seeds = w.SampleSeeds(src.Stream(fmt.Sprintf("seeds-%d", per)), per, per)
+			}
+			var prec float64
+			for i := 0; i < b.N; i++ {
+				prec = detectPrecision(b, w, core.CutOptions{Seeds: seeds, RandSeed: 7})
+			}
+			b.ReportMetric(prec, "precision")
+		})
+	}
+}
+
+// BenchmarkAblationRestarts sweeps random-restart count on top of the
+// acceptance-heuristic initialization.
+func BenchmarkAblationRestarts(b *testing.B) {
+	w, _, src := ablationWorld(b)
+	seeds := w.SampleSeeds(src.Stream("seeds"), 100, 100)
+	for _, restarts := range []int{0, 1, 3} {
+		b.Run(fmt.Sprintf("restarts=%d", restarts), func(b *testing.B) {
+			var prec float64
+			for i := 0; i < b.N; i++ {
+				prec = detectPrecision(b, w, core.CutOptions{
+					Seeds: seeds, Restarts: restarts, RandSeed: 7,
+				})
+			}
+			b.ReportMetric(prec, "precision")
+		})
+	}
+}
+
+// BenchmarkAblationFeedbackPoisoning compares Rejecto with SybilFence (the
+// §VIII per-user negative-feedback predecessor) as spammers poison the
+// feedback of legitimate users by rejecting their requests — the Fig 15
+// strategy. SybilFence's per-user discount erodes steadily; Rejecto's
+// aggregate cut tolerates the poisoning until the global cut flips.
+func BenchmarkAblationFeedbackPoisoning(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	for _, poisonK := range []int{0, 48, 96} {
+		b.Run(fmt.Sprintf("poison=%dK", poisonK), func(b *testing.B) {
+			var rejPrec, fencePrec float64
+			for i := 0; i < b.N; i++ {
+				src := rng.New(cfg.Seed)
+				base, err := cfg.BaseGraph(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc := cfg.Baseline()
+				sc.RejectedLegitRequests = int(float64(poisonK*1000) * cfg.Scale)
+				sc.Seed = src.Stream("scenario").Uint64()
+				w, err := sc.Build(base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				seeds := w.SampleSeeds(src.Stream("seeds"), 100, 100)
+				rejPrec = detectPrecision(b, w, core.CutOptions{Seeds: seeds, RandSeed: 7})
+
+				scores, err := sybilfence.Rank(w.Graph, seeds.Legit, sybilfence.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fencePrec, err = metrics.PrecisionAtK(
+					sybilfence.MostSuspicious(scores, w.NumFakes()), w.IsFake)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rejPrec, "rejecto-precision")
+			b.ReportMetric(fencePrec, "sybilfence-precision")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetchBatch sweeps the §V prefetch batch size on the
+// distributed engine and reports the fetch miss rate alongside wall time.
+func BenchmarkAblationPrefetchBatch(b *testing.B) {
+	w, _, src := ablationWorld(b)
+	seeds := w.SampleSeeds(src.Stream("seeds"), 100, 100)
+	tab := simulate.NewTable("Prefetch ablation", "batch", "misses", "served", "rpc calls")
+	for _, batch := range []int{1, 64, 512} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			var misses, served, calls int64
+			for i := 0; i < b.N; i++ {
+				c := dist.NewLocalCluster(4, 0)
+				if err := c.LoadGraph(w.Graph, 2); err != nil {
+					b.Fatal(err)
+				}
+				cfg := dist.DetectorConfig{
+					Cut:           core.CutOptions{Seeds: seeds, RandSeed: 7},
+					TargetCount:   w.NumFakes(),
+					PrefetchBatch: batch,
+					BufferCap:     w.Graph.NumNodes() + 1,
+				}
+				det := dist.NewDetector(c, w.Graph.NumNodes(), cfg)
+				if _, err := det.Detect(cfg); err != nil {
+					b.Fatal(err)
+				}
+				var fetched int64
+				served, fetched, misses = det.Prefetcher().Stats()
+				_ = fetched
+				calls = c.IO().Calls
+				_ = c.Close()
+			}
+			b.ReportMetric(float64(misses), "misses")
+			tab.AddRow(batch, misses, served, calls)
+		})
+	}
+	_ = tab.Render(os.Stdout)
+}

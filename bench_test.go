@@ -1,0 +1,223 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (§VI). Each benchmark runs the full experiment and prints the
+// same rows/series the paper reports; the per-iteration wall time measures
+// the cost of reproducing that artifact end to end (world generation +
+// detection + baseline + metrics).
+//
+// The workloads default to REJECTO_BENCH_SCALE = 0.1 of the paper's sizes
+// so `go test -bench=. -benchmem` completes on a laptop; cmd/experiments
+// runs the same code at paper scale (see EXPERIMENTS.md for a recorded
+// full-scale run).
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/simulate"
+)
+
+// benchScale reads REJECTO_BENCH_SCALE (default 0.1).
+func benchScale() float64 {
+	if s := os.Getenv("REJECTO_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.1
+}
+
+func benchConfig(dataset string) simulate.Config {
+	return simulate.Config{Dataset: dataset, Scale: benchScale(), Seed: 42}.WithDefaults()
+}
+
+// runSweep executes a figure sweep b.N times, prints the series once, and
+// reports the mean Rejecto/VoteTrust precisions as benchmark metrics.
+func runSweep(b *testing.B, title, xLabel string, cfg simulate.Config, points []simulate.SweepPoint) {
+	b.Helper()
+	var outcomes []simulate.Outcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		outcomes, err = cfg.Sweep(points)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	tab := simulate.OutcomeTable(
+		fmt.Sprintf("%s — %s (scale %.2f)", title, cfg.Dataset, cfg.Scale), xLabel, outcomes)
+	if err := tab.Render(os.Stdout); err != nil {
+		b.Fatal(err)
+	}
+	var sumR, sumV float64
+	for _, o := range outcomes {
+		sumR += o.Rejecto
+		sumV += o.VoteTrust
+	}
+	n := float64(len(outcomes))
+	b.ReportMetric(sumR/n, "rejecto-precision")
+	b.ReportMetric(sumV/n, "votetrust-precision")
+}
+
+func BenchmarkTableI_Graphs(b *testing.B) {
+	cfg := simulate.Config{Seed: 42}.WithDefaults()
+	var rows []simulate.TableIRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = cfg.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	tab := simulate.NewTable("Table I — evaluation graphs (published vs generated)",
+		"graph", "nodes", "edges(paper)", "edges", "cc(paper)", "cc", "diam(paper)", "diam")
+	for _, r := range rows {
+		tab.AddRow(r.Name, r.Nodes, r.PaperEdges, r.Edges, r.PaperCC, r.CC, r.PaperDiameter, r.Diameter)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFig01_PendingFootprint(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	var sum simulate.Fig1Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		sum, err = cfg.Fig1(43, 80, 0.30, 0.35)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("Fig 1 analog — pending fraction min %.3f median %.3f max %.3f (paper 0.167–0.679)\n",
+		sum.MinFraction, sum.MedianFraction, sum.MaxFraction)
+	b.ReportMetric(sum.MedianFraction, "median-pending-fraction")
+}
+
+func BenchmarkFig09_RequestVolume(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	runSweep(b, "Fig 9 — request volume, all fakes spam", "requests/fake", cfg, cfg.Fig9Points())
+}
+
+func BenchmarkFig10_HalfSpammers(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	runSweep(b, "Fig 10 — request volume, half the fakes spam", "requests/fake", cfg, cfg.Fig10Points())
+}
+
+func BenchmarkFig11_SpamRejectionRate(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	runSweep(b, "Fig 11 — spam rejection rate", "rate", cfg, cfg.Fig11Points())
+}
+
+func BenchmarkFig12_LegitRejectionRate(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	runSweep(b, "Fig 12 — legitimate rejection rate", "rate", cfg, cfg.Fig12Points())
+}
+
+func BenchmarkFig13_Collusion(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	runSweep(b, "Fig 13 — collusion (extra intra-fake edges)", "edges/fake", cfg, cfg.Fig13Points())
+}
+
+func BenchmarkFig14_SelfRejection(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	runSweep(b, "Fig 14 — self-rejection whitewashing", "rate", cfg, cfg.Fig14Points())
+}
+
+func BenchmarkFig15_RejectLegitRequests(b *testing.B) {
+	cfg := benchConfig("Facebook")
+	runSweep(b, "Fig 15 — spammers reject legit requests", "rejections (K, paper scale)", cfg, cfg.Fig15Points())
+}
+
+func BenchmarkFig16_DefenseInDepth(b *testing.B) {
+	for _, dataset := range []string{"Facebook", "ca-AstroPh"} {
+		b.Run(dataset, func(b *testing.B) {
+			cfg := benchConfig(dataset)
+			var points []simulate.DefensePoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				points, err = cfg.Fig16(cfg.Fig16Removals())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tab := simulate.NewTable(
+				fmt.Sprintf("Fig 16 — SybilRank AUC vs Rejecto removals (%s, scale %.2f)", dataset, cfg.Scale),
+				"removed", "auc")
+			for _, p := range points {
+				tab.AddRow(p.Removed, p.AUC)
+			}
+			if err := tab.Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(points[len(points)-1].AUC, "final-auc")
+		})
+	}
+}
+
+func BenchmarkFig17_SensitivityAllGraphs(b *testing.B) {
+	cols := []simulate.Fig17Scenario{
+		simulate.Fig17AllSpam, simulate.Fig17HalfSpam,
+		simulate.Fig17SpamRejRate, simulate.Fig17LegitRate,
+	}
+	for _, dataset := range simulate.AppendixGraphs() {
+		for _, col := range cols {
+			b.Run(dataset+"/"+string(col), func(b *testing.B) {
+				cfg := benchConfig(dataset)
+				runSweep(b, "Fig 17 — "+dataset, string(col), cfg, cfg.Fig17Points(col))
+			})
+		}
+	}
+}
+
+func BenchmarkFig18_ResilienceAllGraphs(b *testing.B) {
+	cols := []simulate.Fig18Scenario{
+		simulate.Fig18Collusion, simulate.Fig18SelfRejection, simulate.Fig18RejectLegit,
+	}
+	for _, dataset := range simulate.AppendixGraphs() {
+		for _, col := range cols {
+			b.Run(dataset+"/"+string(col), func(b *testing.B) {
+				cfg := benchConfig(dataset)
+				runSweep(b, "Fig 18 — "+dataset, string(col), cfg, cfg.Fig18Points(col))
+			})
+		}
+	}
+}
+
+func BenchmarkTableII_Scalability(b *testing.B) {
+	// Host-scaled sizes preserving the paper's ×2 progression; override
+	// the sweep with cmd/experiments -run table2 -table2-users for larger
+	// runs.
+	sizes := []int{25_000, 50_000, 100_000}
+	var rows []simulate.TableIIRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = simulate.TableII(simulate.TableIIConfig{
+			UserCounts:     sizes,
+			Workers:        5,
+			LatencyPerCall: 500 * time.Microsecond,
+			Seed:           42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	tab := simulate.NewTable("Table II — distributed engine scalability (5 workers, 0.5ms simulated RTT)",
+		"users", "edges", "wall", "rpc calls", "MB sent", "MB recv", "net time")
+	for _, r := range rows {
+		tab.AddRow(r.Users, r.Edges, r.WallTime.Round(time.Millisecond).String(), r.Calls,
+			fmt.Sprintf("%.1f", float64(r.BytesSent)/1e6),
+			fmt.Sprintf("%.1f", float64(r.BytesRecv)/1e6),
+			r.VirtualNetworkTime.Round(time.Millisecond).String())
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		b.Fatal(err)
+	}
+}

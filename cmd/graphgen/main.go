@@ -1,0 +1,131 @@
+// Command graphgen generates synthetic social graphs — the Table I
+// stand-ins or parameterized model graphs — optionally injects a friend-
+// spam attack, and writes the result in the graphio text format.
+//
+// Usage:
+//
+//	graphgen -dataset Facebook -out fb.txt
+//	graphgen -model ba -n 10000 -m 4 -out ba.txt
+//	graphgen -dataset Facebook -attack -fakes 10000 -out world.txt -truth truth.txt
+//	graphgen -stats -in fb.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "Table I dataset stand-in to generate")
+		model   = flag.String("model", "", "model graph: ba | holme-kim | forest-fire | er | ws | collab")
+		n       = flag.Int("n", 10000, "nodes (model graphs)")
+		m       = flag.Float64("m", 4, "edges per node (ba, holme-kim) / edge count (er, collab)")
+		pt      = flag.Float64("pt", 0.5, "triad probability (holme-kim) / burn probability (forest-fire) / rewire beta (ws)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		out     = flag.String("out", "", "output graph file")
+		in      = flag.String("in", "", "input graph file (for -stats)")
+		stats   = flag.Bool("stats", false, "print graph statistics")
+		binOut  = flag.Bool("binary", false, "write -out in the fast binary format")
+
+		doAttack = flag.Bool("attack", false, "inject the baseline friend-spam attack")
+		fakes    = flag.Int("fakes", 10000, "fake accounts to inject with -attack")
+		truth    = flag.String("truth", "", "write ground-truth fake IDs to this file with -attack")
+	)
+	flag.Parse()
+
+	src := rng.New(*seed)
+	var g *graph.Graph
+	switch {
+	case *in != "":
+		var err error
+		if g, err = graphio.ReadAny(*in); err != nil {
+			fatalf("%v", err)
+		}
+	case *dataset != "":
+		d, err := gen.DatasetByName(*dataset)
+		if err != nil {
+			fatalf("%v (known: %v)", err, gen.DatasetNames())
+		}
+		g = d.Generate(src.Stream("dataset"))
+	case *model != "":
+		r := src.Stream("model")
+		switch *model {
+		case "ba":
+			g = gen.BarabasiAlbert(r, *n, *m)
+		case "holme-kim":
+			g = gen.HolmeKim(r, *n, *m, *pt)
+		case "forest-fire":
+			g = gen.ForestFire(r, *n, *pt)
+		case "er":
+			g = gen.ErdosRenyiGNM(r, *n, int(*m))
+		case "ws":
+			g = gen.WattsStrogatz(r, *n, int(*m), *pt)
+		case "collab":
+			g = gen.Collaboration(r, *n, int(*m), 3, 0.3)
+		default:
+			fatalf("unknown model %q", *model)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *doAttack {
+		sc := attack.Baseline()
+		sc.NumFakes = *fakes
+		sc.Seed = src.Stream("attack").Uint64()
+		w, err := sc.Build(g)
+		if err != nil {
+			fatalf("attack: %v", err)
+		}
+		g = w.Graph
+		if *truth != "" {
+			f, err := os.Create(*truth)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			for _, u := range w.Fakes() {
+				fmt.Fprintln(f, u)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("wrote ground truth (%d fakes) to %s\n", w.NumFakes(), *truth)
+		}
+	}
+
+	if *stats {
+		s := g.Stats(src.Stream("stats"))
+		fmt.Printf("nodes:                  %d\n", s.Nodes)
+		fmt.Printf("friendships:            %d\n", s.Friendships)
+		fmt.Printf("rejections:             %d\n", s.Rejections)
+		fmt.Printf("avg degree:             %.2f\n", s.AvgDegree)
+		fmt.Printf("clustering coefficient: %.4f\n", s.ClusteringCoefficient)
+		fmt.Printf("diameter (approx):      %d\n", s.Diameter)
+		fmt.Printf("components:             %d (largest %d)\n", s.Components, s.LargestComponent)
+	}
+	if *out != "" {
+		write := graphio.WriteFile
+		if *binOut {
+			write = graphio.WriteBinaryFile
+		}
+		if err := write(*out, g); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %d nodes, %d friendships, %d rejections to %s\n",
+			g.NumNodes(), g.NumFriendships(), g.NumRejections(), *out)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	os.Exit(1)
+}

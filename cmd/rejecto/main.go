@@ -1,0 +1,167 @@
+// Command rejecto runs friend-spammer detection on a rejection-augmented
+// social graph file (see internal/graphio for the format) and prints the
+// detected groups.
+//
+// Usage:
+//
+//	rejecto -graph graph.txt [-target 100 | -threshold 0.5]
+//	        [-legit-seeds 1,2,3] [-spammer-seeds 40,41]
+//	        [-kmin 0.03125] [-kmax 32] [-seed 42] [-out suspects.txt]
+//	        [-workers 4]  # >0 runs on the distributed engine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to the augmented social graph (required)")
+		target    = flag.Int("target", 0, "estimated number of friend spammers (termination condition)")
+		threshold = flag.Float64("threshold", 0, "acceptance-rate termination threshold, e.g. 0.5")
+		legit     = flag.String("legit-seeds", "", "comma-separated known-legitimate node IDs")
+		spammer   = flag.String("spammer-seeds", "", "comma-separated known-spammer node IDs")
+		kmin      = flag.Float64("kmin", 0, "minimum friends-to-rejections ratio in the sweep")
+		kmax      = flag.Float64("kmax", 0, "maximum friends-to-rejections ratio in the sweep")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		out       = flag.String("out", "", "write suspect IDs to this file (default: stdout)")
+		workers   = flag.Int("workers", 0, "run on the in-process distributed engine with this many workers")
+		requests  = flag.String("requests", "", "request-log file for per-interval sharded detection (§VII); -graph supplies the friendship base")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *target == 0 && *threshold == 0 {
+		fatalf("need -target or -threshold as a termination condition")
+	}
+
+	g, err := graphio.ReadAny(*graphPath)
+	if err != nil {
+		fatalf("reading graph: %v", err)
+	}
+	fmt.Printf("loaded %s: %d users, %d friendships, %d rejections\n",
+		*graphPath, g.NumNodes(), g.NumFriendships(), g.NumRejections())
+
+	seeds := core.Seeds{
+		Legit:   parseIDs(*legit, g.NumNodes()),
+		Spammer: parseIDs(*spammer, g.NumNodes()),
+	}
+	cutOpts := core.CutOptions{KMin: *kmin, KMax: *kmax, Seeds: seeds, RandSeed: *seed}
+	opts := core.DetectorOptions{
+		Cut:                 cutOpts,
+		TargetCount:         *target,
+		AcceptanceThreshold: *threshold,
+	}
+
+	if *requests != "" {
+		runSharded(g, *requests, opts)
+		return
+	}
+
+	start := time.Now()
+	var det core.Detection
+	if *workers > 0 {
+		det, err = detectDistributed(g, opts, *workers)
+	} else {
+		det, err = core.Detect(g, opts)
+	}
+	if err != nil {
+		fatalf("detection: %v", err)
+	}
+	fmt.Printf("detection finished in %s: %d rounds, %d groups, %d suspects\n",
+		time.Since(start).Round(time.Millisecond), det.Rounds, len(det.Groups), len(det.Suspects))
+	for _, grp := range det.Groups {
+		fmt.Printf("  round %d: %d accounts, aggregate acceptance %.3f (k=%.3f)\n",
+			grp.Round, len(grp.Members), grp.Acceptance, grp.K)
+	}
+
+	if *out == "" {
+		for _, u := range det.Suspects {
+			fmt.Println(u)
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("creating %s: %v", *out, err)
+	}
+	defer f.Close()
+	for _, u := range det.Suspects {
+		fmt.Fprintln(f, u)
+	}
+	fmt.Printf("wrote %d suspect IDs to %s\n", len(det.Suspects), *out)
+}
+
+// runSharded executes the §VII deployment: requests sharded by time
+// interval, one detection per interval over the friendship base.
+func runSharded(base *graph.Graph, path string, opts core.DetectorOptions) {
+	reqs, err := graphio.ReadRequestsFile(path)
+	if err != nil {
+		fatalf("reading requests: %v", err)
+	}
+	fmt.Printf("loaded %d timed requests from %s\n", len(reqs), path)
+	dets, err := core.DetectSharded(base, reqs, opts)
+	if err != nil {
+		fatalf("sharded detection: %v", err)
+	}
+	for _, d := range dets {
+		fmt.Printf("interval %d: %d suspects in %d round(s)\n",
+			d.Interval, len(d.Detection.Suspects), d.Detection.Rounds)
+		for _, u := range d.Detection.Suspects {
+			fmt.Printf("  %d\n", u)
+		}
+	}
+}
+
+func detectDistributed(g *graph.Graph, opts core.DetectorOptions, workers int) (core.Detection, error) {
+	c := dist.NewLocalCluster(workers, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 2); err != nil {
+		return core.Detection{}, err
+	}
+	cfg := dist.DetectorConfig{
+		Cut:                 opts.Cut,
+		TargetCount:         opts.TargetCount,
+		AcceptanceThreshold: opts.AcceptanceThreshold,
+	}
+	det := dist.NewDetector(c, g.NumNodes(), cfg)
+	res, err := det.Detect(cfg)
+	if err != nil {
+		return core.Detection{}, err
+	}
+	io := c.IO()
+	fmt.Printf("distributed run: %d workers, %s\n", workers, io)
+	return res, nil
+}
+
+func parseIDs(s string, n int) []graph.NodeID {
+	if s == "" {
+		return nil
+	}
+	var out []graph.NodeID
+	for _, field := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || v < 0 || v >= n {
+			fatalf("bad node ID %q", field)
+		}
+		out = append(out, graph.NodeID(v))
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rejecto: "+format+"\n", args...)
+	os.Exit(1)
+}

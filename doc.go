@@ -1,0 +1,10 @@
+// Package repro is the root of a from-scratch Go reproduction of
+// "Combating Friend Spam Using Social Rejections" (Cao, Sirivianos, Yang,
+// Munagala — ICDCS 2015).
+//
+// The supported public API lives in the rejecto subpackage; the runnable
+// evaluation harness lives in cmd/experiments; bench_test.go in this
+// directory regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results).
+package repro

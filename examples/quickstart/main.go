@@ -1,0 +1,52 @@
+// Quickstart: build a small rejection-augmented social graph by hand, find
+// the minimum aggregate acceptance rate cut, and run iterative detection.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rejecto"
+)
+
+func main() {
+	// A toy OSN: ten legitimate users on a friendship ring with chords,
+	// and three fake accounts that sent friend spam. Most spam was
+	// rejected (directed rejection edges), a little was accepted.
+	const legit, fakes = 10, 3
+	g := rejecto.NewGraph(legit + fakes)
+	for i := 0; i < legit; i++ {
+		g.AddFriendship(rejecto.NodeID(i), rejecto.NodeID((i+1)%legit))
+		g.AddFriendship(rejecto.NodeID(i), rejecto.NodeID((i+3)%legit))
+	}
+	for s := legit; s < legit+fakes; s++ {
+		spammer := rejecto.NodeID(s)
+		g.AddFriendship(spammer, rejecto.NodeID(s%legit)) // one careless acceptance
+		for t := 1; t <= 6; t++ {                         // six rejections each
+			g.AddRejection(rejecto.NodeID((s+t)%legit), spammer)
+		}
+	}
+	fmt.Printf("graph: %d users, %d friendships, %d rejections\n",
+		g.NumNodes(), g.NumFriendships(), g.NumRejections())
+
+	// One MAAR cut: the region whose outgoing friend requests fared worst.
+	cut, ok := rejecto.FindMAARCut(g, rejecto.CutOptions{})
+	if !ok {
+		log.Fatal("no cut found")
+	}
+	fmt.Printf("MAAR cut: %d suspects, aggregate acceptance %.3f (k=%.3f)\n",
+		cut.Stats.SuspectSize, cut.Acceptance, cut.K)
+
+	// Iterative detection with an acceptance-rate termination threshold:
+	// keep cutting groups while their aggregate acceptance stays below 50%.
+	det, err := rejecto.Detect(g, rejecto.DetectorOptions{AcceptanceThreshold: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected %d suspects in %d round(s):\n", len(det.Suspects), det.Rounds)
+	for _, grp := range det.Groups {
+		fmt.Printf("  round %d: accounts %v, acceptance %.3f\n", grp.Round, grp.Members, grp.Acceptance)
+	}
+}

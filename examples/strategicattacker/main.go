@@ -1,0 +1,106 @@
+// Strategic attacker: demonstrates the two evasion strategies from the
+// paper's threat model (§III-A, §VI-C) and why Rejecto withstands both
+// while a per-user acceptance-rate filter collapses.
+//
+//   - Collusion: fakes accept each other's requests, inflating every
+//     individual account's acceptance rate toward legitimate levels.
+//
+//   - Self-rejection: fakes reject other fakes, fabricating a low-ratio
+//     cut that whitewashes the rejecting half against naive cut searches.
+//
+//     go run ./examples/strategicattacker
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/rejecto"
+)
+
+func main() {
+	src := rng.New(11)
+	base := gen.HolmeKim(src.Stream("base"), 3000, 4, 0.6)
+
+	fmt.Println("=== Collusion (Fig 13's attack) ===")
+	for _, extra := range []int{0, 20, 40} {
+		sc := attack.Baseline()
+		sc.NumFakes = 3000
+		sc.CollusionExtraPerFake = extra
+		sc.Seed = src.Stream(fmt.Sprintf("collusion-%d", extra)).Uint64()
+		world, err := sc.Build(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive := naiveFilterPrecision(world)
+		prec := rejectoPrecision(world, src, extra)
+		fmt.Printf("  %2d extra intra-fake edges/fake: naive filter %.3f, Rejecto %.3f\n",
+			extra, naive, prec)
+	}
+
+	fmt.Println("=== Self-rejection (Fig 14's attack) ===")
+	for _, rate := range []float64{0.2, 0.9} {
+		sc := attack.Baseline()
+		sc.NumFakes = 3000
+		sc.SelfRejection = &attack.SelfRejection{Requests: 20, Rate: rate}
+		sc.Seed = src.Stream(fmt.Sprintf("selfrej-%.2f", rate)).Uint64()
+		world, err := sc.Build(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prec := rejectoPrecision(world, src, int(rate*100))
+		fmt.Printf("  self-rejection rate %.1f: Rejecto %.3f (whitewashed half exposed by iterative pruning)\n",
+			rate, prec)
+	}
+}
+
+// naiveFilterPrecision flags the NumFakes accounts with the lowest
+// individual acceptance rates — the per-user signal the paper shows
+// collusion defeats.
+func naiveFilterPrecision(w *attack.World) float64 {
+	type scored struct {
+		u   rejecto.NodeID
+		acc float64
+	}
+	all := make([]scored, w.Graph.NumNodes())
+	for u := range all {
+		all[u] = scored{rejecto.NodeID(u), w.Graph.Acceptance(rejecto.NodeID(u))}
+	}
+	// Selection by partial sort: take the lowest-acceptance NumFakes.
+	target := w.NumFakes()
+	for i := 0; i < target; i++ {
+		minIdx := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].acc < all[minIdx].acc {
+				minIdx = j
+			}
+		}
+		all[i], all[minIdx] = all[minIdx], all[i]
+	}
+	hit := 0
+	for _, s := range all[:target] {
+		if w.IsFake[s.u] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(target)
+}
+
+func rejectoPrecision(w *attack.World, src *rng.Source, salt int) float64 {
+	seeds := w.SampleSeeds(src.Stream(fmt.Sprintf("seeds-%d", salt)), 30, 30)
+	det, err := rejecto.Detect(w.Graph, rejecto.DetectorOptions{
+		Cut:         rejecto.CutOptions{Seeds: seeds, RandSeed: uint64(salt)},
+		TargetCount: w.NumFakes(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prec, err := rejecto.Precision(det.Suspects, w.IsFake)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prec
+}

@@ -1,0 +1,368 @@
+// Package attack simulates friend-spam attacks on a legitimate social
+// graph, reproducing the workload model of the paper's evaluation (§VI-A)
+// and the strategic-attacker overlays of §VI-B/§VI-C.
+//
+// A Scenario injects a Sybil region into a base graph of legitimate users
+// and synthesizes friend-request traffic:
+//
+//   - Every friendship is an accepted request; every rejection edge a
+//     rejected one. The full directed request log is retained because the
+//     VoteTrust baseline consumes requests, not the augmented graph.
+//   - Fake accounts arrive one at a time, each befriending
+//     IntraLinksPerFake earlier fakes (accepted intra requests).
+//   - Spamming fakes send RequestsPerSpammer requests to distinct random
+//     legitimate users; each is rejected with probability
+//     SpamRejectionRate (the paper's 70% default, measured on RenRen).
+//   - Legitimate users reject one another sporadically: user u receives
+//     round(sent_u·ρ/(1−ρ)) rejections from random non-friend legitimate
+//     users, where sent_u ≈ half of u's friendships, making the aggregate
+//     legitimate acceptance rate 1−ρ (ρ = LegitRejectionRate, default 20%).
+//   - CarelessFraction of legitimate users each send one request that a
+//     random fake accepts — the paper's stress-test for careless users.
+//
+// Strategic overlays: collusion (extra accepted intra-fake requests,
+// Fig 13), self-rejection whitewashing (Fig 14), and spammers rejecting
+// requests from legitimate users (Fig 15).
+package attack
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Request is one friend request with its outcome. Accepted requests
+// correspond to friendship edges in the augmented graph; rejected ones to
+// rejection edges ⟨To, From⟩.
+type Request struct {
+	From, To graph.NodeID
+	Accepted bool
+}
+
+// Scenario describes one simulated attack. The zero value is not useful;
+// start from Baseline() and override fields.
+type Scenario struct {
+	// NumFakes is the size of the injected Sybil region (paper: 10000).
+	NumFakes int
+	// IntraLinksPerFake is how many earlier fakes each arriving fake
+	// befriends (paper: 6).
+	IntraLinksPerFake int
+	// SpammerFraction is the fraction of fakes that send friend spam
+	// (1.0 in most experiments; 0.5 in Fig 10 and Fig 16).
+	SpammerFraction float64
+	// RequestsPerSpammer is the spam volume per spamming fake (paper: 20;
+	// Fig 9/10 sweep 5–50).
+	RequestsPerSpammer int
+	// SpamRejectionRate is the probability a legitimate user rejects a
+	// spam request (paper default 0.7; Fig 11 sweeps it).
+	SpamRejectionRate float64
+	// LegitRejectionRate is the rejection rate of requests among
+	// legitimate users (paper default 0.2; Fig 12 sweeps it).
+	LegitRejectionRate float64
+	// CarelessFraction of legitimate users send one accepted request to a
+	// random fake (paper: 0.15).
+	CarelessFraction float64
+
+	// CollusionExtraPerFake adds this many accepted requests from each
+	// fake to random other fakes (Fig 13 sweeps 0–40).
+	CollusionExtraPerFake int
+
+	// SelfRejection, when non-nil, splits the fakes in half: the sender
+	// half each direct SelfRejection.Requests requests at the whitewash
+	// half, rejected with probability SelfRejection.Rate (Fig 14).
+	SelfRejection *SelfRejection
+
+	// RejectedLegitRequests makes this many random legitimate users send
+	// one request each to a random fake that rejects it (Fig 15 sweeps
+	// 16K–160K). Sampling is with replacement over (legit, fake) pairs;
+	// duplicate pairs collapse into one rejection edge as in the paper's
+	// graph model.
+	RejectedLegitRequests int
+
+	// Seed drives all randomness in the build.
+	Seed uint64
+}
+
+// SelfRejection configures the whitewashing overlay of Fig 14.
+type SelfRejection struct {
+	// Requests per sender fake directed at the whitewash half (paper: 20).
+	Requests int
+	// Rate is the probability each such request is rejected.
+	Rate float64
+}
+
+// Baseline returns the paper's moderate baseline attack setting (§VI-A).
+func Baseline() Scenario {
+	return Scenario{
+		NumFakes:           10000,
+		IntraLinksPerFake:  6,
+		SpammerFraction:    1.0,
+		RequestsPerSpammer: 20,
+		SpamRejectionRate:  0.7,
+		LegitRejectionRate: 0.2,
+		CarelessFraction:   0.15,
+	}
+}
+
+// World is a built attack scenario: the augmented graph, ground truth, and
+// the full request log.
+type World struct {
+	Graph *graph.Graph
+	// NumLegit is the size of the legitimate region; legitimate users
+	// occupy IDs [0, NumLegit) and fakes [NumLegit, NumNodes).
+	NumLegit int
+	// IsFake is the ground-truth label per node.
+	IsFake []bool
+	// SpamSenders lists the fakes that sent friend spam.
+	SpamSenders []graph.NodeID
+	// Whitewashed lists the self-rejection whitewash targets (Fig 14).
+	Whitewashed []graph.NodeID
+	// Requests is the complete directed request log.
+	Requests []Request
+}
+
+// NumFakes reports the size of the injected Sybil region.
+func (w *World) NumFakes() int { return w.Graph.NumNodes() - w.NumLegit }
+
+// Fakes returns the IDs of all fake accounts.
+func (w *World) Fakes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, w.NumFakes())
+	for u := w.NumLegit; u < w.Graph.NumNodes(); u++ {
+		out = append(out, graph.NodeID(u))
+	}
+	return out
+}
+
+// Build runs the scenario against a copy of the base legitimate graph.
+// base must contain only friendships (the legitimate region's OSN links);
+// any rejections it carries are rejected with an error.
+func (s Scenario) Build(base *graph.Graph) (*World, error) {
+	if err := s.validate(base); err != nil {
+		return nil, err
+	}
+	src := rng.New(s.Seed)
+	w := &World{
+		Graph:    base.Clone(),
+		NumLegit: base.NumNodes(),
+	}
+
+	s.injectFakeRegion(w, src.Stream("arrival"))
+	s.legitRequestTraffic(w, src.Stream("legit"))
+	s.spamTraffic(w, src.Stream("spam"))
+	s.carelessTraffic(w, src.Stream("careless"))
+	s.collusionTraffic(w, src.Stream("collusion"))
+	s.selfRejectionTraffic(w, src.Stream("selfrej"))
+	s.rejectLegitTraffic(w, src.Stream("rejlegit"))
+
+	w.IsFake = make([]bool, w.Graph.NumNodes())
+	for u := w.NumLegit; u < w.Graph.NumNodes(); u++ {
+		w.IsFake[u] = true
+	}
+	return w, nil
+}
+
+func (s Scenario) validate(base *graph.Graph) error {
+	switch {
+	case base.NumRejections() != 0:
+		return fmt.Errorf("attack: base graph already carries %d rejections", base.NumRejections())
+	case s.NumFakes <= 0:
+		return fmt.Errorf("attack: NumFakes %d must be positive", s.NumFakes)
+	case s.SpammerFraction < 0 || s.SpammerFraction > 1:
+		return fmt.Errorf("attack: SpammerFraction %v out of [0,1]", s.SpammerFraction)
+	case s.SpamRejectionRate < 0 || s.SpamRejectionRate > 1:
+		return fmt.Errorf("attack: SpamRejectionRate %v out of [0,1]", s.SpamRejectionRate)
+	case s.LegitRejectionRate < 0 || s.LegitRejectionRate >= 1:
+		return fmt.Errorf("attack: LegitRejectionRate %v out of [0,1)", s.LegitRejectionRate)
+	case s.CarelessFraction < 0 || s.CarelessFraction > 1:
+		return fmt.Errorf("attack: CarelessFraction %v out of [0,1]", s.CarelessFraction)
+	case s.RequestsPerSpammer < 0 || s.RequestsPerSpammer > base.NumNodes():
+		return fmt.Errorf("attack: RequestsPerSpammer %d out of range", s.RequestsPerSpammer)
+	case s.SelfRejection != nil && (s.SelfRejection.Rate < 0 || s.SelfRejection.Rate > 1):
+		return fmt.Errorf("attack: self-rejection rate %v out of [0,1]", s.SelfRejection.Rate)
+	}
+	return nil
+}
+
+// injectFakeRegion adds the Sybil region: each arriving fake befriends
+// IntraLinksPerFake earlier fakes (accepted requests sent by the arrival).
+func (s Scenario) injectFakeRegion(w *World, r *rand.Rand) {
+	first := int(w.Graph.AddNodes(s.NumFakes))
+	for i := 0; i < s.NumFakes; i++ {
+		u := graph.NodeID(first + i)
+		links := min(s.IntraLinksPerFake, i)
+		if links == 0 {
+			continue
+		}
+		for _, j := range rng.Sample(r, i, links) {
+			v := graph.NodeID(first + j)
+			w.Graph.AddFriendship(u, v)
+			w.Requests = append(w.Requests, Request{From: u, To: v, Accepted: true})
+		}
+	}
+}
+
+// legitRequestTraffic materializes the request history behind the base
+// graph's friendships and adds the sporadic rejections among legitimate
+// users: every friendship is an accepted request with a uniform-random
+// sender, and each user u receives round(sent_u·ρ/(1−ρ)) rejections from
+// random non-friend legitimate users.
+func (s Scenario) legitRequestTraffic(w *World, r *rand.Rand) {
+	g := w.Graph
+	sent := make([]int, w.NumLegit)
+	for u := 0; u < w.NumLegit; u++ {
+		for _, v := range g.Friends(graph.NodeID(u)) {
+			if graph.NodeID(u) < v && int(v) < w.NumLegit {
+				from, to := graph.NodeID(u), v
+				if r.IntN(2) == 0 {
+					from, to = to, from
+				}
+				sent[from]++
+				w.Requests = append(w.Requests, Request{From: from, To: to, Accepted: true})
+			}
+		}
+	}
+	if s.LegitRejectionRate <= 0 || w.NumLegit < 2 {
+		return
+	}
+	odds := s.LegitRejectionRate / (1 - s.LegitRejectionRate)
+	for u := 0; u < w.NumLegit; u++ {
+		rejections := int(float64(sent[u])*odds + 0.5)
+		for i := 0; i < rejections; i++ {
+			// Random non-friend legitimate rejecter; duplicates collapse.
+			for attempt := 0; attempt < 32; attempt++ {
+				v := graph.NodeID(r.IntN(w.NumLegit))
+				if v == graph.NodeID(u) || g.HasFriendship(graph.NodeID(u), v) {
+					continue
+				}
+				g.AddRejection(v, graph.NodeID(u))
+				w.Requests = append(w.Requests, Request{From: graph.NodeID(u), To: v, Accepted: false})
+				break
+			}
+		}
+	}
+}
+
+// spamTraffic sends each spamming fake's requests to distinct random
+// legitimate targets; each is rejected with probability SpamRejectionRate.
+func (s Scenario) spamTraffic(w *World, r *rand.Rand) {
+	if s.RequestsPerSpammer == 0 || s.SpammerFraction == 0 {
+		return
+	}
+	numSenders := int(float64(s.NumFakes)*s.SpammerFraction + 0.5)
+	reqs := min(s.RequestsPerSpammer, w.NumLegit)
+	for i := 0; i < numSenders; i++ {
+		u := graph.NodeID(w.NumLegit + i)
+		w.SpamSenders = append(w.SpamSenders, u)
+		for _, t := range rng.Sample(r, w.NumLegit, reqs) {
+			target := graph.NodeID(t)
+			if r.Float64() < s.SpamRejectionRate {
+				w.Graph.AddRejection(target, u)
+				w.Requests = append(w.Requests, Request{From: u, To: target, Accepted: false})
+			} else {
+				w.Graph.AddFriendship(u, target)
+				w.Requests = append(w.Requests, Request{From: u, To: target, Accepted: true})
+			}
+		}
+	}
+}
+
+// carelessTraffic lets CarelessFraction of legitimate users each send one
+// request that a random fake accepts (§VI-A stress test).
+func (s Scenario) carelessTraffic(w *World, r *rand.Rand) {
+	count := int(float64(w.NumLegit)*s.CarelessFraction + 0.5)
+	if count == 0 {
+		return
+	}
+	for _, uIdx := range rng.Sample(r, w.NumLegit, count) {
+		u := graph.NodeID(uIdx)
+		fake := graph.NodeID(w.NumLegit + r.IntN(s.NumFakes))
+		w.Graph.AddFriendship(u, fake)
+		w.Requests = append(w.Requests, Request{From: u, To: fake, Accepted: true})
+	}
+}
+
+// collusionTraffic adds CollusionExtraPerFake accepted requests from every
+// fake to random other fakes (Fig 13).
+func (s Scenario) collusionTraffic(w *World, r *rand.Rand) {
+	if s.CollusionExtraPerFake <= 0 || s.NumFakes < 2 {
+		return
+	}
+	for i := 0; i < s.NumFakes; i++ {
+		u := graph.NodeID(w.NumLegit + i)
+		added := 0
+		for attempt := 0; added < s.CollusionExtraPerFake && attempt < 20*s.CollusionExtraPerFake; attempt++ {
+			v := graph.NodeID(w.NumLegit + r.IntN(s.NumFakes))
+			if v == u || !w.Graph.AddFriendship(u, v) {
+				continue
+			}
+			w.Requests = append(w.Requests, Request{From: u, To: v, Accepted: true})
+			added++
+		}
+	}
+}
+
+// selfRejectionTraffic applies the Fig 14 whitewashing overlay: the first
+// half of the fakes (the spam senders) each send SelfRejection.Requests
+// requests to the second half, rejected with probability
+// SelfRejection.Rate. The rejections fabricate a low-ratio cut around the
+// sender half, attempting to whitewash the rejecting half.
+func (s Scenario) selfRejectionTraffic(w *World, r *rand.Rand) {
+	if s.SelfRejection == nil || s.NumFakes < 2 {
+		return
+	}
+	half := s.NumFakes / 2
+	for i := half; i < s.NumFakes; i++ {
+		w.Whitewashed = append(w.Whitewashed, graph.NodeID(w.NumLegit+i))
+	}
+	reqs := min(s.SelfRejection.Requests, s.NumFakes-half)
+	for i := 0; i < half; i++ {
+		u := graph.NodeID(w.NumLegit + i)
+		for _, j := range rng.Sample(r, s.NumFakes-half, reqs) {
+			target := graph.NodeID(w.NumLegit + half + j)
+			if r.Float64() < s.SelfRejection.Rate {
+				w.Graph.AddRejection(target, u)
+				w.Requests = append(w.Requests, Request{From: u, To: target, Accepted: false})
+			} else {
+				w.Graph.AddFriendship(u, target)
+				w.Requests = append(w.Requests, Request{From: u, To: target, Accepted: true})
+			}
+		}
+	}
+}
+
+// rejectLegitTraffic applies the Fig 15 overlay: RejectedLegitRequests
+// requests from random legitimate users to random fakes, all rejected by
+// the fakes.
+func (s Scenario) rejectLegitTraffic(w *World, r *rand.Rand) {
+	for i := 0; i < s.RejectedLegitRequests; i++ {
+		u := graph.NodeID(r.IntN(w.NumLegit))
+		fake := graph.NodeID(w.NumLegit + r.IntN(s.NumFakes))
+		w.Graph.AddRejection(fake, u)
+		w.Requests = append(w.Requests, Request{From: u, To: fake, Accepted: false})
+	}
+}
+
+// SampleSeeds draws the OSN provider's prior knowledge from the ground
+// truth: nLegit legitimate seeds and nSpam spammer seeds, uniformly at
+// random (§III-B: "obtained by manually inspecting a set of random users").
+// Spammer seeds are drawn from the spam senders when any exist, since those
+// are the accounts an inspection of reported requests would surface.
+func (w *World) SampleSeeds(r *rand.Rand, nLegit, nSpam int) core.Seeds {
+	var seeds core.Seeds
+	nLegit = min(nLegit, w.NumLegit)
+	for _, u := range rng.Sample(r, w.NumLegit, nLegit) {
+		seeds.Legit = append(seeds.Legit, graph.NodeID(u))
+	}
+	pool := w.SpamSenders
+	if len(pool) == 0 {
+		pool = w.Fakes()
+	}
+	nSpam = min(nSpam, len(pool))
+	for _, i := range rng.Sample(r, len(pool), nSpam) {
+		seeds.Spammer = append(seeds.Spammer, pool[i])
+	}
+	return seeds
+}

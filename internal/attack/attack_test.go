@@ -1,0 +1,314 @@
+package attack
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func smallBase(seed uint64) *graph.Graph {
+	return gen.BarabasiAlbert(rand.New(rand.NewPCG(seed, 71)), 1000, 4)
+}
+
+func smallScenario() Scenario {
+	s := Baseline()
+	s.NumFakes = 500
+	s.Seed = 7
+	return s
+}
+
+func TestBuildBasicShape(t *testing.T) {
+	base := smallBase(1)
+	w, err := smallScenario().Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Graph.NumNodes() != 1500 {
+		t.Fatalf("nodes = %d, want 1500", w.Graph.NumNodes())
+	}
+	if w.NumLegit != 1000 || w.NumFakes() != 500 {
+		t.Fatalf("split = %d/%d", w.NumLegit, w.NumFakes())
+	}
+	for u := 0; u < 1000; u++ {
+		if w.IsFake[u] {
+			t.Fatal("legit node labeled fake")
+		}
+	}
+	for u := 1000; u < 1500; u++ {
+		if !w.IsFake[u] {
+			t.Fatal("fake node labeled legit")
+		}
+	}
+	if len(w.SpamSenders) != 500 {
+		t.Fatalf("senders = %d, want all 500", len(w.SpamSenders))
+	}
+	if base.NumRejections() != 0 || base.NumNodes() != 1000 {
+		t.Fatal("Build mutated the base graph")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := smallScenario().Build(smallBase(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := smallScenario().Build(smallBase(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumFriendships() != b.Graph.NumFriendships() ||
+		a.Graph.NumRejections() != b.Graph.NumRejections() ||
+		len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed produced different worlds")
+	}
+}
+
+func TestRequestLogConsistentWithGraph(t *testing.T) {
+	w, err := smallScenario().Build(smallBase(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range w.Requests {
+		if req.Accepted {
+			if !w.Graph.HasFriendship(req.From, req.To) {
+				t.Fatalf("accepted request %d→%d has no friendship", req.From, req.To)
+			}
+		} else if !w.Graph.HasRejection(req.To, req.From) {
+			t.Fatalf("rejected request %d→%d has no rejection edge", req.From, req.To)
+		}
+	}
+}
+
+func TestSpamRejectionRateRealized(t *testing.T) {
+	sc := smallScenario()
+	sc.CarelessFraction = 0
+	sc.LegitRejectionRate = 0
+	w, err := sc.Build(smallBase(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All rejections are now spam rejections: legit → fake.
+	total := float64(sc.NumFakes * sc.RequestsPerSpammer)
+	got := float64(w.Graph.NumRejections()) / total
+	if math.Abs(got-sc.SpamRejectionRate) > 0.03 {
+		t.Fatalf("realized spam rejection rate %.3f, want ≈ %.2f", got, sc.SpamRejectionRate)
+	}
+	w.Graph.ForEachRejection(func(from, to graph.NodeID) {
+		if int(from) >= w.NumLegit || int(to) < w.NumLegit {
+			t.Fatalf("spam rejection %d→%d not legit→fake", from, to)
+		}
+	})
+}
+
+func TestLegitAggregateAcceptance(t *testing.T) {
+	sc := smallScenario()
+	sc.NumFakes = 1
+	sc.RequestsPerSpammer = 0
+	sc.CarelessFraction = 0
+	sc.IntraLinksPerFake = 0
+	sc.LegitRejectionRate = 0.2
+	base := smallBase(4)
+	w, err := sc.Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate acceptance among legits = F/(F+R) must track 1−ρ.
+	f, r := float64(base.NumFriendships()), float64(w.Graph.NumRejections())
+	if acc := f / (f + r); math.Abs(acc-0.8) > 0.03 {
+		t.Fatalf("legit aggregate acceptance %.3f, want ≈ 0.8", acc)
+	}
+}
+
+func TestSpammerFractionHalf(t *testing.T) {
+	sc := smallScenario()
+	sc.SpammerFraction = 0.5
+	w, err := sc.Build(smallBase(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.SpamSenders) != 250 {
+		t.Fatalf("senders = %d, want 250", len(w.SpamSenders))
+	}
+	// Non-senders must not receive rejections from legit users.
+	senders := make(map[graph.NodeID]bool)
+	for _, s := range w.SpamSenders {
+		senders[s] = true
+	}
+	w.Graph.ForEachRejection(func(from, to graph.NodeID) {
+		if w.IsFake[to] && !senders[to] && !w.IsFake[from] {
+			t.Fatalf("non-sender fake %d received a legit rejection", to)
+		}
+	})
+}
+
+func TestCollusionAddsIntraFakeEdges(t *testing.T) {
+	scBase := smallScenario()
+	w0, err := scBase.Build(smallBase(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := smallScenario()
+	sc.CollusionExtraPerFake = 10
+	w1, err := sc.Build(smallBase(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := w1.Graph.NumFriendships() - w0.Graph.NumFriendships()
+	want := 10 * sc.NumFakes
+	if float64(added) < 0.9*float64(want) {
+		t.Fatalf("collusion added %d edges, want ≈ %d", added, want)
+	}
+}
+
+func TestSelfRejectionOverlay(t *testing.T) {
+	sc := smallScenario()
+	sc.SelfRejection = &SelfRejection{Requests: 10, Rate: 0.8}
+	w, err := sc.Build(smallBase(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Whitewashed) != sc.NumFakes/2 {
+		t.Fatalf("whitewashed = %d, want %d", len(w.Whitewashed), sc.NumFakes/2)
+	}
+	// Rejections cast by whitewashed fakes on sender fakes must exist.
+	whitewashed := make(map[graph.NodeID]bool)
+	for _, u := range w.Whitewashed {
+		whitewashed[u] = true
+	}
+	intraRejections := 0
+	w.Graph.ForEachRejection(func(from, to graph.NodeID) {
+		if whitewashed[from] && w.IsFake[to] && !whitewashed[to] {
+			intraRejections++
+		}
+	})
+	want := float64(sc.NumFakes/2*10) * 0.8
+	if math.Abs(float64(intraRejections)-want) > 0.15*want {
+		t.Fatalf("intra-fake rejections = %d, want ≈ %.0f", intraRejections, want)
+	}
+}
+
+func TestRejectedLegitRequestsOverlay(t *testing.T) {
+	sc := smallScenario()
+	sc.RejectedLegitRequests = 2000
+	w, err := sc.Build(smallBase(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rejections fake → legit must now exist in quantity (duplicate
+	// (legit, fake) pairs collapse, so allow slack).
+	count := 0
+	w.Graph.ForEachRejection(func(from, to graph.NodeID) {
+		if w.IsFake[from] && !w.IsFake[to] {
+			count++
+		}
+	})
+	if count < 1800 {
+		t.Fatalf("fake→legit rejections = %d, want ≈ 2000", count)
+	}
+}
+
+func TestCarelessFractionRealized(t *testing.T) {
+	sc := smallScenario()
+	sc.RequestsPerSpammer = 0
+	sc.SpammerFraction = 0
+	sc.LegitRejectionRate = 0
+	w, err := sc.Build(smallBase(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackEdges := 0
+	w.Graph.ForEachFriendship(func(u, v graph.NodeID) {
+		if w.IsFake[u] != w.IsFake[v] {
+			attackEdges++
+		}
+	})
+	want := int(float64(w.NumLegit)*sc.CarelessFraction + 0.5)
+	if attackEdges != want {
+		t.Fatalf("careless attack edges = %d, want %d", attackEdges, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := smallBase(10)
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"zero fakes", func(s *Scenario) { s.NumFakes = 0 }},
+		{"bad spam rate", func(s *Scenario) { s.SpamRejectionRate = 1.5 }},
+		{"bad legit rate", func(s *Scenario) { s.LegitRejectionRate = 1 }},
+		{"bad careless", func(s *Scenario) { s.CarelessFraction = -0.1 }},
+		{"bad fraction", func(s *Scenario) { s.SpammerFraction = 2 }},
+		{"too many requests", func(s *Scenario) { s.RequestsPerSpammer = 10000 }},
+		{"bad self rejection", func(s *Scenario) {
+			s.SelfRejection = &SelfRejection{Requests: 5, Rate: 2}
+		}},
+	}
+	for _, tc := range cases {
+		sc := smallScenario()
+		tc.mutate(&sc)
+		if _, err := sc.Build(base); err == nil {
+			t.Errorf("%s: Build accepted invalid scenario", tc.name)
+		}
+	}
+	// Base with rejections is rejected.
+	dirty := smallBase(11)
+	dirty.AddRejection(0, 1)
+	if _, err := smallScenario().Build(dirty); err == nil {
+		t.Error("base graph with rejections accepted")
+	}
+}
+
+func TestSampleSeeds(t *testing.T) {
+	w, err := smallScenario().Build(smallBase(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := w.SampleSeeds(rand.New(rand.NewPCG(1, 72)), 20, 15)
+	if len(seeds.Legit) != 20 || len(seeds.Spammer) != 15 {
+		t.Fatalf("seeds = %d/%d, want 20/15", len(seeds.Legit), len(seeds.Spammer))
+	}
+	for _, u := range seeds.Legit {
+		if w.IsFake[u] {
+			t.Fatal("legit seed is fake")
+		}
+	}
+	senders := make(map[graph.NodeID]bool)
+	for _, s := range w.SpamSenders {
+		senders[s] = true
+	}
+	for _, u := range seeds.Spammer {
+		if !senders[u] {
+			t.Fatal("spammer seed is not a spam sender")
+		}
+	}
+}
+
+func TestArrivalIntraLinks(t *testing.T) {
+	sc := smallScenario()
+	sc.RequestsPerSpammer = 0
+	sc.SpammerFraction = 0
+	sc.CarelessFraction = 0
+	sc.LegitRejectionRate = 0
+	w, err := sc.Build(smallBase(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := 0
+	w.Graph.ForEachFriendship(func(u, v graph.NodeID) {
+		if w.IsFake[u] && w.IsFake[v] {
+			intra++
+		}
+	})
+	// Each fake after the 6th adds exactly 6 links; earlier ones add i.
+	want := 0
+	for i := 0; i < sc.NumFakes; i++ {
+		want += min(6, i)
+	}
+	if intra != want {
+		t.Fatalf("intra-fake links = %d, want %d", intra, want)
+	}
+}

@@ -1,0 +1,55 @@
+package bucketlist
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// benchOps runs a representative FM workload: fill, then interleaved
+// PopMax + neighbour gain updates.
+func benchOps(b *testing.B, mk func() List, n int) {
+	r := rand.New(rand.NewPCG(1, 2))
+	gains := make([]int64, n)
+	for i := range gains {
+		gains[i] = int64(r.IntN(2001) - 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := mk()
+		for u := 0; u < n; u++ {
+			l.Add(u, gains[u])
+		}
+		for {
+			u, _, ok := l.PopMax()
+			if !ok {
+				break
+			}
+			// Update 4 pseudo-neighbours, as a KL switch would.
+			for k := 1; k <= 4; k++ {
+				v := (u + k*37) % n
+				if l.Contains(v) {
+					l.Update(v, l.Gain(v)+int64(k%2*2-1)*64)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDense(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			benchOps(b, func() List { return NewDense(n, -1300, 1300) }, n)
+		})
+	}
+}
+
+func BenchmarkSparse(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			benchOps(b, func() List { return NewSparse(n) }, n)
+		})
+	}
+}
+
+func sizeName(n int) string { return fmt.Sprintf("%dk", n/1024) }

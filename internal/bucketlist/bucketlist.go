@@ -1,0 +1,61 @@
+// Package bucketlist implements the gain bucket structure used by the
+// extended Kernighan–Lin optimization (§IV-C of the paper, following
+// Fiduccia & Mattheyses 1982).
+//
+// A bucket list indexes every free (unswitched, unpinned) node by the gain
+// its switch would bring to the partition objective, and answers
+// "which free node has the maximum gain?" in amortized constant time. The
+// paper's Algorithm 1 calls this structure nodeGainList.
+//
+// Two implementations are provided behind the List interface:
+//
+//   - Dense: the classic FM array of doubly-linked lists with a moving
+//     max-gain pointer. O(1) operations, memory proportional to the gain
+//     range. Used when the range is bounded (it always is here: gains are
+//     fixed-point integers bounded by max weighted degree).
+//   - Sparse: a map from gain to bucket plus a lazy max-heap of occupied
+//     gains. O(log B) operations where B is the number of distinct gains,
+//     memory proportional to occupancy. Used for extreme gain ranges.
+//
+// New picks between them based on the declared gain range. The two
+// implementations are cross-checked by property tests.
+package bucketlist
+
+// List indexes nodes by integer gain and yields max-gain nodes.
+//
+// Node IDs must be in [0, n) where n is the capacity the list was built
+// with, and each node may be present at most once.
+type List interface {
+	// Add inserts node with the given gain. It panics if node is already
+	// present or out of range.
+	Add(node int, gain int64)
+	// Update changes the gain of a present node. It panics if absent.
+	Update(node int, gain int64)
+	// Remove deletes node if present, reporting whether it was.
+	Remove(node int) bool
+	// Contains reports whether node is present.
+	Contains(node int) bool
+	// Gain returns the current gain of a present node. It panics if absent.
+	Gain(node int) int64
+	// PopMax removes and returns a node with the maximum gain.
+	// ok is false when the list is empty. Ties break toward the node most
+	// recently inserted into its bucket (LIFO), the classic FM policy.
+	PopMax() (node int, gain int64, ok bool)
+	// Len reports the number of present nodes.
+	Len() int
+}
+
+// New returns a List for nodes in [0, n) whose gains stay within
+// [minGain, maxGain]. It selects the dense implementation when the gain
+// range is affordable (at most denseRangeLimit buckets) and the sparse one
+// otherwise.
+func New(n int, minGain, maxGain int64) List {
+	const denseRangeLimit = 1 << 22 // 4M buckets ≈ 32 MB of list heads
+	if maxGain < minGain {
+		panic("bucketlist: maxGain < minGain")
+	}
+	if r := maxGain - minGain + 1; r <= denseRangeLimit {
+		return NewDense(n, minGain, maxGain)
+	}
+	return NewSparse(n)
+}

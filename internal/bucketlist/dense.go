@@ -1,0 +1,153 @@
+package bucketlist
+
+import "fmt"
+
+// Dense is the classic Fiduccia–Mattheyses bucket array: one intrusive
+// doubly-linked list per integer gain value, plus a max-gain cursor that
+// only moves down between insertions. All operations are O(1) amortized.
+//
+// Nodes are stored intrusively in fixed arrays, so a Dense list performs no
+// per-operation allocation after construction.
+type Dense struct {
+	minGain int64
+	heads   []int32 // heads[g-minGain] = first node in bucket g, or -1
+
+	next []int32 // next[u] = following node in u's bucket, or -1
+	prev []int32 // prev[u] = preceding node, or -1 (head)
+	gain []int64
+	in   []bool
+
+	maxCursor int // highest bucket index that may be non-empty
+	size      int
+}
+
+var _ List = (*Dense)(nil)
+
+// NewDense returns a Dense list for nodes in [0, n) with gains in
+// [minGain, maxGain].
+func NewDense(n int, minGain, maxGain int64) *Dense {
+	if maxGain < minGain {
+		panic("bucketlist: maxGain < minGain")
+	}
+	buckets := maxGain - minGain + 1
+	d := &Dense{
+		minGain:   minGain,
+		heads:     make([]int32, buckets),
+		next:      make([]int32, n),
+		prev:      make([]int32, n),
+		gain:      make([]int64, n),
+		in:        make([]bool, n),
+		maxCursor: -1,
+	}
+	for i := range d.heads {
+		d.heads[i] = -1
+	}
+	return d
+}
+
+func (d *Dense) bucket(gain int64) int {
+	idx := gain - d.minGain
+	if idx < 0 || idx >= int64(len(d.heads)) {
+		panic(fmt.Sprintf("bucketlist: gain %d outside declared range [%d, %d]",
+			gain, d.minGain, d.minGain+int64(len(d.heads))-1))
+	}
+	return int(idx)
+}
+
+// Add implements List.
+func (d *Dense) Add(node int, gain int64) {
+	if d.in[node] {
+		panic(fmt.Sprintf("bucketlist: node %d already present", node))
+	}
+	b := d.bucket(gain)
+	d.gain[node] = gain
+	d.in[node] = true
+	d.push(node, b)
+	if b > d.maxCursor {
+		d.maxCursor = b
+	}
+	d.size++
+}
+
+// Update implements List.
+func (d *Dense) Update(node int, gain int64) {
+	if !d.in[node] {
+		panic(fmt.Sprintf("bucketlist: update of absent node %d", node))
+	}
+	if gain == d.gain[node] {
+		return
+	}
+	d.unlink(node)
+	b := d.bucket(gain)
+	d.gain[node] = gain
+	d.push(node, b)
+	if b > d.maxCursor {
+		d.maxCursor = b
+	}
+}
+
+// Remove implements List.
+func (d *Dense) Remove(node int) bool {
+	if !d.in[node] {
+		return false
+	}
+	d.unlink(node)
+	d.in[node] = false
+	d.size--
+	return true
+}
+
+// Contains implements List.
+func (d *Dense) Contains(node int) bool { return d.in[node] }
+
+// Gain implements List.
+func (d *Dense) Gain(node int) int64 {
+	if !d.in[node] {
+		panic(fmt.Sprintf("bucketlist: gain of absent node %d", node))
+	}
+	return d.gain[node]
+}
+
+// PopMax implements List.
+func (d *Dense) PopMax() (node int, gain int64, ok bool) {
+	if d.size == 0 {
+		return 0, 0, false
+	}
+	for d.heads[d.maxCursor] < 0 {
+		d.maxCursor--
+	}
+	n := int(d.heads[d.maxCursor])
+	g := d.gain[n]
+	d.unlink(n)
+	d.in[n] = false
+	d.size--
+	return n, g, true
+}
+
+// Len implements List.
+func (d *Dense) Len() int { return d.size }
+
+// push prepends node to bucket b (LIFO order).
+func (d *Dense) push(node, b int) {
+	head := d.heads[b]
+	d.next[node] = head
+	d.prev[node] = -1
+	if head >= 0 {
+		d.prev[head] = int32(node)
+	}
+	d.heads[b] = int32(node)
+}
+
+// unlink removes node from its current bucket without clearing membership.
+func (d *Dense) unlink(node int) {
+	b := d.bucket(d.gain[node])
+	nx, pv := d.next[node], d.prev[node]
+	if pv >= 0 {
+		d.next[pv] = nx
+	} else {
+		d.heads[b] = nx
+	}
+	if nx >= 0 {
+		d.prev[nx] = pv
+	}
+}

@@ -1,0 +1,137 @@
+package bucketlist
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Sparse is a bucket list for unbounded gain ranges: a hash map from gain
+// value to its bucket, plus a lazily-cleaned max-heap of occupied gain
+// values. Operations are O(log B) with B the number of distinct gains.
+type Sparse struct {
+	buckets map[int64][]int32 // gain -> stack of nodes (LIFO)
+	heapVal gainHeap          // occupied gains; may contain stale entries
+	gain    []int64
+	in      []bool
+	pos     []int32 // index of node within its bucket stack
+	size    int
+}
+
+var _ List = (*Sparse)(nil)
+
+// NewSparse returns a Sparse list for nodes in [0, n).
+func NewSparse(n int) *Sparse {
+	return &Sparse{
+		buckets: make(map[int64][]int32),
+		gain:    make([]int64, n),
+		in:      make([]bool, n),
+		pos:     make([]int32, n),
+	}
+}
+
+// Add implements List.
+func (s *Sparse) Add(node int, gain int64) {
+	if s.in[node] {
+		panic(fmt.Sprintf("bucketlist: node %d already present", node))
+	}
+	s.in[node] = true
+	s.gain[node] = gain
+	s.pushBucket(node, gain)
+	s.size++
+}
+
+// Update implements List.
+func (s *Sparse) Update(node int, gain int64) {
+	if !s.in[node] {
+		panic(fmt.Sprintf("bucketlist: update of absent node %d", node))
+	}
+	if gain == s.gain[node] {
+		return
+	}
+	s.removeFromBucket(node)
+	s.gain[node] = gain
+	s.pushBucket(node, gain)
+}
+
+// Remove implements List.
+func (s *Sparse) Remove(node int) bool {
+	if !s.in[node] {
+		return false
+	}
+	s.removeFromBucket(node)
+	s.in[node] = false
+	s.size--
+	return true
+}
+
+// Contains implements List.
+func (s *Sparse) Contains(node int) bool { return s.in[node] }
+
+// Gain implements List.
+func (s *Sparse) Gain(node int) int64 {
+	if !s.in[node] {
+		panic(fmt.Sprintf("bucketlist: gain of absent node %d", node))
+	}
+	return s.gain[node]
+}
+
+// PopMax implements List.
+func (s *Sparse) PopMax() (node int, gain int64, ok bool) {
+	if s.size == 0 {
+		return 0, 0, false
+	}
+	for {
+		g := s.heapVal[0]
+		bucket := s.buckets[g]
+		if len(bucket) == 0 {
+			// Stale heap entry: the bucket emptied after this gain was
+			// pushed. Drop and retry.
+			heap.Pop(&s.heapVal)
+			delete(s.buckets, g)
+			continue
+		}
+		n := int(bucket[len(bucket)-1])
+		s.removeFromBucket(n)
+		s.in[n] = false
+		s.size--
+		return n, g, true
+	}
+}
+
+// Len implements List.
+func (s *Sparse) Len() int { return s.size }
+
+func (s *Sparse) pushBucket(node int, gain int64) {
+	bucket := s.buckets[gain]
+	if len(bucket) == 0 {
+		heap.Push(&s.heapVal, gain)
+	}
+	s.pos[node] = int32(len(bucket))
+	s.buckets[gain] = append(bucket, int32(node))
+}
+
+// removeFromBucket deletes node from its gain bucket by swapping with the
+// stack top (preserving O(1) removal; the LIFO tie-break is therefore
+// approximate after interior removals, which the List contract allows).
+func (s *Sparse) removeFromBucket(node int) {
+	g := s.gain[node]
+	bucket := s.buckets[g]
+	i, last := int(s.pos[node]), len(bucket)-1
+	if i != last {
+		moved := bucket[last]
+		bucket[i] = moved
+		s.pos[moved] = int32(i)
+	}
+	s.buckets[g] = bucket[:last]
+	// Empty buckets are cleaned lazily by PopMax; eagerly deleting here
+	// would strand the heap entry forever.
+}
+
+// gainHeap is a max-heap of gain values.
+type gainHeap []int64
+
+func (h gainHeap) Len() int           { return len(h) }
+func (h gainHeap) Less(i, j int) bool { return h[i] > h[j] }
+func (h gainHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *gainHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }

@@ -1,0 +1,139 @@
+// Package cache provides a generic fixed-capacity LRU cache.
+//
+// The Rejecto master prefetches worker-resident adjacency lists into a
+// bounded buffer and evicts the least-recently-used entries (§V of the
+// paper). This package implements that buffer; it is also reusable as a
+// plain LRU map.
+package cache
+
+import "container/list"
+
+// LRU is a fixed-capacity least-recently-used cache. The zero value is not
+// usable; construct with NewLRU. LRU is not safe for concurrent use; callers
+// that share one across goroutines must serialize access.
+type LRU[K comparable, V any] struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[K]*list.Element
+	onEvict  func(K, V)
+
+	hits   uint64
+	misses uint64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key   K
+	value V
+}
+
+// NewLRU returns an LRU holding at most capacity entries. It panics if
+// capacity is not positive.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity <= 0 {
+		panic("cache: LRU capacity must be positive")
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// OnEvict registers a callback invoked with each entry as it is evicted or
+// removed. Passing nil clears the callback.
+func (c *LRU[K, V]) OnEvict(fn func(K, V)) { c.onEvict = fn }
+
+// Len reports the number of cached entries.
+func (c *LRU[K, V]) Len() int { return c.ll.Len() }
+
+// Cap reports the cache capacity.
+func (c *LRU[K, V]) Cap() int { return c.capacity }
+
+// Get returns the value for key and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value for key without updating recency or statistics.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*lruEntry[K, V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached, without updating recency.
+func (c *LRU[K, V]) Contains(key K) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Add inserts or updates key and marks it most recently used, evicting the
+// least-recently-used entry if the cache is full. It reports whether an
+// eviction occurred.
+func (c *LRU[K, V]) Add(key K, value V) (evicted bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry[K, V]).value = value
+		return false
+	}
+	el := c.ll.PushFront(&lruEntry[K, V]{key: key, value: value})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		c.evictOldest()
+		return true
+	}
+	return false
+}
+
+// Remove deletes key from the cache, reporting whether it was present.
+func (c *LRU[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+// Clear removes all entries, invoking the eviction callback for each.
+func (c *LRU[K, V]) Clear() {
+	for c.ll.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
+// Stats returns the cumulative hit and miss counts observed by Get.
+func (c *LRU[K, V]) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Keys returns the cached keys ordered from most to least recently used.
+func (c *LRU[K, V]) Keys() []K {
+	keys := make([]K, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*lruEntry[K, V]).key)
+	}
+	return keys
+}
+
+func (c *LRU[K, V]) evictOldest() {
+	if el := c.ll.Back(); el != nil {
+		c.removeElement(el)
+	}
+}
+
+func (c *LRU[K, V]) removeElement(el *list.Element) {
+	entry := el.Value.(*lruEntry[K, V])
+	c.ll.Remove(el)
+	delete(c.items, entry.key)
+	if c.onEvict != nil {
+		c.onEvict(entry.key, entry.value)
+	}
+}

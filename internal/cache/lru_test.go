@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAddGet(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewLRU[int, int](2)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	c.Get(1) // 1 is now more recent than 2
+	if evicted := c.Add(3, 30); !evicted {
+		t.Fatal("Add over capacity did not report eviction")
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("recently-used entry 1 was evicted")
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := NewLRU[int, string](2)
+	c.Add(1, "x")
+	if evicted := c.Add(1, "y"); evicted {
+		t.Fatal("updating an existing key reported eviction")
+	}
+	if v, _ := c.Get(1); v != "y" {
+		t.Fatalf("Get(1) = %q, want y", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestOnEvictCallback(t *testing.T) {
+	c := NewLRU[int, int](1)
+	var evictedKeys []int
+	c.OnEvict(func(k, v int) { evictedKeys = append(evictedKeys, k) })
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Remove(2)
+	if len(evictedKeys) != 2 || evictedKeys[0] != 1 || evictedKeys[1] != 2 {
+		t.Fatalf("evicted keys %v, want [1 2]", evictedKeys)
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	c := NewLRU[int, int](2)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Peek(1)
+	c.Add(3, 3)
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("Peek promoted entry 1 past entry 2")
+	}
+	if _, ok := c.Peek(2); !ok {
+		t.Fatal("entry 2 evicted despite Peek(1) not promoting")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := NewLRU[int, int](4)
+	c.Add(1, 1)
+	c.Get(1)
+	c.Get(2)
+	c.Get(1)
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+func TestKeysOrder(t *testing.T) {
+	c := NewLRU[int, int](3)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(3, 3)
+	c.Get(1)
+	keys := c.Keys()
+	want := []int{1, 3, 2}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := NewLRU[int, int](3)
+	count := 0
+	c.OnEvict(func(int, int) { count++ })
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Clear()
+	if c.Len() != 0 || count != 2 {
+		t.Fatalf("after Clear: Len=%d evictions=%d, want 0, 2", c.Len(), count)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLRU(0) did not panic")
+		}
+	}()
+	NewLRU[int, int](0)
+}
+
+// TestAgainstMapModel cross-checks the LRU against a naive model under a
+// random operation sequence.
+func TestAgainstMapModel(t *testing.T) {
+	const capacity = 8
+	c := NewLRU[uint8, int](capacity)
+	type model struct {
+		vals  map[uint8]int
+		order []uint8 // most recent first
+	}
+	m := model{vals: map[uint8]int{}}
+	touch := func(k uint8) {
+		for i, existing := range m.order {
+			if existing == k {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.order = append([]uint8{k}, m.order...)
+	}
+
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			k := uint8(op)
+			switch (op >> 8) % 3 {
+			case 0: // Add
+				c.Add(k, int(op))
+				m.vals[k] = int(op)
+				touch(k)
+				if len(m.order) > capacity {
+					last := m.order[len(m.order)-1]
+					m.order = m.order[:len(m.order)-1]
+					delete(m.vals, last)
+				}
+			case 1: // Get
+				got, ok := c.Get(k)
+				want, wantOK := m.vals[k]
+				if ok != wantOK || (ok && got != want) {
+					return false
+				}
+				if ok {
+					touch(k)
+				}
+			case 2: // Remove
+				removed := c.Remove(k)
+				_, present := m.vals[k]
+				if removed != present {
+					return false
+				}
+				delete(m.vals, k)
+				for i, existing := range m.order {
+					if existing == k {
+						m.order = append(m.order[:i], m.order[i+1:]...)
+						break
+					}
+				}
+			}
+			if c.Len() != len(m.vals) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

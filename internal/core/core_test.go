@@ -1,0 +1,381 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// plantedWorld builds a small two-region world with a known spammer group:
+// legit users 0..nL-1 on a ring with chords, fakes nL..nL+nF-1 densely
+// linked, spam requests from every fake with the given rejection rate.
+func plantedWorld(r *rand.Rand, nL, nF int, rejRate float64) (*graph.Graph, []bool) {
+	g := graph.New(nL + nF)
+	for i := 0; i < nL; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%nL))
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+7)%nL))
+	}
+	// Sporadic legit rejections (≈ 20% odds vs the 2 sent requests each).
+	for i := 0; i < nL/2; i++ {
+		u, v := r.IntN(nL), r.IntN(nL)
+		if u != v {
+			g.AddRejection(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	for i := 0; i < nF; i++ {
+		u := graph.NodeID(nL + i)
+		for k := 0; k < 4 && k < i; k++ {
+			g.AddFriendship(u, graph.NodeID(nL+r.IntN(i)))
+		}
+		for req := 0; req < 10; req++ {
+			target := graph.NodeID(r.IntN(nL))
+			if r.Float64() < rejRate {
+				g.AddRejection(target, u)
+			} else if target != u {
+				g.AddFriendship(u, target)
+			}
+		}
+	}
+	isFake := make([]bool, nL+nF)
+	for i := nL; i < nL+nF; i++ {
+		isFake[i] = true
+	}
+	return g, isFake
+}
+
+func plantedSeeds(nL, nF, per int) Seeds {
+	var s Seeds
+	for i := 0; i < per; i++ {
+		s.Legit = append(s.Legit, graph.NodeID(i*nL/per))
+		s.Spammer = append(s.Spammer, graph.NodeID(nL+i*nF/per))
+	}
+	return s
+}
+
+func TestFindMAARCutRecoversPlantedRegion(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 81))
+	const nL, nF = 400, 150
+	g, isFake := plantedWorld(r, nL, nF, 0.7)
+	cut, ok := FindMAARCut(g, CutOptions{Seeds: plantedSeeds(nL, nF, 20), RandSeed: 3})
+	if !ok {
+		t.Fatal("no cut found")
+	}
+	correct, wrong := 0, 0
+	for u, reg := range cut.Partition {
+		if (reg == graph.Suspect) == isFake[u] {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	if acc := float64(correct) / float64(correct+wrong); acc < 0.95 {
+		t.Fatalf("cut labels only %.2f%% of nodes correctly", 100*acc)
+	}
+	if cut.Acceptance > 0.45 {
+		t.Fatalf("cut acceptance %.3f too high for 70%% rejection spam", cut.Acceptance)
+	}
+}
+
+func TestFindMAARCutNoRejections(t *testing.T) {
+	g := graph.New(10)
+	g.AddFriendship(0, 1)
+	if _, ok := FindMAARCut(g, CutOptions{}); ok {
+		t.Fatal("found a cut on a graph without rejections")
+	}
+}
+
+func TestFindMAARCutCollusionResistance(t *testing.T) {
+	// Densifying the fake region must not raise the detected cut's
+	// acceptance: the objective ignores intra-region edges (§IV-A).
+	r := rand.New(rand.NewPCG(2, 82))
+	const nL, nF = 400, 150
+	g, isFake := plantedWorld(r, nL, nF, 0.7)
+	// Collusion overlay: 20 extra intra-fake edges per fake.
+	for i := 0; i < nF; i++ {
+		for k := 0; k < 20; k++ {
+			v := nL + r.IntN(nF)
+			if nL+i != v {
+				g.AddFriendship(graph.NodeID(nL+i), graph.NodeID(v))
+			}
+		}
+	}
+	cut, ok := FindMAARCut(g, CutOptions{Seeds: plantedSeeds(nL, nF, 20), RandSeed: 3})
+	if !ok {
+		t.Fatal("no cut found under collusion")
+	}
+	caught := 0
+	for u, reg := range cut.Partition {
+		if reg == graph.Suspect && isFake[u] {
+			caught++
+		}
+	}
+	if float64(caught) < 0.9*nF {
+		t.Fatalf("collusion evaded the cut: only %d/%d fakes caught", caught, nF)
+	}
+}
+
+func TestSeedsArePinned(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 83))
+	g, _ := plantedWorld(r, 200, 80, 0.7)
+	seeds := plantedSeeds(200, 80, 10)
+	cut, ok := FindMAARCut(g, CutOptions{Seeds: seeds, RandSeed: 1})
+	if !ok {
+		t.Fatal("no cut")
+	}
+	for _, u := range seeds.Legit {
+		if cut.Partition[u] != graph.Legit {
+			t.Fatalf("legit seed %d ended suspect", u)
+		}
+	}
+	for _, u := range seeds.Spammer {
+		if cut.Partition[u] != graph.Suspect {
+			t.Fatalf("spammer seed %d ended legit", u)
+		}
+	}
+}
+
+func TestCutOptionsValidate(t *testing.T) {
+	g := graph.New(5)
+	cases := []struct {
+		name string
+		opts CutOptions
+		ok   bool
+	}{
+		{"defaults", CutOptions{}, true},
+		{"inverted range", CutOptions{KMin: 4, KMax: 2}, false},
+		{"k rounds to zero", CutOptions{KMin: 0.001, WeightScale: 8}, false},
+		{"bad legit seed", CutOptions{Seeds: Seeds{Legit: []graph.NodeID{9}}}, false},
+		{"bad spam seed", CutOptions{Seeds: Seeds{Spammer: []graph.NodeID{-1}}}, false},
+		{"negative restarts", CutOptions{Restarts: -1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.opts.Validate(g); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestDetectRequiresTermination(t *testing.T) {
+	g := graph.New(4)
+	if _, err := Detect(g, DetectorOptions{}); err == nil {
+		t.Fatal("Detect without termination condition accepted")
+	}
+	if _, err := Detect(g, DetectorOptions{TargetCount: 99}); err == nil {
+		t.Fatal("TargetCount above node count accepted")
+	}
+}
+
+func TestDetectTargetCount(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 84))
+	const nL, nF = 400, 150
+	g, isFake := plantedWorld(r, nL, nF, 0.7)
+	det, err := Detect(g, DetectorOptions{
+		Cut:         CutOptions{Seeds: plantedSeeds(nL, nF, 20), RandSeed: 9},
+		TargetCount: nF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Suspects) != nF {
+		t.Fatalf("detected %d, want exactly %d", len(det.Suspects), nF)
+	}
+	correct := 0
+	for _, u := range det.Suspects {
+		if isFake[u] {
+			correct++
+		}
+	}
+	if prec := float64(correct) / float64(nF); prec < 0.9 {
+		t.Fatalf("precision %.3f below 0.9", prec)
+	}
+}
+
+func TestDetectAcceptanceThreshold(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 85))
+	const nL, nF = 400, 150
+	g, _ := plantedWorld(r, nL, nF, 0.7)
+	det, err := Detect(g, DetectorOptions{
+		Cut:                 CutOptions{Seeds: plantedSeeds(nL, nF, 20), RandSeed: 9},
+		AcceptanceThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Groups) == 0 {
+		t.Fatal("threshold termination detected nothing")
+	}
+	for _, grp := range det.Groups {
+		if grp.Acceptance > 0.5 {
+			t.Fatalf("group with acceptance %.3f above threshold was kept", grp.Acceptance)
+		}
+	}
+}
+
+// TestDetectGroupsNonDecreasingAcceptance checks the ordering property of
+// §IV-E: iterative MAAR yields groups in non-decreasing acceptance order.
+func TestDetectGroupsNonDecreasingAcceptance(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 86))
+	// Two separate fake groups with different rejection rates.
+	const nL = 400
+	g, _ := plantedWorld(r, nL, 80, 0.9)
+	// Second, milder group appended.
+	first := int(g.AddNodes(80))
+	for i := 0; i < 80; i++ {
+		u := graph.NodeID(first + i)
+		for k := 0; k < 3 && k < i; k++ {
+			g.AddFriendship(u, graph.NodeID(first+r.IntN(i)))
+		}
+		for req := 0; req < 10; req++ {
+			target := graph.NodeID(r.IntN(nL))
+			if r.Float64() < 0.6 {
+				g.AddRejection(target, u)
+			} else {
+				g.AddFriendship(u, target)
+			}
+		}
+	}
+	det, err := Detect(g, DetectorOptions{
+		Cut:         CutOptions{Seeds: plantedSeeds(nL, 80, 20), RandSeed: 2},
+		TargetCount: 160,
+		MaxRounds:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Groups) < 2 {
+		t.Skipf("only %d group(s) detected; ordering property needs ≥ 2", len(det.Groups))
+	}
+	for i := 1; i < len(det.Groups); i++ {
+		if det.Groups[i].Acceptance < det.Groups[i-1].Acceptance-1e-9 {
+			t.Fatalf("group %d acceptance %.3f < previous %.3f",
+				i, det.Groups[i].Acceptance, det.Groups[i-1].Acceptance)
+		}
+	}
+}
+
+func TestDetectSelfRejectionIterates(t *testing.T) {
+	// Fabricate the §IV-E whitewash structure: senders spam legits AND get
+	// rejected heavily by the whitewash half; iterative detection must
+	// still uncover both halves.
+	r := rand.New(rand.NewPCG(7, 87))
+	const nL, half = 400, 60
+	g := graph.New(nL)
+	for i := 0; i < nL; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%nL))
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+7)%nL))
+	}
+	first := int(g.AddNodes(2 * half))
+	isFake := make([]bool, g.NumNodes())
+	for u := first; u < g.NumNodes(); u++ {
+		isFake[u] = true
+	}
+	for i := 0; i < 2*half; i++ {
+		u := graph.NodeID(first + i)
+		for k := 0; k < 3 && k < i; k++ {
+			g.AddFriendship(u, graph.NodeID(first+r.IntN(i)))
+		}
+		// Everyone spams legits at 70% rejection.
+		for req := 0; req < 10; req++ {
+			target := graph.NodeID(r.IntN(nL))
+			if r.Float64() < 0.7 {
+				g.AddRejection(target, u)
+			} else {
+				g.AddFriendship(u, target)
+			}
+		}
+	}
+	// Whitewash overlay at 95% self-rejection: senders (first half)
+	// request the second half.
+	for i := 0; i < half; i++ {
+		u := graph.NodeID(first + i)
+		for req := 0; req < 10; req++ {
+			w := graph.NodeID(first + half + r.IntN(half))
+			if r.Float64() < 0.95 {
+				g.AddRejection(w, u)
+			} else if u != w {
+				g.AddFriendship(u, w)
+			}
+		}
+	}
+	seeds := Seeds{}
+	for i := 0; i < 20; i++ {
+		seeds.Legit = append(seeds.Legit, graph.NodeID(i*nL/20))
+		seeds.Spammer = append(seeds.Spammer, graph.NodeID(first+i*half/20))
+	}
+	det, err := Detect(g, DetectorOptions{
+		Cut:         CutOptions{Seeds: seeds, RandSeed: 4},
+		TargetCount: 2 * half,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, u := range det.Suspects {
+		if isFake[u] {
+			caught++
+		}
+	}
+	if prec := float64(caught) / float64(len(det.Suspects)); prec < 0.85 {
+		t.Fatalf("self-rejection evaded iterative detection: precision %.3f", prec)
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	r1 := rand.New(rand.NewPCG(8, 88))
+	g1, _ := plantedWorld(r1, 200, 80, 0.7)
+	r2 := rand.New(rand.NewPCG(8, 88))
+	g2, _ := plantedWorld(r2, 200, 80, 0.7)
+	opts := DetectorOptions{
+		Cut:         CutOptions{Seeds: plantedSeeds(200, 80, 10), RandSeed: 11},
+		TargetCount: 80,
+	}
+	a, err := Detect(g1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Detect(g2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Suspects) != len(b.Suspects) {
+		t.Fatal("detection not deterministic")
+	}
+	for i := range a.Suspects {
+		if a.Suspects[i] != b.Suspects[i] {
+			t.Fatal("suspect order not deterministic")
+		}
+	}
+}
+
+func TestMirrorOrientationWithoutSeeds(t *testing.T) {
+	// Without seeds the detector must orient the cut toward the side with
+	// the lower outgoing acceptance — here the "legit-looking" side is
+	// tiny and heavily rejected.
+	g := graph.New(12)
+	for i := 0; i < 8; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%8))
+	}
+	for i := 8; i < 12; i++ {
+		for j := 0; j < 8; j++ {
+			g.AddRejection(graph.NodeID(i), graph.NodeID(j)) // 8..11 reject everyone
+		}
+	}
+	cut, ok := FindMAARCut(g, CutOptions{})
+	if !ok {
+		t.Fatal("no cut")
+	}
+	// The ring nodes (0..7) send requests that 8..11 reject: their
+	// aggregate acceptance across the cut is 0, so they are the suspects.
+	suspectRing := 0
+	for u := 0; u < 8; u++ {
+		if cut.Partition[u] == graph.Suspect {
+			suspectRing++
+		}
+	}
+	if suspectRing < 8 || math.Abs(cut.Acceptance) > 1e-9 {
+		t.Fatalf("mirror orientation not chosen: %d/8 ring nodes suspect, acceptance %.3f",
+			suspectRing, cut.Acceptance)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DetectorOptions parameterizes the iterative friend-spammer detection of
+// §IV-E. At least one termination condition (TargetCount or
+// AcceptanceThreshold) must be set.
+type DetectorOptions struct {
+	Cut CutOptions
+
+	// TargetCount stops detection once that many accounts have been
+	// flagged — the paper's primary termination condition, assuming the
+	// OSN estimated the fake population by inspecting sampled accounts.
+	// The final group is trimmed to the target by per-node rejection
+	// ratio. Zero disables the condition.
+	TargetCount int
+
+	// AcceptanceThreshold stops detection once the best remaining cut's
+	// aggregate acceptance rate exceeds this value (e.g. an estimate of
+	// the acceptance rate of normal users). Groups come out in
+	// non-decreasing acceptance order, so this is a clean stopping rule.
+	// Zero disables the condition.
+	AcceptanceThreshold float64
+
+	// MaxRounds caps the number of cut-and-prune rounds. Zero means
+	// DefaultMaxRounds.
+	MaxRounds int
+}
+
+// DefaultMaxRounds bounds detection rounds when MaxRounds is zero.
+const DefaultMaxRounds = 64
+
+// Group is one detected batch of suspected friend spammers: the Suspect
+// region of one round's MAAR cut, identified by original-graph node IDs.
+type Group struct {
+	Members []graph.NodeID
+	// Acceptance is the aggregate acceptance rate of the group's requests
+	// toward the residual graph it was cut from.
+	Acceptance float64
+	// K is the sweep ratio that produced the cut.
+	K float64
+	// Round is the 1-based detection round.
+	Round int
+}
+
+// Detection is the result of Detect.
+type Detection struct {
+	// Groups lists the detected groups in detection order; their
+	// acceptance rates are non-decreasing (§IV-E "other termination
+	// conditions").
+	Groups []Group
+	// Suspects is the flattened detection set, trimmed to TargetCount
+	// when that condition is set.
+	Suspects []graph.NodeID
+	// Rounds is the number of MAAR rounds executed.
+	Rounds int
+}
+
+// Detect iteratively uncovers groups of friend spammers: each round finds
+// the MAAR cut of the residual graph, declares its Suspect region, prunes
+// those accounts with their links and rejections, and repeats (§IV-E).
+// Iterating is what defeats the self-rejection strategy: a fabricated
+// low-ratio cut inside the fake region is consumed in an early round,
+// exposing the whitewashed accounts to the following rounds.
+func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
+	if opts.TargetCount <= 0 && opts.AcceptanceThreshold <= 0 {
+		return Detection{}, fmt.Errorf("core: Detect needs TargetCount or AcceptanceThreshold")
+	}
+	if opts.TargetCount < 0 || opts.TargetCount > g.NumNodes() {
+		return Detection{}, fmt.Errorf("core: TargetCount %d out of range", opts.TargetCount)
+	}
+	if err := opts.Cut.Validate(g); err != nil {
+		return Detection{}, err
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	// Seed membership on original IDs; remapped into each residual graph.
+	isLegitSeed := make(map[graph.NodeID]bool, len(opts.Cut.Seeds.Legit))
+	for _, u := range opts.Cut.Seeds.Legit {
+		isLegitSeed[u] = true
+	}
+	isSpamSeed := make(map[graph.NodeID]bool, len(opts.Cut.Seeds.Spammer))
+	for _, u := range opts.Cut.Seeds.Spammer {
+		isSpamSeed[u] = true
+	}
+
+	residual := g
+	// origID maps residual node IDs back to g's IDs; identity initially.
+	origID := make([]graph.NodeID, g.NumNodes())
+	for i := range origID {
+		origID[i] = graph.NodeID(i)
+	}
+
+	var det Detection
+	detected := 0
+	for det.Rounds < maxRounds {
+		if opts.TargetCount > 0 && detected >= opts.TargetCount {
+			break
+		}
+		cutOpts := opts.Cut
+		cutOpts.Seeds = remapSeeds(origID, isLegitSeed, isSpamSeed)
+		cutOpts.RandSeed = opts.Cut.RandSeed + uint64(det.Rounds)*0x9e3779b9
+
+		cut, ok := FindMAARCut(residual, cutOpts)
+		if !ok {
+			break
+		}
+		det.Rounds++
+		if opts.AcceptanceThreshold > 0 && cut.Acceptance > opts.AcceptanceThreshold {
+			break
+		}
+
+		members := make([]graph.NodeID, 0, cut.Stats.SuspectSize)
+		for u, r := range cut.Partition {
+			if r == graph.Suspect {
+				members = append(members, origID[u])
+			}
+		}
+		// Order members most-suspicious-first so a TargetCount trim keeps
+		// the accounts with the worst individual rejection ratios.
+		sortBySuspicion(residual, cut.Partition, origID, members)
+
+		det.Groups = append(det.Groups, Group{
+			Members:    members,
+			Acceptance: cut.Acceptance,
+			K:          cut.K,
+			Round:      det.Rounds,
+		})
+		detected += len(members)
+
+		// Prune the group — nodes, links, and rejections — and continue
+		// on the residual graph.
+		keep := make([]bool, residual.NumNodes())
+		for u, r := range cut.Partition {
+			keep[u] = r == graph.Legit
+		}
+		var subOrig []graph.NodeID
+		residual, subOrig = residual.Subgraph(keep)
+		newOrig := make([]graph.NodeID, len(subOrig))
+		for i, oldIdx := range subOrig {
+			newOrig[i] = origID[oldIdx]
+		}
+		origID = newOrig
+	}
+
+	det.Suspects = flatten(det.Groups)
+	if opts.TargetCount > 0 && len(det.Suspects) > opts.TargetCount {
+		det.Suspects = det.Suspects[:opts.TargetCount]
+	}
+	return det, nil
+}
+
+// remapSeeds translates original-ID seed membership into residual-graph IDs.
+func remapSeeds(origID []graph.NodeID, isLegit, isSpam map[graph.NodeID]bool) Seeds {
+	var s Seeds
+	for u, orig := range origID {
+		if isLegit[orig] {
+			s.Legit = append(s.Legit, graph.NodeID(u))
+		} else if isSpam[orig] {
+			s.Spammer = append(s.Spammer, graph.NodeID(u))
+		}
+	}
+	return s
+}
+
+// sortBySuspicion orders members (original IDs) most-suspicious-first so a
+// TargetCount trim keeps the right accounts. The order is lexicographic:
+//
+//  1. in-rejection ratio, descending — direct spam evidence; this also
+//     makes a removal prefix kill the most attack edges, which is what the
+//     defense-in-depth deployment needs (§VI-D);
+//  2. fraction of friendships pointing inside the detected group,
+//     descending — separates silent accomplices (all links into the
+//     spammer region, e.g. Fig 10's non-sending half) from legitimate
+//     users swept into the cut, who keep most links outside it;
+//  3. node ID, for determinism.
+func sortBySuspicion(residual *graph.Graph, p graph.Partition, origID []graph.NodeID, members []graph.NodeID) {
+	type scored struct{ rejRatio, inGroup float64 }
+	scores := make(map[graph.NodeID]scored, len(members))
+	for u, r := range p {
+		if r != graph.Suspect {
+			continue
+		}
+		deg := residual.Degree(graph.NodeID(u))
+		s := scored{rejRatio: 1 - residual.Acceptance(graph.NodeID(u))}
+		if deg > 0 {
+			inGroup := 0
+			for _, v := range residual.Friends(graph.NodeID(u)) {
+				if p[v] == graph.Suspect {
+					inGroup++
+				}
+			}
+			s.inGroup = float64(inGroup) / float64(deg)
+		}
+		scores[origID[u]] = s
+	}
+	sort.Slice(members, func(i, j int) bool {
+		si, sj := scores[members[i]], scores[members[j]]
+		if si.rejRatio != sj.rejRatio {
+			return si.rejRatio > sj.rejRatio
+		}
+		if si.inGroup != sj.inGroup {
+			return si.inGroup > sj.inGroup
+		}
+		return members[i] < members[j]
+	})
+}
+
+func flatten(groups []Group) []graph.NodeID {
+	var out []graph.NodeID
+	for _, grp := range groups {
+		out = append(out, grp.Members...)
+	}
+	return out
+}

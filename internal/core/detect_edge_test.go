@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDetectMaxRoundsCapsWork(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 151))
+	g, _ := plantedWorld(r, 200, 80, 0.7)
+	det, err := Detect(g, DetectorOptions{
+		Cut:         CutOptions{RandSeed: 1},
+		TargetCount: 200, // more than the fakes, forcing extra rounds
+		MaxRounds:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Rounds > 2 {
+		t.Fatalf("rounds = %d, exceeds MaxRounds", det.Rounds)
+	}
+}
+
+func TestDetectEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	det, err := Detect(g, DetectorOptions{AcceptanceThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Suspects) != 0 || det.Rounds != 0 {
+		t.Fatalf("empty graph detected something: %+v", det)
+	}
+}
+
+func TestDetectNoRejections(t *testing.T) {
+	g := graph.New(10)
+	for i := 0; i < 9; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	det, err := Detect(g, DetectorOptions{TargetCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Suspects) != 0 {
+		t.Fatalf("rejection-free graph yielded %d suspects", len(det.Suspects))
+	}
+}
+
+func TestDetectGroupMetadata(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 152))
+	g, _ := plantedWorld(r, 200, 80, 0.8)
+	det, err := Detect(g, DetectorOptions{
+		Cut:         CutOptions{Seeds: plantedSeeds(200, 80, 10), RandSeed: 3},
+		TargetCount: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, grp := range det.Groups {
+		if grp.Round != i+1 {
+			t.Fatalf("group %d has round %d", i, grp.Round)
+		}
+		if grp.K <= 0 {
+			t.Fatalf("group %d has non-positive k %v", i, grp.K)
+		}
+		if grp.Acceptance < 0 || grp.Acceptance > 1 {
+			t.Fatalf("group %d acceptance %v outside [0,1]", i, grp.Acceptance)
+		}
+		if len(grp.Members) == 0 {
+			t.Fatalf("group %d empty", i)
+		}
+	}
+}
+
+func TestDetectSuspectsNeverIncludeLegitSeeds(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 153))
+	g, _ := plantedWorld(r, 300, 100, 0.7)
+	seeds := plantedSeeds(300, 100, 20)
+	det, err := Detect(g, DetectorOptions{
+		Cut:         CutOptions{Seeds: seeds, RandSeed: 5},
+		TargetCount: 150, // over-detection pressure
+		MaxRounds:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legitSeed := make(map[graph.NodeID]bool)
+	for _, u := range seeds.Legit {
+		legitSeed[u] = true
+	}
+	for _, u := range det.Suspects {
+		if legitSeed[u] {
+			t.Fatalf("legit seed %d was flagged despite pinning", u)
+		}
+	}
+}
+
+func TestDetectTrimExact(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 154))
+	g, isFake := plantedWorld(r, 300, 100, 0.7)
+	for _, target := range []int{10, 50, 100} {
+		det, err := Detect(g, DetectorOptions{
+			Cut:         CutOptions{Seeds: plantedSeeds(300, 100, 10), RandSeed: 5},
+			TargetCount: target,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(det.Suspects) != target {
+			t.Fatalf("target %d: detected %d", target, len(det.Suspects))
+		}
+		correct := 0
+		for _, u := range det.Suspects {
+			if isFake[u] {
+				correct++
+			}
+		}
+		if float64(correct) < 0.9*float64(target) {
+			t.Fatalf("target %d: only %d correct", target, correct)
+		}
+	}
+}

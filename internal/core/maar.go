@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/kl"
+	"repro/internal/rng"
+)
+
+// FindMAARCut approximates the minimum aggregate acceptance rate cut of g
+// (§IV-B) by sweeping the linearized objective over a geometric grid of k
+// values (Theorem 1, §IV-D) and solving each with extended Kernighan–Lin.
+//
+// ok is false when no valid cut exists: the graph carries no rejections, or
+// every candidate partition was trivial (one side empty).
+func FindMAARCut(g *graph.Graph, opts CutOptions) (Cut, bool) {
+	opts = opts.WithDefaults()
+	if err := opts.Validate(g); err != nil {
+		panic(err)
+	}
+	if g.NumRejections() == 0 || g.NumNodes() < 2 {
+		return Cut{}, false
+	}
+
+	pinned := pinnedSet(g, opts.Seeds)
+	src := rng.New(opts.RandSeed)
+	inits := initialPartitions(g, opts, src.Stream("init"))
+
+	// Enumerate the (k, init) jobs of the sweep. They are independent KL
+	// solves, so they parallelize; the reduction below is deterministic
+	// regardless of completion order or worker count.
+	type job struct {
+		initIdx int
+		k       float64
+		wR      int64
+	}
+	var jobs []job
+	for k := opts.KMin; k <= opts.KMax*(1+1e-9); k *= opts.KFactor {
+		wR := int64(math.Round(k * float64(opts.WeightScale)))
+		if wR >= 1 {
+			for i := range inits {
+				jobs = append(jobs, job{initIdx: i, k: k, wR: wR})
+			}
+		}
+	}
+
+	type candidate struct {
+		cut Cut
+		ok  bool
+	}
+	results := make([]candidate, len(jobs))
+	run := func(j int) {
+		jb := jobs[j]
+		cfg := kl.Config{
+			FriendWeight: opts.WeightScale,
+			RejectWeight: jb.wR,
+			Pinned:       pinned,
+			MaxPasses:    opts.MaxPasses,
+		}
+		res := kl.Partition(g, inits[jb.initIdx], cfg)
+		cut, ok := scoreCut(g, res.Partition, jb.k, opts.Seeds)
+		results[j] = candidate{cut: cut, ok: ok}
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for j := range jobs {
+			run(j)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					run(j)
+				}
+			}()
+		}
+		for j := range jobs {
+			next <- j
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Deterministic reduction: minimum acceptance, ties to the earliest
+	// (k, init) job — the order the serial sweep would have kept.
+	best := Cut{Acceptance: math.Inf(1)}
+	found := false
+	for _, cand := range results {
+		if cand.ok && cand.cut.Acceptance < best.Acceptance {
+			best = cand.cut
+			found = true
+		}
+	}
+	return best, found
+}
+
+// scoreCut evaluates a partition as a MAAR candidate. When no seeds
+// constrain orientation, it also scores the mirrored cut (the complement
+// region as suspect) and keeps the lower acceptance, since both
+// orientations of a bipartition are candidate MAAR cuts.
+func scoreCut(g *graph.Graph, p graph.Partition, k float64, seeds Seeds) (Cut, bool) {
+	s := p.Stats(g)
+	if s.Trivial() {
+		return Cut{}, false
+	}
+	best := Cut{}
+	found := false
+	if s.RejIntoSuspect > 0 {
+		best = Cut{Partition: p, Stats: s, K: k, Acceptance: s.AcceptanceOfSuspect()}
+		found = true
+	}
+	if seeds.Empty() && s.RejIntoLegit > 0 {
+		if acc := s.AcceptanceOfLegit(); !found || acc < best.Acceptance {
+			best = Cut{Partition: mirror(p), Stats: mirrorStats(s), K: k, Acceptance: acc}
+			found = true
+		}
+	}
+	return best, found
+}
+
+func mirror(p graph.Partition) graph.Partition {
+	m := make(graph.Partition, len(p))
+	for i, r := range p {
+		m[i] = r.Other()
+	}
+	return m
+}
+
+func mirrorStats(s graph.CutStats) graph.CutStats {
+	return graph.CutStats{
+		SuspectSize:      s.LegitSize,
+		LegitSize:        s.SuspectSize,
+		CrossFriendships: s.CrossFriendships,
+		RejIntoSuspect:   s.RejIntoLegit,
+		RejIntoLegit:     s.RejIntoSuspect,
+	}
+}
+
+// pinnedSet returns the pin mask for the seed sets, or nil if no seeds.
+func pinnedSet(g *graph.Graph, seeds Seeds) []bool {
+	if seeds.Empty() {
+		return nil
+	}
+	pinned := make([]bool, g.NumNodes())
+	for _, u := range seeds.Legit {
+		pinned[u] = true
+	}
+	for _, u := range seeds.Spammer {
+		pinned[u] = true
+	}
+	return pinned
+}
+
+// initialPartitions builds the KL starting points: the per-node acceptance
+// heuristic plus opts.Restarts random partitions. Seeds are pre-placed in
+// all of them (§IV-F).
+func initialPartitions(g *graph.Graph, opts CutOptions, r *rand.Rand) []graph.Partition {
+	n := g.NumNodes()
+	placeSeeds := func(p graph.Partition) graph.Partition {
+		for _, u := range opts.Seeds.Legit {
+			p[u] = graph.Legit
+		}
+		for _, u := range opts.Seeds.Spammer {
+			p[u] = graph.Suspect
+		}
+		return p
+	}
+
+	// Heuristic start: the aggregate acceptance rate over the whole graph
+	// separates users with excess in-rejections from the rest. Collusion
+	// defeats this per-user signal — that is why it is only a starting
+	// point for KL's group moves, never the detector itself.
+	totalF, totalR := g.NumFriendships(), g.NumRejections()
+	threshold := float64(2*totalF) / float64(2*totalF+totalR)
+	heur := graph.NewPartition(n)
+	for u := 0; u < n; u++ {
+		if g.Acceptance(graph.NodeID(u)) < threshold {
+			heur[u] = graph.Suspect
+		}
+	}
+	inits := []graph.Partition{placeSeeds(heur)}
+
+	for i := 0; i < opts.Restarts; i++ {
+		p := graph.NewPartition(n)
+		for u := range p {
+			if r.Float64() < 0.5 {
+				p[u] = graph.Suspect
+			}
+		}
+		inits = append(inits, placeSeeds(p))
+	}
+	return inits
+}

@@ -1,0 +1,132 @@
+// Package core implements Rejecto's friend-spammer detection: the minimum
+// aggregate acceptance rate (MAAR) cut search of §IV and the iterative
+// group detection of §IV-E.
+//
+// The MAAR problem asks for the user subset U whose friend requests toward
+// the rest of the graph fare worst:
+//
+//	U* = argmin_U |F(Ū,U)| / (|F(Ū,U)| + |R⃗⟨Ū,U⟩|)
+//
+// It is NP-hard (within a factor two of MIN-RATIO-CUT, §IV-B), so Rejecto
+// linearizes it: by Theorem 1, the MAAR cut with friends-to-rejections
+// ratio k* is the optimum of the linear objective |F(Ū,U)| − k*·|R⃗⟨Ū,U⟩|.
+// FindMAARCut sweeps k over a geometric grid, solves each linear problem
+// with the extended Kernighan–Lin heuristic (package kl), and keeps the cut
+// with the lowest aggregate acceptance rate. Detect then applies the cut
+// repeatedly, pruning each detected group, which defeats the self-rejection
+// whitewashing strategy (§IV-E).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Seeds carries the OSN provider's prior knowledge: a small set of users
+// manually verified as legitimate or as friend spammers (§III-B, §IV-F).
+// Seeds are pinned to their region during partitioning, ruling out the
+// spurious low-ratio cuts inside the legitimate region that would otherwise
+// cause false positives.
+type Seeds struct {
+	Legit   []graph.NodeID
+	Spammer []graph.NodeID
+}
+
+// Empty reports whether no seeds are configured.
+func (s Seeds) Empty() bool { return len(s.Legit) == 0 && len(s.Spammer) == 0 }
+
+// CutOptions parameterizes a single MAAR cut search.
+type CutOptions struct {
+	// KMin and KMax bound the geometric sweep over the friends-to-
+	// rejections ratio k of §IV-D. Defaults: [1/32, 32].
+	KMin, KMax float64
+	// KFactor is the geometric step between successive k values.
+	// Default: 1.5.
+	KFactor float64
+	// WeightScale converts k into integral edge weights for the bucket
+	// list: friendships weigh WeightScale, rejections round(k·WeightScale).
+	// Default: 64.
+	WeightScale int64
+	// Seeds pins known users to their regions.
+	Seeds Seeds
+	// Restarts adds that many random initial partitions per k on top of
+	// the acceptance-heuristic initialization; the best cut across all
+	// starts wins. Default: 0.
+	Restarts int
+	// MaxPasses caps KL passes per (k, start). Zero uses kl's default.
+	MaxPasses int
+	// Parallelism is the number of goroutines solving the sweep's
+	// independent (k, init) jobs. Zero means GOMAXPROCS. The result is
+	// identical at any parallelism: the reduction is deterministic.
+	Parallelism int
+	// RandSeed makes the run reproducible. The zero value is a valid seed.
+	RandSeed uint64
+}
+
+// Default sweep and scaling constants for CutOptions.
+const (
+	DefaultKMin        = 1.0 / 32
+	DefaultKMax        = 32.0
+	DefaultKFactor     = 1.5
+	DefaultWeightScale = 64
+)
+
+// WithDefaults returns a copy of o with zero fields replaced by the
+// package defaults.
+func (o CutOptions) WithDefaults() CutOptions {
+	if o.KMin <= 0 {
+		o.KMin = DefaultKMin
+	}
+	if o.KMax <= 0 {
+		o.KMax = DefaultKMax
+	}
+	if o.KFactor <= 1 {
+		o.KFactor = DefaultKFactor
+	}
+	if o.WeightScale <= 0 {
+		o.WeightScale = DefaultWeightScale
+	}
+	return o
+}
+
+// Validate reports configuration errors in o relative to graph g.
+func (o CutOptions) Validate(g *graph.Graph) error {
+	o = o.WithDefaults()
+	if o.KMin > o.KMax {
+		return fmt.Errorf("core: KMin %v > KMax %v", o.KMin, o.KMax)
+	}
+	if math.Round(o.KMin*float64(o.WeightScale)) < 1 {
+		return fmt.Errorf("core: KMin %v rounds to zero at weight scale %d", o.KMin, o.WeightScale)
+	}
+	n := graph.NodeID(g.NumNodes())
+	for _, u := range o.Seeds.Legit {
+		if u < 0 || u >= n {
+			return fmt.Errorf("core: legit seed %d out of range", u)
+		}
+	}
+	for _, u := range o.Seeds.Spammer {
+		if u < 0 || u >= n {
+			return fmt.Errorf("core: spammer seed %d out of range", u)
+		}
+	}
+	if o.Restarts < 0 {
+		return fmt.Errorf("core: negative Restarts %d", o.Restarts)
+	}
+	return nil
+}
+
+// Cut is the result of one MAAR search.
+type Cut struct {
+	// Partition labels every node; the Suspect region is the detected
+	// spammer-candidate group.
+	Partition graph.Partition
+	// Stats are the cut statistics of Partition.
+	Stats graph.CutStats
+	// K is the sweep value whose linear objective produced the cut.
+	K float64
+	// Acceptance is Stats.AcceptanceOfSuspect(), the aggregate acceptance
+	// rate of the suspect region's outgoing requests.
+	Acceptance float64
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestParallelSweepDeterministic: FindMAARCut must return the identical
+// cut at any parallelism level — the sweep's reduction is order-free.
+func TestParallelSweepDeterministic(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 121))
+	g, _ := plantedWorld(r, 300, 120, 0.7)
+	seeds := plantedSeeds(300, 120, 15)
+
+	var baseline Cut
+	for i, par := range []int{1, 2, 4, 8} {
+		cut, ok := FindMAARCut(g, CutOptions{
+			Seeds: seeds, Restarts: 2, Parallelism: par, RandSeed: 3,
+		})
+		if !ok {
+			t.Fatalf("parallelism %d found no cut", par)
+		}
+		if i == 0 {
+			baseline = cut
+			continue
+		}
+		if cut.Acceptance != baseline.Acceptance || cut.K != baseline.K ||
+			cut.Stats != baseline.Stats {
+			t.Fatalf("parallelism %d diverged: %+v vs %+v", par, cut.Stats, baseline.Stats)
+		}
+		for u := range cut.Partition {
+			if cut.Partition[u] != baseline.Partition[u] {
+				t.Fatalf("parallelism %d: node %d labeled differently", par, u)
+			}
+		}
+	}
+}

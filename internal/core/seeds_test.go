@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSpreadSeedsCoversCommunities(t *testing.T) {
+	// Two legit cliques bridged weakly, plus a spam clique.
+	const k = 8
+	g := graph.New(3 * k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddFriendship(graph.NodeID(i), graph.NodeID(j))
+			g.AddFriendship(graph.NodeID(k+i), graph.NodeID(k+j))
+			g.AddFriendship(graph.NodeID(2*k+i), graph.NodeID(2*k+j))
+		}
+	}
+	g.AddFriendship(0, graph.NodeID(k))
+
+	var legitPool, spamPool []graph.NodeID
+	for i := 0; i < 2*k; i++ {
+		legitPool = append(legitPool, graph.NodeID(i))
+	}
+	for i := 2 * k; i < 3*k; i++ {
+		spamPool = append(spamPool, graph.NodeID(i))
+	}
+
+	s := SpreadSeeds(g, legitPool, spamPool, 2, 3, rand.New(rand.NewPCG(1, 1)))
+	if len(s.Legit) != 2 || len(s.Spammer) != 3 {
+		t.Fatalf("seed counts = %d/%d", len(s.Legit), len(s.Spammer))
+	}
+	// The two legit seeds must land in different cliques.
+	inA := func(u graph.NodeID) bool { return int(u) < k }
+	if inA(s.Legit[0]) == inA(s.Legit[1]) {
+		t.Fatalf("legit seeds %v not spread over communities", s.Legit)
+	}
+	for _, u := range s.Spammer {
+		if int(u) < 2*k {
+			t.Fatalf("spammer seed %d outside the spam pool", u)
+		}
+	}
+}
+
+func TestSpreadSeedsEmptyPools(t *testing.T) {
+	g := graph.New(4)
+	s := SpreadSeeds(g, nil, nil, 3, 3, nil)
+	if len(s.Legit) != 0 || len(s.Spammer) != 0 {
+		t.Fatalf("empty pools produced seeds: %+v", s)
+	}
+}

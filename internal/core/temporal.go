@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// TimedRequest is one friend request with its outcome and the time interval
+// it occurred in, used by the compromised-account deployment of §VII.
+type TimedRequest struct {
+	From, To graph.NodeID
+	Accepted bool
+	Interval int
+}
+
+// IntervalDetection is the detection output for one time interval.
+type IntervalDetection struct {
+	Interval  int
+	Detection Detection
+}
+
+// DetectSharded runs Rejecto per time interval, the deployment §VII
+// describes for catching compromised accounts: requests and rejections are
+// sharded by interval, an augmented graph is built per shard on top of the
+// pre-existing friendship base, and detection runs on each. An account that
+// starts spamming after compromise follows the friend-spam model inside its
+// post-compromise intervals and is exposed there.
+//
+// base supplies the pre-existing friendships (its rejections, if any, are
+// ignored); requests supply each interval's accepted links and rejections.
+// Intervals with no rejections are skipped. opts.TargetCount applies per
+// interval; prefer AcceptanceThreshold, which adapts to shard size.
+func DetectSharded(base *graph.Graph, requests []TimedRequest, opts DetectorOptions) ([]IntervalDetection, error) {
+	shards := make(map[int][]TimedRequest)
+	for _, req := range requests {
+		if req.From < 0 || int(req.From) >= base.NumNodes() ||
+			req.To < 0 || int(req.To) >= base.NumNodes() {
+			return nil, fmt.Errorf("core: request %d→%d outside base graph", req.From, req.To)
+		}
+		shards[req.Interval] = append(shards[req.Interval], req)
+	}
+	intervals := make([]int, 0, len(shards))
+	for iv := range shards {
+		intervals = append(intervals, iv)
+	}
+	sort.Ints(intervals)
+
+	var out []IntervalDetection
+	for _, iv := range intervals {
+		aug := buildInterval(base, shards[iv])
+		if aug.NumRejections() == 0 {
+			continue
+		}
+		det, err := Detect(aug, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: interval %d: %w", iv, err)
+		}
+		out = append(out, IntervalDetection{Interval: iv, Detection: det})
+	}
+	return out, nil
+}
+
+// buildInterval overlays one shard's requests on the friendship base:
+// accepted requests become OSN links, rejected ones become rejection edges
+// ⟨target, sender⟩.
+func buildInterval(base *graph.Graph, reqs []TimedRequest) *graph.Graph {
+	aug := base.Clone()
+	for _, req := range reqs {
+		if req.Accepted {
+			if req.From != req.To {
+				aug.AddFriendship(req.From, req.To)
+			}
+		} else if req.From != req.To {
+			aug.AddRejection(req.To, req.From)
+		}
+	}
+	return aug
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDetectShardedCatchesCompromise(t *testing.T) {
+	// A legitimate base graph; in interval 0 everyone behaves, in interval
+	// 1 a block of accounts is compromised and starts spamming.
+	r := rand.New(rand.NewPCG(1, 91))
+	const n = 300
+	base := graph.New(n)
+	for i := 0; i < n; i++ {
+		base.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%n))
+		base.AddFriendship(graph.NodeID(i), graph.NodeID((i+9)%n))
+	}
+	compromised := map[graph.NodeID]bool{}
+	var reqs []TimedRequest
+	// Interval 0: benign traffic with sporadic rejections.
+	for i := 0; i < 200; i++ {
+		u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+		if u != v {
+			reqs = append(reqs, TimedRequest{From: u, To: v, Accepted: r.Float64() < 0.8, Interval: 0})
+		}
+	}
+	// Interval 1: nodes 0..39 are compromised, flooding rejected requests.
+	for i := 0; i < 40; i++ {
+		u := graph.NodeID(i)
+		compromised[u] = true
+		for k := 0; k < 10; k++ {
+			v := graph.NodeID(40 + r.IntN(n-40))
+			reqs = append(reqs, TimedRequest{From: u, To: v, Accepted: r.Float64() < 0.25, Interval: 1})
+		}
+	}
+	dets, err := DetectSharded(base, reqs, DetectorOptions{
+		Cut:                 CutOptions{RandSeed: 3},
+		AcceptanceThreshold: 0.5,
+		MaxRounds:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var interval1 *IntervalDetection
+	for i := range dets {
+		if dets[i].Interval == 1 {
+			interval1 = &dets[i]
+		}
+	}
+	if interval1 == nil {
+		t.Fatal("no detection ran for the compromise interval")
+	}
+	caught := 0
+	for _, u := range interval1.Detection.Suspects {
+		if compromised[u] {
+			caught++
+		}
+	}
+	if caught < 30 {
+		t.Fatalf("only %d/40 compromised accounts caught in their interval", caught)
+	}
+	// Interval 0 must not flag a large group: benign traffic only.
+	for _, d := range dets {
+		if d.Interval == 0 && len(d.Detection.Suspects) > 40 {
+			t.Fatalf("benign interval flagged %d accounts", len(d.Detection.Suspects))
+		}
+	}
+}
+
+func TestDetectShardedValidation(t *testing.T) {
+	base := graph.New(2)
+	reqs := []TimedRequest{{From: 0, To: 9, Interval: 0}}
+	if _, err := DetectSharded(base, reqs, DetectorOptions{AcceptanceThreshold: 0.5}); err == nil {
+		t.Fatal("out-of-range request accepted")
+	}
+}
+
+func TestDetectShardedSkipsRejectionFreeIntervals(t *testing.T) {
+	base := graph.New(4)
+	base.AddFriendship(0, 1)
+	reqs := []TimedRequest{
+		{From: 0, To: 2, Accepted: true, Interval: 0}, // no rejections
+		{From: 1, To: 3, Accepted: false, Interval: 1},
+		{From: 2, To: 3, Accepted: false, Interval: 1},
+	}
+	dets, err := DetectSharded(base, reqs, DetectorOptions{AcceptanceThreshold: 0.9, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dets {
+		if d.Interval == 0 {
+			t.Fatal("rejection-free interval was not skipped")
+		}
+	}
+}

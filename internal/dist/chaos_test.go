@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestMidDetectionWorkerFailure injects a one-shot worker failure in the
+// middle of a distributed detection run and checks that lineage recovery
+// lets the run finish with exactly the single-machine result. The detector
+// keeps no state on workers beyond the (replayable) shards, so a mid-run
+// loss must be fully transparent.
+func TestMidDetectionWorkerFailure(t *testing.T) {
+	g, _, seeds := testWorld(31, 250, 100)
+	cutOpts := core.CutOptions{Seeds: seeds, RandSeed: 3}
+
+	local, err := core.Detect(g, core.DetectorOptions{Cut: cutOpts, TargetCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, failAt := range []int64{0, 10, 500} {
+		c := NewLocalCluster(3, 0)
+		if err := c.LoadGraph(g, 2); err != nil {
+			t.Fatal(err)
+		}
+		if !FailWorkerAfter(c.transport, 1, failAt) {
+			t.Fatal("FailWorkerAfter unsupported on local transport")
+		}
+		cfg := DetectorConfig{Cut: cutOpts, TargetCount: 100}
+		det := NewDetector(c, g.NumNodes(), cfg)
+		remote, err := det.Detect(cfg)
+		if err != nil {
+			t.Fatalf("failAt=%d: %v", failAt, err)
+		}
+		if len(remote.Suspects) != len(local.Suspects) {
+			t.Fatalf("failAt=%d: %d suspects, want %d", failAt, len(remote.Suspects), len(local.Suspects))
+		}
+		for i := range remote.Suspects {
+			if remote.Suspects[i] != local.Suspects[i] {
+				t.Fatalf("failAt=%d: suspect %d differs after recovery", failAt, i)
+			}
+		}
+		_ = c.Close()
+	}
+}
+
+// TestDoubleFailure kills two different workers at different points of the
+// same run.
+func TestDoubleFailure(t *testing.T) {
+	g, _, seeds := testWorld(32, 200, 80)
+	cutOpts := core.CutOptions{Seeds: seeds, RandSeed: 5}
+	local, err := core.Detect(g, core.DetectorOptions{Cut: cutOpts, TargetCount: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLocalCluster(4, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	FailWorkerAfter(c.transport, 0, 20)
+	FailWorkerAfter(c.transport, 3, 200)
+	cfg := DetectorConfig{Cut: cutOpts, TargetCount: 80}
+	det := NewDetector(c, g.NumNodes(), cfg)
+	remote, err := det.Detect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Suspects) != len(local.Suspects) {
+		t.Fatalf("double failure changed detection: %d vs %d", len(remote.Suspects), len(local.Suspects))
+	}
+}

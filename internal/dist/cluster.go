@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Cluster is the master's view of the worker pool: the transport, the
+// shard→worker placement, and the recovery lineage for graph shards.
+type Cluster struct {
+	transport Transport
+	stats     *IOStats
+
+	// shardHome[shardID] = worker index hosting the shard.
+	shardHome []int
+	// nodeShard resolves a node to its shard by range; shards are
+	// contiguous and sorted, so this is a binary-search-free index when
+	// ranges are uniform. We keep the ranges for generality.
+	shardLo []int32
+	shardHi []int32
+
+	// shardSource regenerates a shard for recovery — the lineage root of
+	// graph data, equivalent to recomputing an RDD partition.
+	shardSource func(shardID int) Shard
+}
+
+// NewLocalCluster builds an in-process cluster with the given number of
+// workers. latency is the simulated per-call round-trip latency accumulated
+// into VirtualLatency (no real sleeping).
+func NewLocalCluster(workers int, latency time.Duration) *Cluster {
+	if workers < 1 {
+		panic("dist: cluster needs at least one worker")
+	}
+	ws := make([]*Worker, workers)
+	for i := range ws {
+		ws[i] = NewWorker()
+	}
+	stats := &IOStats{}
+	return &Cluster{
+		transport: NewLocalTransport(ws, stats, latency),
+		stats:     stats,
+	}
+}
+
+// NewCluster wraps an arbitrary transport (e.g. the RPC transport) in a
+// Cluster. stats may be nil.
+func NewCluster(t Transport, stats *IOStats) *Cluster {
+	return &Cluster{transport: t, stats: stats}
+}
+
+// Workers reports the worker count.
+func (c *Cluster) Workers() int { return c.transport.Workers() }
+
+// IO returns a snapshot of the traffic counters (zero-valued if the
+// transport does not account traffic).
+func (c *Cluster) IO() IOSnapshot {
+	if c.stats == nil {
+		return IOSnapshot{}
+	}
+	return c.stats.Snapshot()
+}
+
+// VirtualLatency reports the simulated network time accumulated by a local
+// transport.
+func (c *Cluster) VirtualLatency() time.Duration { return VirtualLatency(c.transport) }
+
+// Close shuts down the transport.
+func (c *Cluster) Close() error { return c.transport.Close() }
+
+// call issues a plain transport call.
+func (c *Cluster) call(worker int, method Call, args, reply any) error {
+	return c.transport.Call(worker, method, args, reply)
+}
+
+// callWithRecovery issues a call and, when the worker is down, rebuilds the
+// worker's state (graph shards via the shard lineage, plus any dataset
+// lineage supplied by the caller) and retries once. This is the engine's
+// fault-tolerance path; the paper's prototype delegated the same job to
+// Spark's RDD recomputation.
+func (c *Cluster) callWithRecovery(worker int, method Call, args, reply any, rebuild func(worker int) error) error {
+	err := c.call(worker, method, args, reply)
+	if err == nil || !errors.Is(err, ErrWorkerDown) {
+		return err
+	}
+	if !ReviveWorker(c.transport, worker) {
+		return err // transport has no revive hook (e.g. real RPC)
+	}
+	if err := c.reloadShards(worker); err != nil {
+		return fmt.Errorf("dist: recovering worker %d: %w", worker, err)
+	}
+	if rebuild != nil {
+		if err := rebuild(worker); err != nil {
+			return fmt.Errorf("dist: recovering worker %d datasets: %w", worker, err)
+		}
+	}
+	return c.call(worker, method, args, reply)
+}
+
+// LoadGraph shards g across the workers round-robin and records the shard
+// lineage for recovery. shardsPerWorker ≥ 1 controls granularity.
+func (c *Cluster) LoadGraph(g *graph.Graph, shardsPerWorker int) error {
+	if shardsPerWorker < 1 {
+		shardsPerWorker = 1
+	}
+	count := c.Workers() * shardsPerWorker
+	shards := MakeShards(g, count)
+	c.shardHome = make([]int, len(shards))
+	c.shardLo = make([]int32, len(shards))
+	c.shardHi = make([]int32, len(shards))
+	// The lineage closure re-slices from g. A production deployment would
+	// re-read from durable storage; holding the source graph on the master
+	// during a run is the equivalent for this engine.
+	c.shardSource = func(shardID int) Shard {
+		return makeShard(g, shardID, c.shardLo[shardID], c.shardHi[shardID])
+	}
+	for i, sh := range shards {
+		home := i % c.Workers()
+		c.shardHome[i] = home
+		c.shardLo[i] = sh.Lo
+		c.shardHi[i] = sh.Hi
+		if err := c.call(home, CallLoadShard, &LoadShardArgs{Shard: sh}, &struct{}{}); err != nil {
+			return fmt.Errorf("dist: loading shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// reloadShards restores every shard homed on the given worker.
+func (c *Cluster) reloadShards(worker int) error {
+	if c.shardSource == nil {
+		return nil
+	}
+	for id, home := range c.shardHome {
+		if home != worker {
+			continue
+		}
+		sh := c.shardSource(id)
+		if err := c.call(worker, CallLoadShard, &LoadShardArgs{Shard: sh}, &struct{}{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardOf resolves the shard hosting node u.
+func (c *Cluster) shardOf(u int32) (int, error) {
+	for id := range c.shardLo {
+		if c.shardLo[id] <= u && u < c.shardHi[id] {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("dist: node %d not covered by any shard", u)
+}
+
+// workerOf resolves the worker hosting node u.
+func (c *Cluster) workerOf(u int32) (int, error) {
+	sh, err := c.shardOf(u)
+	if err != nil {
+		return 0, err
+	}
+	return c.shardHome[sh], nil
+}
+
+// gatherGains asks every worker for the switch gains of its nodes and
+// assembles the global gain vector.
+func (c *Cluster) gatherGains(n int, p bitset, alive bitset, wF, wR int64) ([]int64, error) {
+	gains := make([]int64, n)
+	args := &ComputeGainsArgs{Partition: p, Alive: alive, WF: wF, WR: wR}
+	for wk := 0; wk < c.Workers(); wk++ {
+		var reply ComputeGainsReply
+		if err := c.callWithRecovery(wk, CallComputeGains, args, &reply, nil); err != nil {
+			return nil, err
+		}
+		// The reply concatenates the worker's shards in ascending node
+		// order; map back through the shard ranges.
+		idx := 0
+		for id, home := range c.shardHome {
+			if home != wk {
+				continue
+			}
+			for u := c.shardLo[id]; u < c.shardHi[id]; u++ {
+				if idx >= len(reply.Gains) {
+					return nil, fmt.Errorf("dist: short gains reply from worker %d", wk)
+				}
+				gains[u] = reply.Gains[idx]
+				idx++
+			}
+		}
+		if idx != len(reply.Gains) {
+			return nil, fmt.Errorf("dist: gains reply length mismatch from worker %d", wk)
+		}
+	}
+	return gains, nil
+}
+
+// cutStats sums the partial cut statistics across workers.
+func (c *Cluster) cutStats(p bitset, alive bitset) (CutStatsReply, error) {
+	var total CutStatsReply
+	args := &CutStatsArgs{Partition: p, Alive: alive}
+	for wk := 0; wk < c.Workers(); wk++ {
+		var reply CutStatsReply
+		if err := c.callWithRecovery(wk, CallCutStats, args, &reply, nil); err != nil {
+			return CutStatsReply{}, err
+		}
+		total.CrossFriendships += reply.CrossFriendships
+		total.RejIntoSuspect += reply.RejIntoSuspect
+		total.RejIntoLegit += reply.RejIntoLegit
+	}
+	return total, nil
+}
+
+// fetch pulls adjacency records for the given nodes, grouped per worker
+// into one call each.
+func (c *Cluster) fetch(nodes []int32) ([]NodeAdj, error) {
+	byWorker := make(map[int][]int32)
+	for _, u := range nodes {
+		wk, err := c.workerOf(u)
+		if err != nil {
+			return nil, err
+		}
+		byWorker[wk] = append(byWorker[wk], u)
+	}
+	out := make([]NodeAdj, 0, len(nodes))
+	for wk, batch := range byWorker {
+		var reply FetchReply
+		if err := c.callWithRecovery(wk, CallFetch, &FetchArgs{Nodes: batch}, &reply, nil); err != nil {
+			return nil, err
+		}
+		out = append(out, reply.Adj...)
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The dataset layer is a miniature RDD: immutable, partitioned collections
+// of rows living on workers, transformed by named operations and rebuilt
+// from lineage when a worker is lost. Go cannot ship closures across
+// processes the way Spark ships JVM closures, so transformations are
+// registered by name in a process-global registry that both master and
+// worker binaries share (they link the same package, so registration at
+// init time covers both sides of the RPC transport too).
+
+// FlatMapFunc transforms one row into zero or more rows. Returning nil
+// filters the row out; returning multiple rows expands it.
+type FlatMapFunc func(row []byte) [][]byte
+
+var (
+	opMu  sync.RWMutex
+	opReg = make(map[string]FlatMapFunc)
+)
+
+// RegisterOp registers a named flat-map operation. Registration must happen
+// before any Transform using the name executes, typically from an init
+// function. Re-registering a name panics: lineage replay depends on a
+// name's meaning never changing.
+func RegisterOp(name string, fn FlatMapFunc) {
+	opMu.Lock()
+	defer opMu.Unlock()
+	if _, dup := opReg[name]; dup {
+		panic(fmt.Sprintf("dist: op %q registered twice", name))
+	}
+	opReg[name] = fn
+}
+
+func lookupOp(name string) (FlatMapFunc, error) {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	fn, ok := opReg[name]
+	if !ok {
+		return nil, fmt.Errorf("dist: op %q not registered", name)
+	}
+	return fn, nil
+}
+
+// DatasetArgs is the worker-side dataset operation request.
+type DatasetArgs struct {
+	// Op is one of "store", "apply", "collect", "count", "drop".
+	Op string
+	// SourceName identifies the input dataset ("store" ignores it).
+	SourceName string
+	// TargetName identifies the output dataset for "store" and "apply".
+	TargetName string
+	// MapOp is the registered operation name for "apply".
+	MapOp string
+	// Rows carries the partition contents for "store".
+	Rows [][]byte
+}
+
+// DatasetReply carries dataset operation results.
+type DatasetReply struct {
+	Rows  [][]byte
+	Count int64
+}
+
+// Dataset handles one dataset operation on the worker.
+func (w *Worker) Dataset(args *DatasetArgs, reply *DatasetReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch args.Op {
+	case "store":
+		w.datasets[args.TargetName] = args.Rows
+	case "apply":
+		src, ok := w.datasets[args.SourceName]
+		if !ok {
+			return fmt.Errorf("dist: dataset %q not on this worker", args.SourceName)
+		}
+		fn, err := lookupOp(args.MapOp)
+		if err != nil {
+			return err
+		}
+		var out [][]byte
+		for _, row := range src {
+			out = append(out, fn(row)...)
+		}
+		w.datasets[args.TargetName] = out
+	case "collect":
+		src, ok := w.datasets[args.SourceName]
+		if !ok {
+			return fmt.Errorf("dist: dataset %q not on this worker", args.SourceName)
+		}
+		reply.Rows = src
+	case "count":
+		src, ok := w.datasets[args.SourceName]
+		if !ok {
+			return fmt.Errorf("dist: dataset %q not on this worker", args.SourceName)
+		}
+		reply.Count = int64(len(src))
+	case "drop":
+		delete(w.datasets, args.SourceName)
+	default:
+		return fmt.Errorf("dist: unknown dataset op %q", args.Op)
+	}
+	return nil
+}
+
+// Dataset is the master-side handle of a distributed collection. Handles
+// are immutable; Transform returns a new handle. Lineage (the chain of
+// transforms back to the master-held source rows) is retained so a lost
+// worker's partitions can be recomputed.
+type Dataset struct {
+	c    *Cluster
+	name string
+
+	// lineage
+	parent *Dataset
+	mapOp  string
+	source [][][]byte // per-worker source rows; only set on root datasets
+}
+
+// CreateDataset partitions rows round-robin across workers and stores them.
+// The source rows are retained master-side as the recovery lineage root.
+func (c *Cluster) CreateDataset(name string, rows [][]byte) (*Dataset, error) {
+	parts := make([][][]byte, c.Workers())
+	for i, row := range rows {
+		w := i % c.Workers()
+		parts[w] = append(parts[w], row)
+	}
+	d := &Dataset{c: c, name: name, source: parts}
+	for wk := 0; wk < c.Workers(); wk++ {
+		if err := d.storeOn(wk); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (d *Dataset) storeOn(worker int) error {
+	var rows [][]byte
+	if d.source != nil {
+		rows = d.source[worker]
+	}
+	args := &DatasetArgs{Op: "store", TargetName: d.name, Rows: rows}
+	return d.c.call(worker, CallDataset, args, &DatasetReply{})
+}
+
+// Name returns the dataset's cluster-wide identifier.
+func (d *Dataset) Name() string { return d.name }
+
+// Transform applies a registered flat-map op partition-wise, producing the
+// dataset named target.
+func (d *Dataset) Transform(target, mapOp string) (*Dataset, error) {
+	if _, err := lookupOp(mapOp); err != nil {
+		return nil, err
+	}
+	out := &Dataset{c: d.c, name: target, parent: d, mapOp: mapOp}
+	for wk := 0; wk < d.c.Workers(); wk++ {
+		if err := out.applyOn(wk); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *Dataset) applyOn(worker int) error {
+	args := &DatasetArgs{Op: "apply", SourceName: d.parent.name, TargetName: d.name, MapOp: d.mapOp}
+	return d.c.call(worker, CallDataset, args, &DatasetReply{})
+}
+
+// rebuildOn replays the lineage of d onto one worker, bottom-up.
+func (d *Dataset) rebuildOn(worker int) error {
+	if d.parent != nil {
+		if err := d.parent.rebuildOn(worker); err != nil {
+			return err
+		}
+		return d.applyOn(worker)
+	}
+	return d.storeOn(worker)
+}
+
+// Collect gathers all partitions to the master. Row order is
+// deterministic: worker order, then partition order.
+func (d *Dataset) Collect() ([][]byte, error) {
+	var out [][]byte
+	for wk := 0; wk < d.c.Workers(); wk++ {
+		var reply DatasetReply
+		args := &DatasetArgs{Op: "collect", SourceName: d.name}
+		if err := d.c.callWithRecovery(wk, CallDataset, args, &reply, d.rebuildOn); err != nil {
+			return nil, err
+		}
+		out = append(out, reply.Rows...)
+	}
+	return out, nil
+}
+
+// Count returns the total number of rows across partitions.
+func (d *Dataset) Count() (int64, error) {
+	var total int64
+	for wk := 0; wk < d.c.Workers(); wk++ {
+		var reply DatasetReply
+		args := &DatasetArgs{Op: "count", SourceName: d.name}
+		if err := d.c.callWithRecovery(wk, CallDataset, args, &reply, d.rebuildOn); err != nil {
+			return 0, err
+		}
+		total += reply.Count
+	}
+	return total, nil
+}
+
+// Drop releases the dataset's partitions on all workers. The handle (and
+// its lineage) remains usable for derived datasets' recovery.
+func (d *Dataset) Drop() error {
+	for wk := 0; wk < d.c.Workers(); wk++ {
+		args := &DatasetArgs{Op: "drop", SourceName: d.name}
+		if err := d.c.call(wk, CallDataset, args, &DatasetReply{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeRow gob-encodes a typed value into a dataset row.
+func EncodeRow[T any](v T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("dist: encode row: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRow decodes a row produced by EncodeRow.
+func DecodeRow[T any](row []byte) (T, error) {
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(row)).Decode(&v); err != nil {
+		return v, fmt.Errorf("dist: decode row: %w", err)
+	}
+	return v, nil
+}
+
+// RegisteredOps lists the registered op names, sorted; useful for
+// diagnostics.
+func RegisteredOps() []string {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	names := make([]string, 0, len(opReg))
+	for name := range opReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// Test ops, registered once for the package's tests.
+func init() {
+	RegisterOp("test/double", func(row []byte) [][]byte {
+		v := binary.LittleEndian.Uint32(row)
+		out := make([]byte, 4)
+		binary.LittleEndian.PutUint32(out, v*2)
+		return [][]byte{out}
+	})
+	RegisterOp("test/keep-even", func(row []byte) [][]byte {
+		if binary.LittleEndian.Uint32(row)%2 == 0 {
+			return [][]byte{row}
+		}
+		return nil
+	})
+	RegisterOp("test/fanout3", func(row []byte) [][]byte {
+		return [][]byte{row, row, row}
+	})
+}
+
+func u32row(v uint32) []byte {
+	row := make([]byte, 4)
+	binary.LittleEndian.PutUint32(row, v)
+	return row
+}
+
+func makeRows(n int) [][]byte {
+	rows := make([][]byte, n)
+	for i := range rows {
+		rows[i] = u32row(uint32(i))
+	}
+	return rows
+}
+
+func TestDatasetCreateCollect(t *testing.T) {
+	c := NewLocalCluster(3, 0)
+	defer c.Close()
+	d, err := c.CreateDataset("nums", makeRows(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("collected %d rows, want 10", len(rows))
+	}
+	seen := make(map[uint32]bool)
+	for _, row := range rows {
+		seen[binary.LittleEndian.Uint32(row)] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("rows lost or duplicated: %d distinct", len(seen))
+	}
+}
+
+func TestDatasetTransformChain(t *testing.T) {
+	c := NewLocalCluster(2, 0)
+	defer c.Close()
+	d, err := c.CreateDataset("nums", makeRows(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := d.Transform("doubled", "test/double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evens, err := doubled.Transform("evens", "test/keep-even")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := evens.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 { // doubling makes everything even
+		t.Fatalf("count = %d, want 10", count)
+	}
+	rows, err := evens.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if v := binary.LittleEndian.Uint32(row); v%2 != 0 || v >= 20 {
+			t.Fatalf("unexpected row value %d", v)
+		}
+	}
+}
+
+func TestDatasetFanout(t *testing.T) {
+	c := NewLocalCluster(2, 0)
+	defer c.Close()
+	d, err := c.CreateDataset("nums", makeRows(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripled, err := d.Transform("tripled", "test/fanout3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := tripled.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 12 {
+		t.Fatalf("fanout count = %d, want 12", count)
+	}
+}
+
+func TestDatasetUnknownOp(t *testing.T) {
+	c := NewLocalCluster(1, 0)
+	defer c.Close()
+	d, err := c.CreateDataset("nums", makeRows(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Transform("x", "test/does-not-exist"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestDatasetLineageRecovery(t *testing.T) {
+	c := NewLocalCluster(3, 0)
+	defer c.Close()
+	d, err := c.CreateDataset("nums", makeRows(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := d.Transform("doubled", "test/double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill a worker; its partitions (source AND derived) are lost. The
+	// next Collect must rebuild them by replaying the lineage.
+	FailWorker(c.transport, 1)
+	rows, err := doubled.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("post-recovery collect = %d rows, want 30", len(rows))
+	}
+	sum := uint64(0)
+	for _, row := range rows {
+		sum += uint64(binary.LittleEndian.Uint32(row))
+	}
+	if want := uint64(2 * 29 * 30 / 2); sum != want {
+		t.Fatalf("post-recovery sum = %d, want %d", sum, want)
+	}
+}
+
+func TestDatasetDrop(t *testing.T) {
+	c := NewLocalCluster(2, 0)
+	defer c.Close()
+	d, err := c.CreateDataset("nums", makeRows(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	// Count on a dropped dataset triggers recovery only on worker-down
+	// errors, so this must fail cleanly.
+	if _, err := d.Count(); err == nil {
+		t.Fatal("count on dropped dataset succeeded")
+	}
+}
+
+func TestEncodeDecodeRow(t *testing.T) {
+	type pair struct{ A, B int }
+	row, err := EncodeRow(pair{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow[pair](row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (pair{3, 4}) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestRegisterOpTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterOp("test/dup", func(row []byte) [][]byte { return nil })
+	RegisterOp("test/dup", func(row []byte) [][]byte { return nil })
+}
+
+func TestRegisteredOpsSorted(t *testing.T) {
+	names := RegisteredOps()
+	if len(names) < 3 {
+		t.Fatalf("expected test ops registered, got %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("RegisteredOps not sorted")
+		}
+	}
+}
+
+func ExampleDataset() {
+	c := NewLocalCluster(2, 0)
+	defer c.Close()
+	d, _ := c.CreateDataset("example", [][]byte{u32row(1), u32row(2), u32row(3)})
+	doubled, _ := d.Transform("example-doubled", "test/double")
+	n, _ := doubled.Count()
+	fmt.Println(n)
+	// Output: 3
+}

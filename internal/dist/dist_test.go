@@ -1,0 +1,292 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// testWorld builds a small planted spam world (mirroring core's tests).
+func testWorld(seed uint64, nL, nF int) (*graph.Graph, []bool, core.Seeds) {
+	r := rand.New(rand.NewPCG(seed, 101))
+	g := graph.New(nL + nF)
+	for i := 0; i < nL; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%nL))
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+7)%nL))
+	}
+	for i := 0; i < nL/2; i++ {
+		u, v := r.IntN(nL), r.IntN(nL)
+		if u != v {
+			g.AddRejection(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	for i := 0; i < nF; i++ {
+		u := graph.NodeID(nL + i)
+		for k := 0; k < 4 && k < i; k++ {
+			g.AddFriendship(u, graph.NodeID(nL+r.IntN(i)))
+		}
+		for req := 0; req < 10; req++ {
+			target := graph.NodeID(r.IntN(nL))
+			if r.Float64() < 0.7 {
+				g.AddRejection(target, u)
+			} else {
+				g.AddFriendship(u, target)
+			}
+		}
+	}
+	isFake := make([]bool, nL+nF)
+	for i := nL; i < nL+nF; i++ {
+		isFake[i] = true
+	}
+	var seeds core.Seeds
+	for i := 0; i < 16; i++ {
+		seeds.Legit = append(seeds.Legit, graph.NodeID(i*nL/16))
+		seeds.Spammer = append(seeds.Spammer, graph.NodeID(nL+i*nF/16))
+	}
+	return g, isFake, seeds
+}
+
+func TestShardsPartitionTheGraph(t *testing.T) {
+	g, _, _ := testWorld(1, 100, 40)
+	shards := MakeShards(g, 7)
+	if len(shards) != 7 {
+		t.Fatalf("shards = %d, want 7", len(shards))
+	}
+	covered := 0
+	friendTotal, rejTotal := 0, 0
+	for _, sh := range shards {
+		covered += sh.NumNodes()
+		friendTotal += len(sh.FriendDst)
+		rejTotal += len(sh.RejOutDst)
+		for u := sh.Lo; u < sh.Hi; u++ {
+			wantFriends := g.Friends(graph.NodeID(u))
+			gotFriends := sh.friends(u)
+			if len(wantFriends) != len(gotFriends) {
+				t.Fatalf("node %d friends mismatch", u)
+			}
+			for i := range wantFriends {
+				if int32(wantFriends[i]) != gotFriends[i] {
+					t.Fatalf("node %d friend %d mismatch", u, i)
+				}
+			}
+		}
+	}
+	if covered != g.NumNodes() {
+		t.Fatalf("shards cover %d nodes, want %d", covered, g.NumNodes())
+	}
+	if friendTotal != 2*g.NumFriendships() || rejTotal != g.NumRejections() {
+		t.Fatalf("shards hold %d friend entries and %d rejections; want %d, %d",
+			friendTotal, rejTotal, 2*g.NumFriendships(), g.NumRejections())
+	}
+}
+
+func TestClusterFetch(t *testing.T) {
+	g, _, _ := testWorld(2, 80, 30)
+	c := NewLocalCluster(3, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	adjs, err := c.fetch([]int32{0, 50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adjs) != 3 {
+		t.Fatalf("fetched %d records, want 3", len(adjs))
+	}
+	for _, adj := range adjs {
+		want := g.Friends(graph.NodeID(adj.Node))
+		if len(adj.Friends) != len(want) {
+			t.Fatalf("node %d adjacency mismatch", adj.Node)
+		}
+	}
+	if io := c.IO(); io.Calls == 0 || io.BytesRecv == 0 {
+		t.Fatalf("traffic not accounted: %+v", io)
+	}
+}
+
+func TestClusterCutStatsMatchesLocal(t *testing.T) {
+	g, isFake, _ := testWorld(3, 120, 50)
+	c := NewLocalCluster(4, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 3); err != nil {
+		t.Fatal(err)
+	}
+	p := graph.NewPartition(g.NumNodes())
+	pb := newBitset(g.NumNodes())
+	for u := range p {
+		if isFake[u] {
+			p[u] = graph.Suspect
+			pb.set(int32(u), true)
+		}
+	}
+	want := p.Stats(g)
+	got, err := c.cutStats(pb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(got.CrossFriendships) != want.CrossFriendships ||
+		int(got.RejIntoSuspect) != want.RejIntoSuspect ||
+		int(got.RejIntoLegit) != want.RejIntoLegit {
+		t.Fatalf("distributed cut stats %+v != local %+v", got, want)
+	}
+}
+
+func TestGatherGainsAliveFiltering(t *testing.T) {
+	g, _, _ := testWorld(4, 60, 20)
+	n := g.NumNodes()
+	c := NewLocalCluster(2, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Probe degrees with the (wF=-1, wR=0) trick, then kill node 0's
+	// neighbourhood and check degrees drop.
+	allLegit := newBitset(n)
+	deg, err := c.gatherGains(n, allLegit, nil, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		if int(deg[u]) != g.Degree(graph.NodeID(u)) {
+			t.Fatalf("degree probe wrong at %d: %d != %d", u, deg[u], g.Degree(graph.NodeID(u)))
+		}
+	}
+	alive := newBitset(n)
+	for u := 1; u < n; u++ {
+		alive.set(int32(u), true)
+	}
+	deg2, err := c.gatherGains(n, allLegit, alive, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Friends(0) {
+		if deg2[v] != deg[v]-1 {
+			t.Fatalf("alive filtering did not drop node 0 from %d's degree", v)
+		}
+	}
+	if deg2[0] != 0 {
+		t.Fatalf("dead node degree = %d, want 0", deg2[0])
+	}
+}
+
+// TestDistributedDetectionMatchesCore is the engine's anchor test: the
+// distributed detector must produce exactly the same suspect set as the
+// single-machine detector, round for round.
+func TestDistributedDetectionMatchesCore(t *testing.T) {
+	g, _, seeds := testWorld(5, 300, 120)
+	n := g.NumNodes()
+
+	cutOpts := core.CutOptions{Seeds: seeds, RandSeed: 7}
+	local, err := core.Detect(g, core.DetectorOptions{Cut: cutOpts, TargetCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewLocalCluster(4, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DetectorConfig{Cut: cutOpts, TargetCount: 120}
+	det := NewDetector(c, n, cfg)
+	remote, err := det.Detect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(remote.Suspects) != len(local.Suspects) {
+		t.Fatalf("suspect counts differ: dist %d, core %d", len(remote.Suspects), len(local.Suspects))
+	}
+	localSet := make(map[graph.NodeID]bool, len(local.Suspects))
+	for _, u := range local.Suspects {
+		localSet[u] = true
+	}
+	for _, u := range remote.Suspects {
+		if !localSet[u] {
+			t.Fatalf("distributed detector flagged %d, core did not", u)
+		}
+	}
+	if len(remote.Groups) != len(local.Groups) {
+		t.Fatalf("group counts differ: dist %d, core %d", len(remote.Groups), len(local.Groups))
+	}
+	for i := range remote.Groups {
+		if remote.Groups[i].Acceptance != local.Groups[i].Acceptance {
+			t.Fatalf("group %d acceptance differs: %v vs %v",
+				i, remote.Groups[i].Acceptance, local.Groups[i].Acceptance)
+		}
+	}
+}
+
+func TestPrefetcherReducesRoundTrips(t *testing.T) {
+	g, _, seeds := testWorld(6, 300, 120)
+	run := func(batch int) (int64, int64) {
+		c := NewLocalCluster(4, 0)
+		defer c.Close()
+		if err := c.LoadGraph(g, 2); err != nil {
+			t.Fatal(err)
+		}
+		cfg := DetectorConfig{
+			Cut:           core.CutOptions{Seeds: seeds, RandSeed: 7},
+			TargetCount:   120,
+			PrefetchBatch: batch,
+		}
+		det := NewDetector(c, g.NumNodes(), cfg)
+		if _, err := det.Detect(cfg); err != nil {
+			t.Fatal(err)
+		}
+		served, _, misses := det.Prefetcher().Stats()
+		return served, misses
+	}
+	servedA, missesA := run(1)   // no batching: every fresh node is a miss
+	servedB, missesB := run(128) // batched prefetch
+	if servedA != servedB {
+		t.Fatalf("served counts differ across batch sizes: %d vs %d", servedA, servedB)
+	}
+	if missesB*4 > missesA {
+		t.Fatalf("prefetching did not cut misses: batch=1 → %d, batch=128 → %d", missesA, missesB)
+	}
+}
+
+func TestWorkerFailureRecovery(t *testing.T) {
+	g, _, seeds := testWorld(7, 200, 80)
+	c := NewLocalCluster(3, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Kill a worker, then run a full detection: callWithRecovery must
+	// rebuild the lost shards from lineage and finish correctly.
+	FailWorker(c.transport, 1)
+	cfg := DetectorConfig{Cut: core.CutOptions{Seeds: seeds, RandSeed: 7}, TargetCount: 80}
+	det := NewDetector(c, g.NumNodes(), cfg)
+	remote, err := det.Detect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.Detect(g, core.DetectorOptions{
+		Cut: core.CutOptions{Seeds: seeds, RandSeed: 7}, TargetCount: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Suspects) != len(local.Suspects) {
+		t.Fatalf("post-recovery detection differs: %d vs %d suspects",
+			len(remote.Suspects), len(local.Suspects))
+	}
+}
+
+func TestVirtualLatencyAccounting(t *testing.T) {
+	g, _, _ := testWorld(8, 50, 20)
+	c := NewLocalCluster(2, 100) // 100ns per call
+	defer c.Close()
+	if err := c.LoadGraph(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	io := c.IO()
+	if got := c.VirtualLatency(); got != 100*2 { // two LoadShard calls
+		t.Fatalf("virtual latency = %v after %d calls, want 200ns", got, io.Calls)
+	}
+}

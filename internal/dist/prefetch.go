@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"repro/internal/bucketlist"
+	"repro/internal/cache"
+)
+
+// Prefetcher implements §V's network-I/O reduction: instead of fetching one
+// node's adjacency per switch, it pulls a batch of the nodes with the
+// highest potential move gains — the ones "likely to be accessed in the
+// near future" — into a bounded buffer with LRU replacement.
+type Prefetcher struct {
+	c      *Cluster
+	buffer *cache.LRU[int32, NodeAdj]
+	batch  int
+
+	fetched   int64 // nodes pulled over the network
+	served    int64 // nodes served from the buffer
+	misses    int64 // Get calls that triggered a batch fetch
+	prefetchW []int32
+}
+
+// DefaultPrefetchBatch is the prefetch batch size when the caller passes 0.
+const DefaultPrefetchBatch = 256
+
+// DefaultBufferCap is the adjacency buffer capacity when the caller
+// passes 0.
+const DefaultBufferCap = 1 << 16
+
+// NewPrefetcher builds a prefetcher over the cluster. batch is the number
+// of top-gain nodes pulled per miss; bufferCap bounds the buffer.
+func NewPrefetcher(c *Cluster, batch, bufferCap int) *Prefetcher {
+	if batch <= 0 {
+		batch = DefaultPrefetchBatch
+	}
+	if bufferCap <= 0 {
+		bufferCap = DefaultBufferCap
+	}
+	if bufferCap < batch {
+		bufferCap = batch
+	}
+	return &Prefetcher{
+		c:      c,
+		buffer: cache.NewLRU[int32, NodeAdj](bufferCap),
+		batch:  batch,
+	}
+}
+
+// Get returns the adjacency of u, fetching a batch on miss. list supplies
+// the current top-gain frontier (the nodes most likely to be switched
+// next); it may be nil, in which case only u is fetched.
+func (p *Prefetcher) Get(u int32, list bucketlist.List) (NodeAdj, error) {
+	if adj, ok := p.buffer.Get(u); ok {
+		p.served++
+		return adj, nil
+	}
+	p.misses++
+	want := p.prefetchW[:0]
+	want = append(want, u)
+	if list != nil {
+		want = append(want, peekTop(list, p.batch-1, int(u))...)
+	}
+	p.prefetchW = want
+	adjs, err := p.c.fetch(want)
+	if err != nil {
+		return NodeAdj{}, err
+	}
+	p.fetched += int64(len(adjs))
+	var out NodeAdj
+	found := false
+	for _, adj := range adjs {
+		p.buffer.Add(adj.Node, adj)
+		if adj.Node == u {
+			out, found = adj, true
+		}
+	}
+	if !found {
+		// Defensive: the fetch must always include u itself.
+		single, err := p.c.fetch([]int32{u})
+		if err != nil {
+			return NodeAdj{}, err
+		}
+		out = single[0]
+		p.buffer.Add(u, out)
+		p.fetched++
+	}
+	p.served++
+	return out, nil
+}
+
+// Stats reports (nodes served, nodes fetched over the network, misses).
+// served−misses is the number of zero-round-trip switches.
+func (p *Prefetcher) Stats() (served, fetched, misses int64) {
+	return p.served, p.fetched, p.misses
+}
+
+// Reset clears the buffer (e.g. between detection rounds, where pruning
+// invalidates adjacency liveness; the detector filters dead neighbours
+// itself, so resetting is about memory, not correctness).
+func (p *Prefetcher) Reset() { p.buffer.Clear() }
+
+// peekTop returns up to k node IDs with the highest current gains, without
+// disturbing the list: nodes are popped and re-added. exclude is skipped.
+func peekTop(list bucketlist.List, k int, exclude int) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	type popped struct {
+		node int
+		gain int64
+	}
+	tmp := make([]popped, 0, k+1)
+	out := make([]int32, 0, k)
+	for len(out) < k {
+		n, g, ok := list.PopMax()
+		if !ok {
+			break
+		}
+		tmp = append(tmp, popped{n, g})
+		if n != exclude {
+			out = append(out, int32(n))
+		}
+	}
+	// Restore in reverse pop order so LIFO tie-breaking is preserved for
+	// equal gains (the last re-Added is popped first again).
+	for i := len(tmp) - 1; i >= 0; i-- {
+		list.Add(tmp[i].node, tmp[i].gain)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// startRPCCluster spins up real net/rpc worker servers on loopback and a
+// cluster connected to them.
+func startRPCCluster(t *testing.T, workers int) (*Cluster, func()) {
+	t.Helper()
+	servers := make([]*WorkerServer, 0, workers)
+	addrs := make([]string, 0, workers)
+	for i := 0; i < workers; i++ {
+		s, err := ServeWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	stats := &IOStats{}
+	tr, err := NewRPCTransport(addrs, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(tr, stats)
+	cleanup := func() {
+		_ = c.Close()
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}
+	return c, cleanup
+}
+
+func TestRPCFetchAndStats(t *testing.T) {
+	g, _, _ := testWorld(21, 80, 30)
+	c, cleanup := startRPCCluster(t, 3)
+	defer cleanup()
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	adjs, err := c.fetch([]int32{0, 40, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adjs) != 3 {
+		t.Fatalf("fetched %d records", len(adjs))
+	}
+	for _, adj := range adjs {
+		if len(adj.Friends) != g.Degree(graph.NodeID(adj.Node)) {
+			t.Fatalf("node %d adjacency wrong over RPC", adj.Node)
+		}
+	}
+	io := c.IO()
+	if io.Calls == 0 || io.BytesSent == 0 || io.BytesRecv == 0 {
+		t.Fatalf("RPC traffic not accounted: %+v", io)
+	}
+}
+
+func TestRPCCutStatsMatchesLocal(t *testing.T) {
+	g, isFake, _ := testWorld(22, 100, 40)
+	c, cleanup := startRPCCluster(t, 2)
+	defer cleanup()
+	if err := c.LoadGraph(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := graph.NewPartition(g.NumNodes())
+	pb := newBitset(g.NumNodes())
+	for u := range p {
+		if isFake[u] {
+			p[u] = graph.Suspect
+			pb.set(int32(u), true)
+		}
+	}
+	want := p.Stats(g)
+	got, err := c.cutStats(pb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(got.CrossFriendships) != want.CrossFriendships ||
+		int(got.RejIntoSuspect) != want.RejIntoSuspect {
+		t.Fatalf("RPC cut stats %+v != local %+v", got, want)
+	}
+}
+
+// TestRPCDetectionMatchesCore runs the full distributed detection over real
+// sockets and checks it against the single-machine detector.
+func TestRPCDetectionMatchesCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RPC end-to-end too heavy for -short")
+	}
+	g, _, seeds := testWorld(23, 200, 80)
+	c, cleanup := startRPCCluster(t, 3)
+	defer cleanup()
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DetectorConfig{Cut: core.CutOptions{Seeds: seeds, RandSeed: 5}, TargetCount: 80}
+	det := NewDetector(c, g.NumNodes(), cfg)
+	remote, err := det.Detect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.Detect(g, core.DetectorOptions{
+		Cut: core.CutOptions{Seeds: seeds, RandSeed: 5}, TargetCount: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Suspects) != len(local.Suspects) {
+		t.Fatalf("RPC detection differs: %d vs %d", len(remote.Suspects), len(local.Suspects))
+	}
+	localSet := make(map[graph.NodeID]bool)
+	for _, u := range local.Suspects {
+		localSet[u] = true
+	}
+	for _, u := range remote.Suspects {
+		if !localSet[u] {
+			t.Fatalf("RPC detector flagged %d, core did not", u)
+		}
+	}
+}
+
+func TestRPCDatasetOps(t *testing.T) {
+	c, cleanup := startRPCCluster(t, 2)
+	defer cleanup()
+	d, err := c.CreateDataset("rpc-nums", makeRows(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := d.Transform("rpc-doubled", "test/double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := doubled.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("count over RPC = %d, want 8", count)
+	}
+}
+
+func TestRPCWorkerDownSurfacesError(t *testing.T) {
+	g, _, _ := testWorld(24, 40, 10)
+	servers := make([]*WorkerServer, 2)
+	addrs := make([]string, 2)
+	for i := range servers {
+		s, err := ServeWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = s
+		addrs[i] = s.Addr()
+	}
+	tr, err := NewRPCTransport(addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(tr, nil)
+	defer c.Close()
+	defer servers[1].Close()
+	if err := c.LoadGraph(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = servers[0].Close()
+	// A call to the dead worker must fail with ErrWorkerDown (there is no
+	// revive hook on real RPC, so recovery cannot hide it).
+	_, err = c.fetch([]int32{0})
+	if err == nil {
+		t.Fatal("fetch from dead RPC worker succeeded")
+	}
+}

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"repro/internal/graph"
+)
+
+// Shard is one worker-resident partition of the augmented social graph: the
+// adjacency of the node range [Lo, Hi) in CSR (offset/index) form, which is
+// compact in memory and cheap to gob-encode.
+type Shard struct {
+	ID     int
+	Lo, Hi int32 // node range [Lo, Hi)
+
+	// Friendship adjacency: neighbours of node u are
+	// FriendDst[FriendOff[u-Lo]:FriendOff[u-Lo+1]].
+	FriendOff []int32
+	FriendDst []int32
+	// Rejections cast on u (edges ⟨x, u⟩): sources in RejInSrc.
+	RejInOff []int32
+	RejInSrc []int32
+	// Rejections cast by u (edges ⟨u, x⟩): targets in RejOutDst.
+	RejOutOff []int32
+	RejOutDst []int32
+}
+
+// NumNodes reports the shard's node count.
+func (s *Shard) NumNodes() int { return int(s.Hi - s.Lo) }
+
+// friends returns u's friendship neighbours; u must be in [Lo, Hi).
+func (s *Shard) friends(u int32) []int32 {
+	i := u - s.Lo
+	return s.FriendDst[s.FriendOff[i]:s.FriendOff[i+1]]
+}
+
+func (s *Shard) rejIn(u int32) []int32 {
+	i := u - s.Lo
+	return s.RejInSrc[s.RejInOff[i]:s.RejInOff[i+1]]
+}
+
+func (s *Shard) rejOut(u int32) []int32 {
+	i := u - s.Lo
+	return s.RejOutDst[s.RejOutOff[i]:s.RejOutOff[i+1]]
+}
+
+// NodeAdj is the adjacency record of a single node, the unit the master
+// fetches (and prefetches) from workers during the switching phase.
+type NodeAdj struct {
+	Node    int32
+	Friends []int32
+	RejIn   []int32 // users that rejected Node's requests
+	RejOut  []int32 // users whose requests Node rejected
+}
+
+// MakeShards cuts g into count contiguous node-range shards.
+func MakeShards(g *graph.Graph, count int) []Shard {
+	n := g.NumNodes()
+	if count < 1 {
+		count = 1
+	}
+	if count > n && n > 0 {
+		count = n
+	}
+	shards := make([]Shard, 0, count)
+	for i := 0; i < count; i++ {
+		lo := int32(i * n / count)
+		hi := int32((i + 1) * n / count)
+		shards = append(shards, makeShard(g, i, lo, hi))
+	}
+	return shards
+}
+
+func makeShard(g *graph.Graph, id int, lo, hi int32) Shard {
+	s := Shard{
+		ID: id, Lo: lo, Hi: hi,
+		FriendOff: make([]int32, 1, hi-lo+1),
+		RejInOff:  make([]int32, 1, hi-lo+1),
+		RejOutOff: make([]int32, 1, hi-lo+1),
+	}
+	for u := lo; u < hi; u++ {
+		for _, v := range g.Friends(graph.NodeID(u)) {
+			s.FriendDst = append(s.FriendDst, int32(v))
+		}
+		s.FriendOff = append(s.FriendOff, int32(len(s.FriendDst)))
+		for _, v := range g.Rejecters(graph.NodeID(u)) {
+			s.RejInSrc = append(s.RejInSrc, int32(v))
+		}
+		s.RejInOff = append(s.RejInOff, int32(len(s.RejInSrc)))
+		for _, v := range g.Rejected(graph.NodeID(u)) {
+			s.RejOutDst = append(s.RejOutDst, int32(v))
+		}
+		s.RejOutOff = append(s.RejOutOff, int32(len(s.RejOutDst)))
+	}
+	return s
+}
+
+// bitset is a packed bool vector used to broadcast the partition and the
+// liveness mask to workers: 1 bit per node instead of 1 byte.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) set(i int32, v bool) {
+	if v {
+		b[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// sizeOf estimates the wire size of the supported message types for the
+// local transport's byte accounting. It intentionally under-approximates
+// encoding overhead: the point is the scaling shape, not codec detail.
+func sizeOf(v any) int64 {
+	switch m := v.(type) {
+	case nil:
+		return 0
+	case *LoadShardArgs:
+		return 16 + 4*int64(len(m.Shard.FriendOff)+len(m.Shard.FriendDst)+
+			len(m.Shard.RejInOff)+len(m.Shard.RejInSrc)+
+			len(m.Shard.RejOutOff)+len(m.Shard.RejOutDst))
+	case *FetchArgs:
+		return 4 * int64(len(m.Nodes))
+	case *FetchReply:
+		total := int64(0)
+		for _, a := range m.Adj {
+			total += 16 + 4*int64(len(a.Friends)+len(a.RejIn)+len(a.RejOut))
+		}
+		return total
+	case *ComputeGainsArgs:
+		return 16 + 8*int64(len(m.Partition)+len(m.Alive))
+	case *ComputeGainsReply:
+		return 8 * int64(len(m.Gains))
+	case *CutStatsArgs:
+		return 8 * int64(len(m.Partition)+len(m.Alive))
+	case *CutStatsReply:
+		return 24
+	case *DatasetArgs:
+		total := int64(len(m.Op) + len(m.SourceName) + 16)
+		for _, row := range m.Rows {
+			total += int64(len(row)) + 4
+		}
+		return total
+	case *DatasetReply:
+		total := int64(8)
+		for _, row := range m.Rows {
+			total += int64(len(row)) + 4
+		}
+		return total
+	case *struct{}:
+		return 0
+	default:
+		return 8
+	}
+}

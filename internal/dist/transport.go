@@ -1,0 +1,217 @@
+// Package dist is a from-scratch master/worker cluster-compute substrate
+// that stands in for the Spark deployment of the paper's prototype (§V).
+//
+// The paper's data layout decisions are reproduced exactly:
+//
+//   - The master keeps only per-node algorithm state — partition side,
+//     potential switch gain, liveness — plus the gain bucket list
+//     (~20 bytes per node), so a billion-user deployment needs ~20 GB of
+//     master memory.
+//   - The social graph (friendships and rejections) is sharded across
+//     workers by node range, like Spark RDD partitions.
+//   - Node switches pull the switched node's adjacency from its worker;
+//     a prefetcher batches the top-gain frontier into an LRU buffer so
+//     most switches cost no network round trip (§V "Reducing the network
+//     I/O with prefetching").
+//   - Worker partitions carry lineage: a lost worker is rebuilt by
+//     replaying the shard loader, the moral equivalent of RDD recompute.
+//
+// Two transports are provided: an in-process one (function dispatch with
+// byte accounting and an optional simulated per-call latency) and a real
+// net/rpc transport over TCP loopback. The distributed detector produces
+// byte-identical results to the single-machine detector in package core,
+// which the tests assert.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrWorkerDown reports that the target worker has failed; the caller may
+// recover it and retry.
+var ErrWorkerDown = errors.New("dist: worker down")
+
+// Call names a worker RPC method. The set is closed: the engine's worker
+// surface is Load/Fetch/ComputeGains/CutStats plus the dataset operations.
+type Call string
+
+// The worker method names.
+const (
+	CallLoadShard    Call = "Worker.LoadShard"
+	CallFetch        Call = "Worker.Fetch"
+	CallComputeGains Call = "Worker.ComputeGains"
+	CallCutStats     Call = "Worker.CutStats"
+	CallDataset      Call = "Worker.Dataset"
+	CallPing         Call = "Worker.Ping"
+)
+
+// Transport delivers calls from the master to workers.
+type Transport interface {
+	// Call invokes method on the given worker, filling reply. args and
+	// reply are gob-encodable structs (pointer for reply).
+	Call(worker int, method Call, args, reply any) error
+	// Workers reports the worker count.
+	Workers() int
+	// Close releases transport resources.
+	Close() error
+}
+
+// IOStats accumulates the master↔worker traffic of a run.
+type IOStats struct {
+	Calls     atomic.Int64
+	BytesSent atomic.Int64 // request payloads
+	BytesRecv atomic.Int64 // reply payloads
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *IOStats) Snapshot() IOSnapshot {
+	return IOSnapshot{
+		Calls:     s.Calls.Load(),
+		BytesSent: s.BytesSent.Load(),
+		BytesRecv: s.BytesRecv.Load(),
+	}
+}
+
+// IOSnapshot is a point-in-time view of IOStats.
+type IOSnapshot struct {
+	Calls     int64
+	BytesSent int64
+	BytesRecv int64
+}
+
+// Sub returns the delta s − earlier.
+func (s IOSnapshot) Sub(earlier IOSnapshot) IOSnapshot {
+	return IOSnapshot{
+		Calls:     s.Calls - earlier.Calls,
+		BytesSent: s.BytesSent - earlier.BytesSent,
+		BytesRecv: s.BytesRecv - earlier.BytesRecv,
+	}
+}
+
+func (s IOSnapshot) String() string {
+	return fmt.Sprintf("%d calls, %d B sent, %d B received", s.Calls, s.BytesSent, s.BytesRecv)
+}
+
+// localTransport dispatches calls in-process. It still serializes argument
+// sizes through sizeOf estimates so that the byte accounting matches what a
+// wire transport would see, and can simulate per-call latency by
+// accumulating virtual time (no real sleeping, so benches stay fast).
+type localTransport struct {
+	workers []*Worker
+	stats   *IOStats
+
+	latency     time.Duration // virtual per-call round-trip latency
+	virtualTime atomic.Int64  // accumulated simulated latency, ns
+
+	mu        sync.Mutex
+	down      map[int]bool
+	failAfter map[int]int64 // worker -> remaining calls before injected failure
+}
+
+// NewLocalTransport creates an in-process transport over the given workers.
+// latency, if non-zero, is accounted per call into VirtualLatency.
+func NewLocalTransport(workers []*Worker, stats *IOStats, latency time.Duration) Transport {
+	return &localTransport{
+		workers:   workers,
+		stats:     stats,
+		latency:   latency,
+		down:      make(map[int]bool),
+		failAfter: make(map[int]int64),
+	}
+}
+
+func (t *localTransport) Workers() int { return len(t.workers) }
+
+func (t *localTransport) Call(worker int, method Call, args, reply any) error {
+	if worker < 0 || worker >= len(t.workers) {
+		return fmt.Errorf("dist: worker %d out of range", worker)
+	}
+	t.mu.Lock()
+	dead := t.down[worker]
+	if remaining, armed := t.failAfter[worker]; armed && !dead {
+		if remaining <= 0 {
+			// Injected failure fires exactly once: the worker loses its
+			// state and calls fail until ReviveWorker.
+			t.down[worker] = true
+			delete(t.failAfter, worker)
+			t.workers[worker].reset()
+			dead = true
+		} else {
+			t.failAfter[worker] = remaining - 1
+		}
+	}
+	t.mu.Unlock()
+	if dead {
+		return fmt.Errorf("%w: worker %d", ErrWorkerDown, worker)
+	}
+	if t.stats != nil {
+		t.stats.Calls.Add(1)
+		t.stats.BytesSent.Add(sizeOf(args))
+	}
+	t.virtualTime.Add(int64(t.latency))
+	if err := t.workers[worker].dispatch(method, args, reply); err != nil {
+		return err
+	}
+	if t.stats != nil {
+		t.stats.BytesRecv.Add(sizeOf(reply))
+	}
+	return nil
+}
+
+func (t *localTransport) Close() error { return nil }
+
+// VirtualLatency reports the simulated network latency accumulated so far.
+// It is only meaningful for transports created by NewLocalTransport.
+func VirtualLatency(t Transport) time.Duration {
+	if lt, ok := t.(*localTransport); ok {
+		return time.Duration(lt.virtualTime.Load())
+	}
+	return 0
+}
+
+// FailWorker marks a local-transport worker as failed, so subsequent calls
+// return ErrWorkerDown until ReviveWorker. It is a test/chaos hook; on the
+// RPC transport, kill the worker's listener instead.
+func FailWorker(t Transport, worker int) bool {
+	lt, ok := t.(*localTransport)
+	if !ok {
+		return false
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.down[worker] = true
+	return true
+}
+
+// FailWorkerAfter arms a one-shot failure: the worker serves the next
+// afterCalls calls to it and then dies (losing its state) until revived.
+// Deterministic chaos hook for testing mid-run recovery on the local
+// transport.
+func FailWorkerAfter(t Transport, worker int, afterCalls int64) bool {
+	lt, ok := t.(*localTransport)
+	if !ok {
+		return false
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.failAfter[worker] = afterCalls
+	return true
+}
+
+// ReviveWorker clears a FailWorker mark and resets the worker to an empty
+// state (its shards are lost, as when a fresh process replaces a dead one).
+func ReviveWorker(t Transport, worker int) bool {
+	lt, ok := t.(*localTransport)
+	if !ok {
+		return false
+	}
+	lt.mu.Lock()
+	lt.down[worker] = false
+	lt.mu.Unlock()
+	lt.workers[worker].reset()
+	return true
+}

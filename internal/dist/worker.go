@@ -1,0 +1,233 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/kl"
+)
+
+// Worker holds graph shards and dataset partitions in its own memory, the
+// role Spark executors play for the paper's prototype. All worker methods
+// are pure with respect to master state: the master ships the current
+// partition and liveness bitsets with every computation request.
+type Worker struct {
+	mu       sync.Mutex
+	shards   []*Shard // sorted by Lo
+	datasets map[string][][]byte
+}
+
+// NewWorker returns an empty worker.
+func NewWorker() *Worker {
+	return &Worker{datasets: make(map[string][][]byte)}
+}
+
+// reset drops all worker state, as when a worker process is replaced.
+func (w *Worker) reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.shards = nil
+	w.datasets = make(map[string][][]byte)
+}
+
+// LoadShardArgs carries a shard to a worker.
+type LoadShardArgs struct {
+	Shard Shard
+}
+
+// FetchArgs requests adjacency records; all nodes must live in the target
+// worker's shards.
+type FetchArgs struct {
+	Nodes []int32
+}
+
+// FetchReply carries the requested adjacency records.
+type FetchReply struct {
+	Adj []NodeAdj
+}
+
+// ComputeGainsArgs asks a worker to compute the switch gain of every alive
+// node it hosts, under the given partition and weights.
+type ComputeGainsArgs struct {
+	Partition bitset
+	Alive     bitset // nil means all alive
+	WF, WR    int64
+}
+
+// ComputeGainsReply returns gains concatenated over the worker's shards in
+// ascending node order; dead nodes hold zero placeholders.
+type ComputeGainsReply struct {
+	Gains []int64
+}
+
+// CutStatsArgs asks for the worker's partial cut statistics.
+type CutStatsArgs struct {
+	Partition bitset
+	Alive     bitset
+}
+
+// CutStatsReply carries partial sums; the master adds them up across
+// workers. Friendships are counted once globally (by their low-endpoint
+// owner); rejections by the owner of the casting node.
+type CutStatsReply struct {
+	CrossFriendships int64
+	RejIntoSuspect   int64
+	RejIntoLegit     int64
+}
+
+// dispatch routes a transport call to the worker implementation.
+func (w *Worker) dispatch(method Call, args, reply any) error {
+	switch method {
+	case CallLoadShard:
+		return w.LoadShard(args.(*LoadShardArgs), reply.(*struct{}))
+	case CallFetch:
+		return w.Fetch(args.(*FetchArgs), reply.(*FetchReply))
+	case CallComputeGains:
+		return w.ComputeGains(args.(*ComputeGainsArgs), reply.(*ComputeGainsReply))
+	case CallCutStats:
+		return w.CutStats(args.(*CutStatsArgs), reply.(*CutStatsReply))
+	case CallDataset:
+		return w.Dataset(args.(*DatasetArgs), reply.(*DatasetReply))
+	case CallPing:
+		return w.Ping(args.(*struct{}), reply.(*struct{}))
+	default:
+		return fmt.Errorf("dist: unknown method %q", method)
+	}
+}
+
+// Ping answers liveness probes.
+func (w *Worker) Ping(_ *struct{}, _ *struct{}) error { return nil }
+
+// LoadShard installs (or replaces) a shard on the worker.
+func (w *Worker) LoadShard(args *LoadShardArgs, _ *struct{}) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sh := args.Shard
+	for i, existing := range w.shards {
+		if existing.ID == sh.ID {
+			w.shards[i] = &sh
+			return nil
+		}
+	}
+	w.shards = append(w.shards, &sh)
+	sort.Slice(w.shards, func(i, j int) bool { return w.shards[i].Lo < w.shards[j].Lo })
+	return nil
+}
+
+// shardFor locates the shard containing node u.
+func (w *Worker) shardFor(u int32) (*Shard, error) {
+	i := sort.Search(len(w.shards), func(i int) bool { return w.shards[i].Hi > u })
+	if i < len(w.shards) && w.shards[i].Lo <= u {
+		return w.shards[i], nil
+	}
+	return nil, fmt.Errorf("dist: node %d not hosted on this worker", u)
+}
+
+// Fetch returns the adjacency records of the requested nodes.
+func (w *Worker) Fetch(args *FetchArgs, reply *FetchReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	reply.Adj = make([]NodeAdj, 0, len(args.Nodes))
+	for _, u := range args.Nodes {
+		sh, err := w.shardFor(u)
+		if err != nil {
+			return err
+		}
+		reply.Adj = append(reply.Adj, NodeAdj{
+			Node:    u,
+			Friends: sh.friends(u),
+			RejIn:   sh.rejIn(u),
+			RejOut:  sh.rejOut(u),
+		})
+	}
+	return nil
+}
+
+// region converts a partition bit to the graph.Region it encodes.
+func region(suspect bool) graph.Region {
+	if suspect {
+		return graph.Suspect
+	}
+	return graph.Legit
+}
+
+// ComputeGains computes the extended-KL switch gain for every alive hosted
+// node — the distributed equivalent of the single-machine gain
+// initialization, run worker-side so the graph never moves (§V).
+func (w *Worker) ComputeGains(args *ComputeGainsArgs, reply *ComputeGainsReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	alive := func(u int32) bool { return args.Alive == nil || args.Alive.get(u) }
+	total := 0
+	for _, sh := range w.shards {
+		total += sh.NumNodes()
+	}
+	reply.Gains = make([]int64, 0, total)
+	for _, sh := range w.shards {
+		for u := sh.Lo; u < sh.Hi; u++ {
+			if !alive(u) {
+				reply.Gains = append(reply.Gains, 0)
+				continue
+			}
+			pu := region(args.Partition.get(u))
+			var gain int64
+			for _, v := range sh.friends(u) {
+				if !alive(v) {
+					continue
+				}
+				if region(args.Partition.get(v)) == pu {
+					gain -= args.WF
+				} else {
+					gain += args.WF
+				}
+			}
+			for _, x := range sh.rejOut(u) {
+				if alive(x) {
+					gain += kl.RejectedContrib(pu, region(args.Partition.get(x)), args.WR)
+				}
+			}
+			for _, x := range sh.rejIn(u) {
+				if alive(x) {
+					gain += kl.RejecterContrib(pu, region(args.Partition.get(x)), args.WR)
+				}
+			}
+			reply.Gains = append(reply.Gains, gain)
+		}
+	}
+	return nil
+}
+
+// CutStats computes the worker's contribution to the global cut statistics.
+func (w *Worker) CutStats(args *CutStatsArgs, reply *CutStatsReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	alive := func(u int32) bool { return args.Alive == nil || args.Alive.get(u) }
+	for _, sh := range w.shards {
+		for u := sh.Lo; u < sh.Hi; u++ {
+			if !alive(u) {
+				continue
+			}
+			uSuspect := args.Partition.get(u)
+			for _, v := range sh.friends(u) {
+				if u < v && alive(v) && args.Partition.get(v) != uSuspect {
+					reply.CrossFriendships++
+				}
+			}
+			for _, v := range sh.rejOut(u) {
+				if !alive(v) {
+					continue
+				}
+				vSuspect := args.Partition.get(v)
+				switch {
+				case !uSuspect && vSuspect:
+					reply.RejIntoSuspect++
+				case uSuspect && !vSuspect:
+					reply.RejIntoLegit++
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package gen
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchRand() *rand.Rand { return rand.New(rand.NewPCG(9, 9)) }
+
+func BenchmarkBarabasiAlbert10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(benchRand(), 10000, 4)
+	}
+}
+
+func BenchmarkHolmeKim10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HolmeKim(benchRand(), 10000, 4, 0.6)
+	}
+}
+
+func BenchmarkForestFire10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForestFire(benchRand(), 10000, 0.35)
+	}
+}
+
+func BenchmarkCollaboration10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Collaboration(benchRand(), 10000, 30000, 2.5, 0.1)
+	}
+}

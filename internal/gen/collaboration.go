@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// Collaboration generates a co-authorship-style graph as a union of team
+// cliques, the generative model behind collaboration networks such as
+// ca-HepTh and ca-AstroPh. Papers are added until the graph reaches
+// targetEdges friendships (and every author has appeared): each paper
+// selects a team and fully connects it.
+//
+// Team construction:
+//   - The lead of each of the first n papers is a fresh author, so every
+//     node joins the graph; later leads are chosen by preferential
+//     attachment on paper participation.
+//   - Each additional member repeats a previous co-authorship with
+//     probability pRepeat (drawn from the current team's existing
+//     co-authors, which overlaps cliques and drives clustering up), and is
+//     otherwise chosen preferentially.
+//
+// teamMean is the mean team size (≥ 2); sizes follow 2 + Geometric.
+func Collaboration(r *rand.Rand, n, targetEdges int, teamMean, pRepeat float64) *graph.Graph {
+	if teamMean < 2 {
+		panic("gen: Collaboration requires teamMean >= 2")
+	}
+	g := graph.New(n)
+	if n < 2 {
+		return g
+	}
+	// pGeo: success probability so that 2 + Geometric(pGeo) has mean teamMean.
+	pGeo := 1 / (teamMean - 1)
+
+	// participation is the repeated-endpoint list over paper memberships.
+	participation := make([]graph.NodeID, 0, 4*n)
+	introduced := 0
+
+	team := make([]graph.NodeID, 0, 16)
+	inTeam := make(map[graph.NodeID]bool, 16)
+
+	for paper := 0; g.NumFriendships() < targetEdges || introduced < n; paper++ {
+		size := 2
+		for r.Float64() > pGeo {
+			size++
+		}
+		if size > n {
+			size = n
+		}
+		team = team[:0]
+		clear(inTeam)
+
+		// Lead author.
+		var lead graph.NodeID
+		if introduced < n {
+			lead = graph.NodeID(introduced)
+			introduced++
+		} else {
+			lead = participation[r.IntN(len(participation))]
+		}
+		team = append(team, lead)
+		inTeam[lead] = true
+
+		for attempts := 0; len(team) < size; attempts++ {
+			if attempts > 10*size {
+				break // accept a smaller team rather than spin
+			}
+			var cand graph.NodeID = -1
+			if pRepeat > 0 && r.Float64() < pRepeat {
+				// Repeat collaboration: a co-author of a current member.
+				m := team[r.IntN(len(team))]
+				if co := g.Friends(m); len(co) > 0 {
+					cand = co[r.IntN(len(co))]
+				}
+			}
+			if cand < 0 && len(participation) > 0 {
+				cand = participation[r.IntN(len(participation))]
+			}
+			if (cand < 0 || inTeam[cand]) && introduced < n {
+				// Pool exhausted or collision: bring in a fresh author.
+				cand = graph.NodeID(introduced)
+				introduced++
+			}
+			if cand < 0 || inTeam[cand] {
+				continue
+			}
+			team = append(team, cand)
+			inTeam[cand] = true
+		}
+
+		// Clique the team and record participations.
+		for i, u := range team {
+			participation = append(participation, u)
+			for _, v := range team[i+1:] {
+				g.AddFriendship(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0xabcd))
+}
+
+func TestBarabasiAlbertSizeAndConnectivity(t *testing.T) {
+	g := BarabasiAlbert(testRand(1), 2000, 4)
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d, want 2000", g.NumNodes())
+	}
+	wantEdges := 2000 * 4
+	if e := g.NumFriendships(); math.Abs(float64(e-wantEdges)) > 0.05*float64(wantEdges) {
+		t.Fatalf("edges = %d, want ≈ %d", e, wantEdges)
+	}
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Fatalf("BA graph has %d components, want 1", count)
+	}
+}
+
+func TestBarabasiAlbertFractionalM(t *testing.T) {
+	g := BarabasiAlbert(testRand(2), 3000, 2.5)
+	e := float64(g.NumFriendships())
+	if math.Abs(e-3000*2.5) > 0.06*3000*2.5 {
+		t.Fatalf("fractional m: edges = %v, want ≈ 7500", e)
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	g := BarabasiAlbert(testRand(3), 3000, 3)
+	maxDeg := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(graph.NodeID(u)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * float64(g.NumFriendships()) / float64(g.NumNodes())
+	if float64(maxDeg) < 8*avg {
+		t.Fatalf("max degree %d not heavy-tailed vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestHolmeKimClusteringIncreasesWithPt(t *testing.T) {
+	ccLow := HolmeKim(testRand(4), 2000, 4, 0.1).ClusteringCoefficient(testRand(5), 0)
+	ccHigh := HolmeKim(testRand(4), 2000, 4, 0.9).ClusteringCoefficient(testRand(5), 0)
+	if ccHigh <= ccLow+0.05 {
+		t.Fatalf("triad formation did not raise clustering: pt=0.1 → %.3f, pt=0.9 → %.3f", ccLow, ccHigh)
+	}
+}
+
+func TestHolmeKimRequiresM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HolmeKim with m<1 did not panic")
+		}
+	}()
+	HolmeKim(testRand(6), 10, 0.5, 0)
+}
+
+func TestForestFireConnectedAndClustered(t *testing.T) {
+	g := ForestFire(testRand(7), 2000, 0.35)
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Fatalf("forest fire graph has %d components, want 1", count)
+	}
+	if cc := g.ClusteringCoefficient(testRand(8), 0); cc < 0.05 {
+		t.Fatalf("forest fire clustering %.4f unexpectedly low", cc)
+	}
+}
+
+func TestForestFireBadProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForestFire(fwd=1) did not panic")
+		}
+	}()
+	ForestFire(testRand(9), 10, 1)
+}
+
+func TestErdosRenyiGNMExactEdges(t *testing.T) {
+	g := ErdosRenyiGNM(testRand(10), 100, 400)
+	if g.NumFriendships() != 400 {
+		t.Fatalf("edges = %d, want 400", g.NumFriendships())
+	}
+	// Cap at the maximum possible.
+	g = ErdosRenyiGNM(testRand(11), 5, 100)
+	if g.NumFriendships() != 10 {
+		t.Fatalf("capped edges = %d, want 10", g.NumFriendships())
+	}
+}
+
+func TestWattsStrogatzDegreeAndRewiring(t *testing.T) {
+	g := WattsStrogatz(testRand(12), 500, 6, 0)
+	for u := 0; u < 500; u++ {
+		if d := g.Degree(graph.NodeID(u)); d != 6 {
+			t.Fatalf("beta=0 lattice degree(%d) = %d, want 6", u, d)
+		}
+	}
+	ccLattice := g.ClusteringCoefficient(testRand(13), 0)
+	gRewired := WattsStrogatz(testRand(12), 500, 6, 0.8)
+	ccRewired := gRewired.ClusteringCoefficient(testRand(13), 0)
+	if ccRewired >= ccLattice {
+		t.Fatalf("rewiring did not reduce clustering: %.3f → %.3f", ccLattice, ccRewired)
+	}
+}
+
+func TestCollaborationHitsTargets(t *testing.T) {
+	g := Collaboration(testRand(14), 3000, 12000, 2.8, 0.3)
+	if g.NumNodes() != 3000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if e := g.NumFriendships(); e < 12000 || e > 13500 {
+		t.Fatalf("edges = %d, want slightly above 12000", e)
+	}
+	// Every author appears in at least one paper: no isolated nodes
+	// except possibly stragglers from tiny teams.
+	isolated := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(graph.NodeID(u)) == 0 {
+			isolated++
+		}
+	}
+	if isolated > 0 {
+		t.Fatalf("%d isolated authors", isolated)
+	}
+}
+
+func TestCollaborationClusteringScalesWithRepeat(t *testing.T) {
+	low := Collaboration(testRand(15), 2000, 10000, 3, 0.0).ClusteringCoefficient(testRand(16), 0)
+	high := Collaboration(testRand(15), 2000, 10000, 3, 0.8).ClusteringCoefficient(testRand(16), 0)
+	if high <= low {
+		t.Fatalf("repeat collaboration did not raise clustering: %.3f → %.3f", low, high)
+	}
+}
+
+func TestDatasetsTableI(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 7 {
+		t.Fatalf("Datasets returned %d entries, want 7", len(ds))
+	}
+	wantOrder := []string{"Facebook", "ca-HepTh", "ca-AstroPh", "email-Enron", "soc-Epinions", "soc-Slashdot", "Synthetic"}
+	for i, d := range ds {
+		if d.Name != wantOrder[i] {
+			t.Fatalf("dataset %d = %s, want %s", i, d.Name, wantOrder[i])
+		}
+	}
+}
+
+// TestDatasetStandInsMatchTableI generates the two small stand-ins and pins
+// node count exactly, edge count within 2%, and clustering coefficient
+// within a factor band of the published value. The larger graphs are
+// exercised by the Table I bench instead, to keep unit tests fast.
+func TestDatasetStandInsMatchTableI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation too heavy for -short")
+	}
+	for _, name := range []string{"Facebook", "ca-HepTh", "Synthetic"} {
+		d, err := DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := d.Generate(testRand(17))
+		if g.NumNodes() != d.Nodes {
+			t.Errorf("%s: nodes = %d, want %d", name, g.NumNodes(), d.Nodes)
+		}
+		if e := float64(g.NumFriendships()); math.Abs(e-float64(d.Edges)) > 0.02*float64(d.Edges) {
+			t.Errorf("%s: edges = %v, want ≈ %d", name, e, d.Edges)
+		}
+		cc := g.ClusteringCoefficient(testRand(18), 5000)
+		if name == "Synthetic" {
+			if cc > 0.03 {
+				t.Errorf("Synthetic: clustering %.4f, want near zero", cc)
+			}
+			continue
+		}
+		if cc < 0.6*d.ClusterCC || cc > 1.6*d.ClusterCC {
+			t.Errorf("%s: clustering %.4f outside band of target %.4f", name, cc, d.ClusterCC)
+		}
+	}
+}
+
+func TestDatasetByNameUnknown(t *testing.T) {
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset did not error")
+	}
+	names := DatasetNames()
+	if len(names) != 7 || names[0] != "Facebook" {
+		t.Fatalf("DatasetNames = %v", names)
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// twoCliques builds two k-cliques joined by one bridge edge.
+func twoCliques(k int) *Graph {
+	g := New(2 * k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddFriendship(NodeID(i), NodeID(j))
+			g.AddFriendship(NodeID(k+i), NodeID(k+j))
+		}
+	}
+	g.AddFriendship(0, NodeID(k))
+	return g
+}
+
+func TestCommunitiesSeparatesCliques(t *testing.T) {
+	const k = 10
+	g := twoCliques(k)
+	comm, count := g.Communities(rand.New(rand.NewPCG(1, 1)), 0)
+	if count < 2 {
+		t.Fatalf("found %d communities, want ≥ 2", count)
+	}
+	// Each clique must be internally uniform.
+	for i := 1; i < k; i++ {
+		if comm[i] != comm[1] {
+			t.Fatalf("clique A split: comm[%d]=%d != comm[1]=%d", i, comm[i], comm[1])
+		}
+		if comm[k+i] != comm[k+1] {
+			t.Fatalf("clique B split at %d", k+i)
+		}
+	}
+	if comm[1] == comm[k+1] {
+		t.Fatal("the two cliques merged into one community")
+	}
+}
+
+func TestCommunitiesIsolatedNodes(t *testing.T) {
+	g := New(3)
+	comm, count := g.Communities(nil, 0)
+	if count != 3 {
+		t.Fatalf("isolated nodes: %d communities, want 3", count)
+	}
+	if comm[0] == comm[1] || comm[1] == comm[2] {
+		t.Fatal("isolated nodes share a community")
+	}
+}
+
+func TestCommunitiesDeterministic(t *testing.T) {
+	g := twoCliques(8)
+	a, _ := g.Communities(rand.New(rand.NewPCG(5, 5)), 0)
+	b, _ := g.Communities(rand.New(rand.NewPCG(5, 5)), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same rand source produced different communities")
+		}
+	}
+}
+
+func TestSpreadOverCommunitiesCoversAllFirst(t *testing.T) {
+	const k = 6
+	g := twoCliques(k)
+	comm, _ := g.Communities(rand.New(rand.NewPCG(2, 2)), 0)
+	candidates := make([]NodeID, 2*k)
+	for i := range candidates {
+		candidates[i] = NodeID(i)
+	}
+	picked := g.SpreadOverCommunities(candidates, comm, 2)
+	if len(picked) != 2 {
+		t.Fatalf("picked %d, want 2", len(picked))
+	}
+	if comm[picked[0]] == comm[picked[1]] {
+		t.Fatalf("both seeds landed in one community: %v", picked)
+	}
+}
+
+func TestSpreadOverCommunitiesPrefersHighDegree(t *testing.T) {
+	// Star: node 0 is the hub; all in one community.
+	g := New(5)
+	for i := 1; i < 5; i++ {
+		g.AddFriendship(0, NodeID(i))
+	}
+	comm := make([]int32, 5) // single community labeling
+	picked := g.SpreadOverCommunities([]NodeID{1, 2, 0, 3}, comm, 1)
+	if len(picked) != 1 || picked[0] != 0 {
+		t.Fatalf("picked %v, want the hub [0]", picked)
+	}
+}
+
+func TestSpreadOverCommunitiesExhaustsCandidates(t *testing.T) {
+	g := New(4)
+	comm := make([]int32, 4)
+	picked := g.SpreadOverCommunities([]NodeID{1, 2}, comm, 10)
+	if len(picked) != 2 {
+		t.Fatalf("picked %d, want all 2 candidates", len(picked))
+	}
+}

@@ -1,0 +1,154 @@
+package graph
+
+// Partition labels each node with the region it belongs to during a cut
+// search: Legit (Ū, the presumed legitimate region) or Suspect (U, the
+// presumed friend-spammer region).
+type Partition []Region
+
+// Region is one side of a bipartition of the user set.
+type Region uint8
+
+// The two regions of a Rejecto cut.
+const (
+	Legit   Region = iota // Ū: the presumed legitimate region
+	Suspect               // U: the presumed friend-spammer region
+)
+
+// Other returns the opposite region.
+func (r Region) Other() Region {
+	if r == Legit {
+		return Suspect
+	}
+	return Legit
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	if r == Legit {
+		return "legit"
+	}
+	return "suspect"
+}
+
+// NewPartition returns an all-Legit partition for g.
+func NewPartition(n int) Partition {
+	return make(Partition, n)
+}
+
+// Clone returns a copy of p.
+func (p Partition) Clone() Partition {
+	cp := make(Partition, len(p))
+	copy(cp, p)
+	return cp
+}
+
+// Count reports how many nodes are assigned to region r.
+func (p Partition) Count(r Region) int {
+	n := 0
+	for _, pr := range p {
+		if pr == r {
+			n++
+		}
+	}
+	return n
+}
+
+// Nodes returns the IDs assigned to region r, in increasing order.
+func (p Partition) Nodes(r Region) []NodeID {
+	out := make([]NodeID, 0)
+	for u, pr := range p {
+		if pr == r {
+			out = append(out, NodeID(u))
+		}
+	}
+	return out
+}
+
+// CutStats summarizes a cut C = (U, Ū) of the augmented graph, in the
+// paper's §III-A notation. U is the Suspect region.
+type CutStats struct {
+	SuspectSize int // |U|
+	LegitSize   int // |Ū|
+
+	CrossFriendships int // |F(Ū, U)|: attack-candidate OSN links across the cut
+	RejIntoSuspect   int // |R⃗⟨Ū, U⟩|: rejections cast by Ū on U's requests
+	RejIntoLegit     int // |R⃗⟨U, Ū⟩|: rejections cast by U on Ū's requests
+}
+
+// AcceptanceOfSuspect returns AC⟨U, Ū⟩ = |F(Ū,U)| / (|F(Ū,U)| + |R⃗⟨Ū,U⟩|):
+// the aggregate acceptance rate of the requests sent from the Suspect
+// region to the rest of the graph. It returns 1 when the region sent no
+// requests across the cut (no cross links and no rejections), which is the
+// conservative "nothing suspicious" reading.
+func (s CutStats) AcceptanceOfSuspect() float64 {
+	d := s.CrossFriendships + s.RejIntoSuspect
+	if d == 0 {
+		return 1
+	}
+	return float64(s.CrossFriendships) / float64(d)
+}
+
+// AcceptanceOfLegit returns AC⟨Ū, U⟩, the aggregate acceptance rate of the
+// requests sent from the Legit region into the Suspect region. Comparing it
+// with AcceptanceOfSuspect orients a cut: the side whose outgoing requests
+// fare worse is the spam side.
+func (s CutStats) AcceptanceOfLegit() float64 {
+	d := s.CrossFriendships + s.RejIntoLegit
+	if d == 0 {
+		return 1
+	}
+	return float64(s.CrossFriendships) / float64(d)
+}
+
+// FriendsToRejections returns the aggregate friends-to-rejections ratio
+// |F(Ū,U)| / |R⃗⟨Ū,U⟩| that the MAAR search minimizes (§IV-B). It returns
+// +Inf-like maximal value via ok=false when there are no rejections into
+// the Suspect region.
+func (s CutStats) FriendsToRejections() (ratio float64, ok bool) {
+	if s.RejIntoSuspect == 0 {
+		return 0, false
+	}
+	return float64(s.CrossFriendships) / float64(s.RejIntoSuspect), true
+}
+
+// Trivial reports whether either side of the cut is empty.
+func (s CutStats) Trivial() bool {
+	return s.SuspectSize == 0 || s.LegitSize == 0
+}
+
+// Stats computes the cut statistics of partition p over g.
+// p must have length g.NumNodes().
+func (p Partition) Stats(g *Graph) CutStats {
+	if len(p) != g.NumNodes() {
+		panic("graph: partition length mismatch")
+	}
+	var s CutStats
+	for u, r := range p {
+		if r == Suspect {
+			s.SuspectSize++
+		} else {
+			s.LegitSize++
+		}
+		for _, v := range g.friends[u] {
+			if NodeID(u) < v && p[v] != r {
+				s.CrossFriendships++
+			}
+		}
+		for _, v := range g.rejOut[u] {
+			switch {
+			case r == Legit && p[v] == Suspect:
+				s.RejIntoSuspect++
+			case r == Suspect && p[v] == Legit:
+				s.RejIntoLegit++
+			}
+		}
+	}
+	return s
+}
+
+// Objective evaluates the linearized partition objective
+// |F(Ū,U)| − k·|R⃗⟨Ū,U⟩| that the extended Kernighan–Lin pass minimizes for
+// a fixed k (§IV-D).
+func (s CutStats) Objective(k float64) float64 {
+	return float64(s.CrossFriendships) - k*float64(s.RejIntoSuspect)
+}

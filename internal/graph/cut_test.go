@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// fixtureCut builds the small worked example used by several tests:
+//
+//	legit: 0, 1, 2 (triangle); suspect: 3, 4 (linked)
+//	cross friendships: (2,3)
+//	rejections: ⟨0,3⟩ ⟨1,4⟩ (into suspect), ⟨3,0⟩ (into legit), ⟨1,2⟩ (internal)
+func fixtureCut() (*Graph, Partition) {
+	g := New(5)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	g.AddFriendship(0, 2)
+	g.AddFriendship(3, 4)
+	g.AddFriendship(2, 3)
+	g.AddRejection(0, 3)
+	g.AddRejection(1, 4)
+	g.AddRejection(3, 0)
+	g.AddRejection(1, 2)
+	p := NewPartition(5)
+	p[3], p[4] = Suspect, Suspect
+	return g, p
+}
+
+func TestCutStats(t *testing.T) {
+	g, p := fixtureCut()
+	s := p.Stats(g)
+	if s.SuspectSize != 2 || s.LegitSize != 3 {
+		t.Fatalf("sizes = %d/%d, want 2/3", s.SuspectSize, s.LegitSize)
+	}
+	if s.CrossFriendships != 1 {
+		t.Fatalf("CrossFriendships = %d, want 1", s.CrossFriendships)
+	}
+	if s.RejIntoSuspect != 2 {
+		t.Fatalf("RejIntoSuspect = %d, want 2", s.RejIntoSuspect)
+	}
+	if s.RejIntoLegit != 1 {
+		t.Fatalf("RejIntoLegit = %d, want 1", s.RejIntoLegit)
+	}
+}
+
+func TestAcceptanceRates(t *testing.T) {
+	g, p := fixtureCut()
+	s := p.Stats(g)
+	if got, want := s.AcceptanceOfSuspect(), 1.0/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AcceptanceOfSuspect = %v, want %v", got, want)
+	}
+	if got, want := s.AcceptanceOfLegit(), 1.0/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AcceptanceOfLegit = %v, want %v", got, want)
+	}
+	ratio, ok := s.FriendsToRejections()
+	if !ok || math.Abs(ratio-0.5) > 1e-12 {
+		t.Fatalf("FriendsToRejections = %v, %v; want 0.5, true", ratio, ok)
+	}
+}
+
+func TestAcceptanceEmptyCut(t *testing.T) {
+	g := New(3)
+	g.AddFriendship(0, 1)
+	p := NewPartition(3) // everything legit
+	s := p.Stats(g)
+	if !s.Trivial() {
+		t.Fatal("all-legit partition should be trivial")
+	}
+	if s.AcceptanceOfSuspect() != 1 {
+		t.Fatal("empty cut should read as fully accepted (nothing suspicious)")
+	}
+	if _, ok := s.FriendsToRejections(); ok {
+		t.Fatal("FriendsToRejections should not be defined without rejections")
+	}
+}
+
+func TestObjective(t *testing.T) {
+	g, p := fixtureCut()
+	s := p.Stats(g)
+	// |F(Ū,U)| − k·|R⃗⟨Ū,U⟩| = 1 − k·2
+	if got := s.Objective(0.5); got != 0 {
+		t.Fatalf("Objective(0.5) = %v, want 0", got)
+	}
+	if got := s.Objective(1); got != -1 {
+		t.Fatalf("Objective(1) = %v, want -1", got)
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	if Legit.Other() != Suspect || Suspect.Other() != Legit {
+		t.Fatal("Region.Other broken")
+	}
+	if Legit.String() != "legit" || Suspect.String() != "suspect" {
+		t.Fatal("Region.String broken")
+	}
+	p := Partition{Legit, Suspect, Suspect}
+	if p.Count(Suspect) != 2 || p.Count(Legit) != 1 {
+		t.Fatal("Partition.Count broken")
+	}
+	nodes := p.Nodes(Suspect)
+	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 2 {
+		t.Fatalf("Partition.Nodes = %v", nodes)
+	}
+	cp := p.Clone()
+	cp[0] = Suspect
+	if p[0] != Legit {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+// TestStatsMirrorSymmetry: mirroring the partition swaps the directional
+// stats and preserves cross friendships.
+func TestStatsMirrorSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		g := New(12)
+		for i := 0; i < 40; i++ {
+			u, v := NodeID(r.IntN(12)), NodeID(r.IntN(12))
+			if u == v {
+				continue
+			}
+			if r.IntN(2) == 0 {
+				g.AddFriendship(u, v)
+			} else {
+				g.AddRejection(u, v)
+			}
+		}
+		p := NewPartition(12)
+		for i := range p {
+			if r.IntN(2) == 0 {
+				p[i] = Suspect
+			}
+		}
+		m := p.Clone()
+		for i := range m {
+			m[i] = m[i].Other()
+		}
+		sp, sm := p.Stats(g), m.Stats(g)
+		return sp.CrossFriendships == sm.CrossFriendships &&
+			sp.RejIntoSuspect == sm.RejIntoLegit &&
+			sp.RejIntoLegit == sm.RejIntoSuspect &&
+			sp.SuspectSize == sm.LegitSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

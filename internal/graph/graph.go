@@ -1,0 +1,234 @@
+// Package graph implements the rejection-augmented social graph that
+// Rejecto operates on (§III-A of the paper).
+//
+// The graph G = (V, F, R⃗) has a user set V, a set F of undirected
+// friendships (OSN links whose establishment required mutual agreement),
+// and a set R⃗ of directed social rejections: an edge ⟨u, v⟩ records that
+// user u rejected, ignored, or reported a friend request sent by user v.
+// Multiple rejections between the same ordered pair collapse into a single
+// edge, exactly as the paper models them.
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// NodeID identifies a user in the graph. IDs are dense, starting at zero.
+// int32 keeps adjacency lists compact for multi-million-node graphs.
+type NodeID int32
+
+// Graph is a mutable rejection-augmented social graph.
+//
+// The zero value is an empty graph ready for use. Graph is not safe for
+// concurrent mutation; concurrent reads are safe once mutation stops.
+type Graph struct {
+	friends [][]NodeID // friends[u] = neighbours of u over F (symmetric)
+	rejIn   [][]NodeID // rejIn[v]  = users u with a rejection edge ⟨u, v⟩
+	rejOut  [][]NodeID // rejOut[u] = users v with a rejection edge ⟨u, v⟩
+
+	numFriendships int // |F|
+	numRejections  int // |R⃗|
+}
+
+// New returns a graph pre-populated with n isolated nodes.
+func New(n int) *Graph {
+	g := &Graph{}
+	g.AddNodes(n)
+	return g
+}
+
+// NumNodes reports |V|.
+func (g *Graph) NumNodes() int { return len(g.friends) }
+
+// NumFriendships reports |F|, counting each undirected link once.
+func (g *Graph) NumFriendships() int { return g.numFriendships }
+
+// NumRejections reports |R⃗|.
+func (g *Graph) NumRejections() int { return g.numRejections }
+
+// AddNode appends one isolated node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	g.friends = append(g.friends, nil)
+	g.rejIn = append(g.rejIn, nil)
+	g.rejOut = append(g.rejOut, nil)
+	return NodeID(len(g.friends) - 1)
+}
+
+// AddNodes appends n isolated nodes and returns the ID of the first.
+func (g *Graph) AddNodes(n int) NodeID {
+	first := NodeID(len(g.friends))
+	g.friends = slices.Grow(g.friends, n)
+	g.rejIn = slices.Grow(g.rejIn, n)
+	g.rejOut = slices.Grow(g.rejOut, n)
+	for i := 0; i < n; i++ {
+		g.friends = append(g.friends, nil)
+		g.rejIn = append(g.rejIn, nil)
+		g.rejOut = append(g.rejOut, nil)
+	}
+	return first
+}
+
+func (g *Graph) checkNode(u NodeID) {
+	if u < 0 || int(u) >= len(g.friends) {
+		panic(fmt.Sprintf("graph: node %d out of range [0, %d)", u, len(g.friends)))
+	}
+}
+
+// AddFriendship inserts the undirected OSN link (u, v). It reports whether
+// the link was added; it is a no-op returning false if the link already
+// exists. Self-links panic: a user cannot befriend themself.
+func (g *Graph) AddFriendship(u, v NodeID) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-friendship at node %d", u))
+	}
+	// Check containment on the smaller adjacency list.
+	a, b := u, v
+	if len(g.friends[a]) > len(g.friends[b]) {
+		a, b = b, a
+	}
+	if slices.Contains(g.friends[a], b) {
+		return false
+	}
+	g.friends[u] = append(g.friends[u], v)
+	g.friends[v] = append(g.friends[v], u)
+	g.numFriendships++
+	return true
+}
+
+// AddRejection inserts the directed rejection edge ⟨from, to⟩: from rejected
+// a friend request sent by to. Repeated rejections between the same ordered
+// pair collapse into one edge; the call reports whether a new edge was
+// added. Self-rejections panic.
+func (g *Graph) AddRejection(from, to NodeID) bool {
+	g.checkNode(from)
+	g.checkNode(to)
+	if from == to {
+		panic(fmt.Sprintf("graph: self-rejection at node %d", from))
+	}
+	// Check containment on whichever side has the shorter list.
+	if len(g.rejOut[from]) <= len(g.rejIn[to]) {
+		if slices.Contains(g.rejOut[from], to) {
+			return false
+		}
+	} else if slices.Contains(g.rejIn[to], from) {
+		return false
+	}
+	g.rejOut[from] = append(g.rejOut[from], to)
+	g.rejIn[to] = append(g.rejIn[to], from)
+	g.numRejections++
+	return true
+}
+
+// HasFriendship reports whether the undirected link (u, v) exists.
+func (g *Graph) HasFriendship(u, v NodeID) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	a, b := u, v
+	if len(g.friends[a]) > len(g.friends[b]) {
+		a, b = b, a
+	}
+	return slices.Contains(g.friends[a], b)
+}
+
+// HasRejection reports whether the rejection edge ⟨from, to⟩ exists.
+func (g *Graph) HasRejection(from, to NodeID) bool {
+	g.checkNode(from)
+	g.checkNode(to)
+	if len(g.rejOut[from]) <= len(g.rejIn[to]) {
+		return slices.Contains(g.rejOut[from], to)
+	}
+	return slices.Contains(g.rejIn[to], from)
+}
+
+// Friends returns the friendship neighbours of u. The returned slice is the
+// graph's internal storage: callers must not mutate it and must not hold it
+// across graph mutations.
+func (g *Graph) Friends(u NodeID) []NodeID {
+	g.checkNode(u)
+	return g.friends[u]
+}
+
+// Rejecters returns the users that cast a rejection on u (edges ⟨x, u⟩).
+// The slice aliases internal storage; see Friends.
+func (g *Graph) Rejecters(u NodeID) []NodeID {
+	g.checkNode(u)
+	return g.rejIn[u]
+}
+
+// Rejected returns the users u cast a rejection on (edges ⟨u, x⟩).
+// The slice aliases internal storage; see Friends.
+func (g *Graph) Rejected(u NodeID) []NodeID {
+	g.checkNode(u)
+	return g.rejOut[u]
+}
+
+// Degree reports the number of friendship links incident to u.
+func (g *Graph) Degree(u NodeID) int {
+	g.checkNode(u)
+	return len(g.friends[u])
+}
+
+// InRejections reports the number of rejections cast on u.
+func (g *Graph) InRejections(u NodeID) int {
+	g.checkNode(u)
+	return len(g.rejIn[u])
+}
+
+// OutRejections reports the number of rejections cast by u.
+func (g *Graph) OutRejections(u NodeID) int {
+	g.checkNode(u)
+	return len(g.rejOut[u])
+}
+
+// Acceptance returns u's individual request acceptance estimate
+// f/(f+r), where f is u's friend count (accepted requests involving u) and
+// r the rejections cast on u. It returns 1 for isolated nodes. This is the
+// per-user signal that naive spam filters use and that collusion defeats;
+// Rejecto only uses it to seed initial partitions.
+func (g *Graph) Acceptance(u NodeID) float64 {
+	f, r := g.Degree(u), g.InRejections(u)
+	if f+r == 0 {
+		return 1
+	}
+	return float64(f) / float64(f+r)
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{
+		friends:        make([][]NodeID, len(g.friends)),
+		rejIn:          make([][]NodeID, len(g.rejIn)),
+		rejOut:         make([][]NodeID, len(g.rejOut)),
+		numFriendships: g.numFriendships,
+		numRejections:  g.numRejections,
+	}
+	for i := range g.friends {
+		cp.friends[i] = slices.Clone(g.friends[i])
+		cp.rejIn[i] = slices.Clone(g.rejIn[i])
+		cp.rejOut[i] = slices.Clone(g.rejOut[i])
+	}
+	return cp
+}
+
+// ForEachFriendship calls fn once per undirected link with u < v.
+func (g *Graph) ForEachFriendship(fn func(u, v NodeID)) {
+	for u := range g.friends {
+		for _, v := range g.friends[u] {
+			if NodeID(u) < v {
+				fn(NodeID(u), v)
+			}
+		}
+	}
+}
+
+// ForEachRejection calls fn once per directed rejection edge ⟨from, to⟩.
+func (g *Graph) ForEachRejection(fn func(from, to NodeID)) {
+	for u := range g.rejOut {
+		for _, v := range g.rejOut[u] {
+			fn(NodeID(u), v)
+		}
+	}
+}

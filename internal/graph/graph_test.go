@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodes(t *testing.T) {
+	g := New(3)
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if id := g.AddNode(); id != 3 {
+		t.Fatalf("AddNode = %d, want 3", id)
+	}
+	if first := g.AddNodes(2); first != 4 {
+		t.Fatalf("AddNodes first = %d, want 4", first)
+	}
+	if g.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", g.NumNodes())
+	}
+}
+
+func TestFriendshipSymmetry(t *testing.T) {
+	g := New(3)
+	if !g.AddFriendship(0, 1) {
+		t.Fatal("AddFriendship(0,1) = false on first add")
+	}
+	if !g.HasFriendship(0, 1) || !g.HasFriendship(1, 0) {
+		t.Fatal("friendship not symmetric")
+	}
+	if g.AddFriendship(1, 0) {
+		t.Fatal("duplicate friendship (reversed) not deduplicated")
+	}
+	if g.NumFriendships() != 1 {
+		t.Fatalf("NumFriendships = %d, want 1", g.NumFriendships())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatal("degrees wrong after one friendship")
+	}
+}
+
+func TestRejectionDirected(t *testing.T) {
+	g := New(3)
+	if !g.AddRejection(0, 1) {
+		t.Fatal("AddRejection(0,1) = false on first add")
+	}
+	if !g.HasRejection(0, 1) {
+		t.Fatal("HasRejection(0,1) = false")
+	}
+	if g.HasRejection(1, 0) {
+		t.Fatal("rejection should be directed; reverse edge reported present")
+	}
+	if !g.AddRejection(1, 0) {
+		t.Fatal("reverse rejection should be a distinct edge")
+	}
+	if g.AddRejection(0, 1) {
+		t.Fatal("repeated rejections must collapse into a single edge")
+	}
+	if g.NumRejections() != 2 {
+		t.Fatalf("NumRejections = %d, want 2", g.NumRejections())
+	}
+	if g.InRejections(1) != 1 || g.OutRejections(0) != 1 {
+		t.Fatal("in/out rejection counts wrong")
+	}
+}
+
+func TestSelfEdgesPanic(t *testing.T) {
+	g := New(2)
+	for name, fn := range map[string]func(){
+		"friendship": func() { g.AddFriendship(1, 1) },
+		"rejection":  func() { g.AddRejection(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("self-%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range node did not panic")
+		}
+	}()
+	g.AddFriendship(0, 5)
+}
+
+func TestAcceptance(t *testing.T) {
+	g := New(4)
+	if got := g.Acceptance(0); got != 1 {
+		t.Fatalf("isolated node acceptance = %v, want 1", got)
+	}
+	g.AddFriendship(0, 1)
+	g.AddFriendship(0, 2)
+	g.AddRejection(3, 0) // 3 rejected 0's request
+	g.AddRejection(2, 0)
+	if got, want := g.Acceptance(0), 0.5; got != want {
+		t.Fatalf("acceptance = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddFriendship(0, 1)
+	g.AddRejection(2, 0)
+	cp := g.Clone()
+	cp.AddFriendship(1, 2)
+	cp.AddRejection(0, 1)
+	if g.NumFriendships() != 1 || g.NumRejections() != 1 {
+		t.Fatal("mutating clone changed original")
+	}
+	if cp.NumFriendships() != 2 || cp.NumRejections() != 2 {
+		t.Fatal("clone mutation lost")
+	}
+}
+
+func TestForEachVisitsOnce(t *testing.T) {
+	g := New(4)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	g.AddFriendship(2, 3)
+	g.AddRejection(0, 3)
+	g.AddRejection(3, 0)
+
+	edges := map[[2]NodeID]int{}
+	g.ForEachFriendship(func(u, v NodeID) { edges[[2]NodeID{u, v}]++ })
+	if len(edges) != 3 {
+		t.Fatalf("ForEachFriendship visited %d edges, want 3", len(edges))
+	}
+	for e, n := range edges {
+		if n != 1 || e[0] >= e[1] {
+			t.Fatalf("edge %v visited %d times (want once, u<v)", e, n)
+		}
+	}
+	rejs := map[[2]NodeID]int{}
+	g.ForEachRejection(func(from, to NodeID) { rejs[[2]NodeID{from, to}]++ })
+	if len(rejs) != 2 || rejs[[2]NodeID{0, 3}] != 1 || rejs[[2]NodeID{3, 0}] != 1 {
+		t.Fatalf("ForEachRejection visited %v", rejs)
+	}
+}
+
+// TestEdgeCountInvariant checks that edge counters always match adjacency
+// sums under random construction.
+func TestEdgeCountInvariant(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		ops := int(opsRaw)
+		g := New(10)
+		for i := 0; i < ops; i++ {
+			u, v := NodeID(r.IntN(10)), NodeID(r.IntN(10))
+			if u == v {
+				continue
+			}
+			if r.IntN(2) == 0 {
+				g.AddFriendship(u, v)
+			} else {
+				g.AddRejection(u, v)
+			}
+		}
+		degSum, inSum, outSum := 0, 0, 0
+		for u := 0; u < 10; u++ {
+			degSum += g.Degree(NodeID(u))
+			inSum += g.InRejections(NodeID(u))
+			outSum += g.OutRejections(NodeID(u))
+		}
+		return degSum == 2*g.NumFriendships() &&
+			inSum == g.NumRejections() && outSum == g.NumRejections()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphPrunesEverythingIncident(t *testing.T) {
+	g := New(5)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	g.AddFriendship(3, 4)
+	g.AddRejection(0, 2)
+	g.AddRejection(2, 4)
+
+	keep := []bool{true, false, true, true, true} // drop node 1
+	sub, orig := g.Subgraph(keep)
+	if sub.NumNodes() != 4 {
+		t.Fatalf("sub nodes = %d, want 4", sub.NumNodes())
+	}
+	wantOrig := []NodeID{0, 2, 3, 4}
+	for i, o := range orig {
+		if o != wantOrig[i] {
+			t.Fatalf("origIDs = %v, want %v", orig, wantOrig)
+		}
+	}
+	if sub.NumFriendships() != 1 { // only (3,4) survives
+		t.Fatalf("sub friendships = %d, want 1", sub.NumFriendships())
+	}
+	if sub.NumRejections() != 2 { // ⟨0,2⟩ and ⟨2,4⟩ survive
+		t.Fatalf("sub rejections = %d, want 2", sub.NumRejections())
+	}
+	// Remapped: orig 0→0, 2→1, 3→2, 4→3.
+	if !sub.HasRejection(0, 1) || !sub.HasRejection(1, 3) || !sub.HasFriendship(2, 3) {
+		t.Fatal("subgraph edges not remapped correctly")
+	}
+}
+
+func TestSubgraphKeepAllIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	g := New(20)
+	for i := 0; i < 50; i++ {
+		u, v := NodeID(r.IntN(20)), NodeID(r.IntN(20))
+		if u != v {
+			g.AddFriendship(u, v)
+			g.AddRejection(v, u)
+		}
+	}
+	keep := make([]bool, 20)
+	for i := range keep {
+		keep[i] = true
+	}
+	sub, _ := g.Subgraph(keep)
+	if sub.NumFriendships() != g.NumFriendships() || sub.NumRejections() != g.NumRejections() {
+		t.Fatal("keep-all subgraph lost edges")
+	}
+}
+
+func TestWithout(t *testing.T) {
+	g := New(3)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	sub, orig := g.Without(map[NodeID]bool{1: true})
+	if sub.NumNodes() != 2 || sub.NumFriendships() != 0 {
+		t.Fatalf("Without: nodes=%d friendships=%d, want 2, 0", sub.NumNodes(), sub.NumFriendships())
+	}
+	if orig[0] != 0 || orig[1] != 2 {
+		t.Fatalf("Without origIDs = %v", orig)
+	}
+}

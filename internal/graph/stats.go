@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"slices"
+)
+
+// GlobalStats bundles the structural statistics the paper reports per
+// evaluation graph (Table I).
+type GlobalStats struct {
+	Nodes                 int
+	Friendships           int
+	Rejections            int
+	AvgDegree             float64
+	ClusteringCoefficient float64
+	Diameter              int // lower-bound estimate on large graphs
+	Components            int
+	LargestComponent      int
+}
+
+// Stats computes GlobalStats for g. For graphs above the exact-computation
+// thresholds, the clustering coefficient is estimated on a node sample and
+// the diameter by iterated double-sweep BFS; both are deterministic given
+// the provided rand source. Pass nil to use a fixed internal seed.
+func (g *Graph) Stats(r *rand.Rand) GlobalStats {
+	if r == nil {
+		r = rand.New(rand.NewPCG(0x5eed, 0x5eed))
+	}
+	s := GlobalStats{
+		Nodes:       g.NumNodes(),
+		Friendships: g.NumFriendships(),
+		Rejections:  g.NumRejections(),
+	}
+	if s.Nodes > 0 {
+		s.AvgDegree = 2 * float64(s.Friendships) / float64(s.Nodes)
+	}
+	s.ClusteringCoefficient = g.ClusteringCoefficient(r, 20000)
+	s.Diameter = g.ApproxDiameter(r, 8)
+	s.Components, s.LargestComponent = g.componentSummary()
+	return s
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient
+// over nodes with degree ≥ 2 (the convention of the paper's Table I).
+// If the graph has more than sampleLimit such nodes, it averages over a
+// uniform sample of that size drawn from r.
+func (g *Graph) ClusteringCoefficient(r *rand.Rand, sampleLimit int) float64 {
+	if r == nil {
+		r = rand.New(rand.NewPCG(0x5eed, 1))
+	}
+	eligible := make([]NodeID, 0, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		if len(g.friends[u]) >= 2 {
+			eligible = append(eligible, NodeID(u))
+		}
+	}
+	if len(eligible) == 0 {
+		return 0
+	}
+	nodes := eligible
+	if sampleLimit > 0 && len(eligible) > sampleLimit {
+		nodes = make([]NodeID, sampleLimit)
+		for i := range nodes {
+			nodes[i] = eligible[r.IntN(len(eligible))]
+		}
+	}
+
+	// Sorted copies of adjacency lists make the pair-membership tests
+	// O(log d) without mutating the graph.
+	sorted := make(map[NodeID][]NodeID, len(nodes)*8)
+	adj := func(u NodeID) []NodeID {
+		if a, ok := sorted[u]; ok {
+			return a
+		}
+		a := slices.Clone(g.friends[u])
+		slices.Sort(a)
+		sorted[u] = a
+		return a
+	}
+
+	total := 0.0
+	for _, u := range nodes {
+		nbrs := g.friends[u]
+		d := len(nbrs)
+		links := 0
+		for i := 0; i < d; i++ {
+			ai := adj(nbrs[i])
+			for j := i + 1; j < d; j++ {
+				if _, ok := slices.BinarySearch(ai, nbrs[j]); ok {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+	}
+	return total / float64(len(nodes))
+}
+
+// BFS runs a breadth-first search over friendships from src and returns
+// the distance to every node (-1 if unreachable).
+func (g *Graph) BFS(src NodeID) []int32 {
+	g.checkNode(src)
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.friends[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ApproxDiameter estimates the diameter of the largest connected component
+// by iterated double-sweep BFS: from a start node, BFS to the farthest node,
+// then BFS again from there, repeating for the given number of sweeps. The
+// result is a lower bound that is exact or near-exact on social graphs.
+func (g *Graph) ApproxDiameter(r *rand.Rand, sweeps int) int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	if r == nil {
+		r = rand.New(rand.NewPCG(0x5eed, 2))
+	}
+	// Start inside the largest component: take the max-degree node.
+	start := NodeID(0)
+	for u := 0; u < n; u++ {
+		if len(g.friends[u]) > len(g.friends[start]) {
+			start = NodeID(u)
+		}
+	}
+	best := 0
+	cur := start
+	for i := 0; i < sweeps; i++ {
+		dist := g.BFS(cur)
+		far, fd := cur, int32(0)
+		for v, d := range dist {
+			if d > fd {
+				far, fd = NodeID(v), d
+			}
+		}
+		if int(fd) > best {
+			best = int(fd)
+		}
+		if far == cur {
+			break
+		}
+		cur = far
+	}
+	return best
+}
+
+// componentSummary returns the number of connected components (over
+// friendships) and the size of the largest.
+func (g *Graph) componentSummary() (count, largest int) {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	for u := 0; u < n; u++ {
+		if seen[u] {
+			continue
+		}
+		count++
+		size := 0
+		queue := []NodeID{NodeID(u)}
+		seen[u] = true
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			size++
+			for _, v := range g.friends[x] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return count, largest
+}
+
+// ConnectedComponents assigns a component index to every node and returns
+// the assignment along with the number of components.
+func (g *Graph) ConnectedComponents() (comp []int32, count int) {
+	n := g.NumNodes()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		if comp[u] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		queue := []NodeID{NodeID(u)}
+		comp[u] = id
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, v := range g.friends[x] {
+				if comp[v] < 0 {
+					comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return comp, count
+}

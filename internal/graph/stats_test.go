@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// path builds a path graph 0-1-2-...-n-1.
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddFriendship(NodeID(i), NodeID(i+1))
+	}
+	return g
+}
+
+// clique builds a complete graph on n nodes.
+func clique(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddFriendship(NodeID(i), NodeID(j))
+		}
+	}
+	return g
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(5)
+	g.AddNode() // isolated node 5
+	dist := g.BFS(0)
+	want := []int32{0, 1, 2, 3, 4, -1}
+	for i, d := range want {
+		if dist[i] != d {
+			t.Fatalf("BFS dist = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestClusteringCoefficientClique(t *testing.T) {
+	if cc := clique(6).ClusteringCoefficient(nil, 0); math.Abs(cc-1) > 1e-12 {
+		t.Fatalf("clique CC = %v, want 1", cc)
+	}
+}
+
+func TestClusteringCoefficientTriangleFree(t *testing.T) {
+	// A star has no triangles.
+	g := New(6)
+	for i := 1; i < 6; i++ {
+		g.AddFriendship(0, NodeID(i))
+	}
+	if cc := g.ClusteringCoefficient(nil, 0); cc != 0 {
+		t.Fatalf("star CC = %v, want 0", cc)
+	}
+}
+
+func TestClusteringCoefficientMixed(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 on node 0.
+	g := New(4)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	g.AddFriendship(0, 2)
+	g.AddFriendship(0, 3)
+	// Local CCs: node 0 has deg 3, 1 closed pair of 3 → 1/3; nodes 1, 2
+	// have deg 2, closed → 1. Node 3 has deg 1, excluded.
+	want := (1.0/3 + 1 + 1) / 3
+	if cc := g.ClusteringCoefficient(nil, 0); math.Abs(cc-want) > 1e-12 {
+		t.Fatalf("CC = %v, want %v", cc, want)
+	}
+}
+
+func TestApproxDiameterPath(t *testing.T) {
+	if d := path(10).ApproxDiameter(nil, 8); d != 9 {
+		t.Fatalf("path diameter = %d, want 9", d)
+	}
+}
+
+func TestApproxDiameterClique(t *testing.T) {
+	if d := clique(5).ApproxDiameter(nil, 4); d != 1 {
+		t.Fatalf("clique diameter = %d, want 1", d)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := path(3)
+	g.AddNodes(3)
+	g.AddFriendship(3, 4) // second component {3,4}; node 5 isolated
+	comp, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("path nodes in different components")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("component assignment wrong")
+	}
+}
+
+func TestGlobalStats(t *testing.T) {
+	g := clique(4)
+	g.AddRejection(0, 1)
+	s := g.Stats(nil)
+	if s.Nodes != 4 || s.Friendships != 6 || s.Rejections != 1 {
+		t.Fatalf("stats counts wrong: %+v", s)
+	}
+	if math.Abs(s.AvgDegree-3) > 1e-12 {
+		t.Fatalf("AvgDegree = %v, want 3", s.AvgDegree)
+	}
+	if s.Components != 1 || s.LargestComponent != 4 {
+		t.Fatalf("component summary wrong: %+v", s)
+	}
+	if s.Diameter != 1 || math.Abs(s.ClusteringCoefficient-1) > 1e-12 {
+		t.Fatalf("diameter/CC wrong: %+v", s)
+	}
+}
+
+func TestStatsEmptyGraph(t *testing.T) {
+	g := &Graph{}
+	s := g.Stats(nil)
+	if s.Nodes != 0 || s.Diameter != 0 || s.ClusteringCoefficient != 0 {
+		t.Fatalf("empty graph stats = %+v", s)
+	}
+}

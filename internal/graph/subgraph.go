@@ -1,0 +1,54 @@
+package graph
+
+// Subgraph returns the induced subgraph on the nodes where keep[u] is true,
+// together with origIDs mapping each new node ID back to its ID in g.
+// Friendships and rejections with either endpoint dropped are removed —
+// this is the pruning step of Rejecto's iterative detection (§IV-E), where
+// each detected spammer group is cut off "with their links and rejections".
+//
+// keep must have length g.NumNodes().
+func (g *Graph) Subgraph(keep []bool) (sub *Graph, origIDs []NodeID) {
+	if len(keep) != g.NumNodes() {
+		panic("graph: Subgraph keep length mismatch")
+	}
+	newID := make([]NodeID, g.NumNodes())
+	origIDs = make([]NodeID, 0)
+	for u := range keep {
+		if keep[u] {
+			newID[u] = NodeID(len(origIDs))
+			origIDs = append(origIDs, NodeID(u))
+		} else {
+			newID[u] = -1
+		}
+	}
+
+	sub = New(len(origIDs))
+	for _, origU := range origIDs {
+		u := newID[origU]
+		for _, origV := range g.friends[origU] {
+			if v := newID[origV]; v >= 0 && u < v {
+				sub.friends[u] = append(sub.friends[u], v)
+				sub.friends[v] = append(sub.friends[v], u)
+				sub.numFriendships++
+			}
+		}
+		for _, origV := range g.rejOut[origU] {
+			if v := newID[origV]; v >= 0 {
+				sub.rejOut[u] = append(sub.rejOut[u], v)
+				sub.rejIn[v] = append(sub.rejIn[v], u)
+				sub.numRejections++
+			}
+		}
+	}
+	return sub, origIDs
+}
+
+// Without is a convenience wrapper over Subgraph that removes the given
+// node set.
+func (g *Graph) Without(remove map[NodeID]bool) (sub *Graph, origIDs []NodeID) {
+	keep := make([]bool, g.NumNodes())
+	for u := range keep {
+		keep[u] = !remove[NodeID(u)]
+	}
+	return g.Subgraph(keep)
+}

@@ -1,0 +1,155 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := graph.New(5)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(3, 2)
+	g.AddRejection(1, 4)
+	g.AddRejection(4, 1)
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualGraphs(t, g, got)
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 33))
+		g := graph.New(20)
+		for i := 0; i < 60; i++ {
+			u, v := graph.NodeID(r.IntN(20)), graph.NodeID(r.IntN(20))
+			if u == v {
+				continue
+			}
+			if r.IntN(2) == 0 {
+				g.AddFriendship(u, v)
+			} else {
+				g.AddRejection(u, v)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := graph.New(3)
+	g.AddFriendship(0, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated edge section.
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Edge endpoint out of range.
+	bad = append([]byte{}, data...)
+	bad[len(bad)-4] = 0xFF // corrupt the v endpoint of the only edge
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func TestBinaryFileAndReadAny(t *testing.T) {
+	g := graph.New(4)
+	g.AddFriendship(0, 3)
+	g.AddRejection(2, 1)
+	dir := t.TempDir()
+
+	binPath := filepath.Join(dir, "g.bin")
+	if err := WriteBinaryFile(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualGraphs(t, g, got)
+
+	// ReadAny dispatches on magic for both formats.
+	txtPath := filepath.Join(dir, "g.txt")
+	if err := WriteFile(txtPath, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{binPath, txtPath} {
+		got, err := ReadAny(path)
+		if err != nil {
+			t.Fatalf("ReadAny(%s): %v", path, err)
+		}
+		assertEqualGraphs(t, g, got)
+	}
+}
+
+func TestReadAnyMissingAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadAny(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func BenchmarkBinaryVsTextRead(b *testing.B) {
+	r := rand.New(rand.NewPCG(7, 7))
+	g := graph.New(20000)
+	for i := 0; i < 100000; i++ {
+		u, v := graph.NodeID(r.IntN(20000)), graph.NodeID(r.IntN(20000))
+		if u != v {
+			g.AddFriendship(u, v)
+		}
+	}
+	var binBuf, txtBuf bytes.Buffer
+	if err := WriteBinary(&binBuf, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := Write(&txtBuf, g); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadBinary(bytes.NewReader(binBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("text", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Read(bytes.NewReader(txtBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

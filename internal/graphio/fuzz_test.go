@@ -1,0 +1,71 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzRead checks that arbitrary text input never panics the text parser
+// and that anything it accepts survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("N 4\nF 0 1\nR 2 3\n")
+	f.Add("# comment\n100\t200\n200\t100\n")
+	f.Add("F 1 1\n")
+	f.Add("R -5 2\n")
+	f.Add("")
+	f.Add("N 999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if g2.NumFriendships() != g.NumFriendships() || g2.NumRejections() != g.NumRejections() {
+			t.Fatalf("round trip changed edge counts: %d/%d → %d/%d",
+				g.NumFriendships(), g.NumRejections(), g2.NumFriendships(), g2.NumRejections())
+		}
+	})
+}
+
+// FuzzReadBinary checks that arbitrary bytes never panic the binary parser.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and mutations of it.
+	var buf bytes.Buffer
+	g := mustTinyGraph()
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("REJECTO1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must re-serialize.
+		var out bytes.Buffer
+		if err := WriteBinary(&out, g); err != nil {
+			t.Fatalf("accepted binary graph failed to serialize: %v", err)
+		}
+	})
+}
+
+func mustTinyGraph() *graph.Graph {
+	g := graph.New(4)
+	g.AddFriendship(0, 1)
+	g.AddRejection(2, 3)
+	return g
+}

@@ -1,0 +1,206 @@
+package graphio
+
+import (
+	"math/rand/v2"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := graph.New(5)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(2, 3)
+	g.AddRejection(1, 4)
+	g.AddRejection(4, 1)
+
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualGraphs(t, g, got)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 31))
+		g := graph.New(12)
+		for i := 0; i < 40; i++ {
+			u, v := graph.NodeID(r.IntN(12)), graph.NodeID(r.IntN(12))
+			if u == v {
+				continue
+			}
+			if r.IntN(2) == 0 {
+				g.AddFriendship(u, v)
+			} else {
+				g.AddRejection(u, v)
+			}
+		}
+		var sb strings.Builder
+		if err := Write(&sb, g); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSNAPBareEdges(t *testing.T) {
+	const snap = `# Directed graph (each unordered pair of nodes is saved once)
+# FromNodeId	ToNodeId
+100	200
+200	100
+100	300
+300	300
+`
+	g, err := Read(strings.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3 (sparse IDs remapped)", g.NumNodes())
+	}
+	if g.NumFriendships() != 2 {
+		t.Fatalf("friendships = %d, want 2 (symmetrized, self-loop dropped)", g.NumFriendships())
+	}
+}
+
+func TestReadNodeCountDeclaration(t *testing.T) {
+	g, err := Read(strings.NewReader("N 4\nF 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4 (isolated nodes declared)", g.NumNodes())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"self edge":       "F 1 1\n",
+		"bad node id":     "F a b\n",
+		"too many fields": "F 1 2 3\n",
+		"bad N":           "N x\n",
+		"garbage":         "hello world again\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: Read accepted %q", name, input)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := graph.New(3)
+	g.AddFriendship(0, 2)
+	g.AddRejection(2, 1)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualGraphs(t, g, got)
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func assertEqualGraphs(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	if !graphsEqual(want, got) {
+		t.Fatal("graphs differ after round trip")
+	}
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() ||
+		a.NumFriendships() != b.NumFriendships() ||
+		a.NumRejections() != b.NumRejections() {
+		return false
+	}
+	ok := true
+	a.ForEachFriendship(func(u, v graph.NodeID) {
+		if !b.HasFriendship(u, v) {
+			ok = false
+		}
+	})
+	a.ForEachRejection(func(from, to graph.NodeID) {
+		if !b.HasRejection(from, to) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func TestRequestLogRoundTrip(t *testing.T) {
+	reqs := []core.TimedRequest{
+		{Interval: 0, From: 1, To: 2, Accepted: true},
+		{Interval: 3, From: 2, To: 1, Accepted: false},
+	}
+	var sb strings.Builder
+	if err := WriteRequests(&sb, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequests(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip %d requests, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d = %+v, want %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestRequestLogErrors(t *testing.T) {
+	for name, input := range map[string]string{
+		"short line":   "1 2 3\n",
+		"bad number":   "a 1 2 1\n",
+		"bad accepted": "0 1 2 7\n",
+	} {
+		if _, err := ReadRequests(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestRequestLogFiles(t *testing.T) {
+	reqs := []core.TimedRequest{{Interval: 1, From: 0, To: 3, Accepted: false}}
+	path := filepath.Join(t.TempDir(), "reqs.txt")
+	if err := WriteRequestsFile(path, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequestsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != reqs[0] {
+		t.Fatalf("file round trip = %+v", got)
+	}
+	if _, err := ReadRequestsFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing request log accepted")
+	}
+}

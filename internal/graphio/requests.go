@@ -1,0 +1,111 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Request-log text format, consumed by the §VII sharded deployment
+// (core.DetectSharded and `rejecto -requests`):
+//
+//	# comment
+//	<interval> <from> <to> <accepted: 0|1>
+//
+// one line per answered friend request, whitespace-separated.
+
+// WriteRequests serializes a request log.
+func WriteRequests(w io.Writer, reqs []core.TimedRequest) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# interval from to accepted"); err != nil {
+		return err
+	}
+	for _, req := range reqs {
+		accepted := 0
+		if req.Accepted {
+			accepted = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", req.Interval, req.From, req.To, accepted); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRequests parses a request log.
+func ReadRequests(r io.Reader) ([]core.TimedRequest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []core.TimedRequest
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("graphio: requests line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		vals := make([]int64, 4)
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: requests line %d: bad field %q", lineNo, f)
+			}
+			vals[i] = v
+		}
+		if vals[3] != 0 && vals[3] != 1 {
+			return nil, fmt.Errorf("graphio: requests line %d: accepted flag %d not 0/1", lineNo, vals[3])
+		}
+		out = append(out, core.TimedRequest{
+			Interval: int(vals[0]),
+			From:     int32ID(vals[1]),
+			To:       int32ID(vals[2]),
+			Accepted: vals[3] == 1,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: requests: %w", err)
+	}
+	return out, nil
+}
+
+// ReadRequestsFile parses a request log from the named file.
+func ReadRequestsFile(path string) ([]core.TimedRequest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	reqs, err := ReadRequests(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reqs, nil
+}
+
+// WriteRequestsFile serializes a request log to the named file.
+func WriteRequestsFile(path string, reqs []core.TimedRequest) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteRequests(f, reqs)
+}
+
+func int32ID(v int64) graph.NodeID {
+	return graph.NodeID(v)
+}

@@ -1,0 +1,72 @@
+package kl
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchWorld builds a two-region world with spam-style rejections.
+func benchWorld(n int) (*graph.Graph, graph.Partition) {
+	r := rand.New(rand.NewPCG(uint64(n), 3))
+	half := n / 2
+	g := graph.New(n)
+	for i := 0; i < half; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%half))
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+5)%half))
+	}
+	for i := half; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			v := half + r.IntN(half)
+			if v != i {
+				g.AddFriendship(graph.NodeID(i), graph.NodeID(v))
+			}
+		}
+		for req := 0; req < 8; req++ {
+			target := graph.NodeID(r.IntN(half))
+			if r.Float64() < 0.7 {
+				g.AddRejection(target, graph.NodeID(i))
+			} else {
+				g.AddFriendship(graph.NodeID(i), target)
+			}
+		}
+	}
+	// Start from a noisy partition so passes have work to do.
+	init := graph.NewPartition(n)
+	for i := half; i < n; i++ {
+		if i%3 != 0 {
+			init[i] = graph.Suspect
+		}
+	}
+	return g, init
+}
+
+func BenchmarkPartition(b *testing.B) {
+	for _, n := range []int{2000, 20000} {
+		g, init := benchWorld(n)
+		cfg := Config{FriendWeight: 64, RejectWeight: 32}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Partition(g, init, cfg)
+			}
+		})
+	}
+}
+
+func BenchmarkGainInitialization(b *testing.B) {
+	g, init := benchWorld(20000)
+	cfg := Config{FriendWeight: 64, RejectWeight: 32}
+	opt := &optimizer{g: g, cfg: cfg}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink int64
+		for u := 0; u < g.NumNodes(); u++ {
+			sink += opt.gain(init, graph.NodeID(u))
+		}
+		if sink == 1<<62 {
+			b.Fatal("unreachable")
+		}
+	}
+}

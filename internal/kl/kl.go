@@ -1,0 +1,310 @@
+// Package kl implements the paper's extended Kernighan–Lin heuristic
+// (Algorithm 1, §IV-C/§IV-D) on rejection-augmented social graphs.
+//
+// The classic KL/FM heuristic bipartitions an undirected graph to minimize
+// cross-partition edges. Rejecto's extension differs in three ways:
+//
+//   - Edges are weighted and typed. A friendship crossing the cut costs
+//     +FriendWeight; a rejection edge ⟨a, b⟩ *reduces* the objective by
+//     RejectWeight, but only when it points from the Legit region into the
+//     Suspect region (a ∈ Ū, b ∈ U). The pass therefore minimizes the
+//     linearized objective |F(Ū,U)|·w_F − |R⃗⟨Ū,U⟩|·w_R, the fixed-point
+//     form of |F(Ū,U)| − k·|R⃗⟨Ū,U⟩| with k = w_R/w_F.
+//   - Node pairs are not interchanged; single nodes switch sides, because
+//     the spammer/legitimate partition has no prescribed balance.
+//   - Seed nodes are pinned to their region and never switch (§IV-F).
+//
+// Each pass greedily switches every free node once in max-gain order
+// (tracked by a Fiduccia–Mattheyses bucket list), then rolls back to the
+// prefix of switches with the highest cumulative objective reduction.
+// Passes repeat until no prefix improves the objective.
+package kl
+
+import (
+	"fmt"
+
+	"repro/internal/bucketlist"
+	"repro/internal/graph"
+)
+
+// Config parameterizes one extended-KL optimization.
+type Config struct {
+	// FriendWeight is the fixed-point objective weight of a cross-cut
+	// friendship (w_F above). Must be positive.
+	FriendWeight int64
+	// RejectWeight is the fixed-point objective credit of a rejection
+	// crossing from Legit into Suspect (w_R above). Must be non-negative;
+	// the effective ratio k of §IV-D is RejectWeight/FriendWeight.
+	RejectWeight int64
+	// Pinned marks seed nodes that must stay in their initial region.
+	// May be nil (no seeds); otherwise len(Pinned) == g.NumNodes().
+	Pinned []bool
+	// MaxPasses bounds the number of KL passes. Zero means DefaultMaxPasses.
+	// In practice KL converges in a handful of passes [Fiduccia 1982].
+	MaxPasses int
+}
+
+// DefaultMaxPasses bounds KL passes when Config.MaxPasses is zero.
+const DefaultMaxPasses = 40
+
+// Result reports the outcome of a Partition call.
+type Result struct {
+	Partition graph.Partition
+	// Objective is the final fixed-point objective value
+	// |F(Ū,U)|·w_F − |R⃗⟨Ū,U⟩|·w_R.
+	Objective int64
+	// Passes is the number of improvement passes performed.
+	Passes int
+}
+
+// Partition runs extended KL from the given initial partition and returns
+// the locally optimal partition for the configured linear objective. The
+// input partition is not modified.
+func Partition(g *graph.Graph, init graph.Partition, cfg Config) Result {
+	n := g.NumNodes()
+	if len(init) != n {
+		panic("kl: initial partition length mismatch")
+	}
+	if cfg.Pinned != nil && len(cfg.Pinned) != n {
+		panic("kl: pinned length mismatch")
+	}
+	if cfg.FriendWeight <= 0 {
+		panic("kl: FriendWeight must be positive")
+	}
+	if cfg.RejectWeight < 0 {
+		panic("kl: RejectWeight must be non-negative")
+	}
+	maxPasses := cfg.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = DefaultMaxPasses
+	}
+
+	p := init.Clone()
+	opt := &optimizer{g: g, cfg: cfg}
+
+	passes := 0
+	for passes < maxPasses {
+		passes++
+		if improved := opt.pass(p); !improved {
+			break
+		}
+	}
+	return Result{
+		Partition: p,
+		Objective: Objective(g, p, cfg),
+		Passes:    passes,
+	}
+}
+
+// Objective evaluates the fixed-point linear objective of partition p.
+func Objective(g *graph.Graph, p graph.Partition, cfg Config) int64 {
+	s := p.Stats(g)
+	return int64(s.CrossFriendships)*cfg.FriendWeight -
+		int64(s.RejIntoSuspect)*cfg.RejectWeight
+}
+
+type optimizer struct {
+	g   *graph.Graph
+	cfg Config
+}
+
+// pass performs one KL improvement pass over p in place, returning whether
+// the objective strictly improved.
+func (o *optimizer) pass(p graph.Partition) bool {
+	g, cfg := o.g, o.cfg
+	n := g.NumNodes()
+
+	// Gain bounds for the bucket list: a node's switch gain is bounded by
+	// its weighted degree.
+	var maxAbs int64
+	for u := 0; u < n; u++ {
+		wd := int64(g.Degree(graph.NodeID(u)))*cfg.FriendWeight +
+			int64(g.InRejections(graph.NodeID(u))+g.OutRejections(graph.NodeID(u)))*cfg.RejectWeight
+		if wd > maxAbs {
+			maxAbs = wd
+		}
+	}
+	list := bucketlist.New(n, -maxAbs, maxAbs)
+	for u := 0; u < n; u++ {
+		if cfg.Pinned != nil && cfg.Pinned[u] {
+			continue
+		}
+		list.Add(u, o.gain(p, graph.NodeID(u)))
+	}
+
+	// Tentatively switch every free node in greedy max-gain order,
+	// recording the sequence (Algorithm 1 lines 7–15). p is mutated as the
+	// tentative p_tmp and rolled back below.
+	type step struct {
+		node graph.NodeID
+		gain int64
+	}
+	seq := make([]step, 0, list.Len())
+	for {
+		u, gu, ok := list.PopMax()
+		if !ok {
+			break
+		}
+		seq = append(seq, step{node: graph.NodeID(u), gain: gu})
+		o.applySwitch(p, graph.NodeID(u), list)
+	}
+
+	// Find the prefix with the largest positive cumulative gain
+	// (Algorithm 1 line 18). Ties take the shortest prefix.
+	var cum, bestCum int64
+	bestLen := 0
+	for i, st := range seq {
+		cum += st.gain
+		if cum > bestCum {
+			bestCum, bestLen = cum, i+1
+		}
+	}
+	if bestCum <= 0 {
+		// Roll back everything: no improving prefix this pass.
+		for _, st := range seq {
+			p[st.node] = p[st.node].Other()
+		}
+		return false
+	}
+	// Roll back the switches beyond the best prefix.
+	for _, st := range seq[bestLen:] {
+		p[st.node] = p[st.node].Other()
+	}
+	return true
+}
+
+// gain returns the objective reduction achieved by switching u to the other
+// region under partition p.
+func (o *optimizer) gain(p graph.Partition, u graph.NodeID) int64 {
+	g, cfg := o.g, o.cfg
+	var gain int64
+	pu := p[u]
+	for _, v := range g.Friends(u) {
+		if p[v] == pu {
+			gain -= cfg.FriendWeight
+		} else {
+			gain += cfg.FriendWeight
+		}
+	}
+	// Edges ⟨u, x⟩ (u rejected x's request) count only while u is Legit
+	// and x is Suspect.
+	for _, x := range g.Rejected(u) {
+		if p[x] == graph.Suspect {
+			if pu == graph.Legit {
+				gain -= cfg.RejectWeight // switch un-counts the rejection
+			} else {
+				gain += cfg.RejectWeight // switch makes it count
+			}
+		}
+	}
+	// Edges ⟨x, u⟩ (x rejected u's request) count only while x is Legit
+	// and u is Suspect.
+	for _, x := range g.Rejecters(u) {
+		if p[x] == graph.Legit {
+			if pu == graph.Legit {
+				gain += cfg.RejectWeight // switch makes it count
+			} else {
+				gain -= cfg.RejectWeight // switch un-counts the rejection
+			}
+		}
+	}
+	return gain
+}
+
+// applySwitch flips u in p and incrementally updates the bucket-list gains
+// of u's still-free neighbours (Algorithm 1 line 14).
+func (o *optimizer) applySwitch(p graph.Partition, u graph.NodeID, list bucketlist.List) {
+	g, cfg := o.g, o.cfg
+	oldPu := p[u]
+	newPu := oldPu.Other()
+	p[u] = newPu
+
+	// Friendship (u, v): v's gain term for this edge is −w_F when v and u
+	// share a region, +w_F otherwise; flipping u flips the term.
+	for _, v := range g.Friends(u) {
+		if !list.Contains(int(v)) {
+			continue
+		}
+		if p[v] == newPu {
+			list.Update(int(v), list.Gain(int(v))-2*cfg.FriendWeight)
+		} else {
+			list.Update(int(v), list.Gain(int(v))+2*cfg.FriendWeight)
+		}
+	}
+	if cfg.RejectWeight == 0 {
+		return
+	}
+	// Edge ⟨u, x⟩: from x's perspective a rejection cast on it by u. Its
+	// contribution to gain(x) is nonzero only while u is Legit:
+	// +w_R if x is Legit (switching x starts counting the edge),
+	// −w_R if x is Suspect (switching x stops counting it).
+	for _, x := range g.Rejected(u) {
+		if !list.Contains(int(x)) {
+			continue
+		}
+		delta := RejecterContrib(p[x], newPu, cfg.RejectWeight) -
+			RejecterContrib(p[x], oldPu, cfg.RejectWeight)
+		if delta != 0 {
+			list.Update(int(x), list.Gain(int(x))+delta)
+		}
+	}
+	// Edge ⟨x, u⟩: from x's perspective a rejection x cast on u. Its
+	// contribution to gain(x) is nonzero only while u is Suspect:
+	// −w_R if x is Legit, +w_R if x is Suspect.
+	for _, x := range g.Rejecters(u) {
+		if !list.Contains(int(x)) {
+			continue
+		}
+		delta := RejectedContrib(p[x], newPu, cfg.RejectWeight) -
+			RejectedContrib(p[x], oldPu, cfg.RejectWeight)
+		if delta != 0 {
+			list.Update(int(x), list.Gain(int(x))+delta)
+		}
+	}
+}
+
+// RejecterContrib is the contribution to gain(x) of a rejection edge
+// ⟨rejecter, x⟩ cast on x, given the regions of x and the rejecter.
+// Exported for the distributed engine, whose workers compute the same
+// gains over graph shards.
+func RejecterContrib(px, pRejecter graph.Region, wR int64) int64 {
+	if pRejecter != graph.Legit {
+		return 0
+	}
+	if px == graph.Legit {
+		return wR
+	}
+	return -wR
+}
+
+// RejectedContrib is the contribution to gain(x) of a rejection edge
+// ⟨x, target⟩ cast by x, given the regions of x and the target.
+// Exported for the distributed engine; see RejecterContrib.
+func RejectedContrib(px, pTarget graph.Region, wR int64) int64 {
+	if pTarget != graph.Suspect {
+		return 0
+	}
+	if px == graph.Legit {
+		return -wR
+	}
+	return wR
+}
+
+// Validate checks the Config against a graph, returning a descriptive
+// error instead of the panics Partition raises. Exported for callers that
+// accept configs from flags or files.
+func (cfg Config) Validate(g *graph.Graph) error {
+	if cfg.FriendWeight <= 0 {
+		return fmt.Errorf("kl: FriendWeight %d must be positive", cfg.FriendWeight)
+	}
+	if cfg.RejectWeight < 0 {
+		return fmt.Errorf("kl: RejectWeight %d must be non-negative", cfg.RejectWeight)
+	}
+	if cfg.Pinned != nil && len(cfg.Pinned) != g.NumNodes() {
+		return fmt.Errorf("kl: Pinned length %d != %d nodes", len(cfg.Pinned), g.NumNodes())
+	}
+	if cfg.MaxPasses < 0 {
+		return fmt.Errorf("kl: MaxPasses %d must be non-negative", cfg.MaxPasses)
+	}
+	return nil
+}

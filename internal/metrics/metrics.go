@@ -1,0 +1,192 @@
+// Package metrics implements the evaluation measures of §VI: the
+// precision/recall of a fixed-size detection set (identical when the
+// declared count equals the true positive count, as the paper notes) and
+// the area under the ROC curve used to judge SybilRank's ranking quality.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was declared positive.
+func (c Confusion) Precision() float64 {
+	d := c.TruePositives + c.FalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TruePositives) / float64(d)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	d := c.TruePositives + c.FalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TruePositives) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate builds the confusion matrix of a declared suspect set against
+// ground truth. isFake must cover every node ID appearing in declared.
+func Evaluate(declared []graph.NodeID, isFake []bool) (Confusion, error) {
+	var c Confusion
+	seen := make(map[graph.NodeID]bool, len(declared))
+	for _, u := range declared {
+		if u < 0 || int(u) >= len(isFake) {
+			return Confusion{}, fmt.Errorf("metrics: declared node %d outside ground truth", u)
+		}
+		if seen[u] {
+			return Confusion{}, fmt.Errorf("metrics: node %d declared twice", u)
+		}
+		seen[u] = true
+		if isFake[u] {
+			c.TruePositives++
+		} else {
+			c.FalsePositives++
+		}
+	}
+	for u, fake := range isFake {
+		if seen[graph.NodeID(u)] {
+			continue
+		}
+		if fake {
+			c.FalseNegatives++
+		} else {
+			c.TrueNegatives++
+		}
+	}
+	return c, nil
+}
+
+// PrecisionAtK is the paper's accuracy metric: the fraction of the declared
+// suspects that are truly fake. When len(declared) equals the number of
+// fakes, it coincides with recall (§VI-A).
+func PrecisionAtK(declared []graph.NodeID, isFake []bool) (float64, error) {
+	c, err := Evaluate(declared, isFake)
+	if err != nil {
+		return 0, err
+	}
+	return c.Precision(), nil
+}
+
+// AUC computes the area under the ROC curve for a scoring where *higher*
+// scores mean *more trusted* (SybilRank's trust ranks): the probability
+// that a uniformly random legitimate node outscores a uniformly random
+// fake, counting ties as half. scores and isFake must have equal length.
+// It returns 0.5 when either class is empty (no ranking information).
+func AUC(scores []float64, isFake []bool) float64 {
+	if len(scores) != len(isFake) {
+		panic("metrics: AUC length mismatch")
+	}
+	type item struct {
+		score float64
+		fake  bool
+	}
+	items := make([]item, len(scores))
+	for i := range scores {
+		items[i] = item{scores[i], isFake[i]}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score < items[j].score })
+
+	// Mann–Whitney U via average ranks, with tie groups sharing their
+	// mean rank.
+	nFake, nLegit := 0, 0
+	var fakeRankSum float64
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: mean of i+1..j
+		for k := i; k < j; k++ {
+			if items[k].fake {
+				nFake++
+				fakeRankSum += avgRank
+			} else {
+				nLegit++
+			}
+		}
+		i = j
+	}
+	if nFake == 0 || nLegit == 0 {
+		return 0.5
+	}
+	// U counts (legit > fake) pairs; fakes should sit at the low ranks.
+	u := fakeRankSum - float64(nFake)*float64(nFake+1)/2
+	return 1 - u/(float64(nFake)*float64(nLegit))
+}
+
+// ROCPoint is one point of an ROC curve.
+type ROCPoint struct {
+	FalsePositiveRate float64
+	TruePositiveRate  float64
+}
+
+// ROC returns the ROC curve of a trust scoring (higher = more trusted),
+// sweeping the threshold from most to least suspicious. Fakes are the
+// positive class, so a point's TPR is the fraction of fakes scored at or
+// below the threshold.
+func ROC(scores []float64, isFake []bool) []ROCPoint {
+	if len(scores) != len(isFake) {
+		panic("metrics: ROC length mismatch")
+	}
+	type item struct {
+		score float64
+		fake  bool
+	}
+	items := make([]item, len(scores))
+	nFake, nLegit := 0, 0
+	for i := range scores {
+		items[i] = item{scores[i], isFake[i]}
+		if isFake[i] {
+			nFake++
+		} else {
+			nLegit++
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score < items[j].score })
+
+	curve := []ROCPoint{{0, 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].fake {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		var pt ROCPoint
+		if nLegit > 0 {
+			pt.FalsePositiveRate = float64(fp) / float64(nLegit)
+		}
+		if nFake > 0 {
+			pt.TruePositiveRate = float64(tp) / float64(nFake)
+		}
+		curve = append(curve, pt)
+		i = j
+	}
+	return curve
+}

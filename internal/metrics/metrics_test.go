@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestEvaluateConfusion(t *testing.T) {
+	isFake := []bool{true, true, false, false, true}
+	c, err := Evaluate([]graph.NodeID{0, 2}, isFake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Confusion{TruePositives: 1, FalsePositives: 1, TrueNegatives: 1, FalseNegatives: 2}
+	if c != want {
+		t.Fatalf("Evaluate = %+v, want %+v", c, want)
+	}
+	if math.Abs(c.Precision()-0.5) > 1e-12 {
+		t.Fatalf("precision = %v", c.Precision())
+	}
+	if math.Abs(c.Recall()-1.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", c.Recall())
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	isFake := []bool{true, false}
+	if _, err := Evaluate([]graph.NodeID{5}, isFake); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := Evaluate([]graph.NodeID{0, 0}, isFake); err == nil {
+		t.Error("duplicate declaration accepted")
+	}
+}
+
+func TestPrecisionEqualsRecallAtTrueCount(t *testing.T) {
+	// The paper's §VI-A observation: declaring exactly as many suspects
+	// as there are fakes makes precision and recall identical.
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 41))
+		const n = 50
+		isFake := make([]bool, n)
+		nFake := 0
+		for i := range isFake {
+			if r.IntN(3) == 0 {
+				isFake[i] = true
+				nFake++
+			}
+		}
+		if nFake == 0 {
+			return true
+		}
+		perm := r.Perm(n)
+		declared := make([]graph.NodeID, nFake)
+		for i := range declared {
+			declared[i] = graph.NodeID(perm[i])
+		}
+		c, err := Evaluate(declared, isFake)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c.Precision()-c.Recall()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF1(t *testing.T) {
+	c := Confusion{TruePositives: 2, FalsePositives: 2, FalseNegatives: 2}
+	if math.Abs(c.F1()-0.5) > 1e-12 {
+		t.Fatalf("F1 = %v, want 0.5", c.F1())
+	}
+	if (Confusion{}).F1() != 0 {
+		t.Fatal("empty confusion F1 != 0")
+	}
+}
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	// Fakes scored strictly below legits: AUC = 1.
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	isFake := []bool{true, true, false, false}
+	if auc := AUC(scores, isFake); math.Abs(auc-1) > 1e-12 {
+		t.Fatalf("AUC = %v, want 1", auc)
+	}
+}
+
+func TestAUCInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.1, 0.2}
+	isFake := []bool{true, true, false, false}
+	if auc := AUC(scores, isFake); math.Abs(auc) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCAllTied(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	isFake := []bool{true, false, true, false}
+	if auc := AUC(scores, isFake); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("all-tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	if auc := AUC([]float64{1, 2}, []bool{false, false}); auc != 0.5 {
+		t.Fatalf("single-class AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCMatchesPairCounting(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 42))
+		n := 2 + r.IntN(30)
+		scores := make([]float64, n)
+		isFake := make([]bool, n)
+		for i := range scores {
+			scores[i] = float64(r.IntN(10)) // ties likely
+			isFake[i] = r.IntN(2) == 0
+		}
+		// Direct pair counting.
+		wins, pairs := 0.0, 0.0
+		for i := range scores {
+			if !isFake[i] {
+				continue
+			}
+			for j := range scores {
+				if isFake[j] {
+					continue
+				}
+				pairs++
+				switch {
+				case scores[j] > scores[i]:
+					wins++
+				case scores[j] == scores[i]:
+					wins += 0.5
+				}
+			}
+		}
+		want := 0.5
+		if pairs > 0 {
+			want = wins / pairs
+		}
+		return math.Abs(AUC(scores, isFake)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 43))
+	n := 40
+	scores := make([]float64, n)
+	isFake := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		isFake[i] = r.IntN(2) == 0
+	}
+	curve := ROC(scores, isFake)
+	if curve[0].FalsePositiveRate != 0 || curve[0].TruePositiveRate != 0 {
+		t.Fatal("ROC does not start at origin")
+	}
+	last := curve[len(curve)-1]
+	if last.FalsePositiveRate != 1 || last.TruePositiveRate != 1 {
+		t.Fatalf("ROC does not end at (1,1): %+v", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FalsePositiveRate < curve[i-1].FalsePositiveRate ||
+			curve[i].TruePositiveRate < curve[i-1].TruePositiveRate {
+			t.Fatal("ROC not monotone")
+		}
+	}
+}
+
+func TestAUCLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	AUC([]float64{1}, []bool{true, false})
+}

@@ -1,0 +1,61 @@
+package osn
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// BenchmarkRequestLifecycle measures the service's request path: send plus
+// a response, the per-event cost an OSN front-end would pay.
+func BenchmarkRequestLifecycle(b *testing.B) {
+	const users = 10000
+	s := NewService(Config{})
+	s.RegisterN(users)
+	r := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := UserID(r.IntN(users))
+		to := UserID(r.IntN(users))
+		if from == to || s.Friends(from, to) {
+			continue
+		}
+		if err := s.SendRequest(from, to); err != nil {
+			continue
+		}
+		if r.IntN(2) == 0 {
+			_ = s.Accept(to, from)
+		} else {
+			_ = s.Reject(to, from)
+		}
+	}
+}
+
+// BenchmarkAugmentedGraph measures materializing the detection input from
+// the event log.
+func BenchmarkAugmentedGraph(b *testing.B) {
+	const users = 5000
+	s := NewService(Config{})
+	s.RegisterN(users)
+	r := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 20000; i++ {
+		from, to := UserID(r.IntN(users)), UserID(r.IntN(users))
+		if from == to || s.Friends(from, to) {
+			continue
+		}
+		if s.SendRequest(from, to) != nil {
+			continue
+		}
+		if r.IntN(3) == 0 {
+			_ = s.Reject(to, from)
+		} else {
+			_ = s.Accept(to, from)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := s.AugmentedGraph()
+		if g.NumNodes() != users {
+			b.Fatal("bad graph")
+		}
+	}
+}

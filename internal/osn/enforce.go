@@ -1,0 +1,89 @@
+package osn
+
+import "fmt"
+
+// Enforcer applies the paper's §VII responses to detected accounts with
+// escalation: the first detection issues a CAPTCHA-style challenge, a
+// repeat detection rate-limits the account, and a third suspends it. The
+// graduated path is what gives the system "a certain degree of tolerance
+// to false positives" — a misdetected human passes the challenge and loses
+// nothing but a click.
+type Enforcer struct {
+	s *Service
+	// strikes counts how many times each account has been detected.
+	strikes map[UserID]int
+	// challengePass simulates the probability a challenged account passes
+	// (humans ≈ 1, bots ≈ 0); the caller supplies the outcome per account
+	// via PassChallenge instead when it wants full control.
+	challengePass func(UserID) bool
+}
+
+// NewEnforcer wraps a service. challengePass decides whether a challenged
+// account eventually passes its challenge; nil means nobody passes until
+// PassChallenge is called explicitly.
+func NewEnforcer(s *Service, challengePass func(UserID) bool) *Enforcer {
+	return &Enforcer{s: s, strikes: make(map[UserID]int), challengePass: challengePass}
+}
+
+// Strikes reports how many detections have been enforced against u.
+func (e *Enforcer) Strikes(u UserID) int { return e.strikes[u] }
+
+// Apply enforces one detection batch, escalating per account:
+// challenge → rate limit → suspend. It returns per-level counts.
+func (e *Enforcer) Apply(detected []UserID) (challenged, limited, suspended int, err error) {
+	for _, u := range detected {
+		if cerr := e.s.checkUser(u); cerr != nil {
+			return challenged, limited, suspended, cerr
+		}
+		e.strikes[u]++
+		switch e.strikes[u] {
+		case 1:
+			e.s.challenged[u] = true
+			e.s.log(EventChallenged, u, u)
+			challenged++
+			if e.challengePass != nil && e.challengePass(u) {
+				e.s.challenged[u] = false
+			}
+		case 2:
+			e.s.status[u] = statusRateLimited
+			e.s.winStart[u] = e.s.tick
+			e.s.sentInWin[u] = 0
+			e.s.log(EventRateLimited, u, u)
+			limited++
+		default:
+			e.s.status[u] = statusSuspended
+			e.s.log(EventSuspended, u, u)
+			suspended++
+		}
+	}
+	return challenged, limited, suspended, nil
+}
+
+// PassChallenge clears an outstanding challenge on u (a human solved the
+// CAPTCHA). It errors if no challenge is outstanding.
+func (e *Enforcer) PassChallenge(u UserID) error {
+	if err := e.s.checkUser(u); err != nil {
+		return err
+	}
+	if !e.s.challenged[u] {
+		return fmt.Errorf("osn: no outstanding challenge for %d", u)
+	}
+	e.s.challenged[u] = false
+	return nil
+}
+
+// Status describes an account's enforcement state.
+type Status struct {
+	Challenged  bool
+	RateLimited bool
+	Suspended   bool
+}
+
+// StatusOf reports u's enforcement state.
+func (e *Enforcer) StatusOf(u UserID) Status {
+	return Status{
+		Challenged:  e.s.challenged[u],
+		RateLimited: e.s.status[u] == statusRateLimited,
+		Suspended:   e.s.status[u] == statusSuspended,
+	}
+}

@@ -1,0 +1,105 @@
+package osn
+
+import "testing"
+
+func TestEnforcerEscalation(t *testing.T) {
+	s, _ := newService(4)
+	e := NewEnforcer(s, nil)
+	spammer := UserID(3)
+
+	// Strike 1: challenge. Requests blocked until the challenge passes.
+	challenged, limited, suspended, err := e.Apply([]UserID{spammer})
+	if err != nil || challenged != 1 || limited != 0 || suspended != 0 {
+		t.Fatalf("strike 1 = %d/%d/%d, err %v", challenged, limited, suspended, err)
+	}
+	if err := s.SendRequest(spammer, 0); err == nil {
+		t.Fatal("challenged account could still send requests")
+	}
+	if err := e.PassChallenge(spammer); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendRequest(spammer, 0); err != nil {
+		t.Fatalf("after passing the challenge: %v", err)
+	}
+
+	// Strike 2: rate limit.
+	_, limited, _, err = e.Apply([]UserID{spammer})
+	if err != nil || limited != 1 {
+		t.Fatalf("strike 2 limited=%d err=%v", limited, err)
+	}
+	st := e.StatusOf(spammer)
+	if !st.RateLimited || st.Suspended {
+		t.Fatalf("status after strike 2 = %+v", st)
+	}
+
+	// Strike 3: suspension; requests permanently refused.
+	_, _, suspended, err = e.Apply([]UserID{spammer})
+	if err != nil || suspended != 1 {
+		t.Fatalf("strike 3 suspended=%d err=%v", suspended, err)
+	}
+	if err := s.SendRequest(spammer, 1); err == nil {
+		t.Fatal("suspended account could still send requests")
+	}
+	if e.Strikes(spammer) != 3 {
+		t.Fatalf("strikes = %d", e.Strikes(spammer))
+	}
+}
+
+func TestRateLimitBudget(t *testing.T) {
+	s := NewService(Config{RateLimitWindow: 10, RateLimitBudget: 2})
+	s.RegisterN(10)
+	e := NewEnforcer(s, func(UserID) bool { return true }) // auto-pass challenges
+	spammer := UserID(0)
+	// Escalate to rate-limited.
+	if _, _, _, err := e.Apply([]UserID{spammer}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := e.Apply([]UserID{spammer}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget of 2 per 10-tick window.
+	if err := s.SendRequest(spammer, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendRequest(spammer, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendRequest(spammer, 3); err == nil {
+		t.Fatal("third request within the window not limited")
+	}
+	// New window resets the budget.
+	s.Advance(10)
+	if err := s.SendRequest(spammer, 3); err != nil {
+		t.Fatalf("request in fresh window: %v", err)
+	}
+}
+
+func TestFalsePositiveToleratedByChallenge(t *testing.T) {
+	// §VII: a misdetected human passes the challenge and continues.
+	s, _ := newService(3)
+	human := UserID(0)
+	e := NewEnforcer(s, func(u UserID) bool { return u == human })
+	if _, _, _, err := e.Apply([]UserID{human}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendRequest(human, 1); err != nil {
+		t.Fatalf("human blocked after passing challenge: %v", err)
+	}
+}
+
+func TestPassChallengeWithoutOutstanding(t *testing.T) {
+	s, _ := newService(2)
+	e := NewEnforcer(s, nil)
+	if err := e.PassChallenge(0); err == nil {
+		t.Fatal("passing a non-existent challenge succeeded")
+	}
+}
+
+func TestEnforcerUnknownUser(t *testing.T) {
+	s, _ := newService(2)
+	e := NewEnforcer(s, nil)
+	if _, _, _, err := e.Apply([]UserID{99}); err == nil {
+		t.Fatal("unknown user enforced")
+	}
+}

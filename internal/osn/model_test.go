@@ -1,0 +1,119 @@
+package osn
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestServiceAgainstModel drives random operation sequences through the
+// Service and a naive reference model, checking that friendships, pending
+// requests, and the materialized augmented graph always agree.
+func TestServiceAgainstModel(t *testing.T) {
+	const users = 12
+	type pair struct{ from, to UserID }
+	f := func(seed uint64, opsRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 141))
+		ops := int(opsRaw) + 30
+		s := NewService(Config{PendingTTL: 5})
+		s.RegisterN(users)
+
+		friends := map[pair]bool{}
+		pending := map[pair]int64{}
+		rejections := map[pair]bool{} // rejecter → sender
+		tick := int64(0)
+
+		for i := 0; i < ops; i++ {
+			u := UserID(r.IntN(users))
+			v := UserID(r.IntN(users))
+			key := pair{u, v}
+			norm := pair{min(u, v), max(u, v)}
+			switch r.IntN(5) {
+			case 0: // send
+				err := s.SendRequest(u, v)
+				_, dup := pending[key]
+				wantErr := u == v || friends[norm] || dup
+				if (err != nil) != wantErr {
+					return false
+				}
+				if err == nil {
+					pending[key] = tick
+				}
+			case 1: // accept
+				err := s.Accept(v, u) // v responds to u's request
+				_, ok := pending[key]
+				if (err != nil) == ok {
+					return false
+				}
+				if err == nil {
+					delete(pending, key)
+					friends[norm] = true
+				}
+			case 2: // reject
+				err := s.Reject(v, u)
+				_, ok := pending[key]
+				if (err != nil) == ok {
+					return false
+				}
+				if err == nil {
+					delete(pending, key)
+					rejections[pair{v, u}] = true
+				}
+			case 3: // advance + expire
+				s.Advance(3)
+				tick += 3
+				s.ExpirePending()
+				for k, sentAt := range pending {
+					if tick-sentAt > 5 {
+						delete(pending, k)
+						rejections[pair{k.to, k.from}] = true
+					}
+				}
+			case 4: // report
+				err := s.Report(v, u)
+				_, ok := pending[key]
+				if (err != nil) == ok {
+					return false
+				}
+				if err == nil {
+					delete(pending, key)
+					rejections[pair{v, u}] = true
+				}
+			}
+		}
+
+		// Cross-check full state.
+		for u := UserID(0); u < users; u++ {
+			for v := UserID(0); v < users; v++ {
+				if u == v {
+					continue
+				}
+				if s.Friends(u, v) != friends[pair{min(u, v), max(u, v)}] {
+					return false
+				}
+			}
+			wantPending := 0
+			for k := range pending {
+				if k.to == u {
+					wantPending++
+				}
+			}
+			if s.PendingCount(u) != wantPending {
+				return false
+			}
+		}
+		g := s.AugmentedGraph()
+		if g.NumFriendships() != len(friends) {
+			return false
+		}
+		for k := range rejections {
+			if !g.HasRejection(k.from, k.to) {
+				return false
+			}
+		}
+		return g.NumRejections() == len(rejections)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,374 @@
+// Package osn implements the OSN-side deployment surface of Rejecto: the
+// friend-request lifecycle that produces the rejection-augmented social
+// graph, and the §VII response policies applied to detected accounts.
+//
+// The paper's system model (§I, §III) assumes the OSN provider "monitors
+// the friend requests sent out by users and augments the social graph with
+// directed social rejections". This package is that monitor: a
+// deterministic, event-sourced service where
+//
+//   - a friend request is sent, then accepted, rejected, reported, or
+//     left pending until it expires — expiry counts as an *ignored*
+//     request, which the paper treats as a social rejection alongside
+//     explicit rejections and abuse reports;
+//   - accepted requests create undirected OSN links; rejections, reports,
+//     and expiries create directed rejection edges ⟨target, sender⟩;
+//   - every transition lands in an append-only event log, from which the
+//     augmented graph (for core.Detect) or per-interval request shards
+//     (for core.DetectSharded) are materialized;
+//   - detected accounts receive escalating §VII responses — CAPTCHA-style
+//     challenges, request rate limiting, then suspension — enforced on
+//     the request path.
+//
+// Time is logical: the caller advances a tick counter, so simulations and
+// tests are exactly reproducible.
+package osn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// UserID identifies a registered account. It is the same ID space as
+// graph.NodeID so materialized graphs need no translation.
+type UserID = graph.NodeID
+
+// EventKind enumerates request-lifecycle and enforcement transitions.
+type EventKind uint8
+
+// The event kinds, in rough lifecycle order.
+const (
+	// EventRequestSent: Actor sent a friend request to Subject.
+	EventRequestSent EventKind = iota
+	// EventRequestAccepted: Actor accepted Subject's pending request,
+	// creating an OSN link.
+	EventRequestAccepted
+	// EventRequestRejected: Actor explicitly rejected Subject's request.
+	EventRequestRejected
+	// EventRequestReported: Actor reported Subject's request as abusive.
+	// Reports are rejections with an audit trail (only OSN providers see
+	// them, §II-A).
+	EventRequestReported
+	// EventRequestExpired: Subject's request to Actor sat pending past
+	// the TTL — an ignored request, counted as a social rejection.
+	EventRequestExpired
+	// EventChallenged: the provider issued Actor a CAPTCHA-style
+	// challenge (§VII).
+	EventChallenged
+	// EventRateLimited: the provider rate-limited Actor's requests.
+	EventRateLimited
+	// EventSuspended: the provider suspended Actor.
+	EventSuspended
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventRequestSent:
+		return "sent"
+	case EventRequestAccepted:
+		return "accepted"
+	case EventRequestRejected:
+		return "rejected"
+	case EventRequestReported:
+		return "reported"
+	case EventRequestExpired:
+		return "expired"
+	case EventChallenged:
+		return "challenged"
+	case EventRateLimited:
+		return "rate-limited"
+	case EventSuspended:
+		return "suspended"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one append-only log entry.
+type Event struct {
+	Seq   int64
+	Tick  int64
+	Kind  EventKind
+	Actor UserID
+	// Subject is the other party (the request's sender for response
+	// events; the target for EventRequestSent; unused for enforcement
+	// events, where it equals Actor).
+	Subject UserID
+}
+
+// Config parameterizes the service. The zero value selects the defaults.
+type Config struct {
+	// PendingTTL is how many ticks a request may sit pending before
+	// ExpirePending counts it as ignored. Default 30.
+	PendingTTL int64
+	// RateLimitWindow and RateLimitBudget cap the requests a rate-limited
+	// account can send per window of ticks. Defaults: 10 ticks, 2
+	// requests.
+	RateLimitWindow int64
+	RateLimitBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PendingTTL <= 0 {
+		c.PendingTTL = 30
+	}
+	if c.RateLimitWindow <= 0 {
+		c.RateLimitWindow = 10
+	}
+	if c.RateLimitBudget <= 0 {
+		c.RateLimitBudget = 2
+	}
+	return c
+}
+
+// Service is the OSN friend-request monitor. Not safe for concurrent use;
+// an OSN front-end would shard services per region and merge logs.
+type Service struct {
+	cfg  Config
+	tick int64
+
+	friends map[edgeKey]bool
+	pending map[edgeKey]int64 // (from, to) -> tick sent
+
+	status     map[UserID]accountStatus
+	sentInWin  map[UserID]int   // requests sent in the current rate window
+	winStart   map[UserID]int64 // rate window start tick
+	challenged map[UserID]bool  // challenge outstanding (blocks requests until passed)
+
+	users  int
+	events []Event
+}
+
+type accountStatus uint8
+
+const (
+	statusNormal accountStatus = iota
+	statusRateLimited
+	statusSuspended
+)
+
+type edgeKey struct{ from, to UserID }
+
+// NewService returns an empty service.
+func NewService(cfg Config) *Service {
+	return &Service{
+		cfg:        cfg.withDefaults(),
+		friends:    make(map[edgeKey]bool),
+		pending:    make(map[edgeKey]int64),
+		status:     make(map[UserID]accountStatus),
+		sentInWin:  make(map[UserID]int),
+		winStart:   make(map[UserID]int64),
+		challenged: make(map[UserID]bool),
+	}
+}
+
+// Register creates a new account and returns its ID.
+func (s *Service) Register() UserID {
+	id := UserID(s.users)
+	s.users++
+	return id
+}
+
+// RegisterN creates n accounts and returns the first ID.
+func (s *Service) RegisterN(n int) UserID {
+	first := UserID(s.users)
+	s.users += n
+	return first
+}
+
+// NumUsers reports the registered account count.
+func (s *Service) NumUsers() int { return s.users }
+
+// Tick returns the current logical time.
+func (s *Service) Tick() int64 { return s.tick }
+
+// Advance moves logical time forward by n ticks (n ≥ 0).
+func (s *Service) Advance(n int64) {
+	if n < 0 {
+		panic("osn: Advance with negative ticks")
+	}
+	s.tick += n
+}
+
+// Events returns the append-only event log. Callers must not mutate it.
+func (s *Service) Events() []Event { return s.events }
+
+func (s *Service) checkUser(u UserID) error {
+	if u < 0 || int(u) >= s.users {
+		return fmt.Errorf("osn: unknown user %d", u)
+	}
+	return nil
+}
+
+func (s *Service) log(kind EventKind, actor, subject UserID) {
+	s.events = append(s.events, Event{
+		Seq: int64(len(s.events)), Tick: s.tick,
+		Kind: kind, Actor: actor, Subject: subject,
+	})
+}
+
+// Friends reports whether u and v hold an OSN link.
+func (s *Service) Friends(u, v UserID) bool {
+	return s.friends[normalize(u, v)]
+}
+
+func normalize(u, v UserID) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+// SendRequest records a friend request from one user to another. It
+// returns an error when the request violates lifecycle or enforcement
+// rules; callers simulating attackers should treat errors as throttling.
+func (s *Service) SendRequest(from, to UserID) error {
+	if err := s.checkUser(from); err != nil {
+		return err
+	}
+	if err := s.checkUser(to); err != nil {
+		return err
+	}
+	switch {
+	case from == to:
+		return fmt.Errorf("osn: self-request by %d", from)
+	case s.status[from] == statusSuspended:
+		return fmt.Errorf("osn: account %d is suspended", from)
+	case s.challenged[from]:
+		return fmt.Errorf("osn: account %d has an unanswered challenge", from)
+	case s.Friends(from, to):
+		return fmt.Errorf("osn: %d and %d are already friends", from, to)
+	}
+	if _, dup := s.pending[edgeKey{from, to}]; dup {
+		return fmt.Errorf("osn: duplicate pending request %d→%d", from, to)
+	}
+	if s.status[from] == statusRateLimited {
+		if s.tick-s.winStart[from] >= s.cfg.RateLimitWindow {
+			s.winStart[from] = s.tick
+			s.sentInWin[from] = 0
+		}
+		if s.sentInWin[from] >= s.cfg.RateLimitBudget {
+			return fmt.Errorf("osn: account %d is rate limited", from)
+		}
+		s.sentInWin[from]++
+	}
+	s.pending[edgeKey{from, to}] = s.tick
+	s.log(EventRequestSent, from, to)
+	return nil
+}
+
+// respond consumes the pending request from sender to responder.
+func (s *Service) respond(responder, sender UserID, kind EventKind) error {
+	if err := s.checkUser(responder); err != nil {
+		return err
+	}
+	if err := s.checkUser(sender); err != nil {
+		return err
+	}
+	key := edgeKey{sender, responder}
+	if _, ok := s.pending[key]; !ok {
+		return fmt.Errorf("osn: no pending request %d→%d", sender, responder)
+	}
+	delete(s.pending, key)
+	if kind == EventRequestAccepted {
+		s.friends[normalize(sender, responder)] = true
+	}
+	s.log(kind, responder, sender)
+	return nil
+}
+
+// Accept accepts sender's pending request, creating an OSN link.
+func (s *Service) Accept(responder, sender UserID) error {
+	return s.respond(responder, sender, EventRequestAccepted)
+}
+
+// Reject explicitly rejects sender's pending request — a social rejection.
+func (s *Service) Reject(responder, sender UserID) error {
+	return s.respond(responder, sender, EventRequestRejected)
+}
+
+// Report flags sender's pending request as abusive — a social rejection
+// that only the provider sees (§II-A).
+func (s *Service) Report(responder, sender UserID) error {
+	return s.respond(responder, sender, EventRequestReported)
+}
+
+// ExpirePending turns every request pending longer than the TTL into an
+// ignored request: the target implicitly casts a social rejection. Returns
+// the number expired. Call it after Advance.
+func (s *Service) ExpirePending() int {
+	expired := 0
+	for key, sentAt := range s.pending {
+		if s.tick-sentAt > s.cfg.PendingTTL {
+			delete(s.pending, key)
+			s.log(EventRequestExpired, key.to, key.from)
+			expired++
+		}
+	}
+	return expired
+}
+
+// PendingCount reports the number of requests currently pending against u
+// (requests u has not answered) — the per-account signal §II measured on
+// purchased accounts.
+func (s *Service) PendingCount(u UserID) int {
+	n := 0
+	for key := range s.pending {
+		if key.to == u {
+			n++
+		}
+	}
+	return n
+}
+
+// isRejection reports whether the event kind casts a social rejection.
+func (k EventKind) isRejection() bool {
+	return k == EventRequestRejected || k == EventRequestReported || k == EventRequestExpired
+}
+
+// AugmentedGraph materializes the rejection-augmented social graph from
+// the event log: OSN links from accepted requests, rejection edges
+// ⟨target, sender⟩ from rejections, reports, and expiries.
+func (s *Service) AugmentedGraph() *graph.Graph {
+	g := graph.New(s.users)
+	for _, e := range s.events {
+		switch {
+		case e.Kind == EventRequestAccepted:
+			g.AddFriendship(e.Actor, e.Subject)
+		case e.Kind.isRejection():
+			g.AddRejection(e.Actor, e.Subject)
+		}
+	}
+	return g
+}
+
+// TimedRequests shards the answered requests into intervals of the given
+// tick length, in the form core.DetectSharded consumes. Response time
+// (not send time) buckets a request, since the rejection is the signal.
+func (s *Service) TimedRequests(intervalTicks int64) []core.TimedRequest {
+	if intervalTicks <= 0 {
+		panic("osn: intervalTicks must be positive")
+	}
+	var out []core.TimedRequest
+	for _, e := range s.events {
+		var accepted bool
+		switch {
+		case e.Kind == EventRequestAccepted:
+			accepted = true
+		case e.Kind.isRejection():
+			accepted = false
+		default:
+			continue
+		}
+		out = append(out, core.TimedRequest{
+			From:     e.Subject, // the request's sender
+			To:       e.Actor,
+			Accepted: accepted,
+			Interval: int(e.Tick / intervalTicks),
+		})
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package osn
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func newService(users int) (*Service, UserID) {
+	s := NewService(Config{})
+	first := s.RegisterN(users)
+	return s, first
+}
+
+func TestRequestLifecycleAccept(t *testing.T) {
+	s, _ := newService(3)
+	if err := s.SendRequest(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Friends(0, 1) {
+		t.Fatal("friendship before acceptance")
+	}
+	if err := s.Accept(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Friends(0, 1) || !s.Friends(1, 0) {
+		t.Fatal("acceptance did not create a symmetric link")
+	}
+	// The consumed request cannot be answered twice.
+	if err := s.Reject(1, 0); err == nil {
+		t.Fatal("double response accepted")
+	}
+}
+
+func TestRequestLifecycleErrors(t *testing.T) {
+	s, _ := newService(3)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"self request", func() error { return s.SendRequest(1, 1) }},
+		{"unknown sender", func() error { return s.SendRequest(9, 1) }},
+		{"unknown target", func() error { return s.SendRequest(1, 9) }},
+		{"respond without request", func() error { return s.Accept(2, 1) }},
+	}
+	for _, tc := range cases {
+		if tc.fn() == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Duplicate pending.
+	if err := s.SendRequest(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendRequest(0, 1); err == nil {
+		t.Fatal("duplicate pending request accepted")
+	}
+	// Request to an existing friend.
+	if err := s.Accept(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendRequest(1, 0); err == nil {
+		t.Fatal("request to existing friend accepted")
+	}
+}
+
+func TestRejectAndReportCreateRejectionEdges(t *testing.T) {
+	s, _ := newService(4)
+	mustSend(t, s, 2, 0)
+	mustSend(t, s, 2, 1)
+	if err := s.Reject(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Report(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := s.AugmentedGraph()
+	if !g.HasRejection(0, 2) || !g.HasRejection(1, 2) {
+		t.Fatal("rejection/report did not materialize as rejection edges")
+	}
+	if g.NumFriendships() != 0 {
+		t.Fatal("phantom friendship")
+	}
+}
+
+func TestExpiryCountsAsIgnoredRejection(t *testing.T) {
+	s, _ := newService(3)
+	mustSend(t, s, 0, 1)
+	s.Advance(10)
+	if n := s.ExpirePending(); n != 0 {
+		t.Fatalf("expired %d before TTL", n)
+	}
+	s.Advance(25) // past the default TTL of 30
+	if n := s.ExpirePending(); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	g := s.AugmentedGraph()
+	if !g.HasRejection(1, 0) {
+		t.Fatal("ignored request did not become a rejection edge ⟨target, sender⟩")
+	}
+	// The expired request is gone.
+	if err := s.Accept(1, 0); err == nil {
+		t.Fatal("expired request still answerable")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s, _ := newService(5)
+	for i := UserID(1); i <= 3; i++ {
+		mustSend(t, s, i, 0)
+	}
+	if n := s.PendingCount(0); n != 3 {
+		t.Fatalf("pending = %d, want 3", n)
+	}
+	if err := s.Reject(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.PendingCount(0); n != 2 {
+		t.Fatalf("pending = %d after one rejection, want 2", n)
+	}
+}
+
+func TestAugmentedGraphMatchesLog(t *testing.T) {
+	s, _ := newService(6)
+	mustSend(t, s, 0, 1)
+	mustSend(t, s, 0, 2)
+	mustSend(t, s, 3, 0)
+	if err := s.Accept(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reject(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	g := s.AugmentedGraph()
+	if g.NumNodes() != 6 || g.NumFriendships() != 2 || g.NumRejections() != 1 {
+		t.Fatalf("graph = %d nodes, %d friendships, %d rejections",
+			g.NumNodes(), g.NumFriendships(), g.NumRejections())
+	}
+	if !g.HasFriendship(0, 1) || !g.HasFriendship(0, 3) || !g.HasRejection(2, 0) {
+		t.Fatal("materialized edges wrong")
+	}
+}
+
+func TestTimedRequestsSharding(t *testing.T) {
+	s, _ := newService(4)
+	mustSend(t, s, 0, 1)
+	if err := s.Accept(1, 0); err != nil { // interval 0
+		t.Fatal(err)
+	}
+	s.Advance(100)
+	mustSend(t, s, 2, 3)
+	if err := s.Reject(3, 2); err != nil { // interval 1 at length 100
+		t.Fatal(err)
+	}
+	reqs := s.TimedRequests(100)
+	if len(reqs) != 2 {
+		t.Fatalf("requests = %d, want 2", len(reqs))
+	}
+	if reqs[0].Interval != 0 || !reqs[0].Accepted || reqs[0].From != 0 {
+		t.Fatalf("first shard wrong: %+v", reqs[0])
+	}
+	if reqs[1].Interval != 1 || reqs[1].Accepted || reqs[1].From != 2 || reqs[1].To != 3 {
+		t.Fatalf("second shard wrong: %+v", reqs[1])
+	}
+}
+
+func TestEventLogOrdering(t *testing.T) {
+	s, _ := newService(3)
+	mustSend(t, s, 0, 1)
+	if err := s.Accept(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	events := s.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != int64(i) {
+			t.Fatal("event sequence numbers not dense")
+		}
+	}
+	if events[0].Kind != EventRequestSent || events[1].Kind != EventRequestAccepted {
+		t.Fatalf("event kinds = %v, %v", events[0].Kind, events[1].Kind)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{
+		EventRequestSent, EventRequestAccepted, EventRequestRejected,
+		EventRequestReported, EventRequestExpired, EventChallenged,
+		EventRateLimited, EventSuspended, EventKind(99),
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		str := k.String()
+		if str == "" || seen[str] {
+			t.Fatalf("EventKind %d stringifies badly: %q", k, str)
+		}
+		seen[str] = true
+	}
+}
+
+func mustSend(t *testing.T, s *Service, from, to UserID) {
+	t.Helper()
+	if err := s.SendRequest(from, to); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = graph.NodeID(0) // the UserID alias is graph.NodeID by design

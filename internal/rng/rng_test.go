@@ -1,0 +1,157 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := New(42).Stream("spam")
+	b := New(42).Stream("spam")
+	for i := 0; i < 100; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: same (seed, name) diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestStreamIndependenceByName(t *testing.T) {
+	a := New(42).Stream("spam")
+	b := New(42).Stream("legit")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different names produced %d identical draws out of 64", same)
+	}
+}
+
+func TestStreamIndependenceBySeed(t *testing.T) {
+	a := New(1).Stream("x")
+	b := New(2).Stream("x")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 64", same)
+	}
+}
+
+func TestSplitNamespaces(t *testing.T) {
+	root := New(7)
+	a := root.Split("attack").Stream("s")
+	b := root.Split("detect").Stream("s")
+	c := root.Split("attack").Stream("s")
+	if a.Uint64() == b.Uint64() {
+		t.Error("split children with different names correlate")
+	}
+	a2 := New(7).Split("attack").Stream("s")
+	_ = c
+	if got, want := a2.Uint64(), New(7).Split("attack").Stream("s").Uint64(); got != want {
+		t.Error("split is not deterministic")
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(3).Stream("perm")
+	p := Perm(r, 100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 {
+			t.Fatalf("perm value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("perm value %d repeated", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	r := New(9).Stream("sample")
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		k := int(kRaw) % (n + 1)
+		s := Sample(r, n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleFull(t *testing.T) {
+	r := New(11).Stream("sample")
+	s := Sample(r, 5, 5)
+	seen := make(map[int]bool)
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Sample(5,5) = %v, want a permutation of 0..4", s)
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(2, 3) did not panic")
+		}
+	}()
+	Sample(New(1).Stream("s"), 2, 3)
+}
+
+func TestBinomialBounds(t *testing.T) {
+	r := New(13).Stream("binomial")
+	for _, n := range []int{0, 1, 10, 64, 65, 1000} {
+		for _, p := range []float64{-0.5, 0, 0.3, 0.7, 1, 1.5} {
+			k := Binomial(r, n, p)
+			if k < 0 || k > n {
+				t.Errorf("Binomial(%d, %v) = %d out of [0, n]", n, p, k)
+			}
+		}
+	}
+	if Binomial(r, 100, 0) != 0 {
+		t.Error("Binomial(n, 0) != 0")
+	}
+	if Binomial(r, 100, 1) != 100 {
+		t.Error("Binomial(n, 1) != n")
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := New(17).Stream("binomial-mean")
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{50, 0.3}, {500, 0.7}, {1000, 0.1}} {
+		const draws = 2000
+		sum := 0
+		for i := 0; i < draws; i++ {
+			sum += Binomial(r, tc.n, tc.p)
+		}
+		mean := float64(sum) / draws
+		want := float64(tc.n) * tc.p
+		sd := math.Sqrt(float64(tc.n) * tc.p * (1 - tc.p))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(draws) {
+			t.Errorf("Binomial(%d, %v): mean %.2f too far from %.2f", tc.n, tc.p, mean, want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package simulate
+
+import (
+	"repro/internal/attack"
+)
+
+// The figure sweeps of §VI-B and §VI-C. Each returns the sweep points in
+// the paper's x-axis order; run them with Config.Sweep.
+
+// Fig9Points sweeps the number of requests per fake account (5–50) with
+// every fake sending spam (§VI-B "Impact of the spam request volume").
+func (c Config) Fig9Points() []SweepPoint {
+	var pts []SweepPoint
+	for reqs := 5; reqs <= 50; reqs += 5 {
+		s := c.Baseline()
+		s.RequestsPerSpammer = reqs
+		pts = append(pts, SweepPoint{X: float64(reqs), Scenario: s})
+	}
+	return pts
+}
+
+// Fig10Points is the Fig 9 sweep with only half the fakes sending spam;
+// the other half hide behind intra-fake links.
+func (c Config) Fig10Points() []SweepPoint {
+	var pts []SweepPoint
+	for reqs := 5; reqs <= 50; reqs += 5 {
+		s := c.Baseline()
+		s.RequestsPerSpammer = reqs
+		s.SpammerFraction = 0.5
+		pts = append(pts, SweepPoint{X: float64(reqs), Scenario: s})
+	}
+	return pts
+}
+
+// Fig11Points sweeps the rejection rate of spam requests (0.1–0.95).
+func (c Config) Fig11Points() []SweepPoint {
+	var pts []SweepPoint
+	for _, rate := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+		s := c.Baseline()
+		s.SpamRejectionRate = rate
+		pts = append(pts, SweepPoint{X: rate, Scenario: s})
+	}
+	return pts
+}
+
+// Fig12Points sweeps the rejection rate among legitimate users
+// (0.05–0.95), spam rejection fixed at 0.7.
+func (c Config) Fig12Points() []SweepPoint {
+	var pts []SweepPoint
+	for _, rate := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95} {
+		s := c.Baseline()
+		s.LegitRejectionRate = rate
+		pts = append(pts, SweepPoint{X: rate, Scenario: s})
+	}
+	return pts
+}
+
+// Fig13Points sweeps collusion density: extra accepted intra-fake requests
+// per fake, 0–40 (§VI-C "Collusion between fake accounts").
+func (c Config) Fig13Points() []SweepPoint {
+	var pts []SweepPoint
+	for extra := 0; extra <= 40; extra += 5 {
+		s := c.Baseline()
+		s.CollusionExtraPerFake = extra
+		pts = append(pts, SweepPoint{X: float64(extra), Scenario: s})
+	}
+	return pts
+}
+
+// Fig14Points sweeps the self-rejection rate of the whitewashing overlay
+// (§VI-C "Self-rejection within fake accounts"): the sender half directs 20
+// requests each at the whitewash half, rejected at the sweep rate.
+func (c Config) Fig14Points() []SweepPoint {
+	var pts []SweepPoint
+	for _, rate := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95} {
+		s := c.Baseline()
+		s.SelfRejection = &attack.SelfRejection{Requests: 20, Rate: rate}
+		pts = append(pts, SweepPoint{X: rate, Scenario: s})
+	}
+	return pts
+}
+
+// Fig15Points sweeps the number of legitimate users' requests rejected by
+// spammers, 16K–160K at paper scale (§VI-C "Rejection of legitimate friend
+// requests by spammers"). The legit→fake rejection mass from spam stays
+// fixed (the baseline's ~140K).
+func (c Config) Fig15Points() []SweepPoint {
+	var pts []SweepPoint
+	for i := 1; i <= 10; i++ {
+		count := 16000 * i
+		s := c.Baseline()
+		s.RejectedLegitRequests = c.scaleInt(count, 10)
+		pts = append(pts, SweepPoint{X: float64(count) / 1000, Scenario: s})
+	}
+	return pts
+}
+
+// Fig17Scenario identifies one of the four per-graph sensitivity sweeps of
+// the appendix (Fig 17 columns a–d).
+type Fig17Scenario string
+
+// The Fig 17 column identifiers.
+const (
+	Fig17AllSpam     Fig17Scenario = "request-volume"      // column a = Fig 9
+	Fig17HalfSpam    Fig17Scenario = "half-spammers"       // column b = Fig 10
+	Fig17SpamRejRate Fig17Scenario = "spam-rejection-rate" // column c = Fig 11
+	Fig17LegitRate   Fig17Scenario = "legit-rejection-rate"
+)
+
+// Fig17Points returns the sweep for one Fig 17 column.
+func (c Config) Fig17Points(col Fig17Scenario) []SweepPoint {
+	switch col {
+	case Fig17AllSpam:
+		return c.Fig9Points()
+	case Fig17HalfSpam:
+		return c.Fig10Points()
+	case Fig17SpamRejRate:
+		return c.Fig11Points()
+	case Fig17LegitRate:
+		return c.Fig12Points()
+	default:
+		panic("simulate: unknown Fig 17 scenario " + string(col))
+	}
+}
+
+// Fig18Scenario identifies one of the three per-graph resilience sweeps of
+// the appendix (Fig 18 columns a–c).
+type Fig18Scenario string
+
+// The Fig 18 column identifiers.
+const (
+	Fig18Collusion     Fig18Scenario = "collusion"      // column a = Fig 13
+	Fig18SelfRejection Fig18Scenario = "self-rejection" // column b = Fig 14
+	Fig18RejectLegit   Fig18Scenario = "reject-legit"   // column c = Fig 15
+)
+
+// Fig18Points returns the sweep for one Fig 18 column.
+func (c Config) Fig18Points(col Fig18Scenario) []SweepPoint {
+	switch col {
+	case Fig18Collusion:
+		return c.Fig13Points()
+	case Fig18SelfRejection:
+		return c.Fig14Points()
+	case Fig18RejectLegit:
+		return c.Fig15Points()
+	default:
+		panic("simulate: unknown Fig 18 scenario " + string(col))
+	}
+}
+
+// AppendixGraphs lists the six non-Facebook graphs of Fig 17 and Fig 18.
+func AppendixGraphs() []string {
+	return []string{"ca-HepTh", "ca-AstroPh", "email-Enron", "soc-Epinions", "soc-Slashdot", "Synthetic"}
+}

@@ -1,0 +1,87 @@
+package simulate
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders experiment rows as aligned text, the harness's common
+// output form (shared by cmd/experiments and the benchmarks).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one formatted row; values are stringified with %v unless
+// they are float64, which render with three decimals.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, col := range t.Columns {
+		widths[i] = len(col)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := len(t.Columns) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// OutcomeTable renders a figure's sweep outcomes with the given x-axis
+// label.
+func OutcomeTable(title, xLabel string, outcomes []Outcome) *Table {
+	t := NewTable(title, xLabel, "rejecto", "votetrust")
+	for _, o := range outcomes {
+		t.AddRow(o.X, o.Rejecto, o.VoteTrust)
+	}
+	return t
+}

@@ -1,0 +1,228 @@
+package simulate
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig is a heavily scaled-down configuration so unit tests stay
+// fast; the benches and cmd/experiments run the real scales.
+func testConfig() Config {
+	return Config{Dataset: "Facebook", Scale: 0.05, Seed: 7}.WithDefaults()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Dataset != "Facebook" || c.Scale != 1 || c.Trials != 1 || c.SeedFraction != 0.01 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestPointBaselineSeparatesSystems(t *testing.T) {
+	c := testConfig()
+	o, err := c.Point(20, c.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Rejecto < 0.9 {
+		t.Fatalf("Rejecto precision %.3f below 0.9 on the baseline", o.Rejecto)
+	}
+	if o.VoteTrust < 0.5 {
+		t.Fatalf("VoteTrust precision %.3f implausibly low on the baseline", o.VoteTrust)
+	}
+}
+
+func TestPointUnknownDataset(t *testing.T) {
+	c := testConfig()
+	c.Dataset = "nope"
+	if _, err := c.Point(1, c.Baseline()); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestFigurePointCounts(t *testing.T) {
+	c := testConfig()
+	cases := map[string]int{
+		"fig9":  len(c.Fig9Points()),
+		"fig10": len(c.Fig10Points()),
+		"fig11": len(c.Fig11Points()),
+		"fig12": len(c.Fig12Points()),
+		"fig13": len(c.Fig13Points()),
+		"fig14": len(c.Fig14Points()),
+		"fig15": len(c.Fig15Points()),
+	}
+	for name, n := range cases {
+		if n < 9 || n > 11 {
+			t.Errorf("%s has %d sweep points, want ≈ 10", name, n)
+		}
+	}
+}
+
+func TestFig13PointsConfigureCollusion(t *testing.T) {
+	c := testConfig()
+	pts := c.Fig13Points()
+	if pts[0].Scenario.CollusionExtraPerFake != 0 {
+		t.Fatal("first collusion point should be the honest baseline")
+	}
+	last := pts[len(pts)-1]
+	if last.Scenario.CollusionExtraPerFake != 40 || last.X != 40 {
+		t.Fatalf("last collusion point = %+v", last)
+	}
+}
+
+func TestFig14PointsConfigureSelfRejection(t *testing.T) {
+	c := testConfig()
+	for _, pt := range c.Fig14Points() {
+		if pt.Scenario.SelfRejection == nil {
+			t.Fatal("self-rejection overlay missing")
+		}
+		if pt.Scenario.SelfRejection.Rate != pt.X {
+			t.Fatalf("rate %v != x %v", pt.Scenario.SelfRejection.Rate, pt.X)
+		}
+	}
+}
+
+func TestFig15PointsScaleOverlay(t *testing.T) {
+	c := testConfig()
+	pts := c.Fig15Points()
+	// X stays in paper units (K requests); the scenario volume is scaled.
+	if pts[0].X != 16 {
+		t.Fatalf("first x = %v, want 16 (K)", pts[0].X)
+	}
+	if want := c.scaleInt(16000, 10); pts[0].Scenario.RejectedLegitRequests != want {
+		t.Fatalf("scaled overlay = %d, want %d", pts[0].Scenario.RejectedLegitRequests, want)
+	}
+}
+
+func TestFig17And18Dispatch(t *testing.T) {
+	c := testConfig()
+	if len(c.Fig17Points(Fig17HalfSpam)) == 0 || len(c.Fig18Points(Fig18Collusion)) == 0 {
+		t.Fatal("column dispatch returned no points")
+	}
+	if got := c.Fig17Points(Fig17HalfSpam)[0].Scenario.SpammerFraction; got != 0.5 {
+		t.Fatalf("half-spammers column fraction = %v", got)
+	}
+	if len(AppendixGraphs()) != 6 {
+		t.Fatalf("appendix graphs = %v", AppendixGraphs())
+	}
+}
+
+func TestSweepRunsAllPoints(t *testing.T) {
+	c := testConfig()
+	pts := c.Fig9Points()[:2]
+	outcomes, err := c.Sweep(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 || outcomes[0].X != pts[0].X {
+		t.Fatalf("sweep outcomes = %+v", outcomes)
+	}
+}
+
+func TestFig16MonotoneImprovement(t *testing.T) {
+	c := testConfig()
+	removals := c.Fig16Removals()
+	points, err := c.Fig16(removals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(removals) {
+		t.Fatalf("points = %d, want %d", len(points), len(removals))
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.AUC < first.AUC-0.02 {
+		t.Fatalf("removing spammers degraded SybilRank: %.3f → %.3f", first.AUC, last.AUC)
+	}
+	if last.AUC < 0.9 {
+		t.Fatalf("final AUC %.3f too low after removals", last.AUC)
+	}
+}
+
+func TestTableIMeasuresAllGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates all seven stand-ins")
+	}
+	rows, err := Config{Seed: 5}.WithDefaults().TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes != r.PaperNodes {
+			t.Errorf("%s: nodes %d != paper %d", r.Name, r.Nodes, r.PaperNodes)
+		}
+		if f := float64(r.Edges) / float64(r.PaperEdges); f < 0.97 || f > 1.03 {
+			t.Errorf("%s: edges %d off paper %d", r.Name, r.Edges, r.PaperEdges)
+		}
+	}
+}
+
+func TestTableIIScalesWithGraphSize(t *testing.T) {
+	rows, err := TableII(TableIIConfig{UserCounts: []int{2000, 4000}, Workers: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Edges <= rows[0].Edges {
+		t.Fatal("edge counts not growing with users")
+	}
+	for _, r := range rows {
+		if r.Calls == 0 || r.BytesRecv == 0 {
+			t.Fatalf("traffic not recorded: %+v", r)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("T", "a", "bb")
+	tab.AddRow(1, 0.5)
+	tab.AddRow("xyz", 2)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T\n", "a", "bb", "0.500", "xyz"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOutcomeTable(t *testing.T) {
+	tab := OutcomeTable("f", "x", []Outcome{{X: 1, Rejecto: 0.9, VoteTrust: 0.5}})
+	if len(tab.Rows) != 1 || tab.Rows[0][1] != "0.900" {
+		t.Fatalf("outcome table rows = %v", tab.Rows)
+	}
+}
+
+func TestFig1PendingFractions(t *testing.T) {
+	sum, err := Config{Seed: 3}.WithDefaults().Fig1(43, 60, 0.3, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 43 {
+		t.Fatalf("rows = %d, want 43", len(sum.Rows))
+	}
+	// The paper's purchased accounts showed pending fractions between
+	// 16.7% and 67.9%; our ignore rate of 35% of requests must land the
+	// median in a comparable band and every account must have a backlog.
+	if sum.MedianFraction < 0.3 || sum.MedianFraction > 0.75 {
+		t.Fatalf("median pending fraction %.3f outside plausible band", sum.MedianFraction)
+	}
+	for _, row := range sum.Rows {
+		if row.Pending == 0 {
+			t.Fatalf("account %d has no pending backlog", row.Account)
+		}
+	}
+}
+
+func TestFig1Validation(t *testing.T) {
+	if _, err := (Config{}).WithDefaults().Fig1(3, 5, 0.8, 0.5); err == nil {
+		t.Fatal("invalid probabilities accepted")
+	}
+}

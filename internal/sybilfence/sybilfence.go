@@ -1,0 +1,127 @@
+// Package sybilfence implements SybilFence [Cao & Yang 2012, arXiv
+// 1304.3819], the negative-feedback predecessor the paper discusses in
+// §VIII: "Cao et al. [16] also proposed to leverage user negative feedback
+// to improve social-graph-based Sybil defense schemes. However, that
+// design does not seek the aggregate acceptance ratio and is susceptible
+// to attack strategies."
+//
+// SybilFence discounts the trust capacity of each social edge by the
+// negative feedback (here: social rejections) its endpoints received, then
+// runs SybilRank-style early-terminated trust propagation over the
+// weighted graph. Because the discount is per-account rather than
+// per-region-aggregate, collusion partially restores a spammer's relative
+// standing — the structural weakness Rejecto's cut formulation removes.
+// The package exists as a second baseline for the resilience ablations.
+package sybilfence
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Options parameterizes SybilFence. The zero value selects the defaults.
+type Options struct {
+	// Iterations is the number of power iterations; 0 means ⌈log₂ n⌉.
+	Iterations int
+	// Discount controls how strongly an endpoint's rejection share
+	// reduces an edge's trust capacity: an account with in-rejection
+	// ratio ρ keeps weight (1−ρ)^Discount on its incident edges.
+	// 0 means DefaultDiscount.
+	Discount float64
+	// TotalTrust is the trust mass split among the seeds; 0 means n.
+	TotalTrust float64
+}
+
+// DefaultDiscount is the per-endpoint rejection-penalty exponent.
+const DefaultDiscount = 1.0
+
+// Rank propagates seed trust over the rejection-discounted graph and
+// returns degree-normalized scores (higher = more trusted), where "degree"
+// is the weighted degree.
+func Rank(g *graph.Graph, seeds []graph.NodeID, opts Options) ([]float64, error) {
+	n := g.NumNodes()
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sybilfence: at least one trust seed required")
+	}
+	for _, s := range seeds {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("sybilfence: seed %d out of range [0, %d)", s, n)
+		}
+	}
+	iters := opts.Iterations
+	if iters == 0 {
+		iters = int(math.Ceil(math.Log2(float64(max(n, 2)))))
+	}
+	discount := opts.Discount
+	if discount == 0 {
+		discount = DefaultDiscount
+	}
+	total := opts.TotalTrust
+	if total == 0 {
+		total = float64(n)
+	}
+
+	// Per-account trust retention from its individual acceptance rate —
+	// the per-user signal (this is the point of divergence from Rejecto,
+	// which only ever aggregates across a cut). A rejection-heavy account
+	// receives only retain(u) of the trust a neighbour sends it; the rest
+	// evaporates, so negative feedback strictly drains trust toward the
+	// accounts that attracted it. Normalization stays by plain degree, so
+	// the drain is not cancelled by a shrinking denominator.
+	retain := make([]float64, n)
+	for u := 0; u < n; u++ {
+		retain[u] = math.Pow(g.Acceptance(graph.NodeID(u)), discount)
+	}
+
+	trust := make([]float64, n)
+	share := total / float64(len(seeds))
+	for _, s := range seeds {
+		trust[s] += share
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		clear(next)
+		for u := 0; u < n; u++ {
+			nbrs := g.Friends(graph.NodeID(u))
+			if len(nbrs) == 0 {
+				continue
+			}
+			out := trust[u] / float64(len(nbrs))
+			for _, v := range nbrs {
+				next[v] += out * retain[v]
+			}
+		}
+		trust, next = next, trust
+	}
+	for u := 0; u < n; u++ {
+		if d := g.Degree(graph.NodeID(u)); d > 0 {
+			trust[u] /= float64(d)
+		} else {
+			trust[u] = 0
+		}
+	}
+	return trust, nil
+}
+
+// MostSuspicious returns the k lowest-ranked users (ties by ID).
+func MostSuspicious(scores []float64, k int) []graph.NodeID {
+	n := len(scores)
+	if k > n {
+		k = n
+	}
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if scores[a] != scores[b] {
+			return scores[a] < scores[b]
+		}
+		return a < b
+	})
+	return order[:k]
+}

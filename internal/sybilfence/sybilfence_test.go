@@ -1,0 +1,149 @@
+package sybilfence
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sybilrank"
+)
+
+func TestValidation(t *testing.T) {
+	g := graph.New(3)
+	if _, err := Rank(g, nil, Options{}); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := Rank(g, []graph.NodeID{5}, Options{}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+// spamWorld plants spammers with individual rejections; extraIntra adds
+// collusion edges among them.
+func spamWorld(seed uint64, extraIntra int) (*graph.Graph, []bool, []graph.NodeID) {
+	r := rand.New(rand.NewPCG(seed, 131))
+	const nLegit, nFake = 500, 150
+	g := gen.BarabasiAlbert(r, nLegit, 4)
+	first := int(g.AddNodes(nFake))
+	for i := 0; i < nFake; i++ {
+		u := graph.NodeID(first + i)
+		for k := 0; k < 3 && k < i; k++ {
+			g.AddFriendship(u, graph.NodeID(first+r.IntN(i)))
+		}
+		for req := 0; req < 10; req++ {
+			target := graph.NodeID(r.IntN(nLegit))
+			if r.Float64() < 0.7 {
+				g.AddRejection(target, u)
+			} else {
+				g.AddFriendship(u, target)
+			}
+		}
+		for k := 0; k < extraIntra; k++ {
+			v := graph.NodeID(first + r.IntN(nFake))
+			if v != u {
+				g.AddFriendship(u, v)
+			}
+		}
+	}
+	isFake := make([]bool, g.NumNodes())
+	for u := first; u < g.NumNodes(); u++ {
+		isFake[u] = true
+	}
+	seeds := []graph.NodeID{0, 50, 100, 150, 200}
+	return g, isFake, seeds
+}
+
+// TestDiscountImprovesOnPlainSybilRank: the point of SybilFence — relative
+// to plain SybilRank, discounting rejection-heavy endpoints reduces the
+// trust capacity of attack edges, so the ranking improves on a
+// spam-saturated world.
+func TestDiscountImprovesOnPlainSybilRank(t *testing.T) {
+	g, isFake, seeds := spamWorld(1, 0)
+	fenced, err := Rank(g, seeds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sybilrank.Rank(g, seeds, sybilrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fAUC, pAUC := metrics.AUC(fenced, isFake), metrics.AUC(plain, isFake)
+	if fAUC < pAUC {
+		t.Fatalf("discounting worsened the ranking: sybilfence %.3f < sybilrank %.3f", fAUC, pAUC)
+	}
+}
+
+// TestFeedbackPoisoningErodesSybilFence pins the manipulability the paper
+// attributes to per-user negative feedback (§VIII, §II-B): attackers that
+// reject requests sent to them by (careless) legitimate users poison those
+// users' individual feedback signal, eroding SybilFence's separation —
+// the Fig 15 strategy. Rejecto's aggregate-rate cut is measured tolerating
+// the same poisoning until the global cut itself flips.
+func TestFeedbackPoisoningErodesSybilFence(t *testing.T) {
+	aucAt := func(poison int) float64 {
+		g, isFake, seeds := spamWorld(2, 0)
+		r := rand.New(rand.NewPCG(99, 132))
+		const nLegit = 500
+		first := nLegit
+		for i := 0; i < poison; i++ {
+			// A fake rejects a request a legitimate user sent to it.
+			legit := graph.NodeID(r.IntN(nLegit))
+			fake := graph.NodeID(first + r.IntN(150))
+			g.AddRejection(fake, legit)
+		}
+		scores, err := Rank(g, seeds, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.AUC(scores, isFake)
+	}
+	clean, poisoned := aucAt(0), aucAt(4000)
+	if poisoned >= clean-0.05 {
+		t.Fatalf("feedback poisoning did not erode SybilFence: %.3f → %.3f", clean, poisoned)
+	}
+}
+
+func TestDiscountZeroUsesDefault(t *testing.T) {
+	g, _, seeds := spamWorld(3, 0)
+	a, err := Rank(g, seeds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rank(g, seeds, Options{Discount: DefaultDiscount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("zero Discount differs from explicit default")
+		}
+	}
+}
+
+func TestIsolatedNodesScoreZero(t *testing.T) {
+	g := graph.New(3)
+	g.AddFriendship(0, 1)
+	scores, err := Rank(g, []graph.NodeID{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[2] != 0 {
+		t.Fatalf("isolated node scored %v", scores[2])
+	}
+}
+
+func TestMostSuspiciousOrder(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.5, 0.1}
+	got := MostSuspicious(scores, 3)
+	want := []graph.NodeID{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MostSuspicious = %v, want %v", got, want)
+		}
+	}
+	if len(MostSuspicious(scores, 99)) != 4 {
+		t.Fatal("k beyond n not capped")
+	}
+}

@@ -1,0 +1,21 @@
+package sybilrank
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func BenchmarkRank(b *testing.B) {
+	r := rand.New(rand.NewPCG(4, 4))
+	g := gen.BarabasiAlbert(r, 20000, 8)
+	seeds := []graph.NodeID{0, 1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rank(g, seeds, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

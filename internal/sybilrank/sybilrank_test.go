@@ -1,0 +1,153 @@
+package sybilrank
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func TestValidation(t *testing.T) {
+	g := graph.New(3)
+	if _, err := Rank(g, nil, Options{}); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := Rank(g, []graph.NodeID{7}, Options{}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestTrustConservedAndNormalized(t *testing.T) {
+	// On a connected graph total (pre-normalization) trust is conserved;
+	// after degree normalization all scores are non-negative.
+	r := rand.New(rand.NewPCG(1, 61))
+	g := gen.ErdosRenyiGNM(r, 50, 200)
+	scores, err := Rank(g, []graph.NodeID{0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, s := range scores {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("score[%d] = %v", u, s)
+		}
+	}
+}
+
+func TestIsolatedNodesScoreZero(t *testing.T) {
+	g := graph.New(4)
+	g.AddFriendship(0, 1)
+	scores, err := Rank(g, []graph.NodeID{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[2] != 0 || scores[3] != 0 {
+		t.Fatalf("isolated nodes scored %v, %v; want 0", scores[2], scores[3])
+	}
+}
+
+func TestUnreachableRegionScoresZero(t *testing.T) {
+	// Two components; seeds in the first. The second must score 0.
+	g := graph.New(6)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	g.AddFriendship(3, 4)
+	g.AddFriendship(4, 5)
+	scores, err := Rank(g, []graph.NodeID{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 3; u < 6; u++ {
+		if scores[u] != 0 {
+			t.Fatalf("unreachable node %d scored %v", u, scores[u])
+		}
+	}
+	if scores[1] == 0 {
+		t.Fatal("reachable node scored 0")
+	}
+}
+
+// TestRanksSybilsBottom reproduces the core SybilRank property: with few
+// attack edges, early-terminated propagation ranks the Sybil region at the
+// bottom, yielding AUC near 1.
+func TestRanksSybilsBottom(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 62))
+	const nLegit, nSybil = 500, 200
+	g := gen.BarabasiAlbert(r, nLegit, 4)
+	first := int(g.AddNodes(nSybil))
+	// Dense Sybil region.
+	for i := 0; i < nSybil; i++ {
+		for k := 0; k < 4 && k < i; k++ {
+			g.AddFriendship(graph.NodeID(first+i), graph.NodeID(first+r.IntN(i)))
+		}
+	}
+	// Only 5 attack edges.
+	for i := 0; i < 5; i++ {
+		g.AddFriendship(graph.NodeID(r.IntN(nLegit)), graph.NodeID(first+r.IntN(nSybil)))
+	}
+	isFake := make([]bool, g.NumNodes())
+	for u := first; u < g.NumNodes(); u++ {
+		isFake[u] = true
+	}
+	seeds := []graph.NodeID{0, 1, 2, 3, 4}
+	scores, err := Rank(g, seeds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := metrics.AUC(scores, isFake); auc < 0.95 {
+		t.Fatalf("AUC = %.3f, want ≥ 0.95 with few attack edges", auc)
+	}
+}
+
+// TestMoreAttackEdgesDegradeRanking: the paper's motivation for Rejecto —
+// friend spam adds attack edges, which erode SybilRank's separation.
+func TestMoreAttackEdgesDegradeRanking(t *testing.T) {
+	build := func(attackEdges int) float64 {
+		r := rand.New(rand.NewPCG(3, 63))
+		const nLegit, nSybil = 400, 200
+		g := gen.BarabasiAlbert(r, nLegit, 4)
+		first := int(g.AddNodes(nSybil))
+		for i := 1; i < nSybil; i++ {
+			for k := 0; k < 4 && k < i; k++ {
+				g.AddFriendship(graph.NodeID(first+i), graph.NodeID(first+r.IntN(i)))
+			}
+		}
+		for i := 0; i < attackEdges; i++ {
+			g.AddFriendship(graph.NodeID(r.IntN(nLegit)), graph.NodeID(first+r.IntN(nSybil)))
+		}
+		isFake := make([]bool, g.NumNodes())
+		for u := first; u < g.NumNodes(); u++ {
+			isFake[u] = true
+		}
+		scores, err := Rank(g, []graph.NodeID{0, 1, 2}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.AUC(scores, isFake)
+	}
+	few, many := build(5), build(2000)
+	if many >= few {
+		t.Fatalf("AUC did not degrade with attack edges: %v → %v", few, many)
+	}
+}
+
+func TestCustomIterationsAndTrust(t *testing.T) {
+	g := graph.New(3)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	a, err := Rank(g, []graph.NodeID{0}, Options{Iterations: 2, TotalTrust: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rank(g, []graph.NodeID{0}, Options{Iterations: 2, TotalTrust: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a {
+		if math.Abs(2*a[u]-b[u]) > 1e-9 {
+			t.Fatalf("TotalTrust must only scale scores: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package votetrust
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkRun(b *testing.B) {
+	r := rand.New(rand.NewPCG(5, 5))
+	const n = 20000
+	reqs := make([]Request, 0, 8*n)
+	for i := 0; i < 8*n; i++ {
+		u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+		if u != v {
+			reqs = append(reqs, Request{u, v, r.Float64() < 0.75})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(n, reqs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

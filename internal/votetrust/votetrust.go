@@ -1,0 +1,206 @@
+// Package votetrust reimplements VoteTrust [Xue et al., INFOCOM 2013], the
+// baseline the paper compares Rejecto against (§VI). VoteTrust ranks users
+// on the directed friend-request graph in two cascaded steps:
+//
+//  1. Vote assignment: a PageRank-like trust propagation over request
+//     edges assigns every user a vote capacity, teleporting to a trusted
+//     seed set (uniformly over all users when no seeds are given).
+//  2. Vote aggregation: every user's rating is the weighted average of the
+//     responses to their requests — 1 for accepted, 0 for rejected — where
+//     a response's weight is the target's votes times the target's current
+//     rating. The computation iterates, and a Beta(α, β) prior smooths
+//     users with little request history.
+//
+// Users are declared suspicious from the lowest rating up. The paper
+// identifies two structural weaknesses that its evaluation exercises: the
+// rating is a per-user acceptance rate (defeated by collusion, Fig 13) and
+// the votes are manipulable by requests among controlled accounts.
+package votetrust
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Request is one directed friend request and its outcome.
+type Request struct {
+	From, To graph.NodeID
+	Accepted bool
+}
+
+// Options parameterizes VoteTrust. The zero value selects the defaults.
+type Options struct {
+	// Damping is the PageRank damping factor d. Default 0.85.
+	Damping float64
+	// VoteIterations bounds the vote power iteration. Default 30.
+	VoteIterations int
+	// RatingIterations bounds the vote-aggregation iteration. Default 10.
+	RatingIterations int
+	// PriorAlpha and PriorBeta smooth ratings toward α/(α+β) for users
+	// with little weighted request history. Defaults 1, 1.
+	PriorAlpha, PriorBeta float64
+	// TrustSeeds is the teleport set of the vote assignment. Empty means
+	// uniform teleportation.
+	TrustSeeds []graph.NodeID
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.VoteIterations == 0 {
+		o.VoteIterations = 30
+	}
+	if o.RatingIterations == 0 {
+		o.RatingIterations = 10
+	}
+	if o.PriorAlpha == 0 {
+		o.PriorAlpha = 1
+	}
+	if o.PriorBeta == 0 {
+		o.PriorBeta = 1
+	}
+	return o
+}
+
+// Result carries VoteTrust's per-user outputs.
+type Result struct {
+	// Votes is the PageRank-like vote capacity, normalized to mean 1.
+	Votes []float64
+	// Ratings is the aggregated request-response rating in [0, 1];
+	// users that sent no requests sit at the prior mean.
+	Ratings []float64
+}
+
+// Run executes both VoteTrust stages for n users over the request log.
+func Run(n int, requests []Request, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if opts.Damping < 0 || opts.Damping >= 1 {
+		return Result{}, fmt.Errorf("votetrust: damping %v out of [0,1)", opts.Damping)
+	}
+	for _, req := range requests {
+		if req.From < 0 || int(req.From) >= n || req.To < 0 || int(req.To) >= n {
+			return Result{}, fmt.Errorf("votetrust: request %d→%d outside user set of %d", req.From, req.To, n)
+		}
+		if req.From == req.To {
+			return Result{}, fmt.Errorf("votetrust: self-request at node %d", req.From)
+		}
+	}
+	for _, s := range opts.TrustSeeds {
+		if s < 0 || int(s) >= n {
+			return Result{}, fmt.Errorf("votetrust: trust seed %d out of range", s)
+		}
+	}
+	votes := assignVotes(n, requests, opts)
+	ratings := aggregateVotes(n, requests, votes, opts)
+	return Result{Votes: votes, Ratings: ratings}, nil
+}
+
+// assignVotes runs the PageRank-like vote propagation on the directed
+// request graph.
+func assignVotes(n int, requests []Request, opts Options) []float64 {
+	outDeg := make([]float64, n)
+	for _, req := range requests {
+		outDeg[req.From]++
+	}
+	teleport := make([]float64, n)
+	if len(opts.TrustSeeds) > 0 {
+		share := 1 / float64(len(opts.TrustSeeds))
+		for _, s := range opts.TrustSeeds {
+			teleport[s] += share
+		}
+	} else {
+		for i := range teleport {
+			teleport[i] = 1 / float64(n)
+		}
+	}
+
+	v := make([]float64, n)
+	copy(v, teleport)
+	next := make([]float64, n)
+	d := opts.Damping
+	for it := 0; it < opts.VoteIterations; it++ {
+		// Mass from dangling users (no outgoing requests) re-enters via
+		// the teleport distribution.
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			if outDeg[u] == 0 {
+				dangling += v[u]
+			}
+		}
+		for u := 0; u < n; u++ {
+			next[u] = (1 - d + d*dangling) * teleport[u]
+		}
+		for _, req := range requests {
+			next[req.To] += d * v[req.From] / outDeg[req.From]
+		}
+		v, next = next, v
+	}
+	// Normalize to mean 1 so votes compose with the Beta prior on a
+	// size-independent scale.
+	for i := range v {
+		v[i] *= float64(n)
+	}
+	return v
+}
+
+// aggregateVotes iterates the weighted rating computation.
+func aggregateVotes(n int, requests []Request, votes []float64, opts Options) []float64 {
+	prior := opts.PriorAlpha / (opts.PriorAlpha + opts.PriorBeta)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 // optimistic start, as in the original design
+	}
+	next := make([]float64, n)
+	for it := 0; it < opts.RatingIterations; it++ {
+		num := make([]float64, n)
+		den := make([]float64, n)
+		for _, req := range requests {
+			w := votes[req.To] * r[req.To]
+			if w < 0 {
+				w = 0
+			}
+			den[req.From] += w
+			if req.Accepted {
+				num[req.From] += w
+			}
+		}
+		for u := 0; u < n; u++ {
+			if den[u] == 0 && num[u] == 0 {
+				// No (weighted) request history: sit at the prior mean.
+				next[u] = prior
+				continue
+			}
+			next[u] = (opts.PriorAlpha + num[u]) / (opts.PriorAlpha + opts.PriorBeta + den[u])
+		}
+		r, next = next, r
+	}
+	return r
+}
+
+// MostSuspicious returns the k users with the lowest ratings — the
+// detection rule the paper applies to VoteTrust in §VI-A. Ties break
+// toward lower votes (less trusted), then lower IDs, for determinism.
+func MostSuspicious(res Result, k int) []graph.NodeID {
+	n := len(res.Ratings)
+	if k > n {
+		k = n
+	}
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ua, ub := order[a], order[b]
+		if res.Ratings[ua] != res.Ratings[ub] {
+			return res.Ratings[ua] < res.Ratings[ub]
+		}
+		if res.Votes[ua] != res.Votes[ub] {
+			return res.Votes[ua] < res.Votes[ub]
+		}
+		return ua < ub
+	})
+	return order[:k]
+}

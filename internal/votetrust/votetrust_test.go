@@ -1,0 +1,180 @@
+package votetrust
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		reqs []Request
+		opts Options
+	}{
+		{"out of range", 2, []Request{{From: 0, To: 5}}, Options{}},
+		{"self request", 2, []Request{{From: 1, To: 1}}, Options{}},
+		{"bad seed", 2, nil, Options{TrustSeeds: []graph.NodeID{9}}},
+		{"bad damping", 2, nil, Options{Damping: 1.5}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.n, tc.reqs, tc.opts); err == nil {
+			t.Errorf("%s: Run accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestRatingSeparatesSpammers(t *testing.T) {
+	// 0..3 legit users exchanging accepted requests; 4 is a spammer whose
+	// requests are mostly rejected.
+	reqs := []Request{
+		{0, 1, true}, {1, 2, true}, {2, 3, true}, {3, 0, true},
+		{0, 2, true}, {1, 3, true},
+		{4, 0, false}, {4, 1, false}, {4, 2, false}, {4, 3, true},
+	}
+	res, err := Run(5, reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		if res.Ratings[u] <= res.Ratings[4] {
+			t.Fatalf("legit %d rating %.3f not above spammer rating %.3f",
+				u, res.Ratings[u], res.Ratings[4])
+		}
+	}
+	if got := MostSuspicious(res, 1); got[0] != 4 {
+		t.Fatalf("MostSuspicious = %v, want [4]", got)
+	}
+}
+
+func TestNoRequestsSitAtPrior(t *testing.T) {
+	reqs := []Request{{0, 1, true}}
+	res, err := Run(3, reqs, Options{PriorAlpha: 1, PriorBeta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Ratings[2]-0.5) > 1e-9 {
+		t.Fatalf("silent user rating = %v, want prior 0.5", res.Ratings[2])
+	}
+}
+
+func TestRatingsWithinUnitInterval(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 51))
+	const n = 60
+	var reqs []Request
+	for i := 0; i < 400; i++ {
+		u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+		if u != v {
+			reqs = append(reqs, Request{u, v, r.IntN(2) == 0})
+		}
+	}
+	res, err := Run(n, reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, rating := range res.Ratings {
+		if rating < 0 || rating > 1 {
+			t.Fatalf("rating[%d] = %v outside [0,1]", u, rating)
+		}
+	}
+}
+
+func TestVotesNormalizedToMeanOne(t *testing.T) {
+	r := rand.New(rand.NewPCG(10, 52))
+	const n = 50
+	var reqs []Request
+	for i := 0; i < 300; i++ {
+		u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+		if u != v {
+			reqs = append(reqs, Request{u, v, true})
+		}
+	}
+	res, err := Run(n, reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.Votes {
+		if v < 0 {
+			t.Fatalf("negative vote %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum/float64(n)-1) > 1e-6 {
+		t.Fatalf("mean vote = %v, want 1", sum/n)
+	}
+}
+
+func TestTrustSeedsConcentrateVotes(t *testing.T) {
+	// A request chain 0→1→2; seeding trust at 0 must give 0 (and its
+	// successors) more votes than an unreachable node.
+	reqs := []Request{{0, 1, true}, {1, 2, true}, {3, 4, true}}
+	res, err := Run(5, reqs, Options{TrustSeeds: []graph.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Votes[1] <= res.Votes[4] {
+		t.Fatalf("votes did not flow from seed: votes[1]=%v votes[4]=%v", res.Votes[1], res.Votes[4])
+	}
+}
+
+// TestCollusionInflatesRatings demonstrates the structural weakness the
+// paper exploits in Fig 13: accepted requests among colluding accounts
+// lift each account's individual rating toward legitimate levels.
+func TestCollusionInflatesRatings(t *testing.T) {
+	build := func(collude bool) Result {
+		var reqs []Request
+		// Legit users 0..9 accept one another.
+		for u := 0; u < 10; u++ {
+			reqs = append(reqs, Request{graph.NodeID(u), graph.NodeID((u + 1) % 10), true})
+		}
+		// Spammers 10..13 send rejected spam.
+		for s := 10; s < 14; s++ {
+			for tgt := 0; tgt < 5; tgt++ {
+				reqs = append(reqs, Request{graph.NodeID(s), graph.NodeID(tgt), false})
+			}
+			if collude {
+				for o := 10; o < 14; o++ {
+					if o != s {
+						for rep := 0; rep < 5; rep++ {
+							reqs = append(reqs, Request{graph.NodeID(s), graph.NodeID(o), true})
+						}
+					}
+				}
+			}
+		}
+		res, err := Run(14, reqs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	honest := build(false)
+	colluding := build(true)
+	for s := 10; s < 14; s++ {
+		if colluding.Ratings[s] <= honest.Ratings[s] {
+			t.Fatalf("collusion did not raise spammer %d rating (%.3f → %.3f)",
+				s, honest.Ratings[s], colluding.Ratings[s])
+		}
+	}
+}
+
+func TestMostSuspiciousDeterministicOrder(t *testing.T) {
+	res := Result{
+		Votes:   []float64{1, 1, 2, 1},
+		Ratings: []float64{0.5, 0.2, 0.2, 0.9},
+	}
+	got := MostSuspicious(res, 3)
+	want := []graph.NodeID{1, 2, 0} // rating asc, then votes asc
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MostSuspicious = %v, want %v", got, want)
+		}
+	}
+	if len(MostSuspicious(res, 99)) != 4 {
+		t.Fatal("k beyond n not capped")
+	}
+}

@@ -1,0 +1,49 @@
+package rejecto_test
+
+import (
+	"fmt"
+
+	"repro/rejecto"
+)
+
+// Example demonstrates the core detection flow on a toy graph: a
+// legitimate ring plus two spammers whose requests were mostly rejected.
+func Example() {
+	g := rejecto.NewGraph(8)
+	for i := 0; i < 6; i++ {
+		g.AddFriendship(rejecto.NodeID(i), rejecto.NodeID((i+1)%6))
+	}
+	for _, spammer := range []rejecto.NodeID{6, 7} {
+		g.AddFriendship(spammer, rejecto.NodeID(spammer%6)) // one acceptance
+		for t := 0; t < 4; t++ {                            // four rejections
+			g.AddRejection(rejecto.NodeID(t), spammer)
+		}
+	}
+	det, err := rejecto.Detect(g, rejecto.DetectorOptions{AcceptanceThreshold: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("suspects:", det.Suspects)
+	fmt.Printf("group acceptance: %.3f\n", det.Groups[0].Acceptance)
+	// Output:
+	// suspects: [6 7]
+	// group acceptance: 0.200
+}
+
+// ExampleFindMAARCut shows a single cut search and its statistics.
+func ExampleFindMAARCut() {
+	g := rejecto.NewGraph(6)
+	g.AddFriendship(0, 1)
+	g.AddFriendship(1, 2)
+	g.AddFriendship(2, 0)
+	g.AddFriendship(3, 4) // spammer clique
+	g.AddFriendship(4, 5)
+	for t := 0; t < 3; t++ {
+		for _, s := range []rejecto.NodeID{3, 4, 5} {
+			g.AddRejection(rejecto.NodeID(t), s)
+		}
+	}
+	cut, ok := rejecto.FindMAARCut(g, rejecto.CutOptions{})
+	fmt.Println(ok, cut.Stats.SuspectSize, cut.Stats.RejIntoSuspect)
+	// Output: true 3 9
+}

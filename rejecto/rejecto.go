@@ -1,0 +1,142 @@
+// Package rejecto is the public API of this repository: a from-scratch
+// implementation of Rejecto (Cao, Sirivianos, Yang, Munagala — "Combating
+// Friend Spam Using Social Rejections", ICDCS 2015), a system that detects
+// fake accounts sending unwanted friend requests in symmetric OSNs.
+//
+// The core idea: friend spammers inevitably accumulate social rejections
+// (rejected / ignored / reported requests) from legitimate users, so the
+// aggregate acceptance rate of the requests a spammer group sends to the
+// rest of the graph is low — regardless of how densely the group links to
+// itself. Rejecto augments the social graph with directed rejections,
+// finds the minimum aggregate acceptance rate (MAAR) cut with an extended
+// Kernighan–Lin heuristic, and iteratively prunes detected groups, which
+// makes it resilient to collusion and self-rejection evasion strategies.
+//
+// # Quick start
+//
+//	g := rejecto.NewGraph(4)
+//	g.AddFriendship(0, 1)     // 0 and 1 are friends (mutual acceptance)
+//	g.AddRejection(1, 3)      // 1 rejected a friend request sent by 3
+//	g.AddRejection(2, 3)
+//	det, err := rejecto.Detect(g, rejecto.DetectorOptions{AcceptanceThreshold: 0.5})
+//
+// The subdirectories of this module add the rest of the paper's system:
+// graph generators and attack simulation for evaluation, the VoteTrust and
+// SybilRank companion systems, and a distributed master/worker engine that
+// runs the same detection with the graph sharded across workers. Those
+// internals surface here only where a downstream user needs them; see the
+// runnable programs under examples/ for end-to-end usage.
+package rejecto
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/metrics"
+	"repro/internal/sybilrank"
+)
+
+// Graph is a rejection-augmented social graph: undirected friendships plus
+// directed rejection edges ⟨u, v⟩ recording that u rejected a friend
+// request sent by v.
+type Graph = graph.Graph
+
+// NodeID identifies a user; IDs are dense from zero.
+type NodeID = graph.NodeID
+
+// Partition labels each node Legit or Suspect.
+type Partition = graph.Partition
+
+// Region is one side of a cut.
+type Region = graph.Region
+
+// The two regions of a cut.
+const (
+	Legit   = graph.Legit
+	Suspect = graph.Suspect
+)
+
+// CutStats summarizes a cut of the augmented graph.
+type CutStats = graph.CutStats
+
+// Seeds carries known-legitimate and known-spammer node IDs; seeds are
+// pinned to their region during partitioning to suppress false positives.
+type Seeds = core.Seeds
+
+// CutOptions parameterizes a single MAAR cut search.
+type CutOptions = core.CutOptions
+
+// Cut is the result of one MAAR cut search.
+type Cut = core.Cut
+
+// DetectorOptions parameterizes iterative detection; set TargetCount
+// and/or AcceptanceThreshold as termination conditions.
+type DetectorOptions = core.DetectorOptions
+
+// Detection is the detector's output: groups in non-decreasing acceptance
+// order and the flattened suspect list.
+type Detection = core.Detection
+
+// Group is one detected batch of suspected friend spammers.
+type Group = core.Group
+
+// TimedRequest is a friend request with outcome and time interval, for the
+// sharded deployment that catches compromised accounts.
+type TimedRequest = core.TimedRequest
+
+// IntervalDetection is a per-interval detection result.
+type IntervalDetection = core.IntervalDetection
+
+// NewGraph returns a graph with n isolated nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// ReadGraph parses a graph from r (see WriteGraph for the format; SNAP
+// edge lists are also accepted).
+func ReadGraph(r io.Reader) (*Graph, error) { return graphio.Read(r) }
+
+// ReadGraphFile parses a graph from a file.
+func ReadGraphFile(path string) (*Graph, error) { return graphio.ReadFile(path) }
+
+// WriteGraph serializes g in a line-oriented text format: "F u v" per
+// friendship, "R u v" per rejection.
+func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
+
+// WriteGraphFile serializes g to a file.
+func WriteGraphFile(path string, g *Graph) error { return graphio.WriteFile(path, g) }
+
+// FindMAARCut approximates the minimum aggregate acceptance rate cut of g.
+// ok is false when the graph has no rejections or only trivial cuts.
+func FindMAARCut(g *Graph, opts CutOptions) (Cut, bool) { return core.FindMAARCut(g, opts) }
+
+// Detect iteratively uncovers groups of friend spammers, pruning each
+// detected group before searching again (resilient to self-rejection).
+func Detect(g *Graph, opts DetectorOptions) (Detection, error) { return core.Detect(g, opts) }
+
+// DetectSharded runs detection per time interval over a request log, the
+// deployment that exposes compromised accounts in their post-compromise
+// intervals.
+func DetectSharded(base *Graph, requests []TimedRequest, opts DetectorOptions) ([]IntervalDetection, error) {
+	return core.DetectSharded(base, requests, opts)
+}
+
+// SybilRankOptions parameterizes the companion SybilRank ranking.
+type SybilRankOptions = sybilrank.Options
+
+// SybilRank propagates trust from seed users with early-terminated power
+// iteration and returns degree-normalized trust scores (higher = more
+// trusted). Combine with Detect for defense in depth: remove Rejecto's
+// suspects, then rank the residual graph.
+func SybilRank(g *Graph, seeds []NodeID, opts SybilRankOptions) ([]float64, error) {
+	return sybilrank.Rank(g, seeds, opts)
+}
+
+// AUC measures a trust ranking's quality against ground truth: the
+// probability that a random legitimate user outranks a random fake.
+func AUC(scores []float64, isFake []bool) float64 { return metrics.AUC(scores, isFake) }
+
+// Precision returns the fraction of declared suspects that are truly fake.
+func Precision(declared []NodeID, isFake []bool) (float64, error) {
+	return metrics.PrecisionAtK(declared, isFake)
+}

@@ -1,0 +1,103 @@
+package rejecto_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/rejecto"
+)
+
+// TestFacadeEndToEnd exercises the whole public API surface the way a
+// downstream user would: build a graph, find the cut, detect iteratively,
+// serialize, and rank.
+func TestFacadeEndToEnd(t *testing.T) {
+	// Legit ring 0..9; spammers 10..12 each rejected by several users.
+	g := rejecto.NewGraph(13)
+	for i := 0; i < 10; i++ {
+		g.AddFriendship(rejecto.NodeID(i), rejecto.NodeID((i+1)%10))
+	}
+	for s := 10; s < 13; s++ {
+		g.AddFriendship(rejecto.NodeID(s), rejecto.NodeID((s-9)%10)) // one accepted request
+		for tgt := 0; tgt < 6; tgt++ {
+			g.AddRejection(rejecto.NodeID(tgt), rejecto.NodeID(s))
+		}
+	}
+
+	cut, ok := rejecto.FindMAARCut(g, rejecto.CutOptions{})
+	if !ok {
+		t.Fatal("no MAAR cut found")
+	}
+	if cut.Acceptance > 0.3 {
+		t.Fatalf("cut acceptance %.3f too high", cut.Acceptance)
+	}
+
+	det, err := rejecto.Detect(g, rejecto.DetectorOptions{AcceptanceThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isFake := make([]bool, 13)
+	isFake[10], isFake[11], isFake[12] = true, true, true
+	caught := 0
+	for _, u := range det.Suspects {
+		if isFake[u] {
+			caught++
+		}
+	}
+	if caught != 3 {
+		t.Fatalf("caught %d/3 spammers; suspects = %v", caught, det.Suspects)
+	}
+
+	var sb strings.Builder
+	if err := rejecto.WriteGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := rejecto.ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumFriendships() != g.NumFriendships() || g2.NumRejections() != g.NumRejections() {
+		t.Fatal("round trip lost edges")
+	}
+
+	scores, err := rejecto.SybilRank(g, []rejecto.NodeID{0, 5}, rejecto.SybilRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := rejecto.AUC(scores, isFake); auc < 0.5 {
+		t.Fatalf("SybilRank AUC = %.3f", auc)
+	}
+	prec, err := rejecto.Precision(det.Suspects[:3], isFake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec != 1 {
+		t.Fatalf("precision = %v, want 1", prec)
+	}
+}
+
+func TestFacadeSharded(t *testing.T) {
+	base := rejecto.NewGraph(20)
+	for i := 0; i < 20; i++ {
+		base.AddFriendship(rejecto.NodeID(i), rejecto.NodeID((i+1)%20))
+	}
+	var reqs []rejecto.TimedRequest
+	for i := 0; i < 8; i++ {
+		// Node 0 floods rejected requests in interval 1.
+		reqs = append(reqs, rejecto.TimedRequest{From: 0, To: rejecto.NodeID(5 + i), Accepted: false, Interval: 1})
+	}
+	dets, err := rejecto.DetectSharded(base, reqs, rejecto.DetectorOptions{AcceptanceThreshold: 0.5, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range dets {
+		for _, u := range d.Detection.Suspects {
+			if u == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("sharded detection missed the compromised account")
+	}
+}
