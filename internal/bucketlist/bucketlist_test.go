@@ -159,7 +159,7 @@ func TestCrossImplementation(t *testing.T) {
 		for i := 0; i < ops; i++ {
 			node := r.IntN(n)
 			gain := int64(r.IntN(101) - 50)
-			switch r.IntN(4) {
+			switch r.IntN(5) {
 			case 0:
 				if !d.Contains(node) {
 					d.Add(node, gain)
@@ -173,6 +173,27 @@ func TestCrossImplementation(t *testing.T) {
 			case 2:
 				if d.Remove(node) != s.Remove(node) {
 					return false
+				}
+			case 4:
+				// Reset must leave both implementations observably empty and
+				// fully usable under the (possibly different) new bounds.
+				lo := int64(-50 - r.IntN(30))
+				hi := int64(50 + r.IntN(30))
+				d.Reset(lo, hi)
+				s.Reset(lo, hi)
+				if d.Len() != 0 || s.Len() != 0 {
+					return false
+				}
+				if _, _, ok := d.PopMax(); ok {
+					return false
+				}
+				if _, _, ok := s.PopMax(); ok {
+					return false
+				}
+				for u := 0; u < n; u++ {
+					if d.Contains(u) || s.Contains(u) {
+						return false
+					}
 				}
 			case 3:
 				nd, gd, okd := d.PopMax()
@@ -199,6 +220,98 @@ func TestCrossImplementation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestResetEquivalentToFresh: after arbitrary use, a Reset list must be
+// indistinguishable from a freshly constructed one — same PopMax sequence,
+// LIFO tie-breaks included — for both implementations.
+func TestResetEquivalentToFresh(t *testing.T) {
+	const n = 48
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 12))
+		dirtyD, dirtyS := NewDense(n, -30, 30), NewSparse(n)
+		for i := 0; i < 40; i++ {
+			node, gain := r.IntN(n), int64(r.IntN(61)-30)
+			if !dirtyD.Contains(node) {
+				dirtyD.Add(node, gain)
+				dirtyS.Add(node, gain)
+			} else if r.IntN(2) == 0 {
+				dirtyD.Update(node, gain)
+				dirtyS.Update(node, gain)
+			}
+		}
+		// Leave some residue, pop some, then Reset to different bounds.
+		dirtyD.PopMax()
+		dirtyS.PopMax()
+		lo, hi := int64(-40), int64(55)
+		dirtyD.Reset(lo, hi)
+		dirtyS.Reset(lo, hi)
+
+		freshD, freshS := NewDense(n, lo, hi), NewSparse(n)
+		for i := 0; i < n; i++ {
+			gain := int64(r.IntN(int(hi-lo+1))) + lo
+			dirtyD.Add(i, gain)
+			freshD.Add(i, gain)
+			dirtyS.Add(i, gain)
+			freshS.Add(i, gain)
+		}
+		for {
+			n1, g1, ok1 := dirtyD.PopMax()
+			n2, g2, ok2 := freshD.PopMax()
+			n3, g3, ok3 := dirtyS.PopMax()
+			n4, g4, ok4 := freshS.PopMax()
+			if n1 != n2 || g1 != g2 || ok1 != ok2 || n3 != n4 || g3 != g4 || ok3 != ok4 {
+				return false
+			}
+			if !ok1 {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseResetGrowsRange: Reset to wider bounds than construction must
+// accept the full new range.
+func TestDenseResetGrowsRange(t *testing.T) {
+	l := NewDense(4, -5, 5)
+	l.Add(0, 5)
+	l.Reset(-100, 100)
+	l.Add(0, 99)
+	l.Add(1, -100)
+	if node, gain, _ := l.PopMax(); node != 0 || gain != 99 {
+		t.Fatalf("PopMax = %d, %d; want 0, 99", node, gain)
+	}
+}
+
+// TestRenew: Renew must reuse a compatible list and rebuild otherwise.
+func TestRenew(t *testing.T) {
+	d := NewDense(8, -10, 10)
+	d.Add(3, 4)
+	if got := Renew(d, 8, -20, 20); got != List(d) {
+		t.Error("Renew did not reuse a compatible Dense list")
+	} else if got.Len() != 0 {
+		t.Error("Renew did not reset the reused list")
+	}
+	if _, ok := Renew(d, 9, -10, 10).(*Dense); !ok {
+		t.Error("Renew with different n should build a fresh Dense")
+	}
+	if _, ok := Renew(d, 8, -(1 << 40), 1<<40).(*Sparse); !ok {
+		t.Error("Renew with a huge range should switch to Sparse")
+	}
+	s := NewSparse(8)
+	s.Add(1, 1<<30)
+	if got := Renew(s, 8, -(1<<40), 1<<40); got != List(s) {
+		t.Error("Renew did not reuse a compatible Sparse list")
+	}
+	if _, ok := Renew(s, 8, -10, 10).(*Dense); !ok {
+		t.Error("Renew with a small range should switch to Dense")
+	}
+	if _, ok := Renew(nil, 8, -10, 10).(*Dense); !ok {
+		t.Error("Renew(nil) should construct a list")
 	}
 }
 

@@ -9,8 +9,13 @@ import "fmt"
 // Nodes are stored intrusively in fixed arrays, so a Dense list performs no
 // per-operation allocation after construction.
 type Dense struct {
-	minGain int64
-	heads   []int32 // heads[g-minGain] = first node in bucket g, or -1
+	minGain  int64
+	nbuckets int64   // current logical bucket count (gain range width)
+	heads    []int32 // heads[g-minGain] = first node in bucket g, or -1
+
+	// heads may be longer than nbuckets after a Reset to a narrower range;
+	// every entry, in range or beyond, is -1 whenever the list is empty, so
+	// Reset never has to re-clear it.
 
 	next []int32 // next[u] = following node in u's bucket, or -1
 	prev []int32 // prev[u] = preceding node, or -1 (head)
@@ -32,6 +37,7 @@ func NewDense(n int, minGain, maxGain int64) *Dense {
 	buckets := maxGain - minGain + 1
 	d := &Dense{
 		minGain:   minGain,
+		nbuckets:  buckets,
 		heads:     make([]int32, buckets),
 		next:      make([]int32, n),
 		prev:      make([]int32, n),
@@ -45,11 +51,39 @@ func NewDense(n int, minGain, maxGain int64) *Dense {
 	return d
 }
 
+// Reset implements List. Emptying restores the all-(-1) invariant on heads
+// bucket by bucket, so rebinding to new bounds is O(present nodes) plus, at
+// most once per high-water range, one allocation to grow heads.
+func (d *Dense) Reset(minGain, maxGain int64) {
+	if maxGain < minGain {
+		panic("bucketlist: maxGain < minGain")
+	}
+	if d.size > 0 {
+		for u := range d.in {
+			if d.in[u] {
+				d.unlink(u)
+				d.in[u] = false
+			}
+		}
+		d.size = 0
+	}
+	buckets := maxGain - minGain + 1
+	if buckets > int64(len(d.heads)) {
+		d.heads = make([]int32, buckets)
+		for i := range d.heads {
+			d.heads[i] = -1
+		}
+	}
+	d.minGain = minGain
+	d.nbuckets = buckets
+	d.maxCursor = -1
+}
+
 func (d *Dense) bucket(gain int64) int {
 	idx := gain - d.minGain
-	if idx < 0 || idx >= int64(len(d.heads)) {
+	if idx < 0 || idx >= d.nbuckets {
 		panic(fmt.Sprintf("bucketlist: gain %d outside declared range [%d, %d]",
-			gain, d.minGain, d.minGain+int64(len(d.heads))-1))
+			gain, d.minGain, d.minGain+d.nbuckets-1))
 	}
 	return int(idx)
 }
@@ -80,6 +114,21 @@ func (d *Dense) Update(node int, gain int64) {
 	d.unlink(node)
 	b := d.bucket(gain)
 	d.gain[node] = gain
+	d.push(node, b)
+	if b > d.maxCursor {
+		d.maxCursor = b
+	}
+}
+
+// AdjustIfPresent implements List.
+func (d *Dense) AdjustIfPresent(node int, delta int64) {
+	if delta == 0 || !d.in[node] {
+		return
+	}
+	d.unlink(node)
+	g := d.gain[node] + delta
+	b := d.bucket(g)
+	d.gain[node] = g
 	d.push(node, b)
 	if b > d.maxCursor {
 		d.maxCursor = b

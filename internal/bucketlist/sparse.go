@@ -53,6 +53,17 @@ func (s *Sparse) Update(node int, gain int64) {
 	s.pushBucket(node, gain)
 }
 
+// AdjustIfPresent implements List.
+func (s *Sparse) AdjustIfPresent(node int, delta int64) {
+	if delta == 0 || !s.in[node] {
+		return
+	}
+	s.removeFromBucket(node)
+	g := s.gain[node] + delta
+	s.gain[node] = g
+	s.pushBucket(node, g)
+}
+
 // Remove implements List.
 func (s *Sparse) Remove(node int) bool {
 	if !s.in[node] {
@@ -100,6 +111,19 @@ func (s *Sparse) PopMax() (node int, gain int64, ok bool) {
 
 // Len implements List.
 func (s *Sparse) Len() int { return s.size }
+
+// Reset implements List. The gain bounds are advisory for a Sparse list
+// (its range is unbounded); Reset empties it while keeping the bucket map
+// and heap storage for reuse.
+func (s *Sparse) Reset(minGain, maxGain int64) {
+	if maxGain < minGain {
+		panic("bucketlist: maxGain < minGain")
+	}
+	clear(s.buckets)
+	s.heapVal = s.heapVal[:0]
+	clear(s.in)
+	s.size = 0
+}
 
 func (s *Sparse) pushBucket(node int, gain int64) {
 	bucket := s.buckets[gain]

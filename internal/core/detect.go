@@ -67,6 +67,11 @@ type Detection struct {
 // Iterating is what defeats the self-rejection strategy: a fabricated
 // low-ratio cut inside the fake region is consumed in an early round,
 // exposing the whitewashed accounts to the following rounds.
+//
+// Detect freezes g once up front and runs every round on an immutable CSR
+// residual: the sweep reads the snapshot and pruning derives the next
+// round's snapshot directly (graph.Frozen.Subgraph), so the mutable graph
+// is never touched after the freeze.
 func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 	if opts.TargetCount <= 0 && opts.AcceptanceThreshold <= 0 {
 		return Detection{}, fmt.Errorf("core: Detect needs TargetCount or AcceptanceThreshold")
@@ -92,7 +97,7 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 		isSpamSeed[u] = true
 	}
 
-	residual := g
+	residual := g.Freeze()
 	// origID maps residual node IDs back to g's IDs; identity initially.
 	origID := make([]graph.NodeID, g.NumNodes())
 	for i := range origID {
@@ -109,7 +114,7 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 		cutOpts.Seeds = remapSeeds(origID, isLegitSeed, isSpamSeed)
 		cutOpts.RandSeed = opts.Cut.RandSeed + uint64(det.Rounds)*0x9e3779b9
 
-		cut, ok := FindMAARCut(residual, cutOpts)
+		cut, ok := FindMAARCutFrozen(residual, cutOpts)
 		if !ok {
 			break
 		}
@@ -182,7 +187,7 @@ func remapSeeds(origID []graph.NodeID, isLegit, isSpam map[graph.NodeID]bool) Se
 //     spammer region, e.g. Fig 10's non-sending half) from legitimate
 //     users swept into the cut, who keep most links outside it;
 //  3. node ID, for determinism.
-func sortBySuspicion(residual *graph.Graph, p graph.Partition, origID []graph.NodeID, members []graph.NodeID) {
+func sortBySuspicion(residual *graph.Frozen, p graph.Partition, origID []graph.NodeID, members []graph.NodeID) {
 	type scored struct{ rejRatio, inGroup float64 }
 	scores := make(map[graph.NodeID]scored, len(members))
 	for u, r := range p {

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKGridDefaultPinned pins the default sweep grid exactly: 18 points,
+// each bit-identical to KMin·KFactor^i. The grid is derived from integer
+// exponents precisely so that no accumulation drift can creep back in; this
+// test is the tripwire.
+func TestKGridDefaultPinned(t *testing.T) {
+	grid := CutOptions{}.KGrid()
+	if len(grid) != 18 {
+		t.Fatalf("default grid has %d points, want 18", len(grid))
+	}
+	for i, k := range grid {
+		want := DefaultKMin * math.Pow(DefaultKFactor, float64(i))
+		if k != want {
+			t.Errorf("grid[%d] = %v, want %v (KMin·KFactor^%d)", i, k, want, i)
+		}
+	}
+	if grid[0] != 1.0/32 {
+		t.Errorf("grid[0] = %v, want 1/32", grid[0])
+	}
+	if last := grid[17]; last > DefaultKMax || last < 30 {
+		t.Errorf("grid[17] = %v, want within (30, 32]", last)
+	}
+}
+
+// TestKGridCustomBounds: KGrid must include KMax when it lies on the grid
+// (ulp tolerance) and exclude points beyond it.
+func TestKGridCustomBounds(t *testing.T) {
+	grid := CutOptions{KMin: 1, KMax: 8, KFactor: 2}.KGrid()
+	want := []float64{1, 2, 4, 8}
+	if len(grid) != len(want) {
+		t.Fatalf("grid = %v, want %v", grid, want)
+	}
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Fatalf("grid = %v, want %v", grid, want)
+		}
+	}
+}
+
+// TestKGridMatchesSweepJobWeights: every default grid point must survive
+// the wR ≥ 1 rounding filter at the default weight scale, so the sweep
+// really visits all 18 linearizations.
+func TestKGridMatchesSweepJobWeights(t *testing.T) {
+	opts := CutOptions{}.WithDefaults()
+	jobs := sweepJobs(opts, 1)
+	if len(jobs) != 18 {
+		t.Fatalf("default sweep has %d jobs, want 18", len(jobs))
+	}
+	for _, jb := range jobs {
+		want := int64(math.Round(jb.k * float64(opts.WeightScale)))
+		if jb.wR != want || jb.wR < 1 {
+			t.Errorf("k=%v: wR=%d, want %d (≥1)", jb.k, jb.wR, want)
+		}
+	}
+}

@@ -11,13 +11,178 @@ import (
 	"repro/internal/rng"
 )
 
+// graphView is the read surface the sweep needs from a graph; both the
+// mutable *graph.Graph and the immutable *graph.Frozen satisfy it.
+type graphView interface {
+	NumNodes() int
+	NumFriendships() int
+	NumRejections() int
+	Acceptance(u graph.NodeID) float64
+}
+
 // FindMAARCut approximates the minimum aggregate acceptance rate cut of g
 // (§IV-B) by sweeping the linearized objective over a geometric grid of k
 // values (Theorem 1, §IV-D) and solving each with extended Kernighan–Lin.
 //
-// ok is false when no valid cut exists: the graph carries no rejections, or
-// every candidate partition was trivial (one side empty).
+// The sweep runs on a frozen CSR snapshot of g (see graph.Freeze); callers
+// holding a snapshot already should use FindMAARCutFrozen to skip the
+// freeze. ok is false when no valid cut exists: the graph carries no
+// rejections, or every candidate partition was trivial (one side empty).
 func FindMAARCut(g *graph.Graph, opts CutOptions) (Cut, bool) {
+	return FindMAARCutFrozen(g.Freeze(), opts)
+}
+
+// FindMAARCutFrozen is FindMAARCut on an immutable CSR snapshot. The
+// (k, init) jobs of the sweep are independent KL solves distributed over
+// opts.Parallelism workers; each worker reuses one kl.Workspace and keeps
+// only its best candidate, so steady-state jobs perform no allocations.
+// The reduction is deterministic regardless of completion order or worker
+// count, and the returned cut is identical to the seed slice-of-slices
+// implementation's.
+func FindMAARCutFrozen(f *graph.Frozen, opts CutOptions) (Cut, bool) {
+	opts = opts.WithDefaults()
+	if err := opts.validate(f.NumNodes()); err != nil {
+		panic(err)
+	}
+	if f.NumRejections() == 0 || f.NumNodes() < 2 {
+		return Cut{}, false
+	}
+
+	pinned := pinnedSet(f.NumNodes(), opts.Seeds)
+	src := rng.New(opts.RandSeed)
+	inits := initialPartitions(f, opts, src.Stream("init"))
+	jobs := sweepJobs(opts, len(inits))
+
+	// Every (k, init) job starts KL from one of a handful of shared initial
+	// partitions, so their cut statistics are computed once here instead of
+	// once per job inside the solver.
+	initStats := make([]graph.CutStats, len(inits))
+	for i, init := range inits {
+		initStats[i] = f.Stats(init)
+	}
+
+	// candidate is a worker-local running best: the cut with the minimum
+	// acceptance, ties to the earliest (k, init) job — the order the serial
+	// sweep would have kept. The partition buffer is allocated once per
+	// worker and overwritten on each adoption, so improving jobs copy out of
+	// the workspace without allocating.
+	type candidate struct {
+		cut    Cut
+		jobIdx int
+		found  bool
+	}
+	run := func(ws *kl.Workspace, j int, best *candidate) {
+		jb := jobs[j]
+		cfg := kl.Config{
+			FriendWeight: opts.WeightScale,
+			RejectWeight: jb.wR,
+			Pinned:       pinned,
+			MaxPasses:    opts.MaxPasses,
+		}
+		res := kl.PartitionFrozenFromStats(f, inits[jb.initIdx], initStats[jb.initIdx], cfg, ws)
+		acc, mirrored, ok := orientCut(res.Stats, opts.Seeds)
+		if !ok {
+			return
+		}
+		if best.found && (acc > best.cut.Acceptance ||
+			(acc == best.cut.Acceptance && j > best.jobIdx)) {
+			return
+		}
+		if cap(best.cut.Partition) < len(res.Partition) {
+			best.cut.Partition = make(graph.Partition, len(res.Partition))
+		}
+		p := best.cut.Partition[:len(res.Partition)]
+		s := res.Stats
+		if mirrored {
+			for i, r := range res.Partition {
+				p[i] = r.Other()
+			}
+			s = mirrorStats(s)
+		} else {
+			copy(p, res.Partition)
+		}
+		best.cut = Cut{Partition: p, Stats: s, K: jb.k, Acceptance: acc}
+		best.jobIdx, best.found = j, true
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bests := make([]candidate, workers)
+	if workers == 1 {
+		ws := &kl.Workspace{}
+		for j := range jobs {
+			run(ws, j, &bests[0])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := &kl.Workspace{}
+				for j := range next {
+					run(ws, j, &bests[w])
+				}
+			}(w)
+		}
+		for j := range jobs {
+			next <- j
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var final candidate
+	for _, b := range bests {
+		if !b.found {
+			continue
+		}
+		if !final.found || b.cut.Acceptance < final.cut.Acceptance ||
+			(b.cut.Acceptance == final.cut.Acceptance && b.jobIdx < final.jobIdx) {
+			final = b
+		}
+	}
+	return final.cut, final.found
+}
+
+// sweepJob is one independent KL solve of the sweep.
+type sweepJob struct {
+	initIdx int
+	k       float64
+	wR      int64
+}
+
+// sweepJobs enumerates the (k, init) jobs in the deterministic order the
+// serial sweep would visit them.
+func sweepJobs(opts CutOptions, numInits int) []sweepJob {
+	grid := opts.KGrid()
+	jobs := make([]sweepJob, 0, len(grid)*numInits)
+	for _, k := range grid {
+		wR := int64(math.Round(k * float64(opts.WeightScale)))
+		if wR >= 1 {
+			for i := 0; i < numInits; i++ {
+				jobs = append(jobs, sweepJob{initIdx: i, k: k, wR: wR})
+			}
+		}
+	}
+	return jobs
+}
+
+// findMAARCutOnSlices is the seed implementation of the sweep, running
+// extended KL directly on the mutable slice-of-slices graph and re-walking
+// every edge to score each candidate. It is retained as the correctness
+// bar: the property tests and BenchmarkFindMAARCut assert that the frozen
+// engine returns byte-identical cuts.
+func findMAARCutOnSlices(g *graph.Graph, opts CutOptions) (Cut, bool) {
 	opts = opts.WithDefaults()
 	if err := opts.Validate(g); err != nil {
 		panic(err)
@@ -26,27 +191,10 @@ func FindMAARCut(g *graph.Graph, opts CutOptions) (Cut, bool) {
 		return Cut{}, false
 	}
 
-	pinned := pinnedSet(g, opts.Seeds)
+	pinned := pinnedSet(g.NumNodes(), opts.Seeds)
 	src := rng.New(opts.RandSeed)
 	inits := initialPartitions(g, opts, src.Stream("init"))
-
-	// Enumerate the (k, init) jobs of the sweep. They are independent KL
-	// solves, so they parallelize; the reduction below is deterministic
-	// regardless of completion order or worker count.
-	type job struct {
-		initIdx int
-		k       float64
-		wR      int64
-	}
-	var jobs []job
-	for k := opts.KMin; k <= opts.KMax*(1+1e-9); k *= opts.KFactor {
-		wR := int64(math.Round(k * float64(opts.WeightScale)))
-		if wR >= 1 {
-			for i := range inits {
-				jobs = append(jobs, job{initIdx: i, k: k, wR: wR})
-			}
-		}
-	}
+	jobs := sweepJobs(opts, len(inits))
 
 	type candidate struct {
 		cut Cut
@@ -96,8 +244,6 @@ func FindMAARCut(g *graph.Graph, opts CutOptions) (Cut, bool) {
 		wg.Wait()
 	}
 
-	// Deterministic reduction: minimum acceptance, ties to the earliest
-	// (k, init) job — the order the serial sweep would have kept.
 	best := Cut{Acceptance: math.Inf(1)}
 	found := false
 	for _, cand := range results {
@@ -109,10 +255,31 @@ func FindMAARCut(g *graph.Graph, opts CutOptions) (Cut, bool) {
 	return best, found
 }
 
-// scoreCut evaluates a partition as a MAAR candidate. When no seeds
-// constrain orientation, it also scores the mirrored cut (the complement
-// region as suspect) and keeps the lower acceptance, since both
-// orientations of a bipartition are candidate MAAR cuts.
+// orientCut evaluates the statistics of a converged partition as a MAAR
+// candidate without materializing anything: it reports the candidate's
+// acceptance, whether the mirrored orientation (complement region as
+// suspect) is the one to keep, and whether the partition is a valid
+// candidate at all. When no seeds constrain orientation both orientations
+// compete, since both sides of a bipartition are candidate MAAR cuts.
+func orientCut(s graph.CutStats, seeds Seeds) (acc float64, mirrored, ok bool) {
+	if s.Trivial() {
+		return 0, false, false
+	}
+	if s.RejIntoSuspect > 0 {
+		acc, ok = s.AcceptanceOfSuspect(), true
+	}
+	if seeds.Empty() && s.RejIntoLegit > 0 {
+		if a := s.AcceptanceOfLegit(); !ok || a < acc {
+			acc, mirrored, ok = a, true, true
+		}
+	}
+	return acc, mirrored, ok
+}
+
+// scoreCut evaluates a partition as a MAAR candidate by re-walking the
+// graph (the seed path; the frozen engine reads the statistics off the KL
+// result instead). When no seeds constrain orientation, it also scores the
+// mirrored cut and keeps the lower acceptance.
 func scoreCut(g *graph.Graph, p graph.Partition, k float64, seeds Seeds) (Cut, bool) {
 	s := p.Stats(g)
 	if s.Trivial() {
@@ -152,11 +319,11 @@ func mirrorStats(s graph.CutStats) graph.CutStats {
 }
 
 // pinnedSet returns the pin mask for the seed sets, or nil if no seeds.
-func pinnedSet(g *graph.Graph, seeds Seeds) []bool {
+func pinnedSet(numNodes int, seeds Seeds) []bool {
 	if seeds.Empty() {
 		return nil
 	}
-	pinned := make([]bool, g.NumNodes())
+	pinned := make([]bool, numNodes)
 	for _, u := range seeds.Legit {
 		pinned[u] = true
 	}
@@ -169,7 +336,7 @@ func pinnedSet(g *graph.Graph, seeds Seeds) []bool {
 // initialPartitions builds the KL starting points: the per-node acceptance
 // heuristic plus opts.Restarts random partitions. Seeds are pre-placed in
 // all of them (§IV-F).
-func initialPartitions(g *graph.Graph, opts CutOptions, r *rand.Rand) []graph.Partition {
+func initialPartitions(g graphView, opts CutOptions, r *rand.Rand) []graph.Partition {
 	n := g.NumNodes()
 	placeSeeds := func(p graph.Partition) graph.Partition {
 		for _, u := range opts.Seeds.Legit {

@@ -91,8 +91,30 @@ func (o CutOptions) WithDefaults() CutOptions {
 	return o
 }
 
+// KGrid returns the geometric k grid of the MAAR sweep (§IV-D) for o with
+// defaults applied. Each grid point is derived from an integer exponent —
+// KMin·KFactor^i — rather than by accumulating k *= KFactor, so rounding
+// error does not compound across the grid and the KMax inclusion guard
+// cannot include or drop the last point platform-dependently.
+func (o CutOptions) KGrid() []float64 {
+	o = o.WithDefaults()
+	points := 0
+	for o.KMin*math.Pow(o.KFactor, float64(points)) <= o.KMax*(1+1e-9) {
+		points++
+	}
+	grid := make([]float64, points)
+	for i := range grid {
+		grid[i] = o.KMin * math.Pow(o.KFactor, float64(i))
+	}
+	return grid
+}
+
 // Validate reports configuration errors in o relative to graph g.
-func (o CutOptions) Validate(g *graph.Graph) error {
+func (o CutOptions) Validate(g *graph.Graph) error { return o.validate(g.NumNodes()) }
+
+// validate is Validate against a bare node count, shared with the frozen
+// snapshot path.
+func (o CutOptions) validate(numNodes int) error {
 	o = o.WithDefaults()
 	if o.KMin > o.KMax {
 		return fmt.Errorf("core: KMin %v > KMax %v", o.KMin, o.KMax)
@@ -100,7 +122,7 @@ func (o CutOptions) Validate(g *graph.Graph) error {
 	if math.Round(o.KMin*float64(o.WeightScale)) < 1 {
 		return fmt.Errorf("core: KMin %v rounds to zero at weight scale %d", o.KMin, o.WeightScale)
 	}
-	n := graph.NodeID(g.NumNodes())
+	n := graph.NodeID(numNodes)
 	for _, u := range o.Seeds.Legit {
 		if u < 0 || u >= n {
 			return fmt.Errorf("core: legit seed %d out of range", u)

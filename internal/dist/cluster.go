@@ -106,15 +106,17 @@ func (c *Cluster) LoadGraph(g *graph.Graph, shardsPerWorker int) error {
 		shardsPerWorker = 1
 	}
 	count := c.Workers() * shardsPerWorker
-	shards := MakeShards(g, count)
+	f := g.Freeze()
+	shards := MakeShardsFrozen(f, count)
 	c.shardHome = make([]int, len(shards))
 	c.shardLo = make([]int32, len(shards))
 	c.shardHi = make([]int32, len(shards))
-	// The lineage closure re-slices from g. A production deployment would
-	// re-read from durable storage; holding the source graph on the master
-	// during a run is the equivalent for this engine.
+	// The lineage closure re-slices from the frozen snapshot, so recovery
+	// stays correct even if the caller keeps mutating g after loading. A
+	// production deployment would re-read from durable storage; holding the
+	// snapshot on the master during a run is the equivalent for this engine.
 	c.shardSource = func(shardID int) Shard {
-		return makeShard(g, shardID, c.shardLo[shardID], c.shardHi[shardID])
+		return makeShard(f, shardID, c.shardLo[shardID], c.shardHi[shardID])
 	}
 	for i, sh := range shards {
 		home := i % c.Workers()

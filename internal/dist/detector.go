@@ -192,7 +192,7 @@ func (d *Detector) findMAARCut(opts core.CutOptions) (core.Cut, bool, error) {
 
 	best := core.Cut{Acceptance: math.Inf(1)}
 	found := false
-	for k := opts.KMin; k <= opts.KMax*(1+1e-9); k *= opts.KFactor {
+	for _, k := range opts.KGrid() {
 		wR := int64(math.Round(k * float64(opts.WeightScale)))
 		if wR < 1 {
 			continue

@@ -51,9 +51,17 @@ type NodeAdj struct {
 	RejOut  []int32 // users whose requests Node rejected
 }
 
-// MakeShards cuts g into count contiguous node-range shards.
+// MakeShards cuts g into count contiguous node-range shards. It freezes g
+// first; callers already holding a CSR snapshot should use MakeShardsFrozen.
 func MakeShards(g *graph.Graph, count int) []Shard {
-	n := g.NumNodes()
+	return MakeShardsFrozen(g.Freeze(), count)
+}
+
+// MakeShardsFrozen cuts a CSR snapshot into count contiguous node-range
+// shards. Since the snapshot is already in CSR form, each shard is filled
+// by exact-size copies of the snapshot's adjacency rows — no append growth.
+func MakeShardsFrozen(f *graph.Frozen, count int) []Shard {
+	n := f.NumNodes()
 	if count < 1 {
 		count = 1
 	}
@@ -64,28 +72,37 @@ func MakeShards(g *graph.Graph, count int) []Shard {
 	for i := 0; i < count; i++ {
 		lo := int32(i * n / count)
 		hi := int32((i + 1) * n / count)
-		shards = append(shards, makeShard(g, i, lo, hi))
+		shards = append(shards, makeShard(f, i, lo, hi))
 	}
 	return shards
 }
 
-func makeShard(g *graph.Graph, id int, lo, hi int32) Shard {
+func makeShard(f *graph.Frozen, id int, lo, hi int32) Shard {
+	var nF, nRI, nRO int32
+	for u := lo; u < hi; u++ {
+		nF += int32(f.Degree(graph.NodeID(u)))
+		nRI += int32(f.InRejections(graph.NodeID(u)))
+		nRO += int32(f.OutRejections(graph.NodeID(u)))
+	}
 	s := Shard{
 		ID: id, Lo: lo, Hi: hi,
 		FriendOff: make([]int32, 1, hi-lo+1),
+		FriendDst: make([]int32, 0, nF),
 		RejInOff:  make([]int32, 1, hi-lo+1),
+		RejInSrc:  make([]int32, 0, nRI),
 		RejOutOff: make([]int32, 1, hi-lo+1),
+		RejOutDst: make([]int32, 0, nRO),
 	}
 	for u := lo; u < hi; u++ {
-		for _, v := range g.Friends(graph.NodeID(u)) {
+		for _, v := range f.Friends(graph.NodeID(u)) {
 			s.FriendDst = append(s.FriendDst, int32(v))
 		}
 		s.FriendOff = append(s.FriendOff, int32(len(s.FriendDst)))
-		for _, v := range g.Rejecters(graph.NodeID(u)) {
+		for _, v := range f.Rejecters(graph.NodeID(u)) {
 			s.RejInSrc = append(s.RejInSrc, int32(v))
 		}
 		s.RejInOff = append(s.RejInOff, int32(len(s.RejInSrc)))
-		for _, v := range g.Rejected(graph.NodeID(u)) {
+		for _, v := range f.Rejected(graph.NodeID(u)) {
 			s.RejOutDst = append(s.RejOutDst, int32(v))
 		}
 		s.RejOutOff = append(s.RejOutOff, int32(len(s.RejOutDst)))

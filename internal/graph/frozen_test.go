@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// randomFrozenWorld builds a random augmented graph for the Frozen
+// property tests.
+func randomFrozenWorld(r *rand.Rand, n, friendships, rejections int) *Graph {
+	g := New(n)
+	for i := 0; i < friendships; i++ {
+		u, v := NodeID(r.IntN(n)), NodeID(r.IntN(n))
+		if u != v {
+			g.AddFriendship(u, v)
+		}
+	}
+	for i := 0; i < rejections; i++ {
+		u, v := NodeID(r.IntN(n)), NodeID(r.IntN(n))
+		if u != v {
+			g.AddRejection(u, v)
+		}
+	}
+	return g
+}
+
+// TestFrozenAgreesWithGraph: every accessor of the CSR snapshot must agree
+// with the mutable graph, including per-node adjacency order.
+func TestFrozenAgreesWithGraph(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 31))
+		n := 1 + r.IntN(40)
+		g := randomFrozenWorld(r, n, r.IntN(3*n), r.IntN(2*n))
+		fz := g.Freeze()
+
+		if fz.NumNodes() != g.NumNodes() ||
+			fz.NumFriendships() != g.NumFriendships() ||
+			fz.NumRejections() != g.NumRejections() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			id := NodeID(u)
+			if !slices.Equal(fz.Friends(id), g.Friends(id)) ||
+				!slices.Equal(fz.Rejecters(id), g.Rejecters(id)) ||
+				!slices.Equal(fz.Rejected(id), g.Rejected(id)) {
+				return false
+			}
+			if fz.Degree(id) != g.Degree(id) ||
+				fz.InRejections(id) != g.InRejections(id) ||
+				fz.OutRejections(id) != g.OutRejections(id) ||
+				fz.Acceptance(id) != g.Acceptance(id) {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				vid := NodeID(v)
+				if fz.HasFriendship(id, vid) != g.HasFriendship(id, vid) ||
+					fz.HasRejection(id, vid) != g.HasRejection(id, vid) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrozenStatsMatchPartitionStats: the snapshot's cut statistics must be
+// identical to Partition.Stats over the mutable graph.
+func TestFrozenStatsMatchPartitionStats(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 32))
+		n := 1 + r.IntN(30)
+		g := randomFrozenWorld(r, n, r.IntN(3*n), r.IntN(2*n))
+		fz := g.Freeze()
+		p := NewPartition(n)
+		for i := range p {
+			if r.IntN(2) == 0 {
+				p[i] = Suspect
+			}
+		}
+		return fz.Stats(p) == p.Stats(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrozenSubgraphMatchesGraphSubgraph: pruning on the snapshot must
+// reproduce (*Graph).Subgraph exactly — same origIDs and the same adjacency
+// in the same order, so order-sensitive consumers (KL tie-breaking) cannot
+// diverge between the two paths.
+func TestFrozenSubgraphMatchesGraphSubgraph(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 33))
+		n := 1 + r.IntN(30)
+		g := randomFrozenWorld(r, n, r.IntN(3*n), r.IntN(2*n))
+		keep := make([]bool, n)
+		for i := range keep {
+			keep[i] = r.IntN(3) > 0
+		}
+
+		gSub, gOrig := g.Subgraph(keep)
+		fSub, fOrig := g.Freeze().Subgraph(keep)
+
+		if !slices.Equal(gOrig, fOrig) {
+			return false
+		}
+		if fSub.NumNodes() != gSub.NumNodes() ||
+			fSub.NumFriendships() != gSub.NumFriendships() ||
+			fSub.NumRejections() != gSub.NumRejections() {
+			return false
+		}
+		for u := 0; u < fSub.NumNodes(); u++ {
+			id := NodeID(u)
+			if !slices.Equal(fSub.Friends(id), gSub.Friends(id)) ||
+				!slices.Equal(fSub.Rejecters(id), gSub.Rejecters(id)) ||
+				!slices.Equal(fSub.Rejected(id), gSub.Rejected(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrozenIterators: ForEachFriendship/ForEachRejection enumerate the same
+// edge sets as the mutable graph.
+func TestFrozenIterators(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 34))
+	g := randomFrozenWorld(r, 25, 60, 40)
+	fz := g.Freeze()
+
+	type edge struct{ u, v NodeID }
+	collect := func(iter func(func(u, v NodeID))) []edge {
+		var out []edge
+		iter(func(u, v NodeID) { out = append(out, edge{u, v}) })
+		return out
+	}
+	if got, want := collect(fz.ForEachFriendship), collect(g.ForEachFriendship); !slices.Equal(got, want) {
+		t.Errorf("ForEachFriendship: got %d edges, want %d", len(got), len(want))
+	}
+	if got, want := collect(fz.ForEachRejection), collect(g.ForEachRejection); !slices.Equal(got, want) {
+		t.Errorf("ForEachRejection: got %d edges, want %d", len(got), len(want))
+	}
+}
+
+// TestFrozenEmptyGraph: degenerate sizes must not panic.
+func TestFrozenEmptyGraph(t *testing.T) {
+	fz := New(0).Freeze()
+	if fz.NumNodes() != 0 || fz.NumFriendships() != 0 || fz.NumRejections() != 0 {
+		t.Fatal("empty snapshot not empty")
+	}
+	sub, orig := fz.Subgraph(nil)
+	if sub.NumNodes() != 0 || len(orig) != 0 {
+		t.Fatal("empty subgraph not empty")
+	}
+}

@@ -55,6 +55,22 @@ func BenchmarkPartition(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionFrozen is BenchmarkPartition on the CSR snapshot with a
+// reused workspace — the steady-state configuration of the MAAR sweep.
+func BenchmarkPartitionFrozen(b *testing.B) {
+	for _, n := range []int{2000, 20000} {
+		g, init := benchWorld(n)
+		f := g.Freeze()
+		cfg := Config{FriendWeight: 64, RejectWeight: 32}
+		ws := &Workspace{}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PartitionFrozen(f, init, cfg, ws)
+			}
+		})
+	}
+}
+
 func BenchmarkGainInitialization(b *testing.B) {
 	g, init := benchWorld(20000)
 	cfg := Config{FriendWeight: 64, RejectWeight: 32}

@@ -53,6 +53,10 @@ type Result struct {
 	// Objective is the final fixed-point objective value
 	// |F(Ū,U)|·w_F − |R⃗⟨Ū,U⟩|·w_R.
 	Objective int64
+	// Stats are the cut statistics of Partition, so callers scoring the
+	// cut do not re-walk the graph. PartitionFrozen maintains them
+	// incrementally as nodes switch.
+	Stats graph.CutStats
 	// Passes is the number of improvement passes performed.
 	Passes int
 }
@@ -80,7 +84,7 @@ func Partition(g *graph.Graph, init graph.Partition, cfg Config) Result {
 	}
 
 	p := init.Clone()
-	opt := &optimizer{g: g, cfg: cfg}
+	opt := &optimizer{g: g, cfg: cfg, maxAbs: maxAbsGain(g, cfg)}
 
 	passes := 0
 	for passes < maxPasses {
@@ -89,11 +93,29 @@ func Partition(g *graph.Graph, init graph.Partition, cfg Config) Result {
 			break
 		}
 	}
+	s := p.Stats(g)
 	return Result{
 		Partition: p,
-		Objective: Objective(g, p, cfg),
-		Passes:    passes,
+		Objective: int64(s.CrossFriendships)*cfg.FriendWeight -
+			int64(s.RejIntoSuspect)*cfg.RejectWeight,
+		Stats:  s,
+		Passes: passes,
 	}
+}
+
+// maxAbsGain bounds any node's switch gain by its weighted degree. The
+// bound depends only on degrees and weights — never on the partition — so
+// it is computed once per (graph, config) rather than once per pass.
+func maxAbsGain(g *graph.Graph, cfg Config) int64 {
+	var maxAbs int64
+	for u := 0; u < g.NumNodes(); u++ {
+		wd := int64(g.Degree(graph.NodeID(u)))*cfg.FriendWeight +
+			int64(g.InRejections(graph.NodeID(u))+g.OutRejections(graph.NodeID(u)))*cfg.RejectWeight
+		if wd > maxAbs {
+			maxAbs = wd
+		}
+	}
+	return maxAbs
 }
 
 // Objective evaluates the fixed-point linear objective of partition p.
@@ -104,8 +126,9 @@ func Objective(g *graph.Graph, p graph.Partition, cfg Config) int64 {
 }
 
 type optimizer struct {
-	g   *graph.Graph
-	cfg Config
+	g      *graph.Graph
+	cfg    Config
+	maxAbs int64 // per-graph gain bound, computed once by maxAbsGain
 }
 
 // pass performs one KL improvement pass over p in place, returning whether
@@ -114,17 +137,7 @@ func (o *optimizer) pass(p graph.Partition) bool {
 	g, cfg := o.g, o.cfg
 	n := g.NumNodes()
 
-	// Gain bounds for the bucket list: a node's switch gain is bounded by
-	// its weighted degree.
-	var maxAbs int64
-	for u := 0; u < n; u++ {
-		wd := int64(g.Degree(graph.NodeID(u)))*cfg.FriendWeight +
-			int64(g.InRejections(graph.NodeID(u))+g.OutRejections(graph.NodeID(u)))*cfg.RejectWeight
-		if wd > maxAbs {
-			maxAbs = wd
-		}
-	}
-	list := bucketlist.New(n, -maxAbs, maxAbs)
+	list := bucketlist.New(n, -o.maxAbs, o.maxAbs)
 	for u := 0; u < n; u++ {
 		if cfg.Pinned != nil && cfg.Pinned[u] {
 			continue
