@@ -8,6 +8,7 @@
 //	experiments -run fig9 [-dataset Facebook] [-scale 1] [-seed 42]
 //	experiments -run all -scale 0.2
 //	experiments -run table2 -table2-users 50000,100000,200000
+//	experiments -run table2 -trace table2.jsonl   # + phase attribution
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simulate"
 )
 
@@ -31,6 +33,7 @@ type cliArgs struct {
 	table2Users   string
 	table2Workers int
 	table2Latency time.Duration
+	tracePath     string
 }
 
 func main() {
@@ -46,6 +49,7 @@ func main() {
 	flag.StringVar(&args.table2Users, "table2-users", "", "comma-separated user counts for table2")
 	flag.IntVar(&args.table2Workers, "table2-workers", 5, "cluster size for table2")
 	flag.DurationVar(&args.table2Latency, "table2-latency", 500*time.Microsecond, "simulated per-call latency for table2")
+	flag.StringVar(&args.tracePath, "trace", "", "write a JSONL event trace of the table2 run and print phase attribution")
 	flag.Parse()
 
 	exps := experiments()
@@ -241,9 +245,35 @@ func runTable2(cfg simulate.Config, args *cliArgs) error {
 			tcfg.UserCounts = append(tcfg.UserCounts, n)
 		}
 	}
+	// A -trace run captures every size point in one JSONL stream and one
+	// summary; the phase attribution below therefore aggregates across the
+	// whole sweep (the per-round table would conflate size points, so only
+	// the freeze/sweep/prune totals are printed here).
+	var summary *obs.Summary
+	if args.tracePath != "" {
+		f, err := os.Create(args.tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl := obs.NewJSONL(f)
+		defer func() {
+			if err := jsonl.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "flushing trace: %v\n", err)
+			}
+		}()
+		summary = obs.NewSummary()
+		tcfg.Tracer = obs.Multi(jsonl, summary)
+	}
 	rows, err := simulate.TableII(tcfg)
 	if err != nil {
 		return err
+	}
+	if summary != nil {
+		defer func() {
+			fmt.Printf("\nphase attribution across the sweep (trace: %s):\n", args.tracePath)
+			summary.WritePhases(os.Stdout)
+		}()
 	}
 	t := simulate.NewTable(
 		fmt.Sprintf("Table II — distributed-engine scalability (%d workers, %s simulated RTT)",

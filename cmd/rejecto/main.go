@@ -8,23 +8,47 @@
 //	        [-legit-seeds 1,2,3] [-spammer-seeds 40,41]
 //	        [-kmin 0.03125] [-kmax 32] [-seed 42] [-out suspects.txt]
 //	        [-workers 4]  # >0 runs on the distributed engine
+//	        [-trace run.jsonl] [-v] [-debug-addr :6060]
+//
+// Observability:
+//
+//	-trace file   write one JSON line per pipeline event (package obs)
+//	-v            print a per-round summary table and phase attribution
+//	-debug-addr   serve expvar counters (/debug/vars, rejecto.* keys) and
+//	              net/http/pprof (/debug/pprof/) on this address
+//
+// SIGINT/SIGTERM interrupt detection cleanly between rounds: the rounds
+// completed so far are reported, the suspect list is still written, the
+// trace is flushed, and the process exits with status 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the whole command so deferred cleanups (trace flush, output
+// files) execute before the process exits — fatalf-style os.Exit calls are
+// confined to flag validation, before any resource is open.
+func run() int {
 	var (
 		graphPath = flag.String("graph", "", "path to the augmented social graph (required)")
 		target    = flag.Int("target", 0, "estimated number of friend spammers (termination condition)")
@@ -37,19 +61,34 @@ func main() {
 		out       = flag.String("out", "", "write suspect IDs to this file (default: stdout)")
 		workers   = flag.Int("workers", 0, "run on the in-process distributed engine with this many workers")
 		requests  = flag.String("requests", "", "request-log file for per-interval sharded detection (§VII); -graph supplies the friendship base")
+		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
+		verbose   = flag.Bool("v", false, "print per-round summary table and phase attribution")
+		debugAddr = flag.String("debug-addr", "", "serve expvar and pprof on this address, e.g. :6060")
 	)
 	flag.Parse()
 	if *graphPath == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if *target == 0 && *threshold == 0 {
-		fatalf("need -target or -threshold as a termination condition")
+		return fail("need -target or -threshold as a termination condition")
+	}
+
+	if *debugAddr != "" {
+		// The default mux already carries /debug/pprof/ (blank import
+		// above) and /debug/vars (expvar, pulled in by package obs); the
+		// rejecto.* counters appear there as soon as the pipeline runs.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rejecto: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug server: http://%s/debug/vars and http://%s/debug/pprof/\n", *debugAddr, *debugAddr)
 	}
 
 	g, err := graphio.ReadAny(*graphPath)
 	if err != nil {
-		fatalf("reading graph: %v", err)
+		return fail("reading graph: %v", err)
 	}
 	fmt.Printf("loaded %s: %d users, %d friendships, %d rejections\n",
 		*graphPath, g.NumNodes(), g.NumFriendships(), g.NumRejections())
@@ -58,63 +97,120 @@ func main() {
 		Legit:   parseIDs(*legit, g.NumNodes()),
 		Spammer: parseIDs(*spammer, g.NumNodes()),
 	}
-	cutOpts := core.CutOptions{KMin: *kmin, KMax: *kmax, Seeds: seeds, RandSeed: *seed}
+	if seeds.Legit == nil && *legit != "" || seeds.Spammer == nil && *spammer != "" {
+		return 1 // parseIDs already reported
+	}
+
+	// Assemble the tracer stack: JSONL sink, human summary, or both.
+	var tracers []obs.Tracer
+	var jsonl *obs.JSONLWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fail("creating trace file: %v", err)
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		defer func() {
+			if err := jsonl.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "rejecto: flushing trace: %v\n", err)
+			}
+		}()
+		tracers = append(tracers, jsonl)
+	}
+	var summary *obs.Summary
+	if *verbose {
+		summary = obs.NewSummary()
+		tracers = append(tracers, summary)
+	}
+	tracer := obs.Multi(tracers...)
+
+	// SIGINT/SIGTERM close ctx.Done(); the detectors poll it between
+	// rounds, so an interrupted run still returns its completed rounds.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cutOpts := core.CutOptions{KMin: *kmin, KMax: *kmax, Seeds: seeds, RandSeed: *seed, Tracer: tracer}
 	opts := core.DetectorOptions{
 		Cut:                 cutOpts,
 		TargetCount:         *target,
 		AcceptanceThreshold: *threshold,
+		Cancel:              ctx.Done(),
 	}
 
 	if *requests != "" {
-		runSharded(g, *requests, opts)
-		return
+		return runSharded(g, *requests, opts)
 	}
 
 	start := time.Now()
 	var det core.Detection
 	if *workers > 0 {
-		det, err = detectDistributed(g, opts, *workers)
+		det, err = detectDistributed(g, opts, *workers, tracer, ctx.Done())
 	} else {
 		det, err = core.Detect(g, opts)
 	}
-	if err != nil {
-		fatalf("detection: %v", err)
+	interrupted := errors.Is(err, core.ErrInterrupted)
+	if err != nil && !interrupted {
+		return fail("detection: %v", err)
 	}
-	fmt.Printf("detection finished in %s: %d rounds, %d groups, %d suspects\n",
-		time.Since(start).Round(time.Millisecond), det.Rounds, len(det.Groups), len(det.Suspects))
+	if interrupted {
+		fmt.Printf("interrupted after %s: partial results below (%d completed rounds)\n",
+			time.Since(start).Round(time.Millisecond), det.Rounds)
+	} else {
+		fmt.Printf("detection finished in %s: %d rounds, %d groups, %d suspects\n",
+			time.Since(start).Round(time.Millisecond), det.Rounds, len(det.Groups), len(det.Suspects))
+	}
 	for _, grp := range det.Groups {
 		fmt.Printf("  round %d: %d accounts, aggregate acceptance %.3f (k=%.3f)\n",
 			grp.Round, len(grp.Members), grp.Acceptance, grp.K)
 	}
+	if summary != nil {
+		fmt.Println()
+		summary.WriteTable(os.Stdout)
+		fmt.Println()
+		summary.WritePhases(os.Stdout)
+	}
 
-	if *out == "" {
+	if code := writeSuspects(det, *out); code != 0 {
+		return code
+	}
+	if interrupted {
+		return 130
+	}
+	return 0
+}
+
+// writeSuspects emits the suspect list to stdout or -out.
+func writeSuspects(det core.Detection, out string) int {
+	if out == "" {
 		for _, u := range det.Suspects {
 			fmt.Println(u)
 		}
-		return
+		return 0
 	}
-	f, err := os.Create(*out)
+	f, err := os.Create(out)
 	if err != nil {
-		fatalf("creating %s: %v", *out, err)
+		return fail("creating %s: %v", out, err)
 	}
 	defer f.Close()
 	for _, u := range det.Suspects {
 		fmt.Fprintln(f, u)
 	}
-	fmt.Printf("wrote %d suspect IDs to %s\n", len(det.Suspects), *out)
+	fmt.Printf("wrote %d suspect IDs to %s\n", len(det.Suspects), out)
+	return 0
 }
 
 // runSharded executes the §VII deployment: requests sharded by time
 // interval, one detection per interval over the friendship base.
-func runSharded(base *graph.Graph, path string, opts core.DetectorOptions) {
+func runSharded(base *graph.Graph, path string, opts core.DetectorOptions) int {
 	reqs, err := graphio.ReadRequestsFile(path)
 	if err != nil {
-		fatalf("reading requests: %v", err)
+		return fail("reading requests: %v", err)
 	}
 	fmt.Printf("loaded %d timed requests from %s\n", len(reqs), path)
 	dets, err := core.DetectSharded(base, reqs, opts)
-	if err != nil {
-		fatalf("sharded detection: %v", err)
+	if err != nil && !errors.Is(err, core.ErrInterrupted) {
+		return fail("sharded detection: %v", err)
 	}
 	for _, d := range dets {
 		fmt.Printf("interval %d: %d suspects in %d round(s)\n",
@@ -123,11 +219,17 @@ func runSharded(base *graph.Graph, path string, opts core.DetectorOptions) {
 			fmt.Printf("  %d\n", u)
 		}
 	}
+	if errors.Is(err, core.ErrInterrupted) {
+		fmt.Println("interrupted: intervals above are the completed prefix")
+		return 130
+	}
+	return 0
 }
 
-func detectDistributed(g *graph.Graph, opts core.DetectorOptions, workers int) (core.Detection, error) {
+func detectDistributed(g *graph.Graph, opts core.DetectorOptions, workers int, tr obs.Tracer, cancel <-chan struct{}) (core.Detection, error) {
 	c := dist.NewLocalCluster(workers, 0)
 	defer c.Close()
+	c.SetTracer(tr)
 	if err := c.LoadGraph(g, 2); err != nil {
 		return core.Detection{}, err
 	}
@@ -135,11 +237,12 @@ func detectDistributed(g *graph.Graph, opts core.DetectorOptions, workers int) (
 		Cut:                 opts.Cut,
 		TargetCount:         opts.TargetCount,
 		AcceptanceThreshold: opts.AcceptanceThreshold,
+		Cancel:              cancel,
 	}
 	det := dist.NewDetector(c, g.NumNodes(), cfg)
 	res, err := det.Detect(cfg)
 	if err != nil {
-		return core.Detection{}, err
+		return res, err
 	}
 	io := c.IO()
 	fmt.Printf("distributed run: %d workers, %s\n", workers, io)
@@ -154,14 +257,15 @@ func parseIDs(s string, n int) []graph.NodeID {
 	for _, field := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil || v < 0 || v >= n {
-			fatalf("bad node ID %q", field)
+			fmt.Fprintf(os.Stderr, "rejecto: bad node ID %q\n", field)
+			return nil
 		}
 		out = append(out, graph.NodeID(v))
 	}
 	return out
 }
 
-func fatalf(format string, args ...any) {
+func fail(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "rejecto: "+format+"\n", args...)
-	os.Exit(1)
+	return 1
 }

@@ -1,11 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
+
+// ErrInterrupted is returned by Detect when DetectorOptions.Cancel fires:
+// the returned Detection is a valid partial result covering every round
+// that completed before the interruption.
+var ErrInterrupted = errors.New("core: detection interrupted")
 
 // DetectorOptions parameterizes the iterative friend-spammer detection of
 // §IV-E. At least one termination condition (TargetCount or
@@ -30,6 +38,21 @@ type DetectorOptions struct {
 	// MaxRounds caps the number of cut-and-prune rounds. Zero means
 	// DefaultMaxRounds.
 	MaxRounds int
+
+	// Tracer receives the detection's structured events: the round,
+	// freeze, and prune spans emitted here plus the sweep and solve
+	// events of each round's MAAR search (see package obs for the
+	// taxonomy). nil disables tracing at zero cost. When Tracer is nil
+	// but Cut.Tracer is set, the cut's tracer observes the whole
+	// detection, so facade callers can set either.
+	Tracer obs.Tracer
+
+	// Cancel, when non-nil, stops detection cleanly between rounds once
+	// the channel is closed (e.g. a context's Done channel): Detect
+	// returns the rounds completed so far with ErrInterrupted, so a
+	// traced or long run interrupted by SIGINT still yields its partial
+	// detection and a flushable trace.
+	Cancel <-chan struct{}
 }
 
 // DefaultMaxRounds bounds detection rounds when MaxRounds is zero.
@@ -97,7 +120,31 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 		isSpamSeed[u] = true
 	}
 
+	// Tracing: every site guards on tr so an untraced run builds no
+	// events; round-duration clocks are read unconditionally because the
+	// expvar round counters are always live and a round costs seconds,
+	// not microseconds.
+	tr := opts.Tracer
+	if tr == nil {
+		tr = opts.Cut.Tracer
+	}
+	var detectStart time.Time
+	if tr != nil {
+		detectStart = time.Now()
+		tr.Emit(obs.Event{
+			Name: obs.EvDetectStart, Wall: detectStart, Nodes: g.NumNodes(),
+			Friendships: g.NumFriendships(), Rejections: g.NumRejections(),
+		})
+	}
+
+	freezeStart := time.Now()
 	residual := g.Freeze()
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Name: obs.EvFreeze, Wall: time.Now(), Dur: time.Since(freezeStart),
+			Nodes: residual.NumNodes(),
+		})
+	}
 	// origID maps residual node IDs back to g's IDs; identity initially.
 	origID := make([]graph.NodeID, g.NumNodes())
 	for i := range origID {
@@ -106,20 +153,40 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 
 	var det Detection
 	detected := 0
+	stopReason := ""
 	for det.Rounds < maxRounds {
-		if opts.TargetCount > 0 && detected >= opts.TargetCount {
+		if canceled(opts.Cancel) {
+			stopReason = "interrupted"
 			break
+		}
+		if opts.TargetCount > 0 && detected >= opts.TargetCount {
+			stopReason = "target"
+			break
+		}
+		roundStart := time.Now()
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Name: obs.EvRoundStart, Wall: roundStart, Round: det.Rounds + 1,
+				Nodes:       residual.NumNodes(),
+				Friendships: residual.NumFriendships(),
+				Rejections:  residual.NumRejections(),
+			})
 		}
 		cutOpts := opts.Cut
 		cutOpts.Seeds = remapSeeds(origID, isLegitSeed, isSpamSeed)
 		cutOpts.RandSeed = opts.Cut.RandSeed + uint64(det.Rounds)*0x9e3779b9
+		cutOpts.Tracer = tr
+		cutOpts.TraceRound = det.Rounds + 1
 
 		cut, ok := FindMAARCutFrozen(residual, cutOpts)
 		if !ok {
+			stopReason = "no-cut"
 			break
 		}
 		det.Rounds++
 		if opts.AcceptanceThreshold > 0 && cut.Acceptance > opts.AcceptanceThreshold {
+			stopReason = "threshold"
+			endRound(tr, det.Rounds, roundStart, cut, 0)
 			break
 		}
 
@@ -143,6 +210,7 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 
 		// Prune the group — nodes, links, and rejections — and continue
 		// on the residual graph.
+		pruneStart := time.Now()
 		keep := make([]bool, residual.NumNodes())
 		for u, r := range cut.Partition {
 			keep[u] = r == graph.Legit
@@ -154,13 +222,56 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 			newOrig[i] = origID[oldIdx]
 		}
 		origID = newOrig
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Name: obs.EvPrune, Wall: time.Now(), Dur: time.Since(pruneStart),
+				Round: det.Rounds, Nodes: residual.NumNodes(),
+			})
+		}
+		endRound(tr, det.Rounds, roundStart, cut, len(members))
 	}
 
 	det.Suspects = flatten(det.Groups)
 	if opts.TargetCount > 0 && len(det.Suspects) > opts.TargetCount {
 		det.Suspects = det.Suspects[:opts.TargetCount]
 	}
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Name: obs.EvDetectDone, Wall: time.Now(), Dur: time.Since(detectStart),
+			Round: det.Rounds, Suspects: len(det.Suspects), Detail: stopReason,
+		})
+	}
+	if stopReason == "interrupted" {
+		return det, ErrInterrupted
+	}
 	return det, nil
+}
+
+// endRound closes one detection round: it ticks the always-live round
+// counters and emits the round.done span when tracing.
+func endRound(tr obs.Tracer, round int, start time.Time, cut Cut, suspects int) {
+	dur := time.Since(start)
+	obs.Pipeline.Rounds.Add(1)
+	ms := float64(dur) / float64(time.Millisecond)
+	obs.Pipeline.RoundMS.Add(ms)
+	obs.Pipeline.LastRoundMS.Set(ms)
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Name: obs.EvRoundDone, Wall: time.Now(), Dur: dur, Round: round,
+			K: cut.K, Acceptance: cut.Acceptance, Suspects: suspects,
+		})
+	}
+}
+
+// canceled reports whether the cancellation channel has fired; a nil
+// channel never cancels.
+func canceled(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
 }
 
 // remapSeeds translates original-ID seed membership into residual-graph IDs.

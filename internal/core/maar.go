@@ -5,9 +5,12 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/kl"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -61,6 +64,24 @@ func FindMAARCutFrozen(f *graph.Frozen, opts CutOptions) (Cut, bool) {
 		initStats[i] = f.Stats(init)
 	}
 
+	// Tracing and counters. A nil tracer keeps the sweep clock-free and
+	// allocation-identical; the expvar counters below are always live but
+	// tick per solve (a handful of atomic adds), never per edge. Each KL
+	// pass walks every CSR adjacency entry twice (gain init + switching),
+	// so a solve's edge work is passes × 2 × (2|F| + 2|R|).
+	tr := opts.Tracer
+	edgeWork := int64(2 * (2*f.NumFriendships() + 2*f.NumRejections()))
+	var sweepPasses atomic.Int64
+	var sweepStart time.Time
+	if tr != nil {
+		sweepStart = time.Now()
+		tr.Emit(obs.Event{
+			Name: obs.EvSweepStart, Wall: sweepStart, Round: opts.TraceRound,
+			Jobs: len(jobs), Nodes: f.NumNodes(),
+			Friendships: f.NumFriendships(), Rejections: f.NumRejections(),
+		})
+	}
+
 	// candidate is a worker-local running best: the cut with the minimum
 	// acceptance, ties to the earliest (k, init) job — the order the serial
 	// sweep would have kept. The partition buffer is allocated once per
@@ -79,8 +100,29 @@ func FindMAARCutFrozen(f *graph.Frozen, opts CutOptions) (Cut, bool) {
 			Pinned:       pinned,
 			MaxPasses:    opts.MaxPasses,
 		}
+		obs.Pipeline.SolvesStarted.Add(1)
+		var solveStart time.Time
+		if tr != nil {
+			solveStart = time.Now()
+		}
 		res := kl.PartitionFrozenFromStats(f, inits[jb.initIdx], initStats[jb.initIdx], cfg, ws)
 		acc, mirrored, ok := orientCut(res.Stats, opts.Seeds)
+		obs.Pipeline.SolvesFinished.Add(1)
+		obs.Pipeline.KLPasses.Add(int64(res.Passes))
+		obs.Pipeline.EdgesScanned.Add(int64(res.Passes) * edgeWork)
+		if tr != nil {
+			sweepPasses.Add(int64(res.Passes))
+			ev := obs.Event{
+				Name: obs.EvSolveDone, Wall: time.Now(), Dur: time.Since(solveStart),
+				Round: opts.TraceRound, Job: j + 1, K: jb.k, Init: jb.initIdx + 1,
+				Passes: res.Passes, Switches: res.Switches, Rollbacks: res.Rollbacks,
+				Gains: res.PassGains, Acceptance: -1,
+			}
+			if ok {
+				ev.Acceptance = acc
+			}
+			tr.Emit(ev)
+		}
 		if !ok {
 			return
 		}
@@ -121,6 +163,7 @@ func FindMAARCutFrozen(f *graph.Frozen, opts CutOptions) (Cut, bool) {
 		for j := range jobs {
 			run(ws, j, &bests[0])
 		}
+		obs.Pipeline.WorkspaceReuse.Add(int64(len(jobs) - 1))
 	} else {
 		var wg sync.WaitGroup
 		next := make(chan int)
@@ -129,8 +172,13 @@ func FindMAARCutFrozen(f *graph.Frozen, opts CutOptions) (Cut, bool) {
 			go func(w int) {
 				defer wg.Done()
 				ws := &kl.Workspace{}
+				solved := 0
 				for j := range next {
 					run(ws, j, &bests[w])
+					solved++
+				}
+				if solved > 1 {
+					obs.Pipeline.WorkspaceReuse.Add(int64(solved - 1))
 				}
 			}(w)
 		}
@@ -150,6 +198,19 @@ func FindMAARCutFrozen(f *graph.Frozen, opts CutOptions) (Cut, bool) {
 			(b.cut.Acceptance == final.cut.Acceptance && b.jobIdx < final.jobIdx) {
 			final = b
 		}
+	}
+	obs.Pipeline.Sweeps.Add(1)
+	if tr != nil {
+		ev := obs.Event{
+			Name: obs.EvSweepDone, Wall: time.Now(), Dur: time.Since(sweepStart),
+			Round: opts.TraceRound, Jobs: len(jobs),
+			Passes: int(sweepPasses.Load()), Acceptance: -1,
+		}
+		if final.found {
+			ev.K = final.cut.K
+			ev.Acceptance = final.cut.Acceptance
+		}
+		tr.Emit(ev)
 	}
 	return final.cut, final.found
 }

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Seeds carries the OSN provider's prior knowledge: a small set of users
@@ -63,6 +64,15 @@ type CutOptions struct {
 	Parallelism int
 	// RandSeed makes the run reproducible. The zero value is a valid seed.
 	RandSeed uint64
+	// Tracer receives structured sweep events (obs.EvSweepStart, one
+	// obs.EvSolveDone per KL solve, obs.EvSweepDone). nil disables
+	// tracing at zero cost: no events are built and the hot path reads
+	// no clocks. Tracing never changes the returned cut.
+	Tracer obs.Tracer
+	// TraceRound tags this sweep's events with a 1-based detection round
+	// for correlation; Detect stamps it automatically. Zero means the
+	// sweep runs outside any round.
+	TraceRound int
 }
 
 // Default sweep and scaling constants for CutOptions.

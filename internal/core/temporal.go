@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -54,6 +55,12 @@ func DetectSharded(base *graph.Graph, requests []TimedRequest, opts DetectorOpti
 			continue
 		}
 		det, err := Detect(aug, opts)
+		if errors.Is(err, ErrInterrupted) {
+			// Keep the completed-intervals prefix plus this interval's
+			// partial rounds so an interrupted run still reports its work.
+			out = append(out, IntervalDetection{Interval: iv, Detection: det})
+			return out, ErrInterrupted
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: interval %d: %w", iv, err)
 		}

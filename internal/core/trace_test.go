@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// traceLine mirrors the JSONL field names needed to reconstruct a run.
+type traceLine struct {
+	Ev     string  `json:"ev"`
+	Round  int     `json:"round"`
+	K      float64 `json:"k"`
+	Acc    float64 `json:"acc"`
+	Passes int     `json:"passes"`
+	Detail string  `json:"detail"`
+}
+
+func parseTrace(t *testing.T, data []byte) []traceLine {
+	t.Helper()
+	var out []traceLine
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var e traceLine
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("trace line %d invalid: %v\n%s", i+1, err, line)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestDetectTraceReconstruction: a JSONL trace of a detection must
+// reconstruct the run — round count, the winning k and acceptance of every
+// round, and a self-consistent KL-pass total — and tracing must not change
+// the detection itself.
+func TestDetectTraceReconstruction(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 86))
+	const nL, nF = 400, 150
+	g, _ := plantedWorld(r, nL, nF, 0.7)
+	opts := DetectorOptions{
+		Cut:         CutOptions{Seeds: plantedSeeds(nL, nF, 20), RandSeed: 9},
+		TargetCount: nF,
+	}
+
+	untraced, err := Detect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	opts.Tracer = sink
+	passesBefore := obs.Pipeline.KLPasses.Value()
+	det, err := Detect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing must be purely observational.
+	if det.Rounds != untraced.Rounds || len(det.Suspects) != len(untraced.Suspects) {
+		t.Fatalf("tracing changed the detection: %d/%d rounds, %d/%d suspects",
+			det.Rounds, untraced.Rounds, len(det.Suspects), len(untraced.Suspects))
+	}
+	for i := range det.Suspects {
+		if det.Suspects[i] != untraced.Suspects[i] {
+			t.Fatalf("tracing changed suspect %d", i)
+		}
+	}
+
+	events := parseTrace(t, buf.Bytes())
+	if events[0].Ev != obs.EvDetectStart {
+		t.Fatalf("trace starts with %q", events[0].Ev)
+	}
+	last := events[len(events)-1]
+	if last.Ev != obs.EvDetectDone || last.Round != det.Rounds || last.Detail != "target" {
+		t.Fatalf("trace ends with %+v, want detect.done for %d rounds", last, det.Rounds)
+	}
+
+	// Reconstruct the per-round outcomes and the pass totals.
+	winK := map[int]float64{}
+	winAcc := map[int]float64{}
+	roundsDone, solvePasses, sweepPasses := 0, 0, 0
+	for _, e := range events {
+		switch e.Ev {
+		case obs.EvRoundDone:
+			roundsDone++
+			winK[e.Round] = e.K
+			winAcc[e.Round] = e.Acc
+		case obs.EvSolveDone:
+			solvePasses += e.Passes
+		case obs.EvSweepDone:
+			sweepPasses += e.Passes
+		}
+	}
+	if roundsDone != det.Rounds {
+		t.Fatalf("trace has %d round.done events, detection ran %d rounds", roundsDone, det.Rounds)
+	}
+	for _, grp := range det.Groups {
+		if winK[grp.Round] != grp.K {
+			t.Fatalf("round %d: trace k=%v, detection k=%v", grp.Round, winK[grp.Round], grp.K)
+		}
+		if winAcc[grp.Round] != grp.Acceptance {
+			t.Fatalf("round %d: trace acc=%v, detection acc=%v", grp.Round, winAcc[grp.Round], grp.Acceptance)
+		}
+	}
+	if solvePasses == 0 || solvePasses != sweepPasses {
+		t.Fatalf("pass totals inconsistent: solve.done sum %d, sweep.done sum %d", solvePasses, sweepPasses)
+	}
+	if got := obs.Pipeline.KLPasses.Value() - passesBefore; got != int64(solvePasses) {
+		t.Fatalf("expvar counted %d KL passes, trace says %d", got, solvePasses)
+	}
+}
+
+// TestDetectCancel: a fired Cancel channel must stop detection between
+// rounds with ErrInterrupted, a valid partial Detection, and a trace whose
+// detect.done records the interruption.
+func TestDetectCancel(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 87))
+	const nL, nF = 400, 150
+	g, _ := plantedWorld(r, nL, nF, 0.7)
+	done := make(chan struct{})
+	close(done)
+
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	det, err := Detect(g, DetectorOptions{
+		Cut:         CutOptions{Seeds: plantedSeeds(nL, nF, 20), RandSeed: 9},
+		TargetCount: nF,
+		Cancel:      done,
+		Tracer:      sink,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if det.Rounds != 0 || len(det.Suspects) != 0 {
+		t.Fatalf("pre-fired cancel still ran %d rounds, %d suspects", det.Rounds, len(det.Suspects))
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events := parseTrace(t, buf.Bytes())
+	last := events[len(events)-1]
+	if last.Ev != obs.EvDetectDone || last.Detail != "interrupted" {
+		t.Fatalf("trace end = %+v, want detect.done/interrupted", last)
+	}
+}
+
+// TestDetectShardedInterrupted: the §VII sharded runner must return the
+// completed-intervals prefix alongside ErrInterrupted instead of dropping
+// the work already done.
+func TestDetectShardedInterrupted(t *testing.T) {
+	r := rand.New(rand.NewPCG(8, 88))
+	const nL, nF = 200, 60
+	g, _ := plantedWorld(r, nL, nF, 0.7)
+	base := g.Clone()
+	var reqs []TimedRequest
+	for iv := 0; iv < 2; iv++ {
+		for i := 0; i < 40; i++ {
+			reqs = append(reqs, TimedRequest{
+				From: 5, To: 6, Accepted: i%3 == 0, Interval: iv,
+			})
+		}
+	}
+	done := make(chan struct{})
+	close(done)
+	dets, err := DetectSharded(base, reqs, DetectorOptions{
+		Cut:         CutOptions{Seeds: plantedSeeds(nL, nF, 10), RandSeed: 9},
+		TargetCount: nF,
+		Cancel:      done,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	// The partial (zero-round) first interval is still reported.
+	if len(dets) != 1 || dets[0].Detection.Rounds != 0 {
+		t.Fatalf("partial results dropped: %+v", dets)
+	}
+}

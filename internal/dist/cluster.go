@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Cluster is the master's view of the worker pool: the transport, the
@@ -25,7 +26,17 @@ type Cluster struct {
 	// shardSource regenerates a shard for recovery — the lineage root of
 	// graph data, equivalent to recomputing an RDD partition.
 	shardSource func(shardID int) Shard
+
+	// tracer observes the master↔worker boundary: one obs.EvDistRPC per
+	// transport call, one obs.EvDistShard per shard placement. nil (the
+	// default) disables tracing with no per-call clock reads.
+	tracer obs.Tracer
 }
+
+// SetTracer installs t as the cluster's RPC/shard tracer; nil disables
+// tracing. Set it before starting a run — the field is read by every
+// call, so swapping it mid-run races.
+func (c *Cluster) SetTracer(t obs.Tracer) { c.tracer = t }
 
 // NewLocalCluster builds an in-process cluster with the given number of
 // workers. latency is the simulated per-call round-trip latency accumulated
@@ -70,9 +81,24 @@ func (c *Cluster) VirtualLatency() time.Duration { return VirtualLatency(c.trans
 // Close shuts down the transport.
 func (c *Cluster) Close() error { return c.transport.Close() }
 
-// call issues a plain transport call.
+// call issues a plain transport call, emitting one dist.rpc span per
+// call when a tracer is installed. The master-side duration includes any
+// simulated latency the transport accounts.
 func (c *Cluster) call(worker int, method Call, args, reply any) error {
-	return c.transport.Call(worker, method, args, reply)
+	if c.tracer == nil {
+		return c.transport.Call(worker, method, args, reply)
+	}
+	start := time.Now()
+	err := c.transport.Call(worker, method, args, reply)
+	ev := obs.Event{
+		Name: obs.EvDistRPC, Wall: time.Now(), Dur: time.Since(start),
+		Detail: string(method),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	c.tracer.Emit(ev)
+	return err
 }
 
 // callWithRecovery issues a call and, when the worker is down, rebuilds the
@@ -106,6 +132,7 @@ func (c *Cluster) LoadGraph(g *graph.Graph, shardsPerWorker int) error {
 		shardsPerWorker = 1
 	}
 	count := c.Workers() * shardsPerWorker
+	loadStart := time.Now()
 	f := g.Freeze()
 	shards := MakeShardsFrozen(f, count)
 	c.shardHome = make([]int, len(shards))
@@ -126,6 +153,22 @@ func (c *Cluster) LoadGraph(g *graph.Graph, shardsPerWorker int) error {
 		if err := c.call(home, CallLoadShard, &LoadShardArgs{Shard: sh}, &struct{}{}); err != nil {
 			return fmt.Errorf("dist: loading shard %d: %w", i, err)
 		}
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{
+				Name: obs.EvDistShard, Wall: time.Now(),
+				Detail: fmt.Sprintf("shard %d → worker %d", i, home),
+				Nodes:  sh.NumNodes(),
+			})
+		}
+	}
+	// LoadGraph is the distributed engine's freeze phase: the snapshot,
+	// the shard slicing, and the pushes to the workers together play the
+	// role core.Detect's up-front Freeze plays on one machine.
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{
+			Name: obs.EvFreeze, Wall: time.Now(), Dur: time.Since(loadStart),
+			Nodes: f.NumNodes(),
+		})
 	}
 	return nil
 }

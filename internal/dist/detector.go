@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/bucketlist"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kl"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -48,6 +50,10 @@ type DetectorConfig struct {
 	// the defaults.
 	PrefetchBatch int
 	BufferCap     int
+	// Cancel, when non-nil, stops detection cleanly between rounds once
+	// the channel is closed: Detect returns the rounds completed so far
+	// with core.ErrInterrupted, exactly like the single-machine detector.
+	Cancel <-chan struct{}
 }
 
 // NewDetector prepares a detector for a graph of n nodes already loaded
@@ -77,6 +83,16 @@ func (d *Detector) Detect(cfg DetectorConfig) (core.Detection, error) {
 	}
 	opts := cfg.Cut.WithDefaults()
 
+	// The cut's tracer observes the whole distributed detection; the
+	// freeze span was already emitted by LoadGraph (via the cluster's own
+	// tracer), so only detection/round/sweep/prune spans originate here.
+	tr := opts.Tracer
+	var detectStart time.Time
+	if tr != nil {
+		detectStart = time.Now()
+		tr.Emit(obs.Event{Name: obs.EvDetectStart, Wall: detectStart, Nodes: d.n})
+	}
+
 	d.alive = newBitset(d.n)
 	for u := 0; u < d.n; u++ {
 		d.alive.set(int32(u), true)
@@ -91,22 +107,40 @@ func (d *Detector) Detect(cfg DetectorConfig) (core.Detection, error) {
 
 	var det core.Detection
 	detected := 0
+	aliveCount := d.n
+	stopReason := ""
 	for det.Rounds < maxRounds {
-		if cfg.TargetCount > 0 && detected >= cfg.TargetCount {
+		if canceled(cfg.Cancel) {
+			stopReason = "interrupted"
 			break
+		}
+		if cfg.TargetCount > 0 && detected >= cfg.TargetCount {
+			stopReason = "target"
+			break
+		}
+		roundStart := time.Now()
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Name: obs.EvRoundStart, Wall: roundStart,
+				Round: det.Rounds + 1, Nodes: aliveCount,
+			})
 		}
 		roundOpts := opts
 		roundOpts.RandSeed = opts.RandSeed + uint64(det.Rounds)*0x9e3779b9
+		roundOpts.TraceRound = det.Rounds + 1
 
 		cut, ok, err := d.findMAARCut(roundOpts)
 		if err != nil {
 			return core.Detection{}, err
 		}
 		if !ok {
+			stopReason = "no-cut"
 			break
 		}
 		det.Rounds++
 		if cfg.AcceptanceThreshold > 0 && cut.Acceptance > cfg.AcceptanceThreshold {
+			stopReason = "threshold"
+			endRound(tr, det.Rounds, roundStart, cut, 0)
 			break
 		}
 
@@ -129,10 +163,21 @@ func (d *Detector) Detect(cfg DetectorConfig) (core.Detection, error) {
 		})
 		detected += len(members)
 
+		// The distributed prune flips alive bits on the master instead of
+		// deriving a residual snapshot; it is this engine's phase.prune.
+		pruneStart := time.Now()
 		for _, u := range members {
 			d.alive.set(int32(u), false)
 		}
+		aliveCount -= len(members)
 		d.pf.Reset()
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Name: obs.EvPrune, Wall: time.Now(), Dur: time.Since(pruneStart),
+				Round: det.Rounds, Nodes: aliveCount,
+			})
+		}
+		endRound(tr, det.Rounds, roundStart, cut, len(members))
 	}
 
 	for _, grp := range det.Groups {
@@ -141,7 +186,43 @@ func (d *Detector) Detect(cfg DetectorConfig) (core.Detection, error) {
 	if cfg.TargetCount > 0 && len(det.Suspects) > cfg.TargetCount {
 		det.Suspects = det.Suspects[:cfg.TargetCount]
 	}
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Name: obs.EvDetectDone, Wall: time.Now(), Dur: time.Since(detectStart),
+			Round: det.Rounds, Suspects: len(det.Suspects), Detail: stopReason,
+		})
+	}
+	if stopReason == "interrupted" {
+		return det, core.ErrInterrupted
+	}
 	return det, nil
+}
+
+// endRound mirrors the single-machine detector's round bookkeeping: it
+// ticks the always-live round counters and emits round.done when tracing.
+func endRound(tr obs.Tracer, round int, start time.Time, cut core.Cut, suspects int) {
+	dur := time.Since(start)
+	obs.Pipeline.Rounds.Add(1)
+	ms := float64(dur) / float64(time.Millisecond)
+	obs.Pipeline.RoundMS.Add(ms)
+	obs.Pipeline.LastRoundMS.Set(ms)
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Name: obs.EvRoundDone, Wall: time.Now(), Dur: dur, Round: round,
+			K: cut.K, Acceptance: cut.Acceptance, Suspects: suspects,
+		})
+	}
+}
+
+// canceled reports whether the cancellation channel has fired; a nil
+// channel never cancels.
+func canceled(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
 }
 
 // refreshCounts pulls the alive-filtered degree and rejection counts from
@@ -190,15 +271,41 @@ func (d *Detector) findMAARCut(opts core.CutOptions) (core.Cut, bool, error) {
 	src := rng.New(opts.RandSeed)
 	inits := d.initialPartitions(opts, src)
 
+	// The master solves the (k, init) jobs serially — the parallelism of
+	// the distributed engine lives inside each solve, in the fan-out to
+	// the workers — so the sweep events arrive in job order by nature.
+	tr := opts.Tracer
+	var sweepStart time.Time
+	if tr != nil {
+		gridJobs := 0
+		for _, k := range opts.KGrid() {
+			if int64(math.Round(k*float64(opts.WeightScale))) >= 1 {
+				gridJobs++
+			}
+		}
+		sweepStart = time.Now()
+		tr.Emit(obs.Event{
+			Name: obs.EvSweepStart, Wall: sweepStart, Round: opts.TraceRound,
+			Jobs: gridJobs * len(inits), Nodes: aliveCount,
+			Friendships: int(totalF), Rejections: int(totalR),
+		})
+	}
+
 	best := core.Cut{Acceptance: math.Inf(1)}
 	found := false
+	job, sweepPasses := 0, 0
 	for _, k := range opts.KGrid() {
 		wR := int64(math.Round(k * float64(opts.WeightScale)))
 		if wR < 1 {
 			continue
 		}
-		for _, init := range inits {
-			p, err := d.extendedKL(init, opts.WeightScale, wR, opts.MaxPasses)
+		for initIdx, init := range inits {
+			obs.Pipeline.SolvesStarted.Add(1)
+			var solveStart time.Time
+			if tr != nil {
+				solveStart = time.Now()
+			}
+			p, passes, err := d.extendedKL(init, opts.WeightScale, wR, opts.MaxPasses)
 			if err != nil {
 				return core.Cut{}, false, err
 			}
@@ -206,11 +313,38 @@ func (d *Detector) findMAARCut(opts core.CutOptions) (core.Cut, bool, error) {
 			if err != nil {
 				return core.Cut{}, false, err
 			}
+			obs.Pipeline.SolvesFinished.Add(1)
+			obs.Pipeline.KLPasses.Add(int64(passes))
+			sweepPasses += passes
+			job++
+			if tr != nil {
+				ev := obs.Event{
+					Name: obs.EvSolveDone, Wall: time.Now(), Dur: time.Since(solveStart),
+					Round: opts.TraceRound, Job: job, K: k, Init: initIdx + 1,
+					Passes: passes, Acceptance: -1,
+				}
+				if ok {
+					ev.Acceptance = cand.Acceptance
+				}
+				tr.Emit(ev)
+			}
 			if ok && cand.Acceptance < best.Acceptance {
 				best = cand
 				found = true
 			}
 		}
+	}
+	obs.Pipeline.Sweeps.Add(1)
+	if tr != nil {
+		ev := obs.Event{
+			Name: obs.EvSweepDone, Wall: time.Now(), Dur: time.Since(sweepStart),
+			Round: opts.TraceRound, Jobs: job, Passes: sweepPasses, Acceptance: -1,
+		}
+		if found {
+			ev.K = best.K
+			ev.Acceptance = best.Acceptance
+		}
+		tr.Emit(ev)
 	}
 	return best, found, nil
 }
@@ -274,19 +408,23 @@ func (d *Detector) initialPartitions(opts core.CutOptions, src *rng.Source) []bi
 
 // extendedKL is the distributed Algorithm 1: gains are initialized
 // worker-side, the switching sequence runs on the master with prefetched
-// adjacency, and the best prefix is applied.
-func (d *Detector) extendedKL(init bitset, wF, wR int64, maxPasses int) (graph.Partition, error) {
+// adjacency, and the best prefix is applied. The second result is the
+// number of passes executed, counted exactly like kl.Result.Passes (the
+// final non-improving pass included).
+func (d *Detector) extendedKL(init bitset, wF, wR int64, maxPasses int) (graph.Partition, int, error) {
 	if maxPasses == 0 {
 		maxPasses = kl.DefaultMaxPasses
 	}
 	p := make(bitset, len(init))
 	copy(p, init)
 
+	passes := 0
 	for pass := 0; pass < maxPasses; pass++ {
 		improved, err := d.klPass(p, wF, wR)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
+		passes++
 		if !improved {
 			break
 		}
@@ -297,7 +435,7 @@ func (d *Detector) extendedKL(init bitset, wF, wR int64, maxPasses int) (graph.P
 			out[u] = graph.Suspect
 		}
 	}
-	return out, nil
+	return out, passes, nil
 }
 
 type step struct {

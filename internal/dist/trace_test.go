@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+type traceLine struct {
+	Ev     string  `json:"ev"`
+	Round  int     `json:"round"`
+	K      float64 `json:"k"`
+	Detail string  `json:"detail"`
+}
+
+// TestDistributedTrace: a traced distributed detection must emit the same
+// span taxonomy as core — freeze (from LoadGraph), rounds, sweeps, RPC
+// boundaries — with per-round winners matching the detection, and tracing
+// must not perturb the detection.
+func TestDistributedTrace(t *testing.T) {
+	g, _, seeds := testWorld(5, 300, 120)
+	n := g.NumNodes()
+	cutOpts := core.CutOptions{Seeds: seeds, RandSeed: 7}
+
+	plain := detectOnce(t, g, n, DetectorConfig{Cut: cutOpts, TargetCount: 120}, nil)
+
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	tracedOpts := cutOpts
+	tracedOpts.Tracer = sink
+	traced := detectOnce(t, g, n, DetectorConfig{Cut: tracedOpts, TargetCount: 120}, sink)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(traced.Suspects) != len(plain.Suspects) || traced.Rounds != plain.Rounds {
+		t.Fatalf("tracing changed the detection: %d/%d suspects, %d/%d rounds",
+			len(traced.Suspects), len(plain.Suspects), traced.Rounds, plain.Rounds)
+	}
+
+	seen := map[string]int{}
+	winK := map[int]float64{}
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var e traceLine
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d invalid: %v", i+1, err)
+		}
+		seen[e.Ev]++
+		if e.Ev == obs.EvRoundDone {
+			winK[e.Round] = e.K
+		}
+	}
+	for _, ev := range []string{
+		obs.EvFreeze, obs.EvDistShard, obs.EvDistRPC, obs.EvDetectStart,
+		obs.EvRoundStart, obs.EvSweepStart, obs.EvSolveDone, obs.EvSweepDone,
+		obs.EvPrune, obs.EvRoundDone, obs.EvDetectDone,
+	} {
+		if seen[ev] == 0 {
+			t.Fatalf("trace has no %s events; taxonomy coverage broken (%v)", ev, seen)
+		}
+	}
+	if seen[obs.EvRoundDone] != traced.Rounds {
+		t.Fatalf("%d round.done events for %d rounds", seen[obs.EvRoundDone], traced.Rounds)
+	}
+	for _, grp := range traced.Groups {
+		if winK[grp.Round] != grp.K {
+			t.Fatalf("round %d: trace k=%v, detection k=%v", grp.Round, winK[grp.Round], grp.K)
+		}
+	}
+}
+
+// detectOnce runs one distributed detection on a fresh cluster, optionally
+// traced (the tracer also observes LoadGraph's shard placement).
+func detectOnce(t *testing.T, g *graph.Graph, n int, cfg DetectorConfig, tr obs.Tracer) core.Detection {
+	t.Helper()
+	c := NewLocalCluster(4, 0)
+	defer c.Close()
+	c.SetTracer(tr)
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(c, n, cfg)
+	res, err := det.Detect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDistributedDetectCancel: a fired Cancel channel interrupts the
+// distributed detection with core.ErrInterrupted and a valid partial
+// result, matching the single-machine contract.
+func TestDistributedDetectCancel(t *testing.T) {
+	g, _, seeds := testWorld(5, 300, 120)
+	c := NewLocalCluster(4, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	close(done)
+	cfg := DetectorConfig{
+		Cut:         core.CutOptions{Seeds: seeds, RandSeed: 7},
+		TargetCount: 120,
+		Cancel:      done,
+	}
+	det := NewDetector(c, g.NumNodes(), cfg)
+	res, err := det.Detect(cfg)
+	if !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("err = %v, want core.ErrInterrupted", err)
+	}
+	if res.Rounds != 0 || len(res.Suspects) != 0 {
+		t.Fatalf("pre-fired cancel still ran %d rounds", res.Rounds)
+	}
+}

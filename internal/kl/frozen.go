@@ -19,6 +19,7 @@ type Workspace struct {
 	list  bucketlist.List // fallback for gain ranges too wide for dense
 	seq   []wsStep
 	p     graph.Partition
+	gains []int64 // per-pass best-gain trajectory (Result.PassGains)
 }
 
 // wsStep records one tentative switch of a KL pass: the node, the gain the
@@ -42,9 +43,9 @@ type wsStep struct {
 // TestPartitionFrozenZeroAllocs guarantee).
 //
 // ws may be nil, in which case a throwaway workspace is used. When ws is
-// non-nil the returned Result.Partition aliases workspace memory: it is
-// valid until the next PartitionFrozen call with the same ws, and callers
-// keeping it longer must Clone it.
+// non-nil the returned Result.Partition and Result.PassGains alias
+// workspace memory: they are valid until the next PartitionFrozen call
+// with the same ws, and callers keeping them longer must Clone/copy.
 func PartitionFrozen(f *graph.Frozen, init graph.Partition, cfg Config, ws *Workspace) Result {
 	checkFrozenArgs(f, init, cfg)
 	return partitionFrozen(f, init, f.Stats(init), cfg, ws)
@@ -93,6 +94,10 @@ func partitionFrozen(f *graph.Frozen, init graph.Partition, initStats graph.CutS
 		// front avoids append-doubling through the first pass.
 		ws.seq = make([]wsStep, 0, n)
 	}
+	if cap(ws.gains) < maxPasses {
+		ws.gains = make([]int64, 0, maxPasses)
+	}
+	ws.gains = ws.gains[:0]
 	p := ws.p[:n]
 	ws.p = p
 	copy(p, init)
@@ -115,8 +120,11 @@ func partitionFrozen(f *graph.Frozen, init graph.Partition, initStats graph.CutS
 		Partition: p,
 		Objective: int64(opt.stats.CrossFriendships)*cfg.FriendWeight -
 			int64(opt.stats.RejIntoSuspect)*cfg.RejectWeight,
-		Stats:  opt.stats,
-		Passes: passes,
+		Stats:     opt.stats,
+		Passes:    passes,
+		Switches:  opt.switches,
+		Rollbacks: opt.rollbacks,
+		PassGains: ws.gains,
 	}
 }
 
@@ -141,6 +149,10 @@ type frozenOptimizer struct {
 	// stats are the cut statistics of the current partition, updated on
 	// every tentative switch and rollback.
 	stats graph.CutStats
+	// Trace counters surfaced through Result; kept identical to the seed
+	// optimizer's so the parity tests can pin them field for field.
+	switches  int
+	rollbacks int
 }
 
 // pass performs one KL improvement pass over p in place, mirroring
@@ -213,6 +225,9 @@ func (o *frozenOptimizer) pass(p graph.Partition) bool {
 	if bestCum <= 0 {
 		rollFrom = 0 // no improving prefix: roll back everything
 	}
+	o.switches += len(seq)
+	o.rollbacks += len(seq) - rollFrom
+	o.ws.gains = append(o.ws.gains, bestCum)
 	for i := rollFrom; i < len(seq); i++ {
 		st := &seq[i]
 		p[st.node] = p[st.node].Other()

@@ -37,6 +37,19 @@ func TestPartitionFrozenMatchesSlicePath(t *testing.T) {
 		if got.Objective != want.Objective || got.Passes != want.Passes || got.Stats != want.Stats {
 			return false
 		}
+		// The introspection counters feed the tracing layer and must track
+		// the seed path exactly too.
+		if got.Switches != want.Switches || got.Rollbacks != want.Rollbacks {
+			return false
+		}
+		if len(got.PassGains) != len(want.PassGains) || len(got.PassGains) != got.Passes {
+			return false
+		}
+		for i := range want.PassGains {
+			if got.PassGains[i] != want.PassGains[i] {
+				return false
+			}
+		}
 		for i := range want.Partition {
 			if got.Partition[i] != want.Partition[i] {
 				return false
@@ -69,7 +82,10 @@ func TestPartitionFrozenStatsExact(t *testing.T) {
 
 // TestPartitionFrozenZeroAllocs: after one warm-up call, a PartitionFrozen
 // solve through a Workspace — covering every pass it performs — must not
-// allocate at all.
+// allocate at all. This is also the observability layer's zero-overhead
+// guard: the switch/rollback counters and the PassGains trajectory that
+// feed solve.done events are tracked on this path unconditionally, so any
+// allocation they introduced would fail here.
 func TestPartitionFrozenZeroAllocs(t *testing.T) {
 	r := rand.New(rand.NewPCG(9, 43))
 	g := randomAugmented(r, 400, 1600, 900)

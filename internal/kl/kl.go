@@ -59,6 +59,20 @@ type Result struct {
 	Stats graph.CutStats
 	// Passes is the number of improvement passes performed.
 	Passes int
+	// Switches is the total number of tentative node switches across all
+	// passes, and Rollbacks the number undone by best-prefix rollback;
+	// Switches − Rollbacks is the net moves the solve kept. Both are
+	// plain counters the passes maintain anyway, so recording them costs
+	// nothing — they exist for the observability layer (obs.EvSolveDone).
+	Switches  int
+	Rollbacks int
+	// PassGains is the best-gain trajectory: the best cumulative
+	// objective reduction each pass found (the amount it kept after
+	// rollback). Its length equals Passes, and the final entry is ≤ 0
+	// exactly when the solve converged before MaxPasses. In
+	// PartitionFrozen the slice aliases workspace memory — valid until
+	// the next call with the same Workspace; Clone to retain.
+	PassGains []int64
 }
 
 // Partition runs extended KL from the given initial partition and returns
@@ -84,7 +98,8 @@ func Partition(g *graph.Graph, init graph.Partition, cfg Config) Result {
 	}
 
 	p := init.Clone()
-	opt := &optimizer{g: g, cfg: cfg, maxAbs: maxAbsGain(g, cfg)}
+	opt := &optimizer{g: g, cfg: cfg, maxAbs: maxAbsGain(g, cfg),
+		passGains: make([]int64, 0, maxPasses)}
 
 	passes := 0
 	for passes < maxPasses {
@@ -98,8 +113,11 @@ func Partition(g *graph.Graph, init graph.Partition, cfg Config) Result {
 		Partition: p,
 		Objective: int64(s.CrossFriendships)*cfg.FriendWeight -
 			int64(s.RejIntoSuspect)*cfg.RejectWeight,
-		Stats:  s,
-		Passes: passes,
+		Stats:     s,
+		Passes:    passes,
+		Switches:  opt.switches,
+		Rollbacks: opt.rollbacks,
+		PassGains: opt.passGains,
 	}
 }
 
@@ -129,6 +147,11 @@ type optimizer struct {
 	g      *graph.Graph
 	cfg    Config
 	maxAbs int64 // per-graph gain bound, computed once by maxAbsGain
+
+	// Trace counters surfaced through Result; see Result.Switches.
+	switches  int
+	rollbacks int
+	passGains []int64
 }
 
 // pass performs one KL improvement pass over p in place, returning whether
@@ -173,17 +196,15 @@ func (o *optimizer) pass(p graph.Partition) bool {
 		}
 	}
 	if bestCum <= 0 {
-		// Roll back everything: no improving prefix this pass.
-		for _, st := range seq {
-			p[st.node] = p[st.node].Other()
-		}
-		return false
+		bestLen = 0 // no improving prefix: roll back everything
 	}
-	// Roll back the switches beyond the best prefix.
+	o.switches += len(seq)
+	o.rollbacks += len(seq) - bestLen
+	o.passGains = append(o.passGains, bestCum)
 	for _, st := range seq[bestLen:] {
 		p[st.node] = p[st.node].Other()
 	}
-	return true
+	return bestCum > 0
 }
 
 // gain returns the objective reduction achieved by switching u to the other

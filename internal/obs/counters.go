@@ -1,0 +1,56 @@
+package obs
+
+import "expvar"
+
+// PipelineCounters is the process-wide counter set of the detection
+// pipeline, published under "rejecto.*" in expvar (served at /debug/vars
+// by any binary that opens an HTTP endpoint, e.g. `cmd/rejecto
+// -debug-addr`). Every field is an expvar atomic, so updates are
+// race-free and allocation-free; the pipeline ticks them per KL solve and
+// per round — never per edge — so they stay invisible next to the work
+// they count.
+//
+// Unlike a Tracer, the counters are always live: a long-running untraced
+// detection still exposes its progress and cumulative work.
+type PipelineCounters struct {
+	// SolvesStarted / SolvesFinished count KL solves submitted to and
+	// completed by MAAR sweeps. A gap between the two is the number of
+	// solves in flight right now.
+	SolvesStarted  *expvar.Int
+	SolvesFinished *expvar.Int
+	// KLPasses is the cumulative number of KL improvement passes.
+	KLPasses *expvar.Int
+	// EdgesScanned is the cumulative number of adjacency entries walked
+	// by KL passes: each pass visits every CSR adjacency entry once to
+	// initialize gains and once while switching, so a solve adds
+	// passes × 2 × (2·|F| + 2·|R|). Exact for unpinned graphs, a slight
+	// overcount when seeds pin nodes out of the switching loop.
+	EdgesScanned *expvar.Int
+	// WorkspaceReuse counts KL solves that reused an already-warm
+	// kl.Workspace — the sweeps' zero-allocation steady state. The first
+	// solve on each worker's workspace is not a reuse.
+	WorkspaceReuse *expvar.Int
+	// Sweeps counts completed MAAR k-grid sweeps.
+	Sweeps *expvar.Int
+	// Rounds counts completed §IV-E detection rounds, and RoundMS the
+	// cumulative wall-clock they took; RoundMS/Rounds is the mean round
+	// duration, LastRoundMS the most recent one.
+	Rounds      *expvar.Int
+	RoundMS     *expvar.Float
+	LastRoundMS *expvar.Float
+}
+
+// Pipeline is the singleton counter set. expvar registration is global
+// and panics on duplicates, so it lives in package scope and is created
+// exactly once per process.
+var Pipeline = PipelineCounters{
+	SolvesStarted:  expvar.NewInt("rejecto.solves_started"),
+	SolvesFinished: expvar.NewInt("rejecto.solves_finished"),
+	KLPasses:       expvar.NewInt("rejecto.kl_passes"),
+	EdgesScanned:   expvar.NewInt("rejecto.edges_scanned"),
+	WorkspaceReuse: expvar.NewInt("rejecto.workspace_reuse_hits"),
+	Sweeps:         expvar.NewInt("rejecto.sweeps"),
+	Rounds:         expvar.NewInt("rejecto.rounds"),
+	RoundMS:        expvar.NewFloat("rejecto.round_ms_total"),
+	LastRoundMS:    expvar.NewFloat("rejecto.last_round_ms"),
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// JSONLWriter is a Tracer that appends one JSON object per event to an
+// io.Writer — the `-trace out.jsonl` sink. Events are written in Emit
+// order under a mutex, so a file produced by a concurrent sweep is still
+// one valid JSONL stream; the per-worker solve.done interleaving is
+// whatever the scheduler produced, which is why consumers key on the
+// deterministic Job index rather than on line order.
+//
+// Encoding is hand-rolled with strconv appends into one reusable buffer:
+// a steady-state Emit allocates only when an event outgrows every
+// previous one. Zero-valued fields are omitted.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL returns a JSONLWriter emitting to w. Call Flush (or Close)
+// before reading the output; the writer buffers.
+func NewJSONL(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit encodes e as one JSON line. Write errors are sticky and reported
+// by Flush/Err; Emit itself stays silent so tracing can never fail the
+// detection it observes.
+func (j *JSONLWriter) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.buf = appendEvent(j.buf[:0], e)
+	if _, err := j.w.Write(j.buf); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error seen by the writer.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Err returns the sticky write error, if any, without flushing.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// appendEvent appends e as a JSON object plus newline. Field names are
+// short and stable; they are part of the trace format documented in
+// DESIGN.md §8.
+func appendEvent(b []byte, e Event) []byte {
+	b = append(b, '{')
+	b = appendStr(b, "ev", e.Name)
+	if !e.Wall.IsZero() {
+		b = appendStr(b, "t", e.Wall.Format(time.RFC3339Nano))
+	}
+	if e.Dur != 0 {
+		// Microsecond resolution keeps lines compact; phase attribution
+		// does not need nanoseconds.
+		b = appendFieldName(b, "us")
+		b = strconv.AppendInt(b, e.Dur.Microseconds(), 10)
+	}
+	b = appendInt(b, "round", e.Round)
+	b = appendInt(b, "job", e.Job)
+	b = appendInt(b, "jobs", e.Jobs)
+	if e.K != 0 {
+		b = appendFieldName(b, "k")
+		b = strconv.AppendFloat(b, e.K, 'g', -1, 64)
+	}
+	b = appendInt(b, "init", e.Init)
+	b = appendInt(b, "passes", e.Passes)
+	b = appendInt(b, "switches", e.Switches)
+	b = appendInt(b, "rollbacks", e.Rollbacks)
+	if len(e.Gains) > 0 {
+		b = appendFieldName(b, "gains")
+		b = append(b, '[')
+		for i, g := range e.Gains {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, g, 10)
+		}
+		b = append(b, ']')
+	}
+	if e.Acceptance != 0 {
+		b = appendFieldName(b, "acc")
+		b = strconv.AppendFloat(b, e.Acceptance, 'g', -1, 64)
+	}
+	b = appendInt(b, "nodes", e.Nodes)
+	b = appendInt(b, "friendships", e.Friendships)
+	b = appendInt(b, "rejections", e.Rejections)
+	b = appendInt(b, "suspects", e.Suspects)
+	b = appendStr(b, "detail", e.Detail)
+	b = appendStr(b, "err", e.Err)
+	b = append(b, '}', '\n')
+	return b
+}
+
+func appendFieldName(b []byte, name string) []byte {
+	if b[len(b)-1] != '{' {
+		b = append(b, ',')
+	}
+	b = append(b, '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	return b
+}
+
+func appendInt(b []byte, name string, v int) []byte {
+	if v == 0 {
+		return b
+	}
+	b = appendFieldName(b, name)
+	return strconv.AppendInt(b, int64(v), 10)
+}
+
+func appendStr(b []byte, name, v string) []byte {
+	if v == "" {
+		return b
+	}
+	b = appendFieldName(b, name)
+	return strconv.AppendQuote(b, v)
+}

@@ -1,0 +1,163 @@
+// Package obs is the observability layer of the detection pipeline: a
+// lightweight structured-event tracer threaded through core.Detect, the
+// MAAR sweep, each KL solve, and the distributed engine's shard/RPC
+// boundaries, plus process-wide expvar counters (see Pipeline).
+//
+// The design goal is zero overhead when disabled. A nil Tracer disables
+// every instrumentation site: no event structs are built, no clocks are
+// read, and — the property the test suite enforces with
+// testing.AllocsPerRun — no allocations are added to the zero-allocation
+// KL engine. Counters are always live (they are a handful of atomic adds
+// per KL solve, never per edge) so /debug/vars is useful even on untraced
+// runs.
+//
+// # Event taxonomy
+//
+// Events form spans by pairing: a *.start event carries the inputs, the
+// matching *.done event carries the outputs and the span duration. All
+// events are correlated by Round (1-based; 0 means outside any round).
+//
+//	detect.start      detection begins: Nodes/Friendships/Rejections of g
+//	phase.freeze      the up-front CSR freeze (Dur), paper Table II "load"
+//	round.start       one §IV-E round begins: residual graph sizes
+//	sweep.start       the k-grid sweep begins: Jobs = |grid|×|inits|
+//	solve.done        one KL solve: Job, K, Init, Passes, Switches,
+//	                  Rollbacks, Gains (best-gain trajectory), Acceptance
+//	                  (-1 if the partition was no valid MAAR candidate), Dur
+//	sweep.done        the sweep's winner: K, Acceptance, total Passes, Dur
+//	phase.prune       residual pruning after a detected group (Dur, Nodes
+//	                  = remaining), paper Table II "prune"
+//	round.done        the round's outcome: K, Acceptance, Suspects, Dur
+//	detect.done       detection ends: Round = rounds run, Suspects, Dur;
+//	                  Detail records an early-stop reason ("interrupted",
+//	                  "threshold", "target") when there is one
+//	dist.rpc          one master↔worker call: Detail = method, Dur, Err
+//	dist.shard        one shard loaded onto a worker: Detail, Nodes
+//
+// Tracers must tolerate concurrent Emit calls: the sweep's workers emit
+// solve.done events from their own goroutines. Slice-valued fields
+// (Event.Gains) alias solver-owned memory and are valid only for the
+// duration of the Emit call; a tracer that retains events must copy them.
+package obs
+
+import "time"
+
+// Event names. See the package taxonomy above for the fields each carries.
+const (
+	EvDetectStart = "detect.start"
+	EvFreeze      = "phase.freeze"
+	EvRoundStart  = "round.start"
+	EvSweepStart  = "sweep.start"
+	EvSolveDone   = "solve.done"
+	EvSweepDone   = "sweep.done"
+	EvPrune       = "phase.prune"
+	EvRoundDone   = "round.done"
+	EvDetectDone  = "detect.done"
+	EvDistRPC     = "dist.rpc"
+	EvDistShard   = "dist.shard"
+)
+
+// Event is one structured trace event. It is a flat value type so that
+// building and emitting one performs no allocations; unused fields stay
+// zero and are omitted by the JSONL encoder (consumers must treat a
+// missing field as zero).
+type Event struct {
+	// Name is one of the Ev* constants.
+	Name string
+	// Wall is the emission timestamp.
+	Wall time.Time
+	// Dur is the span duration on *.done / phase.* events.
+	Dur time.Duration
+
+	// Round is the 1-based detection round; 0 outside any round. On
+	// detect.done it is the total number of rounds run.
+	Round int
+	// Job is the sweep job index of a solve.done event (deterministic
+	// (k, init) enumeration order, 1-based so 0 can mean "absent").
+	Job int
+	// Jobs is the sweep's job count on sweep.start.
+	Jobs int
+	// K is the friends-to-rejections ratio of a solve, or the winning
+	// ratio on sweep.done / round.done.
+	K float64
+	// Init is the 1-based initial-partition index of a solve.
+	Init int
+
+	// Passes, Switches, Rollbacks summarize KL work: improvement passes,
+	// tentative node switches, and switches undone by prefix rollback.
+	// On sweep.done, Passes is the total across all solves.
+	Passes    int
+	Switches  int
+	Rollbacks int
+	// Gains is the solve's best-gain trajectory: the best cumulative
+	// objective reduction of each pass (the amount the pass kept). It
+	// aliases solver memory — valid only during Emit.
+	Gains []int64
+
+	// Acceptance is the aggregate acceptance rate of the candidate or
+	// winning cut; -1 when a solve produced no valid candidate.
+	Acceptance float64
+
+	// Graph sizes: the residual graph on detect/round/sweep events, the
+	// remaining node count on phase.prune, the shard size on dist.shard.
+	Nodes       int
+	Friendships int
+	Rejections  int
+
+	// Suspects is the detected-group size (round.done) or the running
+	// total (detect.done).
+	Suspects int
+
+	// Detail is a free-form label: the RPC method on dist.rpc, the shard
+	// placement on dist.shard, an early-stop reason on detect.done.
+	Detail string
+	// Err is the error string of a failed dist.rpc call.
+	Err string
+}
+
+// A Tracer receives pipeline events. Implementations must be safe for
+// concurrent use; Emit is called from the sweep's worker goroutines.
+//
+// Throughout the pipeline a nil Tracer means tracing is disabled, and
+// every instrumentation site guards on that before building an Event or
+// reading a clock — the zero-overhead guarantee DESIGN.md §8 documents.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// Nop is a Tracer that discards every event. Prefer a nil Tracer where
+// possible — nil short-circuits before the Event is even built — but Nop
+// is useful where a non-nil sink is structurally required.
+type Nop struct{}
+
+// Emit discards e.
+func (Nop) Emit(Event) {}
+
+// multi fans events out to several tracers in order.
+type multi []Tracer
+
+func (m multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// Multi returns a Tracer that forwards each event to every non-nil tracer
+// in ts, in order. It returns nil when no non-nil tracer remains, so the
+// caller's nil-guard keeps its zero-overhead meaning, and returns a lone
+// survivor undecorated.
+func Multi(ts ...Tracer) Tracer {
+	var live multi
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodedEvent mirrors the JSONL field names for round-tripping in tests.
+type decodedEvent struct {
+	Ev          string  `json:"ev"`
+	T           string  `json:"t"`
+	US          int64   `json:"us"`
+	Round       int     `json:"round"`
+	Job         int     `json:"job"`
+	Jobs        int     `json:"jobs"`
+	K           float64 `json:"k"`
+	Init        int     `json:"init"`
+	Passes      int     `json:"passes"`
+	Switches    int     `json:"switches"`
+	Rollbacks   int     `json:"rollbacks"`
+	Gains       []int64 `json:"gains"`
+	Acc         float64 `json:"acc"`
+	Nodes       int     `json:"nodes"`
+	Friendships int     `json:"friendships"`
+	Rejections  int     `json:"rejections"`
+	Suspects    int     `json:"suspects"`
+	Detail      string  `json:"detail"`
+	Err         string  `json:"err"`
+}
+
+func decodeLines(t *testing.T, data []byte) []decodedEvent {
+	t.Helper()
+	var out []decodedEvent
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var e decodedEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestJSONLRoundTrip: every populated Event field must survive the encoder,
+// and zero fields must be omitted from the line entirely.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	wall := time.Date(2026, 8, 6, 12, 0, 0, 123456789, time.UTC)
+	j.Emit(Event{
+		Name: EvSolveDone, Wall: wall, Dur: 1500 * time.Microsecond,
+		Round: 2, Job: 7, K: 1.5, Init: 1,
+		Passes: 3, Switches: 40, Rollbacks: 12, Gains: []int64{900, 30, -5},
+		Acceptance: 0.375,
+	})
+	j.Emit(Event{Name: EvDetectDone, Round: 4, Suspects: 100, Detail: "target"})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := decodeLines(t, buf.Bytes())
+	if len(events) != 2 {
+		t.Fatalf("got %d lines, want 2", len(events))
+	}
+	e := events[0]
+	if e.Ev != EvSolveDone || e.US != 1500 || e.Round != 2 || e.Job != 7 ||
+		e.K != 1.5 || e.Init != 1 || e.Passes != 3 || e.Switches != 40 ||
+		e.Rollbacks != 12 || e.Acc != 0.375 {
+		t.Fatalf("solve.done fields corrupted: %+v", e)
+	}
+	if ts, err := time.Parse(time.RFC3339Nano, e.T); err != nil || !ts.Equal(wall) {
+		t.Fatalf("timestamp round-trip failed: %q (%v)", e.T, err)
+	}
+	if len(e.Gains) != 3 || e.Gains[0] != 900 || e.Gains[2] != -5 {
+		t.Fatalf("gains corrupted: %v", e.Gains)
+	}
+	// Zero fields must not appear as keys at all.
+	line := strings.SplitN(buf.String(), "\n", 2)[1]
+	for _, absent := range []string{"\"us\"", "\"k\"", "\"gains\"", "\"acc\"", "\"nodes\"", "\"err\"", "\"t\""} {
+		if strings.Contains(line, absent) {
+			t.Fatalf("zero field %s present in %s", absent, line)
+		}
+	}
+	if events[1].Detail != "target" || events[1].Suspects != 100 {
+		t.Fatalf("detect.done fields corrupted: %+v", events[1])
+	}
+}
+
+// TestJSONLEmitOrder: serial emissions must come out in order.
+func TestJSONLEmitOrder(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	names := []string{EvDetectStart, EvFreeze, EvRoundStart, EvSweepStart,
+		EvSolveDone, EvSweepDone, EvPrune, EvRoundDone, EvDetectDone}
+	for _, n := range names {
+		j.Emit(Event{Name: n})
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeLines(t, buf.Bytes())
+	if len(events) != len(names) {
+		t.Fatalf("got %d lines, want %d", len(events), len(names))
+	}
+	for i, e := range events {
+		if e.Ev != names[i] {
+			t.Fatalf("line %d = %q, want %q", i+1, e.Ev, names[i])
+		}
+	}
+}
+
+// lockedBuffer serializes writes so the test can safely read it back; the
+// JSONLWriter's own mutex already serializes, but the race detector cannot
+// know the final read happens after every Emit without this.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// TestJSONLConcurrentEmit: parallel emitters (like the sweep's workers) must
+// produce one valid interleaved JSONL stream that preserves each emitter's
+// own order. Run under -race in CI.
+func TestJSONLConcurrentEmit(t *testing.T) {
+	var lb lockedBuffer
+	j := NewJSONL(&lb)
+	sum := NewSummary()
+	tr := Multi(j, sum)
+
+	const workers, events = 8, 200
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= events; i++ {
+				tr.Emit(Event{Name: EvSolveDone, Round: 1, Job: w, Init: i, Passes: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := decodeLines(t, lb.buf.Bytes())
+	if len(got) != workers*events {
+		t.Fatalf("got %d lines, want %d", len(got), workers*events)
+	}
+	lastInit := make(map[int]int)
+	for _, e := range got {
+		if e.Init != lastInit[e.Job]+1 {
+			t.Fatalf("emitter %d order broken: init %d after %d", e.Job, e.Init, lastInit[e.Job])
+		}
+		lastInit[e.Job] = e.Init
+	}
+	rounds := sum.Rounds()
+	if len(rounds) != 1 || rounds[0].Solves != workers*events || rounds[0].Passes != workers*events {
+		t.Fatalf("summary lost events: %+v", rounds)
+	}
+}
+
+// errWriter fails after n writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestJSONLStickyError: a write error must surface via Flush/Err and stop
+// further encoding without panicking.
+func TestJSONLStickyError(t *testing.T) {
+	j := NewJSONL(&errWriter{n: 0})
+	big := Event{Name: EvSolveDone, Gains: make([]int64, 1<<15)} // overflow the 64K buffer
+	j.Emit(big)
+	j.Emit(big)
+	j.Emit(Event{Name: EvDetectDone})
+	if err := j.Flush(); err == nil {
+		t.Fatal("Flush returned nil after writer failure")
+	}
+	if err := j.Err(); err == nil {
+		t.Fatal("Err returned nil after writer failure")
+	}
+}
+
+// TestMulti: nil tracers are dropped, an empty set collapses to nil (so the
+// pipeline's nil-guard keeps meaning "disabled"), and a lone survivor is
+// returned undecorated.
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of no live tracers must be nil")
+	}
+	s := NewSummary()
+	if got := Multi(nil, s, nil); got != Tracer(s) {
+		t.Fatalf("lone survivor not returned undecorated: %T", got)
+	}
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	m := Multi(j, s)
+	m.Emit(Event{Name: EvRoundDone, Round: 1, K: 2, Acceptance: 0.5, Suspects: 9})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("multi did not forward to the JSONL writer")
+	}
+	if r := s.Rounds(); len(r) != 1 || r[0].Suspects != 9 {
+		t.Fatalf("multi did not forward to the summary: %+v", s.Rounds())
+	}
+	Nop{}.Emit(Event{Name: EvRoundDone}) // must not panic
+}
+
+// TestSummaryAggregation: a synthetic detection stream must fold into the
+// right per-round rows and a phase table that accounts for the whole run.
+func TestSummaryAggregation(t *testing.T) {
+	s := NewSummary()
+	emit := func(e Event) { s.Emit(e) }
+	emit(Event{Name: EvDetectStart, Nodes: 1000})
+	emit(Event{Name: EvFreeze, Dur: 5 * time.Millisecond})
+	emit(Event{Name: EvRoundStart, Round: 1, Nodes: 1000})
+	emit(Event{Name: EvSolveDone, Round: 1, Job: 1, K: 0.5, Passes: 4})
+	emit(Event{Name: EvSolveDone, Round: 1, Job: 2, K: 0.75, Passes: 6})
+	emit(Event{Name: EvSweepDone, Round: 1, Dur: 80 * time.Millisecond, K: 0.75, Acceptance: 0.4})
+	emit(Event{Name: EvPrune, Round: 1, Dur: 3 * time.Millisecond, Nodes: 900})
+	emit(Event{Name: EvRoundDone, Round: 1, Dur: 90 * time.Millisecond, K: 0.75, Acceptance: 0.4, Suspects: 100})
+	emit(Event{Name: EvDistRPC, Dur: time.Millisecond, Detail: "kl/gains"})
+	emit(Event{Name: EvDetectDone, Round: 1, Dur: 100 * time.Millisecond, Suspects: 100, Detail: "target"})
+
+	rounds := s.Rounds()
+	if len(rounds) != 1 {
+		t.Fatalf("got %d rounds, want 1", len(rounds))
+	}
+	r := rounds[0]
+	if r.Solves != 2 || r.Passes != 10 || r.K != 0.75 || r.Acceptance != 0.4 ||
+		r.Suspects != 100 || r.Nodes != 1000 ||
+		r.SweepDur != 80*time.Millisecond || r.PruneDur != 3*time.Millisecond ||
+		r.Dur != 90*time.Millisecond {
+		t.Fatalf("round row wrong: %+v", r)
+	}
+
+	var table, phases strings.Builder
+	if err := s.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "stopped: target") {
+		t.Fatalf("table missing stop reason:\n%s", table.String())
+	}
+	if err := s.WritePhases(&phases); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"freeze", "sweep", "prune", "other", "total", "rpc: 1 calls"} {
+		if !strings.Contains(phases.String(), want) {
+			t.Fatalf("phase table missing %q:\n%s", want, phases.String())
+		}
+	}
+	// other = 100ms total − 5 freeze − 80 sweep − 3 prune = 12ms.
+	if !strings.Contains(phases.String(), "12ms") {
+		t.Fatalf("phase remainder not attributed:\n%s", phases.String())
+	}
+}
+
+// TestSummaryAccumulatesDetections: phase totals observing several
+// back-to-back detections (the Table II sweep) must combine their wall
+// clocks rather than keep only the last one.
+func TestSummaryAccumulatesDetections(t *testing.T) {
+	s := NewSummary()
+	for i := 0; i < 3; i++ {
+		s.Emit(Event{Name: EvFreeze, Dur: 2 * time.Millisecond})
+		s.Emit(Event{Name: EvDetectDone, Round: 1, Dur: 50 * time.Millisecond})
+	}
+	var phases strings.Builder
+	if err := s.WritePhases(&phases); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(phases.String(), "150ms") {
+		t.Fatalf("detect durations not accumulated:\n%s", phases.String())
+	}
+}
+
+// TestPipelineCountersRegistered: every pipeline counter must be reachable
+// under its published expvar name, and adds must be visible through it.
+func TestPipelineCountersRegistered(t *testing.T) {
+	names := map[string]expvar.Var{
+		"rejecto.solves_started":       Pipeline.SolvesStarted,
+		"rejecto.solves_finished":      Pipeline.SolvesFinished,
+		"rejecto.kl_passes":            Pipeline.KLPasses,
+		"rejecto.edges_scanned":        Pipeline.EdgesScanned,
+		"rejecto.workspace_reuse_hits": Pipeline.WorkspaceReuse,
+		"rejecto.sweeps":               Pipeline.Sweeps,
+		"rejecto.rounds":               Pipeline.Rounds,
+		"rejecto.round_ms_total":       Pipeline.RoundMS,
+		"rejecto.last_round_ms":        Pipeline.LastRoundMS,
+	}
+	for name, v := range names {
+		got := expvar.Get(name)
+		if got == nil {
+			t.Fatalf("expvar %q not registered", name)
+		}
+		if got != v {
+			t.Fatalf("expvar %q is not the Pipeline field (got %T)", name, got)
+		}
+	}
+	before := Pipeline.Sweeps.Value()
+	Pipeline.Sweeps.Add(1)
+	if got := Pipeline.Sweeps.Value(); got != before+1 {
+		t.Fatalf("Sweeps.Add not visible: %d -> %d", before, got)
+	}
+}
+
+// TestJSONLSteadyStateAllocs: once the reusable buffer has grown, an Emit
+// of a similar event must not allocate — the sink must not reintroduce the
+// garbage the nil-guard design keeps off the hot path.
+func TestJSONLSteadyStateAllocs(t *testing.T) {
+	j := NewJSONL(&lockedBuffer{})
+	gains := []int64{1200, 300, -25}
+	e := Event{
+		Name: EvSolveDone, Wall: time.Unix(1754481600, 0), Dur: time.Millisecond,
+		Round: 1, Job: 3, K: 1.5, Init: 2, Passes: 3, Switches: 50, Rollbacks: 10,
+		Gains: gains, Acceptance: 0.42,
+	}
+	j.Emit(e) // grow the buffer once
+	allocs := testing.AllocsPerRun(50, func() {
+		j.Emit(e)
+	})
+	// time.Time.Format accounts for the only steady-state allocation; keep
+	// the bound tight so encoder regressions surface.
+	if allocs > 2 {
+		t.Fatalf("steady-state Emit allocates %.1f objects, want <= 2", allocs)
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// RoundSummary aggregates one detection round's events.
+type RoundSummary struct {
+	Round      int
+	K          float64       // winning sweep ratio
+	Acceptance float64       // winning cut's aggregate acceptance
+	Suspects   int           // detected group size (0 on a terminating round)
+	Solves     int           // KL solves run by the round's sweep
+	Passes     int           // KL passes across those solves
+	Nodes      int           // residual-graph nodes the round started from
+	SweepDur   time.Duration // the k-grid sweep
+	PruneDur   time.Duration // residual pruning
+	Dur        time.Duration // whole round
+}
+
+// Summary is a Tracer that folds the event stream into per-round rows and
+// per-phase wall-clock attribution — the `-v` table of cmd/rejecto and
+// the freeze/sweep/prune breakdown EXPERIMENTS.md reports for the traced
+// Table II rerun. It is safe for concurrent Emit and may be read at any
+// time, including after an interrupted run: whatever rounds completed are
+// fully accounted for, which is what makes the SIGINT partial-results
+// path of cmd/rejecto useful.
+type Summary struct {
+	mu     sync.Mutex
+	rounds []RoundSummary
+	freeze time.Duration
+	detect time.Duration
+
+	rpcCalls int
+	rpcDur   time.Duration
+
+	done   bool
+	reason string // early-stop reason from detect.done, if any
+}
+
+// NewSummary returns an empty Summary.
+func NewSummary() *Summary { return &Summary{} }
+
+// Emit folds e into the aggregate.
+func (s *Summary) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch e.Name {
+	case EvFreeze:
+		s.freeze += e.Dur
+	case EvRoundStart:
+		r := s.round(e.Round)
+		r.Nodes = e.Nodes
+	case EvSolveDone:
+		if e.Round == 0 {
+			return // standalone sweep outside a detection
+		}
+		r := s.round(e.Round)
+		r.Solves++
+		r.Passes += e.Passes
+	case EvSweepDone:
+		if e.Round == 0 {
+			return
+		}
+		r := s.round(e.Round)
+		r.SweepDur += e.Dur
+	case EvPrune:
+		r := s.round(e.Round)
+		r.PruneDur += e.Dur
+	case EvRoundDone:
+		r := s.round(e.Round)
+		r.K = e.K
+		r.Acceptance = e.Acceptance
+		r.Suspects = e.Suspects
+		r.Dur = e.Dur
+	case EvDetectDone:
+		s.done = true
+		s.reason = e.Detail
+		// Accumulate rather than assign: a summary observing several
+		// detections (e.g. the Table II size sweep) attributes phases
+		// against the combined wall clock.
+		s.detect += e.Dur
+	case EvDistRPC:
+		s.rpcCalls++
+		s.rpcDur += e.Dur
+	}
+}
+
+// round returns the row for the 1-based round, growing the slice as
+// needed. Callers hold s.mu.
+func (s *Summary) round(n int) *RoundSummary {
+	if n <= 0 {
+		n = 1
+	}
+	for len(s.rounds) < n {
+		s.rounds = append(s.rounds, RoundSummary{Round: len(s.rounds) + 1})
+	}
+	return &s.rounds[n-1]
+}
+
+// Rounds returns a copy of the per-round rows accumulated so far.
+func (s *Summary) Rounds() []RoundSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RoundSummary, len(s.rounds))
+	copy(out, s.rounds)
+	return out
+}
+
+// WriteTable renders the per-round summary table.
+func (s *Summary) WriteTable(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "%-6s %-8s %-10s %-9s %-7s %-7s %-8s %-10s %-10s\n",
+		"round", "nodes", "k", "accept", "solves", "passes", "group", "sweep", "total"); err != nil {
+		return err
+	}
+	for _, r := range s.rounds {
+		if _, err := fmt.Fprintf(w, "%-6d %-8d %-10.4f %-9.4f %-7d %-7d %-8d %-10s %-10s\n",
+			r.Round, r.Nodes, r.K, r.Acceptance, r.Solves, r.Passes, r.Suspects,
+			round(r.SweepDur), round(r.Dur)); err != nil {
+			return err
+		}
+	}
+	if s.done && s.reason != "" {
+		if _, err := fmt.Fprintf(w, "stopped: %s\n", s.reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePhases renders the wall-clock attribution across the pipeline's
+// phases: the up-front CSR freeze, the per-round sweeps, and the
+// per-round pruning (the remainder up to the detection duration is
+// bookkeeping: seed remapping, suspicion sorting, result assembly).
+func (s *Summary) WritePhases(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sweep, prune, rounds time.Duration
+	for _, r := range s.rounds {
+		sweep += r.SweepDur
+		prune += r.PruneDur
+		rounds += r.Dur
+	}
+	total := s.detect
+	if total == 0 { // interrupted before detect.done: best-effort total
+		total = s.freeze + rounds
+	}
+	pct := func(d time.Duration) string {
+		if total <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(d)/float64(total))
+	}
+	rows := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"freeze", s.freeze},
+		{"sweep", sweep},
+		{"prune", prune},
+		{"other", total - s.freeze - sweep - prune},
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-12s %-8s\n", "phase", "wall", "share"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if row.d < 0 {
+			row.d = 0
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-12s %-8s\n", row.name, round(row.d), pct(row.d)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-12s\n", "total", round(total)); err != nil {
+		return err
+	}
+	if s.rpcCalls > 0 {
+		if _, err := fmt.Fprintf(w, "rpc: %d calls, %s master-side\n", s.rpcCalls, round(s.rpcDur)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// round trims durations for display.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	}
+	return d.Round(time.Microsecond)
+}

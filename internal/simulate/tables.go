@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -77,6 +78,11 @@ type TableIIConfig struct {
 	LatencyPerCall time.Duration
 	// Seed drives the workload.
 	Seed uint64
+	// Tracer, when non-nil, observes every size point: graph load (the
+	// distributed freeze), per-round sweeps and solves, and the RPC spans
+	// of the cluster transport. Attributing wall time to freeze/sweep/
+	// prune across the Table II sweep is what this hook exists for.
+	Tracer obs.Tracer
 }
 
 // DefaultTableIIUserCounts returns a host-friendly sweep preserving the
@@ -133,12 +139,13 @@ func tableIIPoint(users int, cfg TableIIConfig) (TableIIRow, error) {
 
 	c := dist.NewLocalCluster(cfg.Workers, cfg.LatencyPerCall)
 	defer c.Close()
+	c.SetTracer(cfg.Tracer)
 	if err := c.LoadGraph(g, 4); err != nil {
 		return TableIIRow{}, err
 	}
 	before := c.IO()
 	dcfg := dist.DetectorConfig{
-		Cut:         core.CutOptions{Seeds: seeds, RandSeed: cfg.Seed},
+		Cut:         core.CutOptions{Seeds: seeds, RandSeed: cfg.Seed, Tracer: cfg.Tracer},
 		TargetCount: nFakes,
 		// Every KL pass scans all nodes, so an adjacency buffer smaller
 		// than the graph degenerates into full refetch per pass (LRU under

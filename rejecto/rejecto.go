@@ -35,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sybilrank"
 )
 
@@ -120,6 +121,50 @@ func Detect(g *Graph, opts DetectorOptions) (Detection, error) { return core.Det
 func DetectSharded(base *Graph, requests []TimedRequest, opts DetectorOptions) ([]IntervalDetection, error) {
 	return core.DetectSharded(base, requests, opts)
 }
+
+// Tracer receives structured pipeline events during detection. Set one on
+// CutOptions.Tracer (a DetectorOptions.Cut field) to observe detection
+// rounds, the k-grid sweep, and every KL solve; leave it nil — the default
+// — and tracing is disabled at zero cost: no events are built, no clocks
+// are read on the solve path, and the zero-allocation KL engine stays
+// allocation-free. Tracing never changes a detection's result.
+//
+// Implementations must be safe for concurrent use; the sweep emits from
+// its worker goroutines. See TraceEvent for the event taxonomy.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured trace event; see the internal obs package
+// documentation for the span taxonomy (detect.start … detect.done) and
+// field semantics. Slice fields alias solver memory and are only valid
+// during Emit.
+type TraceEvent = obs.Event
+
+// JSONLTracer is a Tracer that writes one JSON object per event — the
+// machine-readable trace sink behind cmd/rejecto's -trace flag. Call Flush
+// before reading the output.
+type JSONLTracer = obs.JSONLWriter
+
+// NewJSONLTracer returns a JSONLTracer emitting to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONL(w) }
+
+// TraceSummary is a Tracer that folds the event stream into per-round rows
+// and per-phase wall-clock attribution — the human-readable view behind
+// cmd/rejecto's -v flag. It may be read at any time, including after an
+// interrupted run.
+type TraceSummary = obs.Summary
+
+// NewTraceSummary returns an empty TraceSummary.
+func NewTraceSummary() *TraceSummary { return obs.NewSummary() }
+
+// MultiTracer fans events out to every non-nil tracer, e.g. a JSONL sink
+// plus a summary. It returns nil when none remain, preserving the
+// nil-disables-tracing contract.
+func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
+
+// ErrInterrupted is returned by Detect and DetectSharded when
+// DetectorOptions.Cancel fires; the accompanying Detection is a valid
+// partial result covering the rounds that completed.
+var ErrInterrupted = core.ErrInterrupted
 
 // SybilRankOptions parameterizes the companion SybilRank ranking.
 type SybilRankOptions = sybilrank.Options
