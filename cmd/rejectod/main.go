@@ -1,0 +1,192 @@
+// Command rejectod runs Rejecto as a long-lived online detection service:
+// it ingests friend-request lifecycle events over HTTP/JSON, journals every
+// answered request to an append-only log, periodically (and on demand) runs
+// the batch detection engine over a snapshot of that log, and serves the
+// latest suspects.
+//
+// Usage:
+//
+//	rejectod -graph base.txt [-listen :8080]
+//	         [-target 100 | -threshold 0.5] [-detect-every 30s]
+//	         [-journal events.log] [-queue 1024]
+//	         [-kmin 0.03125] [-kmax 32] [-seed 42]
+//	         [-trace run.jsonl] [-v] [-debug-addr :6060]
+//
+// Endpoints:
+//
+//	POST /v1/events      {"type":"accept","from":1,"to":2,"interval":0}
+//	                     (or an array); request|accept|reject|ignore.
+//	                     202 on enqueue; 429 + Retry-After on a full queue
+//	POST /v1/detect      run detection now, respond with the new epoch
+//	GET  /v1/suspects    last epoch's per-interval suspect sets
+//	GET  /v1/users/{id}  one user's stats and suspect status
+//	GET  /v1/stats       queue depth, counters, epoch summary
+//	GET  /healthz        liveness
+//
+// The server's state is a pure function of its journal: restarting with the
+// same -journal file recovers exactly, and `rejecto -graph base.txt
+// -requests events.log` reproduces the server's suspect sets byte for byte.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, any running
+// detection is interrupted between rounds, the ingest queue drains, the
+// journal and trace flush, and the process exits 0 — or 130 when a
+// detection round was interrupted, mirroring cmd/rejecto.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphio"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+// run carries the whole command so deferred cleanups (trace flush, journal
+// close via Shutdown) execute before the process exits.
+func run() int {
+	var (
+		graphPath   = flag.String("graph", "", "path to the friendship base graph (required)")
+		listen      = flag.String("listen", ":8080", "HTTP listen address")
+		target      = flag.Int("target", 0, "per-interval estimated spammer count (termination condition)")
+		threshold   = flag.Float64("threshold", 0, "acceptance-rate termination threshold, e.g. 0.5")
+		detectEvery = flag.Duration("detect-every", 0, "run detection on this period (0 disables; POST /v1/detect always works)")
+		journal     = flag.String("journal", "", "append answered requests to this file; recovers state from it on start")
+		queueSize   = flag.Int("queue", 1024, "ingest queue bound; a full queue answers 429")
+		kmin        = flag.Float64("kmin", 0, "minimum friends-to-rejections ratio in the sweep")
+		kmax        = flag.Float64("kmax", 0, "maximum friends-to-rejections ratio in the sweep")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		tracePath   = flag.String("trace", "", "write a JSONL event trace of every detection to this file")
+		verbose     = flag.Bool("v", false, "print a per-round summary table after each detection epoch")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar and pprof on this address, e.g. :6060")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		return 2
+	}
+	if *target == 0 && *threshold == 0 {
+		return fail("need -target or -threshold as a termination condition")
+	}
+
+	if *debugAddr != "" {
+		// The default mux carries /debug/pprof/ (blank import above) and
+		// /debug/vars (expvar via package obs); the rejecto.* and
+		// rejecto.server.* counters appear there as the pipeline runs.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rejectod: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug server: http://%s/debug/vars and http://%s/debug/pprof/\n", *debugAddr, *debugAddr)
+	}
+
+	g, err := graphio.ReadAny(*graphPath)
+	if err != nil {
+		return fail("reading graph: %v", err)
+	}
+	fmt.Printf("loaded %s: %d users, %d friendships, %d rejections\n",
+		*graphPath, g.NumNodes(), g.NumFriendships(), g.NumRejections())
+
+	// Tracer stack: JSONL sink, human summary, or both — same assembly as
+	// cmd/rejecto, but long-lived across every detection epoch.
+	var tracers []obs.Tracer
+	var jsonl *obs.JSONLWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fail("creating trace file: %v", err)
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		defer func() {
+			if err := jsonl.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "rejectod: flushing trace: %v\n", err)
+			}
+		}()
+		tracers = append(tracers, jsonl)
+	}
+	var summary *obs.Summary
+	if *verbose {
+		summary = obs.NewSummary()
+		tracers = append(tracers, summary)
+	}
+
+	srv, err := server.New(server.Config{
+		Base: g,
+		Detector: core.DetectorOptions{
+			Cut:                 core.CutOptions{KMin: *kmin, KMax: *kmax, RandSeed: *seed},
+			TargetCount:         *target,
+			AcceptanceThreshold: *threshold,
+		},
+		DetectEvery: *detectEvery,
+		QueueSize:   *queueSize,
+		JournalPath: *journal,
+		Tracer:      obs.Multi(tracers...),
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	if ep := srv.CurrentEpoch(); ep.Events > 0 {
+		fmt.Printf("recovered %d answered requests from %s\n", ep.Events, *journal)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fail("listening: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("rejectod listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("rejectod: shutting down")
+	case err := <-serveErr:
+		return fail("serving: %v", err)
+	}
+
+	// Drain order matters: stop the listener first so no new events race
+	// the queue drain, then let the server interrupt detection, drain the
+	// queue, and flush the journal.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rejectod: http shutdown: %v\n", err)
+	}
+	interrupted, err := srv.Shutdown(shutdownCtx)
+	if err != nil {
+		return fail("shutdown: %v", err)
+	}
+	if summary != nil {
+		summary.WriteTable(os.Stdout)
+		fmt.Println()
+		summary.WritePhases(os.Stdout)
+	}
+	if interrupted {
+		fmt.Println("rejectod: a detection round was interrupted; its completed prefix was published")
+		return 130
+	}
+	fmt.Println("rejectod: drained cleanly")
+	return 0
+}
+
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "rejectod: "+format+"\n", args...)
+	return 1
+}

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/server"
+)
+
+// buildBinary compiles rejectod once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rejectod")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building rejectod: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeBaseGraph persists a small friendship base for the daemon to load.
+func writeBaseGraph(t *testing.T, dir string, n int) string {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%n))
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+9)%n))
+	}
+	path := filepath.Join(dir, "base.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// daemon wraps a running rejectod process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu     sync.Mutex
+	output bytes.Buffer // guarded: the scanner goroutine appends while tests read
+}
+
+func (d *daemon) appendOutput(line string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.output.WriteString(line + "\n")
+}
+
+func (d *daemon) outputString() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.output.String()
+}
+
+// startDaemon launches rejectod and waits for its listen line.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append(args, "-listen", "127.0.0.1:0")...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout // single interleaved stream is fine for tests
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			d.appendOutput(line)
+			if rest, ok := strings.CutPrefix(line, "rejectod listening on "); ok {
+				select {
+				case addrc <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case d.addr = <-addrc:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("rejectod never announced its listen address; output:\n%s", d.outputString())
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return d
+}
+
+// terminate sends SIGTERM and returns the exit code.
+func (d *daemon) terminate(t *testing.T) int {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("waiting for rejectod: %v", err)
+	case <-time.After(60 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("rejectod did not exit after SIGTERM; output:\n%s", d.outputString())
+	}
+	return -1
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+func postBody(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestGracefulShutdownExitsZero is the happy-path e2e: ingest a workload over
+// HTTP, run a detection, SIGTERM — the daemon drains, flushes its journal and
+// trace, and exits 0; the journal then replays to the served suspect sets.
+func TestGracefulShutdownExitsZero(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	base := writeBaseGraph(t, dir, 60)
+	journal := filepath.Join(dir, "events.log")
+	trace := filepath.Join(dir, "run.jsonl")
+
+	d := startDaemon(t, bin, "-graph", base, "-threshold", "0.5", "-seed", "3",
+		"-journal", journal, "-trace", trace)
+
+	var events []server.Event
+	for i := 0; i < 30; i++ {
+		from := graph.NodeID(i % 10)
+		to := graph.NodeID(10 + (i+3)%50)
+		events = append(events, server.Event{Type: server.EvRequest, From: from, To: to, Interval: 0})
+		typ := server.EvReject
+		if i%5 == 0 {
+			typ = server.EvAccept
+		}
+		events = append(events, server.Event{Type: typ, From: from, To: to, Interval: 0})
+	}
+	body, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postBody(t, d.url("/v1/events"), body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/events = %d", resp.StatusCode)
+	}
+
+	resp = postBody(t, d.url("/v1/detect"), []byte("{}"))
+	var ep struct {
+		Epoch     int64 `json:"epoch"`
+		Events    int   `json:"events"`
+		Intervals []struct {
+			Interval int            `json:"interval"`
+			Suspects []graph.NodeID `json:"suspects"`
+		} `json:"intervals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ep.Epoch < 1 || ep.Events != len(events)/2 {
+		t.Fatalf("detect epoch %d over %d events, want >=1 over %d", ep.Epoch, ep.Events, len(events)/2)
+	}
+
+	if code := d.terminate(t); code != 0 {
+		t.Fatalf("clean shutdown exited %d; output:\n%s", code, d.outputString())
+	}
+	if !strings.Contains(d.outputString(), "drained cleanly") {
+		t.Fatalf("missing drain confirmation; output:\n%s", d.outputString())
+	}
+
+	// The flushed journal replays to the suspect sets the daemon served.
+	logged, err := graphio.ReadRequestsFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := server.EventsToRequests(events); !reflect.DeepEqual(logged, want) {
+		t.Fatalf("journal holds %d requests, want %d", len(logged), len(want))
+	}
+	g, err := graphio.ReadAny(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := core.DetectSharded(g, logged, core.DetectorOptions{
+		Cut:                 core.CutOptions{RandSeed: 3},
+		AcceptanceThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(ep.Intervals) {
+		t.Fatalf("batch replay found %d intervals, daemon served %d", len(batch), len(ep.Intervals))
+	}
+	for i := range batch {
+		if !reflect.DeepEqual(batch[i].Detection.Suspects, ep.Intervals[i].Suspects) {
+			t.Fatalf("interval %d: batch replay suspects %v, daemon served %v",
+				batch[i].Interval, batch[i].Detection.Suspects, ep.Intervals[i].Suspects)
+		}
+	}
+
+	// The trace must be valid JSONL with at least one sweep event.
+	traceData, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, line := range bytes.Split(traceData, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			t.Fatalf("trace line is not valid JSON: %q", line)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("trace file is empty after a detection ran")
+	}
+}
+
+// TestInterruptedDetectionExits130: a daemon terminated mid-detection must
+// interrupt it between rounds, still drain, and exit 130 — the same
+// convention as cmd/rejecto.
+func TestInterruptedDetectionExits130(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	base := writeBaseGraph(t, dir, 80)
+
+	// Pre-write a journal with enough rejection-bearing intervals that a
+	// detection over it takes long enough to be caught in flight.
+	journal := filepath.Join(dir, "events.log")
+	var reqs []core.TimedRequest
+	for iv := 0; iv < 2000; iv++ {
+		for k := 0; k < 10; k++ {
+			reqs = append(reqs, core.TimedRequest{
+				From:     graph.NodeID(k),
+				To:       graph.NodeID(20 + (iv+k*7)%60),
+				Accepted: false,
+				Interval: iv,
+			})
+		}
+	}
+	if err := graphio.WriteRequestsFile(journal, reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Periodic detection (rather than POST /v1/detect) so no HTTP request
+	// hangs on the running detection during shutdown.
+	d := startDaemon(t, bin, "-graph", base, "-threshold", "0.5", "-seed", "3",
+		"-journal", journal, "-detect-every", "50ms")
+	if !strings.Contains(d.outputString(), "recovered") {
+		t.Fatalf("daemon did not recover the journal; output:\n%s", d.outputString())
+	}
+
+	// Wait until a detection is genuinely in flight.
+	deadline := time.Now().Add(30 * time.Second)
+	inflight := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.url("/v1/stats"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			DetectInflight bool `json:"detect_inflight"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DetectInflight {
+			inflight = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !inflight {
+		t.Fatalf("no detection went in flight; output:\n%s", d.outputString())
+	}
+
+	if code := d.terminate(t); code != 130 {
+		t.Fatalf("interrupted shutdown exited %d, want 130; output:\n%s", code, d.outputString())
+	}
+	if !strings.Contains(d.outputString(), "interrupted") {
+		t.Fatalf("missing interruption notice; output:\n%s", d.outputString())
+	}
+}

@@ -1,0 +1,62 @@
+package cache
+
+import "sync"
+
+// Locked is a mutex-guarded LRU, safe for concurrent use. The rejectod
+// service memoizes hot per-user lookup responses through one: many HTTP
+// readers share the cache while detection epochs roll underneath (entries
+// are keyed by epoch, so a new epoch naturally evicts the old epoch's
+// entries as fresh keys displace them).
+type Locked[K comparable, V any] struct {
+	mu  sync.Mutex
+	lru *LRU[K, V]
+}
+
+// NewLocked returns a concurrency-safe LRU holding at most capacity
+// entries. It panics if capacity is not positive.
+func NewLocked[K comparable, V any](capacity int) *Locked[K, V] {
+	return &Locked[K, V]{lru: NewLRU[K, V](capacity)}
+}
+
+// Get returns the value for key and marks it most recently used.
+func (c *Locked[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Get(key)
+}
+
+// Add inserts or updates key, evicting the least-recently-used entry if the
+// cache is full. It reports whether an eviction occurred.
+func (c *Locked[K, V]) Add(key K, value V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Add(key, value)
+}
+
+// Remove deletes key, reporting whether it was present.
+func (c *Locked[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Remove(key)
+}
+
+// Len reports the number of cached entries.
+func (c *Locked[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Clear removes all entries.
+func (c *Locked[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Clear()
+}
+
+// Stats returns the cumulative hit and miss counts observed by Get.
+func (c *Locked[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Stats()
+}

@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLockedBasics(t *testing.T) {
+	c := NewLocked[int, string](2)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if evicted := c.Add(3, "c"); !evicted {
+		t.Fatal("expected eviction at capacity")
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 should have been evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+	if !c.Remove(3) || c.Remove(3) {
+		t.Fatal("Remove(3) should succeed exactly once")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("Clear left entries behind")
+	}
+}
+
+// TestLockedConcurrent hammers one cache from many goroutines; run under
+// -race this is the concurrency contract check.
+func TestLockedConcurrent(t *testing.T) {
+	c := NewLocked[int, int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (w*31 + i) % 128
+				if i%3 == 0 {
+					c.Add(k, i)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache overflowed capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomOracleGraph builds a small random graph with at least one rejection,
+// so a valid MAAR cut always exists.
+func randomOracleGraph(r *rand.Rand) *graph.Graph {
+	n := 4 + r.IntN(9) // 4..12 nodes: 2^12 bipartitions stay enumerable
+	g := graph.New(n)
+	pF := 0.15 + 0.35*r.Float64()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < pF {
+				g.AddFriendship(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	for i, m := 0, 1+r.IntN(2*n); i < m; i++ {
+		u, v := r.IntN(n), r.IntN(n)
+		if u != v {
+			g.AddRejection(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	if g.NumRejections() == 0 {
+		g.AddRejection(0, 1)
+	}
+	return g
+}
+
+// oracleMAAR finds the true minimum aggregate acceptance rate by exhaustive
+// enumeration of every nontrivial bipartition, applying exactly the validity
+// rule the sweep uses with no seeds: a candidate must direct at least one
+// rejection into its suspect region. Feasible only for n ≤ ~20.
+func oracleMAAR(g *graph.Graph) (best float64, found bool) {
+	n := g.NumNodes()
+	p := graph.NewPartition(n)
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		for u := 0; u < n; u++ {
+			if mask>>u&1 == 1 {
+				p[u] = graph.Suspect
+			} else {
+				p[u] = graph.Legit
+			}
+		}
+		s := p.Stats(g)
+		if s.Trivial() || s.RejIntoSuspect == 0 {
+			continue
+		}
+		if acc := s.AcceptanceOfSuspect(); !found || acc < best {
+			best, found = acc, true
+		}
+	}
+	return best, found
+}
+
+// TestFindMAARCutAgainstOracle drives the k-sweep heuristic against the
+// exhaustive oracle on 250 random graphs. The sweep is a heuristic (KL from
+// a few starts), so it may terminate above the true minimum — but it must
+// NEVER report an acceptance below it (that would mean its arithmetic is
+// wrong), its reported statistics must be honest (recomputable from the
+// returned partition), and its optimality gap must stay small. The run is
+// fully deterministic given the seeds, so the bounds asserted at the bottom
+// are stable, not flaky.
+func TestFindMAARCutAgainstOracle(t *testing.T) {
+	const graphs = 250
+	r := rand.New(rand.NewPCG(7, 31))
+
+	exact, missed := 0, 0
+	worstGap, sumGap := 0.0, 0.0
+	for i := 0; i < graphs; i++ {
+		g := randomOracleGraph(r)
+		want, ok := oracleMAAR(g)
+		if !ok {
+			t.Fatalf("graph %d: oracle found no valid cut despite %d rejections", i, g.NumRejections())
+		}
+		opts := CutOptions{Restarts: 3, RandSeed: uint64(1000 + i)}
+		cut, hok := FindMAARCut(g, opts)
+		fcut, fok := FindMAARCutFrozen(g.Freeze(), opts)
+		if hok != fok || (hok && cut.Acceptance != fcut.Acceptance) {
+			t.Fatalf("graph %d: FindMAARCut (%v, %v) and FindMAARCutFrozen (%v, %v) disagree",
+				i, cut.Acceptance, hok, fcut.Acceptance, fok)
+		}
+		if !hok {
+			missed++
+			continue
+		}
+		// The returned statistics must be recomputable from the partition,
+		// and the cut must satisfy the same validity rule as the oracle.
+		s := cut.Partition.Stats(g)
+		if s != cut.Stats {
+			t.Fatalf("graph %d: reported stats %+v but partition yields %+v", i, cut.Stats, s)
+		}
+		if s.Trivial() || s.RejIntoSuspect == 0 {
+			t.Fatalf("graph %d: sweep returned an invalid cut: %+v", i, s)
+		}
+		if cut.Acceptance < want-1e-12 {
+			t.Fatalf("graph %d: sweep reported acceptance %.9f below the true minimum %.9f",
+				i, cut.Acceptance, want)
+		}
+		gap := cut.Acceptance - want
+		if gap <= 1e-12 {
+			exact++
+		} else {
+			sumGap += gap
+			if gap > worstGap {
+				worstGap = gap
+			}
+		}
+	}
+
+	t.Logf("oracle comparison over %d graphs: %d exact, %d missed, worst gap %.4f, mean gap over non-exact %.4f",
+		graphs, exact, missed, worstGap, sumGap/float64(max(1, graphs-exact-missed)))
+	if missed > 0 {
+		t.Errorf("sweep found no cut on %d graphs where the oracle did", missed)
+	}
+	// Documented heuristic-vs-optimal behavior (deterministic given seeds):
+	// the sweep hits the true minimum on the overwhelming majority of small
+	// graphs, and when it misses, it is never far off.
+	if exact < graphs*9/10 {
+		t.Errorf("sweep matched the oracle on only %d/%d graphs, want >= 90%%", exact, graphs)
+	}
+	if worstGap > 0.25 {
+		t.Errorf("worst heuristic-vs-optimal gap %.4f exceeds 0.25", worstGap)
+	}
+}

@@ -72,6 +72,13 @@ func DetectSharded(base *graph.Graph, requests []TimedRequest, opts DetectorOpti
 // buildInterval overlays one shard's requests on the friendship base:
 // accepted requests become OSN links, rejected ones become rejection edges
 // ⟨target, sender⟩.
+//
+// The overlay is canonicalized (adjacency sorted) before detection, so the
+// interval's result depends only on the *set* of answered requests, not on
+// the order they were logged in. That is what lets the online service
+// (internal/server) ingest from concurrent writers and still reproduce the
+// batch result byte-for-byte when the log is replayed in any
+// per-edge-order-preserving permutation.
 func buildInterval(base *graph.Graph, reqs []TimedRequest) *graph.Graph {
 	aug := base.Clone()
 	for _, req := range reqs {
@@ -83,5 +90,6 @@ func buildInterval(base *graph.Graph, reqs []TimedRequest) *graph.Graph {
 			aug.AddRejection(req.To, req.From)
 		}
 	}
+	aug.Canonicalize()
 	return aug
 }

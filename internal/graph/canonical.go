@@ -1,0 +1,44 @@
+package graph
+
+import "slices"
+
+// Canonicalize sorts every adjacency list — friends, incoming rejections,
+// outgoing rejections — into ascending neighbour order.
+//
+// A Graph normally preserves insertion order, and order-sensitive consumers
+// (extended KL's tie-breaking) inherit it, so two graphs holding the same
+// edge *sets* can still produce different cuts if their edges arrived
+// interleaved differently. Canonicalize erases that history: after the
+// call, the graph's layout — and therefore every downstream detection — is
+// a pure function of the edge sets. The online ingest path leans on this:
+// core.DetectSharded canonicalizes each interval graph so that detection
+// over a request log is invariant under any reordering of the log that
+// preserves its per-edge semantics (concurrent writers racing to ingest).
+//
+// Canonicalize mutates g in place and is idempotent.
+func (g *Graph) Canonicalize() {
+	for u := range g.friends {
+		sortIDs(g.friends[u])
+		sortIDs(g.rejIn[u])
+		sortIDs(g.rejOut[u])
+	}
+}
+
+// FreezeCanonical returns Freeze's CSR snapshot with every adjacency range
+// in canonical (ascending) order, without mutating g. Use it to snapshot a
+// graph whose insertion order is an artifact of arrival timing rather than
+// meaningful structure.
+func (g *Graph) FreezeCanonical() *Frozen {
+	f := g.Freeze()
+	n := f.NumNodes()
+	for u := 0; u < n; u++ {
+		sortIDs(f.friendDst[f.friendOff[u]:f.friendOff[u+1]])
+		sortIDs(f.rejInSrc[f.rejInOff[u]:f.rejInOff[u+1]])
+		sortIDs(f.rejOutDst[f.rejOutOff[u]:f.rejOutOff[u+1]])
+	}
+	return f
+}
+
+func sortIDs(ids []NodeID) {
+	slices.Sort(ids)
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// shuffledEdgeGraph builds two graphs with identical edge sets inserted in
+// different orders.
+func shuffledEdgeGraphs(t *testing.T, r *rand.Rand, n, friendships, rejections int) (*Graph, *Graph) {
+	t.Helper()
+	type edge struct{ u, v NodeID }
+	var fr, rej []edge
+	g1 := New(n)
+	for len(fr) < friendships {
+		u, v := NodeID(r.IntN(n)), NodeID(r.IntN(n))
+		if u != v && g1.AddFriendship(u, v) {
+			fr = append(fr, edge{u, v})
+		}
+	}
+	for len(rej) < rejections {
+		u, v := NodeID(r.IntN(n)), NodeID(r.IntN(n))
+		if u != v && g1.AddRejection(u, v) {
+			rej = append(rej, edge{u, v})
+		}
+	}
+	g2 := New(n)
+	r.Shuffle(len(fr), func(i, j int) { fr[i], fr[j] = fr[j], fr[i] })
+	r.Shuffle(len(rej), func(i, j int) { rej[i], rej[j] = rej[j], rej[i] })
+	for _, e := range fr {
+		g2.AddFriendship(e.u, e.v)
+	}
+	for _, e := range rej {
+		g2.AddRejection(e.u, e.v)
+	}
+	return g1, g2
+}
+
+func assertSortedAdjacency(t *testing.T, g *Graph) {
+	t.Helper()
+	for u := 0; u < g.NumNodes(); u++ {
+		id := NodeID(u)
+		if !slices.IsSorted(g.Friends(id)) {
+			t.Fatalf("friends of %d not sorted: %v", u, g.Friends(id))
+		}
+		if !slices.IsSorted(g.Rejecters(id)) {
+			t.Fatalf("rejecters of %d not sorted: %v", u, g.Rejecters(id))
+		}
+		if !slices.IsSorted(g.Rejected(id)) {
+			t.Fatalf("rejected of %d not sorted: %v", u, g.Rejected(id))
+		}
+	}
+}
+
+func TestCanonicalizeErasesInsertionOrder(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 23))
+	g1, g2 := shuffledEdgeGraphs(t, r, 40, 120, 60)
+	g1.Canonicalize()
+	g2.Canonicalize()
+	assertSortedAdjacency(t, g1)
+	assertSortedAdjacency(t, g2)
+	if !reflect.DeepEqual(g1, g2) {
+		t.Fatal("canonicalized graphs with equal edge sets differ")
+	}
+	// Idempotent.
+	clone := g1.Clone()
+	g1.Canonicalize()
+	if !reflect.DeepEqual(g1, clone) {
+		t.Fatal("Canonicalize is not idempotent")
+	}
+}
+
+func TestCanonicalizePreservesCounts(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 9))
+	g, _ := shuffledEdgeGraphs(t, r, 25, 50, 30)
+	nf, nr := g.NumFriendships(), g.NumRejections()
+	g.Canonicalize()
+	if g.NumFriendships() != nf || g.NumRejections() != nr {
+		t.Fatalf("edge counts changed: %d/%d → %d/%d", nf, nr, g.NumFriendships(), g.NumRejections())
+	}
+}
+
+func TestFreezeCanonicalMatchesCanonicalizeThenFreeze(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 31))
+	g1, g2 := shuffledEdgeGraphs(t, r, 30, 80, 40)
+
+	// FreezeCanonical must not mutate its receiver.
+	before := g1.Clone()
+	f1 := g1.FreezeCanonical()
+	if !reflect.DeepEqual(g1, before) {
+		t.Fatal("FreezeCanonical mutated the source graph")
+	}
+
+	g2.Canonicalize()
+	f2 := g2.Freeze()
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("FreezeCanonical differs from Canonicalize+Freeze on the same edge set")
+	}
+}

@@ -63,6 +63,41 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzReadRequests checks that arbitrary request-log text never panics the
+// parser and that every accepted request satisfies the NodeID bounds the
+// rest of the pipeline assumes (graph adjacency code panics on negative
+// IDs, so silent int64→int32 truncation here would be a remote crash).
+func FuzzReadRequests(f *testing.F) {
+	f.Add("# interval from to accepted\n0 1 2 1\n")
+	f.Add("0 2147483648 1 1\n")
+	f.Add("0 99999999999 1 0\n")
+	f.Add("-1 0 1 0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		reqs, err := ReadRequests(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, req := range reqs {
+			if req.From < 0 || req.To < 0 {
+				t.Fatalf("request %d carries negative node ID: %+v", i, req)
+			}
+		}
+		// Whatever parses must survive a write/read round trip.
+		var sb strings.Builder
+		if err := WriteRequests(&sb, reqs); err != nil {
+			t.Fatalf("accepted log failed to serialize: %v", err)
+		}
+		again, err := ReadRequests(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip of accepted log failed: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip changed request count: %d → %d", len(reqs), len(again))
+		}
+	})
+}
+
 func mustTinyGraph() *graph.Graph {
 	g := graph.New(4)
 	g.AddFriendship(0, 1)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -13,29 +14,61 @@ import (
 )
 
 // Request-log text format, consumed by the §VII sharded deployment
-// (core.DetectSharded and `rejecto -requests`):
+// (core.DetectSharded and `rejecto -requests`) and written as the
+// append-only event journal of the rejectod service (internal/server):
 //
 //	# comment
 //	<interval> <from> <to> <accepted: 0|1>
 //
 // one line per answered friend request, whitespace-separated.
 
+// A JournalWriter appends answered friend requests to a request log one at
+// a time — the incremental counterpart of WriteRequests, used by the
+// rejectod service to journal each ingested event. Writes are buffered;
+// callers own flush policy via Flush. A JournalWriter is not safe for
+// concurrent use.
+type JournalWriter struct {
+	bw *bufio.Writer
+}
+
+// NewJournalWriter returns a JournalWriter appending to w. No header is
+// written: call WriteHeader when starting a fresh log (a log opened for
+// append already has one).
+func NewJournalWriter(w io.Writer) *JournalWriter {
+	return &JournalWriter{bw: bufio.NewWriter(w)}
+}
+
+// WriteHeader writes the log's comment header.
+func (jw *JournalWriter) WriteHeader() error {
+	_, err := fmt.Fprintln(jw.bw, "# interval from to accepted")
+	return err
+}
+
+// Append writes one answered request.
+func (jw *JournalWriter) Append(req core.TimedRequest) error {
+	accepted := 0
+	if req.Accepted {
+		accepted = 1
+	}
+	_, err := fmt.Fprintf(jw.bw, "%d %d %d %d\n", req.Interval, req.From, req.To, accepted)
+	return err
+}
+
+// Flush writes buffered log lines to the underlying writer.
+func (jw *JournalWriter) Flush() error { return jw.bw.Flush() }
+
 // WriteRequests serializes a request log.
 func WriteRequests(w io.Writer, reqs []core.TimedRequest) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "# interval from to accepted"); err != nil {
+	jw := NewJournalWriter(w)
+	if err := jw.WriteHeader(); err != nil {
 		return err
 	}
 	for _, req := range reqs {
-		accepted := 0
-		if req.Accepted {
-			accepted = 1
-		}
-		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", req.Interval, req.From, req.To, accepted); err != nil {
+		if err := jw.Append(req); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return jw.Flush()
 }
 
 // ReadRequests parses a request log.
@@ -65,10 +98,22 @@ func ReadRequests(r io.Reader) ([]core.TimedRequest, error) {
 		if vals[3] != 0 && vals[3] != 1 {
 			return nil, fmt.Errorf("graphio: requests line %d: accepted flag %d not 0/1", lineNo, vals[3])
 		}
+		// NodeID is int32; a raw int64 conversion would silently truncate
+		// (possibly to a negative ID that panics adjacency code downstream),
+		// so out-of-range IDs and intervals are parse errors.
+		if vals[0] < math.MinInt32 || vals[0] > math.MaxInt32 {
+			return nil, fmt.Errorf("graphio: requests line %d: interval %d out of range", lineNo, vals[0])
+		}
+		if vals[1] < 0 || vals[1] > math.MaxInt32 {
+			return nil, fmt.Errorf("graphio: requests line %d: node ID %d out of range", lineNo, vals[1])
+		}
+		if vals[2] < 0 || vals[2] > math.MaxInt32 {
+			return nil, fmt.Errorf("graphio: requests line %d: node ID %d out of range", lineNo, vals[2])
+		}
 		out = append(out, core.TimedRequest{
 			Interval: int(vals[0]),
-			From:     int32ID(vals[1]),
-			To:       int32ID(vals[2]),
+			From:     graph.NodeID(vals[1]),
+			To:       graph.NodeID(vals[2]),
 			Accepted: vals[3] == 1,
 		})
 	}
@@ -104,8 +149,4 @@ func WriteRequestsFile(path string, reqs []core.TimedRequest) (err error) {
 		}
 	}()
 	return WriteRequests(f, reqs)
-}
-
-func int32ID(v int64) graph.NodeID {
-	return graph.NodeID(v)
 }

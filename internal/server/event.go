@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Event is one friend-request lifecycle event (§II of the paper, Fig 1):
+// a user sends a request, and the recipient accepts, rejects, or ignores
+// it. From is always the request's sender and To its recipient; the Type
+// describes what the recipient did. The paper treats an ignored request as
+// a soft rejection, and so does the server: reject and ignore both become
+// a rejection edge ⟨To, From⟩ on the augmented graph.
+type Event struct {
+	// Type is one of "request", "accept", "reject", "ignore".
+	Type string `json:"type"`
+	// From is the user that sent the friend request, To its recipient.
+	From graph.NodeID `json:"from"`
+	To   graph.NodeID `json:"to"`
+	// Interval is the detection time interval the event belongs to (§VII);
+	// requests answered in interval i are detected against interval i's
+	// shard.
+	Interval int `json:"interval"`
+}
+
+// Lifecycle event types.
+const (
+	EvRequest = "request"
+	EvAccept  = "accept"
+	EvReject  = "reject"
+	EvIgnore  = "ignore"
+)
+
+// eventWire is the decode target: int64 fields so that out-of-range IDs
+// are caught by validation instead of being silently truncated to int32.
+type eventWire struct {
+	Type     string `json:"type"`
+	From     int64  `json:"from"`
+	To       int64  `json:"to"`
+	Interval int64  `json:"interval"`
+}
+
+func (w eventWire) check() (Event, error) {
+	switch w.Type {
+	case EvRequest, EvAccept, EvReject, EvIgnore:
+	default:
+		return Event{}, fmt.Errorf("server: unknown event type %q", w.Type)
+	}
+	if w.From < 0 || w.From > math.MaxInt32 {
+		return Event{}, fmt.Errorf("server: event %s: node ID %d out of range", w.Type, w.From)
+	}
+	if w.To < 0 || w.To > math.MaxInt32 {
+		return Event{}, fmt.Errorf("server: event %s: node ID %d out of range", w.Type, w.To)
+	}
+	if w.From == w.To {
+		return Event{}, fmt.Errorf("server: event %s: self-request at node %d", w.Type, w.From)
+	}
+	if w.Interval < 0 || w.Interval > math.MaxInt32 {
+		return Event{}, fmt.Errorf("server: event %s: interval %d out of range", w.Type, w.Interval)
+	}
+	return Event{
+		Type:     w.Type,
+		From:     graph.NodeID(w.From),
+		To:       graph.NodeID(w.To),
+		Interval: int(w.Interval),
+	}, nil
+}
+
+// ParseEvents decodes the body of a POST /v1/events request: either a
+// single JSON event object or a JSON array of them. Every decoded event is
+// structurally validated (known type, int32-range node IDs, no
+// self-requests, non-negative interval); node IDs are NOT checked against
+// any particular graph — the server does that at ingest time.
+func ParseEvents(data []byte) ([]Event, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("server: empty event body")
+	}
+	var wires []eventWire
+	if trimmed[0] == '[' {
+		if err := strictUnmarshal(trimmed, &wires); err != nil {
+			return nil, fmt.Errorf("server: decoding event array: %w", err)
+		}
+	} else {
+		var w eventWire
+		if err := strictUnmarshal(trimmed, &w); err != nil {
+			return nil, fmt.Errorf("server: decoding event: %w", err)
+		}
+		wires = []eventWire{w}
+	}
+	events := make([]Event, 0, len(wires))
+	for i, w := range wires {
+		ev, err := w.check()
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// strictUnmarshal rejects trailing garbage after the JSON value, which
+// plain json.Unmarshal would too — but via a decoder so we can also keep
+// number decoding strict (no floats smuggled into ID fields).
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// pairKey identifies an ordered (sender, recipient) request pair.
+type pairKey struct{ from, to graph.NodeID }
+
+// lifecycle folds lifecycle events into the stream of answered requests.
+// A "request" event opens a pending entry; accept/reject/ignore events
+// answer it (tolerating answers with no recorded request, since an OSN may
+// backfill history) and emit one core.TimedRequest each. The fold is a
+// pure function of the event sequence — the property the replay harness
+// leans on: the server's ingest loop and the batch Replay path run this
+// exact code, so their answered-request logs are identical by
+// construction.
+type lifecycle struct {
+	pending map[pairKey]int
+}
+
+func newLifecycle() *lifecycle {
+	return &lifecycle{pending: make(map[pairKey]int)}
+}
+
+// apply folds one event, returning the answered request it produced, if
+// any.
+func (lc *lifecycle) apply(ev Event) (core.TimedRequest, bool) {
+	key := pairKey{ev.From, ev.To}
+	switch ev.Type {
+	case EvRequest:
+		lc.pending[key]++
+		return core.TimedRequest{}, false
+	default: // accept | reject | ignore — validated upstream
+		if n := lc.pending[key]; n > 1 {
+			lc.pending[key] = n - 1
+		} else if n == 1 {
+			delete(lc.pending, key)
+		}
+		return core.TimedRequest{
+			From:     ev.From,
+			To:       ev.To,
+			Accepted: ev.Type == EvAccept,
+			Interval: ev.Interval,
+		}, true
+	}
+}
+
+// pendingCount reports the number of outstanding unanswered requests.
+func (lc *lifecycle) pendingCount() int {
+	n := 0
+	for _, c := range lc.pending {
+		n += c
+	}
+	return n
+}
+
+// EventsToRequests folds a lifecycle event log into the answered-request
+// journal it produces, in log order. It is the pure-replay counterpart of
+// the server's ingest loop.
+func EventsToRequests(events []Event) []core.TimedRequest {
+	lc := newLifecycle()
+	var out []core.TimedRequest
+	for _, ev := range events {
+		if req, ok := lc.apply(ev); ok {
+			out = append(out, req)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzIngestEvent checks that arbitrary POST /v1/events bodies never panic
+// the decoder, that everything it accepts satisfies the invariants the rest
+// of the server assumes (known type, int32-range non-negative IDs, no
+// self-requests, non-negative interval), and that accepted events survive a
+// marshal/parse round trip and fold through the lifecycle without panicking.
+func FuzzIngestEvent(f *testing.F) {
+	// Valid shapes: single object, array, each lifecycle type.
+	f.Add([]byte(`{"type":"request","from":1,"to":2,"interval":0}`))
+	f.Add([]byte(`{"type":"accept","from":1,"to":2,"interval":3}`))
+	f.Add([]byte(`{"type":"reject","from":7,"to":4}`))
+	f.Add([]byte(`{"type":"ignore","from":0,"to":2147483647,"interval":2147483647}`))
+	f.Add([]byte(`[{"type":"request","from":1,"to":2},{"type":"accept","from":1,"to":2}]`))
+	f.Add([]byte(`[]`))
+	// Hostile shapes: the same classes the graphio corpus probes — overflow,
+	// negatives, truncation bait, trailing garbage, wrong JSON kinds.
+	f.Add([]byte(`{"type":"accept","from":2147483648,"to":1}`))
+	f.Add([]byte(`{"type":"accept","from":99999999999,"to":1}`))
+	f.Add([]byte(`{"type":"reject","from":-1,"to":2}`))
+	f.Add([]byte(`{"type":"accept","from":3,"to":3}`))
+	f.Add([]byte(`{"type":"reject","from":0,"to":1,"interval":-4}`))
+	f.Add([]byte(`{"type":"accept","from":0,"to":1} %`))
+	f.Add([]byte(`{"type":"accept","from":1.5,"to":2}`))
+	f.Add([]byte(`"accept"`))
+	f.Add([]byte(`[{"type":"accept","from":0,"to":1},`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ParseEvents(data)
+		if err != nil {
+			return
+		}
+		for i, ev := range events {
+			switch ev.Type {
+			case EvRequest, EvAccept, EvReject, EvIgnore:
+			default:
+				t.Fatalf("event %d accepted with unknown type %q", i, ev.Type)
+			}
+			if ev.From < 0 || ev.To < 0 || int64(ev.From) > math.MaxInt32 || int64(ev.To) > math.MaxInt32 {
+				t.Fatalf("event %d accepted with out-of-range node IDs: %+v", i, ev)
+			}
+			if ev.From == ev.To {
+				t.Fatalf("event %d accepted as a self-request: %+v", i, ev)
+			}
+			if ev.Interval < 0 {
+				t.Fatalf("event %d accepted with negative interval: %+v", i, ev)
+			}
+		}
+		// The lifecycle fold must not panic, and each answer event must
+		// emit exactly one answered request.
+		reqs := EventsToRequests(events)
+		answers := 0
+		for _, ev := range events {
+			if ev.Type != EvRequest {
+				answers++
+			}
+		}
+		if len(reqs) != answers {
+			t.Fatalf("fold emitted %d requests from %d answer events", len(reqs), answers)
+		}
+		// Accepted events round-trip through their own JSON encoding.
+		re, err := json.Marshal(events)
+		if err != nil {
+			t.Fatalf("accepted events failed to marshal: %v", err)
+		}
+		again, err := ParseEvents(re)
+		if err != nil && len(events) > 0 {
+			t.Fatalf("re-parsing marshaled events failed: %v", err)
+		}
+		if len(events) > 0 && len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d → %d", len(events), len(again))
+		}
+	})
+}

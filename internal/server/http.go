@@ -1,0 +1,262 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// maxEventBody bounds a POST /v1/events body; a full batch of ~64k events
+// fits comfortably.
+const maxEventBody = 8 << 20
+
+// routes assembles the service API:
+//
+//	POST /v1/events      ingest lifecycle events (object or array); 202 on
+//	                     enqueue, 429 + Retry-After on a full queue
+//	POST /v1/detect      run a detection now; responds when it completes
+//	GET  /v1/suspects    per-interval suspect sets of the last epoch
+//	GET  /v1/users/{id}  per-user stats + suspect status (memoized)
+//	GET  /v1/stats       queue/epoch/counter snapshot
+//	GET  /healthz        liveness
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/events", s.instrument("POST /v1/events", s.handleEvents))
+	mux.Handle("POST /v1/detect", s.instrument("POST /v1/detect", s.handleDetect))
+	mux.Handle("GET /v1/suspects", s.instrument("GET /v1/suspects", s.handleSuspects))
+	mux.Handle("GET /v1/users/{id}", s.instrument("GET /v1/users/{id}", s.handleUser))
+	mux.Handle("GET /v1/stats", s.instrument("GET /v1/stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// instrument wraps a handler with the per-endpoint request and latency
+// counters served at /debug/vars.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		obs.Server.HTTPRequests.Add(route, 1)
+		obs.Server.HTTPLatencyMS.AddFloat(route, float64(time.Since(start))/float64(time.Millisecond))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+type ingestReply struct {
+	Accepted int    `json:"accepted"`
+	Dropped  int    `json:"dropped,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleEvents decodes and enqueues lifecycle events. The whole batch is
+// validated before anything is enqueued; enqueueing is non-blocking — a
+// full queue answers 429 with Retry-After and reports how much of the
+// batch got in, so a well-behaved client retries only the tail.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEventBody))
+	if err != nil {
+		obs.Server.EventsRejected.Add(1)
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	events, err := ParseEvents(body)
+	if err != nil {
+		obs.Server.EventsRejected.Add(int64(max(1, len(events))))
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := graph.NodeID(s.base.NumNodes())
+	for i, ev := range events {
+		if ev.From >= n || ev.To >= n {
+			obs.Server.EventsRejected.Add(1)
+			writeError(w, http.StatusBadRequest,
+				"event %d references node outside the %d-node graph", i, n)
+			return
+		}
+	}
+	accepted := 0
+	for _, ev := range events {
+		select {
+		case s.queue <- ev:
+			obs.Server.QueueDepth.Add(1)
+			accepted++
+		default:
+			obs.Server.Backpressure429.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, ingestReply{
+				Accepted: accepted,
+				Dropped:  len(events) - accepted,
+				Error:    "ingest queue full",
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
+}
+
+type intervalReply struct {
+	Interval int            `json:"interval"`
+	Rounds   int            `json:"rounds"`
+	Suspects []graph.NodeID `json:"suspects"`
+}
+
+type epochReply struct {
+	Epoch       int64           `json:"epoch"`
+	Events      int             `json:"events"`
+	Interrupted bool            `json:"interrupted,omitempty"`
+	CompletedAt time.Time       `json:"completed_at"`
+	Intervals   []intervalReply `json:"intervals"`
+}
+
+func epochToReply(ep *Epoch) epochReply {
+	out := epochReply{
+		Epoch:       ep.Seq,
+		Events:      ep.Events,
+		Interrupted: ep.Interrupted,
+		CompletedAt: ep.CompletedAt,
+		Intervals:   make([]intervalReply, 0, len(ep.Intervals)),
+	}
+	for _, d := range ep.Intervals {
+		suspects := d.Detection.Suspects
+		if suspects == nil {
+			suspects = []graph.NodeID{}
+		}
+		out.Intervals = append(out.Intervals, intervalReply{
+			Interval: d.Interval,
+			Rounds:   d.Detection.Rounds,
+			Suspects: suspects,
+		})
+	}
+	return out
+}
+
+// handleDetect triggers a detection and responds with the epoch it
+// produced. Concurrent triggers serialize in the detector loop.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	ep, err := s.Detect(r.Context())
+	switch {
+	case err == ErrShuttingDown:
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case err != nil && ep == nil:
+		writeError(w, http.StatusInternalServerError, "detection: %v", err)
+	default:
+		// An interrupted detection still carries its completed prefix.
+		writeJSON(w, http.StatusOK, epochToReply(ep))
+	}
+}
+
+// handleSuspects serves the last completed detection.
+func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, epochToReply(s.epoch.Load()))
+}
+
+type userReply struct {
+	ID            graph.NodeID `json:"id"`
+	Epoch         int64        `json:"epoch"`
+	Degree        int          `json:"degree"`
+	InRejections  int          `json:"in_rejections"`
+	OutRejections int          `json:"out_rejections"`
+	Acceptance    float64      `json:"acceptance"`
+	Suspect       bool         `json:"suspect"`
+	Intervals     []int        `json:"intervals,omitempty"`
+}
+
+// handleUser serves one user's stats from the epoch's frozen snapshot,
+// memoized per (epoch, user) through the LRU so hot lookups skip both the
+// graph reads and the JSON encoding.
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil || id64 < 0 {
+		writeError(w, http.StatusBadRequest, "bad user ID %q", r.PathValue("id"))
+		return
+	}
+	u := graph.NodeID(id64)
+	ep := s.epoch.Load()
+	if int(u) >= ep.frozen.NumNodes() {
+		writeError(w, http.StatusNotFound, "user %d not in the %d-node graph", u, ep.frozen.NumNodes())
+		return
+	}
+	key := userKey{seq: ep.Seq, id: u}
+	if body, ok := s.users.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	intervals := ep.suspectIntervals[u]
+	reply := userReply{
+		ID:            u,
+		Epoch:         ep.Seq,
+		Degree:        ep.frozen.Degree(u),
+		InRejections:  ep.frozen.InRejections(u),
+		OutRejections: ep.frozen.OutRejections(u),
+		Acceptance:    ep.frozen.Acceptance(u),
+		Suspect:       len(intervals) > 0,
+		Intervals:     intervals,
+	}
+	body, err := json.Marshal(reply)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding user: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	s.users.Add(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+type statsReply struct {
+	Epoch          int64   `json:"epoch"`
+	EpochEvents    int     `json:"epoch_events"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	EventsIngested int64   `json:"events_ingested"`
+	EventsRejected int64   `json:"events_rejected"`
+	JournalEvents  int64   `json:"journal_events"`
+	Backpressure   int64   `json:"backpressure_429s"`
+	DetectEpochs   int64   `json:"detect_epochs"`
+	DetectInflight bool    `json:"detect_inflight"`
+	LastDetectMS   float64 `json:"last_detect_ms"`
+	CacheHits      uint64  `json:"user_cache_hits"`
+	CacheMisses    uint64  `json:"user_cache_misses"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ep := s.epoch.Load()
+	hits, misses := s.users.Stats()
+	writeJSON(w, http.StatusOK, statsReply{
+		Epoch:          ep.Seq,
+		EpochEvents:    ep.Events,
+		QueueDepth:     len(s.queue),
+		QueueCapacity:  cap(s.queue),
+		EventsIngested: obs.Server.EventsIngested.Value(),
+		EventsRejected: obs.Server.EventsRejected.Value(),
+		JournalEvents:  obs.Server.JournalEvents.Value(),
+		Backpressure:   obs.Server.Backpressure429.Value(),
+		DetectEpochs:   obs.Server.DetectEpochs.Value(),
+		DetectInflight: obs.Server.DetectInflight.Value() == 1,
+		LastDetectMS:   obs.Server.LastDetectMS.Value(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+	})
+}

@@ -1,0 +1,474 @@
+// Package server implements rejectod: a long-running HTTP/JSON service
+// that ingests the friend-request lifecycle (request / accept / reject /
+// ignore events, §II of the paper), journals every answered request to an
+// append-only log, and periodically — or on demand — runs the batch
+// detection engine over an immutable snapshot of that log, publishing each
+// completed detection as an atomically-swapped epoch that read endpoints
+// serve lock-free.
+//
+// # Architecture
+//
+// Three single-owner goroutines, no shared mutable state:
+//
+//   - The ingest loop owns the event log, the pending-request lifecycle
+//     table, and the journal writer. HTTP ingest handlers hand it events
+//     through a bounded queue (backpressure: 429 + Retry-After when full);
+//     it is the only goroutine that mutates anything.
+//   - The detector loop runs detections serially. It asks the ingest loop
+//     for a snapshot — an immutable prefix of the answered-request log,
+//     an O(1) handoff, so detection never blocks ingest — and runs
+//     core.DetectSharded on it: per interval, the engine overlays the
+//     shard on the friendship base, canonicalizes, freezes to a
+//     graph.Frozen CSR, and sweeps. The completed Epoch (per-interval
+//     suspect sets plus a canonical frozen snapshot of the full augmented
+//     graph) is published through an atomic pointer swap.
+//   - HTTP readers load the current epoch pointer and serve from it;
+//     per-user lookups are memoized through an epoch-keyed LRU
+//     (internal/cache).
+//
+// # The replay invariant
+//
+// The server's detection state is a pure function of its event log: the
+// ingest loop and the exported Replay path fold events through the same
+// lifecycle code, the journal records the folded answered requests in
+// arrival order, and detection is exactly core.DetectSharded over that
+// log. Replaying a server's journal through the batch CLI therefore
+// reproduces the server's suspect sets byte for byte — the invariant the
+// test harness enforces under concurrent ingest and the race detector.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/obs"
+)
+
+// ErrShuttingDown is returned by operations refused because the server is
+// draining.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// Config parameterizes a Server.
+type Config struct {
+	// Base is the pre-existing friendship graph detection overlays each
+	// interval's requests on (§VII). Required; its node count bounds the
+	// IDs ingested events may reference. The server never mutates it.
+	Base *graph.Graph
+
+	// Detector configures each detection run. At least one termination
+	// condition (TargetCount or AcceptanceThreshold) must be set. Cancel
+	// is managed by the server (shutdown interrupts detection); a
+	// configured Cancel is ignored.
+	Detector core.DetectorOptions
+
+	// DetectEvery runs a detection on this period. Zero disables periodic
+	// detection; POST /v1/detect always works.
+	DetectEvery time.Duration
+
+	// QueueSize bounds the ingest queue; a full queue answers 429 with
+	// Retry-After. Default 1024.
+	QueueSize int
+
+	// JournalPath appends every answered request to this file. If the
+	// file already holds a journal, the server recovers its state from it
+	// before serving. Empty disables journaling.
+	JournalPath string
+
+	// CacheSize bounds the per-user lookup memo. Default 4096.
+	CacheSize int
+
+	// Tracer observes every detection run's pipeline events; nil disables
+	// tracing at zero cost.
+	Tracer obs.Tracer
+}
+
+// Epoch is one completed detection, published atomically and served by the
+// read endpoints until the next one completes.
+type Epoch struct {
+	// Seq numbers epochs from 0 (the recovery epoch built at startup,
+	// which has a graph snapshot but no detection).
+	Seq int64
+	// Events is the number of answered requests the detection covered.
+	Events int
+	// Intervals holds the per-interval detections, ascending by interval.
+	Intervals []core.IntervalDetection
+	// Interrupted marks an epoch whose detection was cut short by
+	// shutdown; Intervals is the completed prefix.
+	Interrupted bool
+	// CompletedAt is the detection's completion time.
+	CompletedAt time.Time
+
+	// frozen is the canonical CSR snapshot of the base graph augmented
+	// with every answered request the epoch covers — the read model for
+	// per-user lookups.
+	frozen *graph.Frozen
+	// suspectIntervals maps each suspect to the intervals that flagged it.
+	suspectIntervals map[graph.NodeID][]int
+}
+
+type detectResult struct {
+	epoch *Epoch
+	err   error
+}
+
+type detectRequest struct {
+	reply chan detectResult
+}
+
+type userKey struct {
+	seq int64
+	id  graph.NodeID
+}
+
+// Server is the rejectod service. Construct with New, serve Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg  Config
+	base *graph.Graph
+
+	handler http.Handler
+
+	queue      chan Event
+	snapReq    chan chan []core.TimedRequest
+	detectReq  chan detectRequest
+	quit       chan struct{} // closed first: stops detector, cancels detection
+	ingestQuit chan struct{} // closed second: ingest drains queue and exits
+
+	detectorDone chan struct{}
+	ingestDone   chan struct{}
+
+	epoch    atomic.Pointer[Epoch]
+	epochSeq int64 // detector-goroutine-owned after New
+	users    *cache.Locked[userKey, []byte]
+
+	// Ingest-loop-owned state. Written only by the ingest goroutine (and
+	// by New during recovery, before the goroutine starts); other
+	// goroutines reach it only through snapReq.
+	lc          *lifecycle
+	events      []core.TimedRequest
+	journal     *graphio.JournalWriter
+	journalFile *os.File
+	journalErr  error // sticky; read after ingestDone closes
+
+	interrupted  atomic.Bool
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New builds a Server, recovers state from the journal if one exists, and
+// starts the ingest and detector loops. The caller serves Handler and must
+// call Shutdown to stop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("server: Config.Base is required")
+	}
+	if cfg.Detector.TargetCount <= 0 && cfg.Detector.AcceptanceThreshold <= 0 {
+		return nil, fmt.Errorf("server: Detector needs TargetCount or AcceptanceThreshold")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	s := &Server{
+		cfg:          cfg,
+		base:         cfg.Base,
+		queue:        make(chan Event, cfg.QueueSize),
+		snapReq:      make(chan chan []core.TimedRequest),
+		detectReq:    make(chan detectRequest),
+		quit:         make(chan struct{}),
+		ingestQuit:   make(chan struct{}),
+		detectorDone: make(chan struct{}),
+		ingestDone:   make(chan struct{}),
+		users:        cache.NewLocked[userKey, []byte](cfg.CacheSize),
+		lc:           newLifecycle(),
+	}
+	if err := s.openJournal(); err != nil {
+		return nil, err
+	}
+	// Epoch 0: the read model over recovered state, before any detection.
+	s.epoch.Store(s.buildEpoch(s.events, nil, false))
+	s.handler = s.routes()
+	go s.ingestLoop()
+	go s.detectorLoop()
+	return s, nil
+}
+
+// openJournal recovers answered requests from an existing journal and
+// opens it for append (writing the header if the file is fresh).
+func (s *Server) openJournal() error {
+	if s.cfg.JournalPath == "" {
+		return nil
+	}
+	if st, err := os.Stat(s.cfg.JournalPath); err == nil && st.Size() > 0 {
+		reqs, err := graphio.ReadRequestsFile(s.cfg.JournalPath)
+		if err != nil {
+			return fmt.Errorf("server: recovering journal: %w", err)
+		}
+		for i, req := range reqs {
+			if int(req.From) >= s.base.NumNodes() || int(req.To) >= s.base.NumNodes() {
+				return fmt.Errorf("server: journal entry %d references node outside the %d-node base", i, s.base.NumNodes())
+			}
+			if req.From == req.To {
+				return fmt.Errorf("server: journal entry %d is a self-request at node %d", i, req.From)
+			}
+		}
+		s.events = reqs
+	}
+	f, err := os.OpenFile(s.cfg.JournalPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: opening journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("server: opening journal: %w", err)
+	}
+	s.journalFile = f
+	s.journal = graphio.NewJournalWriter(f)
+	if st.Size() == 0 {
+		if err := s.journal.WriteHeader(); err != nil {
+			f.Close()
+			return fmt.Errorf("server: writing journal header: %w", err)
+		}
+	}
+	return nil
+}
+
+// Handler returns the server's HTTP handler (see routes in http.go).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// NumNodes reports the size of the friendship base, the bound on event
+// node IDs.
+func (s *Server) NumNodes() int { return s.base.NumNodes() }
+
+// CurrentEpoch returns the most recently published epoch.
+func (s *Server) CurrentEpoch() *Epoch { return s.epoch.Load() }
+
+// ingestLoop is the single owner of mutable server state: it applies
+// queued events, journals answered requests, and hands out immutable
+// event-log snapshots.
+func (s *Server) ingestLoop() {
+	defer close(s.ingestDone)
+	for {
+		select {
+		case ev := <-s.queue:
+			obs.Server.QueueDepth.Add(-1)
+			s.apply(ev)
+			if len(s.queue) == 0 {
+				s.flushJournal()
+			}
+		case reply := <-s.snapReq:
+			reply <- s.snapshot()
+		case <-s.ingestQuit:
+			// Drain: everything already queued is applied and journaled
+			// before the loop exits — the graceful-shutdown guarantee.
+			for {
+				select {
+				case ev := <-s.queue:
+					obs.Server.QueueDepth.Add(-1)
+					s.apply(ev)
+				default:
+					s.flushJournal()
+					return
+				}
+			}
+		}
+	}
+}
+
+// apply folds one event into server state.
+func (s *Server) apply(ev Event) {
+	obs.Server.EventsIngested.Add(1)
+	req, answered := s.lc.apply(ev)
+	if !answered {
+		return
+	}
+	s.events = append(s.events, req)
+	if s.journal != nil {
+		if err := s.journal.Append(req); err != nil && s.journalErr == nil {
+			s.journalErr = err
+		}
+		obs.Server.JournalEvents.Add(1)
+	}
+}
+
+func (s *Server) flushJournal() {
+	if s.journal != nil {
+		if err := s.journal.Flush(); err != nil && s.journalErr == nil {
+			s.journalErr = err
+		}
+	}
+}
+
+// snapshot returns the answered-request log as an immutable prefix: the
+// three-index slice pins cap to len, so the ingest loop's future appends
+// can never write into the handed-out window.
+func (s *Server) snapshot() []core.TimedRequest {
+	return s.events[:len(s.events):len(s.events)]
+}
+
+// detectorLoop serializes detection runs: explicit POST /v1/detect
+// triggers and the optional periodic timer.
+func (s *Server) detectorLoop() {
+	defer close(s.detectorDone)
+	var tick <-chan time.Time
+	if s.cfg.DetectEvery > 0 {
+		t := time.NewTicker(s.cfg.DetectEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.quit:
+			return
+		case req := <-s.detectReq:
+			ep, err := s.runDetection()
+			req.reply <- detectResult{epoch: ep, err: err}
+		case <-tick:
+			s.runDetection()
+		}
+	}
+}
+
+// runDetection snapshots the event log and runs the batch engine on it,
+// publishing the result as a new epoch. Shutdown interrupts it between
+// rounds; the partial epoch (completed-intervals prefix) is still
+// published and the interruption recorded for the process exit status.
+func (s *Server) runDetection() (*Epoch, error) {
+	reply := make(chan []core.TimedRequest, 1)
+	select {
+	case s.snapReq <- reply:
+	case <-s.quit:
+		return nil, ErrShuttingDown
+	}
+	reqs := <-reply
+
+	obs.Server.DetectInflight.Set(1)
+	defer obs.Server.DetectInflight.Set(0)
+	start := time.Now()
+
+	opts := s.cfg.Detector
+	opts.Cancel = s.quit
+	if opts.Tracer == nil {
+		opts.Tracer = s.cfg.Tracer
+	}
+	dets, err := core.DetectSharded(s.base, reqs, opts)
+	interrupted := errors.Is(err, core.ErrInterrupted)
+	if err != nil && !interrupted {
+		return nil, err
+	}
+
+	ep := s.buildEpoch(reqs, dets, interrupted)
+	s.epoch.Store(ep)
+	obs.Server.DetectEpochs.Add(1)
+	obs.Server.LastDetectMS.Set(float64(time.Since(start)) / float64(time.Millisecond))
+	if interrupted {
+		s.interrupted.Store(true)
+		return ep, core.ErrInterrupted
+	}
+	return ep, nil
+}
+
+// buildEpoch assembles the published read model: the detection results
+// plus a canonical frozen snapshot of the fully augmented graph.
+func (s *Server) buildEpoch(reqs []core.TimedRequest, dets []core.IntervalDetection, interrupted bool) *Epoch {
+	aug := s.base.Clone()
+	for _, req := range reqs {
+		if req.Accepted {
+			aug.AddFriendship(req.From, req.To)
+		} else {
+			aug.AddRejection(req.To, req.From)
+		}
+	}
+	suspects := make(map[graph.NodeID][]int)
+	for _, d := range dets {
+		for _, u := range d.Detection.Suspects {
+			suspects[u] = append(suspects[u], d.Interval)
+		}
+	}
+	ep := &Epoch{
+		Seq:              s.epochSeq,
+		Events:           len(reqs),
+		Intervals:        dets,
+		Interrupted:      interrupted,
+		CompletedAt:      time.Now(),
+		frozen:           aug.FreezeCanonical(),
+		suspectIntervals: suspects,
+	}
+	s.epochSeq++
+	return ep
+}
+
+// Detect triggers a detection run and waits for it, the in-process
+// equivalent of POST /v1/detect. ctx bounds the wait for the detector to
+// pick the request up; once running, the detection itself is bounded by
+// shutdown, not ctx.
+func (s *Server) Detect(ctx context.Context) (*Epoch, error) {
+	req := detectRequest{reply: make(chan detectResult, 1)}
+	select {
+	case s.detectReq <- req:
+	case <-s.quit:
+		return nil, ErrShuttingDown
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	res := <-req.reply
+	return res.epoch, res.err
+}
+
+// Shutdown drains the server: it stops the detector (interrupting any
+// running detection between rounds), then lets the ingest loop drain every
+// queued event and flush the journal. The caller must stop the HTTP layer
+// first so no new events race the drain. Interrupted reports whether a
+// detection round was cut short — the signal cmd/rejectod turns into exit
+// status 130.
+func (s *Server) Shutdown(ctx context.Context) (interrupted bool, err error) {
+	s.shutdownOnce.Do(func() {
+		close(s.quit)
+		select {
+		case <-s.detectorDone:
+		case <-ctx.Done():
+			s.shutdownErr = ctx.Err()
+			return
+		}
+		close(s.ingestQuit)
+		select {
+		case <-s.ingestDone:
+		case <-ctx.Done():
+			s.shutdownErr = ctx.Err()
+			return
+		}
+		// ingestDone closed happens-after the final journal flush, so
+		// journalErr is safe to read here.
+		if s.journalErr != nil {
+			s.shutdownErr = fmt.Errorf("server: journal: %w", s.journalErr)
+		}
+		if s.journalFile != nil {
+			if cerr := s.journalFile.Close(); cerr != nil && s.shutdownErr == nil {
+				s.shutdownErr = cerr
+			}
+		}
+	})
+	return s.interrupted.Load(), s.shutdownErr
+}
+
+// Replay folds a lifecycle event log into its answered-request journal and
+// runs the batch engine on it — the differential-testing twin of a live
+// server: a server that ingested events (in any concurrent interleaving
+// that preserved this log order) and then detected holds exactly this
+// result.
+func Replay(base *graph.Graph, events []Event, opts core.DetectorOptions) ([]core.IntervalDetection, error) {
+	return core.DetectSharded(base, EventsToRequests(events), opts)
+}

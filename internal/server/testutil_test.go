@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// testBase builds a ring-plus-chords legitimate friendship base of n nodes,
+// the same shape the core temporal tests use.
+func testBase(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%n))
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+9)%n))
+	}
+	return g
+}
+
+// spamWorkload generates a lifecycle event log over an n-node base:
+// interval 0 carries benign traffic with sporadic rejections, interval 1
+// has the first `spammers` nodes flooding mostly-rejected requests. Every
+// answered request is preceded by its "request" event.
+func spamWorkload(r *rand.Rand, n, spammers int) []Event {
+	var events []Event
+	answered := func(from, to graph.NodeID, accept bool, interval int) {
+		events = append(events, Event{Type: EvRequest, From: from, To: to, Interval: interval})
+		typ := EvReject
+		if accept {
+			typ = EvAccept
+		} else if r.Float64() < 0.3 {
+			typ = EvIgnore // ignores are soft rejections; mix some in
+		}
+		events = append(events, Event{Type: typ, From: from, To: to, Interval: interval})
+	}
+	for i := 0; i < 200; i++ {
+		u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+		if u != v {
+			answered(u, v, r.Float64() < 0.8, 0)
+		}
+	}
+	for i := 0; i < spammers; i++ {
+		u := graph.NodeID(i)
+		for k := 0; k < 10; k++ {
+			v := graph.NodeID(spammers + r.IntN(n-spammers))
+			answered(u, v, r.Float64() < 0.25, 1)
+		}
+	}
+	return events
+}
+
+// testDetectorOptions is the detection configuration every server test
+// shares with its batch-replay counterpart.
+func testDetectorOptions() core.DetectorOptions {
+	return core.DetectorOptions{
+		Cut:                 core.CutOptions{RandSeed: 3},
+		AcceptanceThreshold: 0.5,
+		MaxRounds:           4,
+	}
+}
+
+// newTestServer starts a Server plus an httptest front end and registers
+// cleanup. Mutate cfg defaults via mod (may be nil).
+func newTestServer(t *testing.T, base *graph.Graph, mod func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Base:     base,
+		Detector: testDetectorOptions(),
+		// Tests post whole workloads in one batch; keep the queue out of
+		// the way unless a test shrinks it to exercise backpressure.
+		QueueSize: 1 << 16,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// postJSON posts v (pre-marshaled if []byte) and returns the response.
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	var body []byte
+	switch b := v.(type) {
+	case []byte:
+		body = b
+	default:
+		var err error
+		body, err = json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// postEvents posts a batch and asserts full acceptance.
+func postEvents(t *testing.T, baseURL string, events []Event) {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/events", events)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/events = %d: %s", resp.StatusCode, b)
+	}
+	var reply ingestReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Accepted != len(events) {
+		t.Fatalf("accepted %d of %d events", reply.Accepted, len(events))
+	}
+}
+
+// getJSON decodes a GET response into out, asserting status 200.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

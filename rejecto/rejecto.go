@@ -107,6 +107,23 @@ func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
 // WriteGraphFile serializes g to a file.
 func WriteGraphFile(path string, g *Graph) error { return graphio.WriteFile(path, g) }
 
+// ReadRequests parses a timed friend-request log from r: one
+// "interval from to accepted" line per answered request. This is the format
+// cmd/rejecto's -requests flag consumes and the rejectod daemon journals,
+// so a server's event log can be replayed through DetectSharded directly.
+func ReadRequests(r io.Reader) ([]TimedRequest, error) { return graphio.ReadRequests(r) }
+
+// ReadRequestsFile parses a timed request log from a file.
+func ReadRequestsFile(path string) ([]TimedRequest, error) { return graphio.ReadRequestsFile(path) }
+
+// WriteRequests serializes a timed request log (see ReadRequests).
+func WriteRequests(w io.Writer, reqs []TimedRequest) error { return graphio.WriteRequests(w, reqs) }
+
+// WriteRequestsFile serializes a timed request log to a file.
+func WriteRequestsFile(path string, reqs []TimedRequest) error {
+	return graphio.WriteRequestsFile(path, reqs)
+}
+
 // FindMAARCut approximates the minimum aggregate acceptance rate cut of g.
 // ok is false when the graph has no rejections or only trivial cuts.
 func FindMAARCut(g *Graph, opts CutOptions) (Cut, bool) { return core.FindMAARCut(g, opts) }
