@@ -8,6 +8,8 @@
 //	        [-legit-seeds 1,2,3] [-spammer-seeds 40,41]
 //	        [-kmin 0.03125] [-kmax 32] [-seed 42] [-out suspects.txt]
 //	        [-workers 4]  # >0 runs on the distributed engine
+//	        [-retry-attempts 4] [-retry-timeout 0] [-retry-backoff 5ms]
+//	        [-chaos-seed 7]  # inject a seeded fault schedule (distributed only)
 //	        [-trace run.jsonl] [-v] [-debug-addr :6060]
 //
 // Observability:
@@ -36,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -60,6 +63,10 @@ func run() int {
 		seed      = flag.Uint64("seed", 42, "random seed")
 		out       = flag.String("out", "", "write suspect IDs to this file (default: stdout)")
 		workers   = flag.Int("workers", 0, "run on the in-process distributed engine with this many workers")
+		retryAtt  = flag.Int("retry-attempts", 0, "max attempts per cluster RPC (0 = engine default)")
+		retryTO   = flag.Duration("retry-timeout", 0, "per-RPC timeout classified as transient (0 = none)")
+		retryBack = flag.Duration("retry-backoff", 0, "base backoff between RPC retries (0 = engine default)")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "inject the seeded 'mixed' chaos fault schedule into the distributed run (0 = off)")
 		requests  = flag.String("requests", "", "request-log file for per-interval sharded detection (§VII); -graph supplies the friendship base")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this file")
 		verbose   = flag.Bool("v", false, "print per-round summary table and phase attribution")
@@ -141,11 +148,21 @@ func run() int {
 	if *requests != "" {
 		return runSharded(g, *requests, opts)
 	}
+	if *chaosSeed != 0 && *workers <= 0 {
+		return fail("-chaos-seed needs the distributed engine; pass -workers too")
+	}
+
+	retry := dist.RetryPolicy{
+		MaxAttempts: *retryAtt,
+		Timeout:     *retryTO,
+		BaseBackoff: *retryBack,
+		JitterSeed:  *seed,
+	}
 
 	start := time.Now()
 	var det core.Detection
 	if *workers > 0 {
-		det, err = detectDistributed(g, opts, *workers, tracer, ctx.Done())
+		det, err = detectDistributed(g, opts, *workers, retry, *chaosSeed, tracer, ctx.Done())
 	} else {
 		det, err = core.Detect(g, opts)
 	}
@@ -226,18 +243,41 @@ func runSharded(base *graph.Graph, path string, opts core.DetectorOptions) int {
 	return 0
 }
 
-func detectDistributed(g *graph.Graph, opts core.DetectorOptions, workers int, tr obs.Tracer, cancel <-chan struct{}) (core.Detection, error) {
-	c := dist.NewLocalCluster(workers, 0)
+func detectDistributed(g *graph.Graph, opts core.DetectorOptions, workers int, retry dist.RetryPolicy, chaosSeed uint64, tr obs.Tracer, cancel <-chan struct{}) (core.Detection, error) {
+	var c *dist.Cluster
+	var ct *chaos.Transport
+	if chaosSeed != 0 {
+		// Build the cluster by hand so the chaos layer sits between the
+		// master and the local transport, and the retry path measures
+		// timeouts/backoff on the chaos virtual clock.
+		ws := make([]*dist.Worker, workers)
+		for i := range ws {
+			ws[i] = dist.NewWorker()
+		}
+		stats := &dist.IOStats{}
+		mix, _ := chaos.Class("mixed")
+		mix.Seed = chaosSeed
+		mix.Tracer = tr
+		ct = chaos.Wrap(dist.NewLocalTransport(ws, stats, 0), mix)
+		c = dist.NewCluster(ct, stats)
+		c.SetClock(ct.Clock())
+	} else {
+		c = dist.NewLocalCluster(workers, 0)
+	}
 	defer c.Close()
 	c.SetTracer(tr)
 	if err := c.LoadGraph(g, 2); err != nil {
 		return core.Detection{}, err
+	}
+	if ct != nil {
+		ct.Arm() // loading is fault-free; detection runs under fire
 	}
 	cfg := dist.DetectorConfig{
 		Cut:                 opts.Cut,
 		TargetCount:         opts.TargetCount,
 		AcceptanceThreshold: opts.AcceptanceThreshold,
 		Cancel:              cancel,
+		Retry:               retry,
 	}
 	det := dist.NewDetector(c, g.NumNodes(), cfg)
 	res, err := det.Detect(cfg)
@@ -246,6 +286,17 @@ func detectDistributed(g *graph.Graph, opts core.DetectorOptions, workers int, t
 	}
 	io := c.IO()
 	fmt.Printf("distributed run: %d workers, %s\n", workers, io)
+	if ct != nil {
+		ct.Disarm()
+		fmt.Printf("chaos seed %d: %d faults over %d calls, %v virtual network time\n",
+			chaosSeed, len(ct.Log()), ct.Calls(), ct.Clock().Elapsed())
+		counts := ct.Counts()
+		for kind := chaos.FaultLatency; kind <= chaos.FaultRestartDone; kind++ {
+			if n := counts[kind]; n > 0 {
+				fmt.Printf("  %s: %d\n", kind, n)
+			}
+		}
+	}
 	return res, nil
 }
 

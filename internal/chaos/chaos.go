@@ -1,0 +1,398 @@
+// Package chaos is a seeded, fully deterministic fault-injection layer for
+// the distributed detection engine. A chaos.Transport wraps any
+// dist.Transport and, driven by a single PRNG seed and a virtual clock,
+// injects per-call latency, transient RPC errors, lost replies, duplicated
+// deliveries, worker crashes, and crash-restarts. The same seed always
+// produces the same fault schedule on the same call sequence, so every
+// failure a test finds is replayable from one integer.
+//
+// The invariant the package exists to check: detection under any injected
+// fault schedule must produce suspect sets byte-identical to the fault-free
+// run. The master holds all algorithm state, workers compute pure functions
+// of (shards, args), lineage rebuilds are exact, and the retry path draws
+// its jitter from a stream independent of the algorithm's — so faults may
+// cost time and traffic, but never results. The scenario runner in this
+// package asserts exactly that.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// FaultKind classifies an injected fault.
+type FaultKind int
+
+// The fault classes. Latency advances the virtual clock (possibly past the
+// cluster's per-call timeout); Transient drops the call before the worker
+// sees it; ReplyLost executes the call and drops the reply; Duplicate
+// delivers the call twice; Crash kills the worker until the master replaces
+// it; Restart kills the worker, refuses replacement, and revives it — empty
+// — after a drawn number of probe calls. RestartDone is the bookkeeping
+// record logged when that self-revival fires.
+const (
+	FaultNone FaultKind = iota
+	FaultLatency
+	FaultTransient
+	FaultReplyLost
+	FaultDuplicate
+	FaultCrash
+	FaultRestart
+	FaultRestartDone
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultLatency:
+		return "latency"
+	case FaultTransient:
+		return "transient"
+	case FaultReplyLost:
+		return "reply-lost"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultCrash:
+		return "crash"
+	case FaultRestart:
+		return "restart"
+	case FaultRestartDone:
+		return "restart-done"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Options configures a fault schedule. All probabilities are per call and
+// disjoint: a single uniform draw per call picks at most one fault, so the
+// sum of the P fields must stay ≤ 1.
+type Options struct {
+	// Seed drives the schedule. Identical seeds over identical call
+	// sequences inject identical faults.
+	Seed uint64
+
+	// PLatency injects a virtual delay drawn uniformly from
+	// [LatencyMin, LatencyMax] — exceeding the cluster's per-call timeout
+	// turns it into a timeout-and-retry.
+	PLatency               float64
+	LatencyMin, LatencyMax time.Duration
+
+	// PTransient drops the call before the worker executes it.
+	PTransient float64
+	// PReplyLost executes the call on the worker and drops the reply.
+	PReplyLost float64
+	// PDuplicate delivers the call twice (the master sees one reply).
+	PDuplicate float64
+
+	// PCrash kills the worker; the master's recovery path replaces it and
+	// replays lineage. Requires the inner transport to implement
+	// dist.Failer (the local transport does).
+	PCrash float64
+	// PRestart kills the worker but declines replacement: the worker
+	// restarts on its own — empty — after a number of probe calls drawn
+	// from [RestartAfterMin, RestartAfterMax], and the master discovers
+	// the wiped state through ErrStateLost.
+	PRestart                         float64
+	RestartAfterMin, RestartAfterMax int
+
+	// MaxKills caps the total crash+restart injections of a run (a kill
+	// cascade that outlasts the recovery budget would correctly fail the
+	// round, which is not what a determinism test wants). 0 means no cap.
+	MaxKills int
+
+	// Tracer, when non-nil, receives one chaos.fault event per injection.
+	Tracer obs.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.LatencyMax < o.LatencyMin {
+		o.LatencyMax = o.LatencyMin
+	}
+	if o.RestartAfterMin < 1 {
+		o.RestartAfterMin = 1
+	}
+	if o.RestartAfterMax < o.RestartAfterMin {
+		o.RestartAfterMax = o.RestartAfterMin
+	}
+	return o
+}
+
+// FaultRecord is one entry of the fault log: which fault hit which call.
+// The log is the schedule's fingerprint — two runs with the same seed must
+// produce deeply equal logs, which the reproducibility test asserts.
+type FaultRecord struct {
+	Call    int64 // 1-based global call index at injection time
+	Worker  int
+	Method  dist.Call
+	Kind    FaultKind
+	Latency time.Duration // FaultLatency only
+	After   int           // FaultRestart only: probe calls until self-revival
+}
+
+func (r FaultRecord) String() string {
+	s := fmt.Sprintf("call %d: %s %s → worker %d", r.Call, r.Kind, r.Method, r.Worker)
+	if r.Kind == FaultLatency {
+		s += fmt.Sprintf(" (%v)", r.Latency)
+	}
+	if r.Kind == FaultRestart {
+		s += fmt.Sprintf(" (revives after %d calls)", r.After)
+	}
+	return s
+}
+
+// Transport wraps an inner dist.Transport with seeded fault injection. It
+// starts disarmed (passing calls through untouched) so setup traffic —
+// LoadGraph, dataset creation — stays fault-free; Arm it when the run
+// under test begins.
+type Transport struct {
+	inner dist.Transport
+	opts  Options
+	clock *Clock
+
+	mu        sync.Mutex
+	r         *randStream
+	armed     bool
+	calls     int64
+	kills     int
+	down      map[int]bool // workers this layer killed and hasn't seen revived
+	restartIn map[int]int  // worker → probe calls left until self-revival
+	log       []FaultRecord
+	counts    map[FaultKind]int
+}
+
+// randStream narrows *rand.Rand to the draws the schedule needs; it exists
+// so the draw order is explicit and auditable.
+type randStream struct {
+	r interface {
+		Float64() float64
+		Int64N(int64) int64
+	}
+}
+
+// Wrap layers fault injection over inner. The returned transport is
+// disarmed; call Arm once setup traffic is done.
+func Wrap(inner dist.Transport, opts Options) *Transport {
+	opts = opts.withDefaults()
+	return &Transport{
+		inner:     inner,
+		opts:      opts,
+		clock:     NewClock(),
+		r:         &randStream{rng.New(opts.Seed).Stream("chaos/faults")},
+		down:      make(map[int]bool),
+		restartIn: make(map[int]int),
+		counts:    make(map[FaultKind]int),
+	}
+}
+
+// Clock returns the virtual clock the transport advances. Install it on
+// the cluster (Cluster.SetClock) so injected latency, per-call timeouts,
+// and retry backoff all share one deterministic timeline.
+func (t *Transport) Clock() *Clock { return t.clock }
+
+// Arm enables fault injection. Disarm suspends it (bookkeeping for
+// already-injected restarts keeps running, so a pending self-revival still
+// fires).
+func (t *Transport) Arm() { t.mu.Lock(); t.armed = true; t.mu.Unlock() }
+
+// Disarm suspends fault injection.
+func (t *Transport) Disarm() { t.mu.Lock(); t.armed = false; t.mu.Unlock() }
+
+// Workers reports the inner transport's worker count.
+func (t *Transport) Workers() int { return t.inner.Workers() }
+
+// Close closes the inner transport.
+func (t *Transport) Close() error { return t.inner.Close() }
+
+// Log returns a copy of the fault log.
+func (t *Transport) Log() []FaultRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]FaultRecord, len(t.log))
+	copy(out, t.log)
+	return out
+}
+
+// Counts returns per-kind injection counts.
+func (t *Transport) Counts() map[FaultKind]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[FaultKind]int, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Calls reports the number of calls seen.
+func (t *Transport) Calls() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// FailWorker forwards to the inner transport's chaos hook.
+func (t *Transport) FailWorker(worker int) bool {
+	return dist.FailWorker(t.inner, worker)
+}
+
+// FailWorkerAfter forwards to the inner transport's chaos hook.
+func (t *Transport) FailWorkerAfter(worker int, afterCalls int64) bool {
+	return dist.FailWorkerAfter(t.inner, worker, afterCalls)
+}
+
+// ReviveWorker replaces a failed worker — unless this layer killed it with
+// a pending self-restart, in which case it declines and the master must
+// back off and probe until the worker reappears on its own.
+func (t *Transport) ReviveWorker(worker int) bool {
+	t.mu.Lock()
+	if _, pending := t.restartIn[worker]; pending {
+		t.mu.Unlock()
+		return false
+	}
+	delete(t.down, worker)
+	t.mu.Unlock()
+	return dist.ReviveWorker(t.inner, worker)
+}
+
+// Call delivers one RPC, possibly injecting a fault first. The draw
+// sequence depends only on the seed and the (deterministic) call sequence,
+// so the schedule replays exactly across invocations.
+func (t *Transport) Call(worker int, method dist.Call, args, reply any) error {
+	t.mu.Lock()
+	t.calls++
+	idx := t.calls
+
+	// A pending self-restart counts down on every call (probe) to the dead
+	// worker, then revives it with empty state.
+	if left, pending := t.restartIn[worker]; pending {
+		left--
+		if left <= 0 {
+			delete(t.restartIn, worker)
+			delete(t.down, worker)
+			dist.ReviveWorker(t.inner, worker)
+			t.recordLocked(FaultRecord{Call: idx, Worker: worker, Method: method, Kind: FaultRestartDone})
+		} else {
+			t.restartIn[worker] = left
+		}
+	}
+
+	rec := FaultRecord{Call: idx, Worker: worker, Method: method, Kind: FaultNone}
+	// Workers this layer brought down get no fresh faults: a drawn fault
+	// would mask ErrWorkerDown as a transient error and send the master
+	// down the wrong recovery path. (The dead worker answers ErrWorkerDown
+	// regardless, so no coverage is lost.)
+	if t.armed && !t.down[worker] {
+		rec = t.draw(idx, worker, method)
+		if rec.Kind != FaultNone {
+			t.recordLocked(rec)
+		}
+	}
+	t.mu.Unlock()
+
+	switch rec.Kind {
+	case FaultLatency:
+		t.clock.Advance(rec.Latency)
+		return t.inner.Call(worker, method, args, reply)
+	case FaultTransient:
+		return fmt.Errorf("%w: chaos dropped %s to worker %d", dist.ErrTransient, method, worker)
+	case FaultReplyLost:
+		if err := t.inner.Call(worker, method, args, reply); err != nil {
+			return err
+		}
+		zeroReply(reply)
+		return fmt.Errorf("%w: chaos dropped reply of %s from worker %d", dist.ErrTransient, method, worker)
+	case FaultDuplicate:
+		first := newReplyLike(reply)
+		if err := t.inner.Call(worker, method, args, first); err != nil {
+			return err
+		}
+		return t.inner.Call(worker, method, args, reply)
+	case FaultCrash, FaultRestart:
+		return fmt.Errorf("%w: chaos killed worker %d during %s", dist.ErrWorkerDown, worker, method)
+	default:
+		return t.inner.Call(worker, method, args, reply)
+	}
+}
+
+// draw decides the fault for one call. Caller holds t.mu. At most one
+// uniform draw picks the kind; kinds with parameters draw them immediately
+// after, so the stream position stays a pure function of the schedule.
+func (t *Transport) draw(idx int64, worker int, method dist.Call) FaultRecord {
+	rec := FaultRecord{Call: idx, Worker: worker, Method: method, Kind: FaultNone}
+	o := t.opts
+	if o.PLatency+o.PTransient+o.PReplyLost+o.PDuplicate+o.PCrash+o.PRestart <= 0 {
+		return rec
+	}
+	u := t.r.r.Float64()
+	cum := 0.0
+	pick := func(p float64) bool {
+		cum += p
+		return u < cum
+	}
+	switch {
+	case pick(o.PLatency):
+		rec.Kind = FaultLatency
+		rec.Latency = o.LatencyMin
+		if span := int64(o.LatencyMax - o.LatencyMin); span > 0 {
+			rec.Latency += time.Duration(t.r.r.Int64N(span + 1))
+		}
+	case pick(o.PTransient):
+		rec.Kind = FaultTransient
+	case pick(o.PReplyLost):
+		rec.Kind = FaultReplyLost
+	case pick(o.PDuplicate):
+		rec.Kind = FaultDuplicate
+	case pick(o.PCrash):
+		if t.killLocked(worker, 0) {
+			rec.Kind = FaultCrash
+		}
+	case pick(o.PRestart):
+		after := o.RestartAfterMin
+		if span := o.RestartAfterMax - o.RestartAfterMin; span > 0 {
+			after += int(t.r.r.Int64N(int64(span) + 1))
+		}
+		if t.killLocked(worker, after) {
+			rec.Kind = FaultRestart
+			rec.After = after
+		}
+	}
+	return rec
+}
+
+// killLocked brings a worker down (restartAfter > 0 schedules self-revival
+// after that many probe calls). Caller holds t.mu. Returns false when the
+// kill budget is spent or the inner transport cannot fail workers.
+func (t *Transport) killLocked(worker, restartAfter int) bool {
+	if t.opts.MaxKills > 0 && t.kills >= t.opts.MaxKills {
+		return false
+	}
+	if !dist.FailWorker(t.inner, worker) {
+		return false
+	}
+	t.kills++
+	t.down[worker] = true
+	if restartAfter > 0 {
+		t.restartIn[worker] = restartAfter
+	}
+	return true
+}
+
+// recordLocked appends to the fault log and emits a chaos.fault event.
+// Caller holds t.mu.
+func (t *Transport) recordLocked(rec FaultRecord) {
+	t.log = append(t.log, rec)
+	t.counts[rec.Kind]++
+	obs.Pipeline.ChaosFaults.Add(1)
+	if t.opts.Tracer != nil {
+		t.opts.Tracer.Emit(obs.Event{
+			Name: obs.EvChaosFault, Wall: time.Now(), Dur: rec.Latency,
+			Job:    int(rec.Call),
+			Detail: fmt.Sprintf("%s %s → worker %d", rec.Kind, rec.Method, rec.Worker),
+		})
+	}
+}

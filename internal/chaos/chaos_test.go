@@ -1,0 +1,281 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	mathrand "math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+func TestClockDeterministicAdvance(t *testing.T) {
+	c := NewClock()
+	start := c.Now()
+	c.Advance(10 * time.Millisecond)
+	c.Sleep(5 * time.Millisecond)
+	c.Sleep(-time.Second) // no-op
+	c.Advance(-time.Second)
+	if got := c.Now().Sub(start); got != 15*time.Millisecond {
+		t.Fatalf("clock advanced %v, want 15ms", got)
+	}
+	if c.Elapsed() != 15*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 15ms", c.Elapsed())
+	}
+	if c.Slept() != 5*time.Millisecond {
+		t.Fatalf("Slept = %v, want 5ms", c.Slept())
+	}
+}
+
+// fakeTransport records deliveries and fills DatasetReply.Count so tests
+// can observe reply zeroing.
+type fakeTransport struct {
+	deliveries []string
+}
+
+func (f *fakeTransport) Call(worker int, method dist.Call, args, reply any) error {
+	f.deliveries = append(f.deliveries, fmt.Sprintf("%d:%s", worker, method))
+	if r, ok := reply.(*dist.DatasetReply); ok {
+		r.Count = 42
+	}
+	return nil
+}
+func (f *fakeTransport) Workers() int { return 2 }
+func (f *fakeTransport) Close() error { return nil }
+
+func TestDisarmedPassesThrough(t *testing.T) {
+	inner := &fakeTransport{}
+	ct := Wrap(inner, Options{Seed: 1, PTransient: 1})
+	for i := 0; i < 5; i++ {
+		if err := ct.Call(0, dist.CallPing, &struct{}{}, &struct{}{}); err != nil {
+			t.Fatalf("disarmed call %d failed: %v", i, err)
+		}
+	}
+	if len(inner.deliveries) != 5 {
+		t.Fatalf("inner saw %d calls, want 5", len(inner.deliveries))
+	}
+	if got := ct.Log(); len(got) != 0 {
+		t.Fatalf("disarmed transport logged faults: %v", got)
+	}
+}
+
+func TestTransientDropsCall(t *testing.T) {
+	inner := &fakeTransport{}
+	ct := Wrap(inner, Options{Seed: 1, PTransient: 1})
+	ct.Arm()
+	err := ct.Call(1, dist.CallFetch, &dist.FetchArgs{}, &dist.FetchReply{})
+	if !dist.IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if len(inner.deliveries) != 0 {
+		t.Fatalf("dropped call still reached the worker: %v", inner.deliveries)
+	}
+}
+
+func TestReplyLostExecutesThenDrops(t *testing.T) {
+	inner := &fakeTransport{}
+	ct := Wrap(inner, Options{Seed: 1, PReplyLost: 1})
+	ct.Arm()
+	var reply dist.DatasetReply
+	err := ct.Call(0, dist.CallDataset, &dist.DatasetArgs{}, &reply)
+	if !dist.IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if len(inner.deliveries) != 1 {
+		t.Fatalf("inner saw %d calls, want 1 (executed, reply lost)", len(inner.deliveries))
+	}
+	if reply.Count != 0 {
+		t.Fatalf("lost reply leaked data to the master: %+v", reply)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	inner := &fakeTransport{}
+	ct := Wrap(inner, Options{Seed: 1, PDuplicate: 1})
+	ct.Arm()
+	var reply dist.DatasetReply
+	if err := ct.Call(0, dist.CallDataset, &dist.DatasetArgs{}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.deliveries) != 2 {
+		t.Fatalf("inner saw %d calls, want 2", len(inner.deliveries))
+	}
+	if reply.Count != 42 {
+		t.Fatalf("duplicate delivery lost the reply: %+v", reply)
+	}
+}
+
+func TestLatencyAdvancesClock(t *testing.T) {
+	inner := &fakeTransport{}
+	d := 10 * time.Millisecond
+	ct := Wrap(inner, Options{Seed: 1, PLatency: 1, LatencyMin: d, LatencyMax: d})
+	ct.Arm()
+	for i := 0; i < 3; i++ {
+		if err := ct.Call(0, dist.CallPing, &struct{}{}, &struct{}{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ct.Clock().Elapsed(); got != 3*d {
+		t.Fatalf("clock advanced %v over 3 delayed calls, want %v", got, 3*d)
+	}
+	if len(inner.deliveries) != 3 {
+		t.Fatalf("delayed calls did not reach the worker: %d", len(inner.deliveries))
+	}
+}
+
+func TestCrashKillsUntilRevived(t *testing.T) {
+	ws := []*dist.Worker{dist.NewWorker()}
+	inner := dist.NewLocalTransport(ws, nil, 0)
+	ct := Wrap(inner, Options{Seed: 1, PCrash: 1, MaxKills: 1})
+	ct.Arm()
+	err := ct.Call(0, dist.CallPing, &struct{}{}, &struct{}{})
+	if !errors.Is(err, dist.ErrWorkerDown) {
+		t.Fatalf("crash fault returned %v, want ErrWorkerDown", err)
+	}
+	// Down workers get no fresh faults: the next call reports the plain
+	// down state from the inner transport.
+	if err := ct.Call(0, dist.CallPing, &struct{}{}, &struct{}{}); !errors.Is(err, dist.ErrWorkerDown) {
+		t.Fatalf("probe of dead worker returned %v, want ErrWorkerDown", err)
+	}
+	if !dist.ReviveWorker(ct, 0) {
+		t.Fatal("crash-killed worker must be replaceable")
+	}
+	// MaxKills is spent, so the revived worker serves calls.
+	if err := ct.Call(0, dist.CallPing, &struct{}{}, &struct{}{}); err != nil {
+		t.Fatalf("revived worker still failing: %v", err)
+	}
+	if got := ct.Counts()[FaultCrash]; got != 1 {
+		t.Fatalf("crash count = %d, want 1", got)
+	}
+}
+
+func TestRestartVetoesReviveThenSelfHeals(t *testing.T) {
+	ws := []*dist.Worker{dist.NewWorker()}
+	inner := dist.NewLocalTransport(ws, nil, 0)
+	ct := Wrap(inner, Options{
+		Seed: 1, PRestart: 1, RestartAfterMin: 2, RestartAfterMax: 2, MaxKills: 1,
+	})
+	ct.Arm()
+	if err := ct.Call(0, dist.CallPing, &struct{}{}, &struct{}{}); !errors.Is(err, dist.ErrWorkerDown) {
+		t.Fatalf("restart fault returned %v, want ErrWorkerDown", err)
+	}
+	if dist.ReviveWorker(ct, 0) {
+		t.Fatal("revive must be declined while a self-restart is pending")
+	}
+	// First probe: still down.
+	if err := ct.Call(0, dist.CallPing, &struct{}{}, &struct{}{}); !errors.Is(err, dist.ErrWorkerDown) {
+		t.Fatalf("probe 1 returned %v, want ErrWorkerDown", err)
+	}
+	// Second probe: the self-restart fires and the call goes through.
+	if err := ct.Call(0, dist.CallPing, &struct{}{}, &struct{}{}); err != nil {
+		t.Fatalf("worker did not self-revive: %v", err)
+	}
+	counts := ct.Counts()
+	if counts[FaultRestart] != 1 || counts[FaultRestartDone] != 1 {
+		t.Fatalf("counts = %v, want one restart and one restart-done", counts)
+	}
+}
+
+func TestScheduleReproducible(t *testing.T) {
+	mix := Options{
+		PLatency: 0.2, LatencyMin: time.Millisecond, LatencyMax: 20 * time.Millisecond,
+		PTransient: 0.2, PReplyLost: 0.1, PDuplicate: 0.1,
+	}
+	sequence := func(seed uint64) []FaultRecord {
+		ct := Wrap(&fakeTransport{}, func() Options { o := mix; o.Seed = seed; return o }())
+		ct.Arm()
+		methods := []dist.Call{dist.CallPing, dist.CallFetch, dist.CallComputeGains, dist.CallCutStats}
+		for i := 0; i < 200; i++ {
+			var reply dist.FetchReply
+			_ = ct.Call(i%2, methods[i%len(methods)], &dist.FetchArgs{}, &reply)
+		}
+		return ct.Log()
+	}
+	a, b := sequence(7), sequence(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules: %d vs %d faults", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule empty — the mix should inject faults over 200 calls")
+	}
+	if c := sequence(8); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// miniWorld plants a small spam graph for scenario tests.
+func miniWorld(seed uint64, nL, nF int) (*graph.Graph, core.Seeds) {
+	r := mathrand.New(mathrand.NewPCG(seed, 77))
+	g := graph.New(nL + nF)
+	for i := 0; i < nL; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%nL))
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+5)%nL))
+	}
+	for i := 0; i < nF; i++ {
+		u := graph.NodeID(nL + i)
+		for k := 0; k < 3 && k < i; k++ {
+			g.AddFriendship(u, graph.NodeID(nL+r.IntN(i)))
+		}
+		for req := 0; req < 8; req++ {
+			target := graph.NodeID(r.IntN(nL))
+			if r.Float64() < 0.7 {
+				g.AddRejection(target, u)
+			} else {
+				g.AddFriendship(u, target)
+			}
+		}
+	}
+	var seeds core.Seeds
+	for i := 0; i < 8; i++ {
+		seeds.Legit = append(seeds.Legit, graph.NodeID(i*nL/8))
+		seeds.Spammer = append(seeds.Spammer, graph.NodeID(nL+i*nF/8))
+	}
+	return g, seeds
+}
+
+func TestScenarioVerifyTransient(t *testing.T) {
+	g, seeds := miniWorld(11, 80, 30)
+	cfg := dist.DetectorConfig{
+		Cut:         core.CutOptions{Seeds: seeds, RandSeed: 3},
+		TargetCount: 30,
+	}
+	mix, ok := Class("transient")
+	if !ok {
+		t.Fatal("transient class missing")
+	}
+	sc := Scenario{Faults: mix}
+	rep, err := sc.Verify(g, cfg, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("scenario failure: %s", f)
+	}
+	if rep.TotalFaults() == 0 {
+		t.Fatal("no faults injected across 3 runs")
+	}
+	if len(rep.Baseline.Suspects) == 0 {
+		t.Fatal("baseline detected nothing — the scenario is vacuous")
+	}
+}
+
+func TestClassNamesStable(t *testing.T) {
+	names := ClassNames()
+	if len(names) != 6 {
+		t.Fatalf("classes = %v, want 6", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("ClassNames not sorted: %v", names)
+		}
+	}
+	for _, name := range names {
+		if _, ok := Class(name); !ok {
+			t.Fatalf("Class(%q) missing", name)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a deterministic virtual clock implementing dist.Clock. Sleeps
+// advance it instantly, and the fault transport advances it by every
+// latency it injects, so an entire seeded schedule — injected delays,
+// per-call timeouts, exponential backoff — plays out in microseconds of
+// real time while remaining byte-for-byte reproducible.
+type Clock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept time.Duration
+}
+
+// clockEpoch is the fixed origin of every virtual clock. Any nonzero
+// instant works; a stable one keeps virtual timestamps comparable across
+// runs and log lines.
+var clockEpoch = time.Date(2015, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// NewClock returns a virtual clock at the epoch.
+func NewClock() *Clock { return &Clock{now: clockEpoch} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the clock by d without blocking. Negative d is a no-op.
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.slept += d
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward by d (injected latency, as opposed to a
+// caller-requested sleep). Negative d is a no-op.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Elapsed reports how far the clock has moved from its epoch: the run's
+// total virtual time.
+func (c *Clock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now.Sub(clockEpoch)
+}
+
+// Slept reports the portion of Elapsed spent in Sleep calls — the
+// master's cumulative backoff, as opposed to injected call latency.
+func (c *Clock) Slept() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slept
+}

@@ -1,0 +1,18 @@
+package chaos
+
+import "reflect"
+
+// zeroReply clears the struct a reply pointer points at, so a lost-reply
+// fault leaves no trace of the worker-side execution in the master's
+// buffer.
+func zeroReply(reply any) {
+	if rv := reflect.ValueOf(reply); rv.Kind() == reflect.Pointer && !rv.IsNil() {
+		rv.Elem().SetZero()
+	}
+}
+
+// newReplyLike allocates a fresh zero value of reply's pointee type — the
+// throwaway buffer for the first delivery of a duplicated call.
+func newReplyLike(reply any) any {
+	return reflect.New(reflect.TypeOf(reply).Elem()).Interface()
+}

@@ -1,0 +1,260 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// Scenario describes one chaos experiment: a cluster shape, a retry
+// policy, and a fault mix. Run executes a seeded detection under that
+// mix; Verify sweeps a seed list and asserts every run's detection is
+// byte-identical to the fault-free baseline.
+type Scenario struct {
+	// Workers and ShardsPerWorker shape the cluster (defaults 3 and 2).
+	Workers         int
+	ShardsPerWorker int
+	// Faults is the fault mix; its Seed field is overridden per run.
+	Faults Options
+	// Retry is the cluster retry policy. The zero value selects chaos
+	// defaults sized so every preset fault class recovers: more attempts
+	// and a shorter (virtual) timeout and backoff than production, plus a
+	// recovery budget that covers a capped kill cascade. A zero JitterSeed
+	// is derived from the run's fault seed.
+	Retry dist.RetryPolicy
+}
+
+// chaosRetry is the scenario default retry policy. The timeout interacts
+// with the latency fault class: injected delays beyond 50ms (virtual)
+// become timeouts, exercising the discard-late-reply path.
+func chaosRetry() dist.RetryPolicy {
+	return dist.RetryPolicy{
+		MaxAttempts:      8,
+		Timeout:          50 * time.Millisecond,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       16 * time.Millisecond,
+		RecoveryAttempts: 16,
+	}
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Workers < 1 {
+		sc.Workers = 3
+	}
+	if sc.ShardsPerWorker < 1 {
+		sc.ShardsPerWorker = 2
+	}
+	if sc.Retry == (dist.RetryPolicy{}) {
+		sc.Retry = chaosRetry()
+	}
+	return sc
+}
+
+// RunResult is one seeded chaos run: what was detected, which faults were
+// injected, and what the run cost on the virtual timeline.
+type RunResult struct {
+	Seed      uint64
+	Detection core.Detection
+	Faults    []FaultRecord
+	Counts    map[FaultKind]int
+	Calls     int64
+	Elapsed   time.Duration // virtual time: injected latency + backoff
+	IO        dist.IOSnapshot
+}
+
+// Baseline runs the fault-free detection the chaos runs are compared
+// against. It goes through the same (disarmed) transport stack, so the
+// only difference from a faulty run is the faults themselves.
+func (sc Scenario) Baseline(g *graph.Graph, cfg dist.DetectorConfig) (core.Detection, error) {
+	res, err := sc.run(g, cfg, Options{}, false)
+	return res.Detection, err
+}
+
+// Run executes one seeded detection under the scenario's fault mix.
+func (sc Scenario) Run(g *graph.Graph, cfg dist.DetectorConfig, seed uint64) (RunResult, error) {
+	opts := sc.Faults
+	opts.Seed = seed
+	return sc.run(g, cfg, opts, true)
+}
+
+func (sc Scenario) run(g *graph.Graph, cfg dist.DetectorConfig, fopts Options, arm bool) (RunResult, error) {
+	sc = sc.withDefaults()
+	ws := make([]*dist.Worker, sc.Workers)
+	for i := range ws {
+		ws[i] = dist.NewWorker()
+	}
+	stats := &dist.IOStats{}
+	ct := Wrap(dist.NewLocalTransport(ws, stats, 0), fopts)
+	c := dist.NewCluster(ct, stats)
+	defer c.Close()
+	c.SetClock(ct.Clock())
+	rp := sc.Retry
+	if rp.JitterSeed == 0 {
+		// Vary backoff jitter with the fault seed: determinism of results
+		// must not depend on a particular backoff sequence.
+		rp.JitterSeed = fopts.Seed ^ 0x9e3779b97f4a7c15
+	}
+	c.SetRetryPolicy(rp)
+	// The detector must inherit the cluster policy, not install its own.
+	cfg.Retry = dist.RetryPolicy{}
+
+	res := RunResult{Seed: fopts.Seed}
+	if err := c.LoadGraph(g, sc.ShardsPerWorker); err != nil {
+		return res, err
+	}
+	if arm {
+		ct.Arm()
+	}
+	det := dist.NewDetector(c, g.NumNodes(), cfg)
+	d, err := det.Detect(cfg)
+	res.Detection = d
+	res.Faults = ct.Log()
+	res.Counts = ct.Counts()
+	res.Calls = ct.Calls()
+	res.Elapsed = ct.Clock().Elapsed()
+	res.IO = c.IO()
+	return res, err
+}
+
+// Failure records one seed whose run errored or diverged from the
+// baseline.
+type Failure struct {
+	Seed uint64
+	Err  error  // run error, if any
+	Diff string // first divergence from the baseline, if the run completed
+}
+
+func (f Failure) String() string {
+	if f.Err != nil {
+		return fmt.Sprintf("seed %d: %v", f.Seed, f.Err)
+	}
+	return fmt.Sprintf("seed %d: %s", f.Seed, f.Diff)
+}
+
+// Report is the outcome of a Verify sweep.
+type Report struct {
+	Baseline core.Detection
+	Runs     []RunResult
+	Failures []Failure
+}
+
+// TotalFaults sums injected faults across the sweep's runs.
+func (r Report) TotalFaults() int {
+	n := 0
+	for _, run := range r.Runs {
+		n += len(run.Faults)
+	}
+	return n
+}
+
+// Verify runs every seed under the scenario's fault mix and checks each
+// detection against the fault-free baseline. Per-seed divergences land in
+// Report.Failures (the sweep continues); the returned error is reserved
+// for the baseline itself failing.
+func (sc Scenario) Verify(g *graph.Graph, cfg dist.DetectorConfig, seeds []uint64) (Report, error) {
+	var rep Report
+	base, err := sc.Baseline(g, cfg)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: fault-free baseline failed: %w", err)
+	}
+	rep.Baseline = base
+	for _, seed := range seeds {
+		res, err := sc.Run(g, cfg, seed)
+		rep.Runs = append(rep.Runs, res)
+		if err != nil {
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Err: err})
+			continue
+		}
+		if diff := DiffDetections(base, res.Detection); diff != "" {
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Diff: diff})
+		}
+	}
+	return rep, nil
+}
+
+// DiffDetections reports the first difference between two detections, or
+// "" when they are byte-identical (same suspects in the same order, same
+// groups with the same members, acceptance rates, k values and rounds).
+func DiffDetections(want, got core.Detection) string {
+	if want.Rounds != got.Rounds {
+		return fmt.Sprintf("rounds = %d, want %d", got.Rounds, want.Rounds)
+	}
+	if len(want.Suspects) != len(got.Suspects) {
+		return fmt.Sprintf("len(suspects) = %d, want %d", len(got.Suspects), len(want.Suspects))
+	}
+	for i := range want.Suspects {
+		if want.Suspects[i] != got.Suspects[i] {
+			return fmt.Sprintf("suspects[%d] = %d, want %d", i, got.Suspects[i], want.Suspects[i])
+		}
+	}
+	if len(want.Groups) != len(got.Groups) {
+		return fmt.Sprintf("len(groups) = %d, want %d", len(got.Groups), len(want.Groups))
+	}
+	for i := range want.Groups {
+		w, g := want.Groups[i], got.Groups[i]
+		if w.Acceptance != g.Acceptance || w.K != g.K || w.Round != g.Round {
+			return fmt.Sprintf("groups[%d] = (acc %v, k %v, round %d), want (acc %v, k %v, round %d)",
+				i, g.Acceptance, g.K, g.Round, w.Acceptance, w.K, w.Round)
+		}
+		if len(w.Members) != len(g.Members) {
+			return fmt.Sprintf("len(groups[%d].members) = %d, want %d", i, len(g.Members), len(w.Members))
+		}
+		for j := range w.Members {
+			if w.Members[j] != g.Members[j] {
+				return fmt.Sprintf("groups[%d].members[%d] = %d, want %d", i, j, g.Members[j], w.Members[j])
+			}
+		}
+	}
+	return ""
+}
+
+// EqualDetections reports whether two detections are byte-identical.
+func EqualDetections(a, b core.Detection) bool { return DiffDetections(a, b) == "" }
+
+// classes are the canonical fault mixes the seed-matrix tests sweep. Each
+// isolates one failure mode (plus "mixed", which layers them all) at rates
+// chosen so a run sees the fault many times yet always recovers within the
+// scenario retry budget.
+var classes = map[string]Options{
+	"latency": {
+		PLatency: 0.25, LatencyMin: time.Millisecond, LatencyMax: 80 * time.Millisecond,
+	},
+	"transient": {
+		PTransient: 0.05, PReplyLost: 0.03,
+	},
+	"duplicate": {
+		PDuplicate: 0.10,
+	},
+	"crash": {
+		PCrash: 0.004, MaxKills: 3,
+	},
+	"restart": {
+		PRestart: 0.004, RestartAfterMin: 1, RestartAfterMax: 3, MaxKills: 3,
+	},
+	"mixed": {
+		PLatency: 0.10, LatencyMin: time.Millisecond, LatencyMax: 80 * time.Millisecond,
+		PTransient: 0.02, PReplyLost: 0.01, PDuplicate: 0.04,
+		PCrash: 0.002, PRestart: 0.002, RestartAfterMin: 1, RestartAfterMax: 3,
+		MaxKills: 3,
+	},
+}
+
+// Class returns the named canonical fault mix.
+func Class(name string) (Options, bool) {
+	o, ok := classes[name]
+	return o, ok
+}
+
+// ClassNames lists the canonical fault classes, sorted.
+func ClassNames() []string {
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,10 +1,215 @@
-package dist
+// Chaos seed matrix: every canonical fault class is swept over a table of
+// seeds, and every seeded run must produce a detection byte-identical to
+// the fault-free baseline. The file lives in package dist_test because it
+// layers internal/chaos (which imports dist) over the cluster.
+//
+// When a seed fails, the test prints a ready-to-run replay command and
+// appends "class=<c> seed=<n>" to the file named by $CHAOS_FAILURES_FILE
+// (CI uploads it as an artifact). Replay with:
+//
+//	go test ./internal/dist/ -run TestChaosReplay -chaos.class=<c> -chaos.seed=<n> -v
+package dist_test
 
 import (
+	"flag"
+	"fmt"
+	mathrand "math/rand/v2"
+	"os"
+	"reflect"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
 )
+
+var (
+	chaosSeedFlag  = flag.Uint64("chaos.seed", 0, "replay this chaos seed via TestChaosReplay")
+	chaosClassFlag = flag.String("chaos.class", "mixed", "fault class for -chaos.seed replay")
+)
+
+// chaosWorld plants the spam world the whole matrix runs on. It mirrors the
+// package-internal testWorld (which an external test file cannot reach).
+func chaosWorld(seed uint64, nL, nF int) (*graph.Graph, core.Seeds) {
+	r := mathrand.New(mathrand.NewPCG(seed, 101))
+	g := graph.New(nL + nF)
+	for i := 0; i < nL; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%nL))
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+7)%nL))
+	}
+	for i := 0; i < nL/2; i++ {
+		u, v := r.IntN(nL), r.IntN(nL)
+		if u != v {
+			g.AddRejection(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	for i := 0; i < nF; i++ {
+		u := graph.NodeID(nL + i)
+		for k := 0; k < 4 && k < i; k++ {
+			g.AddFriendship(u, graph.NodeID(nL+r.IntN(i)))
+		}
+		for req := 0; req < 10; req++ {
+			target := graph.NodeID(r.IntN(nL))
+			if r.Float64() < 0.7 {
+				g.AddRejection(target, u)
+			} else {
+				g.AddFriendship(u, target)
+			}
+		}
+	}
+	var seeds core.Seeds
+	for i := 0; i < 16; i++ {
+		seeds.Legit = append(seeds.Legit, graph.NodeID(i*nL/16))
+		seeds.Spammer = append(seeds.Spammer, graph.NodeID(nL+i*nF/16))
+	}
+	return g, seeds
+}
+
+// matrixSetup is the fixed world and detection config every matrix (and
+// replay) run uses — a replayed seed must see the exact call sequence the
+// matrix saw.
+func matrixSetup() (*graph.Graph, dist.DetectorConfig) {
+	g, seeds := chaosWorld(41, 200, 80)
+	cfg := dist.DetectorConfig{
+		Cut:         core.CutOptions{Seeds: seeds, RandSeed: 11},
+		TargetCount: 80,
+	}
+	return g, cfg
+}
+
+// matrixSeeds is the per-class seed table: 32 seeds, disjoint across
+// classes so the matrix explores 192 distinct schedules.
+func matrixSeeds(class string) []uint64 {
+	n := 32
+	if testing.Short() {
+		n = 6
+	}
+	base := uint64(1)
+	for _, c := range chaos.ClassNames() {
+		if c == class {
+			break
+		}
+		base += 1000
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)
+	}
+	return seeds
+}
+
+// reportChaosFailure prints the replay one-liner and records the seed for
+// the CI artifact.
+func reportChaosFailure(t *testing.T, class string, f chaos.Failure) {
+	t.Helper()
+	t.Errorf("%s\nreplay: go test ./internal/dist/ -run TestChaosReplay -chaos.class=%s -chaos.seed=%d -v",
+		f, class, f.Seed)
+	if path := os.Getenv("CHAOS_FAILURES_FILE"); path != "" {
+		fh, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Logf("cannot record failing seed: %v", err)
+			return
+		}
+		fmt.Fprintf(fh, "class=%s seed=%d\n", class, f.Seed)
+		fh.Close()
+	}
+}
+
+// TestChaosSeedMatrix is the engine's fault-tolerance contract: under
+// every canonical fault class and every tabled seed, detection results are
+// byte-identical to the fault-free run — faults may cost retries, virtual
+// time and traffic, but never results.
+func TestChaosSeedMatrix(t *testing.T) {
+	g, cfg := matrixSetup()
+	for _, class := range chaos.ClassNames() {
+		mix, ok := chaos.Class(class)
+		if !ok {
+			t.Fatalf("class %q missing", class)
+		}
+		t.Run(class, func(t *testing.T) {
+			t.Parallel()
+			sc := chaos.Scenario{Faults: mix}
+			rep, err := sc.Verify(g, cfg, matrixSeeds(class))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Baseline.Suspects) == 0 {
+				t.Fatal("baseline found no suspects — the matrix world is vacuous")
+			}
+			if rep.TotalFaults() == 0 {
+				t.Fatalf("class %q injected no faults over %d runs", class, len(rep.Runs))
+			}
+			for _, f := range rep.Failures {
+				reportChaosFailure(t, class, f)
+			}
+		})
+	}
+}
+
+// TestChaosScheduleReproducible asserts the other half of the acceptance
+// contract: one seed yields one fault schedule, byte-for-byte, across
+// independent invocations — which is what makes every matrix failure
+// replayable from its seed alone.
+func TestChaosScheduleReproducible(t *testing.T) {
+	g, cfg := matrixSetup()
+	mix, _ := chaos.Class("mixed")
+	sc := chaos.Scenario{Faults: mix}
+	a, err := sc.Run(g, cfg, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Run(g, cfg, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Calls != b.Calls {
+		t.Fatalf("same seed, different call counts: %d vs %d", a.Calls, b.Calls)
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatalf("same seed, different fault schedules: %d vs %d faults", len(a.Faults), len(b.Faults))
+	}
+	if len(a.Faults) == 0 {
+		t.Fatal("mixed class injected nothing — reproducibility check is vacuous")
+	}
+	if diff := chaos.DiffDetections(a.Detection, b.Detection); diff != "" {
+		t.Fatalf("same seed, different detections: %s", diff)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("same seed, different virtual time: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
+
+// TestChaosReplay re-executes one matrix seed with the fault log printed,
+// for debugging a failure reported by TestChaosSeedMatrix. It is a no-op
+// without -chaos.seed.
+func TestChaosReplay(t *testing.T) {
+	if *chaosSeedFlag == 0 {
+		t.Skip("pass -chaos.seed (and -chaos.class) to replay a matrix seed")
+	}
+	mix, ok := chaos.Class(*chaosClassFlag)
+	if !ok {
+		t.Fatalf("unknown -chaos.class %q; have %v", *chaosClassFlag, chaos.ClassNames())
+	}
+	g, cfg := matrixSetup()
+	sc := chaos.Scenario{Faults: mix}
+	base, err := sc.Baseline(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(g, cfg, *chaosSeedFlag)
+	for _, rec := range res.Faults {
+		t.Logf("%s", rec)
+	}
+	t.Logf("%d calls, %d faults, %v virtual time, io: %s",
+		res.Calls, len(res.Faults), res.Elapsed, res.IO)
+	if err != nil {
+		t.Fatalf("seed %d: detection failed: %v", *chaosSeedFlag, err)
+	}
+	if diff := chaos.DiffDetections(base, res.Detection); diff != "" {
+		t.Fatalf("seed %d: %s", *chaosSeedFlag, diff)
+	}
+}
 
 // TestMidDetectionWorkerFailure injects a one-shot worker failure in the
 // middle of a distributed detection run and checks that lineage recovery
@@ -12,7 +217,7 @@ import (
 // keeps no state on workers beyond the (replayable) shards, so a mid-run
 // loss must be fully transparent.
 func TestMidDetectionWorkerFailure(t *testing.T) {
-	g, _, seeds := testWorld(31, 250, 100)
+	g, seeds := chaosWorld(31, 250, 100)
 	cutOpts := core.CutOptions{Seeds: seeds, RandSeed: 3}
 
 	local, err := core.Detect(g, core.DetectorOptions{Cut: cutOpts, TargetCount: 100})
@@ -21,15 +226,15 @@ func TestMidDetectionWorkerFailure(t *testing.T) {
 	}
 
 	for _, failAt := range []int64{0, 10, 500} {
-		c := NewLocalCluster(3, 0)
+		c := dist.NewLocalCluster(3, 0)
 		if err := c.LoadGraph(g, 2); err != nil {
 			t.Fatal(err)
 		}
-		if !FailWorkerAfter(c.transport, 1, failAt) {
+		if !dist.FailWorkerAfter(c.Transport(), 1, failAt) {
 			t.Fatal("FailWorkerAfter unsupported on local transport")
 		}
-		cfg := DetectorConfig{Cut: cutOpts, TargetCount: 100}
-		det := NewDetector(c, g.NumNodes(), cfg)
+		cfg := dist.DetectorConfig{Cut: cutOpts, TargetCount: 100}
+		det := dist.NewDetector(c, g.NumNodes(), cfg)
 		remote, err := det.Detect(cfg)
 		if err != nil {
 			t.Fatalf("failAt=%d: %v", failAt, err)
@@ -49,21 +254,21 @@ func TestMidDetectionWorkerFailure(t *testing.T) {
 // TestDoubleFailure kills two different workers at different points of the
 // same run.
 func TestDoubleFailure(t *testing.T) {
-	g, _, seeds := testWorld(32, 200, 80)
+	g, seeds := chaosWorld(32, 200, 80)
 	cutOpts := core.CutOptions{Seeds: seeds, RandSeed: 5}
 	local, err := core.Detect(g, core.DetectorOptions{Cut: cutOpts, TargetCount: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := NewLocalCluster(4, 0)
+	c := dist.NewLocalCluster(4, 0)
 	defer c.Close()
 	if err := c.LoadGraph(g, 2); err != nil {
 		t.Fatal(err)
 	}
-	FailWorkerAfter(c.transport, 0, 20)
-	FailWorkerAfter(c.transport, 3, 200)
-	cfg := DetectorConfig{Cut: cutOpts, TargetCount: 80}
-	det := NewDetector(c, g.NumNodes(), cfg)
+	dist.FailWorkerAfter(c.Transport(), 0, 20)
+	dist.FailWorkerAfter(c.Transport(), 3, 200)
+	cfg := dist.DetectorConfig{Cut: cutOpts, TargetCount: 80}
+	det := dist.NewDetector(c, g.NumNodes(), cfg)
 	remote, err := det.Detect(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -3,10 +3,15 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/rng"
 )
 
 // Cluster is the master's view of the worker pool: the transport, the
@@ -31,12 +36,48 @@ type Cluster struct {
 	// transport call, one obs.EvDistShard per shard placement. nil (the
 	// default) disables tracing with no per-call clock reads.
 	tracer obs.Tracer
+
+	// retry policy, the clock it runs on, and its jitter stream. The
+	// jitter stream is independent of every algorithm stream so that
+	// retries can never perturb detection results.
+	retry  RetryPolicy
+	clock  Clock
+	jmu    sync.Mutex
+	jitter *rand.Rand
+
+	// tokens issues dedup tokens for mutating dataset calls, making them
+	// safe under duplicated delivery and timeout-triggered re-execution.
+	tokens atomic.Uint64
 }
 
 // SetTracer installs t as the cluster's RPC/shard tracer; nil disables
 // tracing. Set it before starting a run — the field is read by every
 // call, so swapping it mid-run races.
 func (c *Cluster) SetTracer(t obs.Tracer) { c.tracer = t }
+
+// SetRetryPolicy installs p (zero fields defaulted) as the cluster's call
+// retry policy. Set it before starting a run.
+func (c *Cluster) SetRetryPolicy(p RetryPolicy) {
+	c.retry = p.WithDefaults()
+	c.jitter = rng.New(c.retry.JitterSeed).Stream("dist/retry-jitter")
+}
+
+// RetryPolicy returns the active policy.
+func (c *Cluster) RetryPolicy() RetryPolicy { return c.retry }
+
+// SetClock installs the clock the retry path measures timeouts and sleeps
+// backoff on. Chaos tests pass the same virtual clock their transport
+// advances; nil restores the wall clock. Set it before starting a run.
+func (c *Cluster) SetClock(clk Clock) {
+	if clk == nil {
+		clk = realClock{}
+	}
+	c.clock = clk
+}
+
+// Transport returns the cluster's transport, for fault-injection hooks
+// (FailWorker and friends) and traffic shaping in tests.
+func (c *Cluster) Transport() Transport { return c.transport }
 
 // NewLocalCluster builds an in-process cluster with the given number of
 // workers. latency is the simulated per-call round-trip latency accumulated
@@ -50,16 +91,21 @@ func NewLocalCluster(workers int, latency time.Duration) *Cluster {
 		ws[i] = NewWorker()
 	}
 	stats := &IOStats{}
-	return &Cluster{
+	c := &Cluster{
 		transport: NewLocalTransport(ws, stats, latency),
 		stats:     stats,
+		clock:     realClock{},
 	}
+	c.SetRetryPolicy(RetryPolicy{})
+	return c
 }
 
-// NewCluster wraps an arbitrary transport (e.g. the RPC transport) in a
-// Cluster. stats may be nil.
+// NewCluster wraps an arbitrary transport (e.g. the RPC transport, or a
+// chaos-wrapped one) in a Cluster. stats may be nil.
 func NewCluster(t Transport, stats *IOStats) *Cluster {
-	return &Cluster{transport: t, stats: stats}
+	c := &Cluster{transport: t, stats: stats, clock: realClock{}}
+	c.SetRetryPolicy(RetryPolicy{})
+	return c
 }
 
 // Workers reports the worker count.
@@ -81,48 +127,172 @@ func (c *Cluster) VirtualLatency() time.Duration { return VirtualLatency(c.trans
 // Close shuts down the transport.
 func (c *Cluster) Close() error { return c.transport.Close() }
 
-// call issues a plain transport call, emitting one dist.rpc span per
-// call when a tracer is installed. The master-side duration includes any
-// simulated latency the transport accounts.
+// call issues one logical call, retrying transient failures (lost calls,
+// lost replies, per-call timeouts) under the cluster's retry policy with
+// capped exponential backoff and deterministic jitter. Each attempt emits
+// one dist.rpc span when a tracer is installed; each retry additionally
+// emits a dist.retry span carrying the attempt number and the backoff
+// slept before it. Worker-down and state-lost failures return immediately
+// — they need the recovery path, not a blind retry.
 func (c *Cluster) call(worker int, method Call, args, reply any) error {
-	if c.tracer == nil {
-		return c.transport.Call(worker, method, args, reply)
+	var err error
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			// The failed attempt may have partially filled the reply (a
+			// lost-reply fault executes worker-side first); zero it so the
+			// retry starts from a clean slate.
+			zeroReply(reply)
+		}
+		err = c.callOnce(worker, method, args, reply)
+		if err == nil || !IsTransient(err) || attempt >= c.retry.MaxAttempts {
+			return err
+		}
+		d := c.backoff(attempt)
+		obs.Pipeline.RPCRetries.Add(1)
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{
+				Name: obs.EvDistRetry, Wall: time.Now(), Dur: d,
+				Attempt: attempt + 1, Detail: string(method), Err: err.Error(),
+			})
+		}
+		c.clock.Sleep(d)
 	}
-	start := time.Now()
+}
+
+// callOnce issues a single transport attempt, enforcing the per-attempt
+// timeout on the cluster clock. A reply that arrives after the timeout is
+// discarded and the attempt reported as ErrTimeout — exactly what a real
+// master does, so the worker may have executed the call (idempotence
+// makes the retry safe).
+func (c *Cluster) callOnce(worker int, method Call, args, reply any) error {
+	deadline := c.retry.Timeout
+	tr := c.tracer
+	var wallStart time.Time
+	if tr != nil {
+		wallStart = time.Now()
+	}
+	var clockStart time.Time
+	if deadline > 0 {
+		clockStart = c.clock.Now()
+	}
 	err := c.transport.Call(worker, method, args, reply)
-	ev := obs.Event{
-		Name: obs.EvDistRPC, Wall: time.Now(), Dur: time.Since(start),
-		Detail: string(method),
+	if err == nil && deadline > 0 && c.clock.Now().Sub(clockStart) > deadline {
+		zeroReply(reply)
+		err = fmt.Errorf("%w: %s to worker %d exceeded %v", ErrTimeout, method, worker, deadline)
 	}
-	if err != nil {
-		ev.Err = err.Error()
+	if tr != nil {
+		ev := obs.Event{
+			Name: obs.EvDistRPC, Wall: time.Now(), Dur: time.Since(wallStart),
+			Detail: string(method),
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		tr.Emit(ev)
 	}
-	c.tracer.Emit(ev)
 	return err
 }
 
-// callWithRecovery issues a call and, when the worker is down, rebuilds the
-// worker's state (graph shards via the shard lineage, plus any dataset
-// lineage supplied by the caller) and retries once. This is the engine's
-// fault-tolerance path; the paper's prototype delegated the same job to
-// Spark's RDD recomputation.
+// backoff returns the jittered delay before retry number retry (1-based):
+// the capped exponential base, halved, plus a uniform draw over the other
+// half from the deterministic jitter stream.
+func (c *Cluster) backoff(retry int) time.Duration {
+	d := c.retry.backoffBase(retry)
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	c.jmu.Lock()
+	j := c.jitter.Int64N(int64(d - half + 1))
+	c.jmu.Unlock()
+	return half + time.Duration(j)
+}
+
+// zeroReply clears the struct a reply pointer points at, so a retried
+// attempt cannot observe (or accumulate onto) a previous attempt's
+// partial reply.
+func zeroReply(reply any) {
+	if rv := reflect.ValueOf(reply); rv.Kind() == reflect.Pointer && !rv.IsNil() {
+		rv.Elem().SetZero()
+	}
+}
+
+// callWithRecovery issues a call and, when the worker is down or has lost
+// its state, rebuilds the worker (graph shards via the shard lineage,
+// plus any dataset lineage supplied by the caller) and retries. This is
+// the engine's fault-tolerance path; the paper's prototype delegated the
+// same job to Spark's RDD recomputation.
+//
+// The cycle runs up to RecoveryAttempts times because recovery itself can
+// fail over: a replacement worker may die mid-rebuild (the rebuild calls
+// return ErrWorkerDown again), and a transport may decline to revive a
+// worker that is restarting on its own — the master then backs off and
+// probes until the worker reappears, discovering the restart through
+// ErrStateLost and replaying the lineage onto it.
 func (c *Cluster) callWithRecovery(worker int, method Call, args, reply any, rebuild func(worker int) error) error {
 	err := c.call(worker, method, args, reply)
-	if err == nil || !errors.Is(err, ErrWorkerDown) {
+	if err == nil || !IsRecoverable(err) {
 		return err
 	}
-	if !ReviveWorker(c.transport, worker) {
-		return err // transport has no revive hook (e.g. real RPC)
+	max := c.retry.RecoveryAttempts
+	for attempt := 1; attempt <= max; attempt++ {
+		obs.Pipeline.RPCRecoveries.Add(1)
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{
+				Name: obs.EvDistRetry, Wall: time.Now(), Attempt: attempt,
+				Detail: fmt.Sprintf("recover worker %d for %s", worker, method),
+				Err:    err.Error(),
+			})
+		}
+		if errors.Is(err, ErrWorkerDown) {
+			if !ReviveWorker(c.transport, worker) {
+				// No replacement available (real RPC transport, or a chaos
+				// worker that will restart on its own): wait and probe.
+				c.clock.Sleep(c.backoff(attempt))
+				zeroReply(reply)
+				err = c.call(worker, method, args, reply)
+				if err == nil || !IsRecoverable(err) {
+					return err
+				}
+				continue
+			}
+		}
+		if rerr := c.rebuildWorker(worker, rebuild); rerr != nil {
+			if !IsRecoverable(rerr) {
+				return fmt.Errorf("dist: recovering worker %d: %w", worker, rerr)
+			}
+			// The worker died (or lost state again) mid-rebuild; go
+			// around and recover it again rather than failing the round.
+			err = rerr
+			c.clock.Sleep(c.backoff(attempt))
+			continue
+		}
+		zeroReply(reply)
+		err = c.call(worker, method, args, reply)
+		if err == nil || !IsRecoverable(err) {
+			return err
+		}
+		c.clock.Sleep(c.backoff(attempt))
 	}
+	return fmt.Errorf("dist: worker %d not recovered after %d attempts: %w", worker, max, err)
+}
+
+// nextToken issues a cluster-unique dedup token for a mutating dataset
+// call. Tokens start at 1 so zero can mean "untokened".
+func (c *Cluster) nextToken() uint64 { return c.tokens.Add(1) }
+
+// rebuildWorker restores a revived (or self-restarted) worker's state:
+// every shard homed on it, then any dataset lineage the caller supplied.
+func (c *Cluster) rebuildWorker(worker int, rebuild func(worker int) error) error {
 	if err := c.reloadShards(worker); err != nil {
-		return fmt.Errorf("dist: recovering worker %d: %w", worker, err)
+		return err
 	}
 	if rebuild != nil {
 		if err := rebuild(worker); err != nil {
-			return fmt.Errorf("dist: recovering worker %d datasets: %w", worker, err)
+			return err
 		}
 	}
-	return c.call(worker, method, args, reply)
+	return nil
 }
 
 // LoadGraph shards g across the workers round-robin and records the shard
@@ -258,7 +428,10 @@ func (c *Cluster) cutStats(p bitset, alive bitset) (CutStatsReply, error) {
 }
 
 // fetch pulls adjacency records for the given nodes, grouped per worker
-// into one call each.
+// into one call each. Workers are visited in index order — not map
+// order — so the master's call sequence is a pure function of the
+// detection state, which is what lets a seeded chaos schedule replay the
+// exact same faults on the exact same calls across invocations.
 func (c *Cluster) fetch(nodes []int32) ([]NodeAdj, error) {
 	byWorker := make(map[int][]int32)
 	for _, u := range nodes {
@@ -269,7 +442,11 @@ func (c *Cluster) fetch(nodes []int32) ([]NodeAdj, error) {
 		byWorker[wk] = append(byWorker[wk], u)
 	}
 	out := make([]NodeAdj, 0, len(nodes))
-	for wk, batch := range byWorker {
+	for wk := 0; wk < c.Workers(); wk++ {
+		batch := byWorker[wk]
+		if len(batch) == 0 {
+			continue
+		}
 		var reply FetchReply
 		if err := c.callWithRecovery(wk, CallFetch, &FetchArgs{Nodes: batch}, &reply, nil); err != nil {
 			return nil, err

@@ -60,6 +60,11 @@ type DatasetArgs struct {
 	MapOp string
 	// Rows carries the partition contents for "store".
 	Rows [][]byte
+	// Token, when non-zero, dedups the mutating ops (store/apply/drop):
+	// the worker executes a given token at most once, so duplicated
+	// deliveries and lost-reply retries are idempotent even for ops whose
+	// bodies are not. Read-only ops ignore it.
+	Token uint64
 }
 
 // DatasetReply carries dataset operation results.
@@ -68,17 +73,28 @@ type DatasetReply struct {
 	Count int64
 }
 
-// Dataset handles one dataset operation on the worker.
+// Dataset handles one dataset operation on the worker. A missing source
+// dataset is reported as ErrStateLost — the master only names datasets it
+// placed (or derived) here, so absence means this worker restarted empty
+// and the lineage must be replayed.
 func (w *Worker) Dataset(args *DatasetArgs, reply *DatasetReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	mutating := args.Op == "store" || args.Op == "apply" || args.Op == "drop"
+	if mutating && args.Token != 0 {
+		if w.seen.has(args.Token) {
+			// Duplicate delivery of an already-executed mutation:
+			// acknowledge without re-executing.
+			return nil
+		}
+	}
 	switch args.Op {
 	case "store":
 		w.datasets[args.TargetName] = args.Rows
 	case "apply":
 		src, ok := w.datasets[args.SourceName]
 		if !ok {
-			return fmt.Errorf("dist: dataset %q not on this worker", args.SourceName)
+			return fmt.Errorf("%w: dataset %q not on this worker", ErrStateLost, args.SourceName)
 		}
 		fn, err := lookupOp(args.MapOp)
 		if err != nil {
@@ -92,19 +108,24 @@ func (w *Worker) Dataset(args *DatasetArgs, reply *DatasetReply) error {
 	case "collect":
 		src, ok := w.datasets[args.SourceName]
 		if !ok {
-			return fmt.Errorf("dist: dataset %q not on this worker", args.SourceName)
+			return fmt.Errorf("%w: dataset %q not on this worker", ErrStateLost, args.SourceName)
 		}
 		reply.Rows = src
 	case "count":
 		src, ok := w.datasets[args.SourceName]
 		if !ok {
-			return fmt.Errorf("dist: dataset %q not on this worker", args.SourceName)
+			return fmt.Errorf("%w: dataset %q not on this worker", ErrStateLost, args.SourceName)
 		}
 		reply.Count = int64(len(src))
 	case "drop":
 		delete(w.datasets, args.SourceName)
 	default:
 		return fmt.Errorf("dist: unknown dataset op %q", args.Op)
+	}
+	if mutating && args.Token != 0 {
+		// Recorded only on success — a failed attempt must stay
+		// retryable under the same token.
+		w.seen.add(args.Token)
 	}
 	return nil
 }
@@ -145,7 +166,7 @@ func (d *Dataset) storeOn(worker int) error {
 	if d.source != nil {
 		rows = d.source[worker]
 	}
-	args := &DatasetArgs{Op: "store", TargetName: d.name, Rows: rows}
+	args := &DatasetArgs{Op: "store", TargetName: d.name, Rows: rows, Token: d.c.nextToken()}
 	return d.c.call(worker, CallDataset, args, &DatasetReply{})
 }
 
@@ -168,7 +189,10 @@ func (d *Dataset) Transform(target, mapOp string) (*Dataset, error) {
 }
 
 func (d *Dataset) applyOn(worker int) error {
-	args := &DatasetArgs{Op: "apply", SourceName: d.parent.name, TargetName: d.name, MapOp: d.mapOp}
+	args := &DatasetArgs{
+		Op: "apply", SourceName: d.parent.name, TargetName: d.name,
+		MapOp: d.mapOp, Token: d.c.nextToken(),
+	}
 	return d.c.call(worker, CallDataset, args, &DatasetReply{})
 }
 
@@ -213,10 +237,11 @@ func (d *Dataset) Count() (int64, error) {
 }
 
 // Drop releases the dataset's partitions on all workers. The handle (and
-// its lineage) remains usable for derived datasets' recovery.
+// its lineage) stays valid: like an unpersisted RDD, a later action on it
+// (or on a derived dataset) recomputes the partitions from lineage.
 func (d *Dataset) Drop() error {
 	for wk := 0; wk < d.c.Workers(); wk++ {
-		args := &DatasetArgs{Op: "drop", SourceName: d.name}
+		args := &DatasetArgs{Op: "drop", SourceName: d.name, Token: d.c.nextToken()}
 		if err := d.c.call(wk, CallDataset, args, &DatasetReply{}); err != nil {
 			return err
 		}

@@ -54,11 +54,20 @@ type DetectorConfig struct {
 	// the channel is closed: Detect returns the rounds completed so far
 	// with core.ErrInterrupted, exactly like the single-machine detector.
 	Cancel <-chan struct{}
+	// Retry, when non-zero, replaces the cluster's call-retry policy for
+	// this detector's runs: transient-failure attempts, per-call timeout,
+	// capped exponential backoff with deterministic jitter, and the
+	// recovery-cycle budget. The zero value keeps the cluster's current
+	// policy (the defaults, unless SetRetryPolicy was called).
+	Retry RetryPolicy
 }
 
 // NewDetector prepares a detector for a graph of n nodes already loaded
 // into the cluster via LoadGraph.
 func NewDetector(c *Cluster, n int, cfg DetectorConfig) *Detector {
+	if cfg.Retry != (RetryPolicy{}) {
+		c.SetRetryPolicy(cfg.Retry)
+	}
 	return &Detector{
 		c:  c,
 		n:  n,

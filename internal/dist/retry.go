@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"errors"
+	"time"
+)
+
+// The retry layer classifies call failures into three kinds and gives the
+// master a deterministic policy for surviving the first two:
+//
+//   - transient: the call (or its reply) was lost in flight, or exceeded
+//     the per-call timeout. The worker may or may not have executed it.
+//     Retried in place with capped exponential backoff; every worker
+//     method is idempotent (reads are pure, dataset mutations carry
+//     dedup tokens), so re-execution is safe.
+//   - worker down: the worker process is gone (ErrWorkerDown). Handled by
+//     callWithRecovery: replace the worker if the transport can, rebuild
+//     its state from lineage, and retry — repeatedly, because a
+//     replacement can die mid-rebuild too.
+//   - state lost: the worker answers but no longer holds the state the
+//     master placed on it (ErrStateLost) — a crash-restart the master did
+//     not orchestrate. Same lineage rebuild, no replacement needed.
+//
+// Everything is driven through a Clock so chaos tests can run the whole
+// schedule — timeouts, backoff sleeps, injected latency — on virtual time.
+
+// ErrTransient marks a call failure that may succeed if simply retried:
+// an injected or real network fault where the request or reply was lost.
+var ErrTransient = errors.New("dist: transient rpc error")
+
+// ErrTimeout reports that a call's master-side duration exceeded the
+// retry policy's per-call timeout. It is treated as transient: the call
+// may have executed, so retries rely on worker idempotence.
+var ErrTimeout = errors.New("dist: rpc timeout")
+
+// ErrStateLost reports that a worker is reachable but has lost the shards
+// or datasets the master loaded onto it — the signature of a worker that
+// crashed and restarted empty. callWithRecovery responds by replaying the
+// lineage onto the worker without replacing it.
+var ErrStateLost = errors.New("dist: worker state lost")
+
+// IsTransient reports whether err is worth retrying on the same worker
+// without any recovery action.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrTimeout)
+}
+
+// IsRecoverable reports whether err calls for the recovery path: reviving
+// and/or rebuilding the worker's state from lineage before retrying.
+func IsRecoverable(err error) bool {
+	return errors.Is(err, ErrWorkerDown) || errors.Is(err, ErrStateLost)
+}
+
+// Clock abstracts time for the retry path — timeout measurement and
+// backoff sleeps. The default RealClock uses the wall clock; chaos tests
+// install a virtual clock so seeded fault schedules replay identically
+// and backoff never actually sleeps.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// RetryPolicy configures the cluster's call-retry behaviour. The zero
+// value means "use the defaults" everywhere it is accepted.
+type RetryPolicy struct {
+	// MaxAttempts bounds the tries per call (first attempt included) for
+	// transient failures. Default 4.
+	MaxAttempts int
+	// Timeout is the per-attempt budget on the cluster clock; a call whose
+	// master-side duration exceeds it counts as failed-transient even if a
+	// reply arrived (the real-world semantics: the master has already
+	// given up, so the reply is dropped and the call retried). Zero
+	// disables the check.
+	Timeout time.Duration
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it, capped at MaxBackoff. Defaults 5ms / 500ms.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RecoveryAttempts bounds the revive→rebuild→retry cycles in
+	// callWithRecovery. Each cycle retries the call once; between cycles
+	// the same capped backoff applies, which is what lets the master
+	// outwait a worker that restarts on its own. Default 4.
+	RecoveryAttempts int
+	// JitterSeed seeds the deterministic backoff jitter stream. The
+	// stream is independent of every algorithm stream, so retries never
+	// perturb detection results. Default 1.
+	JitterSeed uint64
+}
+
+// DefaultRetryPolicy returns the production defaults.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{}.WithDefaults() }
+
+// WithDefaults fills zero fields with the defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	if p.RecoveryAttempts <= 0 {
+		p.RecoveryAttempts = 4
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 1
+	}
+	return p
+}
+
+// backoffBase returns the un-jittered delay before retry number retry
+// (1-based): BaseBackoff·2^(retry−1), capped at MaxBackoff.
+func (p RetryPolicy) backoffBase(retry int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}

@@ -1,0 +1,383 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := DefaultRetryPolicy()
+	if p.MaxAttempts != 4 || p.RecoveryAttempts != 4 {
+		t.Fatalf("default attempts = %d/%d, want 4/4", p.MaxAttempts, p.RecoveryAttempts)
+	}
+	if p.BaseBackoff != 5*time.Millisecond || p.MaxBackoff != 500*time.Millisecond {
+		t.Fatalf("default backoff = %v/%v, want 5ms/500ms", p.BaseBackoff, p.MaxBackoff)
+	}
+	if p.Timeout != 0 {
+		t.Fatalf("default timeout = %v, want disabled", p.Timeout)
+	}
+	if p.JitterSeed != 1 {
+		t.Fatalf("default jitter seed = %d, want 1", p.JitterSeed)
+	}
+}
+
+func TestBackoffBaseDoublesAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 5 * time.Millisecond, MaxBackoff: 32 * time.Millisecond}.WithDefaults()
+	want := []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		32 * time.Millisecond, 32 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.backoffBase(i + 1); got != w {
+			t.Fatalf("backoffBase(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	sequence := func() []time.Duration {
+		c := NewLocalCluster(1, 0)
+		defer c.Close()
+		c.SetRetryPolicy(RetryPolicy{JitterSeed: 42})
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = c.backoff(i + 1)
+		}
+		return out
+	}
+	a, b := sequence(), sequence()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jittered backoff not deterministic at retry %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	p := RetryPolicy{JitterSeed: 42}.WithDefaults()
+	for i, d := range a {
+		base := p.backoffBase(i + 1)
+		if d < base/2 || d > base {
+			t.Fatalf("backoff(%d) = %v outside [base/2, base] = [%v, %v]", i+1, d, base/2, base)
+		}
+	}
+}
+
+// flakyTransport fails the first n calls with a transient error, then
+// delegates to a healthy single-worker dispatch.
+type flakyTransport struct {
+	w         *Worker
+	remaining int
+	calls     int
+}
+
+func (f *flakyTransport) Call(worker int, method Call, args, reply any) error {
+	f.calls++
+	if f.remaining > 0 {
+		f.remaining--
+		return fmt.Errorf("%w: injected", ErrTransient)
+	}
+	return f.w.dispatch(method, args, reply)
+}
+func (f *flakyTransport) Workers() int { return 1 }
+func (f *flakyTransport) Close() error { return nil }
+
+// recordingClock counts sleeps without sleeping.
+type recordingClock struct {
+	now    time.Time
+	slept  []time.Duration
+	perNow time.Duration // advance applied on every Now() read
+}
+
+func (c *recordingClock) Now() time.Time {
+	c.now = c.now.Add(c.perNow)
+	return c.now
+}
+func (c *recordingClock) Sleep(d time.Duration) {
+	c.slept = append(c.slept, d)
+	c.now = c.now.Add(d)
+}
+
+func TestCallRetriesTransientFailures(t *testing.T) {
+	ft := &flakyTransport{w: NewWorker(), remaining: 2}
+	c := NewCluster(ft, nil)
+	clk := &recordingClock{}
+	c.SetClock(clk)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond})
+	if err := c.call(0, CallPing, &struct{}{}, &struct{}{}); err != nil {
+		t.Fatalf("call did not survive 2 transient failures: %v", err)
+	}
+	if ft.calls != 3 {
+		t.Fatalf("transport saw %d attempts, want 3", ft.calls)
+	}
+	if len(clk.slept) != 2 {
+		t.Fatalf("backed off %d times, want 2", len(clk.slept))
+	}
+}
+
+func TestCallGivesUpAfterMaxAttempts(t *testing.T) {
+	ft := &flakyTransport{w: NewWorker(), remaining: 100}
+	c := NewCluster(ft, nil)
+	c.SetClock(&recordingClock{})
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	err := c.call(0, CallPing, &struct{}{}, &struct{}{})
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if ft.calls != 3 {
+		t.Fatalf("transport saw %d attempts, want exactly MaxAttempts=3", ft.calls)
+	}
+}
+
+func TestCallTimeoutClassifiedTransient(t *testing.T) {
+	// Every Now() read advances the clock 30ms; callOnce reads it twice
+	// around the transport call, so each attempt measures 30ms against a
+	// 20ms budget and times out.
+	ft := &flakyTransport{w: NewWorker()}
+	c := NewCluster(ft, nil)
+	c.SetClock(&recordingClock{perNow: 30 * time.Millisecond})
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, Timeout: 20 * time.Millisecond, BaseBackoff: time.Millisecond})
+	err := c.call(0, CallPing, &struct{}{}, &struct{}{})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("timeout must classify as transient")
+	}
+	if IsRecoverable(err) {
+		t.Fatal("timeout must not trigger worker recovery")
+	}
+	if ft.calls != 2 {
+		t.Fatalf("transport saw %d attempts, want 2", ft.calls)
+	}
+}
+
+func TestZeroReplyClearsBetweenAttempts(t *testing.T) {
+	reply := &ComputeGainsReply{Gains: []int64{1, 2, 3}}
+	zeroReply(reply)
+	if reply.Gains != nil {
+		t.Fatalf("zeroReply left %+v", reply)
+	}
+	var nilPtr *ComputeGainsReply
+	zeroReply(nilPtr) // must not panic
+	zeroReply(nil)    // must not panic
+}
+
+// TestWorkerDiesDuringRebuild is the regression test for the recovery
+// loop: a worker that is killed again while its shards are being reloaded
+// must be recovered again, not fail the round. The second kill is armed as
+// a countdown that fires on the first LoadShard of the rebuild.
+func TestWorkerDiesDuringRebuild(t *testing.T) {
+	g, _, _ := testWorld(21, 120, 40)
+	c := NewLocalCluster(3, 0)
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond})
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Kill worker 1 now, and arm a second kill that fires on the first
+	// call it serves after its revival — i.e. mid-rebuild, during
+	// reloadShards.
+	FailWorker(c.transport, 1)
+	FailWorkerAfter(c.transport, 1, 0)
+
+	var u int32
+	for u = 0; int(u) < g.NumNodes(); u++ {
+		if wk, err := c.workerOf(u); err == nil && wk == 1 {
+			break
+		}
+	}
+	adjs, err := c.fetch([]int32{u})
+	if err != nil {
+		t.Fatalf("fetch did not survive a kill during rebuild: %v", err)
+	}
+	if len(adjs) != 1 || adjs[0].Node != u {
+		t.Fatalf("fetched %+v, want node %d", adjs, u)
+	}
+	if len(adjs[0].Friends) != len(g.Friends(graph.NodeID(u))) {
+		t.Fatalf("recovered adjacency truncated: %d friends, want %d",
+			len(adjs[0].Friends), len(g.Friends(graph.NodeID(u))))
+	}
+}
+
+// TestRecoveryBudgetExhausted pins the failure mode: a worker that stays
+// dead past RecoveryAttempts fails the call with a descriptive error
+// instead of looping forever.
+func TestRecoveryBudgetExhausted(t *testing.T) {
+	// downTransport: always down, declines revival.
+	c := NewCluster(downTransport{}, nil)
+	c.SetClock(&recordingClock{})
+	c.SetRetryPolicy(RetryPolicy{RecoveryAttempts: 3, BaseBackoff: time.Microsecond})
+	err := c.callWithRecovery(0, CallPing, &struct{}{}, &struct{}{}, nil)
+	if !errors.Is(err, ErrWorkerDown) {
+		t.Fatalf("err = %v, want wrapped ErrWorkerDown", err)
+	}
+}
+
+type downTransport struct{}
+
+func (downTransport) Call(worker int, method Call, args, reply any) error {
+	return fmt.Errorf("%w: worker %d", ErrWorkerDown, worker)
+}
+func (downTransport) Workers() int { return 1 }
+func (downTransport) Close() error { return nil }
+
+func TestCutStatsReplyReuseNoDoubleCount(t *testing.T) {
+	g, isFake, _ := testWorld(22, 100, 40)
+	w := NewWorker()
+	shards := MakeShards(g, 1)
+	if err := w.LoadShard(&LoadShardArgs{Shard: shards[0]}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	pb := newBitset(g.NumNodes())
+	for u := range isFake {
+		if isFake[u] {
+			pb.set(int32(u), true)
+		}
+	}
+	args := &CutStatsArgs{Partition: pb}
+	var reply CutStatsReply
+	if err := w.CutStats(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	first := reply
+	// Duplicated delivery presents the same (already filled) reply struct;
+	// the counts must not accumulate.
+	if err := w.CutStats(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply != first {
+		t.Fatalf("reply reuse double-counted: %+v then %+v", first, reply)
+	}
+}
+
+func TestDatasetTokenDedup(t *testing.T) {
+	executions := 0
+	RegisterOp("test/count-executions", func(row []byte) [][]byte {
+		executions++
+		return [][]byte{row}
+	})
+	w := NewWorker()
+	store := &DatasetArgs{Op: "store", TargetName: "src", Rows: makeRows(3), Token: 7}
+	if err := w.Dataset(store, &DatasetReply{}); err != nil {
+		t.Fatal(err)
+	}
+	apply := &DatasetArgs{
+		Op: "apply", SourceName: "src", TargetName: "dst",
+		MapOp: "test/count-executions", Token: 8,
+	}
+	if err := w.Dataset(apply, &DatasetReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if executions != 3 {
+		t.Fatalf("first apply executed %d rows, want 3", executions)
+	}
+	// Duplicate delivery of the same token: acknowledged, not re-executed.
+	if err := w.Dataset(apply, &DatasetReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if executions != 3 {
+		t.Fatalf("duplicate apply re-executed (%d rows)", executions)
+	}
+	// A fresh token executes again.
+	apply2 := *apply
+	apply2.TargetName = "dst2"
+	apply2.Token = 9
+	if err := w.Dataset(&apply2, &DatasetReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if executions != 6 {
+		t.Fatalf("fresh token did not execute: %d rows", executions)
+	}
+}
+
+func TestDatasetTokenNotRecordedOnFailure(t *testing.T) {
+	w := NewWorker()
+	// Apply against a missing source fails with ErrStateLost …
+	apply := &DatasetArgs{
+		Op: "apply", SourceName: "missing", TargetName: "dst",
+		MapOp: "test/double", Token: 11,
+	}
+	if err := w.Dataset(apply, &DatasetReply{}); !errors.Is(err, ErrStateLost) {
+		t.Fatalf("err = %v, want ErrStateLost", err)
+	}
+	// … and the token stays unspent: after the source appears, the same
+	// token must execute.
+	store := &DatasetArgs{Op: "store", TargetName: "missing", Rows: makeRows(2), Token: 12}
+	if err := w.Dataset(store, &DatasetReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Dataset(apply, &DatasetReply{}); err != nil {
+		t.Fatalf("retry under the same token failed: %v", err)
+	}
+	var count DatasetReply
+	if err := w.Dataset(&DatasetArgs{Op: "count", SourceName: "dst"}, &count); err != nil {
+		t.Fatal(err)
+	}
+	if count.Count != 2 {
+		t.Fatalf("retried apply produced %d rows, want 2", count.Count)
+	}
+}
+
+func TestTokenSetWindowEviction(t *testing.T) {
+	var s tokenSet
+	for tok := uint64(1); tok <= tokenWindow+10; tok++ {
+		s.add(tok)
+	}
+	if s.has(1) || s.has(5) {
+		t.Fatal("oldest tokens not evicted from the window")
+	}
+	if !s.has(tokenWindow + 10) {
+		t.Fatal("newest token missing")
+	}
+}
+
+func TestDetectorConfigRetryOverridesClusterPolicy(t *testing.T) {
+	c := NewLocalCluster(1, 0)
+	defer c.Close()
+	custom := RetryPolicy{MaxAttempts: 9, Timeout: time.Second}
+	NewDetector(c, 1, DetectorConfig{Retry: custom})
+	if got := c.RetryPolicy().MaxAttempts; got != 9 {
+		t.Fatalf("detector did not install its retry policy: MaxAttempts = %d", got)
+	}
+	if got := c.RetryPolicy().Timeout; got != time.Second {
+		t.Fatalf("detector did not install its timeout: %v", got)
+	}
+	// Zero config keeps the cluster's policy.
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 5})
+	NewDetector(c, 1, DetectorConfig{})
+	if got := c.RetryPolicy().MaxAttempts; got != 5 {
+		t.Fatalf("zero DetectorConfig.Retry clobbered the cluster policy: MaxAttempts = %d", got)
+	}
+}
+
+// TestStateLostTriggersRebuildWithoutRevive covers the crash-restart
+// discovery path: a worker that answers but lost its shards is rebuilt in
+// place (no replacement), and the call then succeeds.
+func TestStateLostTriggersRebuildWithoutRevive(t *testing.T) {
+	g, _, _ := testWorld(23, 100, 30)
+	c := NewLocalCluster(2, 0)
+	defer c.Close()
+	if err := c.LoadGraph(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash-restart the master did not see: wipe worker 0
+	// behind the transport's back.
+	lt := c.transport.(*localTransport)
+	lt.workers[0].reset()
+
+	var u int32
+	for u = 0; int(u) < g.NumNodes(); u++ {
+		if wk, err := c.workerOf(u); err == nil && wk == 0 {
+			break
+		}
+	}
+	adjs, err := c.fetch([]int32{u})
+	if err != nil {
+		t.Fatalf("fetch did not recover from a silent state wipe: %v", err)
+	}
+	if len(adjs) != 1 || len(adjs[0].Friends) != len(g.Friends(graph.NodeID(u))) {
+		t.Fatalf("rebuilt adjacency wrong: %+v", adjs)
+	}
+}

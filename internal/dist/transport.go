@@ -173,45 +173,69 @@ func VirtualLatency(t Transport) time.Duration {
 	return 0
 }
 
-// FailWorker marks a local-transport worker as failed, so subsequent calls
-// return ErrWorkerDown until ReviveWorker. It is a test/chaos hook; on the
-// RPC transport, kill the worker's listener instead.
+// Failer is implemented by transports that support deterministic fault
+// injection: killing a worker immediately or after a countdown of calls.
+type Failer interface {
+	FailWorker(worker int) bool
+	FailWorkerAfter(worker int, afterCalls int64) bool
+}
+
+// Reviver is implemented by transports that can replace a failed worker
+// with a fresh, empty one. A transport may decline (return false) — e.g.
+// the chaos transport refuses while it is simulating a worker that will
+// restart on its own — in which case the master backs off and retries
+// until the worker reappears or its recovery budget runs out.
+type Reviver interface {
+	ReviveWorker(worker int) bool
+}
+
+// FailWorker marks a worker as failed, so subsequent calls return
+// ErrWorkerDown until ReviveWorker. It is a test/chaos hook supported by
+// the local transport and wrappers that forward it (package chaos); on
+// the RPC transport, kill the worker's listener instead.
 func FailWorker(t Transport, worker int) bool {
-	lt, ok := t.(*localTransport)
-	if !ok {
-		return false
-	}
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	lt.down[worker] = true
-	return true
+	f, ok := t.(Failer)
+	return ok && f.FailWorker(worker)
 }
 
 // FailWorkerAfter arms a one-shot failure: the worker serves the next
 // afterCalls calls to it and then dies (losing its state) until revived.
-// Deterministic chaos hook for testing mid-run recovery on the local
-// transport.
+// Deterministic chaos hook for testing mid-run recovery.
 func FailWorkerAfter(t Transport, worker int, afterCalls int64) bool {
-	lt, ok := t.(*localTransport)
-	if !ok {
-		return false
-	}
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	lt.failAfter[worker] = afterCalls
+	f, ok := t.(Failer)
+	return ok && f.FailWorkerAfter(worker, afterCalls)
+}
+
+// ReviveWorker clears a failure mark and resets the worker to an empty
+// state (its shards are lost, as when a fresh process replaces a dead one).
+// It reports false when the transport cannot (or will not yet) replace
+// the worker.
+func ReviveWorker(t Transport, worker int) bool {
+	r, ok := t.(Reviver)
+	return ok && r.ReviveWorker(worker)
+}
+
+// FailWorker implements Failer.
+func (t *localTransport) FailWorker(worker int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[worker] = true
 	return true
 }
 
-// ReviveWorker clears a FailWorker mark and resets the worker to an empty
-// state (its shards are lost, as when a fresh process replaces a dead one).
-func ReviveWorker(t Transport, worker int) bool {
-	lt, ok := t.(*localTransport)
-	if !ok {
-		return false
-	}
-	lt.mu.Lock()
-	lt.down[worker] = false
-	lt.mu.Unlock()
-	lt.workers[worker].reset()
+// FailWorkerAfter implements Failer.
+func (t *localTransport) FailWorkerAfter(worker int, afterCalls int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failAfter[worker] = afterCalls
+	return true
+}
+
+// ReviveWorker implements Reviver.
+func (t *localTransport) ReviveWorker(worker int) bool {
+	t.mu.Lock()
+	t.down[worker] = false
+	t.mu.Unlock()
+	t.workers[worker].reset()
 	return true
 }

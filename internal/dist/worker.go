@@ -17,6 +17,11 @@ type Worker struct {
 	mu       sync.Mutex
 	shards   []*Shard // sorted by Lo
 	datasets map[string][][]byte
+	// seen dedups mutating dataset calls by token, so a duplicated
+	// delivery (or a retry of a call whose reply was lost) executes the
+	// mutation exactly once. Cleared on reset: a fresh process genuinely
+	// has not executed anything.
+	seen tokenSet
 }
 
 // NewWorker returns an empty worker.
@@ -30,6 +35,44 @@ func (w *Worker) reset() {
 	defer w.mu.Unlock()
 	w.shards = nil
 	w.datasets = make(map[string][][]byte)
+	w.seen = tokenSet{}
+}
+
+// tokenSet remembers recently seen dedup tokens with a bounded ring:
+// old tokens are evicted FIFO once the window fills. The window only
+// needs to outlast one call's retry horizon, which it does by orders of
+// magnitude.
+type tokenSet struct {
+	m    map[uint64]struct{}
+	ring []uint64
+	pos  int
+}
+
+const tokenWindow = 1 << 12
+
+// has reports whether tok is in the window.
+func (s *tokenSet) has(tok uint64) bool {
+	_, ok := s.m[tok]
+	return ok
+}
+
+// add records tok, evicting the oldest token once the window fills. Only
+// successfully executed mutations are recorded — a failed attempt must
+// stay retryable.
+func (s *tokenSet) add(tok uint64) {
+	if s.m == nil {
+		s.m = make(map[uint64]struct{}, tokenWindow)
+		s.ring = make([]uint64, tokenWindow)
+	}
+	if s.has(tok) {
+		return
+	}
+	if old := s.ring[s.pos]; old != 0 {
+		delete(s.m, old)
+	}
+	s.ring[s.pos] = tok
+	s.pos = (s.pos + 1) % len(s.ring)
+	s.m[tok] = struct{}{}
 }
 
 // LoadShardArgs carries a shard to a worker.
@@ -116,13 +159,16 @@ func (w *Worker) LoadShard(args *LoadShardArgs, _ *struct{}) error {
 	return nil
 }
 
-// shardFor locates the shard containing node u.
+// shardFor locates the shard containing node u. A miss is reported as
+// ErrStateLost: the master only routes a node here when its placement
+// says this worker hosts it, so not holding the shard means the worker
+// restarted empty and needs its lineage replayed.
 func (w *Worker) shardFor(u int32) (*Shard, error) {
 	i := sort.Search(len(w.shards), func(i int) bool { return w.shards[i].Hi > u })
 	if i < len(w.shards) && w.shards[i].Lo <= u {
 		return w.shards[i], nil
 	}
-	return nil, fmt.Errorf("dist: node %d not hosted on this worker", u)
+	return nil, fmt.Errorf("%w: node %d not hosted on this worker", ErrStateLost, u)
 }
 
 // Fetch returns the adjacency records of the requested nodes.
@@ -159,6 +205,12 @@ func region(suspect bool) graph.Region {
 func (w *Worker) ComputeGains(args *ComputeGainsArgs, reply *ComputeGainsReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if len(w.shards) == 0 {
+		// A worker the master believes holds shards but doesn't has
+		// restarted empty; answering with zero gains would silently
+		// corrupt the round.
+		return fmt.Errorf("%w: no shards loaded", ErrStateLost)
+	}
 	alive := func(u int32) bool { return args.Alive == nil || args.Alive.get(u) }
 	total := 0
 	for _, sh := range w.shards {
@@ -200,9 +252,16 @@ func (w *Worker) ComputeGains(args *ComputeGainsArgs, reply *ComputeGainsReply) 
 }
 
 // CutStats computes the worker's contribution to the global cut statistics.
+// The reply is zeroed first: it accumulates, and under duplicated delivery
+// or a lost-reply retry the same reply struct is presented twice — without
+// the reset the second execution would double-count every edge.
 func (w *Worker) CutStats(args *CutStatsArgs, reply *CutStatsReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	*reply = CutStatsReply{}
+	if len(w.shards) == 0 {
+		return fmt.Errorf("%w: no shards loaded", ErrStateLost)
+	}
 	alive := func(u int32) bool { return args.Alive == nil || args.Alive.get(u) }
 	for _, sh := range w.shards {
 		for u := sh.Lo; u < sh.Hi; u++ {

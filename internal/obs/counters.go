@@ -38,6 +38,15 @@ type PipelineCounters struct {
 	Rounds      *expvar.Int
 	RoundMS     *expvar.Float
 	LastRoundMS *expvar.Float
+	// RPCRetries counts transient-failure retries by the distributed
+	// master, and RPCRecoveries its worker revive→rebuild cycles. On a
+	// healthy cluster both sit at zero; under churn their ratio to calls
+	// is the effective fault rate the retry policy is absorbing.
+	RPCRetries    *expvar.Int
+	RPCRecoveries *expvar.Int
+	// ChaosFaults counts faults injected by the chaos transport. Nonzero
+	// only under deliberate fault injection (tests, -chaos-seed runs).
+	ChaosFaults *expvar.Int
 }
 
 // Pipeline is the singleton counter set. expvar registration is global
@@ -53,4 +62,7 @@ var Pipeline = PipelineCounters{
 	Rounds:         expvar.NewInt("rejecto.rounds"),
 	RoundMS:        expvar.NewFloat("rejecto.round_ms_total"),
 	LastRoundMS:    expvar.NewFloat("rejecto.last_round_ms"),
+	RPCRetries:     expvar.NewInt("rejecto.rpc_retries"),
+	RPCRecoveries:  expvar.NewInt("rejecto.rpc_recoveries"),
+	ChaosFaults:    expvar.NewInt("rejecto.chaos_faults"),
 }

@@ -86,6 +86,7 @@ func appendEvent(b []byte, e Event) []byte {
 		b = strconv.AppendFloat(b, e.K, 'g', -1, 64)
 	}
 	b = appendInt(b, "init", e.Init)
+	b = appendInt(b, "attempt", e.Attempt)
 	b = appendInt(b, "passes", e.Passes)
 	b = appendInt(b, "switches", e.Switches)
 	b = appendInt(b, "rollbacks", e.Rollbacks)

@@ -33,6 +33,13 @@
 //	                  "threshold", "target") when there is one
 //	dist.rpc          one master↔worker call: Detail = method, Dur, Err
 //	dist.shard        one shard loaded onto a worker: Detail, Nodes
+//	dist.retry        one retry decision by the cluster: Attempt (the try
+//	                  about to run, or the recovery cycle), Dur = backoff
+//	                  about to be slept, Detail = method or "recover
+//	                  worker N for M", Err = the failure being retried
+//	chaos.fault       one injected fault (package chaos): Detail =
+//	                  "kind method → worker N", Dur = injected latency,
+//	                  Job = the 1-based transport call index
 //
 // Tracers must tolerate concurrent Emit calls: the sweep's workers emit
 // solve.done events from their own goroutines. Slice-valued fields
@@ -55,6 +62,8 @@ const (
 	EvDetectDone  = "detect.done"
 	EvDistRPC     = "dist.rpc"
 	EvDistShard   = "dist.shard"
+	EvDistRetry   = "dist.retry"
+	EvChaosFault  = "chaos.fault"
 )
 
 // Event is one structured trace event. It is a flat value type so that
@@ -82,6 +91,9 @@ type Event struct {
 	K float64
 	// Init is the 1-based initial-partition index of a solve.
 	Init int
+	// Attempt is the 1-based retry attempt (or recovery cycle) of a
+	// dist.retry event; 0 everywhere else.
+	Attempt int
 
 	// Passes, Switches, Rollbacks summarize KL work: improvement passes,
 	// tentative node switches, and switches undone by prefix rollback.

@@ -37,6 +37,9 @@ type Summary struct {
 	rpcCalls int
 	rpcDur   time.Duration
 
+	retries int
+	faults  int
+
 	done   bool
 	reason string // early-stop reason from detect.done, if any
 }
@@ -86,6 +89,10 @@ func (s *Summary) Emit(e Event) {
 	case EvDistRPC:
 		s.rpcCalls++
 		s.rpcDur += e.Dur
+	case EvDistRetry:
+		s.retries++
+	case EvChaosFault:
+		s.faults++
 	}
 }
 
@@ -181,6 +188,11 @@ func (s *Summary) WritePhases(w io.Writer) error {
 	}
 	if s.rpcCalls > 0 {
 		if _, err := fmt.Fprintf(w, "rpc: %d calls, %s master-side\n", s.rpcCalls, round(s.rpcDur)); err != nil {
+			return err
+		}
+	}
+	if s.retries > 0 || s.faults > 0 {
+		if _, err := fmt.Fprintf(w, "faults: %d injected, %d retries/recoveries\n", s.faults, s.retries); err != nil {
 			return err
 		}
 	}

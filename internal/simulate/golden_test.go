@@ -1,0 +1,103 @@
+package simulate
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Golden regression tests for the Table I / Table II pipelines: the full
+// rendered tables (minus wall-clock columns, which are not deterministic)
+// are pinned byte-for-byte. Any change to the generators, the distributed
+// engine's call pattern, or the byte accounting shows up as a golden diff.
+//
+// Refresh after an intentional change with:
+//
+//	go test ./internal/simulate/ -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := range wantLines {
+		if i >= len(gotLines) {
+			t.Fatalf("%s: output truncated at line %d; want %q", name, i+1, wantLines[i])
+		}
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("%s: line %d differs\n got: %q\nwant: %q\n(regenerate with -update if intentional)",
+				name, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("%s: output has %d extra lines (regenerate with -update if intentional)",
+		name, len(gotLines)-len(wantLines))
+}
+
+func TestGoldenTableI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates all seven stand-ins")
+	}
+	rows, err := Config{Seed: 5}.WithDefaults().TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable("Table I: evaluation graphs (paper vs generated)",
+		"dataset", "paper-nodes", "paper-edges", "paper-cc", "paper-diam",
+		"nodes", "edges", "cc", "diam")
+	for _, r := range rows {
+		tab.AddRow(r.Name, r.PaperNodes, r.PaperEdges, r.PaperCC, r.PaperDiameter,
+			r.Nodes, r.Edges, r.CC, r.Diameter)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.golden", sb.String())
+}
+
+func TestGoldenTableII(t *testing.T) {
+	rows, err := TableII(TableIIConfig{
+		UserCounts:     []int{2000, 4000},
+		Workers:        3,
+		Seed:           9,
+		LatencyPerCall: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WallTime is real elapsed time and is excluded; everything else —
+	// sizes, call counts, traffic bytes, simulated network time — is a
+	// pure function of the seed and the engine's call pattern.
+	tab := NewTable("Table II: scalability sweep (deterministic columns)",
+		"users", "edges", "workers", "calls", "bytes-sent", "bytes-recv", "net-time")
+	for _, r := range rows {
+		tab.AddRow(r.Users, r.Edges, r.Workers, r.Calls, r.BytesSent, r.BytesRecv,
+			fmt.Sprintf("%v", r.VirtualNetworkTime))
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2.golden", sb.String())
+}
