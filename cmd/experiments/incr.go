@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/incr"
+	"repro/internal/simulate"
+)
+
+// incrWorld builds the epoch-latency scenario: a ring-plus-chords
+// friendship base, a journal of answered requests spread over intervals
+// (high-ID senders mostly rejected, like a spam campaign riding benign
+// traffic), and a delta generator producing the given fraction of the
+// journal, landing in the last interval.
+type incrWorld struct {
+	base      *graph.Graph
+	journal   []core.TimedRequest
+	deltaSize int
+	intervals int
+	r         *rand.Rand
+}
+
+func newIncrWorld(seed uint64, n, journal, intervals int, deltaFrac float64) *incrWorld {
+	r := rand.New(rand.NewPCG(seed, 1))
+	base := graph.New(n)
+	for i := 0; i < n; i++ {
+		base.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%n))
+		base.AddFriendship(graph.NodeID(i), graph.NodeID((i+9)%n))
+	}
+	w := &incrWorld{
+		base:      base,
+		deltaSize: max(1, int(deltaFrac*float64(journal))),
+		intervals: intervals,
+		r:         r,
+	}
+	w.journal = w.requests(journal, -1)
+	return w
+}
+
+// requests draws answered requests; interval -1 spreads them uniformly.
+func (w *incrWorld) requests(count, interval int) []core.TimedRequest {
+	n := w.base.NumNodes()
+	out := make([]core.TimedRequest, 0, count)
+	for len(out) < count {
+		u, v := graph.NodeID(w.r.IntN(n)), graph.NodeID(w.r.IntN(n))
+		if u == v {
+			continue
+		}
+		rejectP := 0.25
+		if int(u) >= n*9/10 { // top decile are the campaign senders
+			rejectP = 0.8
+		}
+		iv := interval
+		if iv < 0 {
+			iv = len(out) % w.intervals
+		}
+		out = append(out, core.TimedRequest{
+			From: u, To: v,
+			Accepted: w.r.Float64() >= rejectP,
+			Interval: iv,
+		})
+	}
+	return out
+}
+
+func (w *incrWorld) delta() incr.Delta {
+	var d incr.Delta
+	for _, req := range w.requests(w.deltaSize, w.intervals-1) {
+		d.AddRequest(req)
+	}
+	return d
+}
+
+// runIncr measures epoch latency at small delta sizes, the incremental
+// engine against the cold batch baseline (re-running core.DetectSharded
+// over the grown journal, the way rejectod's default mode does).
+func runIncr(cfg simulate.Config, _ *cliArgs) error {
+	n := max(200, int(400*cfg.Scale))
+	journalLen := max(2000, int(8000*cfg.Scale))
+	const intervals, epochs = 8, 3
+
+	opts := core.DetectorOptions{
+		Cut:                 core.CutOptions{RandSeed: cfg.Seed, Parallelism: 2},
+		AcceptanceThreshold: 0.6,
+		MaxRounds:           4,
+	}
+
+	t := simulate.NewTable(
+		fmt.Sprintf("Incremental epochs — latency vs delta size (%d users, %d-request journal, %d intervals, %d epochs/point)",
+			n, journalLen, intervals, epochs),
+		"delta", "reqs", "cold epoch", "incr epoch", "speedup", "patched", "reused", "warm", "fallbacks")
+
+	for _, frac := range []float64{0.001, 0.01, 0.1} {
+		// Cold baseline: each epoch re-detects journal + accumulated deltas.
+		w := newIncrWorld(cfg.Seed, n, journalLen, intervals, frac)
+		reqs := append([]core.TimedRequest{}, w.journal...)
+		var coldTotal time.Duration
+		for e := 0; e < epochs; e++ {
+			reqs = append(reqs, w.delta().Requests...)
+			start := time.Now()
+			if _, err := core.DetectSharded(w.base, reqs, opts); err != nil {
+				return err
+			}
+			coldTotal += time.Since(start)
+		}
+
+		// Incremental: prime the engine with the journal, then step deltas.
+		w = newIncrWorld(cfg.Seed, n, journalLen, intervals, frac)
+		eng, err := incr.NewEngine(incr.Config{Base: w.base, Detector: opts})
+		if err != nil {
+			return err
+		}
+		var prime incr.Delta
+		prime.Requests = w.journal
+		if _, _, err := eng.Step(prime); err != nil {
+			return err
+		}
+		var incrTotal time.Duration
+		patched, reused, warm, fallbacks := 0, 0, 0, 0
+		for e := 0; e < epochs; e++ {
+			d := w.delta()
+			start := time.Now()
+			_, stats, err := eng.Step(d)
+			if err != nil {
+				return err
+			}
+			incrTotal += time.Since(start)
+			patched += stats.Patched
+			reused += stats.Reused
+			warm += stats.WarmRounds
+			fallbacks += stats.Fallbacks
+		}
+
+		cold := coldTotal / epochs
+		inc := incrTotal / epochs
+		t.AddRow(
+			fmt.Sprintf("%.1f%%", 100*frac),
+			w.deltaSize,
+			cold.Round(time.Millisecond).String(),
+			inc.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", float64(cold)/float64(inc)),
+			patched, reused, warm, fallbacks)
+	}
+	return t.Render(os.Stdout)
+}

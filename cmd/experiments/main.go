@@ -106,6 +106,7 @@ func experiments() []experiment {
 		{"fig17", "Fig 9-12 sweeps on the six other graphs", runFig17},
 		{"fig18", "Fig 13-15 sweeps on the six other graphs", runFig18},
 		{"table2", "distributed-engine scalability", runTable2},
+		{"incr", "incremental epochs: latency vs delta size, cold vs patched+warm", runIncr},
 	}
 	return exps
 }

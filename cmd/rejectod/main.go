@@ -9,8 +9,20 @@
 //	rejectod -graph base.txt [-listen :8080]
 //	         [-target 100 | -threshold 0.5] [-detect-every 30s]
 //	         [-journal events.log] [-queue 1024]
+//	         [-incremental] [-incr-max-patch 0.25] [-no-warm-start]
 //	         [-kmin 0.03125] [-kmax 32] [-seed 42]
 //	         [-trace run.jsonl] [-v] [-debug-addr :6060]
+//
+// -incremental switches the detector to the incremental epoch engine
+// (internal/incr): each detection patches the previous epoch's frozen
+// snapshots with the journal delta instead of re-folding the whole log,
+// reuses untouched intervals, and warm-starts each interval's sweep from
+// the previous epoch's cut (quality-gated; -no-warm-start forces cold
+// solves, making the published suspect sets byte-identical to batch mode).
+// -incr-max-patch bounds the delta-to-graph edge ratio above which a
+// snapshot is rebuilt cold. GET /v1/stats reports the mode plus the last
+// epoch's patch/reuse/warm breakdown, and /debug/vars carries the
+// rejecto.incr_* counters.
 //
 // Endpoints:
 //
@@ -64,6 +76,9 @@ func run() int {
 		detectEvery = flag.Duration("detect-every", 0, "run detection on this period (0 disables; POST /v1/detect always works)")
 		journal     = flag.String("journal", "", "append answered requests to this file; recovers state from it on start")
 		queueSize   = flag.Int("queue", 1024, "ingest queue bound; a full queue answers 429")
+		incremental = flag.Bool("incremental", false, "use the incremental epoch engine: patch snapshots and warm-start sweeps instead of re-folding the journal")
+		incrPatch   = flag.Float64("incr-max-patch", 0, "delta-to-graph edge ratio above which a snapshot rebuilds cold (0 = default 0.25)")
+		noWarm      = flag.Bool("no-warm-start", false, "with -incremental, solve every round cold (byte-identical to batch mode)")
 		kmin        = flag.Float64("kmin", 0, "minimum friends-to-rejections ratio in the sweep")
 		kmax        = flag.Float64("kmax", 0, "maximum friends-to-rejections ratio in the sweep")
 		seed        = flag.Uint64("seed", 42, "random seed")
@@ -130,10 +145,13 @@ func run() int {
 			TargetCount:         *target,
 			AcceptanceThreshold: *threshold,
 		},
-		DetectEvery: *detectEvery,
-		QueueSize:   *queueSize,
-		JournalPath: *journal,
-		Tracer:      obs.Multi(tracers...),
+		DetectEvery:      *detectEvery,
+		QueueSize:        *queueSize,
+		JournalPath:      *journal,
+		Tracer:           obs.Multi(tracers...),
+		Incremental:      *incremental,
+		PatchMaxFraction: *incrPatch,
+		DisableWarmStart: *noWarm,
 	})
 	if err != nil {
 		return fail("%v", err)

@@ -1,6 +1,10 @@
 package cache
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Locked is a mutex-guarded LRU, safe for concurrent use. The rejectod
 // service memoizes hot per-user lookup responses through one: many HTTP
@@ -18,11 +22,20 @@ func NewLocked[K comparable, V any](capacity int) *Locked[K, V] {
 	return &Locked[K, V]{lru: NewLRU[K, V](capacity)}
 }
 
-// Get returns the value for key and marks it most recently used.
+// Get returns the value for key and marks it most recently used. Every Get
+// also ticks the process-wide rejecto.cache_hits / rejecto.cache_misses
+// expvars (obs.Cache), so memoization wins — e.g. the server's per-user
+// lookups staying hot across a warm epoch — are observable at /debug/vars.
 func (c *Locked[K, V]) Get(key K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lru.Get(key)
+	v, ok := c.lru.Get(key)
+	if ok {
+		obs.Cache.Hits.Add(1)
+	} else {
+		obs.Cache.Misses.Add(1)
+	}
+	return v, ok
 }
 
 // Add inserts or updates key, evicting the least-recently-used entry if the

@@ -3,6 +3,8 @@ package cache
 import (
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestLockedBasics(t *testing.T) {
@@ -56,5 +58,31 @@ func TestLockedConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 64 {
 		t.Fatalf("cache overflowed capacity: %d", c.Len())
+	}
+}
+
+// TestLockedExpvarCounters: every Get ticks the process-wide
+// rejecto.cache_hits / rejecto.cache_misses expvars, so warm-epoch
+// memoization wins are visible at /debug/vars. The counters are global, so
+// the test asserts on deltas.
+func TestLockedExpvarCounters(t *testing.T) {
+	c := NewLocked[string, int](4)
+	hits0, misses0 := obs.Cache.Hits.Value(), obs.Cache.Misses.Value()
+
+	c.Get("absent") // miss
+	c.Add("k", 1)
+	c.Get("k") // hit
+	c.Get("k") // hit
+
+	if d := obs.Cache.Hits.Value() - hits0; d != 2 {
+		t.Fatalf("rejecto.cache_hits advanced by %d, want 2", d)
+	}
+	if d := obs.Cache.Misses.Value() - misses0; d != 1 {
+		t.Fatalf("rejecto.cache_misses advanced by %d, want 1", d)
+	}
+
+	// The per-instance Stats tally must agree with what was just ticked.
+	if hits, misses := c.Stats(); hits != 2 || misses != 1 {
+		t.Fatalf("Stats() = (%d, %d), want (2, 1)", hits, misses)
 	}
 }

@@ -96,14 +96,40 @@ type Detection struct {
 // round's snapshot directly (graph.Frozen.Subgraph), so the mutable graph
 // is never touched after the freeze.
 func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
+	det, _, err := detectOn(nil, g, opts, nil)
+	return det, err
+}
+
+// DetectFrozen is Detect on a prebuilt immutable CSR snapshot, skipping the
+// up-front freeze (and its phase.freeze trace event). Handing it the
+// FreezeCanonical of a graph produces exactly the Detection that Detect
+// returns for the canonicalized graph — the identity the incremental epoch
+// engine (internal/incr) relies on when it patches last epoch's snapshot
+// instead of rebuilding it.
+func DetectFrozen(f *graph.Frozen, opts DetectorOptions) (Detection, error) {
+	det, _, err := detectOn(f, nil, opts, nil)
+	return det, err
+}
+
+// detectOn is the shared engine behind Detect, DetectFrozen, and
+// DetectWarm: exactly one of f and g is non-nil, and warm (when non-nil)
+// supplies previous-epoch round hints (see DetectWarm).
+func detectOn(f *graph.Frozen, g *graph.Graph, opts DetectorOptions, warm *WarmStart) (Detection, WarmReport, error) {
+	numNodes := 0
+	if f != nil {
+		numNodes = f.NumNodes()
+	} else {
+		numNodes = g.NumNodes()
+	}
+	var report WarmReport
 	if opts.TargetCount <= 0 && opts.AcceptanceThreshold <= 0 {
-		return Detection{}, fmt.Errorf("core: Detect needs TargetCount or AcceptanceThreshold")
+		return Detection{}, report, fmt.Errorf("core: Detect needs TargetCount or AcceptanceThreshold")
 	}
-	if opts.TargetCount < 0 || opts.TargetCount > g.NumNodes() {
-		return Detection{}, fmt.Errorf("core: TargetCount %d out of range", opts.TargetCount)
+	if opts.TargetCount < 0 || opts.TargetCount > numNodes {
+		return Detection{}, report, fmt.Errorf("core: TargetCount %d out of range", opts.TargetCount)
 	}
-	if err := opts.Cut.Validate(g); err != nil {
-		return Detection{}, err
+	if err := opts.Cut.validate(numNodes); err != nil {
+		return Detection{}, report, err
 	}
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
@@ -128,25 +154,31 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 	if tr == nil {
 		tr = opts.Cut.Tracer
 	}
+	residual := f
 	var detectStart time.Time
 	if tr != nil {
 		detectStart = time.Now()
-		tr.Emit(obs.Event{
-			Name: obs.EvDetectStart, Wall: detectStart, Nodes: g.NumNodes(),
-			Friendships: g.NumFriendships(), Rejections: g.NumRejections(),
-		})
+		ev := obs.Event{Name: obs.EvDetectStart, Wall: detectStart, Nodes: numNodes}
+		if f != nil {
+			ev.Friendships, ev.Rejections = f.NumFriendships(), f.NumRejections()
+		} else {
+			ev.Friendships, ev.Rejections = g.NumFriendships(), g.NumRejections()
+		}
+		tr.Emit(ev)
 	}
-
-	freezeStart := time.Now()
-	residual := g.Freeze()
-	if tr != nil {
-		tr.Emit(obs.Event{
-			Name: obs.EvFreeze, Wall: time.Now(), Dur: time.Since(freezeStart),
-			Nodes: residual.NumNodes(),
-		})
+	if residual == nil {
+		freezeStart := time.Now()
+		residual = g.Freeze()
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Name: obs.EvFreeze, Wall: time.Now(), Dur: time.Since(freezeStart),
+				Nodes: residual.NumNodes(),
+			})
+		}
 	}
-	// origID maps residual node IDs back to g's IDs; identity initially.
-	origID := make([]graph.NodeID, g.NumNodes())
+	// origID maps residual node IDs back to the input's IDs; identity
+	// initially.
+	origID := make([]graph.NodeID, numNodes)
 	for i := range origID {
 		origID[i] = graph.NodeID(i)
 	}
@@ -178,7 +210,7 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 		cutOpts.Tracer = tr
 		cutOpts.TraceRound = det.Rounds + 1
 
-		cut, ok := FindMAARCutFrozen(residual, cutOpts)
+		cut, ok := solveRound(residual, cutOpts, origID, warm, det.Rounds, &report, tr)
 		if !ok {
 			stopReason = "no-cut"
 			break
@@ -242,9 +274,9 @@ func Detect(g *graph.Graph, opts DetectorOptions) (Detection, error) {
 		})
 	}
 	if stopReason == "interrupted" {
-		return det, ErrInterrupted
+		return det, report, ErrInterrupted
 	}
-	return det, nil
+	return det, report, nil
 }
 
 // endRound closes one detection round: it ticks the always-live round

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -407,6 +408,14 @@ func initialPartitions(g graphView, opts CutOptions, r *rand.Rand) []graph.Parti
 			p[u] = graph.Suspect
 		}
 		return p
+	}
+
+	// A warm start supersedes every standard starting point: the previous
+	// epoch's converged cut is a better seed than the acceptance heuristic,
+	// and random restarts would only re-explore ground the quality gate in
+	// the incremental engine already covers by falling back to a cold solve.
+	if opts.WarmInit != nil {
+		return []graph.Partition{placeSeeds(slices.Clone(opts.WarmInit))}
 	}
 
 	// Heuristic start: the aggregate acceptance rate over the whole graph

@@ -64,6 +64,14 @@ type CutOptions struct {
 	Parallelism int
 	// RandSeed makes the run reproducible. The zero value is a valid seed.
 	RandSeed uint64
+	// WarmInit, when non-nil, replaces the standard initial partitions
+	// (acceptance heuristic plus Restarts random starts) with this single
+	// partition: every (k, init) job starts KL from it, with seeds still
+	// pre-placed. The incremental epoch engine (internal/incr) threads the
+	// previous epoch's converged cut through here so the sweep resumes
+	// near the old optimum instead of rediscovering it. Length must equal
+	// the graph's node count.
+	WarmInit graph.Partition
 	// Tracer receives structured sweep events (obs.EvSweepStart, one
 	// obs.EvSolveDone per KL solve, obs.EvSweepDone). nil disables
 	// tracing at zero cost: no events are built and the hot path reads
@@ -145,6 +153,9 @@ func (o CutOptions) validate(numNodes int) error {
 	}
 	if o.Restarts < 0 {
 		return fmt.Errorf("core: negative Restarts %d", o.Restarts)
+	}
+	if o.WarmInit != nil && len(o.WarmInit) != numNodes {
+		return fmt.Errorf("core: WarmInit length %d != %d nodes", len(o.WarmInit), numNodes)
 	}
 	return nil
 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"slices"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// WarmStart carries one epoch's detection outcome forward as per-round
+// hints for the next epoch's sweep. Round i of the warm detection seeds its
+// KL solves from the suspect set the previous epoch detected in its round
+// i (mapped through residual IDs), instead of the acceptance heuristic and
+// random restarts. The hint is advisory: each warm round is quality-gated
+// against the acceptance rate the previous epoch achieved, and a round
+// whose warm solve comes out worse is re-solved cold (see DetectWarm).
+type WarmStart struct {
+	// PrevNodes is the node count of the epoch that produced the hints.
+	// Nodes with original IDs ≥ PrevNodes did not exist then; the warm
+	// partition places them by the per-node acceptance heuristic.
+	PrevNodes int
+	// Rounds holds one hint per previous-epoch detection round, in round
+	// order. Rounds beyond len(Rounds) solve cold.
+	Rounds []WarmRound
+}
+
+// WarmRound is the hint for one detection round: the suspect group the
+// previous epoch detected in that round (original-graph node IDs) and the
+// aggregate acceptance rate its cut achieved — the quality bar a warm
+// solve must meet.
+type WarmRound struct {
+	Suspects   []graph.NodeID
+	Acceptance float64
+}
+
+// WarmReport tallies how the warm hints fared across one detection.
+type WarmReport struct {
+	// WarmRounds counts rounds whose warm-seeded solve passed the quality
+	// gate; Fallbacks counts rounds where the gate rejected the warm cut
+	// and the round was re-solved cold. ColdRounds counts rounds that had
+	// no hint (beyond the hint list, or detection ran deeper than the
+	// previous epoch).
+	WarmRounds int
+	Fallbacks  int
+	ColdRounds int
+}
+
+// WarmFromDetection converts a finished detection into the WarmStart for
+// the next epoch. numNodes is the node count of the graph det was computed
+// on. Group membership is cloned, so the hint stays valid if the caller
+// keeps mutating its own structures.
+func WarmFromDetection(det Detection, numNodes int) *WarmStart {
+	ws := &WarmStart{
+		PrevNodes: numNodes,
+		Rounds:    make([]WarmRound, len(det.Groups)),
+	}
+	for i, g := range det.Groups {
+		ws.Rounds[i] = WarmRound{
+			Suspects:   slices.Clone(g.Members),
+			Acceptance: g.Acceptance,
+		}
+	}
+	return ws
+}
+
+// DetectWarm is DetectFrozen seeded by the previous epoch's detection.
+// Each round with a hint solves the standard k-grid from the hinted
+// partition only (no heuristic init, no restarts), then applies the
+// quality gate: the warm cut is accepted only if its aggregate acceptance
+// rate is no worse than what the previous epoch achieved on that round
+// (hint.Acceptance). A rejected warm cut — the delta moved the optimum —
+// triggers an obs.EvIncrFallback event and a full cold solve of the round,
+// so warm starting can change which cut a round picks among equally-good
+// cuts, but never degrades cut quality below the cold path's bar.
+//
+// A nil warm (or one with no rounds) makes every round solve cold;
+// DetectWarm is then equivalent to DetectFrozen.
+func DetectWarm(f *graph.Frozen, opts DetectorOptions, warm *WarmStart) (Detection, WarmReport, error) {
+	if warm == nil {
+		warm = &WarmStart{}
+	}
+	return detectOn(f, nil, opts, warm)
+}
+
+// solveRound runs one detection round's MAAR search. With no applicable
+// warm hint it is exactly FindMAARCutFrozen; with one, it warm-solves,
+// gates, and falls back to the cold solve when the gate rejects.
+// roundIdx is 0-based; report is updated only in warm mode (warm != nil).
+func solveRound(residual *graph.Frozen, cutOpts CutOptions, origID []graph.NodeID, warm *WarmStart, roundIdx int, report *WarmReport, tr obs.Tracer) (Cut, bool) {
+	if warm == nil {
+		return FindMAARCutFrozen(residual, cutOpts)
+	}
+	if roundIdx >= len(warm.Rounds) {
+		report.ColdRounds++
+		return FindMAARCutFrozen(residual, cutOpts)
+	}
+	hint := warm.Rounds[roundIdx]
+
+	warmOpts := cutOpts
+	warmOpts.WarmInit = warmPartition(residual, origID, hint.Suspects, warm.PrevNodes)
+	warmStart := time.Now()
+	cut, ok := FindMAARCutFrozen(residual, warmOpts)
+	warmDur := time.Since(warmStart)
+
+	// Quality gate: the warm cut must be at least as good as what the
+	// previous epoch achieved on this round. Float comparison is exact on
+	// purpose — both sides are ratios of small integer edge counts, and
+	// "equal" means the warm solve kept the old optimum's quality.
+	if ok && cut.Acceptance <= hint.Acceptance {
+		report.WarmRounds++
+		obs.Incr.WarmRounds.Add(1)
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Name: obs.EvIncrWarm, Wall: time.Now(), Dur: warmDur,
+				Round: roundIdx + 1, K: cut.K, Acceptance: cut.Acceptance,
+			})
+		}
+		return cut, true
+	}
+
+	report.Fallbacks++
+	obs.Incr.Fallbacks.Add(1)
+	if tr != nil {
+		ev := obs.Event{
+			Name: obs.EvIncrFallback, Wall: time.Now(), Dur: warmDur,
+			Round: roundIdx + 1, Acceptance: -1, Detail: "no-cut",
+		}
+		if ok {
+			ev.Acceptance = cut.Acceptance
+			ev.Detail = "quality"
+		}
+		tr.Emit(ev)
+	}
+	return FindMAARCutFrozen(residual, cutOpts)
+}
+
+// warmPartition maps a previous epoch's suspect group into the current
+// residual graph: nodes the hint flagged are Suspect, nodes it cleared are
+// Legit, and nodes that did not exist in the previous epoch (original ID ≥
+// prevNodes) are placed by the same per-node acceptance heuristic the cold
+// initial partition uses — a new account's early rejections are the only
+// signal available for it.
+func warmPartition(residual *graph.Frozen, origID []graph.NodeID, suspects []graph.NodeID, prevNodes int) graph.Partition {
+	isSuspect := make(map[graph.NodeID]bool, len(suspects))
+	for _, u := range suspects {
+		isSuspect[u] = true
+	}
+	totalF, totalR := residual.NumFriendships(), residual.NumRejections()
+	threshold := float64(2*totalF) / float64(2*totalF+totalR)
+
+	p := graph.NewPartition(residual.NumNodes())
+	for u := range p {
+		orig := origID[u]
+		switch {
+		case int(orig) >= prevNodes:
+			if residual.Acceptance(graph.NodeID(u)) < threshold {
+				p[u] = graph.Suspect
+			}
+		case isSuspect[orig]:
+			p[u] = graph.Suspect
+		}
+	}
+	return p
+}

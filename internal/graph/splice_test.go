@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// spliceBatch is one random edge-addition batch: a mix of fresh edges,
+// edges already present, in-batch duplicates, and edges touching brand-new
+// nodes.
+type spliceBatch struct {
+	newNodes    int
+	friendships [][2]NodeID
+	rejections  [][2]NodeID
+}
+
+func randomSpliceBatch(r *rand.Rand, g *Graph) spliceBatch {
+	b := spliceBatch{newNodes: r.IntN(4)}
+	n := g.NumNodes() + b.newNodes
+	if n < 2 {
+		return b // no distinct pair to draw edges from
+	}
+	pick := func() (NodeID, NodeID) {
+		for {
+			u, v := NodeID(r.IntN(n)), NodeID(r.IntN(n))
+			if u != v {
+				return u, v
+			}
+		}
+	}
+	for i := r.IntN(12); i > 0; i-- {
+		u, v := pick()
+		b.friendships = append(b.friendships, [2]NodeID{u, v})
+		if r.IntN(3) == 0 { // in-batch duplicate, possibly mirrored
+			if r.IntN(2) == 0 {
+				u, v = v, u
+			}
+			b.friendships = append(b.friendships, [2]NodeID{u, v})
+		}
+	}
+	for i := r.IntN(12); i > 0; i-- {
+		u, v := pick()
+		b.rejections = append(b.rejections, [2]NodeID{u, v})
+		if r.IntN(3) == 0 {
+			b.rejections = append(b.rejections, [2]NodeID{u, v})
+		}
+	}
+	return b
+}
+
+// applyBatch folds the batch into the mutable graph — the cold path the
+// splice must reproduce byte for byte after FreezeCanonical.
+func applyBatch(g *Graph, b spliceBatch) {
+	g.AddNodes(b.newNodes)
+	for _, e := range b.friendships {
+		g.AddFriendship(e[0], e[1])
+	}
+	for _, e := range b.rejections {
+		g.AddRejection(e[0], e[1])
+	}
+}
+
+// TestSpliceCanonicalMatchesColdFreeze: a single splice over a random
+// graph must equal the cold canonical freeze of the mutated graph.
+func TestSpliceCanonicalMatchesColdFreeze(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + r.IntN(30)
+		g := randomFrozenWorld(r, n, r.IntN(3*n), r.IntN(2*n))
+		b := randomSpliceBatch(r, g)
+
+		patched := g.FreezeCanonical().SpliceCanonical(b.newNodes, b.friendships, b.rejections)
+		applyBatch(g, b)
+		return patched.Equal(g.FreezeCanonical())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpliceCanonicalChained: splices compose — a chain of batches patched
+// one on top of the other equals one cold freeze of the fully folded graph,
+// at every step.
+func TestSpliceCanonicalChained(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		n := 2 + r.IntN(20)
+		g := randomFrozenWorld(r, n, r.IntN(2*n), r.IntN(n))
+		patched := g.FreezeCanonical()
+		for step := 0; step < 1+r.IntN(5); step++ {
+			b := randomSpliceBatch(r, g)
+			patched = patched.SpliceCanonical(b.newNodes, b.friendships, b.rejections)
+			applyBatch(g, b)
+			if !patched.Equal(g.FreezeCanonical()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpliceCanonicalEmptyBatch: an empty batch is an identical copy.
+func TestSpliceCanonicalEmptyBatch(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	g := randomFrozenWorld(r, 20, 40, 15)
+	fz := g.FreezeCanonical()
+	if got := fz.SpliceCanonical(0, nil, nil); !got.Equal(fz) {
+		t.Fatal("empty splice is not an identical snapshot")
+	}
+}
+
+// TestSpliceCanonicalOnlyNewNodes: padding with isolated nodes matches the
+// cold path.
+func TestSpliceCanonicalOnlyNewNodes(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	g := randomFrozenWorld(r, 10, 20, 8)
+	patched := g.FreezeCanonical().SpliceCanonical(5, nil, nil)
+	g.AddNodes(5)
+	if !patched.Equal(g.FreezeCanonical()) {
+		t.Fatal("isolated-node splice diverged from cold freeze")
+	}
+	if patched.NumNodes() != 15 || patched.Degree(14) != 0 {
+		t.Fatalf("unexpected padded snapshot: %d nodes", patched.NumNodes())
+	}
+}
+
+// TestSpliceCanonicalPanics: the splice validates like the mutable graph.
+func TestSpliceCanonicalPanics(t *testing.T) {
+	fz := New(4).FreezeCanonical()
+	cases := map[string]func(){
+		"self-friendship": func() { fz.SpliceCanonical(0, [][2]NodeID{{1, 1}}, nil) },
+		"self-rejection":  func() { fz.SpliceCanonical(0, nil, [][2]NodeID{{2, 2}}) },
+		"out-of-range":    func() { fz.SpliceCanonical(0, [][2]NodeID{{0, 4}}, nil) },
+		"negative-nodes":  func() { fz.SpliceCanonical(-1, nil, nil) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFrozenEqual: Equal distinguishes snapshots that differ in any array.
+func TestFrozenEqual(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 3))
+	g := randomFrozenWorld(r, 15, 25, 10)
+	a, b := g.FreezeCanonical(), g.FreezeCanonical()
+	if !a.Equal(b) {
+		t.Fatal("identical freezes not Equal")
+	}
+	added := false
+	for u := NodeID(0); u < 15 && !added; u++ {
+		for v := NodeID(0); v < 15 && !added; v++ {
+			if u != v && !g.HasRejection(u, v) {
+				added = g.AddRejection(u, v)
+			}
+		}
+	}
+	if !added || a.Equal(g.FreezeCanonical()) {
+		t.Fatal("Equal missed a rejection edge")
+	}
+}

@@ -1,0 +1,70 @@
+package incr
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// allocBytes measures the heap bytes fn allocates, with the collector
+// paused so concurrent sweeps cannot skew the reading.
+func allocBytes(fn func()) uint64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestStepAllocationNotProportionalToLog: advancing an epoch over a small
+// delta must not allocate like a from-scratch batch run over the whole
+// journal — the point of keeping per-interval state alive. The incremental
+// step touches one interval out of ten, so it should allocate well under
+// half of what the batch fold-and-detect does; the 2× guard leaves room
+// for noise while still failing if Step ever re-folds the log.
+func TestStepAllocationNotProportionalToLog(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 99))
+	const n = 200
+	base := randomBase(r, n)
+	opts := testOpts()
+	opts.Cut.Parallelism = 1
+
+	eng, err := NewEngine(Config{Base: base, Detector: opts, DisableWarm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seedDelta Delta
+	for _, req := range randomRequests(r, n, 2000, 10) {
+		seedDelta.AddRequest(req)
+	}
+	if _, _, err := eng.Step(seedDelta); err != nil {
+		t.Fatal(err)
+	}
+
+	var d Delta
+	for _, req := range randomRequests(r, n, 10, 10) {
+		req.Interval = 0
+		d.AddRequest(req)
+	}
+	all := append(append([]core.TimedRequest{}, seedDelta.Requests...), d.Requests...)
+
+	stepBytes := allocBytes(func() {
+		if _, _, err := eng.Step(d); err != nil {
+			t.Error(err)
+		}
+	})
+	batchBytes := allocBytes(func() {
+		if _, err := core.DetectSharded(base, all, opts); err != nil {
+			t.Error(err)
+		}
+	})
+	if 2*stepBytes >= batchBytes {
+		t.Fatalf("incremental step allocated %d bytes vs batch %d — not sublinear in the journal",
+			stepBytes, batchBytes)
+	}
+}

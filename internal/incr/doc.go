@@ -1,0 +1,32 @@
+// Package incr is the incremental epoch engine: it keeps the per-interval
+// detection state of core.DetectSharded alive between runs so that each new
+// epoch pays for its delta, not for the whole journal.
+//
+// Three mechanisms compose:
+//
+//   - Delta capture. A Delta accumulates the journal's appended tail — new
+//     answered requests per interval, plus (for non-server embeddings) base
+//     graph growth — as a by-product of ingest, so no re-fold of the log is
+//     needed to know what changed.
+//
+//   - Frozen-snapshot patching. Each interval's canonical CSR snapshot is
+//     advanced by splicing the delta's edges into the previous snapshot
+//     (graph.Frozen.SpliceCanonical), byte-identical to a cold
+//     FreezeCanonical of the folded log; when a delta is too large a
+//     fraction of the interval's graph, the engine falls back to the cold
+//     rebuild automatically (Config.MaxPatchFraction).
+//
+//   - Warm-started detection. Each interval's sweep is seeded from the
+//     previous epoch's converged cut via core.DetectWarm, quality-gated per
+//     round: a warm round whose cut is worse than the previous epoch's is
+//     re-solved cold (obs.EvIncrFallback), so warm starting never degrades
+//     cut quality below the batch path's bar.
+//
+// With warm starting disabled, Engine.Step is equivalent to
+// core.DetectSharded over the accumulated journal by construction: patched
+// snapshots are byte-identical to the cold builds (property-tested in this
+// package), untouched intervals reuse their deterministic results, and the
+// interval iteration order and skip conditions replicate DetectSharded's.
+// With warm starting enabled the suspect sets may differ only where several
+// cuts tie at or below the previous epoch's acceptance bar.
+package incr

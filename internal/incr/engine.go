@@ -1,0 +1,310 @@
+package incr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Base is the pre-existing friendship base every interval overlays its
+	// requests on, exactly as in core.DetectSharded. Required. The engine
+	// does not mutate it unless a Delta carries base-level growth, in which
+	// case it switches to a private clone first.
+	Base *graph.Graph
+
+	// Detector configures each interval's detection; at least one
+	// termination condition must be set. Cancel interrupts Step between
+	// rounds with core.ErrInterrupted.
+	Detector core.DetectorOptions
+
+	// MaxPatchFraction is the delta-to-graph edge ratio above which an
+	// interval snapshot is rebuilt cold instead of patched. Zero means
+	// DefaultMaxPatchFraction; negative disables patching entirely.
+	MaxPatchFraction float64
+
+	// DisableWarm makes every detection solve cold, turning Step into a
+	// memoized core.DetectSharded: same suspect sets, byte for byte.
+	// With warm starting on, rounds are seeded from the previous epoch's
+	// cut and quality-gated (see core.DetectWarm).
+	DisableWarm bool
+
+	// Tracer observes incr.patch spans and the detection's pipeline
+	// events (used when Detector carries no tracer of its own). nil
+	// disables tracing.
+	Tracer obs.Tracer
+}
+
+// StepStats describes how one Engine.Step advanced the epoch.
+type StepStats struct {
+	// Intervals is the number of interval detections in the returned set;
+	// Patched/ColdBuilt/Reused break down how each interval got there
+	// (patched snapshot + re-detect, cold rebuild + re-detect, or the
+	// previous result served unchanged). Intervals without rejections are
+	// skipped and appear in no bucket, matching core.DetectSharded.
+	Intervals int
+	Patched   int
+	ColdBuilt int
+	Reused    int
+	// WarmRounds/Fallbacks/ColdRounds aggregate the per-detection
+	// core.WarmReport across all re-detected intervals.
+	WarmRounds int
+	Fallbacks  int
+	ColdRounds int
+	// PatchDur is the wall-clock spent building interval snapshots
+	// (patched or cold); SolveDur the wall-clock spent in detection.
+	PatchDur time.Duration
+	SolveDur time.Duration
+}
+
+// intervalState is the engine's memo for one time interval.
+type intervalState struct {
+	reqs         []core.TimedRequest // the interval's full shard, log order
+	pendF, pendR [][2]graph.NodeID   // edges awaiting splice into frozen
+	pendNodes    int
+	frozen       *graph.Frozen // canonical snapshot of base + reqs
+	det          core.Detection
+	hasDet       bool
+	warm         *core.WarmStart
+	stale        bool // detection out of date w.r.t. frozen
+}
+
+// Engine incrementally maintains the per-interval detections of
+// core.DetectSharded across a growing journal. Feed each journal delta to
+// Step; it returns the full detection set (ascending by interval), reusing
+// every interval the delta did not touch. Engine is not safe for
+// concurrent use — rejectod drives it from its single detector goroutine.
+type Engine struct {
+	cfg       Config
+	base      *graph.Graph
+	ownsBase  bool
+	intervals map[int]*intervalState
+	order     []int // sorted keys of intervals
+}
+
+// NewEngine builds an Engine over the given base graph with no journal
+// state; the first Step's delta typically carries the whole recovered
+// journal and runs every interval cold.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("incr: Config.Base is required")
+	}
+	if cfg.Detector.TargetCount <= 0 && cfg.Detector.AcceptanceThreshold <= 0 {
+		return nil, fmt.Errorf("incr: Detector needs TargetCount or AcceptanceThreshold")
+	}
+	if cfg.MaxPatchFraction == 0 {
+		cfg.MaxPatchFraction = DefaultMaxPatchFraction
+	}
+	return &Engine{
+		cfg:       cfg,
+		base:      cfg.Base,
+		intervals: make(map[int]*intervalState),
+	}, nil
+}
+
+// mutableBase returns a base the engine may mutate, cloning the caller's
+// graph on first base-level growth.
+func (e *Engine) mutableBase() *graph.Graph {
+	if !e.ownsBase {
+		e.base = e.base.Clone()
+		e.ownsBase = true
+	}
+	return e.base
+}
+
+// Step folds one delta into the engine's state and returns the detection
+// set over the accumulated journal, ascending by interval — the same
+// []core.IntervalDetection core.DetectSharded would return for it (exactly
+// so with DisableWarm, quality-gated-equivalent otherwise).
+//
+// The delta is consumed before any detection runs, so an interrupted Step
+// (core.ErrInterrupted, via Detector.Cancel) loses no state: the returned
+// prefix mirrors DetectSharded's interrupted prefix, and the next Step
+// re-detects the remaining stale intervals. Any other error leaves the
+// delta consumed but the previous detections intact.
+func (e *Engine) Step(d Delta) ([]core.IntervalDetection, StepStats, error) {
+	var stats StepStats
+
+	// Validate against the post-delta node count before consuming
+	// anything, mirroring DetectSharded's up-front request check.
+	n := e.base.NumNodes() + d.NewNodes
+	for _, ed := range d.Friendships {
+		if err := checkEdge(ed, n, "friendship"); err != nil {
+			return nil, stats, err
+		}
+	}
+	for _, ed := range d.Rejections {
+		if err := checkEdge(ed, n, "rejection"); err != nil {
+			return nil, stats, err
+		}
+	}
+	for _, req := range d.Requests {
+		if req.From < 0 || int(req.From) >= n || req.To < 0 || int(req.To) >= n {
+			return nil, stats, fmt.Errorf("incr: request %d→%d outside the %d-node graph", req.From, req.To, n)
+		}
+	}
+
+	// Phase 1 — consume the delta. Base-level growth dirties every
+	// interval (each overlays on the base); request appends dirty only
+	// their own interval.
+	if d.NewNodes > 0 || len(d.Friendships) > 0 || len(d.Rejections) > 0 {
+		b := e.mutableBase()
+		b.AddNodes(d.NewNodes)
+		for _, ed := range d.Friendships {
+			b.AddFriendship(ed.From, ed.To)
+		}
+		for _, ed := range d.Rejections {
+			b.AddRejection(ed.From, ed.To)
+		}
+		for _, st := range e.intervals {
+			st.pendNodes += d.NewNodes
+			for _, ed := range d.Friendships {
+				st.pendF = append(st.pendF, [2]graph.NodeID{ed.From, ed.To})
+			}
+			for _, ed := range d.Rejections {
+				st.pendR = append(st.pendR, [2]graph.NodeID{ed.From, ed.To})
+			}
+			st.stale = true
+		}
+	}
+	for _, req := range d.Requests {
+		st := e.intervals[req.Interval]
+		if st == nil {
+			st = &intervalState{}
+			e.intervals[req.Interval] = st
+			e.order = append(e.order, req.Interval)
+			sort.Ints(e.order)
+		}
+		st.reqs = append(st.reqs, req)
+		if req.From != req.To { // self-requests carry no edge (DetectSharded overlay)
+			if req.Accepted {
+				st.pendF = append(st.pendF, [2]graph.NodeID{req.From, req.To})
+			} else {
+				st.pendR = append(st.pendR, [2]graph.NodeID{req.To, req.From})
+			}
+		}
+		st.stale = true
+	}
+
+	// Phase 2 — advance each interval, ascending, reusing untouched ones.
+	out := make([]core.IntervalDetection, 0, len(e.order))
+	for _, iv := range e.order {
+		st := e.intervals[iv]
+		if st.frozen == nil || st.pendNodes > 0 || len(st.pendF)+len(st.pendR) > 0 {
+			e.refreshSnapshot(iv, st, &stats)
+		}
+		if st.frozen.NumRejections() == 0 {
+			// Nothing to detect, matching DetectSharded's skip; the
+			// snapshot is current, so the interval is clean until new
+			// requests arrive.
+			st.stale = false
+			continue
+		}
+		if !st.stale {
+			if st.hasDet {
+				obs.Incr.ReusedIntervals.Add(1)
+				stats.Reused++
+				out = append(out, core.IntervalDetection{Interval: iv, Detection: st.det})
+			}
+			continue
+		}
+
+		var warm *core.WarmStart
+		if !e.cfg.DisableWarm && st.hasDet {
+			warm = st.warm
+		}
+		opts := e.cfg.Detector
+		if opts.Tracer == nil {
+			opts.Tracer = e.cfg.Tracer
+		}
+		solveStart := time.Now()
+		det, rep, err := core.DetectWarm(st.frozen, opts, warm)
+		stats.SolveDur += time.Since(solveStart)
+		stats.WarmRounds += rep.WarmRounds
+		stats.Fallbacks += rep.Fallbacks
+		stats.ColdRounds += rep.ColdRounds
+		if errors.Is(err, core.ErrInterrupted) {
+			// Keep the completed prefix plus this interval's partial
+			// rounds, like DetectSharded; the interval stays stale and is
+			// re-detected by the next Step.
+			out = append(out, core.IntervalDetection{Interval: iv, Detection: det})
+			stats.Intervals = len(out)
+			return out, stats, core.ErrInterrupted
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("incr: interval %d: %w", iv, err)
+		}
+		st.det, st.hasDet = det, true
+		st.warm = core.WarmFromDetection(det, st.frozen.NumNodes())
+		st.stale = false
+		out = append(out, core.IntervalDetection{Interval: iv, Detection: det})
+	}
+	stats.Intervals = len(out)
+	return out, stats, nil
+}
+
+// refreshSnapshot brings one interval's frozen snapshot up to date with
+// its pending additions: a splice of the previous snapshot when the delta
+// is a small enough fraction of it, a cold rebuild from the base otherwise.
+// Both paths produce byte-identical snapshots (graph.SpliceCanonical's
+// contract), so the choice is purely a performance one.
+func (e *Engine) refreshSnapshot(iv int, st *intervalState, stats *StepStats) {
+	start := time.Now()
+	cold := st.frozen == nil || e.cfg.MaxPatchFraction < 0 ||
+		float64(len(st.pendF)+len(st.pendR)) >
+			e.cfg.MaxPatchFraction*float64(st.frozen.NumFriendships()+st.frozen.NumRejections())
+	if cold {
+		aug := e.base.Clone()
+		for _, req := range st.reqs {
+			if req.From == req.To {
+				continue
+			}
+			if req.Accepted {
+				aug.AddFriendship(req.From, req.To)
+			} else {
+				aug.AddRejection(req.To, req.From)
+			}
+		}
+		aug.Canonicalize()
+		st.frozen = aug.Freeze()
+		obs.Incr.ColdBuilds.Add(1)
+		stats.ColdBuilt++
+	} else {
+		st.frozen = st.frozen.SpliceCanonical(st.pendNodes, st.pendF, st.pendR)
+		obs.Incr.Patches.Add(1)
+		stats.Patched++
+	}
+	st.pendF, st.pendR, st.pendNodes = nil, nil, 0
+
+	dur := time.Since(start)
+	stats.PatchDur += dur
+	ms := float64(dur) / float64(time.Millisecond)
+	obs.Incr.PatchMS.Add(ms)
+	obs.Incr.LastPatchMS.Set(ms)
+	if e.cfg.Tracer != nil {
+		detail := fmt.Sprintf("interval %d", iv)
+		if cold {
+			detail += " cold"
+		}
+		e.cfg.Tracer.Emit(obs.Event{
+			Name: obs.EvIncrPatch, Wall: time.Now(), Dur: dur,
+			Nodes:       st.frozen.NumNodes(),
+			Friendships: st.frozen.NumFriendships(),
+			Rejections:  st.frozen.NumRejections(),
+			Detail:      detail,
+		})
+	}
+}
+
+func checkEdge(ed Edge, n int, kind string) error {
+	if ed.From < 0 || int(ed.From) >= n || ed.To < 0 || int(ed.To) >= n {
+		return fmt.Errorf("incr: %s %d→%d outside the %d-node graph", kind, ed.From, ed.To, n)
+	}
+	return nil
+}

@@ -66,3 +66,57 @@ var Pipeline = PipelineCounters{
 	RPCRecoveries:  expvar.NewInt("rejecto.rpc_recoveries"),
 	ChaosFaults:    expvar.NewInt("rejecto.chaos_faults"),
 }
+
+// IncrCounters is the counter set of the incremental epoch engine
+// (internal/incr), published under "rejecto.incr_*". The engine ticks them
+// once per interval snapshot build and once per warm round decision, so —
+// like the Pipeline set — they are invisible next to the work they count.
+type IncrCounters struct {
+	// Patches counts interval snapshots built by splicing a delta into the
+	// previous epoch's CSR arrays; ColdBuilds counts snapshots rebuilt from
+	// scratch because the delta exceeded the configured patch fraction (or
+	// no previous snapshot existed).
+	Patches    *expvar.Int
+	ColdBuilds *expvar.Int
+	// ReusedIntervals counts intervals whose previous detection was served
+	// unchanged because no delta touched them — the zero-cost case.
+	ReusedIntervals *expvar.Int
+	// WarmRounds counts detection rounds whose warm-started solve passed
+	// the quality gate; Fallbacks counts rounds the gate rejected (the
+	// round was re-solved cold).
+	WarmRounds *expvar.Int
+	Fallbacks  *expvar.Int
+	// PatchMS is the cumulative wall-clock spent building interval
+	// snapshots (patched or cold); LastPatchMS the most recent build.
+	PatchMS     *expvar.Float
+	LastPatchMS *expvar.Float
+}
+
+// Incr is the singleton incremental-engine counter set; like Pipeline it
+// lives in package scope because expvar registration is global and panics
+// on duplicates.
+var Incr = IncrCounters{
+	Patches:         expvar.NewInt("rejecto.incr_patches"),
+	ColdBuilds:      expvar.NewInt("rejecto.incr_cold_builds"),
+	ReusedIntervals: expvar.NewInt("rejecto.incr_reused_intervals"),
+	WarmRounds:      expvar.NewInt("rejecto.incr_warm_rounds"),
+	Fallbacks:       expvar.NewInt("rejecto.incr_fallbacks"),
+	PatchMS:         expvar.NewFloat("rejecto.incr_patch_ms_total"),
+	LastPatchMS:     expvar.NewFloat("rejecto.incr_last_patch_ms"),
+}
+
+// CacheCounters is the process-wide hit/miss tally of every cache.Locked
+// instance, published as "rejecto.cache_hits"/"rejecto.cache_misses" so
+// warm-epoch memoization wins show up at /debug/vars next to the pipeline
+// counters. Ticked once per Get — a single atomic add.
+type CacheCounters struct {
+	Hits   *expvar.Int
+	Misses *expvar.Int
+}
+
+// Cache is the singleton cache counter set (see Pipeline for why it is
+// package scope).
+var Cache = CacheCounters{
+	Hits:   expvar.NewInt("rejecto.cache_hits"),
+	Misses: expvar.NewInt("rejecto.cache_misses"),
+}

@@ -40,6 +40,18 @@
 //	chaos.fault       one injected fault (package chaos): Detail =
 //	                  "kind method → worker N", Dur = injected latency,
 //	                  Job = the 1-based transport call index
+//	incr.patch        one frozen-snapshot build by the incremental epoch
+//	                  engine (package incr): Dur, the patched snapshot's
+//	                  Nodes/Friendships/Rejections, Detail = "interval N"
+//	                  (suffixed " cold" when the delta exceeded the patch
+//	                  fraction and the snapshot was rebuilt from scratch)
+//	incr.warm         one warm-started detection round that passed the
+//	                  quality gate: Round, K, Acceptance of the accepted
+//	                  warm cut, Dur of the warm solve
+//	incr.fallback     one warm round rejected by the quality gate (Detail =
+//	                  the reason, Acceptance = the rejected warm cut's
+//	                  value or -1 when the warm solve found no cut); the
+//	                  round is then re-solved cold
 //
 // Tracers must tolerate concurrent Emit calls: the sweep's workers emit
 // solve.done events from their own goroutines. Slice-valued fields
@@ -64,6 +76,10 @@ const (
 	EvDistShard   = "dist.shard"
 	EvDistRetry   = "dist.retry"
 	EvChaosFault  = "chaos.fault"
+
+	EvIncrPatch    = "incr.patch"
+	EvIncrWarm     = "incr.warm"
+	EvIncrFallback = "incr.fallback"
 )
 
 // Event is one structured trace event. It is a flat value type so that

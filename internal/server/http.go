@@ -225,26 +225,48 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// incrStatsReply breaks down the last incremental detection: how each
+// interval's snapshot was produced, how the warm starts fared, and where
+// the wall-clock went.
+type incrStatsReply struct {
+	Patched     int     `json:"patched"`
+	ColdBuilt   int     `json:"cold_built"`
+	Reused      int     `json:"reused"`
+	WarmRounds  int     `json:"warm_rounds"`
+	Fallbacks   int     `json:"fallbacks"`
+	ColdRounds  int     `json:"cold_rounds"`
+	ReadModelMS float64 `json:"read_model_ms"`
+	PatchMS     float64 `json:"patch_ms"`
+	SolveMS     float64 `json:"solve_ms"`
+}
+
 type statsReply struct {
-	Epoch          int64   `json:"epoch"`
-	EpochEvents    int     `json:"epoch_events"`
-	QueueDepth     int     `json:"queue_depth"`
-	QueueCapacity  int     `json:"queue_capacity"`
-	EventsIngested int64   `json:"events_ingested"`
-	EventsRejected int64   `json:"events_rejected"`
-	JournalEvents  int64   `json:"journal_events"`
-	Backpressure   int64   `json:"backpressure_429s"`
-	DetectEpochs   int64   `json:"detect_epochs"`
-	DetectInflight bool    `json:"detect_inflight"`
-	LastDetectMS   float64 `json:"last_detect_ms"`
-	CacheHits      uint64  `json:"user_cache_hits"`
-	CacheMisses    uint64  `json:"user_cache_misses"`
+	Mode           string          `json:"mode"`
+	Epoch          int64           `json:"epoch"`
+	EpochEvents    int             `json:"epoch_events"`
+	QueueDepth     int             `json:"queue_depth"`
+	QueueCapacity  int             `json:"queue_capacity"`
+	EventsIngested int64           `json:"events_ingested"`
+	EventsRejected int64           `json:"events_rejected"`
+	JournalEvents  int64           `json:"journal_events"`
+	Backpressure   int64           `json:"backpressure_429s"`
+	DetectEpochs   int64           `json:"detect_epochs"`
+	DetectInflight bool            `json:"detect_inflight"`
+	LastDetectMS   float64         `json:"last_detect_ms"`
+	CacheHits      uint64          `json:"user_cache_hits"`
+	CacheMisses    uint64          `json:"user_cache_misses"`
+	Incr           *incrStatsReply `json:"incremental,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ep := s.epoch.Load()
 	hits, misses := s.users.Stats()
+	mode := "batch"
+	if s.cfg.Incremental {
+		mode = "incremental"
+	}
 	writeJSON(w, http.StatusOK, statsReply{
+		Mode:           mode,
 		Epoch:          ep.Seq,
 		EpochEvents:    ep.Events,
 		QueueDepth:     len(s.queue),
@@ -258,5 +280,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LastDetectMS:   obs.Server.LastDetectMS.Value(),
 		CacheHits:      hits,
 		CacheMisses:    misses,
+		Incr:           s.incrStats.Load(),
 	})
 }

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// drainIngest waits for the ingest queue to empty. The ingest loop finishes
+// applying a dequeued event before serving its next channel operation, so
+// once the queue is observed empty any subsequent snapshot covers every
+// posted event. (Polling through snapReq would work for batch mode but
+// steals the incremental delta accumulator, so incremental tests must not.)
+func drainIngest(t *testing.T, s *Server) {
+	t.Helper()
+	waitFor(t, 10*time.Second, "ingest to drain", func() bool {
+		return len(s.queue) == 0
+	})
+}
+
+// detectNow runs a detection and fails the test on error.
+func detectNow(t *testing.T, s *Server) *Epoch {
+	t.Helper()
+	ep, err := s.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+// splitPairs cuts an event log into `parts` contiguous chunks on pair
+// boundaries (spamWorkload emits each answered request as an adjacent
+// request/answer pair, so even offsets are safe cut points).
+func splitPairs(events []Event, parts int) [][]Event {
+	out := make([][]Event, 0, parts)
+	per := (len(events)/2/parts + 1) * 2
+	for len(events) > 0 {
+		n := min(per, len(events))
+		out = append(out, events[:n])
+		events = events[n:]
+	}
+	return out
+}
+
+// TestIncrementalMatchesBatchExactly feeds the same journal, in the same
+// batches, to a batch-mode server and an incremental server with warm
+// starting disabled. Every epoch must agree byte for byte: identical
+// per-interval detections AND an identical frozen read model — the
+// replay-invariant extended across patched snapshots.
+func TestIncrementalMatchesBatchExactly(t *testing.T) {
+	const n, spammers = 150, 20
+	r := rand.New(rand.NewPCG(17, 5))
+	events := spamWorkload(r, n, spammers)
+
+	batchS, batchTS := newTestServer(t, testBase(n), nil)
+	incrS, incrTS := newTestServer(t, testBase(n), func(cfg *Config) {
+		cfg.Incremental = true
+		cfg.DisableWarmStart = true
+	})
+
+	for round, chunk := range splitPairs(events, 3) {
+		postEvents(t, batchTS.URL, chunk)
+		postEvents(t, incrTS.URL, chunk)
+		drainIngest(t, batchS)
+		drainIngest(t, incrS)
+
+		want := detectNow(t, batchS)
+		got := detectNow(t, incrS)
+		if want.Events != got.Events {
+			t.Fatalf("round %d: batch epoch covers %d events, incremental %d", round, want.Events, got.Events)
+		}
+		if !reflect.DeepEqual(want.Intervals, got.Intervals) {
+			t.Fatalf("round %d: incremental detections diverge from batch:\n got %+v\nwant %+v",
+				round, got.Intervals, want.Intervals)
+		}
+		if !want.frozen.Equal(got.frozen) {
+			t.Fatalf("round %d: incremental read model is not byte-identical to the batch fold", round)
+		}
+	}
+
+	// The wiring must actually have gone through the incremental path.
+	var stats statsReply
+	getJSON(t, incrTS.URL+"/v1/stats", &stats)
+	if stats.Mode != "incremental" {
+		t.Fatalf("stats mode = %q, want incremental", stats.Mode)
+	}
+	if stats.Incr == nil {
+		t.Fatal("stats carry no incremental breakdown after incremental detections")
+	}
+	if stats.Incr.Patched+stats.Incr.ColdBuilt+stats.Incr.Reused == 0 {
+		t.Fatalf("incremental stats show no interval work: %+v", *stats.Incr)
+	}
+	var batchStats statsReply
+	getJSON(t, batchTS.URL+"/v1/stats", &batchStats)
+	if batchStats.Mode != "batch" || batchStats.Incr != nil {
+		t.Fatalf("batch server reports mode=%q incr=%v", batchStats.Mode, batchStats.Incr)
+	}
+}
+
+// TestIncrementalWarmMatchesBatchSuspects runs the incremental server with
+// warm starting ON. A gated warm solve may converge to a different
+// near-minimal cut than the cold sweep (it only guarantees
+// equal-or-better acceptance), so the invariant checked here is detection
+// quality, not set identity: every epoch detects the same intervals,
+// catches the planted spammers at batch-mode recall with bounded
+// spill-over, and the frozen read model — which warm starting must never
+// touch — stays byte-identical. At least one warm start must actually
+// engage by the second epoch.
+func TestIncrementalWarmMatchesBatchSuspects(t *testing.T) {
+	const n, spammers = 150, 20
+	r := rand.New(rand.NewPCG(21, 8))
+	events := spamWorkload(r, n, spammers)
+
+	batchS, batchTS := newTestServer(t, testBase(n), nil)
+	incrS, incrTS := newTestServer(t, testBase(n), func(cfg *Config) {
+		cfg.Incremental = true
+	})
+
+	// recall/size of the spam interval's suspect set vs the planted nodes.
+	spamQuality := func(ep *Epoch) (recall float64, size int) {
+		for _, d := range ep.Intervals {
+			if d.Interval != 1 {
+				continue
+			}
+			caught := 0
+			for _, u := range d.Detection.Suspects {
+				if int(u) < spammers {
+					caught++
+				}
+			}
+			return float64(caught) / float64(spammers), len(d.Detection.Suspects)
+		}
+		return 0, 0
+	}
+
+	warmSeen := 0
+	for round, chunk := range splitPairs(events, 3) {
+		postEvents(t, batchTS.URL, chunk)
+		postEvents(t, incrTS.URL, chunk)
+		drainIngest(t, batchS)
+		drainIngest(t, incrS)
+
+		want := detectNow(t, batchS)
+		got := detectNow(t, incrS)
+		if len(want.Intervals) != len(got.Intervals) {
+			t.Fatalf("round %d: %d intervals warm vs %d batch", round, len(got.Intervals), len(want.Intervals))
+		}
+		for i := range want.Intervals {
+			if want.Intervals[i].Interval != got.Intervals[i].Interval {
+				t.Fatalf("round %d: warm detected interval %d where batch detected %d",
+					round, got.Intervals[i].Interval, want.Intervals[i].Interval)
+			}
+		}
+		if !want.frozen.Equal(got.frozen) {
+			t.Fatalf("round %d: read model diverged (warm starting must not affect it)", round)
+		}
+		if round == 2 { // full workload ingested: quality is comparable
+			wantRecall, _ := spamQuality(want)
+			gotRecall, gotSize := spamQuality(got)
+			if gotRecall < wantRecall {
+				t.Errorf("warm recall %.2f below batch recall %.2f", gotRecall, wantRecall)
+			}
+			if gotSize > 3*spammers {
+				t.Errorf("warm suspect set bloated to %d nodes (planted %d)", gotSize, spammers)
+			}
+		}
+		if st := incrS.incrStats.Load(); st != nil {
+			warmSeen += st.WarmRounds
+		}
+	}
+	if warmSeen == 0 {
+		t.Fatal("no warm-started rounds across three epochs — warm path never engaged")
+	}
+}
+
+// TestIncrementalConcurrentIngestReplay is the chaos interleaving check:
+// several goroutines ingest disjoint pair-streams concurrently while
+// detections run mid-stream, then the final epoch must equal the batch
+// engine replayed over the journal the server actually wrote — whatever
+// interleaving the race chose. Run under -race this also exercises the
+// delta handoff for data races.
+func TestIncrementalConcurrentIngestReplay(t *testing.T) {
+	const n, spammers, workers = 150, 20, 4
+	r := rand.New(rand.NewPCG(33, 7))
+	events := spamWorkload(r, n, spammers)
+
+	journal := t.TempDir() + "/journal.reqlog"
+	s, ts := newTestServer(t, testBase(n), func(cfg *Config) {
+		cfg.Incremental = true
+		cfg.DisableWarmStart = true
+		cfg.JournalPath = journal
+	})
+
+	// Partition by (from,to) pair so each pair's request→answer order is
+	// owned by one worker; across workers the interleaving is arbitrary.
+	streams := make([][]Event, workers)
+	for _, ev := range events {
+		w := (int(ev.From)*31 + int(ev.To)) % workers
+		streams[w] = append(streams[w], ev)
+	}
+	var wg sync.WaitGroup
+	for _, stream := range streams {
+		wg.Add(1)
+		go func(stream []Event) {
+			defer wg.Done()
+			for _, chunk := range splitPairs(stream, 8) {
+				postEvents(t, ts.URL, chunk)
+			}
+		}(stream)
+	}
+	// Mid-stream detections race the ingest, stepping the engine over
+	// whatever delta prefix each snapshot catches.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Detect(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	drainIngest(t, s)
+	final := detectNow(t, s)
+
+	// The final Detect's snapshot happens after the flush that emptied the
+	// queue, so the journal file is complete and readable.
+	reqs, err := graphio.ReadRequestsFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Events != len(reqs) {
+		t.Fatalf("final epoch covers %d events, journal holds %d", final.Events, len(reqs))
+	}
+	want, err := core.DetectSharded(testBase(n), reqs, testDetectorOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(final.Intervals, want) {
+		t.Fatalf("incremental epoch over concurrent ingest diverges from batch replay of its own journal:\n got %+v\nwant %+v",
+			final.Intervals, want)
+	}
+}
+
+// serverAllocBytes measures process heap allocation across fn with the
+// collector paused. Detection runs on the detector goroutine, but
+// TotalAlloc is process-wide and every other goroutine is idle while
+// Detect blocks, so the reading is attributable.
+func serverAllocBytes(fn func()) uint64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// manyIntervalWorkload spreads answered pairs over 10 intervals so a small
+// delta touches one interval in ten.
+func manyIntervalWorkload(r *rand.Rand, n, pairs int, interval int) []Event {
+	var events []Event
+	for i := 0; i < pairs; i++ {
+		u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+		if u == v {
+			continue
+		}
+		iv := interval
+		if iv < 0 {
+			iv = i % 10
+		}
+		typ := EvAccept
+		if int(u) >= n*9/10 || r.Float64() < 0.25 {
+			typ = EvReject
+		}
+		events = append(events,
+			Event{Type: EvRequest, From: u, To: v, Interval: iv},
+			Event{Type: typ, From: u, To: v, Interval: iv})
+	}
+	return events
+}
+
+// TestIncrementalDetectionAllocsSublinear: after priming both servers with
+// the same 10-interval journal, a detection over a 10-pair delta must not
+// allocate like the batch server's full re-fold — the server-level
+// regression guard that incremental mode keeps per-interval state alive
+// instead of rebuilding O(journal) memory each round.
+func TestIncrementalDetectionAllocsSublinear(t *testing.T) {
+	const n = 200
+	r := rand.New(rand.NewPCG(9, 101))
+	prime := manyIntervalWorkload(r, n, 1000, -1)
+	delta := manyIntervalWorkload(r, n, 10, 0)
+
+	mkcfg := func(incremental bool) func(*Config) {
+		return func(cfg *Config) {
+			cfg.Incremental = incremental
+			cfg.DisableWarmStart = true
+			cfg.Detector.Cut.Parallelism = 1
+		}
+	}
+	batchS, batchTS := newTestServer(t, testBase(n), mkcfg(false))
+	incrS, incrTS := newTestServer(t, testBase(n), mkcfg(true))
+
+	for _, p := range []struct {
+		s  *Server
+		ts string
+	}{{batchS, batchTS.URL}, {incrS, incrTS.URL}} {
+		postEvents(t, p.ts, prime)
+		drainIngest(t, p.s)
+		detectNow(t, p.s)
+		postEvents(t, p.ts, delta)
+		drainIngest(t, p.s)
+	}
+
+	incrBytes := serverAllocBytes(func() { detectNow(t, incrS) })
+	batchBytes := serverAllocBytes(func() { detectNow(t, batchS) })
+	if 2*incrBytes >= batchBytes {
+		t.Fatalf("incremental detection allocated %d bytes vs batch %d — not sublinear in the journal",
+			incrBytes, batchBytes)
+	}
+	t.Logf("alloc per detection: incremental %s, batch %s", fmtBytes(incrBytes), fmtBytes(batchBytes))
+}
+
+func fmtBytes(b uint64) string {
+	return fmt.Sprintf("%.1f KiB", float64(b)/1024)
+}

@@ -131,9 +131,9 @@ func TestReplayDeterminismUnderConcurrency(t *testing.T) {
 
 	total := len(EventsToRequests(events))
 	waitFor(t, 10*time.Second, "ingest to drain", func() bool {
-		snap := make(chan []core.TimedRequest, 1)
+		snap := make(chan logSnapshot, 1)
 		s.snapReq <- snap
-		return len(<-snap) == total
+		return len((<-snap).reqs) == total
 	})
 	finalEp, err := s.Detect(context.Background())
 	if err != nil {

@@ -51,8 +51,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/incr"
 	"repro/internal/obs"
 )
+
+// logSnapshot is the ingest loop's handoff to the detector: the immutable
+// answered-request prefix and, in incremental mode, the delta accumulated
+// since the previous handoff (ownership transfers with the send; the
+// ingest loop starts a fresh accumulator).
+type logSnapshot struct {
+	reqs  []core.TimedRequest
+	delta incr.Delta
+}
 
 // ErrShuttingDown is returned by operations refused because the server is
 // draining.
@@ -90,6 +100,25 @@ type Config struct {
 	// Tracer observes every detection run's pipeline events; nil disables
 	// tracing at zero cost.
 	Tracer obs.Tracer
+
+	// Incremental switches the detector loop to the incremental epoch
+	// engine (internal/incr): the ingest fold accumulates a Delta of the
+	// journal's appended tail, each detection patches the previous epoch's
+	// frozen snapshots instead of re-folding the log, and interval sweeps
+	// are warm-started from the previous epoch's cuts (quality-gated, see
+	// core.DetectWarm). With warm starting disabled the published suspect
+	// sets are byte-identical to batch mode's.
+	Incremental bool
+
+	// PatchMaxFraction is the delta-to-graph edge ratio above which a
+	// frozen snapshot is rebuilt cold instead of patched. Zero means
+	// incr.DefaultMaxPatchFraction. Only meaningful with Incremental.
+	PatchMaxFraction float64
+
+	// DisableWarmStart makes every incremental detection solve cold,
+	// keeping the epoch-over-epoch replay invariant byte-exact while still
+	// patching snapshots and reusing untouched intervals.
+	DisableWarmStart bool
 }
 
 // Epoch is one completed detection, published atomically and served by the
@@ -139,7 +168,7 @@ type Server struct {
 	handler http.Handler
 
 	queue      chan Event
-	snapReq    chan chan []core.TimedRequest
+	snapReq    chan chan logSnapshot
 	detectReq  chan detectRequest
 	quit       chan struct{} // closed first: stops detector, cancels detection
 	ingestQuit chan struct{} // closed second: ingest drains queue and exits
@@ -156,9 +185,15 @@ type Server struct {
 	// goroutines reach it only through snapReq.
 	lc          *lifecycle
 	events      []core.TimedRequest
+	delta       incr.Delta // incremental mode: journal tail since last handoff
 	journal     *graphio.JournalWriter
 	journalFile *os.File
 	journalErr  error // sticky; read after ingestDone closes
+
+	// Detector-goroutine-owned incremental state (after New).
+	engine     *incr.Engine
+	lastFrozen *graph.Frozen // read model: base + every request handed to the detector
+	incrStats  atomic.Pointer[incrStatsReply]
 
 	interrupted  atomic.Bool
 	shutdownOnce sync.Once
@@ -185,7 +220,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:          cfg,
 		base:         cfg.Base,
 		queue:        make(chan Event, cfg.QueueSize),
-		snapReq:      make(chan chan []core.TimedRequest),
+		snapReq:      make(chan chan logSnapshot),
 		detectReq:    make(chan detectRequest),
 		quit:         make(chan struct{}),
 		ingestQuit:   make(chan struct{}),
@@ -198,7 +233,32 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	// Epoch 0: the read model over recovered state, before any detection.
-	s.epoch.Store(s.buildEpoch(s.events, nil, false))
+	epoch0 := s.buildEpoch(s.events, nil, false)
+	s.epoch.Store(epoch0)
+	if cfg.Incremental {
+		det := cfg.Detector
+		det.Cancel = s.quit
+		eng, err := incr.NewEngine(incr.Config{
+			Base:             cfg.Base,
+			Detector:         det,
+			MaxPatchFraction: cfg.PatchMaxFraction,
+			DisableWarm:      cfg.DisableWarmStart,
+			Tracer:           cfg.Tracer,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.engine = eng
+		// The engine has not seen the recovered journal; prime the first
+		// delta with it so the first incremental detection folds it in.
+		// The read model starts at epoch 0's snapshot, which already
+		// covers recovery — re-patching those edges is a no-op by the
+		// splice's dedup contract.
+		for _, req := range s.events {
+			s.delta.AddRequest(req)
+		}
+		s.lastFrozen = epoch0.frozen
+	}
 	s.handler = s.routes()
 	go s.ingestLoop()
 	go s.detectorLoop()
@@ -296,6 +356,9 @@ func (s *Server) apply(ev Event) {
 		return
 	}
 	s.events = append(s.events, req)
+	if s.cfg.Incremental {
+		s.delta.AddRequest(req)
+	}
 	if s.journal != nil {
 		if err := s.journal.Append(req); err != nil && s.journalErr == nil {
 			s.journalErr = err
@@ -314,9 +377,16 @@ func (s *Server) flushJournal() {
 
 // snapshot returns the answered-request log as an immutable prefix: the
 // three-index slice pins cap to len, so the ingest loop's future appends
-// can never write into the handed-out window.
-func (s *Server) snapshot() []core.TimedRequest {
-	return s.events[:len(s.events):len(s.events)]
+// can never write into the handed-out window. In incremental mode the
+// accumulated delta rides along and the accumulator resets — the delta's
+// ownership moves to the detector with the reply.
+func (s *Server) snapshot() logSnapshot {
+	snap := logSnapshot{reqs: s.events[:len(s.events):len(s.events)]}
+	if s.cfg.Incremental {
+		snap.delta = s.delta
+		s.delta = incr.Delta{}
+	}
+	return snap
 }
 
 // detectorLoop serializes detection runs: explicit POST /v1/detect
@@ -342,35 +412,51 @@ func (s *Server) detectorLoop() {
 	}
 }
 
-// runDetection snapshots the event log and runs the batch engine on it,
-// publishing the result as a new epoch. Shutdown interrupts it between
-// rounds; the partial epoch (completed-intervals prefix) is still
-// published and the interruption recorded for the process exit status.
+// runDetection snapshots the event log and runs the detection engine on
+// it — batch (core.DetectSharded from scratch) or incremental (the
+// internal/incr engine over the accumulated delta) — publishing the result
+// as a new epoch. Shutdown interrupts it between rounds; the partial epoch
+// (completed-intervals prefix) is still published and the interruption
+// recorded for the process exit status.
 func (s *Server) runDetection() (*Epoch, error) {
-	reply := make(chan []core.TimedRequest, 1)
+	reply := make(chan logSnapshot, 1)
 	select {
 	case s.snapReq <- reply:
 	case <-s.quit:
 		return nil, ErrShuttingDown
 	}
-	reqs := <-reply
+	snap := <-reply
 
 	obs.Server.DetectInflight.Set(1)
 	defer obs.Server.DetectInflight.Set(0)
 	start := time.Now()
 
-	opts := s.cfg.Detector
-	opts.Cancel = s.quit
-	if opts.Tracer == nil {
-		opts.Tracer = s.cfg.Tracer
+	var (
+		dets        []core.IntervalDetection
+		err         error
+		ep          *Epoch
+		interrupted bool
+	)
+	if s.cfg.Incremental {
+		dets, err = s.runIncremental(snap)
+	} else {
+		opts := s.cfg.Detector
+		opts.Cancel = s.quit
+		if opts.Tracer == nil {
+			opts.Tracer = s.cfg.Tracer
+		}
+		dets, err = core.DetectSharded(s.base, snap.reqs, opts)
 	}
-	dets, err := core.DetectSharded(s.base, reqs, opts)
-	interrupted := errors.Is(err, core.ErrInterrupted)
+	interrupted = errors.Is(err, core.ErrInterrupted)
 	if err != nil && !interrupted {
 		return nil, err
 	}
 
-	ep := s.buildEpoch(reqs, dets, interrupted)
+	if s.cfg.Incremental {
+		ep = s.buildEpochFrom(s.lastFrozen, len(snap.reqs), dets, interrupted)
+	} else {
+		ep = s.buildEpoch(snap.reqs, dets, interrupted)
+	}
 	s.epoch.Store(ep)
 	obs.Server.DetectEpochs.Add(1)
 	obs.Server.LastDetectMS.Set(float64(time.Since(start)) / float64(time.Millisecond))
@@ -381,8 +467,48 @@ func (s *Server) runDetection() (*Epoch, error) {
 	return ep, nil
 }
 
-// buildEpoch assembles the published read model: the detection results
-// plus a canonical frozen snapshot of the fully augmented graph.
+// runIncremental advances the incremental engine by one delta. The read
+// model (lastFrozen) is brought up to date first, unconditionally: even if
+// the detection below is interrupted, the published epoch serves per-user
+// lookups over the full log, and a failed round cannot desync the snapshot
+// from the journal. The engine likewise consumes the delta before
+// detecting, so an interrupted step loses nothing — the next run re-detects
+// the stale intervals from memoized state.
+func (s *Server) runIncremental(snap logSnapshot) ([]core.IntervalDetection, error) {
+	patchStart := time.Now()
+	if incr.ShouldPatch(s.lastFrozen, snap.delta, s.cfg.PatchMaxFraction) {
+		s.lastFrozen = incr.Patch(s.lastFrozen, snap.delta)
+	} else {
+		aug := s.base.Clone()
+		for _, req := range snap.reqs {
+			if req.Accepted {
+				aug.AddFriendship(req.From, req.To)
+			} else {
+				aug.AddRejection(req.To, req.From)
+			}
+		}
+		s.lastFrozen = aug.FreezeCanonical()
+	}
+	readModelMS := float64(time.Since(patchStart)) / float64(time.Millisecond)
+
+	dets, stats, err := s.engine.Step(snap.delta)
+	s.incrStats.Store(&incrStatsReply{
+		Patched:     stats.Patched,
+		ColdBuilt:   stats.ColdBuilt,
+		Reused:      stats.Reused,
+		WarmRounds:  stats.WarmRounds,
+		Fallbacks:   stats.Fallbacks,
+		ColdRounds:  stats.ColdRounds,
+		ReadModelMS: readModelMS,
+		PatchMS:     float64(stats.PatchDur) / float64(time.Millisecond),
+		SolveMS:     float64(stats.SolveDur) / float64(time.Millisecond),
+	})
+	return dets, err
+}
+
+// buildEpoch assembles the published read model the batch way: the
+// detection results plus a canonical frozen snapshot of the fully
+// augmented graph, folded from scratch.
 func (s *Server) buildEpoch(reqs []core.TimedRequest, dets []core.IntervalDetection, interrupted bool) *Epoch {
 	aug := s.base.Clone()
 	for _, req := range reqs {
@@ -392,6 +518,13 @@ func (s *Server) buildEpoch(reqs []core.TimedRequest, dets []core.IntervalDetect
 			aug.AddRejection(req.To, req.From)
 		}
 	}
+	return s.buildEpochFrom(aug.FreezeCanonical(), len(reqs), dets, interrupted)
+}
+
+// buildEpochFrom assembles an epoch around a prebuilt frozen read model —
+// the incremental path hands in its patched snapshot, byte-identical to
+// the batch fold by the splice contract.
+func (s *Server) buildEpochFrom(frozen *graph.Frozen, events int, dets []core.IntervalDetection, interrupted bool) *Epoch {
 	suspects := make(map[graph.NodeID][]int)
 	for _, d := range dets {
 		for _, u := range d.Detection.Suspects {
@@ -400,11 +533,11 @@ func (s *Server) buildEpoch(reqs []core.TimedRequest, dets []core.IntervalDetect
 	}
 	ep := &Epoch{
 		Seq:              s.epochSeq,
-		Events:           len(reqs),
+		Events:           events,
 		Intervals:        dets,
 		Interrupted:      interrupted,
 		CompletedAt:      time.Now(),
-		frozen:           aug.FreezeCanonical(),
+		frozen:           frozen,
 		suspectIntervals: suspects,
 	}
 	s.epochSeq++

@@ -145,7 +145,7 @@ func TestBackpressure(t *testing.T) {
 
 	// Stall the ingest loop deterministically: park it on an unbuffered
 	// snapshot reply that nobody reads yet.
-	hold := make(chan []core.TimedRequest)
+	hold := make(chan logSnapshot)
 	s.snapReq <- hold
 
 	events := make([]Event, 10)
@@ -238,7 +238,7 @@ func TestShutdownDrainsQueue(t *testing.T) {
 
 	// Park the ingest loop so everything stays queued, post a burst, then
 	// shut down: the drain must apply and journal every accepted event.
-	hold := make(chan []core.TimedRequest)
+	hold := make(chan logSnapshot)
 	s.snapReq <- hold
 	var events []Event
 	for i := 0; i < 500; i++ {
@@ -288,9 +288,9 @@ func TestShutdownInterruptsDetection(t *testing.T) {
 	})
 	postEvents(t, ts.URL, events)
 	waitFor(t, 10*time.Second, "ingest to drain", func() bool {
-		snap := make(chan []core.TimedRequest, 1)
+		snap := make(chan logSnapshot, 1)
 		s.snapReq <- snap
-		return len(<-snap) == len(events)
+		return len((<-snap).reqs) == len(events)
 	})
 
 	detectDone := make(chan error, 1)

@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Runs the incremental-epoch benchmarks (internal/incr) and emits
+# BENCH_incr.json at the repo root: cold vs incremental ns/epoch, bytes and
+# allocations per epoch, and the warm-start fallback rate, per delta size.
+#
+# The acceptance criterion is checked here and the script fails if it does
+# not hold: at a delta of at most 1% of the journal, the incremental engine
+# must advance an epoch at least 5x faster than the cold batch baseline.
+#
+# Usage: scripts/bench_incr.sh [benchtime]   (default 3x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/incr/ -run NONE -bench 'BenchmarkEpoch(Cold|Incremental)' \
+	-benchmem -benchtime "$BENCHTIME" -count 1 | tee "$tmp"
+
+python3 - "$tmp" "$BENCHTIME" <<'PY' > BENCH_incr.json
+import json, re, sys
+
+rows = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'BenchmarkEpoch(Cold|Incremental)/delta=([0-9.]+)\S*\s+\d+\s+(.*)', line)
+    if not m:
+        continue
+    mode, delta, rest = m.group(1).lower(), float(m.group(2)), m.group(3)
+    metrics = dict((unit, float(val)) for val, unit in
+                   re.findall(r'([0-9.e+-]+)\s+(\S+/op)', rest))
+    rows.setdefault(delta, {})[mode] = metrics
+
+deltas = []
+for delta in sorted(rows):
+    cold = rows[delta].get('cold', {})
+    inc = rows[delta].get('incremental', {})
+    entry = {
+        'delta_fraction': delta,
+        'cold_ns_per_epoch': cold.get('ns/op'),
+        'incr_ns_per_epoch': inc.get('ns/op'),
+        'cold_allocs_per_epoch': cold.get('allocs/op'),
+        'incr_allocs_per_epoch': inc.get('allocs/op'),
+        'cold_bytes_per_epoch': cold.get('B/op'),
+        'incr_bytes_per_epoch': inc.get('B/op'),
+        'fallbacks_per_epoch': inc.get('fallbacks/op'),
+        'warm_rounds_per_epoch': inc.get('warmrounds/op'),
+    }
+    if entry['cold_ns_per_epoch'] and entry['incr_ns_per_epoch']:
+        entry['speedup'] = round(entry['cold_ns_per_epoch'] / entry['incr_ns_per_epoch'], 2)
+    deltas.append(entry)
+
+achieved = max((e.get('speedup', 0) for e in deltas if e['delta_fraction'] <= 0.01),
+               default=0)
+out = {
+    'benchmark': 'internal/incr BenchmarkEpochCold vs BenchmarkEpochIncremental',
+    'benchtime': sys.argv[2],
+    'deltas': deltas,
+    'criterion': {
+        'required_speedup': 5.0,
+        'at_delta_at_most': 0.01,
+        'achieved_speedup': achieved,
+        'pass': achieved >= 5.0,
+    },
+}
+json.dump(out, sys.stdout, indent=2)
+print()
+if not out['criterion']['pass']:
+    print(f"FAIL: speedup {achieved}x at <=1% delta, need >=5x", file=sys.stderr)
+    sys.exit(1)
+PY
+
+echo "wrote BENCH_incr.json"
