@@ -107,6 +107,7 @@ func experiments() []experiment {
 		{"fig18", "Fig 13-15 sweeps on the six other graphs", runFig18},
 		{"table2", "distributed-engine scalability", runTable2},
 		{"incr", "incremental epochs: latency vs delta size, cold vs patched+warm", runIncr},
+		{"ml", "multilevel sweeps: flat vs coarsen/solve/refine latency across sizes and restarts", runML},
 	}
 	return exps
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simulate"
+)
+
+// mlWorld builds the sweep-latency scenario: nL legitimate users on a
+// ring plus random chords with scattered legit-to-legit rejections, and nF
+// fakes spraying requests that are mostly rejected — the same planted
+// shape BenchmarkMAARSweep times, regenerated here at -scale.
+func mlWorld(seed uint64, nL, nF int) *graph.Graph {
+	r := rand.New(rand.NewPCG(seed, 99))
+	g := graph.New(nL + nF)
+	for i := 0; i < nL; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%nL))
+		for c := 0; c < 5; c++ {
+			if v := graph.NodeID(r.IntN(nL)); v != graph.NodeID(i) {
+				g.AddFriendship(graph.NodeID(i), v)
+			}
+		}
+	}
+	for i := 0; i < nL/2; i++ {
+		if u, v := r.IntN(nL), r.IntN(nL); u != v {
+			g.AddRejection(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	for i := 0; i < nF; i++ {
+		u := graph.NodeID(nL + i)
+		for k := 0; k < 6 && k < i; k++ {
+			g.AddFriendship(u, graph.NodeID(nL+r.IntN(i)))
+		}
+		for req := 0; req < 12; req++ {
+			target := graph.NodeID(r.IntN(nL))
+			if r.Float64() < 0.7 {
+				g.AddRejection(target, u)
+			} else {
+				g.AddFriendship(u, target)
+			}
+		}
+	}
+	return g
+}
+
+// runML compares the flat frozen sweep against the multilevel ladder
+// across graph sizes and restart counts. The ladder's fixed cost (coarsen,
+// coarse k-grid, refinement) is paid once per sweep while the flat engine
+// pays the full k-grid per extra init, so the speedup column should grow
+// down the restart ladder; the acceptance columns should agree (the gate
+// never publishes a multilevel cut worse than the flat one).
+func runML(cfg simulate.Config, _ *cliArgs) error {
+	type point struct {
+		nL, nF   int
+		restarts int
+	}
+	points := []point{
+		{6000, 1500, 12},
+		{12000, 3000, 12},
+		{24000, 6000, 1},
+		{24000, 6000, 4},
+		{24000, 6000, 12},
+	}
+
+	t := simulate.NewTable(
+		fmt.Sprintf("Multilevel sweeps — flat vs coarsen/solve/refine ladder (scale %.2f, seed %d)",
+			cfg.Scale, cfg.Seed),
+		"users", "restarts", "flat sweep", "ml sweep", "speedup", "flat acc", "ml acc")
+
+	worlds := map[int]*graph.Frozen{}
+	for _, p := range points {
+		nL, nF := int(float64(p.nL)*cfg.Scale), int(float64(p.nF)*cfg.Scale)
+		if nL < 100 || nF < 25 {
+			return fmt.Errorf("-scale %.2f leaves too few users for the ml experiment", cfg.Scale)
+		}
+		n := nL + nF
+		f, ok := worlds[n]
+		if !ok {
+			f = mlWorld(cfg.Seed, nL, nF).Freeze()
+			worlds[n] = f
+		}
+		opts := core.CutOptions{Parallelism: 1, Restarts: p.restarts, RandSeed: cfg.Seed}
+		mlOpts := opts
+		mlOpts.Multilevel = true
+
+		start := time.Now()
+		flat, okFlat := core.FindMAARCutFrozen(f, opts)
+		flatDur := time.Since(start)
+		start = time.Now()
+		mlCut, okML := core.FindMAARCutFrozen(f, mlOpts)
+		mlDur := time.Since(start)
+		if !okFlat || !okML {
+			return fmt.Errorf("n=%d r=%d: no cut found (flat %v, ml %v)", n, p.restarts, okFlat, okML)
+		}
+		if mlCut.Acceptance > flat.Acceptance+1e-12 {
+			return fmt.Errorf("n=%d r=%d: multilevel acceptance %.6f worse than flat %.6f",
+				n, p.restarts, mlCut.Acceptance, flat.Acceptance)
+		}
+		t.AddRow(n, p.restarts,
+			flatDur.Round(time.Millisecond).String(),
+			mlDur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", float64(flatDur)/float64(mlDur)),
+			fmt.Sprintf("%.4f", flat.Acceptance),
+			fmt.Sprintf("%.4f", mlCut.Acceptance))
+	}
+	return t.Render(os.Stdout)
+}

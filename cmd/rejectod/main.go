@@ -11,6 +11,7 @@
 //	         [-journal events.log] [-queue 1024]
 //	         [-incremental] [-incr-max-patch 0.25] [-no-warm-start]
 //	         [-kmin 0.03125] [-kmax 32] [-seed 42]
+//	         [-ml] [-ml-coarsest 128] [-ml-max-levels 0]
 //	         [-trace run.jsonl] [-v] [-debug-addr :6060]
 //
 // -incremental switches the detector to the incremental epoch engine
@@ -81,6 +82,9 @@ func run() int {
 		noWarm      = flag.Bool("no-warm-start", false, "with -incremental, solve every round cold (byte-identical to batch mode)")
 		kmin        = flag.Float64("kmin", 0, "minimum friends-to-rejections ratio in the sweep")
 		kmax        = flag.Float64("kmax", 0, "maximum friends-to-rejections ratio in the sweep")
+		mlSweep     = flag.Bool("ml", false, "run sweeps through the multilevel coarsen/solve/refine ladder")
+		mlCoarse    = flag.Int("ml-coarsest", 0, "multilevel: stop coarsening below this many nodes (0 = default)")
+		mlLevels    = flag.Int("ml-max-levels", 0, "multilevel: maximum coarsening levels (0 = default)")
 		seed        = flag.Uint64("seed", 42, "random seed")
 		tracePath   = flag.String("trace", "", "write a JSONL event trace of every detection to this file")
 		verbose     = flag.Bool("v", false, "print a per-round summary table after each detection epoch")
@@ -141,7 +145,10 @@ func run() int {
 	srv, err := server.New(server.Config{
 		Base: g,
 		Detector: core.DetectorOptions{
-			Cut:                 core.CutOptions{KMin: *kmin, KMax: *kmax, RandSeed: *seed},
+			Cut: core.CutOptions{
+				KMin: *kmin, KMax: *kmax, RandSeed: *seed,
+				Multilevel: *mlSweep, MLCoarsestNodes: *mlCoarse, MLMaxLevels: *mlLevels,
+			},
 			TargetCount:         *target,
 			AcceptanceThreshold: *threshold,
 		},

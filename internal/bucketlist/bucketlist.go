@@ -7,18 +7,28 @@
 // "which free node has the maximum gain?" in amortized constant time. The
 // paper's Algorithm 1 calls this structure nodeGainList.
 //
-// Two implementations are provided behind the List interface:
+// Three implementations are provided behind the List interface:
 //
 //   - Dense: the classic FM array of doubly-linked lists with a moving
 //     max-gain pointer. O(1) operations, memory proportional to the gain
-//     range. Used when the range is bounded (it always is here: gains are
-//     fixed-point integers bounded by max weighted degree).
+//     range. Used when the range is bounded (on unweighted snapshots it
+//     always is: gains are fixed-point integers bounded by max weighted
+//     degree).
+//   - Scan: flat per-node arrays with a bitmap PopMax scan. O(1)
+//     mutations, O(present) PopMax, no memory tied to the gain range.
+//     Used when the range is too wide for Dense but the node count is
+//     small — the shape weighted coarse graphs from the multilevel ladder
+//     produce, where pooled edge multiplicities blow up the gain range
+//     while the node count shrinks toward the coarsest bound.
 //   - Sparse: a map from gain to bucket plus a lazy max-heap of occupied
 //     gains. O(log B) operations where B is the number of distinct gains,
-//     memory proportional to occupancy. Used for extreme gain ranges.
+//     memory proportional to occupancy. Used for extreme gain ranges on
+//     node counts too large for Scan.
 //
-// New picks between them based on the declared gain range. The two
-// implementations are cross-checked by property tests.
+// New picks between them based on the declared gain range and node count.
+// The implementations are cross-checked by property tests: identical
+// insertion, update, and LIFO max-pop order, so the KL engines' results
+// do not depend on which one serves a solve.
 package bucketlist
 
 // List indexes nodes by integer gain and yields max-gain nodes.
@@ -75,14 +85,18 @@ func PrefersDense(minGain, maxGain int64) bool {
 
 // New returns a List for nodes in [0, n) whose gains stay within
 // [minGain, maxGain]. It selects the dense implementation when the gain
-// range is affordable (at most denseRangeLimit buckets) and the sparse one
-// otherwise.
+// range is affordable (at most denseRangeLimit buckets); otherwise the
+// scanning one when the node count is small (at most scanNodeLimit), and
+// the sparse one past that.
 func New(n int, minGain, maxGain int64) List {
 	if maxGain < minGain {
 		panic("bucketlist: maxGain < minGain")
 	}
 	if PrefersDense(minGain, maxGain) {
 		return NewDense(n, minGain, maxGain)
+	}
+	if n <= scanNodeLimit {
+		return NewScan(n)
 	}
 	return NewSparse(n)
 }
@@ -103,8 +117,13 @@ func Renew(l List, n int, minGain, maxGain int64) List {
 			impl.Reset(minGain, maxGain)
 			return impl
 		}
+	case *Scan:
+		if !dense && n <= scanNodeLimit && len(impl.gain) == n {
+			impl.Reset(minGain, maxGain)
+			return impl
+		}
 	case *Sparse:
-		if !dense && len(impl.in) == n {
+		if !dense && n > scanNodeLimit && len(impl.in) == n {
 			impl.Reset(minGain, maxGain)
 			return impl
 		}

@@ -6,10 +6,11 @@ import (
 	"testing/quick"
 )
 
-// implementations under test; both must satisfy the same contract.
+// implementations under test; all must satisfy the same contract.
 func implementations(n int, minG, maxG int64) map[string]List {
 	return map[string]List{
 		"dense":  NewDense(n, minG, maxG),
+		"scan":   NewScan(n),
 		"sparse": NewSparse(n),
 	}
 }
@@ -142,20 +143,38 @@ func TestNewSelectsImplementation(t *testing.T) {
 	if _, ok := New(4, -100, 100).(*Dense); !ok {
 		t.Error("small range should select Dense")
 	}
-	if _, ok := New(4, -(1 << 40), 1<<40).(*Sparse); !ok {
-		t.Error("huge range should select Sparse")
+	if _, ok := New(4, -(1 << 40), 1<<40).(*Scan); !ok {
+		t.Error("huge range on a small node count should select Scan")
+	}
+	if _, ok := New(scanNodeLimit+1, -(1 << 40), 1<<40).(*Sparse); !ok {
+		t.Error("huge range on a large node count should select Sparse")
 	}
 }
 
-// TestCrossImplementation runs a random op sequence against both
-// implementations and checks they agree on every observable.
+// TestCrossImplementation runs a random op sequence against Dense and each
+// other implementation and checks they agree on every observable.
 func TestCrossImplementation(t *testing.T) {
+	const n = 64
+	for _, other := range []struct {
+		name string
+		mk   func() List
+	}{
+		{"sparse", func() List { return NewSparse(n) }},
+		{"scan", func() List { return NewScan(n) }},
+	} {
+		t.Run(other.name, func(t *testing.T) {
+			crossCheck(t, other.mk)
+		})
+	}
+}
+
+func crossCheck(t *testing.T, mk func() List) {
 	const n = 64
 	f := func(seed uint64, opsRaw uint8) bool {
 		r := rand.New(rand.NewPCG(seed, 11))
 		ops := int(opsRaw) + 20
 		d := NewDense(n, -50, 50)
-		s := NewSparse(n)
+		s := mk()
 		for i := 0; i < ops; i++ {
 			node := r.IntN(n)
 			gain := int64(r.IntN(101) - 50)
@@ -225,46 +244,52 @@ func TestCrossImplementation(t *testing.T) {
 
 // TestResetEquivalentToFresh: after arbitrary use, a Reset list must be
 // indistinguishable from a freshly constructed one — same PopMax sequence,
-// LIFO tie-breaks included — for both implementations.
+// LIFO tie-breaks included — for every implementation.
 func TestResetEquivalentToFresh(t *testing.T) {
 	const n = 48
 	f := func(seed uint64) bool {
 		r := rand.New(rand.NewPCG(seed, 12))
-		dirtyD, dirtyS := NewDense(n, -30, 30), NewSparse(n)
+		dirty := []List{NewDense(n, -30, 30), NewScan(n), NewSparse(n)}
 		for i := 0; i < 40; i++ {
 			node, gain := r.IntN(n), int64(r.IntN(61)-30)
-			if !dirtyD.Contains(node) {
-				dirtyD.Add(node, gain)
-				dirtyS.Add(node, gain)
+			if !dirty[0].Contains(node) {
+				for _, l := range dirty {
+					l.Add(node, gain)
+				}
 			} else if r.IntN(2) == 0 {
-				dirtyD.Update(node, gain)
-				dirtyS.Update(node, gain)
+				for _, l := range dirty {
+					l.Update(node, gain)
+				}
 			}
 		}
 		// Leave some residue, pop some, then Reset to different bounds.
-		dirtyD.PopMax()
-		dirtyS.PopMax()
 		lo, hi := int64(-40), int64(55)
-		dirtyD.Reset(lo, hi)
-		dirtyS.Reset(lo, hi)
+		for _, l := range dirty {
+			l.PopMax()
+			l.Reset(lo, hi)
+		}
 
-		freshD, freshS := NewDense(n, lo, hi), NewSparse(n)
+		fresh := []List{NewDense(n, lo, hi), NewScan(n), NewSparse(n)}
 		for i := 0; i < n; i++ {
 			gain := int64(r.IntN(int(hi-lo+1))) + lo
-			dirtyD.Add(i, gain)
-			freshD.Add(i, gain)
-			dirtyS.Add(i, gain)
-			freshS.Add(i, gain)
+			for _, l := range dirty {
+				l.Add(i, gain)
+			}
+			for _, l := range fresh {
+				l.Add(i, gain)
+			}
 		}
 		for {
-			n1, g1, ok1 := dirtyD.PopMax()
-			n2, g2, ok2 := freshD.PopMax()
-			n3, g3, ok3 := dirtyS.PopMax()
-			n4, g4, ok4 := freshS.PopMax()
-			if n1 != n2 || g1 != g2 || ok1 != ok2 || n3 != n4 || g3 != g4 || ok3 != ok4 {
-				return false
+			done := false
+			for i := range dirty {
+				n1, g1, ok1 := dirty[i].PopMax()
+				n2, g2, ok2 := fresh[i].PopMax()
+				if n1 != n2 || g1 != g2 || ok1 != ok2 {
+					return false
+				}
+				done = !ok1
 			}
-			if !ok1 {
+			if done {
 				return true
 			}
 		}
@@ -299,16 +324,27 @@ func TestRenew(t *testing.T) {
 	if _, ok := Renew(d, 9, -10, 10).(*Dense); !ok {
 		t.Error("Renew with different n should build a fresh Dense")
 	}
-	if _, ok := Renew(d, 8, -(1 << 40), 1<<40).(*Sparse); !ok {
-		t.Error("Renew with a huge range should switch to Sparse")
+	if _, ok := Renew(d, 8, -(1 << 40), 1<<40).(*Scan); !ok {
+		t.Error("Renew with a huge range on small n should switch to Scan")
 	}
-	s := NewSparse(8)
+	sc := NewScan(8)
+	sc.Add(1, 1<<30)
+	if got := Renew(sc, 8, -(1<<40), 1<<40); got != List(sc) {
+		t.Error("Renew did not reuse a compatible Scan list")
+	} else if got.Len() != 0 {
+		t.Error("Renew did not reset the reused Scan list")
+	}
+	if _, ok := Renew(sc, 8, -10, 10).(*Dense); !ok {
+		t.Error("Renew with a small range should switch to Dense")
+	}
+	big := scanNodeLimit + 1
+	s := NewSparse(big)
 	s.Add(1, 1<<30)
-	if got := Renew(s, 8, -(1<<40), 1<<40); got != List(s) {
+	if got := Renew(s, big, -(1<<40), 1<<40); got != List(s) {
 		t.Error("Renew did not reuse a compatible Sparse list")
 	}
-	if _, ok := Renew(s, 8, -10, 10).(*Dense); !ok {
-		t.Error("Renew with a small range should switch to Dense")
+	if _, ok := Renew(sc, big, -(1<<40), 1<<40).(*Sparse); !ok {
+		t.Error("Renew with a huge range past scanNodeLimit should switch to Sparse")
 	}
 	if _, ok := Renew(nil, 8, -10, 10).(*Dense); !ok {
 		t.Error("Renew(nil) should construct a list")

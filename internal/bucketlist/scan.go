@@ -1,0 +1,142 @@
+package bucketlist
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Scan is a bucket list for the small-n/wide-range corner: gain ranges too
+// wide for Dense on graphs with only a few thousand nodes. The multilevel
+// ladder manufactures exactly this shape — contraction pools fine-edge
+// multiplicities into supernode weights, so a few hundred coarse nodes can
+// carry gains in the hundreds of millions — and there the constant factors
+// of Sparse's map-and-heap bookkeeping dominate whole KL solves.
+//
+// Scan stores per-node state in three flat arrays and answers PopMax by
+// scanning the membership bitmap, word at a time, comparing the present
+// nodes' (gain, stamp) pairs. Everything but PopMax is O(1) with no
+// hashing; PopMax is O(n/64 + present). The stamp is a global insertion
+// counter: each (re)insertion of a node into its conceptual bucket bumps
+// it, so "maximum gain, ties to the highest stamp" reproduces exactly the
+// LIFO-within-bucket pop order of Dense and Sparse — the property the
+// cross-implementation tests pin, and what keeps KL results identical no
+// matter which structure New selects.
+type Scan struct {
+	gain  []int64
+	stamp []uint64 // last (re)insertion tick; higher = more recent
+	in    []uint64 // membership bitmap
+	size  int
+	tick  uint64
+}
+
+var _ List = (*Scan)(nil)
+
+// scanNodeLimit bounds the node count New serves with Scan when the gain
+// range is too wide for Dense: past a few thousand nodes the O(present)
+// PopMax scans lose to Sparse's O(log B) heap.
+const scanNodeLimit = 4096
+
+// NewScan returns a Scan list for nodes in [0, n).
+func NewScan(n int) *Scan {
+	return &Scan{
+		gain:  make([]int64, n),
+		stamp: make([]uint64, n),
+		in:    make([]uint64, (n+63)/64),
+	}
+}
+
+func (s *Scan) present(node int) bool {
+	return s.in[node>>6]>>(uint(node)&63)&1 != 0
+}
+
+// Add implements List.
+func (s *Scan) Add(node int, gain int64) {
+	if s.present(node) {
+		panic(fmt.Sprintf("bucketlist: node %d already present", node))
+	}
+	s.in[node>>6] |= 1 << (uint(node) & 63)
+	s.gain[node] = gain
+	s.tick++
+	s.stamp[node] = s.tick
+	s.size++
+}
+
+// Update implements List.
+func (s *Scan) Update(node int, gain int64) {
+	if !s.present(node) {
+		panic(fmt.Sprintf("bucketlist: update of absent node %d", node))
+	}
+	if gain == s.gain[node] {
+		return // same bucket: Dense and Sparse leave the position alone
+	}
+	s.gain[node] = gain
+	s.tick++
+	s.stamp[node] = s.tick
+}
+
+// AdjustIfPresent implements List.
+func (s *Scan) AdjustIfPresent(node int, delta int64) {
+	if delta == 0 || !s.present(node) {
+		return
+	}
+	s.gain[node] += delta
+	s.tick++
+	s.stamp[node] = s.tick
+}
+
+// Remove implements List.
+func (s *Scan) Remove(node int) bool {
+	if !s.present(node) {
+		return false
+	}
+	s.in[node>>6] &^= 1 << (uint(node) & 63)
+	s.size--
+	return true
+}
+
+// Contains implements List.
+func (s *Scan) Contains(node int) bool { return s.present(node) }
+
+// Gain implements List.
+func (s *Scan) Gain(node int) int64 {
+	if !s.present(node) {
+		panic(fmt.Sprintf("bucketlist: gain of absent node %d", node))
+	}
+	return s.gain[node]
+}
+
+// PopMax implements List.
+func (s *Scan) PopMax() (node int, gain int64, ok bool) {
+	if s.size == 0 {
+		return 0, 0, false
+	}
+	best := -1
+	var bestGain int64
+	var bestStamp uint64
+	for w, word := range s.in {
+		base := w << 6
+		for word != 0 {
+			u := base | bits.TrailingZeros64(word)
+			word &= word - 1
+			if g := s.gain[u]; best < 0 || g > bestGain ||
+				g == bestGain && s.stamp[u] > bestStamp {
+				best, bestGain, bestStamp = u, g, s.stamp[u]
+			}
+		}
+	}
+	s.in[best>>6] &^= 1 << (uint(best) & 63)
+	s.size--
+	return best, bestGain, true
+}
+
+// Len implements List.
+func (s *Scan) Len() int { return s.size }
+
+// Reset implements List.
+func (s *Scan) Reset(minGain, maxGain int64) {
+	for i := range s.in {
+		s.in[i] = 0
+	}
+	s.size = 0
+	s.tick = 0
+}

@@ -65,6 +65,19 @@ func FindMAARCutFrozen(f *graph.Frozen, opts CutOptions) (Cut, bool) {
 		initStats[i] = f.Stats(init)
 	}
 
+	if opts.Multilevel {
+		if cut, ok, done := findMAARCutMultilevel(f, opts, pinned, inits, initStats, jobs); done {
+			return cut, ok
+		}
+		// The ladder did not coarsen, or the quality gate rejected the
+		// refined winner: re-run the sweep flat, cold.
+	}
+	return flatSweepFrozen(f, opts, pinned, inits, initStats, jobs)
+}
+
+// flatSweepFrozen runs the full-resolution (k, init) sweep — the reference
+// path every other sweep mode gates against.
+func flatSweepFrozen(f *graph.Frozen, opts CutOptions, pinned []bool, inits []graph.Partition, initStats []graph.CutStats, jobs []sweepJob) (Cut, bool) {
 	// Tracing and counters. A nil tracer keeps the sweep clock-free and
 	// allocation-identical; the expvar counters below are always live but
 	// tick per solve (a handful of atomic adds), never per edge. Each KL
@@ -216,9 +229,12 @@ func FindMAARCutFrozen(f *graph.Frozen, opts CutOptions) (Cut, bool) {
 	return final.cut, final.found
 }
 
-// sweepJob is one independent KL solve of the sweep.
+// sweepJob is one independent KL solve of the sweep. kIdx is the dense
+// index of the job's grid point among those that survived weight rounding
+// — the multilevel sweep groups candidates by it.
 type sweepJob struct {
 	initIdx int
+	kIdx    int
 	k       float64
 	wR      int64
 }
@@ -228,12 +244,14 @@ type sweepJob struct {
 func sweepJobs(opts CutOptions, numInits int) []sweepJob {
 	grid := opts.KGrid()
 	jobs := make([]sweepJob, 0, len(grid)*numInits)
+	kIdx := 0
 	for _, k := range grid {
 		wR := int64(math.Round(k * float64(opts.WeightScale)))
 		if wR >= 1 {
 			for i := 0; i < numInits; i++ {
-				jobs = append(jobs, sweepJob{initIdx: i, k: k, wR: wR})
+				jobs = append(jobs, sweepJob{initIdx: i, kIdx: kIdx, k: k, wR: wR})
 			}
+			kIdx++
 		}
 	}
 	return jobs

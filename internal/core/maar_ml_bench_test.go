@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// benchCutWorldSized is benchCutWorld at an arbitrary scale: nL legitimate
+// users with OSN-like degree, nF fakes spraying requests at a 70% rejection
+// rate, edges inserted in shuffled arrival order.
+func benchCutWorldSized(nL, nF int) (*graph.Graph, CutOptions) {
+	r := rand.New(rand.NewPCG(7, 99))
+	type edge struct {
+		u, v graph.NodeID
+		rej  bool
+	}
+	var edges []edge
+	for i := 0; i < nL; i++ {
+		edges = append(edges, edge{graph.NodeID(i), graph.NodeID((i + 1) % nL), false})
+		for c := 0; c < 5; c++ {
+			v := graph.NodeID(r.IntN(nL))
+			if v != graph.NodeID(i) {
+				edges = append(edges, edge{graph.NodeID(i), v, false})
+			}
+		}
+	}
+	for i := 0; i < nL/2; i++ {
+		u, v := r.IntN(nL), r.IntN(nL)
+		if u != v {
+			edges = append(edges, edge{graph.NodeID(u), graph.NodeID(v), true})
+		}
+	}
+	for i := 0; i < nF; i++ {
+		u := graph.NodeID(nL + i)
+		for k := 0; k < 6 && k < i; k++ {
+			edges = append(edges, edge{u, graph.NodeID(nL + r.IntN(i)), false})
+		}
+		for req := 0; req < 12; req++ {
+			target := graph.NodeID(r.IntN(nL))
+			if r.Float64() < 0.7 {
+				edges = append(edges, edge{target, u, true})
+			} else {
+				edges = append(edges, edge{u, target, false})
+			}
+		}
+	}
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	g := graph.New(nL + nF)
+	for _, e := range edges {
+		if e.rej {
+			g.AddRejection(e.u, e.v)
+		} else {
+			g.AddFriendship(e.u, e.v)
+		}
+	}
+	// Serial sweep so ns/op compares engine cost, not scheduling.
+	opts := CutOptions{Parallelism: 1, RandSeed: 5}
+	return g, opts
+}
+
+// BenchmarkMAARSweep compares the flat frozen sweep against the multilevel
+// ladder on planted worlds across sizes, restart counts, and — at the
+// largest size — coarsening depths. Restarts are the multilevel engine's
+// home turf: the ladder and the gate's capped per-k checks are paid once
+// per sweep, while the flat sweep pays the full k-grid again for every
+// extra init, so the speedup grows with the restart count. Each multilevel
+// case first asserts the quality criterion — published acceptance no worse
+// than the flat sweep on the same graph and restart budget — and reports
+// both acceptances plus the gate's fallback count as benchmark metrics, so
+// scripts/bench_ml.sh can enforce the criterion from the bench output
+// alone.
+func BenchmarkMAARSweep(b *testing.B) {
+	type cse struct {
+		name     string
+		nL, nF   int
+		restarts int
+		coarsest int // 0 = ml default
+	}
+	cases := []cse{
+		{"n=7500-r12", 6000, 1500, 12, 0},
+		{"n=15000-r12", 12000, 3000, 12, 0},
+		{"n=30000-r1", 24000, 6000, 1, 0},
+		{"n=30000-r4", 24000, 6000, 4, 0},
+		{"n=30000-r12", 24000, 6000, 12, 0},
+		{"n=30000-r12-coarsest384", 24000, 6000, 12, 384},
+		{"n=30000-r12-coarsest24", 24000, 6000, 12, 24},
+	}
+	worlds := map[string]*graph.Frozen{}
+	baseOpts := map[string]CutOptions{}
+	flatCuts := map[string]Cut{}
+	for _, c := range cases {
+		key := fmt.Sprintf("%d/%d", c.nL, c.nF)
+		if _, ok := worlds[key]; !ok {
+			g, opts := benchCutWorldSized(c.nL, c.nF)
+			worlds[key] = g.Freeze()
+			baseOpts[key] = opts
+		}
+	}
+	for _, c := range cases {
+		key := fmt.Sprintf("%d/%d", c.nL, c.nF)
+		f := worlds[key]
+		opts := baseOpts[key]
+		opts.Restarts = c.restarts
+		mlOpts := opts
+		mlOpts.Multilevel = true
+		mlOpts.MLCoarsestNodes = c.coarsest
+
+		flatKey := fmt.Sprintf("%s/r%d", key, c.restarts)
+		flat, cached := flatCuts[flatKey]
+		if !cached {
+			var okFlat bool
+			flat, okFlat = FindMAARCutFrozen(f, opts)
+			if !okFlat {
+				b.Fatalf("%s: flat sweep found no cut", c.name)
+			}
+			flatCuts[flatKey] = flat
+		}
+		mlCut, okML := FindMAARCutFrozen(f, mlOpts)
+		if !okML {
+			b.Fatalf("%s: multilevel sweep found no cut", c.name)
+		}
+		if mlCut.Acceptance > flat.Acceptance+1e-12 {
+			b.Fatalf("%s: multilevel acceptance %.6f worse than flat %.6f",
+				c.name, mlCut.Acceptance, flat.Acceptance)
+		}
+
+		if c.coarsest == 0 {
+			b.Run("flat/"+c.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					FindMAARCutFrozen(f, opts)
+				}
+				b.ReportMetric(flat.Acceptance, "acc")
+			})
+		}
+		b.Run("ml/"+c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			before := obs.ML.Fallbacks.Value()
+			for i := 0; i < b.N; i++ {
+				FindMAARCutFrozen(f, mlOpts)
+			}
+			b.ReportMetric(mlCut.Acceptance, "acc")
+			b.ReportMetric(flat.Acceptance, "accflat")
+			b.ReportMetric(float64(obs.ML.Fallbacks.Value()-before)/float64(b.N), "fallbacks/op")
+		})
+	}
+}

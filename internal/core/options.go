@@ -64,6 +64,27 @@ type CutOptions struct {
 	Parallelism int
 	// RandSeed makes the run reproducible. The zero value is a valid seed.
 	RandSeed uint64
+	// Multilevel runs the sweep through the multilevel ladder (package ml):
+	// the residual is coarsened once by heavy-edge matching (rejection-
+	// preserving pairs preferred, rejection-connected ones contracted only
+	// as a last resort), every (k, init) job is scored by a KL solve on the
+	// small coarsest graph — contraction is exact, so coarse acceptances
+	// are true fine-graph acceptances — and a shortlist of the best ks
+	// (plus ties) is refined back down the ladder, once per distinct coarse
+	// partition. A quality gate then solves a capped set of flat reference
+	// jobs at the refined and neighbouring ks and falls back to the full
+	// flat sweep (emitting obs.EvMLFallback) if any reference found a
+	// strictly better acceptance, so enabling Multilevel can change which
+	// near-tie cut is published but never publishes a cut the gate's flat
+	// references beat. Composes with WarmInit: the warm hint is projected
+	// onto the coarse graph like any other initial partition.
+	Multilevel bool
+	// MLCoarsestNodes bounds the coarsest level's node count (zero means
+	// ml.DefaultCoarsestNodes); MLMaxLevels caps the ladder depth including
+	// level 0 (zero means ml.DefaultMaxLevels). Only read when Multilevel
+	// is set.
+	MLCoarsestNodes int
+	MLMaxLevels     int
 	// WarmInit, when non-nil, replaces the standard initial partitions
 	// (acceptance heuristic plus Restarts random starts) with this single
 	// partition: every (k, init) job starts KL from it, with seeds still
@@ -153,6 +174,12 @@ func (o CutOptions) validate(numNodes int) error {
 	}
 	if o.Restarts < 0 {
 		return fmt.Errorf("core: negative Restarts %d", o.Restarts)
+	}
+	if o.MLCoarsestNodes < 0 {
+		return fmt.Errorf("core: negative MLCoarsestNodes %d", o.MLCoarsestNodes)
+	}
+	if o.MLMaxLevels < 0 {
+		return fmt.Errorf("core: negative MLMaxLevels %d", o.MLMaxLevels)
 	}
 	if o.WarmInit != nil && len(o.WarmInit) != numNodes {
 		return fmt.Errorf("core: WarmInit length %d != %d nodes", len(o.WarmInit), numNodes)

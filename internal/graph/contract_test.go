@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// randomCoarseID assigns every node of an n-node graph one of numCoarse
+// supernodes so that each supernode gets at least one member.
+func randomCoarseID(r *rand.Rand, n, numCoarse int) []NodeID {
+	ids := make([]NodeID, n)
+	perm := r.Perm(n)
+	for c := 0; c < numCoarse; c++ {
+		ids[perm[c]] = NodeID(c)
+	}
+	for _, u := range perm[numCoarse:] {
+		ids[u] = NodeID(r.IntN(numCoarse))
+	}
+	return ids
+}
+
+// TestContractStatsExact: for any partition of the coarse graph, the coarse
+// weighted Stats edge fields must equal the fine graph's Stats of the
+// projected partition — contraction is exact on cut statistics, only the
+// region sizes differ (supernodes vs fine nodes).
+func TestContractStatsExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 41))
+		n := 2 + r.IntN(60)
+		g := randomFrozenWorld(r, n, r.IntN(4*n), r.IntN(2*n))
+		fz := g.Freeze()
+		numCoarse := 1 + r.IntN(n)
+		coarseID := randomCoarseID(r, n, numCoarse)
+		coarse := fz.Contract(coarseID, numCoarse)
+
+		if !coarse.Weighted() {
+			t.Error("Contract result not weighted")
+			return false
+		}
+		pc := make(Partition, numCoarse)
+		for c := range pc {
+			if r.IntN(2) == 1 {
+				pc[c] = Suspect
+			}
+		}
+		pf := make(Partition, n)
+		for u := range pf {
+			pf[u] = pc[coarseID[u]]
+		}
+		cs, fs := coarse.Stats(pc), fz.Stats(pf)
+		if cs.CrossFriendships != fs.CrossFriendships ||
+			cs.RejIntoSuspect != fs.RejIntoSuspect ||
+			cs.RejIntoLegit != fs.RejIntoLegit {
+			t.Errorf("seed %d: coarse stats %+v, fine stats %+v", seed, cs, fs)
+			return false
+		}
+		if cs.SuspectSize != pc.Count(Suspect) || cs.LegitSize != pc.Count(Legit) {
+			t.Errorf("seed %d: coarse sizes %d/%d, want supernode counts %d/%d",
+				seed, cs.SuspectSize, cs.LegitSize, pc.Count(Suspect), pc.Count(Legit))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContractWeightedAccessors: supernode weighted degrees must equal the
+// summed fine degrees of the members minus internal edges, and the weighted
+// accessors must agree with a brute-force fine-edge count between the two
+// supernodes.
+func TestContractWeightedAccessors(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 42))
+		n := 2 + r.IntN(40)
+		g := randomFrozenWorld(r, n, r.IntN(4*n), r.IntN(2*n))
+		fz := g.Freeze()
+		numCoarse := 1 + r.IntN(n)
+		coarseID := randomCoarseID(r, n, numCoarse)
+		coarse := fz.Contract(coarseID, numCoarse)
+
+		// Brute-force fine edge counts between supernode pairs.
+		friendCount := make(map[[2]NodeID]int64)
+		fz.ForEachFriendship(func(u, v NodeID) {
+			cu, cv := coarseID[u], coarseID[v]
+			if cu != cv {
+				friendCount[[2]NodeID{cu, cv}]++
+				friendCount[[2]NodeID{cv, cu}]++
+			}
+		})
+		rejCount := make(map[[2]NodeID]int64)
+		fz.ForEachRejection(func(from, to NodeID) {
+			cu, cv := coarseID[from], coarseID[to]
+			if cu != cv {
+				rejCount[[2]NodeID{cu, cv}]++
+			}
+		})
+		for c := 0; c < numCoarse; c++ {
+			cn := NodeID(c)
+			friends, fw := coarse.Friends(cn), coarse.FriendWeights(cn)
+			if !slices.IsSorted(friends) {
+				t.Errorf("seed %d: coarse friends of %d not sorted", seed, c)
+				return false
+			}
+			for i, v := range friends {
+				if got, want := int64(fw[i]), friendCount[[2]NodeID{cn, v}]; got != want {
+					t.Errorf("seed %d: friend weight %d–%d = %d, want %d", seed, c, v, got, want)
+					return false
+				}
+			}
+			out, ow := coarse.Rejected(cn), coarse.RejectedWeights(cn)
+			for i, v := range out {
+				if got, want := int64(ow[i]), rejCount[[2]NodeID{cn, v}]; got != want {
+					t.Errorf("seed %d: rejection weight %d→%d = %d, want %d", seed, c, v, got, want)
+					return false
+				}
+			}
+			in, iw := coarse.Rejecters(cn), coarse.RejecterWeights(cn)
+			for i, v := range in {
+				if got, want := int64(iw[i]), rejCount[[2]NodeID{v, cn}]; got != want {
+					t.Errorf("seed %d: rejecter weight %d→%d = %d, want %d", seed, v, c, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContractComposes: contracting in two steps must equal contracting in
+// one — the multilevel ladder's invariant that every level is exact with
+// respect to level 0.
+func TestContractComposes(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 43))
+		n := 4 + r.IntN(50)
+		g := randomFrozenWorld(r, n, r.IntN(4*n), r.IntN(2*n))
+		fz := g.Freeze()
+
+		mid := 2 + r.IntN(n-2)
+		id1 := randomCoarseID(r, n, mid)
+		final := 1 + r.IntN(mid)
+		id2 := randomCoarseID(r, mid, final)
+
+		twoStep := fz.Contract(id1, mid).Contract(id2, final)
+		composed := make([]NodeID, n)
+		for u := range composed {
+			composed[u] = id2[id1[u]]
+		}
+		oneStep := fz.Contract(composed, final)
+
+		for c := 0; c < final; c++ {
+			cn := NodeID(c)
+			if !slices.Equal(twoStep.Friends(cn), oneStep.Friends(cn)) ||
+				!slices.Equal(twoStep.FriendWeights(cn), oneStep.FriendWeights(cn)) ||
+				!slices.Equal(twoStep.Rejected(cn), oneStep.Rejected(cn)) ||
+				!slices.Equal(twoStep.RejectedWeights(cn), oneStep.RejectedWeights(cn)) ||
+				!slices.Equal(twoStep.Rejecters(cn), oneStep.Rejecters(cn)) ||
+				!slices.Equal(twoStep.RejecterWeights(cn), oneStep.RejecterWeights(cn)) {
+				t.Errorf("seed %d: two-step and one-step contraction differ at node %d", seed, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContractAcceptancePools: a supernode's Acceptance must equal the
+// pooled acceptance f/(f+r) of its members' fine edges to other supernodes.
+func TestContractAcceptancePools(t *testing.T) {
+	g := New(4)
+	g.AddFriendship(0, 1) // internal to supernode 0 — dropped
+	g.AddFriendship(0, 2)
+	g.AddFriendship(1, 2)
+	g.AddRejection(3, 0)
+	g.AddRejection(3, 1)
+	fz := g.Freeze()
+	coarse := fz.Contract([]NodeID{0, 0, 1, 2}, 3)
+	// Supernode 0 = {0,1}: 2 external friend edges, 2 incoming rejections.
+	if got, want := coarse.Acceptance(0), 0.5; got != want {
+		t.Fatalf("Acceptance(0) = %v, want %v", got, want)
+	}
+	if got := coarse.WeightedDegree(0); got != 2 {
+		t.Fatalf("WeightedDegree(0) = %d, want 2", got)
+	}
+	if got := coarse.WeightedInRejections(0); got != 2 {
+		t.Fatalf("WeightedInRejections(0) = %d, want 2", got)
+	}
+	if got := coarse.WeightedOutRejections(2); got != 2 {
+		t.Fatalf("WeightedOutRejections(2) = %d, want 2", got)
+	}
+}
+
+func TestWeightedGuards(t *testing.T) {
+	g := New(3)
+	g.AddFriendship(0, 1)
+	coarse := g.Freeze().Contract([]NodeID{0, 1, 1}, 2)
+
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on weighted snapshot did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Subgraph", func() { coarse.Subgraph([]bool{true, true}) })
+	mustPanic("SpliceCanonical", func() { coarse.SpliceCanonical(0, nil, nil) })
+	mustPanic("Contract bad len", func() { coarse.Contract([]NodeID{0}, 1) })
+	mustPanic("Contract bad numCoarse", func() { coarse.Contract([]NodeID{0, 0}, 0) })
+	mustPanic("Contract out-of-range id", func() { coarse.Contract([]NodeID{0, 5}, 2) })
+}

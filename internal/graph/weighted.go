@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Weighted snapshots.
+//
+// The multilevel partitioner (internal/ml) contracts a Frozen snapshot by
+// merging matched node pairs into supernodes. Parallel fine edges between
+// two supernodes collapse into one coarse edge carrying an integer weight
+// (the number of fine edges it stands for), so a coarse KL pass scans one
+// adjacency entry where a flat pass would scan many. A Frozen whose weight
+// arrays are non-nil is such a coarse snapshot: every adjacency entry i of
+// a relation has a parallel weight entry, and Stats/Acceptance count edges
+// by weight, which makes any coarse partition's cut statistics equal the
+// fine graph's statistics for the projected partition (contracted-away
+// internal edges can never cross a cut that keeps supernodes atomic, so
+// dropping them is exact).
+//
+// Weighted snapshots are read-only solver inputs: Subgraph and
+// SpliceCanonical reject them (the detection pipeline only prunes and
+// patches level-0 snapshots).
+
+// Weighted reports whether f carries per-edge multiplicities. A nil-weight
+// snapshot (everything Freeze and FreezeCanonical produce) has implicit
+// unit weights.
+func (f *Frozen) Weighted() bool { return f.friendW != nil }
+
+// FriendWeights returns the multiplicities parallel to Friends(u).
+// Only valid on weighted snapshots; the slice aliases snapshot storage.
+func (f *Frozen) FriendWeights(u NodeID) []int32 {
+	f.checkNode(u)
+	return f.friendW[f.friendOff[u]:f.friendOff[u+1]]
+}
+
+// RejecterWeights returns the multiplicities parallel to Rejecters(u).
+func (f *Frozen) RejecterWeights(u NodeID) []int32 {
+	f.checkNode(u)
+	return f.rejInW[f.rejInOff[u]:f.rejInOff[u+1]]
+}
+
+// RejectedWeights returns the multiplicities parallel to Rejected(u).
+func (f *Frozen) RejectedWeights(u NodeID) []int32 {
+	f.checkNode(u)
+	return f.rejOutW[f.rejOutOff[u]:f.rejOutOff[u+1]]
+}
+
+// RejectionWeight reports the total fine-edge multiplicity of the
+// rejection ⟨from, to⟩ — 0 when absent. On unit-weight snapshots parallel
+// entries each count 1, matching what a contraction would pool. Like
+// HasRejection, it probes the smaller of the two adjacency lists.
+func (f *Frozen) RejectionWeight(from, to NodeID) int64 {
+	f.checkNode(from)
+	f.checkNode(to)
+	var s int64
+	if f.OutRejections(from) <= f.InRejections(to) {
+		lo := int(f.rejOutOff[from])
+		for i, v := range f.Rejected(from) {
+			if v == to {
+				if f.rejOutW == nil {
+					s++
+				} else {
+					s += int64(f.rejOutW[lo+i])
+				}
+			}
+		}
+		return s
+	}
+	lo := int(f.rejInOff[to])
+	for i, v := range f.Rejecters(to) {
+		if v == from {
+			if f.rejInW == nil {
+				s++
+			} else {
+				s += int64(f.rejInW[lo+i])
+			}
+		}
+	}
+	return s
+}
+
+// WeightedDegree reports the fine-edge friendship degree of u: Degree(u) on
+// unit-weight snapshots, the sum of u's friend multiplicities on weighted
+// ones.
+func (f *Frozen) WeightedDegree(u NodeID) int64 {
+	if f.friendW == nil {
+		return int64(f.Degree(u))
+	}
+	var s int64
+	for _, w := range f.FriendWeights(u) {
+		s += int64(w)
+	}
+	return s
+}
+
+// WeightedInRejections reports the fine-edge count of rejections cast on u.
+func (f *Frozen) WeightedInRejections(u NodeID) int64 {
+	if f.rejInW == nil {
+		return int64(f.InRejections(u))
+	}
+	var s int64
+	for _, w := range f.RejecterWeights(u) {
+		s += int64(w)
+	}
+	return s
+}
+
+// WeightedOutRejections reports the fine-edge count of rejections cast by u.
+func (f *Frozen) WeightedOutRejections(u NodeID) int64 {
+	if f.rejOutW == nil {
+		return int64(f.OutRejections(u))
+	}
+	var s int64
+	for _, w := range f.RejectedWeights(u) {
+		s += int64(w)
+	}
+	return s
+}
+
+// statsWeighted is Stats for weighted snapshots: every edge counts its
+// multiplicity, so the result equals the fine graph's Stats for the
+// partition that assigns each fine node its supernode's region — except the
+// region sizes, which count supernodes (see Contract).
+func (f *Frozen) statsWeighted(p Partition) CutStats {
+	var s CutStats
+	for u, r := range p {
+		if r == Suspect {
+			s.SuspectSize++
+		} else {
+			s.LegitSize++
+		}
+		lo, hi := f.friendOff[u], f.friendOff[u+1]
+		for i := lo; i < hi; i++ {
+			if v := f.friendDst[i]; NodeID(u) < v && p[v] != r {
+				s.CrossFriendships += int(f.friendW[i])
+			}
+		}
+		lo, hi = f.rejOutOff[u], f.rejOutOff[u+1]
+		for i := lo; i < hi; i++ {
+			switch v := f.rejOutDst[i]; {
+			case r == Legit && p[v] == Suspect:
+				s.RejIntoSuspect += int(f.rejOutW[i])
+			case r == Suspect && p[v] == Legit:
+				s.RejIntoLegit += int(f.rejOutW[i])
+			}
+		}
+	}
+	return s
+}
+
+// Contract merges the nodes of f into numCoarse supernodes according to
+// coarseID (len f.NumNodes(), values in [0, numCoarse)) and returns the
+// weighted coarse snapshot. Parallel edges between two supernodes merge
+// into one entry whose weight is the sum of the fine weights; edges
+// internal to a supernode are dropped. Adjacency is sorted by neighbour ID,
+// so the result is deterministic in coarseID alone — independent of f's
+// adjacency order.
+//
+// Contract composes: contracting an already-weighted snapshot sums the
+// existing multiplicities, which is how the multilevel ladder keeps every
+// level's cut statistics exact with respect to level 0.
+func (f *Frozen) Contract(coarseID []NodeID, numCoarse int) *Frozen {
+	n := f.NumNodes()
+	if len(coarseID) != n {
+		panic("graph: Contract coarseID length mismatch")
+	}
+	if numCoarse <= 0 || numCoarse > n {
+		panic(fmt.Sprintf("graph: Contract numCoarse %d out of range (0, %d]", numCoarse, n))
+	}
+
+	// Members of each supernode, in ascending fine-ID order (counting sort).
+	memberOff := make([]int32, numCoarse+1)
+	for _, c := range coarseID {
+		if c < 0 || int(c) >= numCoarse {
+			panic(fmt.Sprintf("graph: Contract coarseID %d out of range [0, %d)", c, numCoarse))
+		}
+		memberOff[c+1]++
+	}
+	for c := 0; c < numCoarse; c++ {
+		memberOff[c+1] += memberOff[c]
+	}
+	members := make([]NodeID, n)
+	cur := make([]int32, numCoarse)
+	copy(cur, memberOff[:numCoarse])
+	for u := 0; u < n; u++ {
+		c := coarseID[u]
+		members[cur[c]] = NodeID(u)
+		cur[c]++
+	}
+
+	sub := &Frozen{
+		friendOff: make([]int32, numCoarse+1),
+		rejInOff:  make([]int32, numCoarse+1),
+		rejOutOff: make([]int32, numCoarse+1),
+	}
+
+	// Scratch accumulator: acc[c2] is the running weight toward coarse
+	// neighbour c2 while one supernode's adjacency is being gathered, and
+	// touched lists the occupied slots for O(deg) cleanup and sorting.
+	acc := make([]int64, numCoarse)
+	touched := make([]NodeID, 0, 64)
+
+	gather := func(c int, neighbors func(u NodeID) []NodeID, weights func(u NodeID) []int32, unit bool) []NodeID {
+		touched = touched[:0]
+		for _, u := range members[memberOff[c]:memberOff[c+1]] {
+			ns := neighbors(u)
+			var ws []int32
+			if !unit {
+				ws = weights(u)
+			}
+			for i, v := range ns {
+				cv := coarseID[v]
+				if int(cv) == c {
+					continue // internal to the supernode
+				}
+				if acc[cv] == 0 {
+					touched = append(touched, cv)
+				}
+				if unit {
+					acc[cv]++
+				} else {
+					acc[cv] += int64(ws[i])
+				}
+			}
+		}
+		slices.Sort(touched)
+		return touched
+	}
+
+	unit := !f.Weighted()
+	var friendDst, rejInSrc, rejOutDst []NodeID
+	// Non-nil even when empty: Weighted() keys on friendW != nil, and an
+	// edgeless contraction is still a weighted snapshot.
+	friendW, rejInW, rejOutW := []int32{}, []int32{}, []int32{}
+	for c := 0; c < numCoarse; c++ {
+		for _, cv := range gather(c, f.Friends, f.FriendWeights, unit) {
+			friendDst = append(friendDst, cv)
+			friendW = append(friendW, clampWeight(acc[cv]))
+			acc[cv] = 0
+		}
+		sub.friendOff[c+1] = int32(len(friendDst))
+		for _, cv := range gather(c, f.Rejecters, f.RejecterWeights, unit) {
+			rejInSrc = append(rejInSrc, cv)
+			rejInW = append(rejInW, clampWeight(acc[cv]))
+			acc[cv] = 0
+		}
+		sub.rejInOff[c+1] = int32(len(rejInSrc))
+		for _, cv := range gather(c, f.Rejected, f.RejectedWeights, unit) {
+			rejOutDst = append(rejOutDst, cv)
+			rejOutW = append(rejOutW, clampWeight(acc[cv]))
+			acc[cv] = 0
+		}
+		sub.rejOutOff[c+1] = int32(len(rejOutDst))
+	}
+	sub.friendDst, sub.friendW = friendDst, friendW
+	sub.rejInSrc, sub.rejInW = rejInSrc, rejInW
+	sub.rejOutDst, sub.rejOutW = rejOutDst, rejOutW
+	sub.numFriendships = len(friendDst) / 2
+	sub.numRejections = len(rejOutDst)
+	return sub
+}
+
+func clampWeight(w int64) int32 {
+	if w > 1<<31-1 {
+		panic(fmt.Sprintf("graph: contracted edge weight %d overflows int32", w))
+	}
+	return int32(w)
+}

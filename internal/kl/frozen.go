@@ -48,7 +48,7 @@ type wsStep struct {
 // with the same ws, and callers keeping them longer must Clone/copy.
 func PartitionFrozen(f *graph.Frozen, init graph.Partition, cfg Config, ws *Workspace) Result {
 	checkFrozenArgs(f, init, cfg)
-	return partitionFrozen(f, init, f.Stats(init), cfg, ws)
+	return partitionFrozen(f, init, f.Stats(init), cfg, nil, ws)
 }
 
 // PartitionFrozenFromStats is PartitionFrozen for callers that already
@@ -58,7 +58,7 @@ func PartitionFrozen(f *graph.Frozen, init graph.Partition, cfg Config, ws *Work
 // f.Stats(init); everything else is as documented on PartitionFrozen.
 func PartitionFrozenFromStats(f *graph.Frozen, init graph.Partition, initStats graph.CutStats, cfg Config, ws *Workspace) Result {
 	checkFrozenArgs(f, init, cfg)
-	return partitionFrozen(f, init, initStats, cfg, ws)
+	return partitionFrozen(f, init, initStats, cfg, nil, ws)
 }
 
 func checkFrozenArgs(f *graph.Frozen, init graph.Partition, cfg Config) {
@@ -77,7 +77,7 @@ func checkFrozenArgs(f *graph.Frozen, init graph.Partition, cfg Config) {
 	}
 }
 
-func partitionFrozen(f *graph.Frozen, init graph.Partition, initStats graph.CutStats, cfg Config, ws *Workspace) Result {
+func partitionFrozen(f *graph.Frozen, init graph.Partition, initStats graph.CutStats, cfg Config, active []bool, ws *Workspace) Result {
 	n := f.NumNodes()
 	maxPasses := cfg.MaxPasses
 	if maxPasses == 0 {
@@ -103,11 +103,13 @@ func partitionFrozen(f *graph.Frozen, init graph.Partition, initStats graph.CutS
 	copy(p, init)
 
 	opt := frozenOptimizer{
-		f:      f,
-		cfg:    cfg,
-		ws:     ws,
-		maxAbs: frozenMaxAbsGain(f, cfg),
-		stats:  initStats,
+		f:        f,
+		cfg:      cfg,
+		ws:       ws,
+		active:   active,
+		weighted: f.Weighted(),
+		maxAbs:   frozenMaxAbsGain(f, cfg),
+		stats:    initStats,
 	}
 	passes := 0
 	for passes < maxPasses {
@@ -128,8 +130,12 @@ func partitionFrozen(f *graph.Frozen, init graph.Partition, initStats graph.CutS
 	}
 }
 
-// frozenMaxAbsGain is maxAbsGain over a CSR snapshot.
+// frozenMaxAbsGain is maxAbsGain over a CSR snapshot. On weighted (coarse)
+// snapshots the bound is the weighted degree — see frozen_ml.go.
 func frozenMaxAbsGain(f *graph.Frozen, cfg Config) int64 {
+	if f.Weighted() {
+		return frozenMaxAbsGainWeighted(f, cfg)
+	}
 	var maxAbs int64
 	for u := 0; u < f.NumNodes(); u++ {
 		wd := int64(f.Degree(graph.NodeID(u)))*cfg.FriendWeight +
@@ -142,10 +148,18 @@ func frozenMaxAbsGain(f *graph.Frozen, cfg Config) int64 {
 }
 
 type frozenOptimizer struct {
-	f      *graph.Frozen
-	cfg    Config
-	ws     *Workspace
-	maxAbs int64
+	f   *graph.Frozen
+	cfg Config
+	ws  *Workspace
+	// active, when non-nil, restricts switching to the marked nodes: the
+	// others keep their init region and are never added to the bucket
+	// structure (RefineFrozen's boundary-only refinement). Inactive nodes
+	// still shape their neighbours' gains and the incremental statistics.
+	active []bool
+	// weighted dispatches the gain/switch kernels to their multiplicity-
+	// counting forms (frozen_ml.go); set once from f.Weighted().
+	weighted bool
+	maxAbs   int64
 	// stats are the cut statistics of the current partition, updated on
 	// every tentative switch and rollback.
 	stats graph.CutStats
@@ -173,13 +187,13 @@ func (o *frozenOptimizer) pass(p graph.Partition) bool {
 			o.ws.dense = d
 		}
 		d.reset(n, -o.maxAbs, o.maxAbs)
-		if cfg.Pinned == nil {
+		if cfg.Pinned == nil && o.active == nil {
 			for u := 0; u < n; u++ {
 				d.add(int32(u), o.gain(p, graph.NodeID(u)))
 			}
 		} else {
 			for u := 0; u < n; u++ {
-				if cfg.Pinned[u] {
+				if cfg.Pinned != nil && cfg.Pinned[u] || o.active != nil && !o.active[u] {
 					continue
 				}
 				d.add(int32(u), o.gain(p, graph.NodeID(u)))
@@ -187,7 +201,7 @@ func (o *frozenOptimizer) pass(p graph.Partition) bool {
 		}
 		for {
 			u, gu, ok := d.popMax()
-			if !ok {
+			if !ok || cfg.Greedy && gu <= 0 {
 				break
 			}
 			seq = append(seq, wsStep{node: graph.NodeID(u), gain: gu})
@@ -197,14 +211,14 @@ func (o *frozenOptimizer) pass(p graph.Partition) bool {
 		list := bucketlist.Renew(o.ws.list, n, -o.maxAbs, o.maxAbs)
 		o.ws.list = list
 		for u := 0; u < n; u++ {
-			if cfg.Pinned != nil && cfg.Pinned[u] {
+			if cfg.Pinned != nil && cfg.Pinned[u] || o.active != nil && !o.active[u] {
 				continue
 			}
 			list.Add(u, o.gain(p, graph.NodeID(u)))
 		}
 		for {
 			u, gu, ok := list.PopMax()
-			if !ok {
+			if !ok || cfg.Greedy && gu <= 0 {
 				break
 			}
 			seq = append(seq, wsStep{node: graph.NodeID(u), gain: gu})
@@ -246,6 +260,9 @@ func (o *frozenOptimizer) pass(p graph.Partition) bool {
 // weights multiply the counts once at the end. The value is identical to
 // the seed's per-edge accumulation (integer arithmetic, same terms).
 func (o *frozenOptimizer) gain(p graph.Partition, u graph.NodeID) int64 {
+	if o.weighted {
+		return o.gainWeighted(p, u)
+	}
 	f, cfg := o.f, o.cfg
 	pu := p[u]
 	friends := f.Friends(u)
@@ -281,6 +298,10 @@ func (o *frozenOptimizer) gain(p graph.Partition, u graph.NodeID) int64 {
 // every rejection incident to u moves between counted and uncounted
 // depending on the fixed endpoint's region.
 func (o *frozenOptimizer) applySwitch(p graph.Partition, u graph.NodeID, list bucketlist.List, st *wsStep) {
+	if o.weighted {
+		o.applySwitchWeighted(p, u, list, st)
+		return
+	}
 	f, cfg := o.f, o.cfg
 	oldPu := p[u]
 	newPu := oldPu.Other()
@@ -353,6 +374,10 @@ func (o *frozenOptimizer) applySwitch(p graph.Partition, u graph.NodeID, list bu
 // one of oldPu/newPu satisfies each Contrib's gating region. This is the
 // hottest loop of the whole sweep.
 func (o *frozenOptimizer) applySwitchDense(p graph.Partition, u graph.NodeID, d *denseBuckets, st *wsStep) {
+	if o.weighted {
+		o.applySwitchDenseWeighted(p, u, d, st)
+		return
+	}
 	f := o.f
 	wF2, wR := 2*o.cfg.FriendWeight, o.cfg.RejectWeight
 	oldPu := p[u]

@@ -1,0 +1,274 @@
+package kl
+
+import (
+	"repro/internal/bucketlist"
+	"repro/internal/graph"
+)
+
+// Multilevel support: the weighted gain/switch kernels that let the frozen
+// engine run on the contracted snapshots of internal/ml, the boundary-only
+// refinement entry point of the uncoarsening ladder, and Workspace.Grow —
+// the pooling hook that keeps the whole ladder allocation-free once warm.
+//
+// The weighted kernels are the unweighted ones with every adjacency entry
+// counting its multiplicity: a coarse edge of weight w moves gains and cut
+// statistics exactly as w parallel fine edges would, which is what makes a
+// coarse KL pass equivalent to a (constrained) fine pass at 1/w the scan
+// cost. They live behind frozenOptimizer.weighted so the unweighted hot
+// path keeps its exact instruction sequence.
+
+// RefineFrozen runs extended KL restricted to the active nodes: a node with
+// active[u] false keeps its init region and is never entered into the gain
+// structure, though it still shapes its neighbours' gains and the
+// incremental cut statistics. This is the uncoarsening ladder's boundary
+// refinement — after projecting a coarse cut one level down, only nodes
+// near the cut can profitably switch, and restricting the bucket fill to
+// them makes a refinement pass O(boundary) instead of O(V).
+//
+// active may be nil, which refines every node (PartitionFrozenFromStats).
+// initStats must equal f.Stats(init); everything else — workspace reuse,
+// result aliasing, byte-identical tie-breaking — is as documented on
+// PartitionFrozen.
+func RefineFrozen(f *graph.Frozen, init graph.Partition, initStats graph.CutStats, active []bool, cfg Config, ws *Workspace) Result {
+	checkFrozenArgs(f, init, cfg)
+	if active != nil && len(active) != f.NumNodes() {
+		panic("kl: active length mismatch")
+	}
+	return partitionFrozen(f, init, initStats, cfg, active, ws)
+}
+
+// FrozenMaxAbsGain bounds any node's switch gain on f under cfg — the gain
+// range a Workspace must accommodate. Exported so sweep drivers can Grow a
+// workspace once for the widest configuration they will run (the largest
+// RejectWeight of a k-grid) and stay allocation-free across every job.
+func FrozenMaxAbsGain(f *graph.Frozen, cfg Config) int64 {
+	return frozenMaxAbsGain(f, cfg)
+}
+
+// frozenMaxAbsGainWeighted is frozenMaxAbsGain with multiplicities: the
+// bound is the weighted degree, since a supernode's switch moves every fine
+// edge its coarse edges stand for.
+func frozenMaxAbsGainWeighted(f *graph.Frozen, cfg Config) int64 {
+	var maxAbs int64
+	for u := 0; u < f.NumNodes(); u++ {
+		wd := f.WeightedDegree(graph.NodeID(u))*cfg.FriendWeight +
+			(f.WeightedInRejections(graph.NodeID(u))+f.WeightedOutRejections(graph.NodeID(u)))*cfg.RejectWeight
+		if wd > maxAbs {
+			maxAbs = wd
+		}
+	}
+	return maxAbs
+}
+
+// Grow presizes ws for solves of up to n nodes, maxPasses passes (zero
+// means DefaultMaxPasses) and gain range ±maxAbs, so that every subsequent
+// PartitionFrozen/RefineFrozen call within those bounds performs zero
+// allocations — including the first. The multilevel ladder calls it once
+// with the level-0 node count and the sweep's widest gain range; the
+// denseBuckets reset then reuses the same storage at every level and every
+// k, shrinking in place (see denseBuckets.reset). Growing an already-grown
+// workspace only reallocates the buffers that actually got bigger.
+func (ws *Workspace) Grow(n, maxPasses int, maxAbs int64) {
+	if maxPasses <= 0 {
+		maxPasses = DefaultMaxPasses
+	}
+	if cap(ws.p) < n {
+		ws.p = make(graph.Partition, n)
+	}
+	if cap(ws.seq) < n {
+		ws.seq = make([]wsStep, 0, n)
+	}
+	if cap(ws.gains) < maxPasses {
+		ws.gains = make([]int64, 0, maxPasses)
+	}
+	if bucketlist.PrefersDense(-maxAbs, maxAbs) {
+		if ws.dense == nil {
+			ws.dense = &denseBuckets{}
+		}
+		ws.dense.reset(n, -maxAbs, maxAbs)
+	} else {
+		ws.list = bucketlist.Renew(ws.list, n, -maxAbs, maxAbs)
+	}
+}
+
+// gainWeighted is gain with multiplicities (see the package comment above).
+func (o *frozenOptimizer) gainWeighted(p graph.Partition, u graph.NodeID) int64 {
+	f, cfg := o.f, o.cfg
+	pu := p[u]
+	friends, fw := f.Friends(u), f.FriendWeights(u)
+	var tot, same int64
+	for i, v := range friends {
+		w := int64(fw[i])
+		tot += w
+		if p[v] == pu {
+			same += w
+		}
+	}
+	gain := cfg.FriendWeight * (tot - 2*same)
+	var suspectRejected int64
+	out, ow := f.Rejected(u), f.RejectedWeights(u)
+	for i, x := range out {
+		if p[x] == graph.Suspect {
+			suspectRejected += int64(ow[i])
+		}
+	}
+	var legitRejecters int64
+	in, iw := f.Rejecters(u), f.RejecterWeights(u)
+	for i, x := range in {
+		if p[x] == graph.Legit {
+			legitRejecters += int64(iw[i])
+		}
+	}
+	if pu == graph.Legit {
+		return gain + cfg.RejectWeight*(legitRejecters-suspectRejected)
+	}
+	return gain + cfg.RejectWeight*(suspectRejected-legitRejecters)
+}
+
+// applySwitchWeighted is applySwitch with multiplicities: each neighbour's
+// gain delta and each statistics delta scales by the edge weight.
+func (o *frozenOptimizer) applySwitchWeighted(p graph.Partition, u graph.NodeID, list bucketlist.List, st *wsStep) {
+	f, cfg := o.f, o.cfg
+	oldPu := p[u]
+	newPu := oldPu.Other()
+	p[u] = newPu
+	if oldPu == graph.Legit {
+		st.dSusp = 1
+	} else {
+		st.dSusp = -1
+	}
+
+	friends, fw := f.Friends(u), f.FriendWeights(u)
+	for i, v := range friends {
+		w := fw[i]
+		if p[v] == newPu {
+			st.dCross -= w
+			list.AdjustIfPresent(int(v), -2*cfg.FriendWeight*int64(w))
+		} else {
+			st.dCross += w
+			list.AdjustIfPresent(int(v), 2*cfg.FriendWeight*int64(w))
+		}
+	}
+	out, ow := f.Rejected(u), f.RejectedWeights(u)
+	for i, x := range out {
+		w := ow[i]
+		if p[x] == graph.Suspect {
+			if newPu == graph.Legit {
+				st.dRejS += w
+			} else {
+				st.dRejS -= w
+			}
+		} else if newPu == graph.Suspect {
+			st.dRejL += w
+		} else {
+			st.dRejL -= w
+		}
+		list.AdjustIfPresent(int(x), (RejecterContrib(p[x], newPu, cfg.RejectWeight)-
+			RejecterContrib(p[x], oldPu, cfg.RejectWeight))*int64(w))
+	}
+	in, iw := f.Rejecters(u), f.RejecterWeights(u)
+	for i, x := range in {
+		w := iw[i]
+		if p[x] == graph.Legit {
+			if newPu == graph.Suspect {
+				st.dRejS += w
+			} else {
+				st.dRejS -= w
+			}
+		} else if newPu == graph.Legit {
+			st.dRejL += w
+		} else {
+			st.dRejL -= w
+		}
+		list.AdjustIfPresent(int(x), (RejectedContrib(p[x], newPu, cfg.RejectWeight)-
+			RejectedContrib(p[x], oldPu, cfg.RejectWeight))*int64(w))
+	}
+
+	o.stats.CrossFriendships += int(st.dCross)
+	o.stats.RejIntoSuspect += int(st.dRejS)
+	o.stats.RejIntoLegit += int(st.dRejL)
+	o.stats.SuspectSize += int(st.dSusp)
+	o.stats.LegitSize -= int(st.dSusp)
+}
+
+// applySwitchDenseWeighted is applySwitchDense with multiplicities. The
+// sign-form collapse of the rejection deltas carries over unchanged — only
+// the magnitude scales by the weight.
+func (o *frozenOptimizer) applySwitchDenseWeighted(p graph.Partition, u graph.NodeID, d *denseBuckets, st *wsStep) {
+	f := o.f
+	wF2, wR := 2*o.cfg.FriendWeight, o.cfg.RejectWeight
+	oldPu := p[u]
+	newPu := oldPu.Other()
+	p[u] = newPu
+	if oldPu == graph.Legit {
+		st.dSusp = 1
+	} else {
+		st.dSusp = -1
+	}
+
+	friends, fw := f.Friends(u), f.FriendWeights(u)
+	for i, v := range friends {
+		w := fw[i]
+		if p[v] == newPu {
+			st.dCross -= w
+			if d.present(int32(v)) {
+				d.relink(int32(v), -wF2*int64(w))
+			}
+		} else {
+			st.dCross += w
+			if d.present(int32(v)) {
+				d.relink(int32(v), wF2*int64(w))
+			}
+		}
+	}
+	out, ow := f.Rejected(u), f.RejectedWeights(u)
+	for i, x := range out {
+		w := ow[i]
+		if p[x] == graph.Suspect {
+			if newPu == graph.Legit {
+				st.dRejS += w
+			} else {
+				st.dRejS -= w
+			}
+		} else if newPu == graph.Suspect {
+			st.dRejL += w
+		} else {
+			st.dRejL -= w
+		}
+		if wR != 0 && d.present(int32(x)) {
+			if p[x] == newPu {
+				d.relink(int32(x), wR*int64(w))
+			} else {
+				d.relink(int32(x), -wR*int64(w))
+			}
+		}
+	}
+	in, iw := f.Rejecters(u), f.RejecterWeights(u)
+	for i, x := range in {
+		w := iw[i]
+		if p[x] == graph.Legit {
+			if newPu == graph.Suspect {
+				st.dRejS += w
+			} else {
+				st.dRejS -= w
+			}
+		} else if newPu == graph.Legit {
+			st.dRejL += w
+		} else {
+			st.dRejL -= w
+		}
+		if wR != 0 && d.present(int32(x)) {
+			if p[x] == newPu {
+				d.relink(int32(x), wR*int64(w))
+			} else {
+				d.relink(int32(x), -wR*int64(w))
+			}
+		}
+	}
+
+	o.stats.CrossFriendships += int(st.dCross)
+	o.stats.RejIntoSuspect += int(st.dRejS)
+	o.stats.RejIntoLegit += int(st.dRejL)
+	o.stats.SuspectSize += int(st.dSusp)
+	o.stats.LegitSize -= int(st.dSusp)
+}

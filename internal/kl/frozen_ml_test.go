@@ -1,0 +1,236 @@
+package kl
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// contractRandom builds a random augmented graph and a random contraction
+// of it, returning both snapshots and the coarse→partition projection map.
+func contractRandom(r *rand.Rand, n int) (fine, coarse *graph.Frozen, coarseID []graph.NodeID, numCoarse int) {
+	g := randomAugmented(r, n, r.IntN(4*n), r.IntN(3*n))
+	fine = g.Freeze()
+	numCoarse = 1 + r.IntN(n)
+	coarseID = make([]graph.NodeID, n)
+	perm := r.Perm(n)
+	for c := 0; c < numCoarse; c++ {
+		coarseID[perm[c]] = graph.NodeID(c)
+	}
+	for _, u := range perm[numCoarse:] {
+		coarseID[u] = graph.NodeID(r.IntN(numCoarse))
+	}
+	coarse = fine.Contract(coarseID, numCoarse)
+	return fine, coarse, coarseID, numCoarse
+}
+
+// TestWeightedSolveMatchesUnitSnapshot: contracting with the identity map
+// produces a weighted snapshot with all-unit multiplicities and the same
+// adjacency sets; solving it must agree with the unweighted snapshot on
+// objective and statistics (adjacency order differs — Contract sorts — so
+// tie-breaking may pick a different local optimum only if order matters,
+// which the canonical snapshots rule out).
+func TestWeightedSolveMatchesUnitSnapshot(t *testing.T) {
+	ws := &Workspace{}
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 51))
+		n := 2 + r.IntN(30)
+		g := randomAugmented(r, n, r.IntN(4*n), r.IntN(3*n))
+		fz := g.FreezeCanonical()
+		id := make([]graph.NodeID, n)
+		for u := range id {
+			id[u] = graph.NodeID(u)
+		}
+		unit := fz.Contract(id, n)
+		if !unit.Weighted() {
+			t.Error("identity contraction not weighted")
+			return false
+		}
+		init := randomPartition(r, n)
+		cfg := Config{FriendWeight: 64, RejectWeight: int64(r.IntN(300))}
+		want := PartitionFrozen(fz, init, cfg, nil)
+		got := PartitionFrozen(unit, init, cfg, ws)
+		if got.Objective != want.Objective || got.Stats != want.Stats || got.Passes != want.Passes {
+			t.Errorf("seed %d: weighted unit solve diverged: got obj %d stats %+v, want obj %d stats %+v",
+				seed, got.Objective, got.Stats, want.Objective, want.Stats)
+			return false
+		}
+		for i := range want.Partition {
+			if got.Partition[i] != want.Partition[i] {
+				t.Errorf("seed %d: partitions differ at %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedGainBruteForce: the weighted gain kernel must equal the
+// objective difference of actually flipping the node, for both the dense
+// and the brute-force Stats evaluation.
+func TestWeightedGainBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 52))
+		_, coarse, _, numCoarse := contractRandom(r, 2+r.IntN(30))
+		cfg := Config{FriendWeight: 64, RejectWeight: int64(r.IntN(300))}
+		p := randomPartition(r, numCoarse)
+		obj := func(p graph.Partition) int64 {
+			s := coarse.Stats(p)
+			return int64(s.CrossFriendships)*cfg.FriendWeight -
+				int64(s.RejIntoSuspect)*cfg.RejectWeight
+		}
+		o := frozenOptimizer{f: coarse, cfg: cfg, weighted: true}
+		for u := 0; u < numCoarse; u++ {
+			before := obj(p)
+			p[u] = p[u].Other()
+			after := obj(p)
+			p[u] = p[u].Other()
+			if got, want := o.gain(p, graph.NodeID(u)), before-after; got != want {
+				t.Errorf("seed %d: gain(%d) = %d, want %d", seed, u, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedSolveStatsExact: on random contracted snapshots the
+// incrementally tracked weighted statistics must equal a from-scratch
+// weighted Stats walk, and the objective must never regress from init.
+func TestWeightedSolveStatsExact(t *testing.T) {
+	ws := &Workspace{}
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 53))
+		_, coarse, _, numCoarse := contractRandom(r, 2+r.IntN(40))
+		init := randomPartition(r, numCoarse)
+		cfg := Config{FriendWeight: 64, RejectWeight: int64(r.IntN(300))}
+		res := PartitionFrozen(coarse, init, cfg, ws)
+		if res.Stats != coarse.Stats(res.Partition) {
+			t.Errorf("seed %d: incremental stats %+v != walk %+v", seed, res.Stats, coarse.Stats(res.Partition))
+			return false
+		}
+		initObj := func() int64 {
+			s := coarse.Stats(init)
+			return int64(s.CrossFriendships)*cfg.FriendWeight -
+				int64(s.RejIntoSuspect)*cfg.RejectWeight
+		}()
+		if res.Objective > initObj {
+			t.Errorf("seed %d: objective regressed %d -> %d", seed, initObj, res.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefineFrozenActiveMask: inactive nodes must keep their init region;
+// a nil mask must match PartitionFrozenFromStats exactly; stats stay exact.
+func TestRefineFrozenActiveMask(t *testing.T) {
+	ws := &Workspace{}
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 54))
+		n := 2 + r.IntN(40)
+		g := randomAugmented(r, n, r.IntN(4*n), r.IntN(3*n))
+		fz := g.Freeze()
+		init := randomPartition(r, n)
+		cfg := Config{FriendWeight: 64, RejectWeight: int64(r.IntN(300))}
+		active := make([]bool, n)
+		for i := range active {
+			active[i] = r.IntN(3) != 0
+		}
+		res := RefineFrozen(fz, init, fz.Stats(init), active, cfg, ws)
+		for u := range init {
+			if !active[u] && res.Partition[u] != init[u] {
+				t.Errorf("seed %d: inactive node %d switched", seed, u)
+				return false
+			}
+		}
+		if res.Stats != fz.Stats(res.Partition) {
+			t.Errorf("seed %d: refine stats drifted", seed)
+			return false
+		}
+		full := RefineFrozen(fz, init, fz.Stats(init), nil, cfg, nil)
+		want := PartitionFrozenFromStats(fz, init, fz.Stats(init), cfg, nil)
+		if full.Objective != want.Objective || full.Stats != want.Stats || full.Passes != want.Passes {
+			t.Errorf("seed %d: nil-mask refine diverged from PartitionFrozen", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkspaceGrowZeroAllocs is the k-grid allocation-regression guard:
+// one workspace Grown once for the largest node count and the widest gain
+// range of a sweep must serve every solve of the sweep — ascending reject
+// weights (the k-grid), shrinking graphs (the ladder's levels, the
+// detector's residuals), boundary-masked refinement, weighted coarse
+// snapshots — with zero allocations from the very first call.
+func TestWorkspaceGrowZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewPCG(13, 55))
+	type job struct {
+		f      *graph.Frozen
+		init   graph.Partition
+		stats  graph.CutStats
+		active []bool
+		cfg    Config
+	}
+	var jobs []job
+	sizes := []int{400, 90, 250, 30}
+	weights := []int64{2, 64, 96, 640, 2048} // the k-grid's ascending w_R
+	for _, n := range sizes {
+		g := randomAugmented(r, n, 4*n, 2*n)
+		fz := g.Freeze()
+		init := randomPartition(r, n)
+		active := make([]bool, n)
+		for i := range active {
+			active[i] = r.IntN(2) == 0
+		}
+		for _, wR := range weights {
+			cfg := Config{FriendWeight: 64, RejectWeight: wR}
+			jobs = append(jobs, job{fz, init, fz.Stats(init), nil, cfg})
+			jobs = append(jobs, job{fz, init, fz.Stats(init), active, cfg})
+		}
+	}
+	// A weighted coarse job rides along: the ladder reuses the same pool.
+	{
+		rc := rand.New(rand.NewPCG(14, 56))
+		_, coarse, _, numCoarse := contractRandom(rc, 300)
+		init := randomPartition(rc, numCoarse)
+		jobs = append(jobs, job{coarse, init, coarse.Stats(init),
+			nil, Config{FriendWeight: 64, RejectWeight: 2048}})
+	}
+
+	maxN, maxAbs := 0, int64(0)
+	for _, j := range jobs {
+		if n := j.f.NumNodes(); n > maxN {
+			maxN = n
+		}
+		if a := FrozenMaxAbsGain(j.f, j.cfg); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	ws := &Workspace{}
+	ws.Grow(maxN, 0, maxAbs)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		for _, j := range jobs {
+			RefineFrozen(j.f, j.init, j.stats, j.active, j.cfg, ws)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("grown workspace allocated %.1f objects per sweep, want 0", allocs)
+	}
+}

@@ -42,6 +42,17 @@ type Config struct {
 	// MaxPasses bounds the number of KL passes. Zero means DefaultMaxPasses.
 	// In practice KL converges in a handful of passes [Fiduccia 1982].
 	MaxPasses int
+	// Greedy switches the frozen engine's pass to strict hill climbing: it
+	// stops popping at the first non-positive gain instead of tentatively
+	// switching every node and rolling back to the best prefix. A greedy
+	// pass reaches single-switch convergence on its own (gains are
+	// maintained incrementally, so the loop only ends when no remaining
+	// node improves), making one pass sufficient — at the price of KL's
+	// ability to cross objective plateaus. The multilevel ladder uses it
+	// for per-level boundary refinement, where the projected partition is
+	// already near-optimal and plateau-crossing is the coarsest solve's
+	// job. Only PartitionFrozen/RefineFrozen honor it.
+	Greedy bool
 }
 
 // DefaultMaxPasses bounds KL passes when Config.MaxPasses is zero.

@@ -1,0 +1,375 @@
+// Package ml implements a METIS-style multilevel ladder for the extended-KL
+// MAAR solver: coarsen the rejection-augmented snapshot by heavy-edge
+// matching, solve the MAAR cut on the small coarse graph, then uncoarsen
+// level by level with boundary-only KL refinement.
+//
+// The matching prefers rejection-preserving pairs: two nodes joined by a
+// rejection edge are contracted only as a last resort, because a rejection
+// internal to a supernode can never again cross a cut — it would vanish
+// from every |R⃗⟨Ū,U⟩| count and erase exactly the signal the MAAR
+// objective keys on (§IV-B of the paper). Among the eligible candidates
+// the matching is the classic greedy heavy-edge rule: each unmatched node
+// pairs with the unmatched friend of largest friendship weight, ties
+// broken toward the closest individual acceptance estimate (spam-like
+// nodes merge with spam-like nodes) and then the lowest node ID. The
+// greedy ascending scan attempts every node once, so the result is a
+// maximal matching over the eligible pairs. When a scan stops making
+// progress the policy relaxes in tiers (see relaxTrigger) so the ladder
+// keeps shrinking; contraction stays exact regardless of which tier
+// produced a pair, so a looser tier can only coarsen the move set, never
+// corrupt a score.
+//
+// Contraction is exact (see graph.Contract): a coarse partition's cut
+// statistics — and therefore its MAAR objective and acceptance — equal the
+// fine graph's for the projected partition, so every level of the ladder
+// optimizes the true objective, just over a coarser move set.
+package ml
+
+import (
+	"repro/internal/graph"
+)
+
+// Options bounds the coarsening schedule. The zero value uses defaults.
+type Options struct {
+	// CoarsestNodes stops coarsening once a level has at most this many
+	// nodes (default DefaultCoarsestNodes). The coarsest solve is a full
+	// KL sweep over this many supernodes.
+	CoarsestNodes int
+	// MaxLevels caps the ladder depth including level 0 (default
+	// DefaultMaxLevels) — a backstop for graphs that keep shrinking by
+	// tiny factors.
+	MaxLevels int
+}
+
+// Coarsening defaults: a sub-hundred-node coarsest graph makes the coarse
+// solve's cost invisible, and matching halves (at best) the node count per
+// level, so 24 levels cover graphs past 10⁸ nodes.
+const (
+	DefaultCoarsestNodes = 96
+	DefaultMaxLevels     = 24
+	// minShrink is the per-level progress floor: if a matching leaves more
+	// than this fraction of the nodes as singletons the ladder stops —
+	// further levels would add refinement cost without shrinking the work.
+	minShrink = 0.98
+)
+
+func (o Options) coarsestNodes() int {
+	if o.CoarsestNodes <= 0 {
+		return DefaultCoarsestNodes
+	}
+	return o.CoarsestNodes
+}
+
+func (o Options) maxLevels() int {
+	if o.MaxLevels <= 0 {
+		return DefaultMaxLevels
+	}
+	return o.MaxLevels
+}
+
+// Level is one rung of the ladder. Level 0 is the input snapshot; each
+// deeper level is the contraction of the one before it.
+type Level struct {
+	// F is the (weighted, for levels ≥ 1) CSR snapshot of this level.
+	F *graph.Frozen
+	// CoarseID maps every node of the previous (finer) level to its
+	// supernode in F. nil on level 0.
+	CoarseID []graph.NodeID
+	// Pinned marks supernodes containing a pinned fine node. Pinned nodes
+	// are never matched, so every pinned supernode is a singleton and the
+	// pin constraint projects exactly. nil when nothing is pinned.
+	Pinned []bool
+}
+
+// Ladder is the immutable result of Coarsen: the per-level snapshots and
+// vertex maps. It is built once per residual and shared read-only by every
+// sweep worker; per-job state lives in Solver.
+type Ladder struct {
+	Levels []Level
+}
+
+// Depth reports the number of levels including level 0.
+func (l *Ladder) Depth() int { return len(l.Levels) }
+
+// CoarsestNodes reports the node count of the deepest level.
+func (l *Ladder) CoarsestNodes() int { return l.Levels[len(l.Levels)-1].F.NumNodes() }
+
+// ProjectToCoarsest returns the majority-projection of a level-0 partition
+// onto the coarsest level (ties toward Legit, matching Solver.projectUp).
+// A sweep calls it once per shared initial partition and then starts every
+// (k, init) job directly from the small coarse copy, instead of paying the
+// upward walk per job.
+func (l *Ladder) ProjectToCoarsest(init graph.Partition) graph.Partition {
+	if len(init) != l.Levels[0].F.NumNodes() {
+		panic("ml: ProjectToCoarsest partition length mismatch")
+	}
+	fine := init
+	for i := 1; i < len(l.Levels); i++ {
+		lv := l.Levels[i]
+		nc := lv.F.NumNodes()
+		cntS := make([]int32, nc)
+		cntT := make([]int32, nc)
+		for u, c := range lv.CoarseID {
+			cntT[c]++
+			if fine[u] == graph.Suspect {
+				cntS[c]++
+			}
+		}
+		p := make(graph.Partition, nc)
+		for c := range p {
+			if 2*cntS[c] > cntT[c] {
+				p[c] = graph.Suspect
+			}
+		}
+		fine = p
+	}
+	if len(l.Levels) == 1 {
+		fine = append(graph.Partition(nil), init...)
+	}
+	return fine
+}
+
+// Coarsen builds the multilevel ladder for f. pinned marks nodes that must
+// stay in their initial region (seeds); it may be nil. Coarsening stops at
+// opt's bounds or as soon as a matching stops making progress, so the
+// ladder always has at least one level (the input itself).
+func Coarsen(f *graph.Frozen, pinned []bool, opt Options) *Ladder {
+	if pinned != nil && len(pinned) != f.NumNodes() {
+		panic("ml: pinned length mismatch")
+	}
+	lad := &Ladder{Levels: []Level{{F: f, Pinned: pinned}}}
+	coarsest, maxLevels := opt.coarsestNodes(), opt.maxLevels()
+	for len(lad.Levels) < maxLevels {
+		cur := lad.Levels[len(lad.Levels)-1]
+		n := cur.F.NumNodes()
+		if n <= coarsest {
+			break
+		}
+		coarseID, numCoarse := match(cur.F, cur.Pinned)
+		if float64(numCoarse) > minShrink*float64(n) {
+			break
+		}
+		next := Level{
+			F:        cur.F.Contract(coarseID, numCoarse),
+			CoarseID: coarseID,
+		}
+		if cur.Pinned != nil {
+			next.Pinned = make([]bool, numCoarse)
+			for u, c := range coarseID {
+				if cur.Pinned[u] {
+					next.Pinned[c] = true
+				}
+			}
+		}
+		lad.Levels = append(lad.Levels, next)
+	}
+	return lad
+}
+
+// Acceptance-similarity bounds of the matching. Mixing a spam-like node
+// into a legitimate supernode (or vice versa) erases the distinction KL
+// needs to place the pair's members on opposite sides of the cut, and the
+// damage compounds level over level — a few hundred mixed supernodes per
+// level are enough to bury a planted cut by level six. The acceptance
+// estimate is the per-node spam signal the paper's objective is built
+// from, so the matching keys on it: candidates are ranked by quantized
+// acceptance similarity first and friendship weight second, and a pair
+// further apart than maxAccDiff never matches at all.
+const (
+	maxAccDiff = 0.25
+	accQuantum = 0.05
+	// relaxTrigger: when a pass would shrink the level by less than this
+	// factor, the next looser tier re-scans the leftovers. Tier two
+	// (relaxed) drops the parity and similarity requirements but still
+	// preserves rejection edges. Tier three (desperate) additionally
+	// permits contracting rejection-connected pairs — preferring the
+	// lightest such edge, so the least spam signal is pooled away — and
+	// falls back to matching across rejection adjacency when the friend
+	// graph runs dry. Deep levels concentrate incoming rejections onto
+	// nearly every supernode, so without the looser tiers the ladder
+	// stalls hundreds of nodes above CoarsestNodes and the "coarsest"
+	// solves stop being cheap. Contraction is exact in every tier; cut
+	// quality stays protected by the refinement ladder and the sweep's
+	// flat gate, not by the matching.
+	relaxTrigger = 0.85
+)
+
+// scanMode selects the matching tier: each looser tier re-scans only the
+// nodes the previous tiers left unmatched.
+type scanMode int
+
+const (
+	scanStrict scanMode = iota
+	scanRelaxed
+	scanDesperate
+)
+
+// match computes one rejection-preserving heavy-edge matching over f and
+// returns the supernode assignment: matched pairs share a coarse ID,
+// everything else stays a singleton. Coarse IDs are assigned in ascending
+// order of each group's lowest fine ID, so the assignment — like the greedy
+// scan itself — is deterministic in f alone.
+func match(f *graph.Frozen, pinned []bool) (coarseID []graph.NodeID, numCoarse int) {
+	n := f.NumNodes()
+	weighted := f.Weighted()
+
+	// Individual acceptance estimates for the similarity rank, computed
+	// once: Acceptance walks the adjacency per call, so caching it keeps
+	// the candidate scan O(deg) instead of O(deg²). rejTarget marks nodes
+	// with any incoming rejection — the paper's primary spam signal. A
+	// target never matches a non-target: acceptance alone cannot separate
+	// a lightly-rejected spammer (f/(f+1) ≈ 1) from a clean user, and one
+	// such merge per level compounds into a buried cut. Pooling preserves
+	// the marker, so the rule keeps protecting deeper levels.
+	acc := make([]float64, n)
+	rejTarget := make([]bool, n)
+	for u := range acc {
+		acc[u] = f.Acceptance(graph.NodeID(u))
+		rejTarget[u] = f.InRejections(graph.NodeID(u)) > 0
+	}
+
+	mate := make([]graph.NodeID, n)
+	for u := range mate {
+		mate[u] = -1
+	}
+	// scan is one greedy ascending matching pass over the unmatched nodes.
+	// Strict mode enforces rejection-target parity and the acceptance cap
+	// and ranks candidates by quantized similarity before weight; relaxed
+	// mode drops both and ranks by weight alone (plain heavy-edge), with
+	// similarity only as a tiebreak; both preserve rejection edges.
+	// Desperate mode permits rejection-connected pairs, ranking friends by
+	// weight with the lightest attached rejection signal as the first
+	// tiebreak (erase as little as possible), and — if a node has no
+	// unmatched friend at all — matches across the rejection adjacency
+	// itself, lightest edge first. Pins hold in every mode.
+	scan := func(mode scanMode) {
+		for u := 0; u < n; u++ {
+			uid := graph.NodeID(u)
+			if mate[u] >= 0 || pinned != nil && pinned[u] {
+				continue
+			}
+			friends := f.Friends(uid)
+			var weights []int32
+			if weighted {
+				weights = f.FriendWeights(uid)
+			}
+			best := graph.NodeID(-1)
+			bestQ := -1
+			var bestW, bestRej int64
+			for i, v := range friends {
+				if mate[v] >= 0 || pinned != nil && pinned[v] {
+					continue
+				}
+				if mode == scanStrict && rejTarget[v] != rejTarget[u] {
+					continue
+				}
+				diff := acc[u] - acc[v]
+				if diff < 0 {
+					diff = -diff
+				}
+				if mode == scanStrict && diff > maxAccDiff {
+					continue
+				}
+				q := int(diff / accQuantum)
+				w := int64(1)
+				if weighted {
+					w = int64(weights[i])
+				}
+				rej := int64(0)
+				if mode == scanDesperate {
+					rej = f.RejectionWeight(uid, v) + f.RejectionWeight(v, uid)
+				}
+				if best >= 0 {
+					worse := false
+					switch mode {
+					case scanStrict:
+						worse = q > bestQ || q == bestQ && (w < bestW || w == bestW && v > best)
+					case scanRelaxed:
+						worse = w < bestW || w == bestW && (q > bestQ || q == bestQ && v > best)
+					case scanDesperate:
+						worse = rej > bestRej || rej == bestRej &&
+							(w < bestW || w == bestW && (q > bestQ || q == bestQ && v > best))
+					}
+					if worse {
+						continue
+					}
+				}
+				// Rejection-preserving rule, checked last: it is the costly
+				// probe, so only candidates that would win run it.
+				if mode != scanDesperate && (f.HasRejection(uid, v) || f.HasRejection(v, uid)) {
+					continue
+				}
+				best, bestQ, bestW, bestRej = v, q, w, rej
+			}
+			if best < 0 && mode == scanDesperate {
+				// No unmatched friend: pair across the rejection adjacency,
+				// lightest edge first so the least signal is pooled away.
+				// Out- and in-neighbours are both scanned — the union is what
+				// keeps rejection-only components shrinking.
+				consider := func(v graph.NodeID, w int64) {
+					if v == uid || mate[v] >= 0 || pinned != nil && pinned[v] {
+						return
+					}
+					if best >= 0 && (w > bestRej || w == bestRej && v >= best) {
+						return
+					}
+					best, bestRej = v, w
+				}
+				var ow, iw []int32
+				if weighted {
+					ow, iw = f.RejectedWeights(uid), f.RejecterWeights(uid)
+				}
+				for i, v := range f.Rejected(uid) {
+					w := int64(1)
+					if ow != nil {
+						w = int64(ow[i])
+					}
+					consider(v, w)
+				}
+				for i, v := range f.Rejecters(uid) {
+					w := int64(1)
+					if iw != nil {
+						w = int64(iw[i])
+					}
+					consider(v, w)
+				}
+			}
+			if best >= 0 {
+				mate[u] = best
+				mate[best] = uid
+			}
+		}
+	}
+	unmatched := func() int {
+		m := 0
+		for u := range mate {
+			if mate[u] < 0 {
+				m++
+			}
+		}
+		return m
+	}
+	scan(scanStrict)
+	if float64(n-(n-unmatched())/2) > relaxTrigger*float64(n) {
+		scan(scanRelaxed)
+		if float64(n-(n-unmatched())/2) > relaxTrigger*float64(n) {
+			scan(scanDesperate)
+		}
+	}
+
+	coarseID = make([]graph.NodeID, n)
+	for u := range coarseID {
+		coarseID[u] = -1
+	}
+	for u := 0; u < n; u++ {
+		if coarseID[u] >= 0 {
+			continue
+		}
+		coarseID[u] = graph.NodeID(numCoarse)
+		if m := mate[u]; m >= 0 {
+			coarseID[m] = graph.NodeID(numCoarse)
+		}
+		numCoarse++
+	}
+	return coarseID, numCoarse
+}

@@ -1,0 +1,308 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/kl"
+)
+
+// randomWorld builds a random rejection-augmented graph.
+func randomWorld(r *rand.Rand, n, friendships, rejections int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < friendships; i++ {
+		u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+		if u != v {
+			g.AddFriendship(u, v)
+		}
+	}
+	for i := 0; i < rejections; i++ {
+		u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+		if u != v {
+			g.AddRejection(u, v)
+		}
+	}
+	return g
+}
+
+func randomPartition(r *rand.Rand, n int) graph.Partition {
+	p := make(graph.Partition, n)
+	for i := range p {
+		if r.IntN(2) == 1 {
+			p[i] = graph.Suspect
+		}
+	}
+	return p
+}
+
+// TestMatchIsValidMaximalMatching: the supernode assignment must encode a
+// matching (groups of size ≤ 2), matched pairs must be adjacent (friends,
+// or joined only by a rejection edge when the desperate tier ran) with no
+// pinned member, and the matching must be maximal over the STRICT
+// eligibility rule — the tiers only ever add pairs on top of the strict
+// pass, so no two strictly-eligible unmatched neighbours may remain no
+// matter which tiers ran.
+func TestMatchIsValidMaximalMatching(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 61))
+		n := 2 + r.IntN(60)
+		g := randomWorld(r, n, r.IntN(5*n), r.IntN(3*n))
+		fz := g.Freeze()
+		var pinned []bool
+		if r.IntN(2) == 0 {
+			pinned = make([]bool, n)
+			for i := range pinned {
+				pinned[i] = r.IntN(6) == 0
+			}
+		}
+		coarseID, numCoarse := match(fz, pinned)
+
+		members := make([][]graph.NodeID, numCoarse)
+		for u, c := range coarseID {
+			if c < 0 || int(c) >= numCoarse {
+				t.Errorf("seed %d: coarseID %d out of range", seed, c)
+				return false
+			}
+			members[c] = append(members[c], graph.NodeID(u))
+		}
+		matched := make([]bool, n)
+		for c, m := range members {
+			switch len(m) {
+			case 1:
+			case 2:
+				u, v := m[0], m[1]
+				matched[u], matched[v] = true, true
+				if !fz.HasFriendship(u, v) &&
+					!fz.HasRejection(u, v) && !fz.HasRejection(v, u) {
+					t.Errorf("seed %d: pair %d–%d not adjacent", seed, u, v)
+					return false
+				}
+				if pinned != nil && (pinned[u] || pinned[v]) {
+					t.Errorf("seed %d: pinned node matched in pair %d–%d", seed, u, v)
+					return false
+				}
+			default:
+				t.Errorf("seed %d: supernode %d has %d members", seed, c, len(m))
+				return false
+			}
+		}
+		// Maximality: every unmatched–unmatched friend pair must be blocked
+		// by a pin, a rejection edge, or the acceptance-similarity bound.
+		ok := true
+		fz.ForEachFriendship(func(u, v graph.NodeID) {
+			if matched[u] || matched[v] {
+				return
+			}
+			if pinned != nil && (pinned[u] || pinned[v]) {
+				return
+			}
+			if fz.HasRejection(u, v) || fz.HasRejection(v, u) {
+				return
+			}
+			if d := fz.Acceptance(u) - fz.Acceptance(v); d > maxAccDiff || -d > maxAccDiff {
+				return
+			}
+			if (fz.InRejections(u) > 0) != (fz.InRejections(v) > 0) {
+				return
+			}
+			t.Errorf("seed %d: matching not maximal, %d–%d both free", seed, u, v)
+			ok = false
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLadderRoundTrip: projecting a supernode-atomic partition up the
+// ladder and back down must reproduce it exactly — the vertex maps
+// round-trip. Also pins the ladder's structural invariants: composed maps
+// stay in range and pinned supernodes stay singletons.
+func TestLadderRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 62))
+		n := 2 + r.IntN(200)
+		g := randomWorld(r, n, r.IntN(6*n), r.IntN(2*n))
+		fz := g.Freeze()
+		lad := Coarsen(fz, nil, Options{CoarsestNodes: 4})
+
+		// A random coarsest partition, expanded down: by construction it
+		// keeps every supernode atomic at every level.
+		s := NewSolver()
+		s.Grow(lad, 1)
+		depth := lad.Depth()
+		top := randomPartition(r, lad.CoarsestNodes())
+		parts := make([]graph.Partition, depth)
+		parts[depth-1] = top
+		for i := depth - 1; i > 0; i-- {
+			fine := make(graph.Partition, lad.Levels[i-1].F.NumNodes())
+			for u, c := range lad.Levels[i].CoarseID {
+				fine[u] = parts[i][c]
+			}
+			parts[i-1] = fine
+		}
+		// Round trip: majority projection of each level's expansion must
+		// reproduce the coarser partition exactly (supernodes are atomic,
+		// so the majority is unanimous).
+		for i := 1; i < depth; i++ {
+			s.projectUp(lad.Levels[i], parts[i-1], i)
+			got := s.parts[i][:lad.Levels[i].F.NumNodes()]
+			for c := range got {
+				if got[c] != parts[i][c] {
+					t.Errorf("seed %d: level %d round-trip differs at %d", seed, i, c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveStatsExactAndImproves: the V-cycle's incrementally carried
+// statistics must equal a from-scratch walk of the returned partition, the
+// objective must match its stats, never regress from init, and pinned
+// nodes must keep their region.
+func TestSolveStatsExactAndImproves(t *testing.T) {
+	s := NewSolver()
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 63))
+		n := 2 + r.IntN(300)
+		g := randomWorld(r, n, r.IntN(6*n), r.IntN(3*n))
+		fz := g.Freeze()
+		cfg := kl.Config{FriendWeight: 64, RejectWeight: int64(r.IntN(500))}
+		var pinned []bool
+		if r.IntN(2) == 0 {
+			pinned = make([]bool, n)
+			for i := range pinned {
+				pinned[i] = r.IntN(8) == 0
+			}
+			cfg.Pinned = pinned
+		}
+		lad := Coarsen(fz, pinned, Options{CoarsestNodes: 16})
+		init := randomPartition(r, n)
+		if pinned != nil {
+			// Seeds pin suspects in detection; any fixed convention works
+			// for the invariant being tested.
+			for u := range init {
+				if pinned[u] {
+					init[u] = graph.Suspect
+				}
+			}
+		}
+		initStats := fz.Stats(init)
+		res := s.Solve(lad, init, initStats, cfg)
+
+		if res.Stats != fz.Stats(res.Partition) {
+			t.Errorf("seed %d: carried stats %+v != walk %+v", seed, res.Stats, fz.Stats(res.Partition))
+			return false
+		}
+		wantObj := int64(res.Stats.CrossFriendships)*cfg.FriendWeight -
+			int64(res.Stats.RejIntoSuspect)*cfg.RejectWeight
+		if res.Objective != wantObj {
+			t.Errorf("seed %d: objective %d != stats objective %d", seed, res.Objective, wantObj)
+			return false
+		}
+		initObj := int64(initStats.CrossFriendships)*cfg.FriendWeight -
+			int64(initStats.RejIntoSuspect)*cfg.RejectWeight
+		if res.Objective > initObj {
+			t.Errorf("seed %d: objective regressed %d -> %d", seed, initObj, res.Objective)
+			return false
+		}
+		for u := range init {
+			if pinned != nil && pinned[u] && res.Partition[u] != init[u] {
+				t.Errorf("seed %d: pinned node %d switched", seed, u)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveMatchesFlatOnSmallLadder: a ladder that never coarsens (the
+// input is already at or below CoarsestNodes) must reproduce the flat
+// frozen solver byte for byte.
+func TestSolveMatchesFlatOnSmallLadder(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 64))
+	g := randomWorld(r, 50, 150, 80)
+	fz := g.Freeze()
+	lad := Coarsen(fz, nil, Options{CoarsestNodes: 64})
+	if lad.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", lad.Depth())
+	}
+	init := randomPartition(r, 50)
+	cfg := kl.Config{FriendWeight: 64, RejectWeight: 96}
+	want := kl.PartitionFrozen(fz, init, cfg, nil)
+	got := NewSolver().Solve(lad, init, fz.Stats(init), cfg)
+	if got.Objective != want.Objective || got.Stats != want.Stats || got.Passes != want.Passes {
+		t.Fatalf("single-level solve diverged: got %+v, want %+v", got.Stats, want.Stats)
+	}
+	for i := range want.Partition {
+		if got.Partition[i] != want.Partition[i] {
+			t.Fatalf("partitions differ at %d", i)
+		}
+	}
+}
+
+// TestSolverZeroAllocs: after one warm-up V-cycle, Solve must not allocate
+// — the pooled-workspace guarantee the ladder's speedup rests on, across
+// the k-grid's weight spread just like the sweep runs it.
+func TestSolverZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 65))
+	g := randomWorld(r, 2000, 8000, 3000)
+	fz := g.Freeze()
+	lad := Coarsen(fz, nil, Options{})
+	init := randomPartition(r, 2000)
+	initStats := fz.Stats(init)
+	weights := []int64{2, 64, 2048}
+
+	s := NewSolver()
+	var maxAbs int64
+	for _, wR := range weights {
+		if a := kl.FrozenMaxAbsGain(fz, kl.Config{FriendWeight: 64, RejectWeight: wR}); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	s.Grow(lad, maxAbs)
+	s.Solve(lad, init, initStats, kl.Config{FriendWeight: 64, RejectWeight: weights[0]}) // warm-up
+
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, wR := range weights {
+			s.Solve(lad, init, initStats, kl.Config{FriendWeight: 64, RejectWeight: wR})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Solve allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestCoarsenShrinks: on a friendship-rich graph the ladder must actually
+// shrink toward the coarsest bound within the level cap.
+func TestCoarsenShrinks(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 66))
+	g := randomWorld(r, 4000, 20000, 500)
+	lad := Coarsen(g.Freeze(), nil, Options{})
+	if lad.Depth() < 3 {
+		t.Fatalf("depth = %d, want >= 3", lad.Depth())
+	}
+	for i := 1; i < lad.Depth(); i++ {
+		prev, cur := lad.Levels[i-1].F.NumNodes(), lad.Levels[i].F.NumNodes()
+		if cur >= prev {
+			t.Fatalf("level %d did not shrink: %d -> %d", i, prev, cur)
+		}
+		if !lad.Levels[i].F.Weighted() {
+			t.Fatalf("level %d not weighted", i)
+		}
+		if len(lad.Levels[i].CoarseID) != prev {
+			t.Fatalf("level %d vertex map length %d, want %d", i, len(lad.Levels[i].CoarseID), prev)
+		}
+	}
+}

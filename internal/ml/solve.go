@@ -1,0 +1,258 @@
+package ml
+
+import (
+	"repro/internal/graph"
+	"repro/internal/kl"
+)
+
+// Solver runs one multilevel V-cycle per call: project the initial
+// bipartition up the ladder, solve the coarsest level with full KL, then
+// uncoarsen with boundary-only refinement per level and a final full
+// polish on level 0. All scratch state — the per-level partitions, the
+// boundary mask, the projection tallies, and the kl.Workspace shared by
+// every level — is pooled on the Solver, so a warmed-up Solve performs
+// zero allocations (TestSolverZeroAllocs). A Solver is owned by one
+// goroutine; sweep workers each hold their own and share the Ladder.
+type Solver struct {
+	// RefinePasses caps the boundary-refinement passes spent at each level
+	// on the way down (zero means DefaultRefinePasses). The refinements
+	// run greedily (kl.Config.Greedy), so a single pass already reaches
+	// single-switch convergence over the boundary; the coarsest solve
+	// always runs full KL to convergence, and the sweep's quality gate
+	// (core.FindMAARCutFrozen) guards whatever a greedy boundary pass
+	// cannot recover.
+	RefinePasses int
+	// Polish, when set, finishes level 0 with an unmasked full-KL
+	// refinement so the returned cut is a local optimum of the flat
+	// problem. Costs one or two full passes over the input graph — the
+	// sweep skips it per job and instead polishes only the winning cut.
+	Polish bool
+
+	ws    kl.Workspace
+	parts []graph.Partition // parts[i] is the working partition of level i
+	act   []bool            // boundary mask, sized to the largest level
+	cntS  []int32           // per-supernode Suspect-member tally (projection)
+	cntT  []int32           // per-supernode member count (projection)
+}
+
+// DefaultRefinePasses bounds per-level boundary refinement when
+// Solver.RefinePasses is zero. One greedy pass is already convergent with
+// respect to single switches (see kl.Config.Greedy).
+const DefaultRefinePasses = 1
+
+// NewSolver returns an empty Solver; buffers grow on first use, or up
+// front via Grow.
+func NewSolver() *Solver { return &Solver{} }
+
+// Grow presizes every pooled buffer for lad and for KL gain ranges up to
+// ±maxAbs (see kl.FrozenMaxAbsGain), so that every subsequent Solve on
+// lad — at any weight configuration within the range — allocates nothing,
+// including the first. Growing for a new ladder keeps any buffer that is
+// already big enough.
+func (s *Solver) Grow(lad *Ladder, maxAbs int64) {
+	depth := lad.Depth()
+	for len(s.parts) < depth {
+		s.parts = append(s.parts, nil)
+	}
+	for i, lv := range lad.Levels {
+		if n := lv.F.NumNodes(); cap(s.parts[i]) < n {
+			s.parts[i] = make(graph.Partition, n)
+		}
+	}
+	n0 := lad.Levels[0].F.NumNodes()
+	if cap(s.act) < n0 {
+		s.act = make([]bool, n0)
+	}
+	if depth > 1 {
+		if n1 := lad.Levels[1].F.NumNodes(); cap(s.cntS) < n1 {
+			s.cntS = make([]int32, n1)
+			s.cntT = make([]int32, n1)
+		}
+	}
+	s.ws.Grow(n0, 0, maxAbs)
+}
+
+// Solve runs the full V-cycle on lad from init and returns the refined
+// level-0 result, never worse than init: the majority projection onto the
+// coarsest level is lossy (a supernode holding a mixed pair — possible in
+// any tier, certain once the desperate matching tier contracts a
+// rejection edge — snaps to one region), so when the refined cut ends
+// with a worse objective than init itself, Solve returns init unchanged.
+// initStats must equal lad.Levels[0].F.Stats(init). cfg.Pinned, if set,
+// must be the pinned mask lad was coarsened with — each level swaps in
+// its own projected mask. The returned Partition and PassGains alias
+// solver memory: valid until the next SolveCoarse/RefineDown/Solve call,
+// Clone to retain.
+func (s *Solver) Solve(lad *Ladder, init graph.Partition, initStats graph.CutStats, cfg kl.Config) kl.Result {
+	res := s.SolveCoarse(lad, init, cfg)
+	down := s.RefineDown(lad, res.Partition, res.Stats, cfg)
+	out := sumResult(res, down)
+	initObj := int64(initStats.CrossFriendships)*cfg.FriendWeight -
+		int64(initStats.RejIntoSuspect)*cfg.RejectWeight
+	if out.Objective > initObj {
+		p0 := s.parts[0][:len(init)]
+		copy(p0, init)
+		out.Partition = p0
+		out.Stats = initStats
+		out.Objective = initObj
+	}
+	return out
+}
+
+// SolveCoarse runs the upward half of the V-cycle: project init to the
+// coarsest level (majority region per supernode, ties toward Legit —
+// deterministic, and exact for any partition that keeps supernodes atomic)
+// and solve there with full KL. The returned Result describes the coarsest
+// level — Partition has lad.CoarsestNodes() entries — but its edge
+// statistics and objective are exact for the fine graph too, because
+// contraction is (see graph.Contract). A MAAR sweep exploits exactly that:
+// it scores every (k, init) job on its cheap coarse solve and pays for
+// RefineDown only on the winner.
+func (s *Solver) SolveCoarse(lad *Ladder, init graph.Partition, cfg kl.Config) kl.Result {
+	s.Grow(lad, kl.FrozenMaxAbsGain(lad.Levels[0].F, cfg))
+	depth := lad.Depth()
+	p0 := s.parts[0][:lad.Levels[0].F.NumNodes()]
+	copy(p0, init)
+	s.parts[0] = p0
+	for i := 1; i < depth; i++ {
+		s.projectUp(lad.Levels[i], s.parts[i-1], i)
+	}
+	top := depth - 1
+	lvCfg := cfg
+	lvCfg.Pinned = lad.Levels[top].Pinned
+	tp := s.parts[top]
+	res := kl.PartitionFrozenFromStats(lad.Levels[top].F, tp, lad.Levels[top].F.Stats(tp), lvCfg, &s.ws)
+	copy(tp, res.Partition)
+	res.Partition = tp
+	return res
+}
+
+// RefineDown runs the downward half of the V-cycle: starting from a
+// coarsest-level partition (len lad.CoarsestNodes()) with exact statistics
+// coarseStats, project one level at a time, carry the edge statistics,
+// recount the sizes, and greedily refine the boundary under the pass cap.
+// The statistics never need a full recount on the way down: contraction is
+// exact, so a level's edge statistics equal the coarser result's, and only
+// the two region sizes change with the projection.
+func (s *Solver) RefineDown(lad *Ladder, coarse graph.Partition, coarseStats graph.CutStats, cfg kl.Config) kl.Result {
+	s.Grow(lad, kl.FrozenMaxAbsGain(lad.Levels[0].F, cfg))
+	depth := lad.Depth()
+	top := depth - 1
+	tp := s.parts[top][:lad.Levels[top].F.NumNodes()]
+	if &tp[0] != &coarse[0] {
+		copy(tp, coarse)
+	}
+	res := kl.Result{
+		Partition: tp,
+		Stats:     coarseStats,
+		Objective: int64(coarseStats.CrossFriendships)*cfg.FriendWeight -
+			int64(coarseStats.RejIntoSuspect)*cfg.RejectWeight,
+	}
+
+	refineCfg := cfg
+	refineCfg.Greedy = true
+	if refineCfg.MaxPasses = s.RefinePasses; refineCfg.MaxPasses <= 0 {
+		refineCfg.MaxPasses = DefaultRefinePasses
+	}
+	for i := top - 1; i >= 0; i-- {
+		lv := lad.Levels[i]
+		stats := s.projectDown(lad.Levels[i+1].CoarseID, s.parts[i+1], s.parts[i], res.Stats)
+		active := s.boundary(lv.F, s.parts[i])
+		refineCfg.Pinned = lv.Pinned
+		r := kl.RefineFrozen(lv.F, s.parts[i], stats, active, refineCfg, &s.ws)
+		copy(s.parts[i], r.Partition)
+		res = sumResult(res, r)
+		if i == 0 && s.Polish {
+			polishCfg := cfg
+			polishCfg.Pinned = lv.Pinned
+			r = kl.RefineFrozen(lv.F, s.parts[0], r.Stats, nil, polishCfg, &s.ws)
+			copy(s.parts[0], r.Partition)
+			res = sumResult(res, r)
+		}
+	}
+	res.Partition = s.parts[0]
+	return res
+}
+
+// sumResult folds a refinement step into the aggregate: final objective,
+// statistics, partition and pass gains come from the latest step, while the
+// pass/switch/rollback counters accumulate across the whole V-cycle (they
+// feed obs.EvSolveDone, where total work is the interesting number).
+func sumResult(agg, step kl.Result) kl.Result {
+	step.Passes += agg.Passes
+	step.Switches += agg.Switches
+	step.Rollbacks += agg.Rollbacks
+	return step
+}
+
+// projectUp fills s.parts[i] with the majority-projection of fine (the
+// partition of level i-1) through lv.CoarseID.
+func (s *Solver) projectUp(lv Level, fine graph.Partition, i int) {
+	nc := lv.F.NumNodes()
+	cntS, cntT := s.cntS[:nc], s.cntT[:nc]
+	for c := range cntS {
+		cntS[c], cntT[c] = 0, 0
+	}
+	for u, c := range lv.CoarseID {
+		cntT[c]++
+		if fine[u] == graph.Suspect {
+			cntS[c]++
+		}
+	}
+	p := s.parts[i][:nc]
+	for c := range p {
+		if 2*cntS[c] > cntT[c] {
+			p[c] = graph.Suspect
+		} else {
+			p[c] = graph.Legit
+		}
+	}
+	s.parts[i] = p
+}
+
+// projectDown expands the coarse partition onto the finer level and
+// returns the finer statistics: edge fields carried from the coarse result
+// (contraction exactness), region sizes recounted over the fine nodes.
+func (s *Solver) projectDown(coarseID []graph.NodeID, coarse, fine graph.Partition, coarseStats graph.CutStats) graph.CutStats {
+	stats := coarseStats
+	stats.SuspectSize, stats.LegitSize = 0, 0
+	for u, c := range coarseID {
+		r := coarse[c]
+		fine[u] = r
+		if r == graph.Suspect {
+			stats.SuspectSize++
+		} else {
+			stats.LegitSize++
+		}
+	}
+	return stats
+}
+
+// boundary marks the nodes worth refining after a projection: the
+// endpoints of cross-cut friendships, i.e. the projected cut's frontier.
+// Rejection-incident nodes need no special handling in the common case —
+// the strict and relaxed matching tiers never contract a rejection edge,
+// so the coarsest solve already placed those nodes at supernode
+// granularity, and only the friendship frontier gains new freedom as
+// supernodes split. Pairs the desperate tier merged across a rejection
+// edge sit outside the mask when they split; whatever a boundary pass
+// then misses is the quality gate's job (core.FindMAARCutFrozen), not the
+// refiner's. One branch-light O(V+E) sweep (no bucket traffic), written
+// into the pooled mask; each cross edge marks u when scanned from either
+// endpoint, so both sides end up active.
+func (s *Solver) boundary(f *graph.Frozen, p graph.Partition) []bool {
+	n := f.NumNodes()
+	act := s.act[:n]
+	for u := 0; u < n; u++ {
+		pu := p[u]
+		a := false
+		for _, v := range f.Friends(graph.NodeID(u)) {
+			if p[v] != pu {
+				a = true
+				break
+			}
+		}
+		act[u] = a
+	}
+	return act
+}

@@ -52,6 +52,20 @@
 //	                  the reason, Acceptance = the rejected warm cut's
 //	                  value or -1 when the warm solve found no cut); the
 //	                  round is then re-solved cold
+//	ml.coarsen        one multilevel ladder built (package ml): Dur, Nodes =
+//	                  coarsest supernode count, Attempt = ladder depth
+//	                  including level 0
+//	ml.solve          one coarse-grid sweep: Jobs, total coarse KL Passes,
+//	                  the winning Job / K / Init / Acceptance, Dur. The
+//	                  per-job solves are not traced individually — they are
+//	                  the cheap half of the multilevel bargain
+//	ml.refine         the sweep winner refined down the ladder: K, Passes /
+//	                  Switches / Rollbacks across all levels, Acceptance of
+//	                  the refined cut (-1 when refinement yielded no valid
+//	                  candidate), Dur
+//	ml.fallback       the multilevel gate rejected the refined winner
+//	                  (Detail = the reason, Acceptance = the rejected
+//	                  value or -1); the sweep is then re-run flat
 //
 // Tracers must tolerate concurrent Emit calls: the sweep's workers emit
 // solve.done events from their own goroutines. Slice-valued fields
@@ -80,6 +94,11 @@ const (
 	EvIncrPatch    = "incr.patch"
 	EvIncrWarm     = "incr.warm"
 	EvIncrFallback = "incr.fallback"
+
+	EvMLCoarsen  = "ml.coarsen"
+	EvMLSolve    = "ml.solve"
+	EvMLRefine   = "ml.refine"
+	EvMLFallback = "ml.fallback"
 )
 
 // Event is one structured trace event. It is a flat value type so that

@@ -19,12 +19,25 @@ import (
 // seeded chaos fault schedule. The chaos runs must be byte-identical to
 // the fault-free distributed baseline, and that baseline must agree with
 // the server's single-machine epoch on every interval's suspect set.
+// The "ml" variant routes the server's sweeps through the multilevel
+// ladder and checks them against a batch DetectSharded rebuild running the
+// same ladder — the distributed engine solves its KL in-cluster and has no
+// multilevel path, so there the ml run keeps only the chaos-vs-baseline
+// byte-equality, pinning that fault injection stays deterministic when the
+// service around it runs multilevel sweeps.
 func TestChaosDistributedMatchesServerEpoch(t *testing.T) {
+	t.Run("flat", func(t *testing.T) { chaosDistributedMatchesServerEpoch(t, false) })
+	t.Run("ml", func(t *testing.T) { chaosDistributedMatchesServerEpoch(t, true) })
+}
+
+func chaosDistributedMatchesServerEpoch(t *testing.T, multilevel bool) {
 	const n, spammers = 300, 40
 	r := rand.New(rand.NewPCG(1, 91))
 	events := spamWorkload(r, n, spammers)
 	base := testBase(n)
-	s, ts := newTestServer(t, base, nil)
+	s, ts := newTestServer(t, base, func(cfg *Config) {
+		cfg.Detector.Cut.Multilevel = multilevel
+	})
 	postEvents(t, ts.URL, events)
 
 	ep, err := s.Detect(context.Background())
@@ -44,10 +57,28 @@ func TestChaosDistributedMatchesServerEpoch(t *testing.T) {
 	}
 
 	opts := testDetectorOptions()
+	opts.Cut.Multilevel = multilevel
+	// The distributed engine runs its extended KL in-cluster — it has no
+	// multilevel path, so its config stays flat. In ml mode the server's
+	// epoch is instead checked against a batch DetectSharded rebuild running
+	// the same multilevel sweeps; the dist baseline then only anchors the
+	// chaos byte-equality below.
+	distOpts := testDetectorOptions()
 	cfg := dist.DetectorConfig{
-		Cut:                 opts.Cut,
-		AcceptanceThreshold: opts.AcceptanceThreshold,
-		MaxRounds:           opts.MaxRounds,
+		Cut:                 distOpts.Cut,
+		AcceptanceThreshold: distOpts.AcceptanceThreshold,
+		MaxRounds:           distOpts.MaxRounds,
+	}
+	var mlBatch map[int]core.Detection
+	if multilevel {
+		dets, err := core.DetectSharded(base, EventsToRequests(events), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlBatch = make(map[int]core.Detection, len(dets))
+		for _, d := range dets {
+			mlBatch[d.Interval] = d.Detection
+		}
 	}
 	mix, ok := chaos.Class("mixed")
 	if !ok {
@@ -74,7 +105,11 @@ func TestChaosDistributedMatchesServerEpoch(t *testing.T) {
 		if err != nil {
 			t.Fatalf("interval %d: fault-free distributed baseline: %v", iv.Interval, err)
 		}
-		assertSameSuspectSet(t, iv.Interval, iv.Detection, baseline)
+		if multilevel {
+			assertSameSuspectSet(t, iv.Interval, iv.Detection, mlBatch[iv.Interval])
+		} else {
+			assertSameSuspectSet(t, iv.Interval, iv.Detection, baseline)
+		}
 
 		for _, seed := range []uint64{101, 102, 103} {
 			res, err := sc.Run(aug, cfg, seed)

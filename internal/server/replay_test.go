@@ -24,8 +24,16 @@ import (
 // event log whose batch replay (core.DetectSharded over the journal) is
 // byte-identical to the server's own final detection. Run it under -race:
 // the readers and writers also double as the data-race probe for the
-// epoch-swap snapshot model.
+// epoch-swap snapshot model. The "ml" variant runs every sweep — live
+// server and both replays — through the multilevel ladder; byte-equality
+// must survive the engine swap since the replay contract is about the
+// journal, not the solver.
 func TestReplayDeterminismUnderConcurrency(t *testing.T) {
+	t.Run("flat", func(t *testing.T) { replayDeterminismUnderConcurrency(t, false) })
+	t.Run("ml", func(t *testing.T) { replayDeterminismUnderConcurrency(t, true) })
+}
+
+func replayDeterminismUnderConcurrency(t *testing.T, multilevel bool) {
 	const (
 		n        = 200
 		spammers = 30
@@ -44,9 +52,12 @@ func TestReplayDeterminismUnderConcurrency(t *testing.T) {
 	}
 
 	journal := filepath.Join(t.TempDir(), "events.log")
+	detOpts := testDetectorOptions()
+	detOpts.Cut.Multilevel = multilevel
 	s, ts := newTestServer(t, testBase(n), func(cfg *Config) {
 		cfg.JournalPath = journal
 		cfg.DetectEvery = 5 * time.Millisecond // detections race the ingest
+		cfg.Detector = detOpts
 	})
 
 	var writersWG, readersWG sync.WaitGroup
@@ -157,7 +168,7 @@ func TestReplayDeterminismUnderConcurrency(t *testing.T) {
 	if len(logged) != total {
 		t.Fatalf("journal holds %d answered requests, want %d", len(logged), total)
 	}
-	batch, err := core.DetectSharded(testBase(n), logged, testDetectorOptions())
+	batch, err := core.DetectSharded(testBase(n), logged, detOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +187,7 @@ func TestReplayDeterminismUnderConcurrency(t *testing.T) {
 	// And because detection canonicalizes each interval's overlay, the
 	// original pre-shuffle event order replays to the same result too, even
 	// though the concurrent arrival order differs from it.
-	replayed, err := Replay(testBase(n), events, testDetectorOptions())
+	replayed, err := Replay(testBase(n), events, detOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,101 @@
+#!/usr/bin/env sh
+# Runs the multilevel-sweep benchmarks (internal/core BenchmarkMAARSweep)
+# and emits BENCH_ml.json at the repo root: flat vs multilevel ns/sweep,
+# acceptance for both engines, and the gate's fallback rate, per case
+# (graph size x restart count x coarsening depth).
+#
+# The acceptance criteria are checked here and the script fails if they do
+# not hold:
+#   - on the largest benchmarked residual at the highest restart count, the
+#     multilevel sweep must be at least 3x faster than the flat frozen
+#     sweep;
+#   - on every benchmarked case the multilevel acceptance must be no worse
+#     than the flat sweep's on the same graph and restart budget. (The
+#     benchmark itself also asserts this before timing; the JSON records
+#     it so CI can enforce it from the artifact.)
+#
+# Usage: scripts/bench_ml.sh [benchtime]   (default 3x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/core/ -run NONE -bench 'BenchmarkMAARSweep' \
+	-benchmem -benchtime "$BENCHTIME" -count 1 -timeout 60m | tee "$tmp"
+
+python3 - "$tmp" "$BENCHTIME" <<'PY' > BENCH_ml.json
+import json, re, sys
+
+rows = {}
+for line in open(sys.argv[1]):
+    # The trailing -N GOMAXPROCS suffix is absent when GOMAXPROCS=1.
+    m = re.match(r'BenchmarkMAARSweep/(flat|ml)/(\S+?)(?:-\d+)?\s+\d+\s+(.*)', line)
+    if not m:
+        continue
+    mode, case, rest = m.group(1), m.group(2), m.group(3)
+    # Custom metrics (acc, accflat) carry bare units, not unit/op.
+    metrics = dict((unit, float(val)) for val, unit in
+                   re.findall(r'([0-9.e+-]+)\s+([A-Za-z][A-Za-z/]*)', rest))
+    rows.setdefault(case, {})[mode] = metrics
+
+def case_key(case):
+    n = int(re.search(r'n=(\d+)', case).group(1))
+    r = int(re.search(r'-r(\d+)', case).group(1))
+    return (n, r, case)
+
+cases = []
+for case in sorted(rows, key=case_key):
+    ml = rows[case].get('ml', {})
+    # Depth-variant cases share the flat baseline of the default-depth case
+    # at the same size and restart count.
+    base = re.sub(r'-coarsest\d+$', '', case)
+    flat = rows.get(base, {}).get('flat', {})
+    entry = {
+        'case': case,
+        'flat_ns_per_sweep': flat.get('ns/op'),
+        'ml_ns_per_sweep': ml.get('ns/op'),
+        'flat_acceptance': ml.get('accflat'),
+        'ml_acceptance': ml.get('acc'),
+        'ml_fallbacks_per_sweep': ml.get('fallbacks/op'),
+        'ml_allocs_per_sweep': ml.get('allocs/op'),
+    }
+    if entry['flat_ns_per_sweep'] and entry['ml_ns_per_sweep']:
+        entry['speedup'] = round(entry['flat_ns_per_sweep'] / entry['ml_ns_per_sweep'], 2)
+    if entry['ml_acceptance'] is not None and entry['flat_acceptance'] is not None:
+        entry['acceptance_no_worse'] = entry['ml_acceptance'] <= entry['flat_acceptance'] + 1e-9
+    cases.append(entry)
+
+# Largest residual = largest node count; criterion case is its default-depth
+# run at the highest benchmarked restart count.
+target = None
+for e in cases:
+    if 'coarsest' in e['case'] or 'speedup' not in e:
+        continue
+    if target is None or case_key(e['case']) > case_key(target['case']):
+        target = e
+
+acc_ok = all(e.get('acceptance_no_worse', True) for e in cases)
+speedup = target['speedup'] if target else 0
+out = {
+    'benchmark': 'internal/core BenchmarkMAARSweep flat vs multilevel',
+    'benchtime': sys.argv[2],
+    'cases': cases,
+    'criterion': {
+        'required_speedup': 3.0,
+        'on_case': target['case'] if target else None,
+        'achieved_speedup': speedup,
+        'acceptance_no_worse_everywhere': acc_ok,
+        'pass': speedup >= 3.0 and acc_ok,
+    },
+}
+json.dump(out, sys.stdout, indent=2)
+print()
+if not out['criterion']['pass']:
+    print(f"FAIL: speedup {speedup}x on {out['criterion']['on_case']} "
+          f"(need >=3x) acceptance_ok={acc_ok}", file=sys.stderr)
+    sys.exit(1)
+PY
+
+echo "wrote BENCH_ml.json"
