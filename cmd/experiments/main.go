@@ -108,6 +108,7 @@ func experiments() []experiment {
 		{"table2", "distributed-engine scalability", runTable2},
 		{"incr", "incremental epochs: latency vs delta size, cold vs patched+warm", runIncr},
 		{"ml", "multilevel sweeps: flat vs coarsen/solve/refine latency across sizes and restarts", runML},
+		{"storage", "durability & recovery: restart shape by snapshot coverage, torn tails, crash storm", runStorage},
 	}
 	return exps
 }

@@ -8,11 +8,22 @@
 //
 //	rejectod -graph base.txt [-listen :8080]
 //	         [-target 100 | -threshold 0.5] [-detect-every 30s]
-//	         [-journal events.log] [-queue 1024]
+//	         [-journal events.log | -store-dir data/]
+//	         [-segment-bytes 4194304] [-snapshot-every 100000]
+//	         [-queue 1024]
 //	         [-incremental] [-incr-max-patch 0.25] [-no-warm-start]
 //	         [-kmin 0.03125] [-kmax 32] [-seed 42]
 //	         [-ml] [-ml-coarsest 128] [-ml-max-levels 0]
 //	         [-trace run.jsonl] [-v] [-debug-addr :6060]
+//
+// -store-dir selects the segmented storage engine (internal/storage): the
+// journal lives in fixed-size CRC32C-checksummed segments, -snapshot-every
+// persists a snapshot (journal prefix + frozen read model + incremental
+// memo) after detections once that many new records accumulated, and
+// restart replays only the delta since the last snapshot. A torn tail left
+// by a crash is truncated on boot; any other checksum failure refuses to
+// start (see docs/OPERATIONS.md). -journal keeps the flat text journal
+// instead; the two are mutually exclusive.
 //
 // -incremental switches the detector to the incremental epoch engine
 // (internal/incr): each detection patches the previous epoch's frozen
@@ -62,6 +73,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 func main() { os.Exit(run()) }
@@ -75,7 +87,10 @@ func run() int {
 		target      = flag.Int("target", 0, "per-interval estimated spammer count (termination condition)")
 		threshold   = flag.Float64("threshold", 0, "acceptance-rate termination threshold, e.g. 0.5")
 		detectEvery = flag.Duration("detect-every", 0, "run detection on this period (0 disables; POST /v1/detect always works)")
-		journal     = flag.String("journal", "", "append answered requests to this file; recovers state from it on start")
+		journal     = flag.String("journal", "", "append answered requests to this flat text file; recovers state from it on start")
+		storeDir    = flag.String("store-dir", "", "journal in segmented, checksummed storage under this directory (mutually exclusive with -journal)")
+		segBytes    = flag.Int64("segment-bytes", 0, "with -store-dir, seal and roll segments at this size (0 = default 4 MiB)")
+		snapEvery   = flag.Int("snapshot-every", 0, "with -store-dir, persist a snapshot after a detection once this many new records accumulated (0 disables)")
 		queueSize   = flag.Int("queue", 1024, "ingest queue bound; a full queue answers 429")
 		incremental = flag.Bool("incremental", false, "use the incremental epoch engine: patch snapshots and warm-start sweeps instead of re-folding the journal")
 		incrPatch   = flag.Float64("incr-max-patch", 0, "delta-to-graph edge ratio above which a snapshot rebuilds cold (0 = default 0.25)")
@@ -142,6 +157,23 @@ func run() int {
 		tracers = append(tracers, summary)
 	}
 
+	var store storage.Store
+	if *storeDir != "" {
+		if *journal != "" {
+			return fail("-journal and -store-dir are mutually exclusive")
+		}
+		store, err = storage.Open(storage.Options{
+			Dir:          *storeDir,
+			SegmentBytes: *segBytes,
+			Tracer:       obs.Multi(tracers...),
+		})
+		if err != nil {
+			return fail("opening store: %v", err)
+		}
+	} else if *snapEvery > 0 {
+		return fail("-snapshot-every requires -store-dir")
+	}
+
 	srv, err := server.New(server.Config{
 		Base: g,
 		Detector: core.DetectorOptions{
@@ -155,6 +187,8 @@ func run() int {
 		DetectEvery:      *detectEvery,
 		QueueSize:        *queueSize,
 		JournalPath:      *journal,
+		Store:            store,
+		SnapshotEvery:    *snapEvery,
 		Tracer:           obs.Multi(tracers...),
 		Incremental:      *incremental,
 		PatchMaxFraction: *incrPatch,
@@ -164,7 +198,11 @@ func run() int {
 		return fail("%v", err)
 	}
 	if ep := srv.CurrentEpoch(); ep.Events > 0 {
-		fmt.Printf("recovered %d answered requests from %s\n", ep.Events, *journal)
+		source := *journal
+		if *storeDir != "" {
+			source = *storeDir
+		}
+		fmt.Printf("recovered %d answered requests from %s\n", ep.Events, source)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

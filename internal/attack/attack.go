@@ -1,28 +1,3 @@
-// Package attack simulates friend-spam attacks on a legitimate social
-// graph, reproducing the workload model of the paper's evaluation (§VI-A)
-// and the strategic-attacker overlays of §VI-B/§VI-C.
-//
-// A Scenario injects a Sybil region into a base graph of legitimate users
-// and synthesizes friend-request traffic:
-//
-//   - Every friendship is an accepted request; every rejection edge a
-//     rejected one. The full directed request log is retained because the
-//     VoteTrust baseline consumes requests, not the augmented graph.
-//   - Fake accounts arrive one at a time, each befriending
-//     IntraLinksPerFake earlier fakes (accepted intra requests).
-//   - Spamming fakes send RequestsPerSpammer requests to distinct random
-//     legitimate users; each is rejected with probability
-//     SpamRejectionRate (the paper's 70% default, measured on RenRen).
-//   - Legitimate users reject one another sporadically: user u receives
-//     round(sent_u·ρ/(1−ρ)) rejections from random non-friend legitimate
-//     users, where sent_u ≈ half of u's friendships, making the aggregate
-//     legitimate acceptance rate 1−ρ (ρ = LegitRejectionRate, default 20%).
-//   - CarelessFraction of legitimate users each send one request that a
-//     random fake accepts — the paper's stress-test for careless users.
-//
-// Strategic overlays: collusion (extra accepted intra-fake requests,
-// Fig 13), self-rejection whitewashing (Fig 14), and spammers rejecting
-// requests from legitimate users (Fig 15).
 package attack
 
 import (

@@ -1,0 +1,32 @@
+// Package bucketlist implements the gain bucket structure used by the
+// extended Kernighan–Lin optimization (§IV-C of the paper, following
+// Fiduccia & Mattheyses 1982).
+//
+// A bucket list indexes every free (unswitched, unpinned) node by the gain
+// its switch would bring to the partition objective, and answers
+// "which free node has the maximum gain?" in amortized constant time. The
+// paper's Algorithm 1 calls this structure nodeGainList.
+//
+// Three implementations are provided behind the List interface:
+//
+//   - Dense: the classic FM array of doubly-linked lists with a moving
+//     max-gain pointer. O(1) operations, memory proportional to the gain
+//     range. Used when the range is bounded (on unweighted snapshots it
+//     always is: gains are fixed-point integers bounded by max weighted
+//     degree).
+//   - Scan: flat per-node arrays with a bitmap PopMax scan. O(1)
+//     mutations, O(present) PopMax, no memory tied to the gain range.
+//     Used when the range is too wide for Dense but the node count is
+//     small — the shape weighted coarse graphs from the multilevel ladder
+//     produce, where pooled edge multiplicities blow up the gain range
+//     while the node count shrinks toward the coarsest bound.
+//   - Sparse: a map from gain to bucket plus a lazy max-heap of occupied
+//     gains. O(log B) operations where B is the number of distinct gains,
+//     memory proportional to occupancy. Used for extreme gain ranges on
+//     node counts too large for Scan.
+//
+// New picks between them based on the declared gain range and node count.
+// The implementations are cross-checked by property tests: identical
+// insertion, update, and LIFO max-pop order, so the KL engines' results
+// do not depend on which one serves a solve.
+package bucketlist

@@ -1,0 +1,7 @@
+// Package cache provides a generic fixed-capacity LRU cache.
+//
+// The Rejecto master prefetches worker-resident adjacency lists into a
+// bounded buffer and evicts the least-recently-used entries (§V of the
+// paper). This package implements that buffer; it is also reusable as a
+// plain LRU map.
+package cache

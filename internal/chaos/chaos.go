@@ -1,18 +1,3 @@
-// Package chaos is a seeded, fully deterministic fault-injection layer for
-// the distributed detection engine. A chaos.Transport wraps any
-// dist.Transport and, driven by a single PRNG seed and a virtual clock,
-// injects per-call latency, transient RPC errors, lost replies, duplicated
-// deliveries, worker crashes, and crash-restarts. The same seed always
-// produces the same fault schedule on the same call sequence, so every
-// failure a test finds is replayable from one integer.
-//
-// The invariant the package exists to check: detection under any injected
-// fault schedule must produce suspect sets byte-identical to the fault-free
-// run. The master holds all algorithm state, workers compute pure functions
-// of (shards, args), lineage rebuilds are exact, and the retry path draws
-// its jitter from a stream independent of the algorithm's — so faults may
-// cost time and traffic, but never results. The scenario runner in this
-// package asserts exactly that.
 package chaos
 
 import (

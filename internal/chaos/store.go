@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/storage"
+)
+
+// StoreFaults is the storage-engine counterpart of the RPC fault
+// transport: a seeded, deterministic implementation of storage.Hooks that
+// simulates process death at the storage engine's crash points — mid-append
+// (torn record), mid-seal (torn footer), between segment creation and
+// manifest commit, mid-snapshot-write (torn temp file), between snapshot
+// rename and manifest commit, and mid-compaction-delete. Identical seeds
+// over identical operation sequences inject identical faults, so every
+// recovery bug a test finds replays from one integer.
+//
+// The invariant the hooks exist to check mirrors the transport's: after any
+// injected crash, reopening the store must recover a journal that is a
+// prefix of everything appended and a superset of everything flushed, and
+// the epochs built from that journal must be byte-identical to a cold batch
+// replay of the same prefix.
+type StoreFaults struct {
+	opts StoreFaultOptions
+
+	mu     sync.Mutex
+	r      *randStream
+	calls  int64
+	faults int
+	log    []StoreFaultRecord
+}
+
+// StoreFaultOptions configures a storage fault schedule.
+type StoreFaultOptions struct {
+	// Seed drives the schedule, via a stream independent of the RPC fault
+	// stream so the two layers can share a seed without coupling.
+	Seed uint64
+
+	// PCrash is the per-point crash probability applied at every fault
+	// point; a per-point entry in PCrashAt overrides it.
+	PCrash float64
+	// PCrashAt maps a storage.Point* name to its own crash probability.
+	PCrashAt map[string]float64
+
+	// MaxFaults caps total injections; 0 means one (the typical
+	// crash-once-then-recover test shape). Negative means no cap.
+	MaxFaults int
+
+	// Tracer, when non-nil, receives one chaos.fault event per injection.
+	Tracer obs.Tracer
+}
+
+// StoreFaultRecord is one entry of the storage fault log.
+type StoreFaultRecord struct {
+	Call  int64 // 1-based hook consultation index at injection time
+	Point string
+	Torn  int // bytes of the pending write that reached disk
+}
+
+func (r StoreFaultRecord) String() string {
+	return fmt.Sprintf("op %d: crash at %s (torn %dB)", r.Call, r.Point, r.Torn)
+}
+
+// NewStoreFaults builds a seeded storage fault injector.
+func NewStoreFaults(opts StoreFaultOptions) *StoreFaults {
+	if opts.MaxFaults == 0 {
+		opts.MaxFaults = 1
+	}
+	return &StoreFaults{
+		opts: opts,
+		r:    &randStream{rng.New(opts.Seed).Stream("chaos/store")},
+	}
+}
+
+// At implements storage.Hooks. One uniform draw decides the crash; a crash
+// at a write point draws the torn length uniformly from [0, size), so every
+// partial-frame prefix is eventually exercised.
+func (s *StoreFaults) At(point string, size int) storage.Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	p := s.opts.PCrash
+	if override, ok := s.opts.PCrashAt[point]; ok {
+		p = override
+	}
+	if p <= 0 {
+		return storage.Fault{}
+	}
+	if s.opts.MaxFaults > 0 && s.faults >= s.opts.MaxFaults {
+		return storage.Fault{}
+	}
+	if s.r.r.Float64() >= p {
+		return storage.Fault{}
+	}
+	f := storage.Fault{Crash: true}
+	if size > 0 {
+		f.Torn = int(s.r.r.Int64N(int64(size)))
+	}
+	s.faults++
+	rec := StoreFaultRecord{Call: s.calls, Point: point, Torn: f.Torn}
+	s.log = append(s.log, rec)
+	obs.Pipeline.ChaosFaults.Add(1)
+	if s.opts.Tracer != nil {
+		s.opts.Tracer.Emit(obs.Event{
+			Name: obs.EvChaosFault, Wall: time.Now(),
+			Job:    int(rec.Call),
+			Detail: fmt.Sprintf("crash %s (torn %dB)", rec.Point, rec.Torn),
+		})
+	}
+	return f
+}
+
+// Log returns a copy of the fault log.
+func (s *StoreFaults) Log() []StoreFaultRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoreFaultRecord, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// Faults reports the number of crashes injected.
+func (s *StoreFaults) Faults() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}

@@ -1,0 +1,18 @@
+// Package core implements Rejecto's friend-spammer detection: the minimum
+// aggregate acceptance rate (MAAR) cut search of §IV and the iterative
+// group detection of §IV-E.
+//
+// The MAAR problem asks for the user subset U whose friend requests toward
+// the rest of the graph fare worst:
+//
+//	U* = argmin_U |F(Ū,U)| / (|F(Ū,U)| + |R⃗⟨Ū,U⟩|)
+//
+// It is NP-hard (within a factor two of MIN-RATIO-CUT, §IV-B), so Rejecto
+// linearizes it: by Theorem 1, the MAAR cut with friends-to-rejections
+// ratio k* is the optimum of the linear objective |F(Ū,U)| − k*·|R⃗⟨Ū,U⟩|.
+// FindMAARCut sweeps k over a geometric grid, solves each linear problem
+// with the extended Kernighan–Lin heuristic (package kl), and keeps the cut
+// with the lowest aggregate acceptance rate. Detect then applies the cut
+// repeatedly, pruning each detected group, which defeats the self-rejection
+// whitewashing strategy (§IV-E).
+package core

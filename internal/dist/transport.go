@@ -1,26 +1,3 @@
-// Package dist is a from-scratch master/worker cluster-compute substrate
-// that stands in for the Spark deployment of the paper's prototype (§V).
-//
-// The paper's data layout decisions are reproduced exactly:
-//
-//   - The master keeps only per-node algorithm state — partition side,
-//     potential switch gain, liveness — plus the gain bucket list
-//     (~20 bytes per node), so a billion-user deployment needs ~20 GB of
-//     master memory.
-//   - The social graph (friendships and rejections) is sharded across
-//     workers by node range, like Spark RDD partitions.
-//   - Node switches pull the switched node's adjacency from its worker;
-//     a prefetcher batches the top-gain frontier into an LRU buffer so
-//     most switches cost no network round trip (§V "Reducing the network
-//     I/O with prefetching").
-//   - Worker partitions carry lineage: a lost worker is rebuilt by
-//     replaying the shard loader, the moral equivalent of RDD recompute.
-//
-// Two transports are provided: an in-process one (function dispatch with
-// byte accounting and an optional simulated per-call latency) and a real
-// net/rpc transport over TCP loopback. The distributed detector produces
-// byte-identical results to the single-machine detector in package core,
-// which the tests assert.
 package dist
 
 import (

@@ -1,23 +1,3 @@
-// Package gen generates synthetic social graphs.
-//
-// The paper evaluates Rejecto on a crawled Facebook sample, five SNAP
-// datasets, and a Barabási–Albert synthetic graph (Table I). This module is
-// offline, so the SNAP files cannot be downloaded; instead, each dataset
-// has a stand-in recipe (Datasets) generated by a model tuned to the
-// dataset's node count, edge count, and approximate clustering coefficient.
-// Real SNAP edge lists, when available, load through package graphio and
-// slot into the same experiment harness.
-//
-// Generators implemented:
-//
-//   - BarabasiAlbert: preferential attachment [Barabási & Albert 1999],
-//     the paper's "scale-free model" synthetic graph.
-//   - HolmeKim: preferential attachment with tunable triad formation,
-//     used for stand-ins that need a target clustering coefficient.
-//   - ForestFire: the Leskovec–Faloutsos forest-fire model, matching the
-//     sampling process the paper used to obtain its Facebook sample.
-//   - ErdosRenyiGNM: uniform random graphs, used in tests.
-//   - WattsStrogatz: ring-lattice rewiring, used in tests and ablations.
 package gen
 
 import (

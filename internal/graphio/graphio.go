@@ -1,18 +1,3 @@
-// Package graphio reads and writes rejection-augmented social graphs in a
-// SNAP-compatible text format.
-//
-// The format is line-oriented:
-//
-//	# comment lines start with '#'
-//	F <u> <v>    an undirected friendship between users u and v
-//	R <u> <v>    a directed rejection: u rejected a request sent by v
-//	N <count>    optional; declares the node count (isolated nodes)
-//
-// For compatibility with the raw SNAP datasets the paper evaluates on
-// (ca-HepTh, ca-AstroPh, email-Enron, soc-Epinions, soc-Slashdot), a line
-// consisting of two bare integers "u v" (or "u\tv") is accepted as a
-// friendship edge; directed SNAP edges are symmetrized. Node IDs in input
-// files may be sparse; they are remapped to dense IDs in first-seen order.
 package graphio
 
 import (

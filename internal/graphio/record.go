@@ -1,0 +1,54 @@
+package graphio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Fixed-size binary codec for one answered friend request — the record
+// payload of the segmented journal (internal/storage) and the bulk request
+// block of its snapshot files. 13 bytes: interval int32, from uint32,
+// to uint32 (little-endian), accepted byte. The segment layer frames each
+// payload with a kind byte and a CRC32C; this codec is just the payload.
+
+// RequestRecordSize is the encoded size of one answered request.
+const RequestRecordSize = 13
+
+// PutRequest encodes req into b, which must hold RequestRecordSize bytes.
+func PutRequest(b []byte, req core.TimedRequest) {
+	_ = b[RequestRecordSize-1]
+	binary.LittleEndian.PutUint32(b[0:], uint32(int32(req.Interval)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(req.From))
+	binary.LittleEndian.PutUint32(b[8:], uint32(req.To))
+	b[12] = 0
+	if req.Accepted {
+		b[12] = 1
+	}
+}
+
+// GetRequest decodes one answered request from b, applying the same bounds
+// discipline as the text parser: node IDs must be non-negative int32s and
+// the accepted flag must be 0 or 1, so a corrupted record that slipped past
+// the frame checksum still cannot inject a panic-inducing ID downstream.
+func GetRequest(b []byte) (core.TimedRequest, error) {
+	if len(b) < RequestRecordSize {
+		return core.TimedRequest{}, fmt.Errorf("graphio: request record is %d bytes, want %d", len(b), RequestRecordSize)
+	}
+	from := int32(binary.LittleEndian.Uint32(b[4:]))
+	to := int32(binary.LittleEndian.Uint32(b[8:]))
+	if from < 0 || to < 0 {
+		return core.TimedRequest{}, fmt.Errorf("graphio: request record node ID out of range")
+	}
+	if b[12] > 1 {
+		return core.TimedRequest{}, fmt.Errorf("graphio: request record accepted flag %d not 0/1", b[12])
+	}
+	return core.TimedRequest{
+		Interval: int(int32(binary.LittleEndian.Uint32(b[0:]))),
+		From:     graph.NodeID(from),
+		To:       graph.NodeID(to),
+		Accepted: b[12] == 1,
+	}, nil
+}

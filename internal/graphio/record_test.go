@@ -1,0 +1,49 @@
+package graphio
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestRequestRecordRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 59))
+		want := core.TimedRequest{
+			From:     graph.NodeID(r.IntN(1 << 31)),
+			To:       graph.NodeID(r.IntN(1 << 31)),
+			Accepted: r.IntN(2) == 1,
+			Interval: int(int32(r.Uint32())),
+		}
+		var b [RequestRecordSize]byte
+		PutRequest(b[:], want)
+		got, err := GetRequest(b[:])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestRecordRejectsBadBytes(t *testing.T) {
+	var b [RequestRecordSize]byte
+	PutRequest(b[:], core.TimedRequest{From: 1, To: 2, Accepted: true, Interval: 0})
+	b[12] = 7 // accepted byte must be 0 or 1
+	if _, err := GetRequest(b[:]); err == nil {
+		t.Fatal("accepted byte 7 decoded without error")
+	}
+	PutRequest(b[:], core.TimedRequest{From: 1, To: 2, Interval: 0})
+	b[7] = 0x80 // From's high byte: negative as int32
+	if _, err := GetRequest(b[:]); err == nil {
+		t.Fatal("negative node ID decoded without error")
+	}
+	if _, err := GetRequest(b[:2]); err == nil {
+		t.Fatal("short record decoded without error")
+	}
+}

@@ -71,11 +71,15 @@ func WriteRequests(w io.Writer, reqs []core.TimedRequest) error {
 	return jw.Flush()
 }
 
-// ReadRequests parses a request log.
-func ReadRequests(r io.Reader) ([]core.TimedRequest, error) {
+// ScanRequests parses a request log as a stream, calling apply once per
+// answered request in log order. Unlike ReadRequests it never materializes
+// the whole log: the rejectod recovery path folds each record into server
+// state as it is parsed, so restart memory tracks server state instead of
+// server state plus a second full copy of the journal. A non-nil error from
+// apply aborts the scan and is returned verbatim.
+func ScanRequests(r io.Reader, apply func(core.TimedRequest) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var out []core.TimedRequest
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -85,40 +89,54 @@ func ReadRequests(r io.Reader) ([]core.TimedRequest, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 4 {
-			return nil, fmt.Errorf("graphio: requests line %d: want 4 fields, got %d", lineNo, len(fields))
+			return fmt.Errorf("graphio: requests line %d: want 4 fields, got %d", lineNo, len(fields))
 		}
-		vals := make([]int64, 4)
+		var vals [4]int64
 		for i, f := range fields {
 			v, err := strconv.ParseInt(f, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("graphio: requests line %d: bad field %q", lineNo, f)
+				return fmt.Errorf("graphio: requests line %d: bad field %q", lineNo, f)
 			}
 			vals[i] = v
 		}
 		if vals[3] != 0 && vals[3] != 1 {
-			return nil, fmt.Errorf("graphio: requests line %d: accepted flag %d not 0/1", lineNo, vals[3])
+			return fmt.Errorf("graphio: requests line %d: accepted flag %d not 0/1", lineNo, vals[3])
 		}
 		// NodeID is int32; a raw int64 conversion would silently truncate
 		// (possibly to a negative ID that panics adjacency code downstream),
 		// so out-of-range IDs and intervals are parse errors.
 		if vals[0] < math.MinInt32 || vals[0] > math.MaxInt32 {
-			return nil, fmt.Errorf("graphio: requests line %d: interval %d out of range", lineNo, vals[0])
+			return fmt.Errorf("graphio: requests line %d: interval %d out of range", lineNo, vals[0])
 		}
 		if vals[1] < 0 || vals[1] > math.MaxInt32 {
-			return nil, fmt.Errorf("graphio: requests line %d: node ID %d out of range", lineNo, vals[1])
+			return fmt.Errorf("graphio: requests line %d: node ID %d out of range", lineNo, vals[1])
 		}
 		if vals[2] < 0 || vals[2] > math.MaxInt32 {
-			return nil, fmt.Errorf("graphio: requests line %d: node ID %d out of range", lineNo, vals[2])
+			return fmt.Errorf("graphio: requests line %d: node ID %d out of range", lineNo, vals[2])
 		}
-		out = append(out, core.TimedRequest{
+		if err := apply(core.TimedRequest{
 			Interval: int(vals[0]),
 			From:     graph.NodeID(vals[1]),
 			To:       graph.NodeID(vals[2]),
 			Accepted: vals[3] == 1,
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graphio: requests: %w", err)
+		return fmt.Errorf("graphio: requests: %w", err)
+	}
+	return nil
+}
+
+// ReadRequests parses a request log.
+func ReadRequests(r io.Reader) ([]core.TimedRequest, error) {
+	var out []core.TimedRequest
+	if err := ScanRequests(r, func(req core.TimedRequest) error {
+		out = append(out, req)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,125 @@
+package incr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// MemoState is a portable copy of an Engine's per-interval memo — the state
+// the durable storage engine (internal/storage) persists next to each
+// snapshot so a restarted rejectod resumes incremental stepping instead of
+// re-detecting the whole journal. Export with Engine.ExportMemo, serialize
+// with EncodeMemo/DecodeMemo, and rehydrate a fresh engine with
+// Engine.ImportMemo.
+type MemoState struct {
+	Intervals []IntervalMemo
+}
+
+// IntervalMemo is the memo of one time interval, mirroring the engine's
+// internal intervalState field for field.
+type IntervalMemo struct {
+	Interval int
+	// Reqs is the interval's full request shard in log order — the input a
+	// cold rebuild folds from.
+	Reqs []core.TimedRequest
+	// PendNodes/PendF/PendR are additions not yet spliced into Frozen.
+	// Empty on memos exported after a completed Step.
+	PendNodes    int
+	PendF, PendR [][2]graph.NodeID
+	// Frozen is the interval's canonical snapshot (base + Reqs), nil if the
+	// interval was never materialized.
+	Frozen *graph.Frozen
+	// HasDet marks Det as valid; Warm carries the next epoch's hints.
+	HasDet bool
+	Det    core.Detection
+	Warm   *core.WarmStart
+	// Stale marks a detection out of date w.r.t. Frozen (an interrupted
+	// Step); the first Step after import re-detects it.
+	Stale bool
+}
+
+// ExportMemo copies the engine's memo into a MemoState. The export aliases
+// the engine's slices and snapshots — it is a consistent view only until
+// the next Step, which is exactly the window rejectod serializes it in
+// (both happen on the detector goroutine).
+//
+// Engines whose base graph grew via deltas (NewNodes or base edges) refuse
+// to export: persisted memos are validated against the base the restarted
+// process loads, and base growth would make the two silently diverge. The
+// rejectod server never grows its base.
+func (e *Engine) ExportMemo() (*MemoState, error) {
+	if e.ownsBase {
+		return nil, fmt.Errorf("incr: memo export with base-level growth is not supported")
+	}
+	st := &MemoState{Intervals: make([]IntervalMemo, 0, len(e.order))}
+	for _, iv := range e.order {
+		s := e.intervals[iv]
+		st.Intervals = append(st.Intervals, IntervalMemo{
+			Interval:  iv,
+			Reqs:      s.reqs,
+			PendNodes: s.pendNodes,
+			PendF:     s.pendF,
+			PendR:     s.pendR,
+			Frozen:    s.frozen,
+			HasDet:    s.hasDet,
+			Det:       s.det,
+			Warm:      s.warm,
+			Stale:     s.stale,
+		})
+	}
+	return st, nil
+}
+
+// ImportMemo rehydrates a fresh engine from a persisted memo. The engine
+// must not have stepped yet, and every memoized snapshot must match the
+// configured base's node count — a restart against a different base graph
+// is a configuration error, not a silent re-detection.
+//
+// After a successful import, Step behaves exactly as it would on the
+// engine that exported the memo: clean intervals are reused, stale or
+// pending ones are re-detected, and the next delta is folded on top.
+func (e *Engine) ImportMemo(st *MemoState) error {
+	if len(e.intervals) > 0 {
+		return fmt.Errorf("incr: memo import into an engine that already has state")
+	}
+	if e.ownsBase {
+		return fmt.Errorf("incr: memo import after base-level growth")
+	}
+	n := e.base.NumNodes()
+	seen := make(map[int]bool, len(st.Intervals))
+	for _, m := range st.Intervals {
+		if seen[m.Interval] {
+			return fmt.Errorf("incr: memo lists interval %d twice", m.Interval)
+		}
+		seen[m.Interval] = true
+		if m.Frozen != nil && m.Frozen.NumNodes() != n {
+			return fmt.Errorf("incr: memo interval %d snapshot has %d nodes, the configured base has %d",
+				m.Interval, m.Frozen.NumNodes(), n)
+		}
+		for _, req := range m.Reqs {
+			if req.From < 0 || int(req.From) >= n || req.To < 0 || int(req.To) >= n {
+				return fmt.Errorf("incr: memo interval %d request %d→%d outside the %d-node base",
+					m.Interval, req.From, req.To, n)
+			}
+		}
+	}
+	for _, m := range st.Intervals {
+		e.intervals[m.Interval] = &intervalState{
+			reqs:      m.Reqs,
+			pendNodes: m.PendNodes,
+			pendF:     m.PendF,
+			pendR:     m.PendR,
+			frozen:    m.Frozen,
+			det:       m.Det,
+			hasDet:    m.HasDet,
+			warm:      m.Warm,
+			stale:     m.Stale,
+		}
+		e.order = append(e.order, m.Interval)
+	}
+	sort.Ints(e.order)
+	return nil
+}

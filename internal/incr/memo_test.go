@@ -1,0 +1,149 @@
+package incr
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// stepDeltas drives an engine through a sequence of request batches,
+// returning the last step's detections.
+func stepDeltas(t *testing.T, e *Engine, batches [][]core.TimedRequest) []core.IntervalDetection {
+	t.Helper()
+	var dets []core.IntervalDetection
+	for _, batch := range batches {
+		var d Delta
+		for _, req := range batch {
+			d.AddRequest(req)
+		}
+		var err error
+		dets, _, err = e.Step(d)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	return dets
+}
+
+// TestMemoExportImportResume is the restart property the storage engine
+// depends on: an engine rehydrated from an exported memo must, over every
+// subsequent delta, report detections byte-identical (JSON-marshalled) to
+// the engine that never stopped.
+func TestMemoExportImportResume(t *testing.T) {
+	opts := testOpts()
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 71))
+		n := 12 + r.IntN(30)
+		base := randomBase(r, n)
+		// Deterministic per-seed warm flag: all three engines must agree.
+		warmOff := r.IntN(2) == 0
+		mkCfg := func() *Engine {
+			e, err := NewEngine(Config{Base: base, Detector: opts, DisableWarm: warmOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+
+		var pre, post [][]core.TimedRequest
+		for i := 0; i < 1+r.IntN(3); i++ {
+			pre = append(pre, randomRequests(r, n, 5+r.IntN(20), 3))
+		}
+		for i := 0; i < 1+r.IntN(3); i++ {
+			post = append(post, randomRequests(r, n, 5+r.IntN(20), 3))
+		}
+
+		continuous := mkCfg()
+		stepDeltas(t, continuous, pre)
+		memoSrc := mkCfg()
+		stepDeltas(t, memoSrc, pre)
+		memo, err := memoSrc.ExportMemo()
+		if err != nil {
+			t.Fatalf("ExportMemo: %v", err)
+		}
+		// Serialize through the binary codec, the path a restart takes.
+		var buf bytes.Buffer
+		if err := EncodeMemo(&buf, memo); err != nil {
+			t.Fatalf("EncodeMemo: %v", err)
+		}
+		decoded, err := DecodeMemo(&buf)
+		if err != nil {
+			t.Fatalf("DecodeMemo: %v", err)
+		}
+		restarted := mkCfg()
+		if err := restarted.ImportMemo(decoded); err != nil {
+			t.Fatalf("ImportMemo: %v", err)
+		}
+
+		a := stepDeltas(t, continuous, post)
+		b := stepDeltas(t, restarted, post)
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Logf("continuous: %s", ja)
+			t.Logf("restarted:  %s", jb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoCodecPreservesNilness: the byte-identity bar requires nil and
+// empty slices to survive the codec distinctly — they marshal to different
+// JSON.
+func TestMemoCodecPreservesNilness(t *testing.T) {
+	st := &MemoState{Intervals: []IntervalMemo{
+		{Interval: 0, Reqs: nil, HasDet: true, Det: core.Detection{Suspects: nil, Groups: nil}},
+		{Interval: 1, Reqs: []core.TimedRequest{}, HasDet: true,
+			Det: core.Detection{Suspects: []graph.NodeID{}, Groups: []core.Group{}}},
+	}}
+	var buf bytes.Buffer
+	if err := EncodeMemo(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMemo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(st)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("memo round trip changed JSON:\n in  %s\n out %s", a, b)
+	}
+}
+
+func TestImportMemoValidates(t *testing.T) {
+	base := randomBase(rand.New(rand.NewPCG(1, 71)), 10)
+	mk := func() *Engine {
+		e, err := NewEngine(Config{Base: base, Detector: testOpts()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if err := mk().ImportMemo(&MemoState{Intervals: []IntervalMemo{{Interval: 0}, {Interval: 0}}}); err == nil {
+		t.Fatal("duplicate interval imported without error")
+	}
+	if err := mk().ImportMemo(&MemoState{Intervals: []IntervalMemo{
+		{Interval: 0, Reqs: []core.TimedRequest{{From: 99, To: 1}}},
+	}}); err == nil {
+		t.Fatal("out-of-base request imported without error")
+	}
+	e := mk()
+	var d Delta
+	d.AddRequest(core.TimedRequest{From: 0, To: 1, Accepted: true, Interval: 0})
+	if _, _, err := e.Step(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ImportMemo(&MemoState{}); err == nil {
+		t.Fatal("import into a stepped engine succeeded")
+	}
+}

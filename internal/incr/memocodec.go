@@ -1,0 +1,307 @@
+package incr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// Binary codec for MemoState, the memo section of a storage snapshot file.
+// The encoding is deliberately exact about slice nil-ness: a nil Suspects
+// list and an empty one marshal to different JSON ("null" vs "[]"), and the
+// recovery correctness bar is byte-identical epochs — so every list is
+// length-prefixed with 0 = nil and n+1 = length n, and float64s round-trip
+// through their IEEE bits.
+//
+// Layout: magic "REJMEMO1", version uint32, interval count uint32, then per
+// interval the fields of IntervalMemo (frozen snapshots nested in the
+// graphio frozen format). Integrity is the enclosing snapshot file's
+// CRC32C; this codec only validates structure.
+
+var memoMagic = [8]byte{'R', 'E', 'J', 'M', 'E', 'M', 'O', '1'}
+
+const memoVersion = 1
+
+type memoWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (m *memoWriter) bytes(b []byte) {
+	if m.err == nil {
+		_, m.err = m.w.Write(b)
+	}
+}
+
+func (m *memoWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.bytes(b[:])
+}
+
+func (m *memoWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.bytes(b[:])
+}
+
+func (m *memoWriter) f64(v float64) { m.u64(math.Float64bits(v)) }
+
+func (m *memoWriter) bool(v bool) {
+	if v {
+		m.bytes([]byte{1})
+	} else {
+		m.bytes([]byte{0})
+	}
+}
+
+// list writes the nil-preserving length prefix: 0 = nil, n+1 = length n.
+func (m *memoWriter) list(n int, nil_ bool) {
+	if nil_ {
+		m.u32(0)
+	} else {
+		m.u32(uint32(n) + 1)
+	}
+}
+
+func (m *memoWriter) ids(ids []graph.NodeID) {
+	m.list(len(ids), ids == nil)
+	for _, id := range ids {
+		m.u32(uint32(id))
+	}
+}
+
+func (m *memoWriter) pairs(ps [][2]graph.NodeID) {
+	m.list(len(ps), ps == nil)
+	for _, p := range ps {
+		m.u32(uint32(p[0]))
+		m.u32(uint32(p[1]))
+	}
+}
+
+// EncodeMemo serializes st.
+func EncodeMemo(w io.Writer, st *MemoState) error {
+	mw := &memoWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	mw.bytes(memoMagic[:])
+	mw.u32(memoVersion)
+	mw.u32(uint32(len(st.Intervals)))
+	var rec [graphio.RequestRecordSize]byte
+	for _, iv := range st.Intervals {
+		mw.u32(uint32(int32(iv.Interval)))
+		mw.bool(iv.Stale)
+		mw.bool(iv.HasDet)
+		mw.bool(iv.Frozen != nil)
+		mw.bool(iv.Warm != nil)
+		mw.u32(uint32(iv.PendNodes))
+		mw.list(len(iv.Reqs), iv.Reqs == nil)
+		for _, req := range iv.Reqs {
+			graphio.PutRequest(rec[:], req)
+			mw.bytes(rec[:])
+		}
+		mw.pairs(iv.PendF)
+		mw.pairs(iv.PendR)
+		if iv.Frozen != nil {
+			if mw.err == nil {
+				mw.err = graphio.WriteFrozen(mw.w, iv.Frozen)
+			}
+		}
+		if iv.HasDet {
+			mw.u32(uint32(iv.Det.Rounds))
+			mw.ids(iv.Det.Suspects)
+			mw.list(len(iv.Det.Groups), iv.Det.Groups == nil)
+			for _, g := range iv.Det.Groups {
+				mw.ids(g.Members)
+				mw.f64(g.Acceptance)
+				mw.f64(g.K)
+				mw.u32(uint32(g.Round))
+			}
+		}
+		if iv.Warm != nil {
+			mw.u32(uint32(iv.Warm.PrevNodes))
+			mw.list(len(iv.Warm.Rounds), iv.Warm.Rounds == nil)
+			for _, r := range iv.Warm.Rounds {
+				mw.ids(r.Suspects)
+				mw.f64(r.Acceptance)
+			}
+		}
+	}
+	if mw.err != nil {
+		return mw.err
+	}
+	return mw.w.Flush()
+}
+
+type memoReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (m *memoReader) bytes(b []byte) {
+	if m.err == nil {
+		_, m.err = io.ReadFull(m.r, b)
+	}
+}
+
+func (m *memoReader) u32() uint32 {
+	var b [4]byte
+	m.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (m *memoReader) u64() uint64 {
+	var b [8]byte
+	m.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (m *memoReader) f64() float64 { return math.Float64frombits(m.u64()) }
+
+func (m *memoReader) bool() bool {
+	var b [1]byte
+	m.bytes(b[:])
+	if b[0] > 1 && m.err == nil {
+		m.err = fmt.Errorf("incr: memo bool byte %d", b[0])
+	}
+	return b[0] == 1
+}
+
+// list reads the nil-preserving length prefix and bounds it: memo lists are
+// at most a few million entries, so a prefix above maxMemoList marks a
+// corrupt or adversarial stream rather than a huge allocation.
+const maxMemoList = 1 << 28
+
+func (m *memoReader) list() (n int, isNil bool) {
+	v := m.u32()
+	if v == 0 {
+		return 0, true
+	}
+	n = int(v - 1)
+	if n > maxMemoList && m.err == nil {
+		m.err = fmt.Errorf("incr: memo list length %d exceeds bound", n)
+	}
+	return n, false
+}
+
+func (m *memoReader) ids() []graph.NodeID {
+	n, isNil := m.list()
+	if isNil || m.err != nil {
+		return nil
+	}
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(m.u32())
+	}
+	return out
+}
+
+func (m *memoReader) pairs() [][2]graph.NodeID {
+	n, isNil := m.list()
+	if isNil || m.err != nil {
+		return nil
+	}
+	out := make([][2]graph.NodeID, n)
+	for i := range out {
+		out[i][0] = graph.NodeID(m.u32())
+		out[i][1] = graph.NodeID(m.u32())
+	}
+	return out
+}
+
+// DecodeMemo parses a serialized MemoState. Structural bounds are checked
+// here; semantic validation (IDs inside the base, snapshot node counts)
+// happens at Engine.ImportMemo.
+func DecodeMemo(r io.Reader) (*MemoState, error) {
+	mr := &memoReader{r: bufio.NewReaderSize(r, 1<<20)}
+	var magic [8]byte
+	mr.bytes(magic[:])
+	if mr.err == nil && magic != memoMagic {
+		return nil, fmt.Errorf("incr: bad memo magic %q", magic[:])
+	}
+	if v := mr.u32(); mr.err == nil && v != memoVersion {
+		return nil, fmt.Errorf("incr: memo version %d, this build reads %d", v, memoVersion)
+	}
+	count := mr.u32()
+	if mr.err == nil && count > maxMemoList {
+		return nil, fmt.Errorf("incr: memo interval count %d exceeds bound", count)
+	}
+	st := &MemoState{}
+	var rec [graphio.RequestRecordSize]byte
+	for i := uint32(0); i < count && mr.err == nil; i++ {
+		var iv IntervalMemo
+		iv.Interval = int(int32(mr.u32()))
+		iv.Stale = mr.bool()
+		iv.HasDet = mr.bool()
+		hasFrozen := mr.bool()
+		hasWarm := mr.bool()
+		iv.PendNodes = int(mr.u32())
+		nReqs, reqsNil := mr.list()
+		if !reqsNil && mr.err == nil {
+			iv.Reqs = make([]core.TimedRequest, 0, nReqs)
+			for j := 0; j < nReqs; j++ {
+				mr.bytes(rec[:])
+				if mr.err != nil {
+					break
+				}
+				req, err := graphio.GetRequest(rec[:])
+				if err != nil {
+					mr.err = err
+					break
+				}
+				iv.Reqs = append(iv.Reqs, req)
+			}
+		}
+		iv.PendF = mr.pairs()
+		iv.PendR = mr.pairs()
+		if hasFrozen && mr.err == nil {
+			f, err := graphio.ReadFrozen(mr.r)
+			if err != nil {
+				mr.err = err
+			} else {
+				iv.Frozen = f
+			}
+		}
+		if iv.HasDet && mr.err == nil {
+			iv.Det.Rounds = int(mr.u32())
+			iv.Det.Suspects = mr.ids()
+			nGroups, groupsNil := mr.list()
+			if !groupsNil && mr.err == nil {
+				iv.Det.Groups = make([]core.Group, 0, nGroups)
+				for j := 0; j < nGroups && mr.err == nil; j++ {
+					var g core.Group
+					g.Members = mr.ids()
+					g.Acceptance = mr.f64()
+					g.K = mr.f64()
+					g.Round = int(mr.u32())
+					iv.Det.Groups = append(iv.Det.Groups, g)
+				}
+			}
+		}
+		if hasWarm && mr.err == nil {
+			w := &core.WarmStart{PrevNodes: int(mr.u32())}
+			nRounds, roundsNil := mr.list()
+			if !roundsNil && mr.err == nil {
+				w.Rounds = make([]core.WarmRound, 0, nRounds)
+				for j := 0; j < nRounds && mr.err == nil; j++ {
+					var r core.WarmRound
+					r.Suspects = mr.ids()
+					r.Acceptance = mr.f64()
+					w.Rounds = append(w.Rounds, r)
+				}
+			}
+			iv.Warm = w
+		}
+		if mr.err == nil {
+			st.Intervals = append(st.Intervals, iv)
+		}
+	}
+	if mr.err != nil {
+		return nil, fmt.Errorf("incr: decoding memo: %w", mr.err)
+	}
+	return st, nil
+}

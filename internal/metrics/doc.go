@@ -1,0 +1,5 @@
+// Package metrics implements the evaluation measures of §VI: the
+// precision/recall of a fixed-size detection set (identical when the
+// declared count equals the true positive count, as the paper notes) and
+// the area under the ROC curve used to judge SybilRank's ranking quality.
+package metrics

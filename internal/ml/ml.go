@@ -1,28 +1,3 @@
-// Package ml implements a METIS-style multilevel ladder for the extended-KL
-// MAAR solver: coarsen the rejection-augmented snapshot by heavy-edge
-// matching, solve the MAAR cut on the small coarse graph, then uncoarsen
-// level by level with boundary-only KL refinement.
-//
-// The matching prefers rejection-preserving pairs: two nodes joined by a
-// rejection edge are contracted only as a last resort, because a rejection
-// internal to a supernode can never again cross a cut — it would vanish
-// from every |R⃗⟨Ū,U⟩| count and erase exactly the signal the MAAR
-// objective keys on (§IV-B of the paper). Among the eligible candidates
-// the matching is the classic greedy heavy-edge rule: each unmatched node
-// pairs with the unmatched friend of largest friendship weight, ties
-// broken toward the closest individual acceptance estimate (spam-like
-// nodes merge with spam-like nodes) and then the lowest node ID. The
-// greedy ascending scan attempts every node once, so the result is a
-// maximal matching over the eligible pairs. When a scan stops making
-// progress the policy relaxes in tiers (see relaxTrigger) so the ladder
-// keeps shrinking; contraction stays exact regardless of which tier
-// produced a pair, so a looser tier can only coarsen the move set, never
-// corrupt a score.
-//
-// Contraction is exact (see graph.Contract): a coarse partition's cut
-// statistics — and therefore its MAAR objective and acceptance — equal the
-// fine graph's for the projected partition, so every level of the ladder
-// optimizes the true objective, just over a coarser move set.
 package ml
 
 import (

@@ -141,6 +141,45 @@ var ML = MLCounters{
 	FlatDepth1:    expvar.NewInt("rejecto.ml_flat_depth1"),
 }
 
+// StorageCounters is the counter set of the durable storage engine
+// (internal/storage), published under "rejecto.storage_*". The segmented
+// backend ticks them per append (one atomic add), per seal, per snapshot,
+// and per recovery — the operator-facing view docs/OPERATIONS.md reads.
+type StorageCounters struct {
+	// Appends counts journal records appended this process; Seals counts
+	// segments sealed and rolled.
+	Appends *expvar.Int
+	Seals   *expvar.Int
+	// Snapshots counts snapshots persisted, SnapshotMS / LastSnapshotMS
+	// their cumulative and most recent encode+write+rename wall-clock.
+	Snapshots      *expvar.Int
+	SnapshotMS     *expvar.Float
+	LastSnapshotMS *expvar.Float
+	// CompactedSegments counts segment files deleted because a snapshot
+	// fully covered them.
+	CompactedSegments *expvar.Int
+	// RecoveredRecords is the logical journal length recovered at the last
+	// boot; LastRecoverMS its wall-clock. TornTruncations counts boots that
+	// cut a torn tail off the live segment.
+	RecoveredRecords *expvar.Int
+	LastRecoverMS    *expvar.Float
+	TornTruncations  *expvar.Int
+}
+
+// Storage is the singleton storage counter set (see Pipeline for why it is
+// package scope).
+var Storage = StorageCounters{
+	Appends:           expvar.NewInt("rejecto.storage_appends"),
+	Seals:             expvar.NewInt("rejecto.storage_seals"),
+	Snapshots:         expvar.NewInt("rejecto.storage_snapshots"),
+	SnapshotMS:        expvar.NewFloat("rejecto.storage_snapshot_ms_total"),
+	LastSnapshotMS:    expvar.NewFloat("rejecto.storage_last_snapshot_ms"),
+	CompactedSegments: expvar.NewInt("rejecto.storage_compacted_segments"),
+	RecoveredRecords:  expvar.NewInt("rejecto.storage_recovered_records"),
+	LastRecoverMS:     expvar.NewFloat("rejecto.storage_last_recover_ms"),
+	TornTruncations:   expvar.NewInt("rejecto.storage_torn_truncations"),
+}
+
 // CacheCounters is the process-wide hit/miss tally of every cache.Locked
 // instance, published as "rejecto.cache_hits"/"rejecto.cache_misses" so
 // warm-epoch memoization wins show up at /debug/vars next to the pipeline

@@ -1,27 +1,3 @@
-// Package osn implements the OSN-side deployment surface of Rejecto: the
-// friend-request lifecycle that produces the rejection-augmented social
-// graph, and the §VII response policies applied to detected accounts.
-//
-// The paper's system model (§I, §III) assumes the OSN provider "monitors
-// the friend requests sent out by users and augments the social graph with
-// directed social rejections". This package is that monitor: a
-// deterministic, event-sourced service where
-//
-//   - a friend request is sent, then accepted, rejected, reported, or
-//     left pending until it expires — expiry counts as an *ignored*
-//     request, which the paper treats as a social rejection alongside
-//     explicit rejections and abuse reports;
-//   - accepted requests create undirected OSN links; rejections, reports,
-//     and expiries create directed rejection edges ⟨target, sender⟩;
-//   - every transition lands in an append-only event log, from which the
-//     augmented graph (for core.Detect) or per-interval request shards
-//     (for core.DetectSharded) are materialized;
-//   - detected accounts receive escalating §VII responses — CAPTCHA-style
-//     challenges, request rate limiting, then suspension — enforced on
-//     the request path.
-//
-// Time is logical: the caller advances a tick counter, so simulations and
-// tests are exactly reproducible.
 package osn
 
 import (

@@ -1,0 +1,9 @@
+// Package rng provides deterministic, named random-number streams.
+//
+// Every experiment in this repository must be reproducible from a single
+// integer seed. Sharing one *rand.Rand across subsystems makes results
+// depend on call order, so instead each subsystem derives an independent
+// stream from the root seed and a stable name. Two streams with different
+// names are statistically independent; the same (seed, name) pair always
+// yields the same sequence.
+package rng

@@ -1,0 +1,38 @@
+// Package server implements rejectod: a long-running HTTP/JSON service
+// that ingests the friend-request lifecycle (request / accept / reject /
+// ignore events, §II of the paper), journals every answered request to an
+// append-only log, and periodically — or on demand — runs the batch
+// detection engine over an immutable snapshot of that log, publishing each
+// completed detection as an atomically-swapped epoch that read endpoints
+// serve lock-free.
+//
+// # Architecture
+//
+// Three single-owner goroutines, no shared mutable state:
+//
+//   - The ingest loop owns the event log, the pending-request lifecycle
+//     table, and the journal writer. HTTP ingest handlers hand it events
+//     through a bounded queue (backpressure: 429 + Retry-After when full);
+//     it is the only goroutine that mutates anything.
+//   - The detector loop runs detections serially. It asks the ingest loop
+//     for a snapshot — an immutable prefix of the answered-request log,
+//     an O(1) handoff, so detection never blocks ingest — and runs
+//     core.DetectSharded on it: per interval, the engine overlays the
+//     shard on the friendship base, canonicalizes, freezes to a
+//     graph.Frozen CSR, and sweeps. The completed Epoch (per-interval
+//     suspect sets plus a canonical frozen snapshot of the full augmented
+//     graph) is published through an atomic pointer swap.
+//   - HTTP readers load the current epoch pointer and serve from it;
+//     per-user lookups are memoized through an epoch-keyed LRU
+//     (internal/cache).
+//
+// # The replay invariant
+//
+// The server's detection state is a pure function of its event log: the
+// ingest loop and the exported Replay path fold events through the same
+// lifecycle code, the journal records the folded answered requests in
+// arrival order, and detection is exactly core.DetectSharded over that
+// log. Replaying a server's journal through the batch CLI therefore
+// reproduces the server's suspect sets byte for byte — the invariant the
+// test harness enforces under concurrent ingest and the race detector.
+package server

@@ -240,22 +240,45 @@ type incrStatsReply struct {
 	SolveMS     float64 `json:"solve_ms"`
 }
 
+// storageStatsReply describes the journal's storage backend: its current
+// shape (segments, snapshot coverage) and what the boot-time recovery did.
+// See docs/OPERATIONS.md for how to read each field.
+type storageStatsReply struct {
+	Backend           string `json:"backend"`
+	Records           int64  `json:"records"`
+	Segments          int    `json:"segments,omitempty"`
+	SealedSegments    int    `json:"sealed_segments,omitempty"`
+	LiveSegmentBytes  int64  `json:"live_segment_bytes,omitempty"`
+	SnapshotRecords   int64  `json:"snapshot_records,omitempty"`
+	Snapshots         int64  `json:"snapshots,omitempty"`
+	CompactedSegments int64  `json:"compacted_segments,omitempty"`
+
+	RecoveredRecords   int     `json:"recovered_records"`
+	RecoveredFromSnap  int     `json:"recovered_from_snapshot,omitempty"`
+	RecoveredFromSegs  int     `json:"recovered_from_segments,omitempty"`
+	SegmentsScanned    int     `json:"segments_scanned,omitempty"`
+	TornBytesTruncated int64   `json:"torn_bytes_truncated,omitempty"`
+	OrphansRemoved     int     `json:"orphans_removed,omitempty"`
+	RecoveryMS         float64 `json:"recovery_ms"`
+}
+
 type statsReply struct {
-	Mode           string          `json:"mode"`
-	Epoch          int64           `json:"epoch"`
-	EpochEvents    int             `json:"epoch_events"`
-	QueueDepth     int             `json:"queue_depth"`
-	QueueCapacity  int             `json:"queue_capacity"`
-	EventsIngested int64           `json:"events_ingested"`
-	EventsRejected int64           `json:"events_rejected"`
-	JournalEvents  int64           `json:"journal_events"`
-	Backpressure   int64           `json:"backpressure_429s"`
-	DetectEpochs   int64           `json:"detect_epochs"`
-	DetectInflight bool            `json:"detect_inflight"`
-	LastDetectMS   float64         `json:"last_detect_ms"`
-	CacheHits      uint64          `json:"user_cache_hits"`
-	CacheMisses    uint64          `json:"user_cache_misses"`
-	Incr           *incrStatsReply `json:"incremental,omitempty"`
+	Mode           string             `json:"mode"`
+	Epoch          int64              `json:"epoch"`
+	EpochEvents    int                `json:"epoch_events"`
+	QueueDepth     int                `json:"queue_depth"`
+	QueueCapacity  int                `json:"queue_capacity"`
+	EventsIngested int64              `json:"events_ingested"`
+	EventsRejected int64              `json:"events_rejected"`
+	JournalEvents  int64              `json:"journal_events"`
+	Backpressure   int64              `json:"backpressure_429s"`
+	DetectEpochs   int64              `json:"detect_epochs"`
+	DetectInflight bool               `json:"detect_inflight"`
+	LastDetectMS   float64            `json:"last_detect_ms"`
+	CacheHits      uint64             `json:"user_cache_hits"`
+	CacheMisses    uint64             `json:"user_cache_misses"`
+	Incr           *incrStatsReply    `json:"incremental,omitempty"`
+	Storage        *storageStatsReply `json:"storage,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -264,6 +287,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	mode := "batch"
 	if s.cfg.Incremental {
 		mode = "incremental"
+	}
+	var storageStats *storageStatsReply
+	if s.store != nil {
+		st := s.store.Stats()
+		storageStats = &storageStatsReply{
+			Backend:            st.Backend,
+			Records:            st.Records,
+			Segments:           st.Segments,
+			SealedSegments:     st.SealedSegments,
+			LiveSegmentBytes:   st.LiveSegmentBytes,
+			SnapshotRecords:    st.SnapshotRecords,
+			Snapshots:          st.Snapshots,
+			CompactedSegments:  st.CompactedSegments,
+			RecoveredRecords:   s.recovery.Records,
+			RecoveredFromSnap:  s.recovery.SnapshotRecords,
+			RecoveredFromSegs:  s.recovery.SegmentRecords,
+			SegmentsScanned:    s.recovery.SegmentsScanned,
+			TornBytesTruncated: s.recovery.TornBytesTruncated,
+			OrphansRemoved:     s.recovery.OrphansRemoved,
+			RecoveryMS:         float64(s.recovery.Duration) / float64(time.Millisecond),
+		}
 	}
 	writeJSON(w, http.StatusOK, statsReply{
 		Mode:           mode,
@@ -281,5 +325,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		Incr:           s.incrStats.Load(),
+		Storage:        storageStats,
 	})
 }

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// BenchmarkRestart measures time-to-serving after a process restart: open
+// the journal's backend, recover, and build epoch 0 — everything between
+// exec and the first useful /v1/suspects answer. The flat backend re-folds
+// the whole journal into a fresh frozen read model; the segmented backend
+// loads the latest snapshot's CSR and patches the tail, so restart cost
+// tracks the delta since the last snapshot, not journal length.
+// scripts/bench_storage.sh runs this at 10^6 events and enforces the >=5x
+// recovery-speedup bar recorded in BENCH_storage.json.
+func BenchmarkRestart(b *testing.B) {
+	for _, nEvents := range []int{100_000, 1_000_000} {
+		base, reqs := benchRestartWorld(nEvents)
+		b.Run(fmt.Sprintf("backend=flat/events=%d", nEvents), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "journal.log")
+			st, err := storage.OpenFlat(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seedStore(b, st, reqs, 0, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := storage.OpenFlat(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchRestartOnce(b, base, st)
+			}
+		})
+		b.Run(fmt.Sprintf("backend=segmented/events=%d", nEvents), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := storage.Open(storage.Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Snapshot covering 99% of the journal: the realistic steady
+			// state of a server snapshotting every SnapshotEvery records.
+			snapAt := nEvents * 99 / 100
+			seedStore(b, st, reqs, snapAt, benchFold(base, reqs[:snapAt]))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := storage.Open(storage.Options{Dir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchRestartOnce(b, base, st)
+			}
+		})
+	}
+}
+
+// benchRestartWorld builds an n-event answered-request workload over a
+// fixed 5000-user base.
+func benchRestartWorld(nEvents int) (*graph.Graph, []core.TimedRequest) {
+	const nUsers = 5000
+	base := testBase(nUsers)
+	r := rand.New(rand.NewPCG(42, 7))
+	reqs := make([]core.TimedRequest, 0, nEvents)
+	for len(reqs) < nEvents {
+		from, to := graph.NodeID(r.IntN(nUsers)), graph.NodeID(r.IntN(nUsers))
+		if from == to {
+			continue
+		}
+		reqs = append(reqs, core.TimedRequest{
+			From: from, To: to,
+			Accepted: r.IntN(4) > 0,
+			Interval: r.IntN(4),
+		})
+	}
+	return base, reqs
+}
+
+func benchFold(base *graph.Graph, reqs []core.TimedRequest) *graph.Frozen {
+	aug := base.Clone()
+	for _, req := range reqs {
+		if req.Accepted {
+			aug.AddFriendship(req.From, req.To)
+		} else {
+			aug.AddRejection(req.To, req.From)
+		}
+	}
+	return aug.FreezeCanonical()
+}
+
+// seedStore writes the whole workload, snapshotting at snapAt (0 = no
+// snapshot), and closes the store.
+func seedStore(b *testing.B, st storage.Store, reqs []core.TimedRequest, snapAt int, frozen *graph.Frozen) {
+	b.Helper()
+	if _, err := st.Recover(nil); err != nil {
+		b.Fatal(err)
+	}
+	for i, req := range reqs {
+		if err := st.Append(req); err != nil {
+			b.Fatal(err)
+		}
+		if i+1 == snapAt {
+			if err := st.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			err := st.Snapshot(storage.SnapshotState{
+				Count: snapAt, Requests: reqs[:snapAt], Frozen: frozen,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchRestartOnce is one timed restart: server.New over an opened store
+// (recovery + epoch 0), with shutdown excluded from the timer.
+func benchRestartOnce(b *testing.B, base *graph.Graph, st storage.Store) {
+	b.Helper()
+	s, err := New(Config{
+		Base:     base,
+		Detector: testDetectorOptions(),
+		Store:    st,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if _, err := s.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.StartTimer()
+}

@@ -1,40 +1,3 @@
-// Package server implements rejectod: a long-running HTTP/JSON service
-// that ingests the friend-request lifecycle (request / accept / reject /
-// ignore events, §II of the paper), journals every answered request to an
-// append-only log, and periodically — or on demand — runs the batch
-// detection engine over an immutable snapshot of that log, publishing each
-// completed detection as an atomically-swapped epoch that read endpoints
-// serve lock-free.
-//
-// # Architecture
-//
-// Three single-owner goroutines, no shared mutable state:
-//
-//   - The ingest loop owns the event log, the pending-request lifecycle
-//     table, and the journal writer. HTTP ingest handlers hand it events
-//     through a bounded queue (backpressure: 429 + Retry-After when full);
-//     it is the only goroutine that mutates anything.
-//   - The detector loop runs detections serially. It asks the ingest loop
-//     for a snapshot — an immutable prefix of the answered-request log,
-//     an O(1) handoff, so detection never blocks ingest — and runs
-//     core.DetectSharded on it: per interval, the engine overlays the
-//     shard on the friendship base, canonicalizes, freezes to a
-//     graph.Frozen CSR, and sweeps. The completed Epoch (per-interval
-//     suspect sets plus a canonical frozen snapshot of the full augmented
-//     graph) is published through an atomic pointer swap.
-//   - HTTP readers load the current epoch pointer and serve from it;
-//     per-user lookups are memoized through an epoch-keyed LRU
-//     (internal/cache).
-//
-// # The replay invariant
-//
-// The server's detection state is a pure function of its event log: the
-// ingest loop and the exported Replay path fold events through the same
-// lifecycle code, the journal records the folded answered requests in
-// arrival order, and detection is exactly core.DetectSharded over that
-// log. Replaying a server's journal through the batch CLI therefore
-// reproduces the server's suspect sets byte for byte — the invariant the
-// test harness enforces under concurrent ingest and the race detector.
 package server
 
 import (
@@ -42,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,9 +12,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/graphio"
 	"repro/internal/incr"
 	"repro/internal/obs"
+	"repro/internal/storage"
 )
 
 // logSnapshot is the ingest loop's handoff to the detector: the immutable
@@ -89,10 +51,28 @@ type Config struct {
 	// Retry-After. Default 1024.
 	QueueSize int
 
-	// JournalPath appends every answered request to this file. If the
-	// file already holds a journal, the server recovers its state from it
-	// before serving. Empty disables journaling.
+	// JournalPath appends every answered request to a flat text journal at
+	// this file, via the storage engine's flat backend. If the file already
+	// holds a journal, the server recovers its state from it before
+	// serving. Mutually exclusive with Store; both empty disables
+	// journaling.
 	JournalPath string
+
+	// Store is the journal's storage backend (internal/storage). Supply a
+	// segmented store for checksummed segments, persisted snapshots, and
+	// O(delta) restart; leave nil with JournalPath set for the flat text
+	// journal. The server takes ownership: Recover runs during New and
+	// Close during Shutdown.
+	Store storage.Store
+
+	// SnapshotEvery persists a storage snapshot after a completed
+	// detection whenever at least this many journal records accumulated
+	// since the last snapshot. The snapshot carries the epoch's journal
+	// prefix, its frozen read model, and — in incremental mode — the epoch
+	// engine's memo, so the next boot patches forward from it instead of
+	// re-folding the log. Requires a snapshot-capable Store; zero disables
+	// snapshotting.
+	SnapshotEvery int
 
 	// CacheSize bounds the per-user lookup memo. Default 4096.
 	CacheSize int
@@ -183,17 +163,23 @@ type Server struct {
 	// Ingest-loop-owned state. Written only by the ingest goroutine (and
 	// by New during recovery, before the goroutine starts); other
 	// goroutines reach it only through snapReq.
-	lc          *lifecycle
-	events      []core.TimedRequest
-	delta       incr.Delta // incremental mode: journal tail since last handoff
-	journal     *graphio.JournalWriter
-	journalFile *os.File
-	journalErr  error // sticky; read after ingestDone closes
+	lc       *lifecycle
+	events   []core.TimedRequest
+	delta    incr.Delta // incremental mode: journal tail since last handoff
+	storeErr error      // sticky append/flush error; read after ingestDone closes
+
+	// store is the journal's durable backend. Its methods are internally
+	// synchronized: the ingest loop appends and flushes, the detector
+	// snapshots, HTTP readers poll Stats.
+	store    storage.Store
+	recovery storage.RecoveryInfo // fixed after New
 
 	// Detector-goroutine-owned incremental state (after New).
-	engine     *incr.Engine
-	lastFrozen *graph.Frozen // read model: base + every request handed to the detector
-	incrStats  atomic.Pointer[incrStatsReply]
+	engine        *incr.Engine
+	lastFrozen    *graph.Frozen // read model: base + every request handed to the detector
+	lastSnapCount int           // journal records covered by the latest storage snapshot
+	snapErr       error         // sticky snapshot error; read after detectorDone closes
+	incrStats     atomic.Pointer[incrStatsReply]
 
 	interrupted  atomic.Bool
 	shutdownOnce sync.Once
@@ -216,6 +202,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 4096
 	}
+	if cfg.Store != nil && cfg.JournalPath != "" {
+		return nil, fmt.Errorf("server: Config.Store and Config.JournalPath are mutually exclusive")
+	}
 	s := &Server{
 		cfg:          cfg,
 		base:         cfg.Base,
@@ -228,13 +217,42 @@ func New(cfg Config) (*Server, error) {
 		ingestDone:   make(chan struct{}),
 		users:        cache.NewLocked[userKey, []byte](cfg.CacheSize),
 		lc:           newLifecycle(),
+		store:        cfg.Store,
 	}
-	if err := s.openJournal(); err != nil {
+	if s.store == nil && cfg.JournalPath != "" {
+		st, err := storage.OpenFlat(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening journal: %w", err)
+		}
+		s.store = st
+	}
+	if cfg.SnapshotEvery > 0 && (s.store == nil || !s.store.SupportsSnapshots()) {
+		return nil, fmt.Errorf("server: SnapshotEvery requires a snapshot-capable Store")
+	}
+	rec, err := s.recoverStore()
+	if err != nil {
 		return nil, err
 	}
 	// Epoch 0: the read model over recovered state, before any detection.
-	epoch0 := s.buildEpoch(s.events, nil, false)
+	// With a persisted frozen snapshot the fold is O(delta): patch the
+	// snapshot's CSR with the journal tail instead of re-folding the whole
+	// log — byte-identical to the cold fold by the splice contract.
+	var epoch0 *Epoch
+	if rec.Frozen != nil {
+		frozen0 := rec.Frozen
+		if len(s.events) > rec.SnapshotCount {
+			var tail incr.Delta
+			for _, req := range s.events[rec.SnapshotCount:] {
+				tail.AddRequest(req)
+			}
+			frozen0 = incr.Patch(frozen0, tail)
+		}
+		epoch0 = s.buildEpochFrom(frozen0, len(s.events), nil, false)
+	} else {
+		epoch0 = s.buildEpoch(s.events, nil, false)
+	}
 	s.epoch.Store(epoch0)
+	s.lastSnapCount = rec.SnapshotCount
 	if cfg.Incremental {
 		det := cfg.Detector
 		det.Cancel = s.quit
@@ -249,12 +267,20 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.engine = eng
-		// The engine has not seen the recovered journal; prime the first
-		// delta with it so the first incremental detection folds it in.
-		// The read model starts at epoch 0's snapshot, which already
-		// covers recovery — re-patching those edges is a no-op by the
-		// splice's dedup contract.
-		for _, req := range s.events {
+		// Prime the first delta with the journal the engine has not seen:
+		// everything past the snapshot when the snapshot carried the
+		// engine's memo, the whole recovered log otherwise. The read model
+		// starts at epoch 0's snapshot, which already covers recovery —
+		// re-patching those edges is a no-op by the splice's dedup
+		// contract.
+		tail := s.events
+		if rec.Memo != nil {
+			if err := eng.ImportMemo(rec.Memo); err != nil {
+				return nil, fmt.Errorf("server: importing engine memo: %w", err)
+			}
+			tail = s.events[rec.SnapshotCount:]
+		}
+		for _, req := range tail {
 			s.delta.AddRequest(req)
 		}
 		s.lastFrozen = epoch0.frozen
@@ -265,45 +291,31 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// openJournal recovers answered requests from an existing journal and
-// opens it for append (writing the header if the file is fresh).
-func (s *Server) openJournal() error {
-	if s.cfg.JournalPath == "" {
-		return nil
+// recoverStore replays the storage engine's logical journal into the event
+// log, validating each record against the base graph as it streams past —
+// recovery memory tracks server state, never state plus a second full copy
+// of the journal.
+func (s *Server) recoverStore() (storage.Recovered, error) {
+	if s.store == nil {
+		return storage.Recovered{}, nil
 	}
-	if st, err := os.Stat(s.cfg.JournalPath); err == nil && st.Size() > 0 {
-		reqs, err := graphio.ReadRequestsFile(s.cfg.JournalPath)
-		if err != nil {
-			return fmt.Errorf("server: recovering journal: %w", err)
-		}
+	rec, err := s.store.Recover(func(reqs []core.TimedRequest) error {
 		for i, req := range reqs {
 			if int(req.From) >= s.base.NumNodes() || int(req.To) >= s.base.NumNodes() {
-				return fmt.Errorf("server: journal entry %d references node outside the %d-node base", i, s.base.NumNodes())
+				return fmt.Errorf("journal entry %d references node outside the %d-node base", len(s.events)+i, s.base.NumNodes())
 			}
 			if req.From == req.To {
-				return fmt.Errorf("server: journal entry %d is a self-request at node %d", i, req.From)
+				return fmt.Errorf("journal entry %d is a self-request at node %d", len(s.events)+i, req.From)
 			}
 		}
-		s.events = reqs
-	}
-	f, err := os.OpenFile(s.cfg.JournalPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		s.events = append(s.events, reqs...)
+		return nil
+	})
 	if err != nil {
-		return fmt.Errorf("server: opening journal: %w", err)
+		return storage.Recovered{}, fmt.Errorf("server: recovering journal: %w", err)
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return fmt.Errorf("server: opening journal: %w", err)
-	}
-	s.journalFile = f
-	s.journal = graphio.NewJournalWriter(f)
-	if st.Size() == 0 {
-		if err := s.journal.WriteHeader(); err != nil {
-			f.Close()
-			return fmt.Errorf("server: writing journal header: %w", err)
-		}
-	}
-	return nil
+	s.recovery = rec.Info
+	return rec, nil
 }
 
 // Handler returns the server's HTTP handler (see routes in http.go).
@@ -359,18 +371,18 @@ func (s *Server) apply(ev Event) {
 	if s.cfg.Incremental {
 		s.delta.AddRequest(req)
 	}
-	if s.journal != nil {
-		if err := s.journal.Append(req); err != nil && s.journalErr == nil {
-			s.journalErr = err
+	if s.store != nil {
+		if err := s.store.Append(req); err != nil && s.storeErr == nil {
+			s.storeErr = err
 		}
 		obs.Server.JournalEvents.Add(1)
 	}
 }
 
 func (s *Server) flushJournal() {
-	if s.journal != nil {
-		if err := s.journal.Flush(); err != nil && s.journalErr == nil {
-			s.journalErr = err
+	if s.store != nil {
+		if err := s.store.Flush(); err != nil && s.storeErr == nil {
+			s.storeErr = err
 		}
 	}
 }
@@ -464,7 +476,41 @@ func (s *Server) runDetection() (*Epoch, error) {
 		s.interrupted.Store(true)
 		return ep, core.ErrInterrupted
 	}
+	s.maybeSnapshot(snap.reqs, ep)
 	return ep, nil
+}
+
+// maybeSnapshot persists a storage snapshot of the epoch just published
+// when enough journal records accumulated since the last one. The snapshot
+// covers exactly the immutable prefix this detection ran over, carries the
+// epoch's frozen read model, and — in incremental mode — the engine's memo,
+// exported right after the Step that built this epoch so the persisted
+// state is the one a restart must resume from.
+func (s *Server) maybeSnapshot(reqs []core.TimedRequest, ep *Epoch) {
+	if s.store == nil || s.cfg.SnapshotEvery <= 0 || ep.Interrupted {
+		return
+	}
+	if len(reqs)-s.lastSnapCount < s.cfg.SnapshotEvery {
+		return
+	}
+	st := storage.SnapshotState{Count: len(reqs), Requests: reqs, Frozen: ep.frozen}
+	if s.engine != nil {
+		memo, err := s.engine.ExportMemo()
+		if err != nil {
+			if s.snapErr == nil {
+				s.snapErr = err
+			}
+			return
+		}
+		st.Memo = memo
+	}
+	if err := s.store.Snapshot(st); err != nil {
+		if s.snapErr == nil {
+			s.snapErr = err
+		}
+		return
+	}
+	s.lastSnapCount = len(reqs)
 }
 
 // runIncremental advances the incremental engine by one delta. The read
@@ -583,13 +629,17 @@ func (s *Server) Shutdown(ctx context.Context) (interrupted bool, err error) {
 			s.shutdownErr = ctx.Err()
 			return
 		}
-		// ingestDone closed happens-after the final journal flush, so
-		// journalErr is safe to read here.
-		if s.journalErr != nil {
-			s.shutdownErr = fmt.Errorf("server: journal: %w", s.journalErr)
+		// ingestDone closed happens-after the final journal flush (and
+		// detectorDone after the last snapshot attempt), so the sticky
+		// error fields are safe to read here.
+		if s.storeErr != nil {
+			s.shutdownErr = fmt.Errorf("server: journal: %w", s.storeErr)
 		}
-		if s.journalFile != nil {
-			if cerr := s.journalFile.Close(); cerr != nil && s.shutdownErr == nil {
+		if s.snapErr != nil && s.shutdownErr == nil {
+			s.shutdownErr = fmt.Errorf("server: snapshot: %w", s.snapErr)
+		}
+		if s.store != nil {
+			if cerr := s.store.Close(); cerr != nil && s.shutdownErr == nil {
 				s.shutdownErr = cerr
 			}
 		}

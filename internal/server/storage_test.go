@@ -1,0 +1,233 @@
+package server
+
+import (
+	"context"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// openSegmented opens a segmented store over dir, small segments so server
+// tests cross seal/roll boundaries.
+func openSegmented(t *testing.T, dir string) storage.Store {
+	t.Helper()
+	st, err := storage.Open(storage.Options{Dir: dir, SegmentBytes: 64 * 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSegmentedStoreSnapshotRestart is the server-level half of the
+// storage engine's contract: run a server over the segmented backend with
+// snapshots enabled, shut it down, tear the live segment's tail the way a
+// crash would, and restart. The second life must recover the whole journal
+// (minus the torn junk), report the recovery over /v1/stats, and detect
+// byte-identically to a cold batch replay.
+func TestSegmentedStoreSnapshotRestart(t *testing.T) {
+	const n, spammers = 120, 20
+	r := rand.New(rand.NewPCG(17, 15))
+	events := spamWorkload(r, n, spammers)
+	dir := t.TempDir()
+
+	cfgMod := func(st storage.Store) func(*Config) {
+		return func(cfg *Config) {
+			cfg.Store = st
+			cfg.SnapshotEvery = 100
+			cfg.Incremental = true
+			cfg.DisableWarmStart = true
+		}
+	}
+
+	// First life: ingest, detect (crossing the snapshot threshold), shut
+	// down cleanly.
+	s1, ts1 := newTestServer(t, testBase(n), cfgMod(openSegmented(t, dir)))
+	postEvents(t, ts1.URL, events)
+	wantReqs := EventsToRequests(events)
+	// Detect until the queue has fully drained into the epoch — only then
+	// is the snapshot threshold guaranteed crossed.
+	waitFor(t, 5*time.Second, "ingest to drain", func() bool {
+		ep, err := s1.Detect(context.Background())
+		return err == nil && ep.Events == len(wantReqs)
+	})
+	var stats1 statsReply
+	getJSON(t, ts1.URL+"/v1/stats", &stats1)
+	if stats1.Storage == nil || stats1.Storage.Backend != "segmented" {
+		t.Fatalf("stats missing segmented storage block: %+v", stats1.Storage)
+	}
+	if stats1.Storage.Snapshots == 0 {
+		t.Fatalf("detection over %d events took no snapshot at SnapshotEvery=100", stats1.Storage.Records)
+	}
+	if stats1.Storage.CompactedSegments == 0 {
+		t.Fatal("snapshot compacted no segments despite tiny segment size")
+	}
+	if stats1.Storage.Records != int64(len(wantReqs)) {
+		t.Fatalf("store holds %d records, lifecycle fold yields %d", stats1.Storage.Records, len(wantReqs))
+	}
+	ts1.Close()
+	if _, err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash damage: garbage bytes on the live segment's tail, as a torn
+	// append would leave.
+	tearLiveSegment(t, dir, 7)
+
+	// Second life: recovery truncates the junk, loads the snapshot, and
+	// replays only the tail.
+	s2, ts2 := newTestServer(t, testBase(n), cfgMod(openSegmented(t, dir)))
+	if got := s2.CurrentEpoch().Events; got != len(wantReqs) {
+		t.Fatalf("recovered %d events, want %d", got, len(wantReqs))
+	}
+	var stats2 statsReply
+	getJSON(t, ts2.URL+"/v1/stats", &stats2)
+	st2 := stats2.Storage
+	if st2 == nil {
+		t.Fatal("second life reports no storage stats")
+	}
+	if st2.TornBytesTruncated != 7 {
+		t.Fatalf("recovery truncated %d torn bytes, want 7", st2.TornBytesTruncated)
+	}
+	if st2.RecoveredFromSnap == 0 {
+		t.Fatal("recovery loaded nothing from the snapshot")
+	}
+	if st2.RecoveredFromSnap+st2.RecoveredFromSegs != len(wantReqs) {
+		t.Fatalf("recovery found %d+%d records, want %d",
+			st2.RecoveredFromSnap, st2.RecoveredFromSegs, len(wantReqs))
+	}
+	if st2.RecoveredFromSegs >= st2.RecoveredFromSnap {
+		t.Fatalf("replayed %d records from segments vs %d from the snapshot; restart is not O(delta)",
+			st2.RecoveredFromSegs, st2.RecoveredFromSnap)
+	}
+
+	// The restarted server's detection equals cold batch over the journal.
+	ep2, err := s2.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := core.DetectSharded(testBase(n), wantReqs, testDetectorOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ep2.Intervals, batch) {
+		t.Fatal("restarted server's detection differs from batch DetectSharded")
+	}
+
+	// Third life, no damage: the journal survives repeated restarts.
+	ts2.Close()
+	if _, err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := newTestServer(t, testBase(n), cfgMod(openSegmented(t, dir)))
+	if got := s3.CurrentEpoch().Events; got != len(wantReqs) {
+		t.Fatalf("third life recovered %d events, want %d", got, len(wantReqs))
+	}
+	ep3, err := s3.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ep3.Intervals, batch) {
+		t.Fatal("third life's detection differs from batch")
+	}
+}
+
+// tearLiveSegment appends junk bytes to the store's newest segment file.
+func tearLiveSegment(t *testing.T, dir string, junk int) {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err=%v)", dir, err)
+	}
+	sort.Strings(segs) // hex names sort by first sequence number
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := make([]byte, junk)
+	for i := range b {
+		b[i] = 0xEE
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentedStoreBatchMode: the segmented backend under the default
+// batch detector — snapshots persist the frozen read model without a memo,
+// and recovery still patches forward instead of re-folding.
+func TestSegmentedStoreBatchMode(t *testing.T) {
+	const n, spammers = 100, 15
+	r := rand.New(rand.NewPCG(23, 15))
+	events := spamWorkload(r, n, spammers)
+	dir := t.TempDir()
+	mod := func(st storage.Store) func(*Config) {
+		return func(cfg *Config) {
+			cfg.Store = st
+			cfg.SnapshotEvery = 80
+		}
+	}
+
+	s1, ts1 := newTestServer(t, testBase(n), mod(openSegmented(t, dir)))
+	postEvents(t, ts1.URL, events)
+	wantReqs := EventsToRequests(events)
+	var ep1 *Epoch
+	waitFor(t, 5*time.Second, "ingest to drain", func() bool {
+		ep, err := s1.Detect(context.Background())
+		if err != nil || ep.Events != len(wantReqs) {
+			return false
+		}
+		ep1 = ep
+		return true
+	})
+	ts1.Close()
+	if _, err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := newTestServer(t, testBase(n), mod(openSegmented(t, dir)))
+	if got := s2.CurrentEpoch().Events; got != len(wantReqs) {
+		t.Fatalf("recovered %d events, want %d", got, len(wantReqs))
+	}
+	ep2, err := s2.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(epochToReply(ep1).Intervals, epochToReply(ep2).Intervals) {
+		t.Fatal("recovered batch server's detection differs from the original")
+	}
+}
+
+// TestSnapshotEveryRequiresCapableStore: configuration-time validation.
+func TestSnapshotEveryRequiresCapableStore(t *testing.T) {
+	flat, err := storage.OpenFlat(filepath.Join(t.TempDir(), "j.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	_, err = New(Config{
+		Base:          testBase(10),
+		Detector:      testDetectorOptions(),
+		Store:         flat,
+		SnapshotEvery: 10,
+	})
+	if err == nil {
+		t.Fatal("SnapshotEvery over a flat store accepted")
+	}
+	_, err = New(Config{
+		Base:        testBase(10),
+		Detector:    testDetectorOptions(),
+		Store:       flat,
+		JournalPath: "also.log",
+	})
+	if err == nil {
+		t.Fatal("Store plus JournalPath accepted")
+	}
+}

@@ -1,0 +1,9 @@
+// Package simulate reproduces the paper's evaluation (§VI): it wires the
+// graph generators, the attack simulator, Rejecto, VoteTrust, and SybilRank
+// into the exact sweeps behind every figure and table, and renders the same
+// rows/series the paper reports.
+//
+// Every experiment accepts a Config whose Scale field shrinks the workload
+// proportionally (node counts, fake counts, overlay volumes) so the same
+// code drives both quick benchmark runs and full paper-scale runs.
+package simulate

@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The manifest is the commit point of every multi-file transition: a small
+// text file naming the latest snapshot (if any) and the live segment set in
+// sequence order. It is replaced atomically — written to MANIFEST.tmp,
+// fsynced, renamed over MANIFEST, directory fsynced — so a reader always
+// sees either the old file set or the new one, never a mix. Text, not
+// binary: an operator mid-incident can `cat` it (see docs/OPERATIONS.md).
+//
+//	rejecto-manifest v1
+//	snapshot snap-0000000000010000.snap 65536
+//	segment seg-0000000000010000.seg 65536
+//	segment seg-0000000000020000.seg 131072
+
+const manifestName = "MANIFEST"
+
+// manifest is the parsed MANIFEST contents.
+type manifest struct {
+	// snapshotFile and snapshotCount name the latest snapshot and the
+	// journal prefix it covers; empty/0 when no snapshot exists.
+	snapshotFile  string
+	snapshotCount int64
+	// segments lists live segment files in ascending firstSeq order.
+	segments []manifestSegment
+}
+
+type manifestSegment struct {
+	file     string
+	firstSeq int64
+}
+
+// readManifest parses dir/MANIFEST. A missing manifest means a fresh store
+// (ok=false); a malformed one is an error — the manifest is the root of
+// trust, so recovery never guesses around it.
+func readManifest(dir string) (m manifest, ok bool, err error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if lineNo == 1 {
+			if len(fields) != 2 || fields[0] != "rejecto-manifest" || fields[1] != "v1" {
+				return manifest{}, false, fmt.Errorf("storage: manifest header %q not rejecto-manifest v1", line)
+			}
+			continue
+		}
+		switch fields[0] {
+		case "snapshot":
+			if len(fields) != 3 || m.snapshotFile != "" {
+				return manifest{}, false, fmt.Errorf("storage: manifest line %d: bad snapshot entry", lineNo)
+			}
+			count, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || count < 0 {
+				return manifest{}, false, fmt.Errorf("storage: manifest line %d: bad snapshot count %q", lineNo, fields[2])
+			}
+			m.snapshotFile, m.snapshotCount = fields[1], count
+		case "segment":
+			if len(fields) != 3 {
+				return manifest{}, false, fmt.Errorf("storage: manifest line %d: bad segment entry", lineNo)
+			}
+			firstSeq, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || firstSeq < 0 {
+				return manifest{}, false, fmt.Errorf("storage: manifest line %d: bad segment firstseq %q", lineNo, fields[2])
+			}
+			if n := len(m.segments); n > 0 && firstSeq <= m.segments[n-1].firstSeq {
+				return manifest{}, false, fmt.Errorf("storage: manifest line %d: segment firstseq %d out of order", lineNo, firstSeq)
+			}
+			m.segments = append(m.segments, manifestSegment{file: fields[1], firstSeq: firstSeq})
+		default:
+			return manifest{}, false, fmt.Errorf("storage: manifest line %d: unknown entry %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return manifest{}, false, err
+	}
+	if lineNo == 0 {
+		return manifest{}, false, fmt.Errorf("storage: manifest is empty")
+	}
+	return m, true, nil
+}
+
+// writeManifest atomically replaces dir/MANIFEST with m: temp file, fsync,
+// rename, directory fsync. The rename is the commit point.
+func writeManifest(dir string, m manifest) error {
+	var sb strings.Builder
+	sb.WriteString("rejecto-manifest v1\n")
+	if m.snapshotFile != "" {
+		fmt.Fprintf(&sb, "snapshot %s %d\n", m.snapshotFile, m.snapshotCount)
+	}
+	for _, seg := range m.segments {
+		fmt.Fprintf(&sb, "segment %s %d\n", seg.file, seg.firstSeq)
+	}
+
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(sb.String()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// segmentFileName is the canonical name for the segment whose first record
+// has the given sequence number.
+func segmentFileName(firstSeq int64) string {
+	return fmt.Sprintf("seg-%016x.seg", firstSeq)
+}
+
+// snapshotFileName is the canonical name for the snapshot covering count
+// records.
+func snapshotFileName(count int64) string {
+	return fmt.Sprintf("snap-%016x.snap", count)
+}

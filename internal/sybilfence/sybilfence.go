@@ -1,17 +1,3 @@
-// Package sybilfence implements SybilFence [Cao & Yang 2012, arXiv
-// 1304.3819], the negative-feedback predecessor the paper discusses in
-// §VIII: "Cao et al. [16] also proposed to leverage user negative feedback
-// to improve social-graph-based Sybil defense schemes. However, that
-// design does not seek the aggregate acceptance ratio and is susceptible
-// to attack strategies."
-//
-// SybilFence discounts the trust capacity of each social edge by the
-// negative feedback (here: social rejections) its endpoints received, then
-// runs SybilRank-style early-terminated trust propagation over the
-// weighted graph. Because the discount is per-account rather than
-// per-region-aggregate, collusion partially restores a spammer's relative
-// standing — the structural weakness Rejecto's cut formulation removes.
-// The package exists as a second baseline for the resilience ablations.
 package sybilfence
 
 import (

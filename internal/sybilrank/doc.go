@@ -1,0 +1,12 @@
+// Package sybilrank implements SybilRank [Cao et al., NSDI 2012], the
+// social-graph-based Sybil detection scheme the paper pairs with Rejecto
+// for defense in depth (§II-C, §VI-D).
+//
+// SybilRank seeds trust at known legitimate users and propagates it with
+// O(log n) power iterations of the degree-normalized random walk over the
+// undirected social graph. Early termination is the crux: trust has time to
+// mix within the legitimate region but not to cross the (few) attack edges
+// into the Sybil region, so degree-normalized trust ranks Sybils at the
+// bottom. The ranking quality is measured by the area under the ROC curve,
+// exactly as in the paper's Fig 16.
+package sybilrank

@@ -1,20 +1,3 @@
-// Package votetrust reimplements VoteTrust [Xue et al., INFOCOM 2013], the
-// baseline the paper compares Rejecto against (§VI). VoteTrust ranks users
-// on the directed friend-request graph in two cascaded steps:
-//
-//  1. Vote assignment: a PageRank-like trust propagation over request
-//     edges assigns every user a vote capacity, teleporting to a trusted
-//     seed set (uniformly over all users when no seeds are given).
-//  2. Vote aggregation: every user's rating is the weighted average of the
-//     responses to their requests — 1 for accepted, 0 for rejected — where
-//     a response's weight is the target's votes times the target's current
-//     rating. The computation iterates, and a Beta(α, β) prior smooths
-//     users with little request history.
-//
-// Users are declared suspicious from the lowest rating up. The paper
-// identifies two structural weaknesses that its evaluation exercises: the
-// rating is a per-user acceptance rate (defeated by collusion, Fig 13) and
-// the votes are manipulable by requests among controlled accounts.
 package votetrust
 
 import (

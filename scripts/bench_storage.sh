@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# Runs the restart/recovery benchmarks (internal/server BenchmarkRestart)
+# and emits BENCH_storage.json at the repo root: time-to-serving after a
+# process restart for the flat text journal vs the segmented, checksummed
+# store with a 99%-coverage snapshot, at 10^5 and 10^6 journaled events.
+#
+# The acceptance criterion is checked here and the script fails if it does
+# not hold: at 10^6 events the segmented backend must recover at least 5x
+# faster than the flat journal re-fold.
+#
+# Usage: scripts/bench_storage.sh [benchtime]   (default 3x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/server/ -run NONE \
+	-bench 'BenchmarkRestart/backend=(flat|segmented)/events=[0-9]+' \
+	-benchtime "$BENCHTIME" -count 1 -timeout 30m | tee "$tmp"
+
+python3 - "$tmp" "$BENCHTIME" <<'PY' > BENCH_storage.json
+import json, re, sys
+
+rows = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'BenchmarkRestart/backend=(flat|segmented)/events=(\d+)\S*\s+\d+\s+([0-9.e+]+)\s+ns/op', line)
+    if not m:
+        continue
+    backend, events, ns = m.group(1), int(m.group(2)), float(m.group(3))
+    rows.setdefault(events, {})[backend] = ns
+
+sizes = []
+for events in sorted(rows):
+    flat = rows[events].get('flat')
+    seg = rows[events].get('segmented')
+    entry = {
+        'events': events,
+        'flat_restart_ns': flat,
+        'segmented_restart_ns': seg,
+    }
+    if flat and seg:
+        entry['speedup'] = round(flat / seg, 2)
+    sizes.append(entry)
+
+achieved = max((e.get('speedup', 0) for e in sizes if e['events'] >= 1_000_000),
+               default=0)
+out = {
+    'benchmark': 'internal/server BenchmarkRestart (flat journal vs segmented store + snapshot)',
+    'benchtime': sys.argv[2],
+    'snapshot_coverage': 0.99,
+    'sizes': sizes,
+    'criterion': {
+        'required_speedup': 5.0,
+        'at_events': 1_000_000,
+        'achieved_speedup': achieved,
+        'pass': achieved >= 5.0,
+    },
+}
+json.dump(out, sys.stdout, indent=2)
+print()
+if not out['criterion']['pass']:
+    print(f"FAIL: restart speedup {achieved}x at 10^6 events, need >=5x", file=sys.stderr)
+    sys.exit(1)
+PY
+
+echo "wrote BENCH_storage.json"

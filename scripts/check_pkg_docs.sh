@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Enforces the package-documentation convention: every internal/* package
+# keeps its package comment in a dedicated doc.go — present, substantial
+# (at least 3 comment lines), starting with the canonical "Package <name>"
+# phrase — and no other file in the package carries a second package
+# comment (go/doc would pick one arbitrarily).
+#
+# Usage: scripts/check_pkg_docs.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in internal/*/; do
+	pkg="$(basename "$dir")"
+	doc="${dir}doc.go"
+	if [ ! -f "$doc" ]; then
+		echo "$pkg: missing $doc"
+		fail=1
+		continue
+	fi
+	if ! head -1 "$doc" | grep -q "^// Package $pkg "; then
+		echo "$pkg: doc.go must start with '// Package $pkg ...'"
+		fail=1
+	fi
+	lines="$(grep -c '^//' "$doc" || true)"
+	if [ "$lines" -lt 3 ]; then
+		echo "$pkg: doc.go has only $lines comment lines, want >= 3"
+		fail=1
+	fi
+	# A package comment is a // line (or block) immediately preceding the
+	# package clause; any non-test file other than doc.go with one is a
+	# duplicate. Test files are exempt — external test packages (package
+	# <name>_test) legitimately document themselves.
+	for f in "$dir"*.go; do
+		[ "$f" = "$doc" ] && continue
+		case "$f" in *_test.go) continue ;; esac
+		if awk 'prev ~ /^\/\// && /^package / { found=1 } { prev=$0 } END { exit !found }' "$f"; then
+			echo "$pkg: $f carries a second package comment (move it into doc.go)"
+			fail=1
+		fi
+	done
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "package doc check FAILED"
+	exit 1
+fi
+echo "package docs OK ($(ls -d internal/*/ | wc -l | tr -d ' ') packages)"
