@@ -109,6 +109,7 @@ func experiments() []experiment {
 		{"incr", "incremental epochs: latency vs delta size, cold vs patched+warm", runIncr},
 		{"ml", "multilevel sweeps: flat vs coarsen/solve/refine latency across sizes and restarts", runML},
 		{"storage", "durability & recovery: restart shape by snapshot coverage, torn tails, crash storm", runStorage},
+		{"score", "real-time verdicts vs batch-only: precision/recall on a post-epoch spam wave", runScore},
 	}
 	return exps
 }

@@ -1,0 +1,582 @@
+// Command loadgen drives a live rejectod with deterministic synthetic
+// traffic and measures the serving path under load: ingest latency, score
+// latency (client- and server-observed), verdict mix, and epoch staleness.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -accounts 1048576
+//	        [-seed 42] [-spam-fraction 0.01]
+//	        [-prefill 200000] [-batch 2048] [-ingest-conc 2] [-ingest-rps 0]
+//	        [-duration 10s] [-score-rps 10000] [-score-conc 4]
+//	        [-detect-during 0] [-out report.json]
+//
+// The run has three phases:
+//
+//  1. Prefill: -prefill answered requests are ingested closed-loop (each
+//     as a request/answer pair), so detection and scoring see a populated
+//     journal.
+//  2. Detect: one POST /v1/detect publishes a real epoch to score against.
+//  3. Storm: for -duration, ingest workers stream batches closed-loop
+//     (optionally paced to -ingest-rps events/sec, so scoring is measured
+//     under sustained rather than saturating ingest)
+//     while score workers issue single-ID GET /v1/score calls open-loop,
+//     paced at -score-rps across -score-conc workers (0 rps = closed
+//     loop). Score latency is measured from each request's *intended*
+//     fire time, so queueing delay under overload is charged to the
+//     server, not silently dropped (no coordinated omission). A sampler
+//     polls /v1/stats for epoch staleness; -detect-during > 0 also
+//     triggers a detection on that period mid-storm.
+//
+// Traffic is a pure function of -seed (internal/rng named streams): a
+// -spam-fraction slice of the account space floods mostly-rejected
+// requests while the rest sends mostly-accepted ones. The report (JSON on
+// stdout or -out) carries client histograms plus the server's own
+// /v1/stats score section; scripts/bench_serve.sh turns it into
+// BENCH_serve.json and enforces the latency criterion.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+type config struct {
+	addr         string
+	accounts     int
+	seed         uint64
+	spamFraction float64
+	prefill      int
+	batch        int
+	ingestConc   int
+	ingestRPS    int
+	duration     time.Duration
+	scoreRPS     int
+	scoreConc    int
+	detectDuring time.Duration
+	out          string
+}
+
+// histSummary is one latency histogram flattened for the report.
+type histSummary struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+func summarize(h *obs.LatencyHist) histSummary {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return histSummary{
+		Count:  h.Count(),
+		MeanUS: us(h.Mean()),
+		P50US:  us(h.Quantile(0.50)),
+		P90US:  us(h.Quantile(0.90)),
+		P99US:  us(h.Quantile(0.99)),
+	}
+}
+
+// serverScoreStats mirrors the score section of rejectod's /v1/stats.
+type serverScoreStats struct {
+	Requests        int64   `json:"requests"`
+	Allows          int64   `json:"allows"`
+	Throttles       int64   `json:"throttles"`
+	Denies          int64   `json:"denies"`
+	Publishes       int64   `json:"publishes"`
+	Epoch           int64   `json:"epoch"`
+	EpochSuspects   int     `json:"epoch_suspects"`
+	StalenessEvents int64   `json:"staleness_events"`
+	P50US           float64 `json:"p50_us"`
+	P99US           float64 `json:"p99_us"`
+}
+
+type statsProbe struct {
+	Epoch        int64             `json:"epoch"`
+	DetectEpochs int64             `json:"detect_epochs"`
+	Score        *serverScoreStats `json:"score"`
+}
+
+type report struct {
+	Seed         uint64  `json:"seed"`
+	Accounts     int     `json:"accounts"`
+	SpamFraction float64 `json:"spam_fraction"`
+
+	PrefillEvents    int               `json:"prefill_events"`
+	PrefillSeconds   float64           `json:"prefill_seconds"`
+	PrefillEventsPS  float64           `json:"prefill_events_per_sec"`
+	DetectSeconds    float64           `json:"detect_seconds"`
+	StormSeconds     float64           `json:"storm_seconds"`
+	StormEvents      int64             `json:"storm_events"`
+	StormEventsPS    float64           `json:"storm_events_per_sec"`
+	IngestTargetRPS  int               `json:"ingest_target_rps"`
+	Backpressure429s int64             `json:"backpressure_429s"`
+	ScoreTargetRPS   int               `json:"score_target_rps"`
+	ScoreAchievedRPS float64           `json:"score_achieved_rps"`
+	ScoreMissedFires int64             `json:"score_missed_fires"`
+	ScoreHTTPErrors  int64             `json:"score_http_errors"`
+	VerdictAllows    int64             `json:"verdict_allows"`
+	VerdictThrottles int64             `json:"verdict_throttles"`
+	VerdictDenies    int64             `json:"verdict_denies"`
+	MaxStalenessEv   int64             `json:"max_staleness_events"`
+	FinalStalenessEv int64             `json:"final_staleness_events"`
+	StalenessSamples int               `json:"staleness_samples"`
+	EpochsPublished  int64             `json:"epochs_published"`
+	IngestBatch      histSummary       `json:"ingest_batch_latency"`
+	IngestPerEventUS float64           `json:"ingest_per_event_us"`
+	ScoreClient      histSummary       `json:"score_client_latency"`
+	ServerScore      *serverScoreStats `json:"server_score"`
+}
+
+func run() int {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "rejectod base URL")
+	flag.IntVar(&cfg.accounts, "accounts", 0, "account ID space to draw from (required; must not exceed the server's graph)")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "root seed; traffic is a pure function of it")
+	flag.Float64Var(&cfg.spamFraction, "spam-fraction", 0.01, "fraction of the account space sending mostly-rejected requests")
+	flag.IntVar(&cfg.prefill, "prefill", 200_000, "answered requests to ingest before the storm")
+	flag.IntVar(&cfg.batch, "batch", 2048, "events per POST /v1/events batch")
+	flag.IntVar(&cfg.ingestConc, "ingest-conc", 2, "closed-loop ingest workers during the storm")
+	flag.IntVar(&cfg.ingestRPS, "ingest-rps", 0, "pace storm ingest at this many events/sec across all workers (0 = unpaced closed loop)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "storm duration")
+	flag.IntVar(&cfg.scoreRPS, "score-rps", 10_000, "open-loop score request rate (0 = closed loop)")
+	flag.IntVar(&cfg.scoreConc, "score-conc", 4, "score workers")
+	flag.DurationVar(&cfg.detectDuring, "detect-during", 0, "also trigger a detection on this period mid-storm (0 disables)")
+	flag.StringVar(&cfg.out, "out", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+	if cfg.accounts <= 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -accounts is required (>= 2)")
+		return 2
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.ingestConc + cfg.scoreConc + 4,
+		MaxIdleConnsPerHost: cfg.ingestConc + cfg.scoreConc + 4,
+	}}
+	// A million-node server spends a while folding its boot epoch before
+	// the listener opens; give it a generous health window.
+	if err := waitHealthy(client, cfg.addr, 120*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	src := rng.New(cfg.seed)
+	rep := report{Seed: cfg.seed, Accounts: cfg.accounts, SpamFraction: cfg.spamFraction,
+		ScoreTargetRPS: cfg.scoreRPS, IngestTargetRPS: cfg.ingestRPS}
+
+	// Phase 1: prefill, closed loop on one stream.
+	start := time.Now()
+	if cfg.prefill > 0 {
+		gen := newTrafficGen(src.Stream("prefill"), cfg.accounts, cfg.spamFraction)
+		var sent int
+		for sent < cfg.prefill {
+			nb := min(cfg.batch, (cfg.prefill-sent)*2)
+			batch := gen.nextBatch(nb)
+			if _, err := postBatch(client, cfg.addr, batch, nil, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: prefill: %v\n", err)
+				return 1
+			}
+			sent += len(batch) / 2
+		}
+		rep.PrefillEvents = sent
+		rep.PrefillSeconds = time.Since(start).Seconds()
+		rep.PrefillEventsPS = float64(sent) / rep.PrefillSeconds
+		fmt.Fprintf(os.Stderr, "prefill: %d answered requests in %.1fs (%.0f/s)\n",
+			sent, rep.PrefillSeconds, rep.PrefillEventsPS)
+	}
+
+	// Phase 2: one detection so the storm scores against a real epoch.
+	dstart := time.Now()
+	if err := triggerDetect(client, cfg.addr); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: detect: %v\n", err)
+		return 1
+	}
+	rep.DetectSeconds = time.Since(dstart).Seconds()
+	fmt.Fprintf(os.Stderr, "detect: epoch published in %.1fs\n", rep.DetectSeconds)
+
+	// Phase 3: the storm.
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	var (
+		wg           sync.WaitGroup
+		ingestHist   obs.LatencyHist
+		scoreHist    obs.LatencyHist
+		stormEvents  atomic.Int64
+		backpressure atomic.Int64
+		missedFires  atomic.Int64
+		scoreErrs    atomic.Int64
+		allows       atomic.Int64
+		throttles    atomic.Int64
+		denies       atomic.Int64
+	)
+
+	for w := 0; w < cfg.ingestConc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := newTrafficGen(src.Stream(fmt.Sprintf("storm/ingest/%d", w)), cfg.accounts, cfg.spamFraction)
+			// Per-worker pacing: each worker owes 1/ingestConc of the
+			// target event rate and sleeps off any surplus after a batch.
+			perWorker := float64(cfg.ingestRPS) / float64(cfg.ingestConc)
+			begin := time.Now()
+			sent := 0
+			for ctx.Err() == nil {
+				batch := gen.nextBatch(cfg.batch)
+				n, err := postBatch(client, cfg.addr, batch, &ingestHist, &backpressure)
+				if err != nil {
+					if ctx.Err() == nil {
+						fmt.Fprintf(os.Stderr, "loadgen: ingest: %v\n", err)
+					}
+					return
+				}
+				stormEvents.Add(int64(n))
+				sent += n
+				if perWorker > 0 {
+					due := begin.Add(time.Duration(float64(sent) / perWorker * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-ctx.Done():
+						case <-time.After(d):
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Open-loop pacer: intended fire times on a bounded channel. A full
+	// channel means the workers are saturated; the fire is counted missed
+	// rather than silently deferred.
+	fires := make(chan time.Time, 4*cfg.scoreConc)
+	if cfg.scoreRPS > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(fires)
+			interval := time.Second / time.Duration(cfg.scoreRPS)
+			begin := time.Now()
+			for i := 0; ctx.Err() == nil; i++ {
+				at := begin.Add(time.Duration(i) * interval)
+				if d := time.Until(at); d > 0 {
+					time.Sleep(d)
+				}
+				select {
+				case fires <- at:
+				default:
+					missedFires.Add(1)
+				}
+			}
+		}()
+	} else {
+		close(fires)
+	}
+
+	scoreOne := func(r *rand.Rand, intended time.Time) {
+		id := graph.NodeID(r.IntN(cfg.accounts))
+		verdict, err := getScore(client, cfg.addr, id)
+		if err != nil {
+			scoreErrs.Add(1)
+			return
+		}
+		scoreHist.Observe(time.Since(intended))
+		switch verdict {
+		case "allow":
+			allows.Add(1)
+		case "throttle":
+			throttles.Add(1)
+		case "deny":
+			denies.Add(1)
+		}
+	}
+	for w := 0; w < cfg.scoreConc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := src.Stream(fmt.Sprintf("storm/score/%d", w))
+			if cfg.scoreRPS > 0 {
+				for at := range fires {
+					scoreOne(r, at)
+				}
+				return
+			}
+			for ctx.Err() == nil {
+				scoreOne(r, time.Now())
+			}
+		}(w)
+	}
+
+	// Staleness sampler.
+	var maxStaleness, lastStaleness atomic.Int64
+	var samples atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				var p statsProbe
+				if err := getJSON(client, cfg.addr+"/v1/stats", &p); err != nil || p.Score == nil {
+					continue
+				}
+				samples.Add(1)
+				lastStaleness.Store(p.Score.StalenessEvents)
+				if p.Score.StalenessEvents > maxStaleness.Load() {
+					maxStaleness.Store(p.Score.StalenessEvents)
+				}
+			}
+		}
+	}()
+
+	if cfg.detectDuring > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(cfg.detectDuring)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := triggerDetect(client, cfg.addr); err != nil && ctx.Err() == nil {
+						fmt.Fprintf(os.Stderr, "loadgen: mid-storm detect: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
+	stormStart := time.Now()
+	wg.Wait()
+	rep.StormSeconds = time.Since(stormStart).Seconds()
+	rep.StormEvents = stormEvents.Load()
+	rep.StormEventsPS = float64(rep.StormEvents) / rep.StormSeconds
+	rep.Backpressure429s = backpressure.Load()
+	rep.ScoreMissedFires = missedFires.Load()
+	rep.ScoreHTTPErrors = scoreErrs.Load()
+	rep.VerdictAllows = allows.Load()
+	rep.VerdictThrottles = throttles.Load()
+	rep.VerdictDenies = denies.Load()
+	rep.ScoreAchievedRPS = float64(scoreHist.Count()) / rep.StormSeconds
+	rep.MaxStalenessEv = maxStaleness.Load()
+	rep.FinalStalenessEv = lastStaleness.Load()
+	rep.StalenessSamples = int(samples.Load())
+	rep.IngestBatch = summarize(&ingestHist)
+	if n := ingestHist.Count(); n > 0 {
+		rep.IngestPerEventUS = rep.IngestBatch.MeanUS * float64(n) / float64(rep.StormEvents)
+	}
+	rep.ScoreClient = summarize(&scoreHist)
+
+	// Final server-side truth.
+	var final statsProbe
+	if err := getJSON(client, cfg.addr+"/v1/stats", &final); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: final stats: %v\n", err)
+		return 1
+	}
+	rep.ServerScore = final.Score
+	rep.EpochsPublished = final.DetectEpochs
+
+	out := os.Stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr,
+		"storm: %d events ingested (%.0f/s), %d scores (%.0f/s target %d), score p99 %.0fµs client / %.0fµs server, staleness max %d events\n",
+		rep.StormEvents, rep.StormEventsPS, scoreHist.Count(), rep.ScoreAchievedRPS, cfg.scoreRPS,
+		rep.ScoreClient.P99US, serverP99(rep.ServerScore), rep.MaxStalenessEv)
+	return 0
+}
+
+func serverP99(s *serverScoreStats) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.P99US
+}
+
+// trafficGen deterministically produces lifecycle event batches: each
+// answered request as an adjacent request/answer pair, spam-slice senders
+// mostly rejected, everyone else mostly accepted.
+type trafficGen struct {
+	r        *rand.Rand
+	accounts int
+	spammers int
+}
+
+func newTrafficGen(r *rand.Rand, accounts int, spamFraction float64) *trafficGen {
+	spammers := int(float64(accounts) * spamFraction)
+	if spammers < 1 {
+		spammers = 1
+	}
+	return &trafficGen{r: r, accounts: accounts, spammers: spammers}
+}
+
+func (g *trafficGen) nextBatch(events int) []server.Event {
+	batch := make([]server.Event, 0, events)
+	for len(batch)+2 <= events {
+		var from graph.NodeID
+		spam := g.r.Float64() < 0.3
+		if spam {
+			from = graph.NodeID(g.r.IntN(g.spammers))
+		} else {
+			from = graph.NodeID(g.spammers + g.r.IntN(g.accounts-g.spammers))
+		}
+		to := graph.NodeID(g.r.IntN(g.accounts))
+		for to == from {
+			to = graph.NodeID(g.r.IntN(g.accounts))
+		}
+		accept := g.r.Float64() < 0.8
+		if spam {
+			accept = g.r.Float64() < 0.15
+		}
+		typ := server.EvReject
+		if accept {
+			typ = server.EvAccept
+		} else if g.r.Float64() < 0.3 {
+			typ = server.EvIgnore
+		}
+		batch = append(batch,
+			server.Event{Type: server.EvRequest, From: from, To: to},
+			server.Event{Type: typ, From: from, To: to},
+		)
+	}
+	return batch
+}
+
+// postBatch ships one event batch, retrying the unaccepted tail on 429
+// with a short backoff. It returns the number of events accepted.
+func postBatch(client *http.Client, addr string, batch []server.Event, hist *obs.LatencyHist, backpressure *atomic.Int64) (int, error) {
+	accepted := 0
+	for len(batch) > 0 {
+		body, err := json.Marshal(batch)
+		if err != nil {
+			return accepted, err
+		}
+		start := time.Now()
+		resp, err := client.Post(addr+"/v1/events", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return accepted, err
+		}
+		var reply struct {
+			Accepted int    `json:"accepted"`
+			Error    string `json:"error"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&reply)
+		resp.Body.Close()
+		if hist != nil {
+			hist.Observe(time.Since(start))
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return accepted + reply.Accepted, nil
+		case http.StatusTooManyRequests:
+			if backpressure != nil {
+				backpressure.Add(1)
+			}
+			accepted += reply.Accepted
+			batch = batch[reply.Accepted:]
+			time.Sleep(20 * time.Millisecond)
+		default:
+			if derr != nil {
+				reply.Error = derr.Error()
+			}
+			return accepted, fmt.Errorf("POST /v1/events: %s (%s)", resp.Status, reply.Error)
+		}
+	}
+	return accepted, nil
+}
+
+// getScore issues one single-ID score request and returns the verdict.
+func getScore(client *http.Client, addr string, id graph.NodeID) (string, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/score?id=%d", addr, id))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", fmt.Errorf("GET /v1/score: %s", resp.Status)
+	}
+	var reply struct {
+		Verdict string `json:"verdict"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return "", err
+	}
+	return reply.Verdict, nil
+}
+
+func triggerDetect(client *http.Client, addr string) error {
+	resp, err := client.Post(addr+"/v1/detect", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/detect: %s", resp.Status)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// waitHealthy polls /healthz until the server answers.
+func waitHealthy(client *http.Client, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s not healthy after %s", addr, timeout)
+}

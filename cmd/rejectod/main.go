@@ -12,6 +12,7 @@
 //	         [-segment-bytes 4194304] [-snapshot-every 100000]
 //	         [-queue 1024]
 //	         [-incremental] [-incr-max-patch 0.25] [-no-warm-start]
+//	         [-score-deny 0.8] [-score-throttle 0.5] [-score-window 1024]
 //	         [-kmin 0.03125] [-kmax 32] [-seed 42]
 //	         [-ml] [-ml-coarsest 128] [-ml-max-levels 0]
 //	         [-trace run.jsonl] [-v] [-debug-addr :6060]
@@ -36,6 +37,15 @@
 // epoch's patch/reuse/warm breakdown, and /debug/vars carries the
 // rejecto.incr_* counters.
 //
+// The real-time verdict path (internal/score) serves GET/POST /v1/score:
+// per-account online features (request rate, rejection velocity,
+// acceptance trajectory) maintained inline by the ingest fold, fused with
+// the last published epoch's suspect set into an allow/throttle/deny
+// verdict. -score-deny and -score-throttle set the verdict thresholds,
+// -score-window the sliding-window width (in answered requests) of the
+// rate features. Serving latency histograms appear at /debug/vars as
+// rejecto.server.score_latency and rejecto.server.ingest_latency.
+//
 // Endpoints:
 //
 //	POST /v1/events      {"type":"accept","from":1,"to":2,"interval":0}
@@ -44,7 +54,9 @@
 //	POST /v1/detect      run detection now, respond with the new epoch
 //	GET  /v1/suspects    last epoch's per-interval suspect sets
 //	GET  /v1/users/{id}  one user's stats and suspect status
-//	GET  /v1/stats       queue depth, counters, epoch summary
+//	GET  /v1/score       real-time verdict: ?id=7 (repeatable for a batch)
+//	POST /v1/score       same, JSON body {"id": 7} or {"ids": [7, 9]}
+//	GET  /v1/stats       queue depth, counters, epoch summary, score stats
 //	GET  /healthz        liveness
 //
 // The server's state is a pure function of its journal: restarting with the
@@ -72,6 +84,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graphio"
 	"repro/internal/obs"
+	"repro/internal/score"
 	"repro/internal/server"
 	"repro/internal/storage"
 )
@@ -95,6 +108,9 @@ func run() int {
 		incremental = flag.Bool("incremental", false, "use the incremental epoch engine: patch snapshots and warm-start sweeps instead of re-folding the journal")
 		incrPatch   = flag.Float64("incr-max-patch", 0, "delta-to-graph edge ratio above which a snapshot rebuilds cold (0 = default 0.25)")
 		noWarm      = flag.Bool("no-warm-start", false, "with -incremental, solve every round cold (byte-identical to batch mode)")
+		scoreDeny   = flag.Float64("score-deny", 0, "/v1/score deny threshold (0 = default 0.8)")
+		scoreThrot  = flag.Float64("score-throttle", 0, "/v1/score throttle threshold (0 = default 0.5)")
+		scoreWindow = flag.Int("score-window", 0, "sliding-window width of the score rate features, in answered requests (0 = default 1024)")
 		kmin        = flag.Float64("kmin", 0, "minimum friends-to-rejections ratio in the sweep")
 		kmax        = flag.Float64("kmax", 0, "maximum friends-to-rejections ratio in the sweep")
 		mlSweep     = flag.Bool("ml", false, "run sweeps through the multilevel coarsen/solve/refine ladder")
@@ -193,6 +209,11 @@ func run() int {
 		Incremental:      *incremental,
 		PatchMaxFraction: *incrPatch,
 		DisableWarmStart: *noWarm,
+		Score: score.Options{
+			DenyThreshold:     *scoreDeny,
+			ThrottleThreshold: *scoreThrot,
+			WindowEvents:      *scoreWindow,
+		},
 	})
 	if err != nil {
 		return fail("%v", err)

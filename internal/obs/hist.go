@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"expvar"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHist is a lock-free latency histogram with geometric buckets at
+// four sub-buckets per octave (≈19% worst-case quantile error), sized for
+// nanosecond observations from ~1ns to ~5s and saturating above. Observe
+// is two atomic adds and an atomic increment — cheap enough to sit on the
+// per-request serving path — and quantile reads walk the fixed bucket
+// array without blocking writers.
+//
+// Quantiles computed while observations stream in are approximate in the
+// usual racy-histogram sense (the per-bucket counts are read one at a
+// time); they converge exactly once writers pause.
+type LatencyHist struct {
+	counts [histNumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+const (
+	histOctaves = 33 // top octave [2^32, 2^33) ns; 2^33 ns ≈ 8.6 s
+	// Buckets 0..7 are exact (width 1ns); octaves 4..histOctaves carry 4
+	// sub-buckets each, appended contiguously after the linear range.
+	histNumBuckets = 8 + (histOctaves-3)*4
+)
+
+// histBucket maps a nanosecond duration to its bucket index.
+func histBucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	oct := bits.Len64(uint64(ns)) // 0 for 0ns, else floor(log2)+1
+	if oct <= 3 {                 // ns in [0, 8): exact buckets
+		return int(ns)
+	}
+	if oct > histOctaves { // saturate
+		return histNumBuckets - 1
+	}
+	sub := int(ns>>(oct-3)) & 3 // quarter of the octave [2^(oct-1), 2^oct)
+	return 8 + (oct-4)*4 + sub
+}
+
+// histBounds returns the [lo, hi) nanosecond range of bucket i.
+func histBounds(i int) (lo, hi int64) {
+	if i < 8 {
+		return int64(i), int64(i) + 1
+	}
+	oct := (i-8)/4 + 4
+	sub := int64(i & 3)
+	width := int64(1) << (oct - 3)
+	lo = int64(1)<<(oct-1) + sub*width
+	return lo, lo + width
+}
+
+// Observe records one duration.
+func (h *LatencyHist) Observe(d time.Duration) {
+	ns := int64(d)
+	h.counts[histBucket(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Count reports the number of observations.
+func (h *LatencyHist) Count() uint64 { return h.count.Load() }
+
+// Mean reports the mean observed latency, 0 with no observations.
+func (h *LatencyHist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sumNS.Load()) / n)
+}
+
+// Quantile reports the q-th latency quantile (q in [0, 1]), linearly
+// interpolated inside the winning bucket. 0 with no observations.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histNumBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo, hi := histBounds(i)
+			frac := float64(rank-seen) / float64(c)
+			return time.Duration(lo + int64(frac*float64(hi-lo)))
+		}
+		seen += c
+	}
+	// Writers raced the walk; report the top of the largest seen bucket.
+	for i := histNumBuckets - 1; i >= 0; i-- {
+		if h.counts[i].Load() > 0 {
+			_, hi := histBounds(i)
+			return time.Duration(hi)
+		}
+	}
+	return 0
+}
+
+// Reset zeroes the histogram. Racy against concurrent Observe by design;
+// meant for benchmark harnesses between phases, not steady-state serving.
+func (h *LatencyHist) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumNS.Store(0)
+}
+
+// publishHist registers an expvar.Func exposing the histogram's count,
+// mean, and headline quantiles in microseconds under the given name.
+func publishHist(name string, h *LatencyHist) {
+	expvar.Publish(name, expvar.Func(func() any {
+		us := func(d time.Duration) float64 {
+			return float64(d) / float64(time.Microsecond)
+		}
+		return map[string]any{
+			"count":   h.Count(),
+			"mean_us": us(h.Mean()),
+			"p50_us":  us(h.Quantile(0.50)),
+			"p90_us":  us(h.Quantile(0.90)),
+			"p99_us":  us(h.Quantile(0.99)),
+		}
+	}))
+}

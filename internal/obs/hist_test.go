@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every representative nanosecond value must land in a bucket whose
+	// bounds contain it, and bucket indices must be monotone in the value.
+	prev := -1
+	for _, ns := range []int64{0, 1, 2, 7, 8, 9, 15, 16, 100, 1000, 4095, 4096,
+		1 << 20, 1<<20 + 1<<18, 1 << 30, 1 << 32, 1<<33 - 1} {
+		b := histBucket(ns)
+		lo, hi := histBounds(b)
+		if ns < lo || ns >= hi {
+			t.Fatalf("ns %d -> bucket %d [%d, %d) does not contain it", ns, b, lo, hi)
+		}
+		if b < prev {
+			t.Fatalf("bucket index not monotone at ns %d: %d < %d", ns, b, prev)
+		}
+		prev = b
+	}
+	if histBucket(-5) != 0 {
+		t.Fatal("negative duration must clamp to bucket 0")
+	}
+	if b := histBucket(1 << 40); b != histNumBuckets-1 {
+		t.Fatalf("huge duration bucket %d, want saturation at %d", b, histNumBuckets-1)
+	}
+	// Exhaustive adjacency: bucket bounds must tile [0, 2^33) exactly.
+	var expectLo int64
+	for i := 0; i < histNumBuckets; i++ {
+		lo, hi := histBounds(i)
+		if lo != expectLo || hi <= lo {
+			t.Fatalf("bucket %d bounds [%d, %d), want lo %d", i, lo, hi, expectLo)
+		}
+		expectLo = hi
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zero")
+	}
+	// 1000 observations at exactly 100µs and 10 at 10ms: p50 ~= 100µs,
+	// p99 <= ~120µs (within one sub-bucket), p999+ reaches the tail.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	if got := h.Quantile(0.5); got < 90*time.Microsecond || got > 125*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~100µs", got)
+	}
+	if got := h.Quantile(0.99); got > 130*time.Microsecond {
+		t.Fatalf("p99 = %v, want <= ~125µs", got)
+	}
+	if got := h.Quantile(1.0); got < 9*time.Millisecond {
+		t.Fatalf("p100 = %v, want ~10ms", got)
+	}
+	if n := h.Count(); n != 1010 {
+		t.Fatalf("Count = %d, want 1010", n)
+	}
+	mean := h.Mean()
+	if mean < 150*time.Microsecond || mean > 250*time.Microsecond {
+		t.Fatalf("Mean = %v, want ~198µs", mean)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("Reset did not clear the histogram")
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// Against a uniform sample the histogram quantile must stay within
+	// the ~19% sub-bucket error bound of the exact value.
+	var h LatencyHist
+	r := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 100_000; i++ {
+		h.Observe(time.Duration(r.Int64N(int64(time.Millisecond))))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := float64(h.Quantile(q))
+		want := q * float64(time.Millisecond)
+		if got < want*0.75 || got > want*1.25 {
+			t.Fatalf("q%.2f = %v, want within 25%% of %v", q, time.Duration(int64(got)), time.Duration(int64(want)))
+		}
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	// Quantile reads race the writers; they must stay in range and not
+	// panic.
+	for i := 0; i < 100; i++ {
+		if q := h.Quantile(0.99); q < 0 {
+			t.Fatalf("negative quantile %v", q)
+		}
+	}
+	wg.Wait()
+	if h.Count() != 80_000 {
+		t.Fatalf("Count = %d, want 80000", h.Count())
+	}
+}
+
+func TestHistObserveZeroAllocs(t *testing.T) {
+	var h LatencyHist
+	d := 37 * time.Microsecond
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(d) }); allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}

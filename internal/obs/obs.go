@@ -31,6 +31,14 @@ const (
 	EvStorageSnapshot = "storage.snapshot"
 	EvStorageCompact  = "storage.compact"
 	EvStorageRecover  = "storage.recover"
+
+	// score.publish is one epoch handoff to the real-time scorer
+	// (Suspects = suspect-set size, Nodes = account count, Detail = the
+	// server mode). score.enforce is one non-allow verdict handed to the
+	// enforcement hook (Detail = "throttle" | "deny", Acceptance = the
+	// fused score, Suspects = 1 if the epoch cut flagged the account).
+	EvScorePublish = "score.publish"
+	EvScoreEnforce = "score.enforce"
 )
 
 // Event is one structured trace event. It is a flat value type so that

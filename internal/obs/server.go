@@ -30,6 +30,15 @@ type ServerCounters struct {
 	DetectInflight *expvar.Int
 	// JournalEvents counts answered requests appended to the journal.
 	JournalEvents *expvar.Int
+	// ScoreRequests counts /v1/score verdicts served, broken down by
+	// outcome in ScoreAllows/ScoreThrottles/ScoreDenies.
+	ScoreRequests  *expvar.Int
+	ScoreAllows    *expvar.Int
+	ScoreThrottles *expvar.Int
+	ScoreDenies    *expvar.Int
+	// ScorePublishes counts epoch views handed to the scorer — one per
+	// published detection epoch (including epoch 0 at boot).
+	ScorePublishes *expvar.Int
 }
 
 // Server is the singleton server counter set; like Pipeline it lives in
@@ -46,4 +55,26 @@ var Server = ServerCounters{
 	LastDetectMS:    expvar.NewFloat("rejecto.server.last_detect_ms"),
 	DetectInflight:  expvar.NewInt("rejecto.server.detect_inflight"),
 	JournalEvents:   expvar.NewInt("rejecto.server.journal_events"),
+	ScoreRequests:   expvar.NewInt("rejecto.server.score_requests"),
+	ScoreAllows:     expvar.NewInt("rejecto.server.score_allows"),
+	ScoreThrottles:  expvar.NewInt("rejecto.server.score_throttles"),
+	ScoreDenies:     expvar.NewInt("rejecto.server.score_denies"),
+	ScorePublishes:  expvar.NewInt("rejecto.server.score_publishes"),
+}
+
+// ScoreLatency and IngestLatency are the serving-path latency histograms:
+// per-verdict handler time on /v1/score and per-batch handler time on
+// POST /v1/events. Their p50/p90/p99 are published as
+// "rejecto.server.score_latency" and "rejecto.server.ingest_latency" at
+// /debug/vars, and BENCH_serve.json's criterion reads the score p99.
+// Package scope for the same reason as the counter sets: expvar
+// registration is global and panics on duplicates.
+var (
+	ScoreLatency  = &LatencyHist{}
+	IngestLatency = &LatencyHist{}
+)
+
+func init() {
+	publishHist("rejecto.server.score_latency", ScoreLatency)
+	publishHist("rejecto.server.ingest_latency", IngestLatency)
 }

@@ -1,6 +1,10 @@
 package osn
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/score"
+)
 
 // Enforcer applies the paper's §VII responses to detected accounts with
 // escalation: the first detection issues a CAPTCHA-style challenge, a
@@ -57,6 +61,55 @@ func (e *Enforcer) Apply(detected []UserID) (challenged, limited, suspended int,
 		}
 	}
 	return challenged, limited, suspended, nil
+}
+
+// ApplyVerdict folds one real-time scoring verdict (internal/score) into
+// the enforcement ladder — the shape server.Config.ScoreHook expects, so a
+// live rejectod can drive graduated enforcement straight from /v1/score
+// traffic.
+//
+// A deny verdict counts as a detection: one strike through the
+// challenge → rate-limit → suspend escalation, same as Apply. A throttle
+// verdict rate-limits the account without consuming a strike — reversible
+// friction for the paper's false-positive tolerance: a mis-scored human is
+// slowed, not pushed down the ladder, and the next allow-scoring epoch
+// lifts the limit via ClearThrottle. An allow verdict is a no-op.
+func (e *Enforcer) ApplyVerdict(u UserID, v score.Verdict) error {
+	if err := e.s.checkUser(u); err != nil {
+		return err
+	}
+	switch v {
+	case score.VerdictAllow:
+		return nil
+	case score.VerdictThrottle:
+		// Never de-escalate: an account the ladder already rate-limited or
+		// suspended keeps its standing strike state.
+		if e.s.status[u] == statusNormal {
+			e.s.status[u] = statusRateLimited
+			e.s.winStart[u] = e.s.tick
+			e.s.sentInWin[u] = 0
+			e.s.log(EventRateLimited, u, u)
+		}
+		return nil
+	case score.VerdictDeny:
+		_, _, _, err := e.Apply([]UserID{u})
+		return err
+	default:
+		return fmt.Errorf("osn: unknown verdict %d", v)
+	}
+}
+
+// ClearThrottle lifts a rate limit that ApplyVerdict imposed without a
+// strike. Limits earned through the strike ladder (two or more detections)
+// stay — only detections clear those, by design.
+func (e *Enforcer) ClearThrottle(u UserID) error {
+	if err := e.s.checkUser(u); err != nil {
+		return err
+	}
+	if e.s.status[u] == statusRateLimited && e.strikes[u] < 2 {
+		e.s.status[u] = statusNormal
+	}
+	return nil
 }
 
 // PassChallenge clears an outstanding challenge on u (a human solved the

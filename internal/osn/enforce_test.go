@@ -1,6 +1,10 @@
 package osn
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/score"
+)
 
 func TestEnforcerEscalation(t *testing.T) {
 	s, _ := newService(4)
@@ -101,5 +105,79 @@ func TestEnforcerUnknownUser(t *testing.T) {
 	e := NewEnforcer(s, nil)
 	if _, _, _, err := e.Apply([]UserID{99}); err == nil {
 		t.Fatal("unknown user enforced")
+	}
+}
+
+func TestApplyVerdict(t *testing.T) {
+	s, _ := newService(6)
+	e := NewEnforcer(s, nil)
+	u := UserID(2)
+
+	// Allow is a no-op: no strike, no status change.
+	if err := e.ApplyVerdict(u, score.VerdictAllow); err != nil {
+		t.Fatal(err)
+	}
+	if e.Strikes(u) != 0 || e.StatusOf(u) != (Status{}) {
+		t.Fatalf("allow changed state: strikes=%d status=%+v", e.Strikes(u), e.StatusOf(u))
+	}
+
+	// Throttle rate-limits without a strike.
+	if err := e.ApplyVerdict(u, score.VerdictThrottle); err != nil {
+		t.Fatal(err)
+	}
+	if e.Strikes(u) != 0 {
+		t.Fatalf("throttle consumed a strike: %d", e.Strikes(u))
+	}
+	if st := e.StatusOf(u); !st.RateLimited || st.Challenged || st.Suspended {
+		t.Fatalf("status after throttle = %+v", st)
+	}
+	// ClearThrottle lifts it, because no strikes back the limit.
+	if err := e.ClearThrottle(u); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.StatusOf(u); st.RateLimited {
+		t.Fatal("throttle not lifted")
+	}
+
+	// Deny walks the strike ladder exactly like Apply.
+	if err := e.ApplyVerdict(u, score.VerdictDeny); err != nil {
+		t.Fatal(err)
+	}
+	if e.Strikes(u) != 1 || !e.StatusOf(u).Challenged {
+		t.Fatalf("after deny 1: strikes=%d status=%+v", e.Strikes(u), e.StatusOf(u))
+	}
+	if err := e.ApplyVerdict(u, score.VerdictDeny); err != nil {
+		t.Fatal(err)
+	}
+	if e.Strikes(u) != 2 || !e.StatusOf(u).RateLimited {
+		t.Fatalf("after deny 2: strikes=%d status=%+v", e.Strikes(u), e.StatusOf(u))
+	}
+	// A strike-backed rate limit does not clear as a throttle would.
+	if err := e.ClearThrottle(u); err != nil {
+		t.Fatal(err)
+	}
+	if !e.StatusOf(u).RateLimited {
+		t.Fatal("ClearThrottle lifted a strike-backed rate limit")
+	}
+	if err := e.ApplyVerdict(u, score.VerdictDeny); err != nil {
+		t.Fatal(err)
+	}
+	if !e.StatusOf(u).Suspended {
+		t.Fatalf("after deny 3: status=%+v", e.StatusOf(u))
+	}
+
+	// Throttling an already-suspended account never de-escalates.
+	if err := e.ApplyVerdict(u, score.VerdictThrottle); err != nil {
+		t.Fatal(err)
+	}
+	if !e.StatusOf(u).Suspended {
+		t.Fatal("throttle de-escalated a suspension")
+	}
+
+	if err := e.ApplyVerdict(u, score.Verdict(99)); err == nil {
+		t.Fatal("unknown verdict accepted")
+	}
+	if err := e.ApplyVerdict(UserID(100), score.VerdictDeny); err == nil {
+		t.Fatal("unknown user accepted")
 	}
 }

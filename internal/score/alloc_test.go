@@ -1,0 +1,93 @@
+package score
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestScoreZeroAllocs pins the hot verdict path at zero allocations in
+// steady state, the same bar TestPartitionFrozenZeroAllocs holds the KL
+// kernel to: a score is three atomic loads and pure math.
+func TestScoreZeroAllocs(t *testing.T) {
+	s, err := New(1024, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 10_000; i++ {
+		s.Observe(graph.NodeID(r.IntN(1024)), r.Float64() < 0.6)
+	}
+	s.PublishEpoch(NewEpochView(1, int64(s.Clock()), 1024, []graph.NodeID{3, 99, 700}))
+
+	var sink Result
+	id := graph.NodeID(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = s.Score(id)
+		id = (id + 7) % 1024
+	})
+	if allocs != 0 {
+		t.Fatalf("Score allocates %v per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestObserveZeroAllocs pins the ingest-side feature fold at zero
+// allocations: it runs inline in the server's single-owner ingest loop and
+// must stay invisible next to the journal append.
+func TestObserveZeroAllocs(t *testing.T) {
+	s, err := New(64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Observe(graph.NodeID(i%64), i%3 != 0)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+// BenchmarkScore is the micro-benchmark behind the serve bench's latency
+// budget: the in-process cost of one verdict, before HTTP framing.
+func BenchmarkScore(b *testing.B) {
+	const n = 1 << 20
+	s, err := New(n, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 200_000; i++ {
+		s.Observe(graph.NodeID(r.IntN(n)), r.Float64() < 0.6)
+	}
+	suspects := make([]graph.NodeID, 2000)
+	for i := range suspects {
+		suspects[i] = graph.NodeID(r.IntN(n))
+	}
+	s.PublishEpoch(NewEpochView(1, int64(s.Clock()), n, suspects))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink Result
+	for i := 0; i < b.N; i++ {
+		sink = s.Score(graph.NodeID(i & (n - 1)))
+	}
+	_ = sink
+}
+
+// BenchmarkObserve measures the per-event cost the scorer adds to the
+// ingest fold.
+func BenchmarkObserve(b *testing.B) {
+	const n = 1 << 20
+	s, err := New(n, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(graph.NodeID(i&(n-1)), i&3 != 0)
+	}
+}

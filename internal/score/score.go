@@ -1,0 +1,459 @@
+package score
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Verdict is the enforcement decision of one Score call.
+type Verdict uint8
+
+const (
+	// VerdictAllow lets the request through untouched.
+	VerdictAllow Verdict = iota
+	// VerdictThrottle admits the request but tells the enforcement layer
+	// to rate-limit the sender (osn.Enforcer.ApplyVerdict maps it onto the
+	// paper's graduated §VII ladder).
+	VerdictThrottle
+	// VerdictDeny blocks the request and escalates the sender.
+	VerdictDeny
+)
+
+// String returns the wire name of the verdict ("allow" | "throttle" |
+// "deny").
+func (v Verdict) String() string {
+	switch v {
+	case VerdictThrottle:
+		return "throttle"
+	case VerdictDeny:
+		return "deny"
+	default:
+		return "allow"
+	}
+}
+
+// Reason is a bitmask of the signals that pushed a score up. It is a fixed
+// bitmask rather than a string slice so the hot path stays allocation-free;
+// the HTTP layer expands it with Strings.
+type Reason uint8
+
+const (
+	// ReasonEpochSuspect: the account is in the published epoch's suspect
+	// set — the batch Rejecto cut flagged it.
+	ReasonEpochSuspect Reason = 1 << iota
+	// ReasonRejectionVelocity: the account's outgoing requests are being
+	// rejected at high velocity right now.
+	ReasonRejectionVelocity
+	// ReasonRequestRate: the account is answering-volume-heavy — it owns an
+	// outsized share of recent request traffic.
+	ReasonRequestRate
+	// ReasonLowAcceptance: the account's long-run acceptance EWMA is far
+	// below neutral.
+	ReasonLowAcceptance
+	// ReasonFallingAcceptance: the account's short-run acceptance is
+	// dropping away from its long-run level — the trajectory signal.
+	ReasonFallingAcceptance
+)
+
+// reasonNames is indexed by bit position; order is the wire order.
+var reasonNames = [...]string{
+	"epoch_suspect",
+	"rejection_velocity",
+	"request_rate",
+	"low_acceptance",
+	"falling_acceptance",
+}
+
+// Strings expands the bitmask into its wire names, in fixed order. It
+// allocates; keep it off the hot path.
+func (r Reason) Strings() []string {
+	if r == 0 {
+		return nil
+	}
+	out := make([]string, 0, bits.OnesCount8(uint8(r)))
+	for i, name := range reasonNames {
+		if r&(1<<i) != 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Result is one scoring verdict. Every field is a comparable scalar, so
+// the determinism contract — repeated calls with no interleaved ingest are
+// byte-identical — is checkable with ==.
+type Result struct {
+	ID graph.NodeID
+	// Score is the fused suspicion in [0, 1].
+	Score float64
+	// Verdict is Score cut at the configured thresholds.
+	Verdict Verdict
+	// Reasons is the bitmask of contributing signals.
+	Reasons Reason
+	// Epoch is the sequence number of the epoch the verdict used, or -1
+	// when no epoch has been published.
+	Epoch int64
+	// StalenessEvents is the number of answered requests folded since that
+	// epoch was cut — how far behind the batch signal is running.
+	StalenessEvents int64
+}
+
+// Options parameterizes a Scorer. The zero value takes every default.
+type Options struct {
+	// DenyThreshold is the score at or above which the verdict is deny.
+	// Default 0.8. An account in the published epoch's suspect set always
+	// scores >= DenyThreshold — the batch cut is never silently overruled.
+	DenyThreshold float64
+	// ThrottleThreshold is the score at or above which the verdict is at
+	// least throttle. Default 0.5. Must not exceed DenyThreshold.
+	ThrottleThreshold float64
+	// WindowEvents is the rate-window span in answered requests (the
+	// scorer's logical clock). Must be a power of two >= 16. Default 1024.
+	WindowEvents int
+}
+
+// Default thresholds and window span.
+const (
+	DefaultDenyThreshold     = 0.8
+	DefaultThrottleThreshold = 0.5
+	DefaultWindowEvents      = 1024
+)
+
+// withDefaults fills zero fields and validates the result.
+func (o Options) withDefaults() (Options, error) {
+	if o.DenyThreshold == 0 {
+		o.DenyThreshold = DefaultDenyThreshold
+	}
+	if o.ThrottleThreshold == 0 {
+		o.ThrottleThreshold = DefaultThrottleThreshold
+	}
+	if o.WindowEvents == 0 {
+		o.WindowEvents = DefaultWindowEvents
+	}
+	if o.DenyThreshold <= 0 || o.DenyThreshold > 1 {
+		return o, fmt.Errorf("score: DenyThreshold %v outside (0, 1]", o.DenyThreshold)
+	}
+	if o.ThrottleThreshold <= 0 || o.ThrottleThreshold > o.DenyThreshold {
+		return o, fmt.Errorf("score: ThrottleThreshold %v outside (0, DenyThreshold]", o.ThrottleThreshold)
+	}
+	if o.WindowEvents < 16 || o.WindowEvents&(o.WindowEvents-1) != 0 {
+		return o, fmt.Errorf("score: WindowEvents %d is not a power of two >= 16", o.WindowEvents)
+	}
+	return o, nil
+}
+
+// EpochView is the scorer's read model of one published detection epoch:
+// the suspect set as a bitset plus the epoch's coverage, swapped in whole
+// by PublishEpoch so every verdict reflects exactly one epoch.
+type EpochView struct {
+	// Seq is the epoch's sequence number.
+	Seq int64
+	// Events is the number of answered requests the epoch covered; the
+	// scorer reports clock-Events as staleness.
+	Events int64
+
+	suspects    []uint64
+	numSuspects int
+}
+
+// NewEpochView builds a view over numNodes accounts flagging the given
+// suspects. Duplicate IDs are fine; out-of-range IDs panic.
+func NewEpochView(seq, events int64, numNodes int, suspects []graph.NodeID) *EpochView {
+	v := &EpochView{Seq: seq, Events: events, suspects: make([]uint64, (numNodes+63)/64)}
+	for _, u := range suspects {
+		w, b := int(u)>>6, uint(u)&63
+		if v.suspects[w]&(1<<b) == 0 {
+			v.suspects[w] |= 1 << b
+			v.numSuspects++
+		}
+	}
+	return v
+}
+
+// Suspect reports whether the epoch's cut flagged id.
+func (v *EpochView) Suspect(id graph.NodeID) bool {
+	w := int(id) >> 6
+	if w >= len(v.suspects) {
+		return false
+	}
+	return v.suspects[w]&(1<<(uint(id)&63)) != 0
+}
+
+// NumSuspects reports the size of the epoch's suspect set.
+func (v *EpochView) NumSuspects() int { return v.numSuspects }
+
+// Packed feature-word layout; see the package comment.
+const (
+	cntBits = 10
+	cntMask = 1<<cntBits - 1 // per-window counts saturate here
+
+	offCurReq  = 0
+	offPrevReq = 10
+	offCurRej  = 20
+	offPrevRej = 30
+	offWin     = 40
+	offFast    = 48
+	offSlow    = 56
+
+	accOne  = 255 // Q0.8 fixed-point 1.0
+	accHalf = 128 // neutral prior
+
+	fastInvAlpha = 4  // accFast EWMA alpha = 1/4
+	slowInvAlpha = 16 // accSlow EWMA alpha = 1/16
+)
+
+// initialWord is an untouched account: zero counts, neutral acceptance.
+const initialWord = uint64(accHalf)<<offFast | uint64(accHalf)<<offSlow
+
+// Signal shaping constants: a raw per-window count c becomes the soft
+// signal c/(c+half), putting the half-way point of each signal at a
+// concrete "this many events per window" interpretation.
+const (
+	rejHalfCount  = 4.0 // 4 rejections/window -> rejection signal 0.5
+	rateHalfCount = 8.0 // 8 answered requests/window -> rate signal 0.5
+)
+
+// Signal fusion weights. They deliberately sum above 1 (the signals
+// overlap on real spammers); the fused online score is clamped to 1.
+const (
+	wRejection  = 0.50
+	wRate       = 0.25
+	wLowAccept  = 0.25
+	wTrajectory = 0.10
+)
+
+// Scorer holds the online feature state and the published epoch view.
+// Observe is single-writer (the ingest fold); Score and PublishEpoch are
+// safe from any goroutine.
+type Scorer struct {
+	opts     Options
+	winShift uint
+
+	// clock counts answered requests folded so far — the logical time base
+	// of every rate window.
+	clock atomic.Uint64
+	// epoch is the latest published EpochView; readers load it exactly
+	// once per Score, so a verdict can never blend two epochs.
+	epoch atomic.Pointer[EpochView]
+	// accounts holds one packed feature word per account.
+	accounts []atomic.Uint64
+}
+
+// New builds a Scorer over numNodes accounts.
+func New(numNodes int, opts Options) (*Scorer, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if numNodes < 0 {
+		return nil, fmt.Errorf("score: negative account count %d", numNodes)
+	}
+	s := &Scorer{
+		opts:     opts,
+		winShift: uint(bits.TrailingZeros(uint(opts.WindowEvents))),
+		accounts: make([]atomic.Uint64, numNodes),
+	}
+	for i := range s.accounts {
+		s.accounts[i].Store(initialWord)
+	}
+	return s, nil
+}
+
+// Options returns the scorer's resolved configuration.
+func (s *Scorer) Options() Options { return s.opts }
+
+// NumAccounts reports the account-ID bound.
+func (s *Scorer) NumAccounts() int { return len(s.accounts) }
+
+// Clock returns the number of answered requests folded so far.
+func (s *Scorer) Clock() uint64 { return s.clock.Load() }
+
+// Epoch returns the latest published view, or nil before the first
+// PublishEpoch.
+func (s *Scorer) Epoch() *EpochView { return s.epoch.Load() }
+
+// PublishEpoch atomically swaps in a new epoch view. Every subsequent
+// Score uses exactly this view until the next publish.
+func (s *Scorer) PublishEpoch(v *EpochView) { s.epoch.Store(v) }
+
+// Observe folds one answered request by account `from` into its features.
+// Single-writer: only the goroutine that owns the ingest fold may call it.
+// It performs no allocation and exactly one atomic load+store of the
+// account's word.
+func (s *Scorer) Observe(from graph.NodeID, accepted bool) {
+	t := s.clock.Add(1) - 1
+	w := uint8(t >> s.winShift)
+	a := &s.accounts[from]
+	word := rollWindows(a.Load(), w)
+
+	curReq := satAdd(word >> offCurReq & cntMask)
+	curRej := word >> offCurRej & cntMask
+	obs := uint64(0)
+	if accepted {
+		obs = accOne
+	} else {
+		curRej = satAdd(curRej)
+	}
+	fast := ewmaStep(word>>offFast&0xff, obs, fastInvAlpha)
+	slow := ewmaStep(word>>offSlow&0xff, obs, slowInvAlpha)
+
+	word &= (cntMask << offPrevReq) | (cntMask << offPrevRej) // keep prev counts
+	word |= curReq<<offCurReq | curRej<<offCurRej |
+		uint64(w)<<offWin | fast<<offFast | slow<<offSlow
+	a.Store(word)
+}
+
+// rollWindows aligns a feature word to window w: one window forward shifts
+// cur into prev, a larger gap clears both. The window index is tracked
+// modulo 256, so a gap of exactly 256 windows aliases to "same window" —
+// see the package comment.
+func rollWindows(word uint64, w uint8) uint64 {
+	switch w - uint8(word>>offWin) {
+	case 0:
+		return word
+	case 1:
+		cur := word >> offCurReq & cntMask
+		curRej := word >> offCurRej & cntMask
+		word &^= cntMask<<offCurReq | cntMask<<offPrevReq | cntMask<<offCurRej | cntMask<<offPrevRej
+		word |= cur<<offPrevReq | curRej<<offPrevRej
+	default:
+		word &^= cntMask<<offCurReq | cntMask<<offPrevReq | cntMask<<offCurRej | cntMask<<offPrevRej
+	}
+	word = word&^(0xff<<offWin) | uint64(w)<<offWin
+	return word
+}
+
+// satAdd increments a per-window count, saturating at cntMask.
+func satAdd(c uint64) uint64 {
+	if c >= cntMask {
+		return cntMask
+	}
+	return c + 1
+}
+
+// ewmaStep moves a Q0.8 EWMA toward obs by 1/invAlpha of the gap, always
+// by at least one step when the gap is nonzero, so both extremes (0 and
+// 255) are exactly reachable in either direction.
+func ewmaStep(old, obs, invAlpha uint64) uint64 {
+	if obs >= old {
+		return old + (obs-old+invAlpha-1)/invAlpha
+	}
+	return old - (old-obs+invAlpha-1)/invAlpha
+}
+
+// Features is the decoded online view of one account at one logical
+// instant — what Score sees before fusion. Rates are events per window,
+// interpolated across the current and previous windows.
+type Features struct {
+	// RequestRate is the account's answered outgoing requests per window.
+	RequestRate float64
+	// RejectionVelocity is its rejected outgoing requests per window.
+	RejectionVelocity float64
+	// AcceptFast and AcceptSlow are the short- and long-horizon acceptance
+	// EWMAs in [0, 1]; an untouched account sits at the 0.5 neutral prior.
+	AcceptFast, AcceptSlow float64
+}
+
+// Features decodes the account's current online features.
+func (s *Scorer) Features(id graph.NodeID) Features {
+	return decodeFeatures(s.accounts[id].Load(), s.clock.Load(), s.winShift)
+}
+
+// decodeFeatures is the pure read-side half of the window logic: it
+// aligns the stored word to the clock's window without writing, then
+// interpolates the sliding-window rates by the position inside the
+// current window.
+func decodeFeatures(word uint64, now uint64, winShift uint) Features {
+	word = rollWindows(word, uint8(now>>winShift))
+	frac := float64(now&(1<<winShift-1)) / float64(uint64(1)<<winShift)
+	carry := 1 - frac
+	return Features{
+		RequestRate:       float64(word>>offCurReq&cntMask) + float64(word>>offPrevReq&cntMask)*carry,
+		RejectionVelocity: float64(word>>offCurRej&cntMask) + float64(word>>offPrevRej&cntMask)*carry,
+		AcceptFast:        float64(word>>offFast&0xff) / accOne,
+		AcceptSlow:        float64(word>>offSlow&0xff) / accOne,
+	}
+}
+
+// combine fuses online features and the epoch signal into a score and its
+// reason bitmask — a pure function, the determinism anchor.
+func (o Options) combine(f Features, suspect bool) (float64, Reason) {
+	rejS := f.RejectionVelocity / (f.RejectionVelocity + rejHalfCount)
+	rateS := f.RequestRate / (f.RequestRate + rateHalfCount)
+	low := 0.0
+	if f.AcceptSlow < 0.5 {
+		low = (0.5 - f.AcceptSlow) * 2
+	}
+	fall := (f.AcceptSlow - f.AcceptFast) * 2.5
+	if fall < 0 {
+		fall = 0
+	} else if fall > 1 {
+		fall = 1
+	}
+
+	online := wRejection*rejS + wRate*rateS + wLowAccept*low + wTrajectory*fall
+	if online > 1 {
+		online = 1
+	}
+
+	var r Reason
+	if rejS >= 0.5 {
+		r |= ReasonRejectionVelocity
+	}
+	if rateS >= 0.5 {
+		r |= ReasonRequestRate
+	}
+	if low >= 0.5 {
+		r |= ReasonLowAcceptance
+	}
+	if fall >= 0.5 {
+		r |= ReasonFallingAcceptance
+	}
+	if suspect {
+		// The epoch cut pins the score at or above the deny threshold;
+		// online signals only push it further. This is the invariant the
+		// server's property suite enforces: the batch verdict is never
+		// silently overruled by quiet recent behaviour.
+		return o.DenyThreshold + (1-o.DenyThreshold)*online, r | ReasonEpochSuspect
+	}
+	return online, r
+}
+
+// Score computes the account's verdict: one atomic load of the epoch
+// pointer, one of the clock, one of the feature word, then pure math.
+// Zero allocations; safe from any goroutine; byte-identical across calls
+// with no interleaved Observe/PublishEpoch.
+func (s *Scorer) Score(id graph.NodeID) Result {
+	ep := s.epoch.Load()
+	now := s.clock.Load()
+	f := decodeFeatures(s.accounts[id].Load(), now, s.winShift)
+
+	suspect := ep != nil && ep.Suspect(id)
+	sc, reasons := s.opts.combine(f, suspect)
+
+	verdict := VerdictAllow
+	switch {
+	case sc >= s.opts.DenyThreshold:
+		verdict = VerdictDeny
+	case sc >= s.opts.ThrottleThreshold:
+		verdict = VerdictThrottle
+	}
+
+	res := Result{
+		ID:      id,
+		Score:   sc,
+		Verdict: verdict,
+		Reasons: reasons,
+		Epoch:   -1,
+	}
+	if ep != nil {
+		res.Epoch = ep.Seq
+		if staleness := int64(now) - ep.Events; staleness > 0 {
+			res.StalenessEvents = staleness
+		}
+	}
+	return res
+}

@@ -1,0 +1,353 @@
+package score
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func newTestScorer(t *testing.T, n int, opts Options) *Scorer {
+	t.Helper()
+	s, err := New(n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOptionsDefaultsAndValidation(t *testing.T) {
+	s := newTestScorer(t, 4, Options{})
+	got := s.Options()
+	if got.DenyThreshold != DefaultDenyThreshold ||
+		got.ThrottleThreshold != DefaultThrottleThreshold ||
+		got.WindowEvents != DefaultWindowEvents {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+	bad := []Options{
+		{DenyThreshold: 1.5},
+		{DenyThreshold: -0.1},
+		{ThrottleThreshold: 0.9, DenyThreshold: 0.8},
+		{WindowEvents: 100},
+		{WindowEvents: 8},
+	}
+	for _, o := range bad {
+		if _, err := New(4, o); err == nil {
+			t.Errorf("Options %+v accepted, want error", o)
+		}
+	}
+	if _, err := New(-1, Options{}); err == nil {
+		t.Error("negative account count accepted")
+	}
+}
+
+func TestUntouchedAccountIsNeutral(t *testing.T) {
+	s := newTestScorer(t, 8, Options{})
+	f := s.Features(3)
+	if f.RequestRate != 0 || f.RejectionVelocity != 0 {
+		t.Fatalf("untouched account has nonzero rates: %+v", f)
+	}
+	if f.AcceptFast < 0.49 || f.AcceptFast > 0.51 || f.AcceptSlow < 0.49 || f.AcceptSlow > 0.51 {
+		t.Fatalf("untouched account not at neutral acceptance prior: %+v", f)
+	}
+	res := s.Score(3)
+	if res.Verdict != VerdictAllow || res.Score >= DefaultThrottleThreshold {
+		t.Fatalf("untouched account not allowed: %+v", res)
+	}
+	if res.Epoch != -1 {
+		t.Fatalf("no epoch published but Epoch = %d", res.Epoch)
+	}
+}
+
+func TestWindowRoll(t *testing.T) {
+	// WindowEvents 16: the smallest legal window keeps the test short.
+	s := newTestScorer(t, 2, Options{WindowEvents: 16})
+
+	// 10 rejected requests by account 0 inside window 0.
+	for i := 0; i < 10; i++ {
+		s.Observe(0, false)
+	}
+	f := s.Features(0)
+	if f.RequestRate < 10 || f.RejectionVelocity < 10 {
+		t.Fatalf("window 0 rates too low: %+v", f)
+	}
+
+	// Advance the clock into window 1 with account 1 traffic: account 0's
+	// counts must slide into the previous-window slot and decay as the
+	// window fills.
+	for i := 0; i < 16; i++ {
+		s.Observe(1, true)
+	}
+	// clock = 26, window 1 is 10/16 full: carry = 1 - 10/16.
+	f = s.Features(0)
+	wantCarry := 10 * (1 - 10.0/16)
+	if f.RequestRate != wantCarry || f.RejectionVelocity != wantCarry {
+		t.Fatalf("carried rate = %+v, want %v", f, wantCarry)
+	}
+
+	// Two empty windows later the counts must be gone entirely.
+	for i := 0; i < 32; i++ {
+		s.Observe(1, true)
+	}
+	f = s.Features(0)
+	if f.RequestRate != 0 || f.RejectionVelocity != 0 {
+		t.Fatalf("stale counts survived a 2-window gap: %+v", f)
+	}
+}
+
+func TestAcceptanceEWMAsReachExtremes(t *testing.T) {
+	s := newTestScorer(t, 1, Options{})
+	for i := 0; i < 200; i++ {
+		s.Observe(0, false)
+	}
+	f := s.Features(0)
+	if f.AcceptFast != 0 || f.AcceptSlow != 0 {
+		t.Fatalf("all-rejected account did not reach acceptance 0: %+v", f)
+	}
+	for i := 0; i < 400; i++ {
+		s.Observe(0, true)
+	}
+	f = s.Features(0)
+	if f.AcceptFast != 1 || f.AcceptSlow != 1 {
+		t.Fatalf("all-accepted account did not reach acceptance 1: %+v", f)
+	}
+}
+
+func TestTrajectorySignal(t *testing.T) {
+	// A long-benign account that pivots to spam: the fast EWMA must fall
+	// away from the slow one, raising the falling-acceptance reason while
+	// the slow EWMA is still high.
+	s := newTestScorer(t, 1, Options{})
+	for i := 0; i < 100; i++ {
+		s.Observe(0, true)
+	}
+	for i := 0; i < 6; i++ {
+		s.Observe(0, false)
+	}
+	f := s.Features(0)
+	if f.AcceptFast >= f.AcceptSlow {
+		t.Fatalf("pivot did not open a fast<slow gap: %+v", f)
+	}
+	res := s.Score(0)
+	if res.Reasons&ReasonFallingAcceptance == 0 {
+		t.Fatalf("pivot did not raise falling-acceptance: %+v, features %+v", res, f)
+	}
+}
+
+func TestSpammerVsBenignSeparation(t *testing.T) {
+	s := newTestScorer(t, 3, Options{})
+	// Account 0: blatant spammer, 40 rejections in the current window.
+	for i := 0; i < 40; i++ {
+		s.Observe(0, false)
+	}
+	// Account 1: active benign user, 20 accepted requests.
+	for i := 0; i < 20; i++ {
+		s.Observe(1, true)
+	}
+	spam, benign, idle := s.Score(0), s.Score(1), s.Score(2)
+	if spam.Verdict != VerdictDeny {
+		t.Fatalf("blatant spammer not denied: %+v", spam)
+	}
+	if spam.Reasons&ReasonRejectionVelocity == 0 || spam.Reasons&ReasonLowAcceptance == 0 {
+		t.Fatalf("spammer reasons incomplete: %+v", spam)
+	}
+	if benign.Verdict != VerdictAllow {
+		t.Fatalf("active benign user not allowed: %+v", benign)
+	}
+	if idle.Verdict != VerdictAllow {
+		t.Fatalf("idle user not allowed: %+v", idle)
+	}
+	if !(spam.Score > benign.Score && benign.Score >= idle.Score) {
+		t.Fatalf("score ordering broken: spam %v benign %v idle %v",
+			spam.Score, benign.Score, idle.Score)
+	}
+}
+
+func TestCountSaturation(t *testing.T) {
+	s := newTestScorer(t, 1, Options{WindowEvents: 4096})
+	for i := 0; i < 3000; i++ {
+		s.Observe(0, false)
+	}
+	f := s.Features(0)
+	if f.RequestRate != cntMask || f.RejectionVelocity != cntMask {
+		t.Fatalf("counts did not saturate at %d: %+v", cntMask, f)
+	}
+	if s.Score(0).Verdict != VerdictDeny {
+		t.Fatalf("saturated spammer not denied")
+	}
+}
+
+// TestEpochSuspectAlwaysAtLeastDeny drives random feature states into an
+// account and checks the core invariant: with the account in the published
+// suspect set, every score is >= the deny threshold and the verdict is
+// deny, whatever the online features say.
+func TestEpochSuspectAlwaysAtLeastDeny(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 200; trial++ {
+		opts := Options{
+			DenyThreshold:     0.3 + r.Float64()*0.69,
+			ThrottleThreshold: 0.2,
+		}
+		s := newTestScorer(t, 8, opts)
+		id := graph.NodeID(r.IntN(8))
+		for i, n := 0, r.IntN(300); i < n; i++ {
+			s.Observe(graph.NodeID(r.IntN(8)), r.Float64() < 0.7)
+		}
+		s.PublishEpoch(NewEpochView(int64(trial), int64(s.Clock()), 8, []graph.NodeID{id}))
+		res := s.Score(id)
+		if res.Score < opts.DenyThreshold || res.Verdict != VerdictDeny {
+			t.Fatalf("trial %d: suspect scored %v (deny threshold %v), verdict %v",
+				trial, res.Score, opts.DenyThreshold, res.Verdict)
+		}
+		if res.Reasons&ReasonEpochSuspect == 0 {
+			t.Fatalf("trial %d: suspect verdict missing epoch reason: %+v", trial, res)
+		}
+		if res.Epoch != int64(trial) {
+			t.Fatalf("trial %d: verdict cites epoch %d", trial, res.Epoch)
+		}
+	}
+}
+
+func TestScoreDeterminismWithoutIngest(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 11))
+	s := newTestScorer(t, 16, Options{WindowEvents: 64})
+	for i := 0; i < 500; i++ {
+		s.Observe(graph.NodeID(r.IntN(16)), r.Float64() < 0.6)
+	}
+	s.PublishEpoch(NewEpochView(3, int64(s.Clock())-10, 16, []graph.NodeID{2, 5}))
+	for id := graph.NodeID(0); id < 16; id++ {
+		first := s.Score(id)
+		for i := 0; i < 5; i++ {
+			if again := s.Score(id); again != first {
+				t.Fatalf("id %d: repeated Score diverged: %+v vs %+v", id, first, again)
+			}
+		}
+	}
+}
+
+func TestStalenessTracksClock(t *testing.T) {
+	s := newTestScorer(t, 4, Options{})
+	for i := 0; i < 10; i++ {
+		s.Observe(0, true)
+	}
+	s.PublishEpoch(NewEpochView(1, 10, 4, nil))
+	if got := s.Score(0).StalenessEvents; got != 0 {
+		t.Fatalf("fresh epoch staleness = %d", got)
+	}
+	for i := 0; i < 25; i++ {
+		s.Observe(1, true)
+	}
+	if got := s.Score(0).StalenessEvents; got != 25 {
+		t.Fatalf("staleness = %d, want 25", got)
+	}
+}
+
+func TestEpochViewMembership(t *testing.T) {
+	v := NewEpochView(9, 100, 130, []graph.NodeID{0, 63, 64, 129, 64})
+	if v.NumSuspects() != 4 {
+		t.Fatalf("NumSuspects = %d, want 4 (dupes collapse)", v.NumSuspects())
+	}
+	for _, u := range []graph.NodeID{0, 63, 64, 129} {
+		if !v.Suspect(u) {
+			t.Errorf("Suspect(%d) = false", u)
+		}
+	}
+	for _, u := range []graph.NodeID{1, 62, 65, 128} {
+		if v.Suspect(u) {
+			t.Errorf("Suspect(%d) = true", u)
+		}
+	}
+	// Out-of-range probes must not panic or match.
+	if v.Suspect(100000) {
+		t.Error("out-of-range ID reported suspect")
+	}
+}
+
+func TestVerdictAndReasonStrings(t *testing.T) {
+	if VerdictAllow.String() != "allow" || VerdictThrottle.String() != "throttle" || VerdictDeny.String() != "deny" {
+		t.Fatal("verdict wire names wrong")
+	}
+	r := ReasonEpochSuspect | ReasonLowAcceptance
+	got := r.Strings()
+	if len(got) != 2 || got[0] != "epoch_suspect" || got[1] != "low_acceptance" {
+		t.Fatalf("Reason.Strings() = %v", got)
+	}
+	if Reason(0).Strings() != nil {
+		t.Fatal("zero reason mask produced strings")
+	}
+}
+
+// TestConcurrentReadersOneWriter hammers the single-writer contract under
+// the race detector: one Observe writer, racing epoch publishes, many
+// Score readers. Every result must be internally coherent — a suspect bit
+// implies membership in the cited epoch's set.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	const n = 64
+	s := newTestScorer(t, n, Options{WindowEvents: 64})
+	suspectsBySeq := make(map[int64]map[graph.NodeID]bool)
+	for seq := int64(0); seq < 8; seq++ {
+		set := map[graph.NodeID]bool{graph.NodeID(seq): true, graph.NodeID(seq + 20): true}
+		suspectsBySeq[seq] = set
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // the single writer
+		defer wg.Done()
+		r := rand.New(rand.NewPCG(1, 1))
+		for i := 0; i < 50_000; i++ {
+			s.Observe(graph.NodeID(r.IntN(n)), r.Float64() < 0.5)
+		}
+		close(stop)
+	}()
+	wg.Add(1)
+	go func() { // racing epoch publishes
+		defer wg.Done()
+		seq := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ids := make([]graph.NodeID, 0, 2)
+			for id := range suspectsBySeq[seq%8] {
+				ids = append(ids, id)
+			}
+			s.PublishEpoch(NewEpochView(seq%8, int64(s.Clock()), n, ids))
+			seq++
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), 2))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := graph.NodeID(r.IntN(n))
+				res := s.Score(id)
+				if res.Epoch >= 0 {
+					inSet := suspectsBySeq[res.Epoch][id]
+					gotBit := res.Reasons&ReasonEpochSuspect != 0
+					if inSet != gotBit {
+						t.Errorf("id %d: epoch %d suspect bit %v, set says %v",
+							id, res.Epoch, gotBit, inSet)
+						return
+					}
+				}
+				if res.Score < 0 || res.Score > 1 {
+					t.Errorf("score %v outside [0,1]", res.Score)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

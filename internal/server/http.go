@@ -23,6 +23,8 @@ const maxEventBody = 8 << 20
 //	POST /v1/detect      run a detection now; responds when it completes
 //	GET  /v1/suspects    per-interval suspect sets of the last epoch
 //	GET  /v1/users/{id}  per-user stats + suspect status (memoized)
+//	GET  /v1/score       real-time verdict(s): ?id=7&id=9, repeatable
+//	POST /v1/score       same, JSON body {"id": 7} or {"ids": [7, 9]}
 //	GET  /v1/stats       queue/epoch/counter snapshot
 //	GET  /healthz        liveness
 func (s *Server) routes() http.Handler {
@@ -31,6 +33,8 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("POST /v1/detect", s.instrument("POST /v1/detect", s.handleDetect))
 	mux.Handle("GET /v1/suspects", s.instrument("GET /v1/suspects", s.handleSuspects))
 	mux.Handle("GET /v1/users/{id}", s.instrument("GET /v1/users/{id}", s.handleUser))
+	mux.Handle("GET /v1/score", s.instrument("GET /v1/score", s.handleScore))
+	mux.Handle("POST /v1/score", s.instrument("POST /v1/score", s.handleScore))
 	mux.Handle("GET /v1/stats", s.instrument("GET /v1/stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -74,6 +78,8 @@ type ingestReply struct {
 // full queue answers 429 with Retry-After and reports how much of the
 // batch got in, so a well-behaved client retries only the tail.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { obs.IngestLatency.Observe(time.Since(start)) }()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEventBody))
 	if err != nil {
 		obs.Server.EventsRejected.Add(1)
@@ -277,6 +283,7 @@ type statsReply struct {
 	LastDetectMS   float64            `json:"last_detect_ms"`
 	CacheHits      uint64             `json:"user_cache_hits"`
 	CacheMisses    uint64             `json:"user_cache_misses"`
+	Score          *scoreStatsReply   `json:"score"`
 	Incr           *incrStatsReply    `json:"incremental,omitempty"`
 	Storage        *storageStatsReply `json:"storage,omitempty"`
 }
@@ -284,10 +291,7 @@ type statsReply struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ep := s.epoch.Load()
 	hits, misses := s.users.Stats()
-	mode := "batch"
-	if s.cfg.Incremental {
-		mode = "incremental"
-	}
+	mode := s.mode()
 	var storageStats *storageStatsReply
 	if s.store != nil {
 		st := s.store.Stats()
@@ -324,6 +328,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LastDetectMS:   obs.Server.LastDetectMS.Value(),
 		CacheHits:      hits,
 		CacheMisses:    misses,
+		Score:          s.scoreStats(),
 		Incr:           s.incrStats.Load(),
 		Storage:        storageStats,
 	})

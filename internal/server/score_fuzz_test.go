@@ -1,0 +1,68 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzScoreRequest checks that arbitrary /v1/score inputs — query strings
+// and JSON bodies alike — never panic the parser, and that everything it
+// accepts satisfies the invariants the handler assumes: 1..maxScoreBatch
+// IDs, each in int32 range and non-negative, never from a query and a body
+// at once.
+func FuzzScoreRequest(f *testing.F) {
+	// Valid shapes: single and repeated query IDs, single-ID and batch
+	// bodies, duplicates.
+	f.Add("id=7", []byte(nil))
+	f.Add("id=7&id=9&id=7", []byte(nil))
+	f.Add("id=0&id=2147483647", []byte(nil))
+	f.Add("", []byte(`{"id": 7}`))
+	f.Add("", []byte(`{"ids": [7, 9, 7]}`))
+	f.Add("", []byte(`{"ids": [0]}`))
+	// Hostile shapes: malformed IDs, out-of-range and negative values,
+	// huge bodies and batches, duplicate/unknown params, both-at-once,
+	// wrong JSON kinds, trailing garbage.
+	f.Add("id=x", []byte(nil))
+	f.Add("id=-1", []byte(nil))
+	f.Add("id=2147483648", []byte(nil))
+	f.Add("id=99999999999999999999", []byte(nil))
+	f.Add("id=", []byte(nil))
+	f.Add("user=3", []byte(nil))
+	f.Add("id=3&user=4", []byte(nil))
+	f.Add("id=7;id=9", []byte(nil))
+	f.Add("%gh&%ij", []byte(nil))
+	f.Add("id=7", []byte(`{"id": 9}`))
+	f.Add("", []byte(`{"id": 7, "ids": [9]}`))
+	f.Add("", []byte(`{"ids": []}`))
+	f.Add("", []byte(`{"id": -1}`))
+	f.Add("", []byte(`{"id": 1.5}`))
+	f.Add("", []byte(`{"id": 2147483648}`))
+	f.Add("", []byte(`{"ids": [1, -2]}`))
+	f.Add("", []byte(`{"id": 7} %`))
+	f.Add("", []byte(`[7, 9]`))
+	f.Add("", []byte(`"7"`))
+	f.Add("", []byte(`null`))
+	f.Add("", []byte(``))
+	f.Add("", []byte(`{"ids": [`+strings.Repeat("1,", 2000)+`1]}`))
+	f.Fuzz(func(t *testing.T, rawQuery string, body []byte) {
+		ids, err := ParseScoreRequest(rawQuery, body)
+		if err != nil {
+			return
+		}
+		if rawQuery != "" && len(body) > 0 {
+			t.Fatal("accepted a request with both query and body")
+		}
+		if len(ids) == 0 {
+			t.Fatal("accepted a request with no IDs")
+		}
+		if len(ids) > maxScoreBatch {
+			t.Fatalf("accepted a batch of %d IDs, max %d", len(ids), maxScoreBatch)
+		}
+		for i, id := range ids {
+			if id < 0 || int64(id) > math.MaxInt32 {
+				t.Fatalf("ID %d accepted out of range: %d", i, id)
+			}
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/incr"
 	"repro/internal/obs"
+	"repro/internal/score"
 	"repro/internal/storage"
 )
 
@@ -99,6 +100,17 @@ type Config struct {
 	// keeping the epoch-over-epoch replay invariant byte-exact while still
 	// patching snapshots and reusing untouched intervals.
 	DisableWarmStart bool
+
+	// Score configures the real-time verdict path (GET/POST /v1/score):
+	// deny/throttle thresholds and the sliding-window width of the online
+	// features. The zero value takes score.Options defaults.
+	Score score.Options
+
+	// ScoreHook, when non-nil, receives every non-allow verdict the server
+	// serves — the graduated-enforcement seam (osn.Enforcer.ApplyVerdict
+	// slots in here). Called synchronously on the serving goroutine; keep
+	// it cheap.
+	ScoreHook func(score.Result)
 }
 
 // Epoch is one completed detection, published atomically and served by the
@@ -159,6 +171,12 @@ type Server struct {
 	epoch    atomic.Pointer[Epoch]
 	epochSeq int64 // detector-goroutine-owned after New
 	users    *cache.Locked[userKey, []byte]
+
+	// scorer holds the real-time verdict state: per-account online
+	// features written only by the ingest goroutine (and by New during
+	// recovery, before the goroutines start), plus the atomically
+	// published epoch view. Score reads it lock-free from any goroutine.
+	scorer *score.Scorer
 
 	// Ingest-loop-owned state. Written only by the ingest goroutine (and
 	// by New during recovery, before the goroutine starts); other
@@ -229,9 +247,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SnapshotEvery > 0 && (s.store == nil || !s.store.SupportsSnapshots()) {
 		return nil, fmt.Errorf("server: SnapshotEvery requires a snapshot-capable Store")
 	}
+	sc, err := score.New(cfg.Base.NumNodes(), cfg.Score)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.scorer = sc
 	rec, err := s.recoverStore()
 	if err != nil {
 		return nil, err
+	}
+	// Replay the recovered journal into the scorer's online features. Only
+	// answered requests are journaled and only answered requests advance
+	// the scorer's logical clock, so a restarted server scores exactly like
+	// one that never went down — the same determinism contract the epoch
+	// read model holds.
+	for _, req := range s.events {
+		s.scorer.Observe(req.From, req.Accepted)
 	}
 	// Epoch 0: the read model over recovered state, before any detection.
 	// With a persisted frozen snapshot the fold is O(delta): patch the
@@ -251,7 +282,7 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		epoch0 = s.buildEpoch(s.events, nil, false)
 	}
-	s.epoch.Store(epoch0)
+	s.publishEpoch(epoch0)
 	s.lastSnapCount = rec.SnapshotCount
 	if cfg.Incremental {
 		det := cfg.Detector
@@ -368,6 +399,7 @@ func (s *Server) apply(ev Event) {
 		return
 	}
 	s.events = append(s.events, req)
+	s.scorer.Observe(req.From, req.Accepted)
 	if s.cfg.Incremental {
 		s.delta.AddRequest(req)
 	}
@@ -469,7 +501,7 @@ func (s *Server) runDetection() (*Epoch, error) {
 	} else {
 		ep = s.buildEpoch(snap.reqs, dets, interrupted)
 	}
-	s.epoch.Store(ep)
+	s.publishEpoch(ep)
 	obs.Server.DetectEpochs.Add(1)
 	obs.Server.LastDetectMS.Set(float64(time.Since(start)) / float64(time.Millisecond))
 	if interrupted {
@@ -589,6 +621,77 @@ func (s *Server) buildEpochFrom(frozen *graph.Frozen, events int, dets []core.In
 	s.epochSeq++
 	return ep
 }
+
+// publishEpoch makes ep the served epoch and hands its suspect set to the
+// real-time scorer as an immutable view. The two stores are separate
+// atomics, so a score issued mid-publish may pair the old epoch view with
+// the new /v1/users read model for one instant — but each verdict reads
+// exactly one view, never a blend of two suspect sets.
+func (s *Server) publishEpoch(ep *Epoch) {
+	s.epoch.Store(ep)
+	suspects := make([]graph.NodeID, 0, len(ep.suspectIntervals))
+	for u := range ep.suspectIntervals {
+		suspects = append(suspects, u)
+	}
+	s.scorer.PublishEpoch(score.NewEpochView(ep.Seq, int64(ep.Events), s.base.NumNodes(), suspects))
+	obs.Server.ScorePublishes.Add(1)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.Event{
+			Name:     obs.EvScorePublish,
+			Wall:     time.Now(),
+			Suspects: len(suspects),
+			Nodes:    s.base.NumNodes(),
+			Detail:   s.mode(),
+		})
+	}
+}
+
+func (s *Server) mode() string {
+	if s.cfg.Incremental {
+		return "incremental"
+	}
+	return "batch"
+}
+
+// Score serves one real-time verdict: the account's online features fused
+// with the published epoch's suspect set (see internal/score). It is safe
+// from any goroutine, lock-free, and allocation-free with no hook or
+// tracer configured. Non-allow verdicts are handed to Config.ScoreHook.
+func (s *Server) Score(id graph.NodeID) (score.Result, error) {
+	if int(id) < 0 || int(id) >= s.base.NumNodes() {
+		return score.Result{}, fmt.Errorf("server: node %d outside the %d-node base", id, s.base.NumNodes())
+	}
+	res := s.scorer.Score(id)
+	obs.Server.ScoreRequests.Add(1)
+	switch res.Verdict {
+	case score.VerdictAllow:
+		obs.Server.ScoreAllows.Add(1)
+		return res, nil
+	case score.VerdictThrottle:
+		obs.Server.ScoreThrottles.Add(1)
+	case score.VerdictDeny:
+		obs.Server.ScoreDenies.Add(1)
+	}
+	if s.cfg.Tracer != nil {
+		ev := obs.Event{
+			Name:       obs.EvScoreEnforce,
+			Wall:       time.Now(),
+			Acceptance: res.Score,
+			Detail:     res.Verdict.String(),
+		}
+		if res.Reasons&score.ReasonEpochSuspect != 0 {
+			ev.Suspects = 1
+		}
+		s.cfg.Tracer.Emit(ev)
+	}
+	if s.cfg.ScoreHook != nil {
+		s.cfg.ScoreHook(res)
+	}
+	return res, nil
+}
+
+// Scorer exposes the real-time scorer for tests and benchmarks.
+func (s *Server) Scorer() *score.Scorer { return s.scorer }
 
 // Detect triggers a detection run and waits for it, the in-process
 // equivalent of POST /v1/detect. ctx bounds the wait for the detector to
