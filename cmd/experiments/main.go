@@ -34,6 +34,7 @@ type cliArgs struct {
 	table2Workers int
 	table2Latency time.Duration
 	tracePath     string
+	matrixOut     string
 }
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 	flag.IntVar(&args.table2Workers, "table2-workers", 5, "cluster size for table2")
 	flag.DurationVar(&args.table2Latency, "table2-latency", 500*time.Microsecond, "simulated per-call latency for table2")
 	flag.StringVar(&args.tracePath, "trace", "", "write a JSONL event trace of the table2 run and print phase attribution")
+	flag.StringVar(&args.matrixOut, "matrix-out", "", "write the adversary/defense matrix JSON artifact to this path")
 	flag.Parse()
 
 	exps := experiments()
@@ -110,6 +112,7 @@ func experiments() []experiment {
 		{"ml", "multilevel sweeps: flat vs coarsen/solve/refine latency across sizes and restarts", runML},
 		{"storage", "durability & recovery: restart shape by snapshot coverage, torn tails, crash storm", runStorage},
 		{"score", "real-time verdicts vs batch-only: precision/recall on a post-epoch spam wave", runScore},
+		{"matrix", "adversary/defense matrix: adaptive strategies × fusion defenses", runMatrix},
 	}
 	return exps
 }

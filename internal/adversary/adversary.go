@@ -1,0 +1,197 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/graph"
+)
+
+// Observation is what the attacker learns between rounds: the defense's
+// published suspect set after the latest epoch, plus the outcomes of the
+// attacker's own requests (private knowledge — a sender always learns
+// whether its request was accepted). The zero Observation is what the
+// first round's Plan receives, before any epoch has been published.
+type Observation struct {
+	// Round is the round whose epoch this observation describes.
+	Round int
+	// Suspects is the published suspect union across all intervals after
+	// the round's epoch, ascending. The attacker sees exactly what any
+	// client of /v1/suspects would.
+	Suspects []graph.NodeID
+	// Outcomes lists every attacker-sent request of the observed round and
+	// whether the target accepted it, in send order.
+	Outcomes []RequestOutcome
+}
+
+// RequestOutcome is one attacker request and its result.
+type RequestOutcome struct {
+	From, To graph.NodeID
+	Accepted bool
+}
+
+// SuspectSet returns the observation's suspects as a membership set.
+func (o Observation) SuspectSet() map[graph.NodeID]bool {
+	set := make(map[graph.NodeID]bool, len(o.Suspects))
+	for _, u := range o.Suspects {
+		set[u] = true
+	}
+	return set
+}
+
+// View is the attacker's knowledge of its own holdings at planning time.
+// Slices are owned by the game; strategies must not mutate them.
+type View struct {
+	// Round is the round being planned, starting at 0.
+	Round int
+	// NumLegit is the size of the organic region: accounts [0, NumLegit)
+	// existed before the campaign. Some may since have been compromised.
+	NumLegit int
+	// NumNodes is the current total account count; fake accounts created
+	// by the campaign occupy [NumLegit, NumNodes).
+	NumNodes int
+	// Active lists the attacker's usable accounts, ascending: the fake
+	// cohort plus compromised organic accounts, minus retired ones.
+	Active []graph.NodeID
+	// Dormant lists retired (sacrificed) attacker accounts, ascending.
+	Dormant []graph.NodeID
+	// Compromised lists every organic account the attacker has ever seized,
+	// ascending — including ones since retired, so NumLegit−len(Compromised)
+	// is exactly the remaining seizable pool.
+	Compromised []graph.NodeID
+	// Scenario carries the campaign parameters the game was built with.
+	Scenario attack.Scenario
+
+	controlled map[graph.NodeID]bool
+}
+
+// IsControlled reports whether the attacker owns id (active or dormant).
+func (v *View) IsControlled(id graph.NodeID) bool { return v.controlled[id] }
+
+// RandomLegitTarget draws a uniform organic account the attacker does not
+// control. It returns false only in the degenerate world where every
+// organic account has been compromised.
+func (v *View) RandomLegitTarget(r *rand.Rand) (graph.NodeID, bool) {
+	if v.NumLegit <= len(v.Compromised) {
+		return 0, false
+	}
+	for {
+		u := graph.NodeID(r.IntN(v.NumLegit))
+		if !v.controlled[u] {
+			return u, true
+		}
+	}
+}
+
+// Plan is one attacker move: the requests to send this round plus cohort
+// changes. The game executes cohort changes first, so requests may not be
+// sent from accounts created or seized by the same plan — new capacity
+// becomes usable the following round.
+type Plan struct {
+	// Requests are sent in order. Each From must be an Active account; each
+	// To must be an existing account other than From.
+	Requests []PlannedRequest
+	// NewFakes creates this many fresh fake accounts. The game wires each
+	// into the cohort with Scenario.IntraLinksPerFake accepted requests to
+	// random active accounts (the arrival model of attack.Scenario).
+	NewFakes int
+	// Compromise seizes this many random organic accounts: they keep their
+	// friendships and history but are attacker-controlled (and ground-truth
+	// fake) from the next round on.
+	Compromise int
+	// Retire sends these active accounts dormant: they stop sending and are
+	// never reactivated — the sacrifice move.
+	Retire []graph.NodeID
+}
+
+// PlannedRequest is one attacker-chosen friend request. The outcome is
+// decided by the game: attacker-owned targets accept (the cohort always
+// welcomes its own) unless SelfReject is set, organic targets accept or
+// reject by their per-user propensity draw.
+type PlannedRequest struct {
+	From, To graph.NodeID
+	// SelfReject marks a request the attacker-owned target deliberately
+	// rejects — the whitewash fabrication of the paper's §VI self-rejection
+	// attack. Ignored for organic targets, which the attacker cannot
+	// puppet.
+	SelfReject bool
+}
+
+// Strategy is one adaptive attacker. Implementations may keep state across
+// rounds (volume throttles, target memory); a Strategy value must therefore
+// be used by at most one Game run. Factories in Strategies() construct
+// fresh instances.
+type Strategy interface {
+	// Name is the strategy's stable identifier, used as the matrix row key.
+	Name() string
+	// Plan emits the move for view.Round. obs describes the previous
+	// round's published epoch (zero-valued for round 0). All randomness
+	// must come from r, the strategy's per-round seeded stream; drawing
+	// from anywhere else breaks the one-seed-one-journal contract. Plan
+	// must tolerate arbitrary observations — including suspects it never
+	// heard of and outcomes it never sent — without panicking: the fuzz
+	// harness feeds it malformed epoch views by design.
+	Plan(view *View, obs Observation, r *rand.Rand) Plan
+}
+
+// PlanError reports a Plan the game refused to execute.
+type PlanError struct {
+	Strategy string
+	Round    int
+	Reason   string
+}
+
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("adversary: strategy %q round %d: %s", e.Strategy, e.Round, e.Reason)
+}
+
+// validatePlan checks a plan against the current holdings: Retire entries
+// must come from active (the pre-retirement holdings), request senders from
+// activeAfter (the holdings that survive this plan's retirement — a retired
+// account stops sending the same round).
+func validatePlan(name string, v *View, active, activeAfter map[graph.NodeID]bool, p Plan) error {
+	fail := func(format string, args ...any) error {
+		return &PlanError{Strategy: name, Round: v.Round, Reason: fmt.Sprintf(format, args...)}
+	}
+	if p.NewFakes < 0 {
+		return fail("negative NewFakes %d", p.NewFakes)
+	}
+	if p.Compromise < 0 {
+		return fail("negative Compromise %d", p.Compromise)
+	}
+	if p.Compromise > v.NumLegit-len(v.Compromised) {
+		return fail("Compromise %d exceeds remaining organic accounts", p.Compromise)
+	}
+	for _, u := range p.Retire {
+		if !active[u] {
+			return fail("retiring non-active account %d", u)
+		}
+	}
+	for _, req := range p.Requests {
+		if !activeAfter[req.From] {
+			return fail("request from non-active account %d", req.From)
+		}
+		if req.To < 0 || int(req.To) >= v.NumNodes {
+			return fail("request target %d outside the %d-node world", req.To, v.NumNodes)
+		}
+		if req.To == req.From {
+			return fail("self-request at account %d", req.From)
+		}
+		if req.SelfReject && !v.controlled[req.To] {
+			return fail("SelfReject request %d→%d targets an organic account", req.From, req.To)
+		}
+	}
+	return nil
+}
+
+// sortedIDs returns the set's members ascending.
+func sortedIDs(set map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

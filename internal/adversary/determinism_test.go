@@ -1,0 +1,108 @@
+package adversary
+
+import (
+	"testing"
+)
+
+// TestGameDeterminism is the one-seed-one-world property: the same
+// (strategy, seed, scale) coordinate must reproduce a byte-identical request
+// journal, the same per-round published suspect sets, and the same final
+// ground truth — the contract that makes the committed matrix cells
+// reproducible. 32 seeds per strategy, each run twice.
+func TestGameDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed property test")
+	}
+	const seeds = 32
+	for _, f := range Strategies() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= seeds; seed++ {
+				a, err := MatrixGame(f, seed, TinyScale)
+				if err != nil {
+					t.Fatalf("seed %d run A: %v", seed, err)
+				}
+				b, err := MatrixGame(f, seed, TinyScale)
+				if err != nil {
+					t.Fatalf("seed %d run B: %v", seed, err)
+				}
+				assertSameOutcome(t, seed, a, b)
+			}
+		})
+	}
+}
+
+func assertSameOutcome(t *testing.T, seed uint64, a, b *Outcome) {
+	t.Helper()
+	if a.NumNodes != b.NumNodes {
+		t.Fatalf("seed %d: NumNodes %d vs %d", seed, a.NumNodes, b.NumNodes)
+	}
+	if len(a.Journal) != len(b.Journal) {
+		t.Fatalf("seed %d: journal lengths %d vs %d", seed, len(a.Journal), len(b.Journal))
+	}
+	for i := range a.Journal {
+		if a.Journal[i] != b.Journal[i] {
+			t.Fatalf("seed %d: journal entry %d differs: %+v vs %+v",
+				seed, i, a.Journal[i], b.Journal[i])
+		}
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("seed %d: round counts %d vs %d", seed, len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if len(ra.Suspects) != len(rb.Suspects) {
+			t.Fatalf("seed %d round %d: suspect counts %d vs %d",
+				seed, i, len(ra.Suspects), len(rb.Suspects))
+		}
+		for j := range ra.Suspects {
+			if ra.Suspects[j] != rb.Suspects[j] {
+				t.Fatalf("seed %d round %d: suspect %d differs: %d vs %d",
+					seed, i, j, ra.Suspects[j], rb.Suspects[j])
+			}
+		}
+		if ra.Requests != rb.Requests || ra.NewFakes != rb.NewFakes ||
+			ra.Compromised != rb.Compromised || ra.FlaggedControlled != rb.FlaggedControlled {
+			t.Fatalf("seed %d round %d: logs differ: %+v vs %+v", seed, i, ra, rb)
+		}
+	}
+	for u := range a.IsFake {
+		if a.IsFake[u] != b.IsFake[u] {
+			t.Fatalf("seed %d: IsFake[%d] differs", seed, u)
+		}
+	}
+	for i := range a.Controlled {
+		if a.Controlled[i] != b.Controlled[i] {
+			t.Fatalf("seed %d: Controlled[%d] differs: %d vs %d",
+				seed, i, a.Controlled[i], b.Controlled[i])
+		}
+	}
+}
+
+// TestGameSeedSensitivity guards against the opposite failure: a seed that
+// doesn't actually thread through the draws would make every world
+// identical. Different seeds must produce different journals.
+func TestGameSeedSensitivity(t *testing.T) {
+	f, _ := ByName("static")
+	a, err := MatrixGame(f, 1, TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MatrixGame(f, 2, TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Journal) == len(b.Journal) {
+		same := true
+		for i := range a.Journal {
+			if a.Journal[i] != b.Journal[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 1 and 2 produced identical journals; the seed is not wired through")
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package adversary plays adaptive friend-spam campaigns against the live
+// epoch loop: an attacker controls a cohort of accounts, moves once per
+// round, the round's traffic folds into the journal, a detection epoch is
+// cut through the same incr.Engine path rejectod uses, and the attacker
+// observes the published suspect set before its next move. The paper's §VIII
+// evaluation only covers static campaigns; this package supplies the
+// "resistance to attack requests" game the ROADMAP names — attackers that
+// rate-limit to stay under the acceptance cut, rotate targets away from
+// high-rejection victims, sacrifice detected fakes and re-seed, compromise
+// legitimate accounts mid-stream, and churn identities wholesale.
+//
+// Everything is deterministic from one seed: the same Config produces a
+// byte-identical request journal, the same per-round published suspect
+// sets, and therefore the same precision/recall cell in the committed
+// adversary/defense matrix (results/MATRIX.json). Strategy randomness,
+// target propensities, benign traffic, and outcome draws each come from
+// their own named rng stream, so adding a draw to one phase cannot shift
+// another phase's sequence.
+package adversary

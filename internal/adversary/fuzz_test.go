@@ -1,0 +1,82 @@
+package adversary
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzAdversaryObserve feeds every built-in strategy arbitrary observations
+// — suspects it never heard of, outcomes it never sent, negative IDs,
+// duplicated entries — and requires two properties: Plan never panics, and
+// the emitted plan still validates against the attacker's actual holdings.
+// A strategy that trusts the defense's published epoch enough to crash or
+// to emit an illegal move hands the defense a kill switch.
+func FuzzAdversaryObserve(f *testing.F) {
+	f.Add(uint64(1), int64(0), []byte{})
+	f.Add(uint64(2), int64(3), []byte{0xff, 0xff, 0xff, 0xff, 0x01, 0x00})
+	f.Add(uint64(3), int64(-9), []byte{7, 7, 7, 200, 200, 200, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint64(4), int64(1), []byte{0x80, 0x00, 0x80, 0x00, 0x80})
+
+	f.Fuzz(func(t *testing.T, seed uint64, round int64, raw []byte) {
+		// A real mid-campaign view: cohort of 6 fakes on a 40-node organic
+		// world, one compromised account, one dormant.
+		const numLegit = 40
+		sc := MatrixScenario(TinyScale)
+		sc.NumFakes = 6
+		controlled := map[graph.NodeID]bool{
+			5: true, 40: true, 41: true, 42: true, 43: true, 44: true, 45: true,
+		}
+		view := &View{
+			Round:       int(round % 1000),
+			NumLegit:    numLegit,
+			NumNodes:    numLegit + 6,
+			Active:      []graph.NodeID{5, 40, 41, 42, 44, 45},
+			Dormant:     []graph.NodeID{43},
+			Compromised: []graph.NodeID{5},
+			Scenario:    sc,
+			controlled:  controlled,
+		}
+		active := make(map[graph.NodeID]bool, len(view.Active))
+		for _, u := range view.Active {
+			active[u] = true
+		}
+
+		// Decode the fuzz payload into a hostile observation.
+		obs := Observation{Round: int(round)}
+		for i := 0; i+1 < len(raw) && i < 64; i += 2 {
+			id := graph.NodeID(int8(raw[i])) // negatives included
+			switch raw[i+1] % 3 {
+			case 0:
+				obs.Suspects = append(obs.Suspects, id)
+			case 1:
+				obs.Outcomes = append(obs.Outcomes, RequestOutcome{
+					From: id, To: graph.NodeID(int8(raw[i+1])), Accepted: true})
+			default:
+				obs.Outcomes = append(obs.Outcomes, RequestOutcome{
+					From: id, To: graph.NodeID(int8(raw[i+1])), Accepted: false})
+			}
+		}
+
+		for _, fac := range Strategies() {
+			strat := fac.New(sc)
+			r := rand.New(rand.NewPCG(seed, 17))
+			plan := strat.Plan(view, obs, r) // must not panic
+			retired := make(map[graph.NodeID]bool, len(plan.Retire))
+			for _, u := range plan.Retire {
+				retired[u] = true
+			}
+			activeAfter := make(map[graph.NodeID]bool, len(active))
+			for u := range active {
+				if !retired[u] {
+					activeAfter[u] = true
+				}
+			}
+			if err := validatePlan(fac.Name, view, active, activeAfter, plan); err != nil {
+				t.Fatalf("strategy %s emitted an invalid plan under a hostile observation: %v",
+					fac.Name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,343 @@
+package adversary
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// runTiny runs one TinyScale game for the named strategy.
+func runTiny(t *testing.T, name string, seed uint64) *Outcome {
+	t.Helper()
+	f, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown strategy %q", name)
+	}
+	out, err := MatrixGame(f, seed, TinyScale)
+	if err != nil {
+		t.Fatalf("MatrixGame(%s, %d): %v", name, seed, err)
+	}
+	return out
+}
+
+func TestGameInvariants(t *testing.T) {
+	for _, f := range Strategies() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			out := runTiny(t, f.Name, 7)
+			if out.Strategy != f.Name {
+				t.Fatalf("Strategy = %q, want %q", out.Strategy, f.Name)
+			}
+			if out.NumLegit != TinyScale.NumLegit {
+				t.Fatalf("NumLegit = %d, want %d", out.NumLegit, TinyScale.NumLegit)
+			}
+			if out.NumNodes < out.NumLegit+TinyScale.NumFakes {
+				t.Fatalf("NumNodes = %d, below base+initial cohort", out.NumNodes)
+			}
+			if len(out.IsFake) != out.NumNodes {
+				t.Fatalf("len(IsFake) = %d, want %d", len(out.IsFake), out.NumNodes)
+			}
+			if out.Frozen.NumNodes() != out.NumNodes {
+				t.Fatalf("Frozen has %d nodes, want %d", out.Frozen.NumNodes(), out.NumNodes)
+			}
+			if len(out.Rounds) != TinyScale.Rounds {
+				t.Fatalf("len(Rounds) = %d, want %d", len(out.Rounds), TinyScale.Rounds)
+			}
+			// Every campaign-created account is fake; every account the
+			// attacker controls is fake ground truth.
+			for u := out.NumLegit; u < out.NumNodes; u++ {
+				if !out.IsFake[u] {
+					t.Fatalf("created account %d not marked fake", u)
+				}
+			}
+			for _, u := range out.Controlled {
+				if !out.IsFake[u] {
+					t.Fatalf("controlled account %d not marked fake", u)
+				}
+			}
+			// Journal intervals must match round indices and stay in range.
+			for _, req := range out.Journal {
+				if req.Interval < 0 || req.Interval >= TinyScale.Rounds {
+					t.Fatalf("journal interval %d outside [0, %d)", req.Interval, TinyScale.Rounds)
+				}
+				if int(req.From) >= out.NumNodes || int(req.To) >= out.NumNodes {
+					t.Fatalf("journal request %d→%d outside %d-node world", req.From, req.To, out.NumNodes)
+				}
+			}
+			// The final suspect set equals the last round's.
+			last := out.Rounds[len(out.Rounds)-1]
+			if len(out.Suspects) != len(last.Suspects) {
+				t.Fatalf("final Suspects len %d != last round's %d", len(out.Suspects), len(last.Suspects))
+			}
+			// The game's epoch path must agree with a cold DetectSharded over
+			// the same base+journal — the live loop is the rejectod path, not
+			// a private variant.
+			cold, err := core.DetectSharded(rebuildBase(out), out.Journal, MatrixDetector())
+			if err != nil {
+				t.Fatalf("cold DetectSharded: %v", err)
+			}
+			want := suspectUnion(cold)
+			if len(want) != len(out.Suspects) {
+				t.Fatalf("cold suspect union has %d accounts, game published %d", len(want), len(out.Suspects))
+			}
+			for i := range want {
+				if want[i] != out.Suspects[i] {
+					t.Fatalf("suspect %d: cold %d vs game %d", i, want[i], out.Suspects[i])
+				}
+			}
+		})
+	}
+}
+
+// rebuildBase reconstructs the organic base grown to the final node count,
+// as DetectSharded wants it.
+func rebuildBase(out *Outcome) *graph.Graph {
+	base := MatrixBase(out.Seed, out.NumLegit)
+	base.AddNodes(out.NumNodes - out.NumLegit)
+	return base
+}
+
+func TestGameConfigValidation(t *testing.T) {
+	base := MatrixBase(1, 60)
+	sc := MatrixScenario(TinyScale)
+	sc.NumFakes = 5
+	strat := func() Strategy { f, _ := ByName("static"); return f.New(sc) }
+	ok := Config{Base: base, Scenario: sc, Strategy: strat(), Rounds: 2,
+		BenignPerRound: 10, Detector: MatrixDetector(), Seed: 1}
+
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"nil base", func(c *Config) { c.Base = nil }},
+		{"nil strategy", func(c *Config) { c.Strategy = nil }},
+		{"zero rounds", func(c *Config) { c.Rounds = 0 }},
+		{"negative benign", func(c *Config) { c.BenignPerRound = -1 }},
+		{"bad scenario", func(c *Config) { c.Scenario.SpamRejectionRate = 1.5 }},
+		{"no detector termination", func(c *Config) { c.Detector = core.DetectorOptions{} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ok
+			tc.mod(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatalf("New accepted config with %s", tc.name)
+			}
+		})
+	}
+
+	t.Run("single use", func(t *testing.T) {
+		g, err := New(ok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(); err == nil {
+			t.Fatal("second Run succeeded; Game must be single-use")
+		}
+	})
+}
+
+// planBomb emits a deliberately invalid plan to prove the game rejects it
+// with a typed *PlanError.
+type planBomb struct{ plan Plan }
+
+func (p *planBomb) Name() string                             { return "bomb" }
+func (p *planBomb) Plan(*View, Observation, *rand.Rand) Plan { return p.plan }
+
+func TestPlanValidation(t *testing.T) {
+	run := func(plan Plan) error {
+		sc := MatrixScenario(TinyScale)
+		sc.NumFakes = 4
+		g, err := New(Config{
+			Base: MatrixBase(3, 50), Scenario: sc,
+			Strategy: &planBomb{plan: plan}, Rounds: 1,
+			BenignPerRound: 5, Detector: MatrixDetector(), Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = g.Run()
+		return err
+	}
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"negative NewFakes", Plan{NewFakes: -1}},
+		{"negative Compromise", Plan{Compromise: -1}},
+		{"Compromise beyond organic pool", Plan{Compromise: 51}},
+		{"retire unowned", Plan{Retire: []graph.NodeID{0}}},
+		{"request from organic", Plan{Requests: []PlannedRequest{{From: 0, To: 1}}}},
+		{"request from retired", Plan{
+			Retire:   []graph.NodeID{50},
+			Requests: []PlannedRequest{{From: 50, To: 1}},
+		}},
+		{"target out of range", Plan{Requests: []PlannedRequest{{From: 50, To: 999}}}},
+		{"self request", Plan{Requests: []PlannedRequest{{From: 50, To: 50}}}},
+		{"SelfReject at organic target", Plan{
+			Requests: []PlannedRequest{{From: 50, To: 1, SelfReject: true}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.plan)
+			if err == nil {
+				t.Fatal("game executed an invalid plan")
+			}
+			perr, ok := err.(*PlanError)
+			if !ok {
+				t.Fatalf("error %T is not *PlanError: %v", err, err)
+			}
+			if perr.Strategy != "bomb" || perr.Round != 0 {
+				t.Fatalf("PlanError = %+v, want strategy bomb round 0", perr)
+			}
+		})
+	}
+}
+
+func TestStrategyBehaviors(t *testing.T) {
+	t.Run("sacrifice retires flagged and reseeds", func(t *testing.T) {
+		out := runTiny(t, "sacrifice", 11)
+		var retired, created int
+		for _, rl := range out.Rounds {
+			created += rl.NewFakes
+		}
+		// Dormant accounts exist iff something was flagged then retired.
+		retired = len(out.Controlled) - countActive(out)
+		if fl := totalFlagged(out); fl > 0 && retired == 0 {
+			t.Fatalf("flagged %d accounts but nothing retired", fl)
+		}
+		if created > 2*TinyScale.NumFakes { // 3× cap minus initial cohort
+			t.Fatalf("created %d extra fakes, cap is %d", created, 2*TinyScale.NumFakes)
+		}
+	})
+	t.Run("compromise seizes organics", func(t *testing.T) {
+		out := runTiny(t, "compromise", 11)
+		seized := 0
+		for u := 0; u < out.NumLegit; u++ {
+			if out.IsFake[u] {
+				seized++
+			}
+		}
+		if seized == 0 {
+			t.Fatal("compromise strategy seized no organic accounts")
+		}
+		if seized > TinyScale.NumFakes {
+			t.Fatalf("seized %d organics, cap is NumFakes=%d", seized, TinyScale.NumFakes)
+		}
+	})
+	t.Run("churn grows the cohort", func(t *testing.T) {
+		out := runTiny(t, "churn", 11)
+		if out.NumNodes <= out.NumLegit+TinyScale.NumFakes {
+			t.Fatal("churn strategy never created replacement fakes")
+		}
+	})
+	t.Run("ratelimit cuts volume after detection", func(t *testing.T) {
+		out := runTiny(t, "ratelimit", 11)
+		static := runTiny(t, "static", 11)
+		if totalFlagged(static) == 0 {
+			t.Skip("static campaign never detected at this seed; no pressure to compare")
+		}
+		if attackerVolume(out) >= attackerVolume(static) {
+			t.Fatalf("ratelimit sent %d requests, static %d — no throttling happened",
+				attackerVolume(out), attackerVolume(static))
+		}
+	})
+	t.Run("rotate avoids burned targets", func(t *testing.T) {
+		out := runTiny(t, "rotate", 11)
+		// Collect targets that rejected an attacker request; later requests
+		// to the same target should be rare (only the pre-burn ones).
+		burned := make(map[graph.NodeID]bool)
+		repeats := 0
+		for _, req := range out.Journal {
+			if int(req.From) < out.NumLegit && !isControlledAt(out, req.From) {
+				continue // benign traffic
+			}
+			if burned[req.To] {
+				repeats++
+			}
+			if !req.Accepted && int(req.To) < out.NumLegit {
+				burned[req.To] = true
+			}
+		}
+		if repeats > len(out.Journal)/10 {
+			t.Fatalf("rotate re-targeted burned victims %d times in a %d-request journal",
+				repeats, len(out.Journal))
+		}
+	})
+}
+
+func countActive(out *Outcome) int {
+	// Controlled minus accounts that appear in no further round = active;
+	// approximate via Rounds: not tracked directly, so count distinct
+	// senders in the final round's attacker requests is unreliable. Use
+	// NumNodes bookkeeping instead: active = controlled - dormant, and
+	// dormant accounts are exactly the retired ones. The Outcome does not
+	// export dormancy, so infer from journal silence is overkill — this
+	// helper only supports the sacrifice assertion, which needs "some
+	// retirement happened", i.e. controlled > never-retired cohort size.
+	lastCohort := make(map[graph.NodeID]bool)
+	for _, req := range out.Journal {
+		if req.Interval == out.Rounds[len(out.Rounds)-1].Round && isControlledAt(out, req.From) {
+			lastCohort[req.From] = true
+		}
+	}
+	return len(lastCohort)
+}
+
+func isControlledAt(out *Outcome, u graph.NodeID) bool {
+	for _, c := range out.Controlled {
+		if c == u {
+			return true
+		}
+		if c > u {
+			return false
+		}
+	}
+	return false
+}
+
+func totalFlagged(out *Outcome) int {
+	n := 0
+	for _, rl := range out.Rounds {
+		n += rl.FlaggedControlled
+	}
+	return n
+}
+
+func attackerVolume(out *Outcome) int {
+	n := 0
+	for _, rl := range out.Rounds {
+		n += rl.AttackerRequests
+	}
+	return n
+}
+
+// TestMatrixGameSmoke prints per-strategy detection pressure at TinyScale —
+// a tuning aid kept as a cheap liveness check: every strategy must finish
+// and at least one must get flagged at least once across the seeds.
+func TestMatrixGameSmoke(t *testing.T) {
+	anyFlagged := false
+	for _, f := range Strategies() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			out, err := MatrixGame(f, seed, TinyScale)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", f.Name, seed, err)
+			}
+			fl := totalFlagged(out)
+			if fl > 0 {
+				anyFlagged = true
+			}
+			t.Logf("%-10s seed=%d journal=%d suspects=%d flagged(sum)=%d controlled=%d",
+				f.Name, seed, len(out.Journal), len(out.Suspects), fl, len(out.Controlled))
+		}
+	}
+	if !anyFlagged {
+		t.Fatal("no strategy was ever flagged: the matrix worlds exert no detection pressure")
+	}
+}

@@ -1,0 +1,244 @@
+package adversary
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/attack"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Factory names a strategy and constructs fresh single-use instances of it.
+type Factory struct {
+	Name string
+	New  func(attack.Scenario) Strategy
+}
+
+// Strategies returns the built-in attacker roster: the static baseline plus
+// the five adaptive behaviors, in matrix row order.
+func Strategies() []Factory {
+	return []Factory{
+		{Name: "static", New: func(sc attack.Scenario) Strategy {
+			return &staticStrategy{sc: sc}
+		}},
+		{Name: "ratelimit", New: func(sc attack.Scenario) Strategy {
+			return &rateLimitStrategy{sc: sc, volume: max(1, sc.RequestsPerSpammer)}
+		}},
+		{Name: "rotate", New: func(sc attack.Scenario) Strategy {
+			return &rotateStrategy{sc: sc, burned: make(map[graph.NodeID]bool)}
+		}},
+		{Name: "sacrifice", New: func(sc attack.Scenario) Strategy {
+			return &sacrificeStrategy{sc: sc, created: sc.NumFakes}
+		}},
+		{Name: "compromise", New: func(sc attack.Scenario) Strategy {
+			return &compromiseStrategy{sc: sc}
+		}},
+		{Name: "churn", New: func(sc attack.Scenario) Strategy {
+			return &churnStrategy{sc: sc, created: sc.NumFakes}
+		}},
+	}
+}
+
+// ByName returns the factory with the given name, or false.
+func ByName(name string) (Factory, bool) {
+	for _, f := range Strategies() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// organicTarget draws an organic target, preferring ones outside avoid; when
+// the avoid set saturates the organic region it falls back to any organic
+// account rather than stalling the campaign.
+func organicTarget(v *View, r *rand.Rand, avoid map[graph.NodeID]bool) (graph.NodeID, bool) {
+	for tries := 0; tries < 64; tries++ {
+		u, ok := v.RandomLegitTarget(r)
+		if !ok {
+			return 0, false
+		}
+		if !avoid[u] {
+			return u, true
+		}
+	}
+	return v.RandomLegitTarget(r)
+}
+
+// spamFrom appends perSender organic-targeted requests for each sender.
+func spamFrom(p *Plan, v *View, senders []graph.NodeID, perSender int, r *rand.Rand, avoid map[graph.NodeID]bool) {
+	for _, from := range senders {
+		for i := 0; i < perSender; i++ {
+			to, ok := organicTarget(v, r, avoid)
+			if !ok {
+				return
+			}
+			p.Requests = append(p.Requests, PlannedRequest{From: from, To: to})
+		}
+	}
+}
+
+// staticStrategy replays the attack.Scenario request model every round with
+// no reaction to detection — the paper's §VIII campaign, serving as the
+// matrix control row.
+type staticStrategy struct{ sc attack.Scenario }
+
+func (s *staticStrategy) Name() string { return "static" }
+
+func (s *staticStrategy) Plan(v *View, _ Observation, r *rand.Rand) Plan {
+	var p Plan
+	spamFrom(&p, v, v.Active, s.sc.RequestsPerSpammer, r, nil)
+	return p
+}
+
+// rateLimitStrategy throttles to duck under the acceptance cut: any flagged
+// cohort account halves the per-account volume; two consecutive clean rounds
+// earn one unit back, up to the scenario rate.
+type rateLimitStrategy struct {
+	sc     attack.Scenario
+	volume int
+	clean  int
+}
+
+func (s *rateLimitStrategy) Name() string { return "ratelimit" }
+
+func (s *rateLimitStrategy) Plan(v *View, obs Observation, r *rand.Rand) Plan {
+	if v.Round > 0 {
+		set := obs.SuspectSet()
+		flagged := false
+		for _, u := range v.Active {
+			if set[u] {
+				flagged = true
+				break
+			}
+		}
+		if flagged {
+			s.volume = max(1, s.volume/2)
+			s.clean = 0
+		} else if s.clean++; s.clean >= 2 && s.volume < s.sc.RequestsPerSpammer {
+			s.volume++
+			s.clean = 0
+		}
+	}
+	var p Plan
+	spamFrom(&p, v, v.Active, s.volume, r, nil)
+	return p
+}
+
+// rotateStrategy remembers every organic account that rejected one of its
+// requests and steers future volume away from those high-rejection victims,
+// starving the rejection edges the cut feeds on.
+type rotateStrategy struct {
+	sc     attack.Scenario
+	burned map[graph.NodeID]bool
+}
+
+func (s *rotateStrategy) Name() string { return "rotate" }
+
+func (s *rotateStrategy) Plan(v *View, obs Observation, r *rand.Rand) Plan {
+	for _, o := range obs.Outcomes {
+		if !o.Accepted && !v.IsControlled(o.To) {
+			s.burned[o.To] = true
+		}
+	}
+	var p Plan
+	spamFrom(&p, v, v.Active, s.sc.RequestsPerSpammer, r, s.burned)
+	return p
+}
+
+// sacrificeStrategy abandons every flagged account and re-seeds fresh
+// replacements (capped at 3× the initial cohort), betting that young
+// accounts outrun the per-interval cut.
+type sacrificeStrategy struct {
+	sc      attack.Scenario
+	created int
+}
+
+func (s *sacrificeStrategy) Name() string { return "sacrifice" }
+
+func (s *sacrificeStrategy) Plan(v *View, obs Observation, r *rand.Rand) Plan {
+	var p Plan
+	set := obs.SuspectSet()
+	retired := make(map[graph.NodeID]bool)
+	for _, u := range v.Active { // ascending, so Retire stays ordered
+		if set[u] {
+			p.Retire = append(p.Retire, u)
+			retired[u] = true
+		}
+	}
+	budget := 3*s.sc.NumFakes - s.created
+	p.NewFakes = min(len(p.Retire), max(budget, 0))
+	s.created += p.NewFakes
+
+	survivors := make([]graph.NodeID, 0, len(v.Active))
+	for _, u := range v.Active {
+		if !retired[u] {
+			survivors = append(survivors, u)
+		}
+	}
+	spamFrom(&p, v, survivors, s.sc.RequestsPerSpammer, r, nil)
+	return p
+}
+
+// compromiseStrategy keeps its fake cohort silent and instead seizes organic
+// accounts in small batches, spamming from inside their established
+// friendships — the §VII compromised-account deployment as an adaptive move.
+type compromiseStrategy struct{ sc attack.Scenario }
+
+func (s *compromiseStrategy) Name() string { return "compromise" }
+
+func (s *compromiseStrategy) Plan(v *View, _ Observation, r *rand.Rand) Plan {
+	var p Plan
+	seized := len(v.Compromised)
+	batch := max(1, s.sc.NumFakes/8)
+	batch = min(batch, s.sc.NumFakes-seized, v.NumLegit-seized)
+	p.Compromise = max(batch, 0)
+
+	activeSet := make(map[graph.NodeID]bool, len(v.Active))
+	for _, u := range v.Active {
+		activeSet[u] = true
+	}
+	senders := make([]graph.NodeID, 0, len(v.Compromised))
+	for _, u := range v.Compromised {
+		if activeSet[u] {
+			senders = append(senders, u)
+		}
+	}
+	spamFrom(&p, v, senders, s.sc.RequestsPerSpammer, r, nil)
+	return p
+}
+
+// churnStrategy cycles identities wholesale: a quarter of the cohort retires
+// every round and is replaced with fresh arrivals (capped at 4× the initial
+// cohort), keeping most request volume on accounts too young to have
+// accumulated a rejection history.
+type churnStrategy struct {
+	sc      attack.Scenario
+	created int
+}
+
+func (s *churnStrategy) Name() string { return "churn" }
+
+func (s *churnStrategy) Plan(v *View, _ Observation, r *rand.Rand) Plan {
+	var p Plan
+	k := len(v.Active) / 4
+	retired := make(map[graph.NodeID]bool, k)
+	if k > 0 {
+		for _, i := range rng.Sample(r, len(v.Active), k) {
+			p.Retire = append(p.Retire, v.Active[i])
+			retired[v.Active[i]] = true
+		}
+	}
+	budget := 4*s.sc.NumFakes - s.created
+	p.NewFakes = min(k, max(budget, 0))
+	s.created += p.NewFakes
+
+	survivors := make([]graph.NodeID, 0, len(v.Active))
+	for _, u := range v.Active {
+		if !retired[u] {
+			survivors = append(survivors, u)
+		}
+	}
+	spamFrom(&p, v, survivors, s.sc.RequestsPerSpammer, r, nil)
+	return p
+}

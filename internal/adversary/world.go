@@ -1,0 +1,73 @@
+package adversary
+
+import (
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Scale sizes a canonical matrix world. The committed adversary/defense
+// matrix (results/MATRIX.json) runs DefaultScale; property tests run
+// TinyScale so 32 seeds per strategy stay cheap.
+type Scale struct {
+	NumLegit int // organic population
+	NumFakes int // initial fake cohort
+	Rounds   int // game rounds (= journal intervals = epochs)
+	Volume   int // nominal requests per attacker account per round
+	Benign   int // organic answered requests per round
+}
+
+// DefaultScale is the world size behind every committed matrix cell.
+var DefaultScale = Scale{NumLegit: 600, NumFakes: 40, Rounds: 6, Volume: 8, Benign: 300}
+
+// TinyScale keeps multi-seed property tests fast.
+var TinyScale = Scale{NumLegit: 120, NumFakes: 10, Rounds: 4, Volume: 4, Benign: 70}
+
+// MatrixBase generates the organic friendship base for a matrix world: a
+// Watts–Strogatz small world (mean degree 6, 10% rewiring), no rejections.
+func MatrixBase(seed uint64, numLegit int) *graph.Graph {
+	return gen.WattsStrogatz(rng.New(seed).Stream("base"), numLegit, 6, 0.1)
+}
+
+// MatrixScenario is the campaign parameterization every matrix cell shares:
+// the paper's moderate rates at the scale's size.
+func MatrixScenario(sc Scale) attack.Scenario {
+	return attack.Scenario{
+		NumFakes:           sc.NumFakes,
+		IntraLinksPerFake:  3,
+		SpammerFraction:    1,
+		RequestsPerSpammer: sc.Volume,
+		SpamRejectionRate:  0.7,
+		LegitRejectionRate: 0.15,
+		CarelessFraction:   0.15,
+	}
+}
+
+// MatrixDetector is the per-epoch detection configuration of the matrix:
+// acceptance-threshold termination, adapting to each interval's shard.
+func MatrixDetector() core.DetectorOptions {
+	return core.DetectorOptions{AcceptanceThreshold: 0.5}
+}
+
+// MatrixGame builds and runs the canonical world for one matrix cell
+// coordinate: strategy × seed at the given scale. Everything any defense
+// config needs — journal, ground truth, suspect sets, frozen read model —
+// is in the returned Outcome, so all defenses score the same world.
+func MatrixGame(f Factory, seed uint64, sc Scale) (*Outcome, error) {
+	scenario := MatrixScenario(sc)
+	game, err := New(Config{
+		Base:           MatrixBase(seed, sc.NumLegit),
+		Scenario:       scenario,
+		Strategy:       f.New(scenario),
+		Rounds:         sc.Rounds,
+		BenignPerRound: sc.Benign,
+		Detector:       MatrixDetector(),
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return game.Run()
+}

@@ -2,12 +2,51 @@ package attack
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
+
+// FieldRangeError reports a Scenario parameter outside its valid interval.
+// NaN values are rejected with the same error: every comparison against a
+// NaN is false, so without the explicit check a NaN fraction would sail
+// through range validation and silently build a degenerate world.
+type FieldRangeError struct {
+	// Field is the Scenario field name, e.g. "SpammerFraction".
+	Field string
+	// Value is the rejected value.
+	Value float64
+	// Min and Max bound the valid interval; MaxExclusive marks [Min, Max)
+	// instead of [Min, Max].
+	Min, Max     float64
+	MaxExclusive bool
+}
+
+func (e *FieldRangeError) Error() string {
+	close := "]"
+	if e.MaxExclusive {
+		close = ")"
+	}
+	return fmt.Sprintf("attack: %s %v outside [%v, %v%s", e.Field, e.Value, e.Min, e.Max, close)
+}
+
+// checkFraction validates a rate/fraction field against [0, 1], or [0, 1)
+// when maxExclusive is set.
+func checkFraction(field string, v float64, maxExclusive bool) error {
+	bad := math.IsNaN(v) || v < 0
+	if maxExclusive {
+		bad = bad || v >= 1
+	} else {
+		bad = bad || v > 1
+	}
+	if bad {
+		return &FieldRangeError{Field: field, Value: v, Min: 0, Max: 1, MaxExclusive: maxExclusive}
+	}
+	return nil
+}
 
 // Request is one friend request with its outcome. Accepted requests
 // correspond to friendship edges in the augmented graph; rejected ones to
@@ -26,19 +65,24 @@ type Scenario struct {
 	// befriends (paper: 6).
 	IntraLinksPerFake int
 	// SpammerFraction is the fraction of fakes that send friend spam
-	// (1.0 in most experiments; 0.5 in Fig 10 and Fig 16).
+	// (1.0 in most experiments; 0.5 in Fig 10 and Fig 16). Must lie in
+	// [0, 1]; anything else (including NaN) is a *FieldRangeError.
 	SpammerFraction float64
 	// RequestsPerSpammer is the spam volume per spamming fake (paper: 20;
-	// Fig 9/10 sweep 5–50).
+	// Fig 9/10 sweep 5–50). Must lie in [0, base.NumNodes()].
 	RequestsPerSpammer int
 	// SpamRejectionRate is the probability a legitimate user rejects a
-	// spam request (paper default 0.7; Fig 11 sweeps it).
+	// spam request (paper default 0.7; Fig 11 sweeps it). Must lie in
+	// [0, 1]; anything else (including NaN) is a *FieldRangeError.
 	SpamRejectionRate float64
 	// LegitRejectionRate is the rejection rate of requests among
-	// legitimate users (paper default 0.2; Fig 12 sweeps it).
+	// legitimate users (paper default 0.2; Fig 12 sweeps it). Must lie in
+	// [0, 1) — 1 would demand infinitely many rejections per sent request;
+	// anything else (including NaN) is a *FieldRangeError.
 	LegitRejectionRate float64
 	// CarelessFraction of legitimate users send one accepted request to a
-	// random fake (paper: 0.15).
+	// random fake (paper: 0.15). Must lie in [0, 1]; anything else
+	// (including NaN) is a *FieldRangeError.
 	CarelessFraction float64
 
 	// CollusionExtraPerFake adds this many accepted requests from each
@@ -65,7 +109,8 @@ type Scenario struct {
 type SelfRejection struct {
 	// Requests per sender fake directed at the whitewash half (paper: 20).
 	Requests int
-	// Rate is the probability each such request is rejected.
+	// Rate is the probability each such request is rejected. Must lie in
+	// [0, 1]; anything else (including NaN) is a *FieldRangeError.
 	Rate float64
 }
 
@@ -115,7 +160,7 @@ func (w *World) Fakes() []graph.NodeID {
 // base must contain only friendships (the legitimate region's OSN links);
 // any rejections it carries are rejected with an error.
 func (s Scenario) Build(base *graph.Graph) (*World, error) {
-	if err := s.validate(base); err != nil {
+	if err := s.Validate(base); err != nil {
 		return nil, err
 	}
 	src := rng.New(s.Seed)
@@ -139,24 +184,38 @@ func (s Scenario) Build(base *graph.Graph) (*World, error) {
 	return w, nil
 }
 
-func (s Scenario) validate(base *graph.Graph) error {
-	switch {
-	case base.NumRejections() != 0:
+// Validate checks the scenario's parameters against the base graph it
+// would build on. Fraction and rate fields outside their documented ranges
+// (or NaN) yield a *FieldRangeError naming the offending field; structural
+// problems (rejections in the base, non-positive NumFakes, oversized
+// RequestsPerSpammer) yield plain errors. Build calls Validate first, so a
+// bad scenario fails loudly instead of producing a degenerate world.
+func (s Scenario) Validate(base *graph.Graph) error {
+	if base.NumRejections() != 0 {
 		return fmt.Errorf("attack: base graph already carries %d rejections", base.NumRejections())
-	case s.NumFakes <= 0:
+	}
+	if s.NumFakes <= 0 {
 		return fmt.Errorf("attack: NumFakes %d must be positive", s.NumFakes)
-	case s.SpammerFraction < 0 || s.SpammerFraction > 1:
-		return fmt.Errorf("attack: SpammerFraction %v out of [0,1]", s.SpammerFraction)
-	case s.SpamRejectionRate < 0 || s.SpamRejectionRate > 1:
-		return fmt.Errorf("attack: SpamRejectionRate %v out of [0,1]", s.SpamRejectionRate)
-	case s.LegitRejectionRate < 0 || s.LegitRejectionRate >= 1:
-		return fmt.Errorf("attack: LegitRejectionRate %v out of [0,1)", s.LegitRejectionRate)
-	case s.CarelessFraction < 0 || s.CarelessFraction > 1:
-		return fmt.Errorf("attack: CarelessFraction %v out of [0,1]", s.CarelessFraction)
-	case s.RequestsPerSpammer < 0 || s.RequestsPerSpammer > base.NumNodes():
+	}
+	if err := checkFraction("SpammerFraction", s.SpammerFraction, false); err != nil {
+		return err
+	}
+	if err := checkFraction("SpamRejectionRate", s.SpamRejectionRate, false); err != nil {
+		return err
+	}
+	if err := checkFraction("LegitRejectionRate", s.LegitRejectionRate, true); err != nil {
+		return err
+	}
+	if err := checkFraction("CarelessFraction", s.CarelessFraction, false); err != nil {
+		return err
+	}
+	if s.RequestsPerSpammer < 0 || s.RequestsPerSpammer > base.NumNodes() {
 		return fmt.Errorf("attack: RequestsPerSpammer %d out of range", s.RequestsPerSpammer)
-	case s.SelfRejection != nil && (s.SelfRejection.Rate < 0 || s.SelfRejection.Rate > 1):
-		return fmt.Errorf("attack: self-rejection rate %v out of [0,1]", s.SelfRejection.Rate)
+	}
+	if s.SelfRejection != nil {
+		if err := checkFraction("SelfRejection.Rate", s.SelfRejection.Rate, false); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -236,23 +237,66 @@ func TestValidation(t *testing.T) {
 	cases := []struct {
 		name   string
 		mutate func(*Scenario)
+		// field names the FieldRangeError the case must produce; empty
+		// means any non-nil error (structural checks stay untyped).
+		field string
 	}{
-		{"zero fakes", func(s *Scenario) { s.NumFakes = 0 }},
-		{"bad spam rate", func(s *Scenario) { s.SpamRejectionRate = 1.5 }},
-		{"bad legit rate", func(s *Scenario) { s.LegitRejectionRate = 1 }},
-		{"bad careless", func(s *Scenario) { s.CarelessFraction = -0.1 }},
-		{"bad fraction", func(s *Scenario) { s.SpammerFraction = 2 }},
-		{"too many requests", func(s *Scenario) { s.RequestsPerSpammer = 10000 }},
-		{"bad self rejection", func(s *Scenario) {
+		{"zero fakes", func(s *Scenario) { s.NumFakes = 0 }, ""},
+		{"negative fakes", func(s *Scenario) { s.NumFakes = -3 }, ""},
+		{"spam rate above 1", func(s *Scenario) { s.SpamRejectionRate = 1.5 }, "SpamRejectionRate"},
+		{"spam rate below 0", func(s *Scenario) { s.SpamRejectionRate = -0.01 }, "SpamRejectionRate"},
+		{"spam rate NaN", func(s *Scenario) { s.SpamRejectionRate = math.NaN() }, "SpamRejectionRate"},
+		{"legit rate at 1", func(s *Scenario) { s.LegitRejectionRate = 1 }, "LegitRejectionRate"},
+		{"legit rate below 0", func(s *Scenario) { s.LegitRejectionRate = -0.5 }, "LegitRejectionRate"},
+		{"legit rate NaN", func(s *Scenario) { s.LegitRejectionRate = math.NaN() }, "LegitRejectionRate"},
+		{"careless below 0", func(s *Scenario) { s.CarelessFraction = -0.1 }, "CarelessFraction"},
+		{"careless above 1", func(s *Scenario) { s.CarelessFraction = 1.01 }, "CarelessFraction"},
+		{"careless NaN", func(s *Scenario) { s.CarelessFraction = math.NaN() }, "CarelessFraction"},
+		{"spammer fraction above 1", func(s *Scenario) { s.SpammerFraction = 2 }, "SpammerFraction"},
+		{"spammer fraction below 0", func(s *Scenario) { s.SpammerFraction = -1 }, "SpammerFraction"},
+		{"spammer fraction NaN", func(s *Scenario) { s.SpammerFraction = math.NaN() }, "SpammerFraction"},
+		{"too many requests", func(s *Scenario) { s.RequestsPerSpammer = 10000 }, ""},
+		{"negative requests", func(s *Scenario) { s.RequestsPerSpammer = -1 }, ""},
+		{"self rejection above 1", func(s *Scenario) {
 			s.SelfRejection = &SelfRejection{Requests: 5, Rate: 2}
-		}},
+		}, "SelfRejection.Rate"},
+		{"self rejection NaN", func(s *Scenario) {
+			s.SelfRejection = &SelfRejection{Requests: 5, Rate: math.NaN()}
+		}, "SelfRejection.Rate"},
 	}
 	for _, tc := range cases {
-		sc := smallScenario()
-		tc.mutate(&sc)
-		if _, err := sc.Build(base); err == nil {
-			t.Errorf("%s: Build accepted invalid scenario", tc.name)
-		}
+		t.Run(tc.name, func(t *testing.T) {
+			sc := smallScenario()
+			tc.mutate(&sc)
+			_, err := sc.Build(base)
+			if err == nil {
+				t.Fatal("Build accepted invalid scenario")
+			}
+			var rerr *FieldRangeError
+			if tc.field == "" {
+				if errors.As(err, &rerr) {
+					t.Fatalf("structural error unexpectedly typed: %v", err)
+				}
+				return
+			}
+			if !errors.As(err, &rerr) {
+				t.Fatalf("error %v is not a *FieldRangeError", err)
+			}
+			if rerr.Field != tc.field {
+				t.Fatalf("FieldRangeError.Field = %q, want %q", rerr.Field, tc.field)
+			}
+		})
+	}
+	// Boundary values are valid: both interval ends for closed ranges, the
+	// open top for LegitRejectionRate just below 1.
+	ok := smallScenario()
+	ok.SpammerFraction = 0
+	ok.SpamRejectionRate = 1
+	ok.LegitRejectionRate = 0.999
+	ok.CarelessFraction = 1
+	ok.SelfRejection = &SelfRejection{Requests: 1, Rate: 0}
+	if err := ok.Validate(base); err != nil {
+		t.Fatalf("boundary scenario rejected: %v", err)
 	}
 	// Base with rejections is rejected.
 	dirty := smallBase(11)

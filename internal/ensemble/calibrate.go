@@ -1,0 +1,117 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// LabeledWorld pairs one world's component vectors with its ground truth.
+type LabeledWorld struct {
+	C      *Components
+	IsFake []bool
+}
+
+// Calibration is the result of a weight sweep.
+type Calibration struct {
+	Weights Weights
+	// MeanRecall and MeanPrecision are the training-set means at the
+	// pinned precision (infeasible worlds contribute zero).
+	MeanRecall    float64
+	MeanPrecision float64
+}
+
+// weightGrid enumerates the calibration sweep: every combination of
+// {0, ½, 1} per signal except all-zero — 242 candidates including every
+// one-hot corner, which is what guarantees the calibrated ensemble is at
+// least as good on its training worlds as the best single signal.
+func weightGrid() []Weights {
+	levels := []float64{0, 0.5, 1}
+	var grid []Weights
+	var rec func(s int, w Weights)
+	rec = func(s int, w Weights) {
+		if s == int(NumSignals) {
+			for _, v := range w {
+				if v > 0 {
+					grid = append(grid, w)
+					return
+				}
+			}
+			return
+		}
+		for _, l := range levels {
+			w[s] = l
+			rec(s+1, w)
+		}
+	}
+	rec(0, Weights{})
+	return grid
+}
+
+// Calibrate sweeps the weight grid over the training worlds and returns the
+// weights maximizing mean recall at the pinned precision. Ties break toward
+// higher mean precision, then toward the lexicographically smaller weight
+// vector, so calibration is deterministic.
+func Calibrate(worlds []LabeledWorld, minPrecision float64) (Calibration, error) {
+	if len(worlds) == 0 {
+		return Calibration{}, fmt.Errorf("ensemble: no training worlds")
+	}
+	for i, w := range worlds {
+		if w.C == nil || len(w.IsFake) != w.C.N {
+			return Calibration{}, fmt.Errorf("ensemble: training world %d has %d labels for %d accounts",
+				i, len(w.IsFake), w.C.N)
+		}
+	}
+
+	var best Calibration
+	haveBest := false
+	for _, w := range weightGrid() {
+		var sumR, sumP float64
+		ok := true
+		for _, world := range worlds {
+			fused, err := Fuse(world.C, w)
+			if err != nil {
+				// A grid point whose positive weights all land on absent
+				// signals is skippable, not fatal.
+				ok = false
+				break
+			}
+			op := metrics.RecallAtPrecision(fused, world.IsFake, minPrecision)
+			sumR += op.Recall
+			sumP += op.Precision
+		}
+		if !ok {
+			continue
+		}
+		cand := Calibration{
+			Weights:       w,
+			MeanRecall:    sumR / float64(len(worlds)),
+			MeanPrecision: sumP / float64(len(worlds)),
+		}
+		if !haveBest || better(cand, best) {
+			best = cand
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return Calibration{}, fmt.Errorf("ensemble: no feasible weight vector for the training worlds")
+	}
+	return best, nil
+}
+
+// better orders calibration candidates: recall, then precision, then the
+// lexicographically smaller weight vector.
+func better(a, b Calibration) bool {
+	if a.MeanRecall != b.MeanRecall {
+		return a.MeanRecall > b.MeanRecall
+	}
+	if a.MeanPrecision != b.MeanPrecision {
+		return a.MeanPrecision > b.MeanPrecision
+	}
+	for s := range a.Weights {
+		if a.Weights[s] != b.Weights[s] {
+			return a.Weights[s] < b.Weights[s]
+		}
+	}
+	return false
+}

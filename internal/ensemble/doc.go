@@ -1,0 +1,12 @@
+// Package ensemble fuses Rejecto's MAAR cut verdict with the repo's other
+// suspicion signals — SybilRank, VoteTrust, SybilFence, and the online
+// behavioral scorer — into one calibrated per-account suspicion score. Each
+// signal is normalized into [0, 1] (higher = more suspicious) and fused by
+// non-negative weighted mean, which keeps the fused score monotone in every
+// component: raising any one signal for an account can never lower its
+// fused suspicion. Calibration sweeps a weight grid that includes every
+// one-hot corner, so the calibrated ensemble is never worse on its training
+// worlds than the best single signal. The matrix harness evaluates every
+// adversary strategy against every fusion defense over seeded worlds; the
+// committed artifact lives at results/MATRIX.json.
+package ensemble

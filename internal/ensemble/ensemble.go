@@ -1,0 +1,121 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+)
+
+// Signal indexes one suspicion source.
+type Signal int
+
+const (
+	// SigRejecto is membership in the published MAAR suspect union (0/1).
+	SigRejecto Signal = iota
+	// SigSybilRank is inverted trust-rank percentile over the frozen
+	// friendship graph.
+	SigSybilRank
+	// SigVoteTrust is 1 − the VoteTrust request-response rating.
+	SigVoteTrust
+	// SigSybilFence is inverted rejection-discounted trust-rank percentile.
+	SigSybilFence
+	// SigOnline is the behavioral scorer's feature-only suspicion (no
+	// epoch published), replayed over the journal.
+	SigOnline
+
+	// NumSignals is the signal count; Weights and Components are indexed
+	// [0, NumSignals).
+	NumSignals
+)
+
+var signalNames = [NumSignals]string{
+	"rejecto", "sybilrank", "votetrust", "sybilfence", "online",
+}
+
+func (s Signal) String() string {
+	if s < 0 || s >= NumSignals {
+		return fmt.Sprintf("signal(%d)", int(s))
+	}
+	return signalNames[s]
+}
+
+// Weights is one non-negative weight per signal. A zero weight drops the
+// signal from the fusion; at least one present signal must carry positive
+// weight.
+type Weights [NumSignals]float64
+
+// Validate rejects negative, NaN, or infinite weights.
+func (w Weights) Validate() error {
+	for s, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("ensemble: weight %v for %s must be a finite non-negative number",
+				v, Signal(s))
+		}
+	}
+	return nil
+}
+
+// Components holds the per-signal suspicion vectors for one world. A nil
+// vector marks an absent signal (e.g. no online scorer deployed); present
+// vectors must have length N with values in [0, 1].
+type Components struct {
+	N int
+	S [NumSignals][]float64
+}
+
+// Validate checks vector lengths and value ranges.
+func (c *Components) Validate() error {
+	if c.N < 0 {
+		return fmt.Errorf("ensemble: negative component length %d", c.N)
+	}
+	for s, vec := range c.S {
+		if vec == nil {
+			continue
+		}
+		if len(vec) != c.N {
+			return fmt.Errorf("ensemble: %s vector has length %d, want %d",
+				Signal(s), len(vec), c.N)
+		}
+		for u, v := range vec {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("ensemble: %s suspicion %v at account %d outside [0, 1]",
+					Signal(s), v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Fuse combines the present signals into one suspicion vector by weighted
+// mean: fused[u] = Σ w_s·S_s[u] / Σ w_s over present signals with positive
+// weight. The result is monotone non-decreasing in every component and
+// stays in [0, 1]. Absent signals are skipped; it is an error if no present
+// signal carries positive weight.
+func Fuse(c *Components, w Weights) ([]float64, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var total float64
+	for s := Signal(0); s < NumSignals; s++ {
+		if c.S[s] != nil && w[s] > 0 {
+			total += w[s]
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("ensemble: no present signal has positive weight")
+	}
+	fused := make([]float64, c.N)
+	for s := Signal(0); s < NumSignals; s++ {
+		vec := c.S[s]
+		if vec == nil || w[s] == 0 {
+			continue
+		}
+		frac := w[s] / total
+		for u, v := range vec {
+			fused[u] += frac * v
+		}
+	}
+	return fused, nil
+}

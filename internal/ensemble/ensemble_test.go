@@ -1,0 +1,265 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/metrics"
+)
+
+func TestWeightsValidate(t *testing.T) {
+	good := Weights{1, 0.5, 0, 0, 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid weights rejected: %v", err)
+	}
+	for name, w := range map[string]Weights{
+		"negative": {0: -0.1},
+		"NaN":      {2: math.NaN()},
+		"Inf":      {4: math.Inf(1)},
+	} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s weight accepted", name)
+		}
+	}
+}
+
+func TestFuseValidation(t *testing.T) {
+	c := &Components{N: 3}
+	c.S[SigRejecto] = []float64{0, 1, 0}
+
+	if _, err := Fuse(c, Weights{}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	// Positive weight only on an absent signal.
+	if _, err := Fuse(c, Weights{SigOnline: 1}); err == nil {
+		t.Fatal("weights on absent signals only were accepted")
+	}
+	// Length mismatch.
+	bad := &Components{N: 3}
+	bad.S[SigRejecto] = []float64{0, 1}
+	if _, err := Fuse(bad, Weights{SigRejecto: 1}); err == nil {
+		t.Fatal("length-mismatched component accepted")
+	}
+	// Out-of-range suspicion.
+	bad2 := &Components{N: 1}
+	bad2.S[SigRejecto] = []float64{1.5}
+	if _, err := Fuse(bad2, Weights{SigRejecto: 1}); err == nil {
+		t.Fatal("out-of-range suspicion accepted")
+	}
+
+	fused, err := Fuse(c, Weights{SigRejecto: 1, SigOnline: 1})
+	if err != nil {
+		t.Fatalf("fusing with one absent positive-weight signal: %v", err)
+	}
+	if fused[1] != 1 || fused[0] != 0 {
+		t.Fatalf("absent signal must be skipped in the mean, got %v", fused)
+	}
+}
+
+// TestFuseMonotoneExhaustive is the oracle test: on worlds of up to 12
+// accounts, for every non-empty subset of present signals and every weight
+// assignment from the calibration grid, bumping any single component value
+// must never lower that account's fused score and must leave every other
+// account's score unchanged.
+func TestFuseMonotoneExhaustive(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 1))
+	const maxN = 12
+	for n := 1; n <= maxN; n++ {
+		for mask := 1; mask < 1<<NumSignals; mask++ {
+			c := &Components{N: n}
+			for s := Signal(0); s < NumSignals; s++ {
+				if mask&(1<<s) == 0 {
+					continue
+				}
+				vec := make([]float64, n)
+				for u := range vec {
+					vec[u] = float64(r.IntN(5)) / 4
+				}
+				c.S[s] = vec
+			}
+			w := Weights{}
+			for s := Signal(0); s < NumSignals; s++ {
+				if mask&(1<<s) != 0 {
+					w[s] = []float64{0.5, 1}[r.IntN(2)]
+				}
+			}
+			base, err := Fuse(c, w)
+			if err != nil {
+				t.Fatalf("n=%d mask=%b: %v", n, mask, err)
+			}
+			for s := Signal(0); s < NumSignals; s++ {
+				if c.S[s] == nil {
+					continue
+				}
+				for u := 0; u < n; u++ {
+					old := c.S[s][u]
+					if old == 1 {
+						continue
+					}
+					c.S[s][u] = min(old+0.25, 1)
+					bumped, err := Fuse(c, w)
+					c.S[s][u] = old
+					if err != nil {
+						t.Fatalf("n=%d mask=%b bump %s[%d]: %v", n, mask, s, u, err)
+					}
+					if bumped[u] < base[u] {
+						t.Fatalf("n=%d mask=%b: raising %s[%d] lowered fused %v → %v",
+							n, mask, s, u, base[u], bumped[u])
+					}
+					for v := 0; v < n; v++ {
+						if v != u && math.Abs(bumped[v]-base[v]) > 1e-12 {
+							t.Fatalf("n=%d mask=%b: bump at %d moved account %d", n, mask, u, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrustToSuspicion(t *testing.T) {
+	// Distinct trusts: strictly inverse order.
+	s := trustToSuspicion([]float64{0.9, 0.1, 0.5})
+	if !(s[1] > s[2] && s[2] > s[0]) {
+		t.Fatalf("suspicion order wrong: %v", s)
+	}
+	for _, v := range s {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("suspicion %v outside (0, 1)", v)
+		}
+	}
+	// Ties share suspicion.
+	s = trustToSuspicion([]float64{0.5, 0.5, 0.5, 0.1})
+	if s[0] != s[1] || s[1] != s[2] {
+		t.Fatalf("tied trust got unequal suspicion: %v", s)
+	}
+	if s[3] <= s[0] {
+		t.Fatalf("lowest trust is not most suspicious: %v", s)
+	}
+	if trustToSuspicion(nil) != nil {
+		t.Fatal("empty input should stay empty")
+	}
+}
+
+func TestCalibrateBeatsSingleSignals(t *testing.T) {
+	// Synthetic training worlds where no single signal is perfect but a
+	// combination is strictly better, plus the structural guarantee: the
+	// calibrated recall can never be below any one-hot corner's.
+	r := rand.New(rand.NewPCG(7, 7))
+	var worlds []LabeledWorld
+	for k := 0; k < 3; k++ {
+		const n = 60
+		isFake := make([]bool, n)
+		c := &Components{N: n}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for u := 0; u < n; u++ {
+			isFake[u] = u < 20
+			if isFake[u] {
+				// Each signal catches an overlapping half of the fakes.
+				if u%2 == 0 {
+					a[u] = 0.8 + 0.2*r.Float64()
+					b[u] = 0.3 * r.Float64()
+				} else {
+					a[u] = 0.3 * r.Float64()
+					b[u] = 0.8 + 0.2*r.Float64()
+				}
+			} else {
+				a[u] = 0.2 * r.Float64()
+				b[u] = 0.2 * r.Float64()
+			}
+		}
+		c.S[SigRejecto] = a
+		c.S[SigOnline] = b
+		worlds = append(worlds, LabeledWorld{C: c, IsFake: isFake})
+	}
+
+	const pinned = 0.8
+	cal, err := Calibrate(worlds, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := Signal(0); s < NumSignals; s++ {
+		var oneHot Weights
+		oneHot[s] = 1
+		var sum float64
+		feasible := true
+		for _, w := range worlds {
+			fused, err := Fuse(w.C, oneHot)
+			if err != nil {
+				feasible = false
+				break
+			}
+			sum += metrics.RecallAtPrecision(fused, w.IsFake, pinned).Recall
+		}
+		if !feasible {
+			continue
+		}
+		if mean := sum / float64(len(worlds)); cal.MeanRecall < mean {
+			t.Fatalf("calibrated recall %.3f below one-hot %s recall %.3f",
+				cal.MeanRecall, s, mean)
+		}
+	}
+	// The construction guarantees a combination beats either single signal.
+	if cal.MeanRecall < 0.9 {
+		t.Fatalf("calibrated recall %.3f; the two half-coverage signals should fuse to ~1", cal.MeanRecall)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate(nil, 0.8); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	c := &Components{N: 2}
+	c.S[SigRejecto] = []float64{0, 1}
+	if _, err := Calibrate([]LabeledWorld{{C: c, IsFake: []bool{true}}}, 0.8); err == nil {
+		t.Fatal("label/component length mismatch accepted")
+	}
+}
+
+// TestEnsembleRecallOnMatrixWorlds is the seeded-world half of the oracle
+// satellite: on real TinyScale adversary worlds, the calibrated ensemble's
+// training recall must be at least every single signal's.
+func TestEnsembleRecallOnMatrixWorlds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates adversary worlds")
+	}
+	const pinned = 0.8
+	var worlds []LabeledWorld
+	for _, f := range adversary.Strategies() {
+		out, err := adversary.MatrixGame(f, 5, adversary.TinyScale)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		c, err := FromOutcome(out)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		worlds = append(worlds, LabeledWorld{C: c, IsFake: out.IsFake})
+	}
+	cal, err := Calibrate(worlds, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := Signal(0); s < NumSignals; s++ {
+		var oneHot Weights
+		oneHot[s] = 1
+		var sum float64
+		for _, w := range worlds {
+			fused, err := Fuse(w.C, oneHot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += metrics.RecallAtPrecision(fused, w.IsFake, pinned).Recall
+		}
+		mean := sum / float64(len(worlds))
+		t.Logf("one-hot %-10s mean recall %.3f", s, mean)
+		if cal.MeanRecall < mean {
+			t.Fatalf("calibrated ensemble recall %.3f below single-signal %s recall %.3f",
+				cal.MeanRecall, s, mean)
+		}
+	}
+	t.Logf("calibrated weights %v mean recall %.3f", cal.Weights, cal.MeanRecall)
+}

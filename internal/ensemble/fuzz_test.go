@@ -1,0 +1,63 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEnsembleWeights throws arbitrary weight vectors and component values
+// at Fuse. Required behavior: never panic; reject invalid inputs with an
+// error; on success the fused vector has exactly N finite values in [0, 1]
+// (the weighted mean of in-range components cannot escape the range).
+func FuzzEnsembleWeights(f *testing.F) {
+	f.Add([]byte{255, 0, 0, 0, 0}, []byte{0, 128, 255})
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{})
+	f.Add([]byte{0, 0, 0, 0, 0}, []byte{9, 9, 9, 9})
+	f.Add([]byte{128, 128, 128, 128, 128}, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+
+	f.Fuzz(func(t *testing.T, rawW, rawC []byte) {
+		var w Weights
+		for s := 0; s < int(NumSignals) && s < len(rawW); s++ {
+			// Map bytes onto a range that includes invalid values: some
+			// negatives and NaN alongside ordinary weights.
+			switch {
+			case rawW[s] == 255:
+				w[s] = math.NaN()
+			case rawW[s] >= 250:
+				w[s] = -float64(rawW[s] - 249)
+			default:
+				w[s] = float64(rawW[s]) / 64
+			}
+		}
+
+		n := len(rawC) / int(NumSignals)
+		if n > 64 {
+			n = 64
+		}
+		c := &Components{N: n}
+		for s := Signal(0); s < NumSignals; s++ {
+			if len(rawC) == 0 || rawC[0]%uint8(s+2) == 0 { // some signals absent
+				continue
+			}
+			vec := make([]float64, n)
+			for u := 0; u < n; u++ {
+				b := rawC[(int(s)*n+u)%len(rawC)]
+				vec[u] = float64(b%101) / 100
+			}
+			c.S[s] = vec
+		}
+
+		fused, err := Fuse(c, w)
+		if err != nil {
+			return
+		}
+		if len(fused) != n {
+			t.Fatalf("fused length %d, want %d", len(fused), n)
+		}
+		for u, v := range fused {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("fused[%d] = %v escapes [0, 1] (weights %v)", u, v, w)
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/metrics"
+)
+
+// Defense is one column of the adversary/defense matrix: a named fusion
+// weighting. Calibrated defenses get their weights from a training sweep at
+// matrix run time instead of a fixed vector.
+type Defense struct {
+	Name       string
+	Weights    Weights
+	Calibrated bool
+}
+
+// Defenses returns the matrix columns: the Rejecto cut alone, the cut plus
+// the online behavioral scorer, and the fully calibrated ensemble.
+func Defenses() []Defense {
+	return []Defense{
+		{Name: "rejecto", Weights: Weights{SigRejecto: 1}},
+		{Name: "rejecto+online", Weights: Weights{SigRejecto: 1, SigOnline: 1}},
+		{Name: "ensemble", Calibrated: true},
+	}
+}
+
+// Cell is one (strategy, defense) matrix entry: seed-averaged recall and
+// precision at the pinned precision floor.
+type Cell struct {
+	Strategy  string  `json:"strategy"`
+	Defense   string  `json:"defense"`
+	Recall    float64 `json:"recall"`
+	Precision float64 `json:"precision"`
+	// FeasibleSeeds counts eval seeds where some threshold met the
+	// precision floor; infeasible seeds contribute zero recall.
+	FeasibleSeeds int `json:"feasible_seeds"`
+}
+
+// Matrix is the full committed evaluation artifact (results/MATRIX.json).
+type Matrix struct {
+	PinnedPrecision   float64            `json:"pinned_precision"`
+	Scale             adversary.Scale    `json:"scale"`
+	TrainSeeds        []uint64           `json:"train_seeds"`
+	EvalSeeds         []uint64           `json:"eval_seeds"`
+	CalibratedWeights map[string]float64 `json:"calibrated_weights"`
+	Cells             []Cell             `json:"cells"`
+}
+
+// Cell looks up one entry.
+func (m *Matrix) Cell(strategy, defense string) (Cell, bool) {
+	for _, c := range m.Cells {
+		if c.Strategy == strategy && c.Defense == defense {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// ImprovementCount reports on how many strategies defense strictly improves
+// recall over baseline at equal-or-better precision — the matrix's headline
+// criterion ("the ensemble beats Rejecto alone on at least N adaptive
+// strategies").
+func (m *Matrix) ImprovementCount(defense, baseline string) int {
+	count := 0
+	for _, f := range adversary.Strategies() {
+		d, okD := m.Cell(f.Name, defense)
+		b, okB := m.Cell(f.Name, baseline)
+		if okD && okB && d.Recall > b.Recall && d.Precision >= b.Precision {
+			count++
+		}
+	}
+	return count
+}
+
+// RunMatrix plays every strategy over the training seeds to calibrate the
+// ensemble, then over the eval seeds to fill the matrix: each eval world is
+// simulated once, its five component vectors computed once, and every
+// defense scored on those same vectors.
+func RunMatrix(scale adversary.Scale, trainSeeds, evalSeeds []uint64, pinned float64) (*Matrix, error) {
+	if len(trainSeeds) == 0 || len(evalSeeds) == 0 {
+		return nil, fmt.Errorf("ensemble: matrix needs both training and eval seeds")
+	}
+	for _, ts := range trainSeeds {
+		for _, es := range evalSeeds {
+			if ts == es {
+				return nil, fmt.Errorf("ensemble: seed %d is in both the training and eval sets", ts)
+			}
+		}
+	}
+	strategies := adversary.Strategies()
+
+	var train []LabeledWorld
+	for _, f := range strategies {
+		for _, seed := range trainSeeds {
+			w, err := labeledWorld(f, seed, scale)
+			if err != nil {
+				return nil, fmt.Errorf("train %s/%d: %w", f.Name, seed, err)
+			}
+			train = append(train, w)
+		}
+	}
+	cal, err := Calibrate(train, pinned)
+	if err != nil {
+		return nil, err
+	}
+
+	defenses := Defenses()
+	for i := range defenses {
+		if defenses[i].Calibrated {
+			defenses[i].Weights = cal.Weights
+		}
+	}
+
+	m := &Matrix{
+		PinnedPrecision:   pinned,
+		Scale:             scale,
+		TrainSeeds:        trainSeeds,
+		EvalSeeds:         evalSeeds,
+		CalibratedWeights: make(map[string]float64, NumSignals),
+	}
+	for s := Signal(0); s < NumSignals; s++ {
+		m.CalibratedWeights[s.String()] = cal.Weights[s]
+	}
+
+	for _, f := range strategies {
+		sums := make([]struct {
+			recall, precision float64
+			feasible          int
+		}, len(defenses))
+		for _, seed := range evalSeeds {
+			w, err := labeledWorld(f, seed, scale)
+			if err != nil {
+				return nil, fmt.Errorf("eval %s/%d: %w", f.Name, seed, err)
+			}
+			for di, d := range defenses {
+				fused, err := Fuse(w.C, d.Weights)
+				if err != nil {
+					return nil, fmt.Errorf("eval %s/%d defense %s: %w", f.Name, seed, d.Name, err)
+				}
+				op := metrics.RecallAtPrecision(fused, w.IsFake, pinned)
+				sums[di].recall += op.Recall
+				sums[di].precision += op.Precision
+				if op.Feasible {
+					sums[di].feasible++
+				}
+			}
+		}
+		n := float64(len(evalSeeds))
+		for di, d := range defenses {
+			m.Cells = append(m.Cells, Cell{
+				Strategy:      f.Name,
+				Defense:       d.Name,
+				Recall:        sums[di].recall / n,
+				Precision:     sums[di].precision / n,
+				FeasibleSeeds: sums[di].feasible,
+			})
+		}
+	}
+	return m, nil
+}
+
+// labeledWorld simulates one (strategy, seed) world and extracts its
+// component vectors and ground truth.
+func labeledWorld(f adversary.Factory, seed uint64, scale adversary.Scale) (LabeledWorld, error) {
+	out, err := adversary.MatrixGame(f, seed, scale)
+	if err != nil {
+		return LabeledWorld{}, err
+	}
+	c, err := FromOutcome(out)
+	if err != nil {
+		return LabeledWorld{}, err
+	}
+	return LabeledWorld{C: c, IsFake: out.IsFake}, nil
+}

@@ -1,0 +1,140 @@
+package ensemble
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/score"
+	"repro/internal/sybilfence"
+	"repro/internal/sybilrank"
+	"repro/internal/votetrust"
+)
+
+// numTrustSeeds is how many verified organic accounts seed the rank-based
+// signals — the handful of manually vetted accounts an OSN realistically
+// holds.
+const numTrustSeeds = 4
+
+// onlineWindow is the scorer's rate window for journal replay; matrix
+// worlds run a few thousand events, so the window must be small enough to
+// resolve per-round bursts.
+const onlineWindow = 256
+
+// TrustSeeds picks the canonical seed set for a finished game: the first
+// organic accounts that were never compromised, spread across the ID space.
+func TrustSeeds(out *adversary.Outcome) []graph.NodeID {
+	var seeds []graph.NodeID
+	if out.NumLegit == 0 {
+		return seeds
+	}
+	stride := max(out.NumLegit/numTrustSeeds, 1)
+	for start := 0; start < out.NumLegit && len(seeds) < numTrustSeeds; start += stride {
+		for u := start; u < out.NumLegit; u++ {
+			if !out.IsFake[u] {
+				seeds = append(seeds, graph.NodeID(u))
+				break
+			}
+		}
+	}
+	return seeds
+}
+
+// FromOutcome computes all five suspicion signals for a finished adversary
+// game: every defense config scores the exact same world through the same
+// component vectors, differing only in fusion weights.
+func FromOutcome(out *adversary.Outcome) (*Components, error) {
+	c := &Components{N: out.NumNodes}
+
+	// Rejecto: published suspect-union membership.
+	rej := make([]float64, out.NumNodes)
+	for _, u := range out.Suspects {
+		if int(u) < out.NumNodes {
+			rej[u] = 1
+		}
+	}
+	c.S[SigRejecto] = rej
+
+	seeds := TrustSeeds(out)
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("ensemble: no uncompromised organic account to seed trust ranks")
+	}
+
+	// SybilRank / SybilFence: inverted trust percentile on the frozen
+	// epoch read model.
+	sr, err := sybilrank.RankFrozen(out.Frozen, seeds, sybilrank.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: sybilrank: %w", err)
+	}
+	c.S[SigSybilRank] = trustToSuspicion(sr)
+
+	sf, err := sybilfence.RankFrozen(out.Frozen, seeds, sybilfence.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: sybilfence: %w", err)
+	}
+	c.S[SigSybilFence] = trustToSuspicion(sf)
+
+	// VoteTrust over the journal's request log.
+	reqs := make([]votetrust.Request, len(out.Journal))
+	for i, r := range out.Journal {
+		reqs[i] = votetrust.Request{From: r.From, To: r.To, Accepted: r.Accepted}
+	}
+	vt, err := votetrust.Run(out.NumNodes, reqs, votetrust.Options{TrustSeeds: seeds})
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: votetrust: %w", err)
+	}
+	vtS := make([]float64, out.NumNodes)
+	for u, rating := range vt.Ratings {
+		vtS[u] = 1 - rating
+	}
+	c.S[SigVoteTrust] = vtS
+
+	// Online behavioral scorer, replayed over the journal with no epoch
+	// published: pure feature suspicion, independent of the Rejecto cut.
+	sc, err := score.New(out.NumNodes, score.Options{WindowEvents: onlineWindow})
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: scorer: %w", err)
+	}
+	for _, r := range out.Journal {
+		sc.Observe(r.From, r.Accepted)
+	}
+	on := make([]float64, out.NumNodes)
+	for u := range on {
+		on[u] = sc.Score(graph.NodeID(u)).Score
+	}
+	c.S[SigOnline] = on
+
+	return c, nil
+}
+
+// trustToSuspicion inverts a trust ranking into [0, 1] suspicion via
+// midrank percentile: the least-trusted account approaches 1, the most
+// trusted approaches 0, and ties share their average rank so equal trust
+// maps to equal suspicion regardless of ID order.
+func trustToSuspicion(trust []float64) []float64 {
+	n := len(trust)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return trust[order[i]] < trust[order[j]] })
+
+	susp := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && trust[order[j]] == trust[order[i]] {
+			j++
+		}
+		mid := float64(i+j-1) / 2 // average 0-based rank of the tie group
+		s := 1 - (mid+0.5)/float64(n)
+		for k := i; k < j; k++ {
+			susp[order[k]] = s
+		}
+		i = j
+	}
+	return susp
+}

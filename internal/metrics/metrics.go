@@ -132,6 +132,88 @@ func AUC(scores []float64, isFake []bool) float64 {
 	return 1 - u/(float64(nFake)*float64(nLegit))
 }
 
+// OperatingPoint is one threshold choice on a suspicion scoring: declaring
+// every node with suspicion >= Threshold yields the given precision and
+// recall over the ground truth.
+type OperatingPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+	// Feasible reports whether any threshold met the precision floor the
+	// point was selected under; when false the other fields are zero.
+	Feasible bool
+}
+
+// F1 returns the harmonic mean of the point's precision and recall.
+func (p OperatingPoint) F1() float64 {
+	if p.Precision+p.Recall == 0 {
+		return 0
+	}
+	return 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+}
+
+// RecallAtPrecision sweeps the declaration threshold over a suspicion
+// scoring (higher = more suspicious) and returns the operating point with
+// the highest recall among those whose precision is at least minPrecision,
+// breaking recall ties toward higher precision, then higher threshold.
+// Fakes are the positive class. When no threshold reaches the floor — or
+// either class is empty — the returned point has Feasible false and zero
+// metrics; a defense that cannot operate at the pinned precision scores
+// zero recall in the matrix rather than being graded on a laxer floor.
+func RecallAtPrecision(suspicion []float64, isFake []bool, minPrecision float64) OperatingPoint {
+	if len(suspicion) != len(isFake) {
+		panic("metrics: RecallAtPrecision length mismatch")
+	}
+	type item struct {
+		score float64
+		fake  bool
+	}
+	items := make([]item, len(suspicion))
+	nFake := 0
+	for i := range suspicion {
+		items[i] = item{suspicion[i], isFake[i]}
+		if isFake[i] {
+			nFake++
+		}
+	}
+	if nFake == 0 || nFake == len(items) {
+		return OperatingPoint{}
+	}
+	// Descending by score: declaring a prefix = thresholding at its last
+	// distinct score.
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+
+	var best OperatingPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].fake {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		precision := float64(tp) / float64(tp+fp)
+		recall := float64(tp) / float64(nFake)
+		if precision >= minPrecision {
+			better := !best.Feasible || recall > best.Recall ||
+				(recall == best.Recall && precision > best.Precision)
+			if better {
+				best = OperatingPoint{
+					Threshold: items[i].score,
+					Precision: precision,
+					Recall:    recall,
+					Feasible:  true,
+				}
+			}
+		}
+		i = j
+	}
+	return best
+}
+
 // ROCPoint is one point of an ROC curve.
 type ROCPoint struct {
 	FalsePositiveRate float64

@@ -184,3 +184,122 @@ func TestAUCLengthMismatchPanics(t *testing.T) {
 	}()
 	AUC([]float64{1}, []bool{true, false})
 }
+
+func TestRecallAtPrecisionBasic(t *testing.T) {
+	// Scores separate perfectly: fakes at 0.9, legits at 0.1.
+	susp := []float64{0.9, 0.9, 0.1, 0.1, 0.1}
+	isFake := []bool{true, true, false, false, false}
+	p := RecallAtPrecision(susp, isFake, 0.8)
+	if !p.Feasible || p.Recall != 1 || p.Precision != 1 || p.Threshold != 0.9 {
+		t.Fatalf("perfect separation: %+v", p)
+	}
+}
+
+func TestRecallAtPrecisionTradesRecallForPrecision(t *testing.T) {
+	// Declaring the top 2 gives precision 1, recall 0.5; widening to the
+	// top 4 gives precision 0.75, recall 0.75. The floor decides which
+	// operating point wins.
+	susp := []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4}
+	isFake := []bool{true, true, false, true, false, true}
+	strict := RecallAtPrecision(susp, isFake, 0.9)
+	if !strict.Feasible || strict.Recall != 0.5 || strict.Precision != 1 {
+		t.Fatalf("strict floor: %+v", strict)
+	}
+	lax := RecallAtPrecision(susp, isFake, 0.7)
+	if !lax.Feasible || lax.Recall != 0.75 || lax.Precision != 0.75 {
+		t.Fatalf("lax floor: %+v", lax)
+	}
+}
+
+func TestRecallAtPrecisionInfeasible(t *testing.T) {
+	// Legits outscore fakes everywhere: no threshold reaches 0.9 precision.
+	susp := []float64{0.9, 0.8, 0.2, 0.1}
+	isFake := []bool{false, false, true, true}
+	p := RecallAtPrecision(susp, isFake, 0.9)
+	if p.Feasible || p.Recall != 0 || p.Precision != 0 {
+		t.Fatalf("infeasible floor produced %+v", p)
+	}
+}
+
+func TestRecallAtPrecisionDegenerateClasses(t *testing.T) {
+	if p := RecallAtPrecision([]float64{1, 0}, []bool{false, false}, 0.5); p.Feasible {
+		t.Fatalf("no fakes: %+v", p)
+	}
+	if p := RecallAtPrecision([]float64{1, 0}, []bool{true, true}, 0.5); p.Feasible {
+		t.Fatalf("all fakes: %+v", p)
+	}
+	if p := RecallAtPrecision(nil, nil, 0.5); p.Feasible {
+		t.Fatalf("empty input: %+v", p)
+	}
+}
+
+func TestRecallAtPrecisionTiesGroupTogether(t *testing.T) {
+	// All nodes share one score: the only operating point declares all.
+	susp := []float64{0.5, 0.5, 0.5, 0.5}
+	isFake := []bool{true, false, true, false}
+	p := RecallAtPrecision(susp, isFake, 0.5)
+	if !p.Feasible || p.Recall != 1 || p.Precision != 0.5 {
+		t.Fatalf("tied scores: %+v", p)
+	}
+	if q := RecallAtPrecision(susp, isFake, 0.6); q.Feasible {
+		t.Fatalf("tied scores above floor: %+v", q)
+	}
+}
+
+func TestRecallAtPrecisionAgainstExhaustive(t *testing.T) {
+	// The swept optimum must match a brute-force scan over all thresholds.
+	r := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.IntN(40)
+		susp := make([]float64, n)
+		isFake := make([]bool, n)
+		fakes := 0
+		for i := range susp {
+			susp[i] = float64(r.IntN(8)) / 8 // coarse grid forces ties
+			isFake[i] = r.IntN(2) == 0
+			if isFake[i] {
+				fakes++
+			}
+		}
+		if fakes == 0 || fakes == n {
+			continue
+		}
+		floor := 0.6
+		got := RecallAtPrecision(susp, isFake, floor)
+		var want OperatingPoint
+		for _, th := range susp {
+			tp, fp := 0, 0
+			for i := range susp {
+				if susp[i] >= th {
+					if isFake[i] {
+						tp++
+					} else {
+						fp++
+					}
+				}
+			}
+			if tp+fp == 0 {
+				continue
+			}
+			prec := float64(tp) / float64(tp+fp)
+			rec := float64(tp) / float64(fakes)
+			if prec >= floor && (!want.Feasible || rec > want.Recall ||
+				(rec == want.Recall && prec > want.Precision)) {
+				want = OperatingPoint{Threshold: th, Precision: prec, Recall: rec, Feasible: true}
+			}
+		}
+		if got.Feasible != want.Feasible || got.Recall != want.Recall || got.Precision != want.Precision {
+			t.Fatalf("trial %d: swept %+v, brute force %+v", trial, got, want)
+		}
+	}
+}
+
+func TestOperatingPointF1(t *testing.T) {
+	p := OperatingPoint{Precision: 0.5, Recall: 1, Feasible: true}
+	if math.Abs(p.F1()-2.0/3) > 1e-12 {
+		t.Fatalf("F1 = %v", p.F1())
+	}
+	if (OperatingPoint{}).F1() != 0 {
+		t.Fatal("zero point F1 not 0")
+	}
+}

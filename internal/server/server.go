@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +112,15 @@ type Config struct {
 	// slots in here). Called synchronously on the serving goroutine; keep
 	// it cheap.
 	ScoreHook func(score.Result)
+
+	// EpochHook, when non-nil, receives every published epoch: its
+	// sequence number and the suspect union across intervals, ascending —
+	// exactly what /v1/suspects serves. This is the observation seam for
+	// live-loop embeddings (the adversary game's attacker watches the
+	// defense through it, as would a dashboard or downstream enforcement
+	// pipeline). Called synchronously after the epoch is visible to
+	// readers; the slice is owned by the callee. Keep the hook cheap.
+	EpochHook func(seq int64, suspects []graph.NodeID)
 }
 
 // Epoch is one completed detection, published atomically and served by the
@@ -633,7 +643,11 @@ func (s *Server) publishEpoch(ep *Epoch) {
 	for u := range ep.suspectIntervals {
 		suspects = append(suspects, u)
 	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
 	s.scorer.PublishEpoch(score.NewEpochView(ep.Seq, int64(ep.Events), s.base.NumNodes(), suspects))
+	if s.cfg.EpochHook != nil {
+		s.cfg.EpochHook(ep.Seq, suspects)
+	}
 	obs.Server.ScorePublishes.Add(1)
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Emit(obs.Event{

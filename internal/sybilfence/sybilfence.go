@@ -24,10 +24,33 @@ type Options struct {
 // DefaultDiscount is the per-endpoint rejection-penalty exponent.
 const DefaultDiscount = 1.0
 
+// View is the read-only adjacency plus per-account acceptance the
+// discounted ranking needs. Both *graph.Graph and *graph.Frozen satisfy
+// it, so detection-epoch CSR snapshots rank without being thawed back into
+// a mutable graph.
+type View interface {
+	NumNodes() int
+	Friends(graph.NodeID) []graph.NodeID
+	Degree(graph.NodeID) int
+	Acceptance(graph.NodeID) float64
+}
+
 // Rank propagates seed trust over the rejection-discounted graph and
 // returns degree-normalized scores (higher = more trusted), where "degree"
 // is the weighted degree.
 func Rank(g *graph.Graph, seeds []graph.NodeID, opts Options) ([]float64, error) {
+	return RankView(g, seeds, opts)
+}
+
+// RankFrozen is Rank over an immutable CSR snapshot — the adapter the
+// ensemble uses on published epoch read models. Identical output to Rank on
+// the equivalent mutable graph.
+func RankFrozen(f *graph.Frozen, seeds []graph.NodeID, opts Options) ([]float64, error) {
+	return RankView(f, seeds, opts)
+}
+
+// RankView is the shared implementation behind Rank and RankFrozen.
+func RankView(g View, seeds []graph.NodeID, opts Options) ([]float64, error) {
 	n := g.NumNodes()
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("sybilfence: at least one trust seed required")

@@ -147,3 +147,47 @@ func TestMostSuspiciousOrder(t *testing.T) {
 		t.Fatal("k beyond n not capped")
 	}
 }
+
+func TestRankFrozenMatchesGraph(t *testing.T) {
+	r := rand.New(rand.NewPCG(13, 5))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + r.IntN(60)
+		g := graph.New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+			if u != v {
+				g.AddFriendship(u, v)
+			}
+		}
+		for i := 0; i < n; i++ {
+			u, v := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+			if u != v && !g.HasFriendship(u, v) {
+				g.AddRejection(u, v)
+			}
+		}
+		seeds := []graph.NodeID{0, graph.NodeID(n / 2)}
+		want, err := Rank(g, seeds, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RankFrozen(g.Freeze(), seeds, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range want {
+			if want[u] != got[u] {
+				t.Fatalf("trial %d node %d: frozen %v != graph %v", trial, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+func TestRankFrozenValidation(t *testing.T) {
+	f := graph.New(4).Freeze()
+	if _, err := RankFrozen(f, nil, Options{}); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	if _, err := RankFrozen(f, []graph.NodeID{9}, Options{}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}

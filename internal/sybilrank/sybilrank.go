@@ -17,11 +17,32 @@ type Options struct {
 	TotalTrust float64
 }
 
+// View is the read-only adjacency the ranking walks. Both *graph.Graph and
+// *graph.Frozen satisfy it, so detection-epoch CSR snapshots rank without
+// being thawed back into a mutable graph.
+type View interface {
+	NumNodes() int
+	Friends(graph.NodeID) []graph.NodeID
+	Degree(graph.NodeID) int
+}
+
 // Rank propagates trust from the seed set and returns the degree-normalized
 // trust score per node (higher = more trusted). Nodes unreachable from the
 // seeds — including isolated nodes — score zero and therefore rank at the
 // bottom.
 func Rank(g *graph.Graph, seeds []graph.NodeID, opts Options) ([]float64, error) {
+	return RankView(g, seeds, opts)
+}
+
+// RankFrozen is Rank over an immutable CSR snapshot — the adapter the
+// ensemble uses on published epoch read models. Identical output to Rank on
+// the equivalent mutable graph.
+func RankFrozen(f *graph.Frozen, seeds []graph.NodeID, opts Options) ([]float64, error) {
+	return RankView(f, seeds, opts)
+}
+
+// RankView is the shared implementation behind Rank and RankFrozen.
+func RankView(g View, seeds []graph.NodeID, opts Options) ([]float64, error) {
 	n := g.NumNodes()
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("sybilrank: at least one trust seed required")
