@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simulate"
+)
+
+// runCluster measures the multi-node sharded rejectod against the
+// single-node engine on one journal: merged-epoch equality (the
+// byte-identity invariant) and how ingest and epoch wall-clock scale with
+// the shard count, with a per-shard breakdown of the widest layout.
+func runCluster(cfg simulate.Config, _ *cliArgs) error {
+	n := max(400, int(2000*cfg.Scale))
+	journalLen := max(5000, int(40000*cfg.Scale))
+	const intervals = 8
+
+	opts := core.DetectorOptions{
+		Cut:                 core.CutOptions{RandSeed: cfg.Seed, Parallelism: 2},
+		AcceptanceThreshold: 0.6,
+		MaxRounds:           4,
+	}
+	w := newIncrWorld(cfg.Seed, n, journalLen, intervals, 0.01)
+
+	singleStart := time.Now()
+	single, err := core.DetectSharded(w.base, w.journal, opts)
+	if err != nil {
+		return err
+	}
+	singleWall := time.Since(singleStart)
+
+	t := simulate.NewTable(
+		fmt.Sprintf("Multi-node rejectod — %d users, %d-record journal, %d intervals (single-node epoch: %s)",
+			n, journalLen, intervals, singleWall.Round(time.Millisecond)),
+		"shards", "workers", "ingest+flush", "epoch", "boundary", "epoch==single")
+
+	var widest *cluster.Coordinator
+	for _, shards := range []int{1, 2, 4} {
+		dir, err := os.MkdirTemp("", "exp-cluster-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		c, err := cluster.New(cluster.Config{
+			Base:     w.base,
+			Detector: opts,
+			Shards:   shards,
+			Dir:      dir,
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if _, err := c.Recover(nil); err != nil {
+			return err
+		}
+
+		ingestStart := time.Now()
+		for _, req := range w.journal {
+			if err := c.Append(req); err != nil {
+				return err
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		ingestWall := time.Since(ingestStart)
+
+		epochStart := time.Now()
+		merged, err := c.Detect(len(w.journal), nil)
+		if err != nil {
+			return err
+		}
+		epochWall := time.Since(epochStart)
+
+		same, err := sameDetections(merged, single)
+		if err != nil {
+			return err
+		}
+		st := c.Stats().(cluster.Stats)
+		t.AddRow(shards, st.Workers,
+			ingestWall.Round(time.Millisecond).String(),
+			epochWall.Round(time.Millisecond).String(),
+			st.Boundary, same)
+		if shards == 4 {
+			widest = c
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	st := widest.Stats().(cluster.Stats)
+	pt := simulate.NewTable(
+		fmt.Sprintf("Per-shard breakdown at %d shards (last epoch)", st.Shards),
+		"shard", "worker", "journal", "owned", "stepped", "suspects", "patch ms", "solve ms")
+	for _, s := range st.PerShard {
+		pt.AddRow(s.Shard, s.Worker, s.Records, s.Owned, s.Stepped, s.Suspects,
+			fmt.Sprintf("%.2f", s.PatchMS), fmt.Sprintf("%.2f", s.SolveMS))
+	}
+	return pt.Render(os.Stdout)
+}

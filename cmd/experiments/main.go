@@ -111,6 +111,7 @@ func experiments() []experiment {
 		{"incr", "incremental epochs: latency vs delta size, cold vs patched+warm", runIncr},
 		{"ml", "multilevel sweeps: flat vs coarsen/solve/refine latency across sizes and restarts", runML},
 		{"storage", "durability & recovery: restart shape by snapshot coverage, torn tails, crash storm", runStorage},
+		{"cluster", "multi-node sharded rejectod: single vs sharded epoch equality, shard scaling, per-shard timing", runCluster},
 		{"score", "real-time verdicts vs batch-only: precision/recall on a post-epoch spam wave", runScore},
 		{"matrix", "adversary/defense matrix: adaptive strategies × fusion defenses", runMatrix},
 	}

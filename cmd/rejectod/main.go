@@ -11,6 +11,7 @@
 //	         [-journal events.log | -store-dir data/]
 //	         [-segment-bytes 4194304] [-snapshot-every 100000]
 //	         [-queue 1024]
+//	         [-cluster-shards 4] [-cluster-workers 2]
 //	         [-incremental] [-incr-max-patch 0.25] [-no-warm-start]
 //	         [-score-deny 0.8] [-score-throttle 0.5] [-score-window 1024]
 //	         [-kmin 0.03125] [-kmax 32] [-seed 42]
@@ -25,6 +26,19 @@
 // by a crash is truncated on boot; any other checksum failure refuses to
 // start (see docs/OPERATIONS.md). -journal keeps the flat text journal
 // instead; the two are mutually exclusive.
+//
+// -cluster-shards N runs the multi-node sharded rejectod (internal/cluster):
+// ingest and journaling partition by the sender's user-ID range, detection
+// by interval, each shard running its own incremental engine over its own
+// segmented journal partition under -store-dir (which is required and
+// becomes the cluster root, one shard-NNN directory per shard). A
+// coordinator ships batches and epoch deltas to -cluster-workers dist
+// workers (default: one per shard) over the in-process transport and merges
+// the per-shard detections into epochs byte-identical to a single-node
+// server over the same journal. Mutually exclusive with -journal,
+// -incremental, and -snapshot-every; GET /v1/stats gains a "backend"
+// section with per-shard records, engine progress, and step timings, and
+// /debug/vars the rejecto.cluster_* counters.
 //
 // -incremental switches the detector to the incremental epoch engine
 // (internal/incr): each detection patches the previous epoch's frozen
@@ -81,6 +95,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graphio"
 	"repro/internal/obs"
@@ -105,6 +120,8 @@ func run() int {
 		segBytes    = flag.Int64("segment-bytes", 0, "with -store-dir, seal and roll segments at this size (0 = default 4 MiB)")
 		snapEvery   = flag.Int("snapshot-every", 0, "with -store-dir, persist a snapshot after a detection once this many new records accumulated (0 disables)")
 		queueSize   = flag.Int("queue", 1024, "ingest queue bound; a full queue answers 429")
+		clShards    = flag.Int("cluster-shards", 0, "run the multi-node sharded backend with this many shards (requires -store-dir as the cluster root)")
+		clWorkers   = flag.Int("cluster-workers", 0, "with -cluster-shards, the worker count shards are placed on (0 = one per shard)")
 		incremental = flag.Bool("incremental", false, "use the incremental epoch engine: patch snapshots and warm-start sweeps instead of re-folding the journal")
 		incrPatch   = flag.Float64("incr-max-patch", 0, "delta-to-graph edge ratio above which a snapshot rebuilds cold (0 = default 0.25)")
 		noWarm      = flag.Bool("no-warm-start", false, "with -incremental, solve every round cold (byte-identical to batch mode)")
@@ -173,8 +190,48 @@ func run() int {
 		tracers = append(tracers, summary)
 	}
 
+	detector := core.DetectorOptions{
+		Cut: core.CutOptions{
+			KMin: *kmin, KMax: *kmax, RandSeed: *seed,
+			Multilevel: *mlSweep, MLCoarsestNodes: *mlCoarse, MLMaxLevels: *mlLevels,
+		},
+		TargetCount:         *target,
+		AcceptanceThreshold: *threshold,
+	}
+
+	var backend server.Backend
 	var store storage.Store
-	if *storeDir != "" {
+	if *clShards > 0 {
+		// Cluster mode: the coordinator owns the store directory (one
+		// segmented partition per shard) and the detection strategy; the
+		// flat-journal, incremental, and snapshot paths don't compose.
+		if *storeDir == "" {
+			return fail("-cluster-shards requires -store-dir as the cluster journal root")
+		}
+		if *journal != "" || *incremental || *snapEvery > 0 {
+			return fail("-cluster-shards is mutually exclusive with -journal, -incremental, and -snapshot-every")
+		}
+		coord, err := cluster.New(cluster.Config{
+			Base:             g,
+			Detector:         detector,
+			Shards:           *clShards,
+			Workers:          *clWorkers,
+			Dir:              *storeDir,
+			SegmentBytes:     *segBytes,
+			PatchMaxFraction: *incrPatch,
+			Tracer:           obs.Multi(tracers...),
+		})
+		if err != nil {
+			return fail("building cluster: %v", err)
+		}
+		backend = coord
+		workers := *clWorkers
+		if workers <= 0 {
+			workers = *clShards
+		}
+		fmt.Printf("cluster backend: %d shards on %d workers under %s\n",
+			*clShards, workers, *storeDir)
+	} else if *storeDir != "" {
 		if *journal != "" {
 			return fail("-journal and -store-dir are mutually exclusive")
 		}
@@ -191,19 +248,13 @@ func run() int {
 	}
 
 	srv, err := server.New(server.Config{
-		Base: g,
-		Detector: core.DetectorOptions{
-			Cut: core.CutOptions{
-				KMin: *kmin, KMax: *kmax, RandSeed: *seed,
-				Multilevel: *mlSweep, MLCoarsestNodes: *mlCoarse, MLMaxLevels: *mlLevels,
-			},
-			TargetCount:         *target,
-			AcceptanceThreshold: *threshold,
-		},
+		Base:             g,
+		Detector:         detector,
 		DetectEvery:      *detectEvery,
 		QueueSize:        *queueSize,
 		JournalPath:      *journal,
 		Store:            store,
+		Backend:          backend,
 		SnapshotEvery:    *snapEvery,
 		Tracer:           obs.Multi(tracers...),
 		Incremental:      *incremental,

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"math/rand/v2"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/storage"
+)
+
+// chaosMatrixRetry mirrors the chaos scenario preset: more attempts and a
+// short virtual timeout so injected latency becomes timeouts, plus a
+// recovery budget that outlasts a capped kill cascade.
+func chaosMatrixRetry(seed uint64) dist.RetryPolicy {
+	return dist.RetryPolicy{
+		MaxAttempts:      8,
+		Timeout:          50 * time.Millisecond,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       16 * time.Millisecond,
+		RecoveryAttempts: 16,
+		JitterSeed:       seed ^ 0x9e3779b97f4a7c15,
+	}
+}
+
+// TestChaosMatrix32 is the multi-node correctness harness: 32 seeded fault
+// schedules — dropped calls, lost replies, duplicates, timeout-latency,
+// worker crashes and self-restarts mid-epoch, plus simulated storage
+// crashes inside shard journals (so worker rebuilds fault *during* storage
+// recovery too) — and under every one of them each published epoch must be
+// byte-identical to the fault-free single-node engine over the same
+// journal prefix.
+//
+// The coordinator runs Serial so its RPC sequence is a pure function of
+// the drive sequence and each seed's schedule replays deterministically.
+func TestChaosMatrix32(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 43))
+	const n, count, maxIv, batch = 100, 150, 5, 50
+	const shards, workers = 4, 2
+	base := testBase(r, n)
+	reqs := testRequests(r, n, count, maxIv)
+
+	// Fault-free single-node baseline at each epoch cut.
+	var want [][]core.IntervalDetection
+	var cuts []int
+	for start := 0; start < count; start += batch {
+		end := start + batch
+		if end > count {
+			end = count
+		}
+		dets, err := core.DetectSharded(base, reqs[:end], testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, dets)
+		cuts = append(cuts, end)
+	}
+
+	totalFaults, totalKills, totalStoreFaults := 0, 0, 0
+	for seed := uint64(1); seed <= 32; seed++ {
+		// Per-shard fault singletons: budgets span reopen cycles, so a
+		// rebuilt store cannot re-arm its own crash schedule.
+		stores := make([]*chaos.StoreFaults, shards)
+		for s := range stores {
+			stores[s] = chaos.NewStoreFaults(chaos.StoreFaultOptions{
+				Seed:      seed ^ uint64(s)<<8,
+				PCrash:    0.01,
+				MaxFaults: 2,
+			})
+		}
+		var ct *chaos.Transport
+		cfg := Config{
+			Base:     base,
+			Detector: testOpts(),
+			Shards:   shards,
+			Workers:  workers,
+			Dir:      t.TempDir(),
+			Serial:   true,
+			Retry:    chaosMatrixRetry(seed),
+			Transport: func(inner dist.Transport) dist.Transport {
+				ct = chaos.Wrap(inner, chaos.Options{
+					Seed:            seed,
+					PLatency:        0.04,
+					LatencyMin:      time.Millisecond,
+					LatencyMax:      60 * time.Millisecond,
+					PTransient:      0.05,
+					PReplyLost:      0.05,
+					PDuplicate:      0.05,
+					PCrash:          0.02,
+					PRestart:        0.01,
+					RestartAfterMin: 1,
+					RestartAfterMax: 4,
+					MaxKills:        3,
+				})
+				return ct
+			},
+			StoreHooks: func(shard int) storage.Hooks { return stores[shard] },
+		}
+		cfg.Clock = nil // set below once the transport exists
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Cluster().SetClock(ct.Clock())
+		if _, err := c.Recover(nil); err != nil {
+			t.Fatalf("seed %d: recover: %v", seed, err)
+		}
+
+		ct.Arm()
+		for i, cut := range cuts {
+			lo := 0
+			if i > 0 {
+				lo = cuts[i-1]
+			}
+			for _, req := range reqs[lo:cut] {
+				if err := c.Append(req); err != nil {
+					t.Fatalf("seed %d: append: %v", seed, err)
+				}
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatalf("seed %d: flush at cut %d: %v", seed, cut, err)
+			}
+			got, err := c.Detect(cut, nil)
+			if err != nil {
+				t.Fatalf("seed %d: detect at cut %d: %v", seed, cut, err)
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Fatalf("seed %d: epoch at cut %d diverged from fault-free single-node baseline\nfaults: %v",
+					seed, cut, ct.Log())
+			}
+		}
+		ct.Disarm()
+		// One fault-free epoch after the storm: the converged state, not
+		// just a lucky final answer.
+		got, err := c.Detect(count, nil)
+		if err != nil {
+			t.Fatalf("seed %d: final detect: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want[len(want)-1]) {
+			t.Fatalf("seed %d: post-disarm epoch diverged\nfaults: %v", seed, ct.Log())
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("seed %d: close: %v", seed, err)
+		}
+
+		counts := ct.Counts()
+		for kind, n := range counts {
+			totalFaults += n
+			if kind == chaos.FaultCrash || kind == chaos.FaultRestart {
+				totalKills += n
+			}
+		}
+		for _, sf := range stores {
+			totalStoreFaults += sf.Faults()
+		}
+	}
+	if totalFaults == 0 {
+		t.Fatal("no RPC faults injected across 32 seeds — the matrix is vacuous")
+	}
+	if totalKills == 0 {
+		t.Fatal("no worker was killed mid-epoch across 32 seeds — raise PCrash")
+	}
+	if totalStoreFaults == 0 {
+		t.Fatal("no storage crash injected across 32 seeds — raise PCrash")
+	}
+	t.Logf("32 seeds: %d RPC faults (%d kills), %d storage crashes, all epochs byte-identical",
+		totalFaults, totalKills, totalStoreFaults)
+}

@@ -277,6 +277,26 @@ func (c *Cluster) callWithRecovery(worker int, method Call, args, reply any, reb
 	return fmt.Errorf("dist: worker %d not recovered after %d attempts: %w", worker, max, err)
 }
 
+// Call issues one logical call to worker under the cluster's retry policy
+// (transient failures retried with backoff; worker-down and state-lost
+// failures returned for the recovery path). It is the exported surface for
+// engines layered on the cluster — the sharded rejectod coordinator
+// (internal/cluster) drives its extension RPCs through it.
+func (c *Cluster) Call(worker int, method Call, args, reply any) error {
+	return c.call(worker, method, args, reply)
+}
+
+// CallWithRecovery issues a call under the full fault-tolerance path: on
+// worker-down or state-lost failures the worker is revived (or awaited)
+// and its state rebuilt — the graph-shard lineage first, then the caller's
+// rebuild closure, which must reinstall whatever extension state (handlers,
+// datasets, journals) the caller placed on the worker. The rebuild closure
+// may itself issue calls through the cluster; failures inside it are
+// retried by the surrounding recovery cycle up to RecoveryAttempts times.
+func (c *Cluster) CallWithRecovery(worker int, method Call, args, reply any, rebuild func(worker int) error) error {
+	return c.callWithRecovery(worker, method, args, reply, rebuild)
+}
+
 // nextToken issues a cluster-unique dedup token for a mutating dataset
 // call. Tokens start at 1 so zero can mean "untokened".
 func (c *Cluster) nextToken() uint64 { return c.tokens.Add(1) }
@@ -360,6 +380,25 @@ func (c *Cluster) reloadShards(worker int) error {
 	return nil
 }
 
+// ShardRangeError reports a node ID that no loaded shard range covers.
+// shardOf/workerOf return it so callers can recover the precise offending
+// ID (for logging, routing, or input validation) instead of re-parsing a
+// flattened message.
+type ShardRangeError struct {
+	// Node is the offending node ID.
+	Node int32
+	// Shards is the number of shard ranges consulted; 0 means no graph
+	// was loaded at all.
+	Shards int
+}
+
+func (e *ShardRangeError) Error() string {
+	if e.Shards == 0 {
+		return fmt.Sprintf("dist: node %d not covered: no shards loaded", e.Node)
+	}
+	return fmt.Sprintf("dist: node %d not covered by any of %d shards", e.Node, e.Shards)
+}
+
 // shardOf resolves the shard hosting node u.
 func (c *Cluster) shardOf(u int32) (int, error) {
 	for id := range c.shardLo {
@@ -367,7 +406,7 @@ func (c *Cluster) shardOf(u int32) (int, error) {
 			return id, nil
 		}
 	}
-	return 0, fmt.Errorf("dist: node %d not covered by any shard", u)
+	return 0, &ShardRangeError{Node: u, Shards: len(c.shardLo)}
 }
 
 // workerOf resolves the worker hosting node u.

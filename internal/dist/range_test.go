@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestShardRangeErrorTyped pins the satellite contract: shardOf/workerOf
+// report an uncovered node as a typed *ShardRangeError carrying the
+// offending ID, extractable with errors.As — the flat message used to lose
+// which ID was out of range.
+func TestShardRangeErrorTyped(t *testing.T) {
+	loaded := NewLocalCluster(2, 0)
+	defer loaded.Close()
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		g.AddFriendship(graph.NodeID(i), graph.NodeID((i+1)%8))
+	}
+	if err := loaded.LoadGraph(g, 2); err != nil {
+		t.Fatalf("LoadGraph: %v", err)
+	}
+	empty := NewLocalCluster(1, 0)
+	defer empty.Close()
+
+	cases := []struct {
+		name       string
+		c          *Cluster
+		node       int32
+		wantErr    bool
+		wantShards int
+	}{
+		{"covered low", loaded, 0, false, 0},
+		{"covered high", loaded, 7, false, 0},
+		{"negative", loaded, -1, true, 4},
+		{"just past range", loaded, 8, true, 4},
+		{"far past range", loaded, 1 << 20, true, 4},
+		{"no graph loaded", empty, 3, true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, resolve := range []struct {
+				name string
+				fn   func(int32) (int, error)
+			}{
+				{"shardOf", tc.c.shardOf},
+				{"workerOf", tc.c.workerOf},
+			} {
+				_, err := resolve.fn(tc.node)
+				if !tc.wantErr {
+					if err != nil {
+						t.Fatalf("%s(%d): unexpected error %v", resolve.name, tc.node, err)
+					}
+					continue
+				}
+				if err == nil {
+					t.Fatalf("%s(%d): want error, got nil", resolve.name, tc.node)
+				}
+				var sre *ShardRangeError
+				if !errors.As(err, &sre) {
+					t.Fatalf("%s(%d): error %v is not a *ShardRangeError", resolve.name, tc.node, err)
+				}
+				if sre.Node != tc.node {
+					t.Errorf("%s(%d): error carries node %d", resolve.name, tc.node, sre.Node)
+				}
+				if sre.Shards != tc.wantShards {
+					t.Errorf("%s(%d): error reports %d shards, want %d", resolve.name, tc.node, sre.Shards, tc.wantShards)
+				}
+			}
+		})
+	}
+}
+
+// TestRegisterClearedOnReset pins the extension-handler lifecycle: a
+// registered method dispatches, a reset worker answers it with
+// ErrStateLost (the recovery trigger), and re-registration restores it.
+func TestRegisterClearedOnReset(t *testing.T) {
+	w := NewWorker()
+	type pingArgs struct{ X int }
+	type pingReply struct{ X int }
+	echo := func(args, reply any) error {
+		reply.(*pingReply).X = args.(*pingArgs).X
+		return nil
+	}
+	const method = Call("Ext.Echo")
+	w.Register(method, echo)
+	var rep pingReply
+	if err := w.dispatch(method, &pingArgs{X: 7}, &rep); err != nil || rep.X != 7 {
+		t.Fatalf("dispatch after Register: reply %d, err %v", rep.X, err)
+	}
+	w.reset()
+	if err := w.dispatch(method, &pingArgs{X: 7}, &rep); !errors.Is(err, ErrStateLost) {
+		t.Fatalf("dispatch after reset: err %v, want ErrStateLost", err)
+	}
+	w.Register(method, echo)
+	rep = pingReply{}
+	if err := w.dispatch(method, &pingArgs{X: 9}, &rep); err != nil || rep.X != 9 {
+		t.Fatalf("dispatch after re-Register: reply %d, err %v", rep.X, err)
+	}
+}

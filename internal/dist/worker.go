@@ -17,6 +17,11 @@ type Worker struct {
 	mu       sync.Mutex
 	shards   []*Shard // sorted by Lo
 	datasets map[string][][]byte
+	// handlers holds extension methods installed with Register. Cleared
+	// on reset like everything else: a replacement process comes up
+	// without its extensions, and the first call to one answers
+	// ErrStateLost so the master's recovery path reinstalls them.
+	handlers map[Call]Handler
 	// seen dedups mutating dataset calls by token, so a duplicated
 	// delivery (or a retry of a call whose reply was lost) executes the
 	// mutation exactly once. Cleared on reset: a fresh process genuinely
@@ -35,7 +40,30 @@ func (w *Worker) reset() {
 	defer w.mu.Unlock()
 	w.shards = nil
 	w.datasets = make(map[string][][]byte)
+	w.handlers = nil
 	w.seen = tokenSet{}
+}
+
+// Handler is an extension method body: args and reply are the pointer
+// types the caller's Register contract fixes for the method. Handlers run
+// outside the worker's mutex and must do their own synchronization.
+type Handler func(args, reply any) error
+
+// Register installs (or replaces) the handler for an extension method —
+// the seam engines layered on dist use to put their own worker-side
+// services (the sharded rejectod's journal/engine nodes) behind the same
+// transport, retry, and recovery machinery as the built-in methods. Like
+// shards and datasets, registrations are worker state: reset (a crash or
+// replacement) clears them, and dispatch then answers the method with
+// ErrStateLost so CallWithRecovery's rebuild closure reinstalls the
+// extension before replaying its lineage.
+func (w *Worker) Register(method Call, h Handler) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.handlers == nil {
+		w.handlers = make(map[Call]Handler)
+	}
+	w.handlers[method] = h
 }
 
 // tokenSet remembers recently seen dedup tokens with a bounded ring:
@@ -120,8 +148,15 @@ type CutStatsReply struct {
 	RejIntoLegit     int64
 }
 
-// dispatch routes a transport call to the worker implementation.
+// dispatch routes a transport call to the worker implementation:
+// registered extension handlers first, then the built-in method set.
 func (w *Worker) dispatch(method Call, args, reply any) error {
+	w.mu.Lock()
+	h := w.handlers[method]
+	w.mu.Unlock()
+	if h != nil {
+		return h(args, reply)
+	}
 	switch method {
 	case CallLoadShard:
 		return w.LoadShard(args.(*LoadShardArgs), reply.(*struct{}))
@@ -136,7 +171,11 @@ func (w *Worker) dispatch(method Call, args, reply any) error {
 	case CallPing:
 		return w.Ping(args.(*struct{}), reply.(*struct{}))
 	default:
-		return fmt.Errorf("dist: unknown method %q", method)
+		// A method this worker does not serve means its extension
+		// registrations were wiped by a crash-restart (reset clears them):
+		// report state lost, not a protocol error, so the master's
+		// recovery path reinstalls the extension and replays its lineage.
+		return fmt.Errorf("%w: no handler for method %q", ErrStateLost, method)
 	}
 }
 

@@ -180,6 +180,42 @@ var Storage = StorageCounters{
 	TornTruncations:   expvar.NewInt("rejecto.storage_torn_truncations"),
 }
 
+// ClusterCounters is the counter set of the multi-node coordinator
+// (internal/cluster), published under "rejecto.cluster_*". The coordinator
+// ticks them per routed record, per acked batch, and per merged epoch —
+// the operator's view of how ingest and detection traffic splits across
+// shards.
+type ClusterCounters struct {
+	// Routed counts answered requests routed to their home shard by the
+	// coordinator's ingest path; Boundary counts the subset whose
+	// interval owner is a different shard than the sender's home — the
+	// cross-shard residuals the epoch merge accounts for.
+	Routed   *expvar.Int
+	Boundary *expvar.Int
+	// ShipBatches counts acked journal-ingest batches, ShardDetects
+	// acked per-shard epoch steps, Merges published merged epochs.
+	ShipBatches  *expvar.Int
+	ShardDetects *expvar.Int
+	Merges       *expvar.Int
+	// Rebuilds counts shard lineage replays onto recovered workers.
+	Rebuilds *expvar.Int
+	// LastMergeMS is the wall-clock of the most recent merged epoch
+	// (shard fan-out plus merge).
+	LastMergeMS *expvar.Float
+}
+
+// Cluster is the singleton coordinator counter set (see Pipeline for why
+// it is package scope).
+var Cluster = ClusterCounters{
+	Routed:       expvar.NewInt("rejecto.cluster_routed"),
+	Boundary:     expvar.NewInt("rejecto.cluster_boundary"),
+	ShipBatches:  expvar.NewInt("rejecto.cluster_ship_batches"),
+	ShardDetects: expvar.NewInt("rejecto.cluster_shard_detects"),
+	Merges:       expvar.NewInt("rejecto.cluster_merges"),
+	Rebuilds:     expvar.NewInt("rejecto.cluster_rebuilds"),
+	LastMergeMS:  expvar.NewFloat("rejecto.cluster_last_merge_ms"),
+}
+
 // CacheCounters is the process-wide hit/miss tally of every cache.Locked
 // instance, published as "rejecto.cache_hits"/"rejecto.cache_misses" so
 // warm-epoch memoization wins show up at /debug/vars next to the pipeline

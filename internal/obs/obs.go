@@ -32,6 +32,20 @@ const (
 	EvStorageCompact  = "storage.compact"
 	EvStorageRecover  = "storage.recover"
 
+	// cluster.* events trace the sharded rejectod's coordinator↔shard
+	// boundary (internal/cluster). cluster.ship is one acked ingest batch
+	// (Job = shard, Nodes = records shipped); cluster.detect one acked
+	// per-shard epoch step (Job = shard, Suspects = the shard's suspect
+	// total, Dur = the RPC round-trip); cluster.merge one published merge
+	// (Suspects = merged suspect total, Nodes = cumulative boundary
+	// residuals, Detail = the shard count); cluster.rebuild one shard
+	// lineage replay onto a recovered worker (Job = shard, Nodes = the
+	// records re-shipped).
+	EvClusterShip    = "cluster.ship"
+	EvClusterDetect  = "cluster.detect"
+	EvClusterMerge   = "cluster.merge"
+	EvClusterRebuild = "cluster.rebuild"
+
 	// score.publish is one epoch handoff to the real-time scorer
 	// (Suspects = suspect-set size, Nodes = account count, Detail = the
 	// server mode). score.enforce is one non-allow verdict handed to the

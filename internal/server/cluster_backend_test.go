@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// newClusterCoord builds a multi-node coordinator suitable for Config.Backend.
+func newClusterCoord(t *testing.T, n, shards, workers int, dir string) *cluster.Coordinator {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Base:     testBase(n),
+		Detector: testDetectorOptions(),
+		Shards:   shards,
+		Workers:  workers,
+		Dir:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterBackendMatchesBatchServer runs the same workload through a
+// stock batch server and a server backed by the multi-node coordinator:
+// the published epochs must be byte-identical, and /v1/stats must expose
+// the cluster shape.
+func TestClusterBackendMatchesBatchServer(t *testing.T) {
+	const n, spammers = 300, 40
+	events := spamWorkload(rand.New(rand.NewPCG(2, 71)), n, spammers)
+
+	batchSrv, batchTS := newTestServer(t, testBase(n), nil)
+	postEvents(t, batchTS.URL, events)
+	want, err := batchSrv.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	coord := newClusterCoord(t, n, 4, 2, dir)
+	clusterSrv, clusterTS := newTestServer(t, testBase(n), func(cfg *Config) {
+		cfg.Backend = coord
+	})
+	postEvents(t, clusterTS.URL, events)
+	got, err := clusterSrv.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Intervals) == 0 {
+		t.Fatal("cluster epoch carries no interval detections")
+	}
+	if !reflect.DeepEqual(got.Intervals, want.Intervals) {
+		t.Fatal("cluster-backed epoch diverged from the batch server")
+	}
+
+	var stats statsReply
+	getJSON(t, clusterTS.URL+"/v1/stats", &stats)
+	if stats.Mode != "cluster" {
+		t.Fatalf("mode = %q, want cluster", stats.Mode)
+	}
+	if stats.Backend == nil {
+		t.Fatal("stats carry no backend section")
+	}
+	cs := coord.Stats().(cluster.Stats)
+	if cs.Shards != 4 || cs.Workers != 2 {
+		t.Fatalf("coordinator stats = %d shards / %d workers", cs.Shards, cs.Workers)
+	}
+	if cs.Records == 0 || cs.Boundary == 0 {
+		t.Fatalf("coordinator routed %d records, %d boundary — workload did not exercise routing", cs.Records, cs.Boundary)
+	}
+}
+
+// TestClusterBackendRestart restarts a cluster-backed server over the same
+// shard journals and checks the recovered epoch matches the pre-restart
+// one without re-ingesting anything.
+func TestClusterBackendRestart(t *testing.T) {
+	const n, spammers = 300, 40
+	events := spamWorkload(rand.New(rand.NewPCG(4, 9)), n, spammers)
+	dir := t.TempDir()
+
+	srv1, ts1 := newTestServer(t, testBase(n), func(cfg *Config) {
+		cfg.Backend = newClusterCoord(t, n, 3, 3, dir)
+	})
+	postEvents(t, ts1.URL, events)
+	before, err := srv1.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10e9)
+	defer cancel()
+	if _, err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	srv2, _ := newTestServer(t, testBase(n), func(cfg *Config) {
+		cfg.Backend = newClusterCoord(t, n, 3, 3, dir)
+	})
+	if ep := srv2.CurrentEpoch(); ep.Events != before.Events {
+		t.Fatalf("recovered epoch covers %d events, want %d", ep.Events, before.Events)
+	}
+	after, err := srv2.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Intervals, before.Intervals) {
+		t.Fatal("post-restart cluster epoch diverged from pre-restart epoch")
+	}
+}

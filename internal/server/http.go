@@ -286,12 +286,19 @@ type statsReply struct {
 	Score          *scoreStatsReply   `json:"score"`
 	Incr           *incrStatsReply    `json:"incremental,omitempty"`
 	Storage        *storageStatsReply `json:"storage,omitempty"`
+	// Backend is the pluggable backend's own stats (a cluster.Stats for
+	// the multi-node coordinator), present only when one is configured.
+	Backend any `json:"backend,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ep := s.epoch.Load()
 	hits, misses := s.users.Stats()
 	mode := s.mode()
+	var backendStats any
+	if s.backend != nil {
+		backendStats = s.backend.Stats()
+	}
 	var storageStats *storageStatsReply
 	if s.store != nil {
 		st := s.store.Stats()
@@ -331,5 +338,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Score:          s.scoreStats(),
 		Incr:           s.incrStats.Load(),
 		Storage:        storageStats,
+		Backend:        backendStats,
 	})
 }

@@ -113,6 +113,17 @@ type Config struct {
 	// it cheap.
 	ScoreHook func(score.Result)
 
+	// Backend, when non-nil, replaces the server's own journal and
+	// detection engine with an external one (see Backend; the multi-node
+	// coordinator in internal/cluster is the canonical implementation).
+	// The server still owns the HTTP surface, the ingest queue, the epoch
+	// read model, and the real-time scorer; Append/Flush/Detect are
+	// delegated. Mutually exclusive with Store, JournalPath, Incremental,
+	// and SnapshotEvery — the backend owns durability and detection
+	// strategy wholesale. The server takes ownership: Recover runs during
+	// New and Close during Shutdown.
+	Backend Backend
+
 	// EpochHook, when non-nil, receives every published epoch: its
 	// sequence number and the suspect union across intervals, ascending —
 	// exactly what /v1/suspects serves. This is the observation seam for
@@ -202,6 +213,10 @@ type Server struct {
 	store    storage.Store
 	recovery storage.RecoveryInfo // fixed after New
 
+	// backend, when non-nil, owns journaling and detection instead of
+	// store/engine (see Backend). Fixed after New.
+	backend Backend
+
 	// Detector-goroutine-owned incremental state (after New).
 	engine        *incr.Engine
 	lastFrozen    *graph.Frozen // read model: base + every request handed to the detector
@@ -233,6 +248,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store != nil && cfg.JournalPath != "" {
 		return nil, fmt.Errorf("server: Config.Store and Config.JournalPath are mutually exclusive")
 	}
+	if cfg.Backend != nil {
+		if cfg.Store != nil || cfg.JournalPath != "" {
+			return nil, fmt.Errorf("server: Config.Backend is exclusive with Store/JournalPath")
+		}
+		if cfg.Incremental || cfg.SnapshotEvery > 0 {
+			return nil, fmt.Errorf("server: Config.Backend owns detection and durability; Incremental/SnapshotEvery do not apply")
+		}
+	}
 	s := &Server{
 		cfg:          cfg,
 		base:         cfg.Base,
@@ -246,6 +269,7 @@ func New(cfg Config) (*Server, error) {
 		users:        cache.NewLocked[userKey, []byte](cfg.CacheSize),
 		lc:           newLifecycle(),
 		store:        cfg.Store,
+		backend:      cfg.Backend,
 	}
 	if s.store == nil && cfg.JournalPath != "" {
 		st, err := storage.OpenFlat(cfg.JournalPath)
@@ -262,9 +286,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s.scorer = sc
-	rec, err := s.recoverStore()
-	if err != nil {
-		return nil, err
+	var rec storage.Recovered
+	if s.backend != nil {
+		if _, err := s.backend.Recover(s.applyRecovered); err != nil {
+			return nil, fmt.Errorf("server: backend recovery: %w", err)
+		}
+	} else {
+		rec, err = s.recoverStore()
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Replay the recovered journal into the scorer's online features. Only
 	// answered requests are journaled and only answered requests advance
@@ -340,23 +371,28 @@ func (s *Server) recoverStore() (storage.Recovered, error) {
 	if s.store == nil {
 		return storage.Recovered{}, nil
 	}
-	rec, err := s.store.Recover(func(reqs []core.TimedRequest) error {
-		for i, req := range reqs {
-			if int(req.From) >= s.base.NumNodes() || int(req.To) >= s.base.NumNodes() {
-				return fmt.Errorf("journal entry %d references node outside the %d-node base", len(s.events)+i, s.base.NumNodes())
-			}
-			if req.From == req.To {
-				return fmt.Errorf("journal entry %d is a self-request at node %d", len(s.events)+i, req.From)
-			}
-		}
-		s.events = append(s.events, reqs...)
-		return nil
-	})
+	rec, err := s.store.Recover(s.applyRecovered)
 	if err != nil {
 		return storage.Recovered{}, fmt.Errorf("server: recovering journal: %w", err)
 	}
 	s.recovery = rec.Info
 	return rec, nil
+}
+
+// applyRecovered is the recovery fold shared by the store and Backend
+// paths: validate each journaled record against the base graph, then
+// extend the event log.
+func (s *Server) applyRecovered(reqs []core.TimedRequest) error {
+	for i, req := range reqs {
+		if int(req.From) >= s.base.NumNodes() || int(req.To) >= s.base.NumNodes() {
+			return fmt.Errorf("journal entry %d references node outside the %d-node base", len(s.events)+i, s.base.NumNodes())
+		}
+		if req.From == req.To {
+			return fmt.Errorf("journal entry %d is a self-request at node %d", len(s.events)+i, req.From)
+		}
+	}
+	s.events = append(s.events, reqs...)
+	return nil
 }
 
 // Handler returns the server's HTTP handler (see routes in http.go).
@@ -413,7 +449,12 @@ func (s *Server) apply(ev Event) {
 	if s.cfg.Incremental {
 		s.delta.AddRequest(req)
 	}
-	if s.store != nil {
+	if s.backend != nil {
+		if err := s.backend.Append(req); err != nil && s.storeErr == nil {
+			s.storeErr = err
+		}
+		obs.Server.JournalEvents.Add(1)
+	} else if s.store != nil {
 		if err := s.store.Append(req); err != nil && s.storeErr == nil {
 			s.storeErr = err
 		}
@@ -422,7 +463,11 @@ func (s *Server) apply(ev Event) {
 }
 
 func (s *Server) flushJournal() {
-	if s.store != nil {
+	if s.backend != nil {
+		if err := s.backend.Flush(); err != nil && s.storeErr == nil {
+			s.storeErr = err
+		}
+	} else if s.store != nil {
 		if err := s.store.Flush(); err != nil && s.storeErr == nil {
 			s.storeErr = err
 		}
@@ -491,9 +536,15 @@ func (s *Server) runDetection() (*Epoch, error) {
 		ep          *Epoch
 		interrupted bool
 	)
-	if s.cfg.Incremental {
+	switch {
+	case s.backend != nil:
+		// The backend is handed the epoch cut and the shutdown signal; a
+		// backend refusing to start returns a plain error (never
+		// core.ErrInterrupted), so no partial epoch is published for it.
+		dets, err = s.backend.Detect(len(snap.reqs), s.quit)
+	case s.cfg.Incremental:
 		dets, err = s.runIncremental(snap)
-	} else {
+	default:
 		opts := s.cfg.Detector
 		opts.Cancel = s.quit
 		if opts.Tracer == nil {
@@ -661,6 +712,9 @@ func (s *Server) publishEpoch(ep *Epoch) {
 }
 
 func (s *Server) mode() string {
+	if s.backend != nil {
+		return s.backend.Mode()
+	}
 	if s.cfg.Incremental {
 		return "incremental"
 	}
@@ -757,6 +811,11 @@ func (s *Server) Shutdown(ctx context.Context) (interrupted bool, err error) {
 		}
 		if s.store != nil {
 			if cerr := s.store.Close(); cerr != nil && s.shutdownErr == nil {
+				s.shutdownErr = cerr
+			}
+		}
+		if s.backend != nil {
+			if cerr := s.backend.Close(); cerr != nil && s.shutdownErr == nil {
 				s.shutdownErr = cerr
 			}
 		}

@@ -1,0 +1,84 @@
+#!/usr/bin/env sh
+# Runs the multi-node coordinator benchmarks (internal/cluster) and emits
+# BENCH_cluster.json at the repo root: ingest timings and merged-epoch
+# latency at 1, 2, and 4 shards.
+#
+# Ingest is reported two ways per layout:
+#   - wall_ns:  single-process wall time (all shards share this machine's
+#     CPUs and disk, so the fan-out is GOMAXPROCS- and fsync-bound);
+#   - shard_busy_ns: the busiest shard's total ship busy time (encode,
+#     worker append, fsync), measured with serial fan-out so each shard's
+#     work is timed in isolation. In the deployment the subsystem targets —
+#     one shard per node — the busiest shard is the tier's bottleneck, so
+#     records / shard_busy_ns is the cluster's sustained ingest throughput.
+#
+# The acceptance criterion is checked here and the script fails if it does
+# not hold: shard-tier ingest throughput at 4 shards must be at least 2x
+# the 1-shard throughput (shard_busy_ns ratio on the same fixed journal).
+#
+# Usage: scripts/bench_cluster.sh [benchtime]   (default 3x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/cluster/ -run NONE -bench 'BenchmarkCluster(Ingest|Epoch)' \
+	-benchtime "$BENCHTIME" -count 1 | tee "$tmp"
+
+python3 - "$tmp" "$BENCHTIME" <<'PY' > BENCH_cluster.json
+import json, re, sys
+
+rows = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'BenchmarkCluster(Ingest|Epoch)/shards=(\d+)\S*\s+\d+\s+(.*)', line)
+    if not m:
+        continue
+    bench, shards, rest = m.group(1).lower(), int(m.group(2)), m.group(3)
+    metrics = dict((unit, float(val)) for val, unit in
+                   re.findall(r'([0-9.e+-]+)\s+(\S+/op)', rest))
+    rows.setdefault(shards, {})[bench] = metrics
+
+layouts = []
+for shards in sorted(rows):
+    ing = rows[shards].get('ingest', {})
+    ep = rows[shards].get('epoch', {})
+    recs = ing.get('recs/op')
+    busy = ing.get('busyns/op')
+    entry = {
+        'shards': shards,
+        'journal_records': int(recs) if recs else None,
+        'ingest_wall_ns': ing.get('ns/op'),
+        'ingest_shard_busy_ns': busy,
+        'epoch_ns': ep.get('ns/op'),
+    }
+    if recs and busy:
+        entry['shard_tier_recs_per_sec'] = round(recs / busy * 1e9)
+    layouts.append(entry)
+
+by_shards = {e['shards']: e for e in layouts}
+one, four = by_shards.get(1, {}), by_shards.get(4, {})
+achieved = 0.0
+if one.get('ingest_shard_busy_ns') and four.get('ingest_shard_busy_ns'):
+    achieved = round(one['ingest_shard_busy_ns'] / four['ingest_shard_busy_ns'], 2)
+out = {
+    'benchmark': 'internal/cluster BenchmarkClusterIngest + BenchmarkClusterEpoch',
+    'benchtime': sys.argv[2],
+    'layouts': layouts,
+    'criterion': {
+        'metric': 'shard-tier ingest throughput (records / busiest shard busy ns)',
+        'required_ratio_4_vs_1': 2.0,
+        'achieved_ratio': achieved,
+        'pass': achieved >= 2.0,
+    },
+}
+json.dump(out, sys.stdout, indent=2)
+print()
+if not out['criterion']['pass']:
+    print(f"FAIL: 4-shard ingest throughput {achieved}x the 1-shard throughput, need >=2x",
+          file=sys.stderr)
+    sys.exit(1)
+PY
+
+echo "wrote BENCH_cluster.json"
