@@ -436,3 +436,36 @@ func TestShipEvery(t *testing.T) {
 		t.Fatal("post-restart epoch diverged")
 	}
 }
+
+// TestDetectStaleSeedReturnsMemo reproduces the rebuild/detect race on
+// co-homed shards: a rebuild seed positioned from a stale coordinator
+// read (Stepped:0 with a short owned prefix) can arrive after the
+// engine has already stepped past the prefix. The handler must answer
+// with the memoized reply — not panic slicing past the delta's end.
+func TestDetectStaleSeedReturnsMemo(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 9))
+	base := testBase(r, 60)
+	reqs := testRequests(r, 60, 12, 3)
+	n := newNode(nodeConfig{
+		base: &coordBase{graph: base, detector: testOpts()},
+		dir:  t.TempDir(),
+	})
+	if err := n.open(&OpenArgs{Shard: 0}, &OpenReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ingest(&IngestArgs{Shard: 0, Start: 0, Records: reqs}, &IngestReply{}); err != nil {
+		t.Fatal(err)
+	}
+	var full DetectReply
+	if err := n.detect(&DetectArgs{Shard: 0, Stepped: 0, Delta: reqs}, &full); err != nil {
+		t.Fatal(err)
+	}
+	var stale DetectReply
+	if err := n.detect(&DetectArgs{Shard: 0, Stepped: 0, Delta: reqs[:3]}, &stale); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stale, full) {
+		t.Fatalf("stale seed reply diverged from memoized reply: got %d dets stepped %d, want %d dets stepped %d",
+			len(stale.Dets), stale.Stepped, len(full.Dets), full.Stepped)
+	}
+}

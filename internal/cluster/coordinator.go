@@ -554,7 +554,15 @@ func (c *Coordinator) Detect(events int, cancel <-chan struct{}) ([]core.Interva
 		return nil, ErrClosed
 	}
 	if events > len(c.all) {
-		events = len(c.all)
+		// The epoch cut can never exceed the routed journal: the caller
+		// counts the same events it handed to Append. A mismatch means the
+		// caller's journal and the coordinator's lineage desynced (e.g. an
+		// Append failed after the caller recorded the event); clamping here
+		// would silently publish epochs covering fewer records than the
+		// caller believes, breaking the byte-identity invariant.
+		n := len(c.all)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: detect cut %d exceeds journal of %d events", events, n)
 	}
 	if events > c.detCursor {
 		for _, req := range c.all[c.detCursor:events] {

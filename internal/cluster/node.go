@@ -285,7 +285,18 @@ func (n *node) detect(args *DetectArgs, reply *DetectReply) error {
 	if args.Stepped > sn.stepped {
 		return stateLost("shard %d detect gap: delta starts at %d, engine stepped %d", args.Shard, args.Stepped, sn.stepped)
 	}
-	suffix := args.Delta[sn.stepped-args.Stepped:]
+	off := sn.stepped - args.Stepped
+	if off > len(args.Delta) {
+		// The engine is already past the delta's end — e.g. a rebuild seed
+		// positioned from a stale coordinator read racing an in-flight step
+		// on a co-homed shard. The memoized reply is the answer, same as
+		// the empty-suffix case below.
+		if sn.hasLast {
+			*reply = sn.last
+		}
+		return nil
+	}
+	suffix := args.Delta[off:]
 	if len(suffix) == 0 {
 		// Duplicate delivery, lost-reply retry, or a rebuild seed that
 		// raced a newer step: the memoized reply (or the zero reply for a

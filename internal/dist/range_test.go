@@ -98,4 +98,11 @@ func TestRegisterClearedOnReset(t *testing.T) {
 	if err := w.dispatch(method, &pingArgs{X: 9}, &rep); err != nil || rep.X != 9 {
 		t.Fatalf("dispatch after re-Register: reply %d, err %v", rep.X, err)
 	}
+
+	// A method that was never registered while other extensions are live is
+	// a programming error, not a crash-restart: it must NOT be ErrStateLost,
+	// or the recovery path would retry a bug to exhaustion.
+	if err := w.dispatch(Call("Ext.Typo"), &pingArgs{X: 1}, &rep); err == nil || errors.Is(err, ErrStateLost) {
+		t.Fatalf("dispatch of unregistered method with live extensions: err %v, want non-state-lost error", err)
+	}
 }

@@ -3,6 +3,7 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -252,12 +253,23 @@ func TestCutStatsReplyReuseNoDoubleCount(t *testing.T) {
 	}
 }
 
+// countExecutions counts rows mapped by the "test/count-executions" op.
+// The op registry is process-global and RegisterOp panics on duplicates,
+// so the op registers once and the counter resets per test run (-count>1
+// reuses the process).
+var (
+	countExecutions     int
+	countExecutionsOnce sync.Once
+)
+
 func TestDatasetTokenDedup(t *testing.T) {
-	executions := 0
-	RegisterOp("test/count-executions", func(row []byte) [][]byte {
-		executions++
-		return [][]byte{row}
+	countExecutionsOnce.Do(func() {
+		RegisterOp("test/count-executions", func(row []byte) [][]byte {
+			countExecutions++
+			return [][]byte{row}
+		})
 	})
+	countExecutions = 0
 	w := NewWorker()
 	store := &DatasetArgs{Op: "store", TargetName: "src", Rows: makeRows(3), Token: 7}
 	if err := w.Dataset(store, &DatasetReply{}); err != nil {
@@ -270,15 +282,15 @@ func TestDatasetTokenDedup(t *testing.T) {
 	if err := w.Dataset(apply, &DatasetReply{}); err != nil {
 		t.Fatal(err)
 	}
-	if executions != 3 {
-		t.Fatalf("first apply executed %d rows, want 3", executions)
+	if countExecutions != 3 {
+		t.Fatalf("first apply executed %d rows, want 3", countExecutions)
 	}
 	// Duplicate delivery of the same token: acknowledged, not re-executed.
 	if err := w.Dataset(apply, &DatasetReply{}); err != nil {
 		t.Fatal(err)
 	}
-	if executions != 3 {
-		t.Fatalf("duplicate apply re-executed (%d rows)", executions)
+	if countExecutions != 3 {
+		t.Fatalf("duplicate apply re-executed (%d rows)", countExecutions)
 	}
 	// A fresh token executes again.
 	apply2 := *apply
@@ -287,8 +299,8 @@ func TestDatasetTokenDedup(t *testing.T) {
 	if err := w.Dataset(&apply2, &DatasetReply{}); err != nil {
 		t.Fatal(err)
 	}
-	if executions != 6 {
-		t.Fatalf("fresh token did not execute: %d rows", executions)
+	if countExecutions != 6 {
+		t.Fatalf("fresh token did not execute: %d rows", countExecutions)
 	}
 }
 

@@ -153,6 +153,7 @@ type CutStatsReply struct {
 func (w *Worker) dispatch(method Call, args, reply any) error {
 	w.mu.Lock()
 	h := w.handlers[method]
+	registered := len(w.handlers)
 	w.mu.Unlock()
 	if h != nil {
 		return h(args, reply)
@@ -171,11 +172,17 @@ func (w *Worker) dispatch(method Call, args, reply any) error {
 	case CallPing:
 		return w.Ping(args.(*struct{}), reply.(*struct{}))
 	default:
-		// A method this worker does not serve means its extension
-		// registrations were wiped by a crash-restart (reset clears them):
-		// report state lost, not a protocol error, so the master's
-		// recovery path reinstalls the extension and replays its lineage.
-		return fmt.Errorf("%w: no handler for method %q", ErrStateLost, method)
+		if registered == 0 {
+			// No extension handlers at all matches the post-reset state: a
+			// crash-restart wiped the registrations, so report state lost
+			// and let the master's recovery path reinstall the extension
+			// and replay its lineage.
+			return fmt.Errorf("%w: no handler for method %q", ErrStateLost, method)
+		}
+		// Other extensions are registered but not this method: that is a
+		// programming error (unregistered or misspelled method), not a
+		// recoverable crash — surface it instead of burning retries.
+		return fmt.Errorf("dist: no handler for method %q", method)
 	}
 }
 
